@@ -1,0 +1,60 @@
+// Fig 2: node / CPU / RAM power of FFT and Stream on the ARM platform.
+//
+// Paper headline: both benchmarks sit near the 90 W node line (peripherals
+// a constant ~25 W), but FFT is CPU-dominant while Stream is RAM-heavy.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common.hpp"
+#include "highrpm/math/stats.hpp"
+#include "highrpm/sim/node.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+using namespace highrpm;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::from_args(argc, argv);
+  const std::size_t ticks = opt.samples_per_suite >= 1000 ? 1200 : 400;
+
+  std::printf("Fig 2 reproduction: FFT vs Stream component power (%zu s)\n\n",
+              ticks);
+  std::printf("%-10s %10s %10s %10s %10s\n", "workload", "node_avg_W",
+              "cpu_avg_W", "mem_avg_W", "other_W");
+
+  std::filesystem::create_directories("bench_out");
+  std::ofstream csv("bench_out/fig2_breakdown_series.csv");
+  csv << "t,fft_node,fft_cpu,fft_mem,stream_node,stream_cpu,stream_mem\n";
+
+  std::vector<sim::Trace> traces;
+  for (const auto& w : {workloads::fft(), workloads::stream()}) {
+    sim::NodeSimulator node(sim::PlatformConfig::arm(), w, 777);
+    const auto trace = node.run(ticks);
+    std::printf("%-10s %10.1f %10.1f %10.1f %10.1f\n", w.name.c_str(),
+                math::mean(trace.node_power()), math::mean(trace.cpu_power()),
+                math::mean(trace.mem_power()),
+                math::mean(trace.other_power()));
+    traces.push_back(trace);
+  }
+  for (std::size_t t = 0; t < ticks; ++t) {
+    csv << t << ',' << traces[0][t].p_node_w << ',' << traces[0][t].p_cpu_w
+        << ',' << traces[0][t].p_mem_w << ',' << traces[1][t].p_node_w << ','
+        << traces[1][t].p_cpu_w << ',' << traces[1][t].p_mem_w << '\n';
+  }
+  std::printf("[csv] wrote bench_out/fig2_breakdown_series.csv\n");
+
+  const double fft_cpu = math::mean(traces[0].cpu_power());
+  const double fft_mem = math::mean(traces[0].mem_power());
+  const double str_cpu = math::mean(traces[1].cpu_power());
+  const double str_mem = math::mean(traces[1].mem_power());
+  std::printf("\nShape check (paper Fig 2):\n");
+  std::printf("  FFT CPU-dominant:    cpu/mem = %.1fx   %s\n",
+              fft_cpu / fft_mem, fft_cpu > 2 * fft_mem ? "OK" : "WEAK");
+  std::printf("  Stream RAM-heavy:    mem %.1f W vs FFT mem %.1f W (%.1fx)  "
+              "%s\n",
+              str_mem, fft_mem, str_mem / fft_mem,
+              str_mem > 2 * fft_mem ? "OK" : "WEAK");
+  std::printf("  Stream CPU < FFT CPU: %.1f W < %.1f W  %s\n", str_cpu,
+              fft_cpu, str_cpu < fft_cpu ? "OK" : "WEAK");
+  return 0;
+}

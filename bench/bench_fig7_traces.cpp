@@ -1,0 +1,107 @@
+// Fig 7: the impact of miss_interval on the spline model and StaticTRR.
+//
+// For one phased, spiky workload the bench restores the node-power trace at
+// miss_interval in {10, 30, 60, 100} s with both models and reports how much
+// of the short-term structure each preserves. Paper headline: the spline is
+// precise at 10 s but loses short-term changes as the interval grows;
+// StaticTRR's PMC residual model keeps tracking them.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common.hpp"
+#include "highrpm/core/static_trr.hpp"
+#include "highrpm/math/spline.hpp"
+#include "highrpm/math/stats.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+using namespace highrpm;
+
+int main(int argc, char** argv) {
+  auto opt = bench::Options::from_args(argc, argv);
+  (void)opt;
+  std::printf("Fig 7 reproduction: spline vs StaticTRR across "
+              "miss_interval\n\n");
+
+  std::filesystem::create_directories("bench_out");
+  std::ofstream csv("bench_out/fig7_traces.csv");
+  csv << "t,truth";
+
+  measure::Collector base_collector;
+  std::printf("%-14s %14s %14s %18s %18s\n", "miss_interval", "spline_MAPE%",
+              "statictrr_MAPE%", "spline_fluct_corr", "statictrr_fluct_corr");
+
+  struct Series {
+    std::size_t interval = 0;
+    std::vector<double> spline, merged;
+  };
+  std::vector<Series> all_series;
+  measure::CollectedRun reference_run;
+
+  const std::size_t plot_ticks = 600;
+  for (const std::size_t interval : {10u, 30u, 60u, 100u}) {
+    // Longer traces at coarser intervals so the residual model always sees
+    // a healthy number of labeled readings.
+    const std::size_t ticks = std::max<std::size_t>(plot_ticks, interval * 30);
+    measure::CollectorConfig ccfg;
+    ccfg.ipmi.interval_s = static_cast<double>(interval);
+    measure::Collector collector(ccfg);
+    const auto run = collector.collect(sim::PlatformConfig::arm(),
+                                       workloads::graph500_bfs(), ticks, 555);
+    if (interval == 10) reference_run = run;
+
+    core::StaticTrrConfig scfg;
+    scfg.miss_interval = interval;
+    core::StaticTrr trr(scfg);
+    std::vector<std::size_t> idx;
+    std::vector<double> power;
+    for (const auto& r : run.ipmi_readings) {
+      idx.push_back(r.tick_index);
+      power.push_back(r.power_w);
+    }
+    const auto times = run.truth.times();
+    trr.fit(run.dataset.features(), times, idx, power);
+    const auto restored = trr.restore(run.dataset.features(), times);
+
+    const auto truth = run.truth.node_power();
+    // Short-term fluctuation tracking: correlation of the high-pass
+    // component (signal minus its own 21 s moving average).
+    const auto hp = [](const std::vector<double>& v) {
+      const auto ma = math::moving_average(v, 21);
+      std::vector<double> out(v.size());
+      for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i] - ma[i];
+      return out;
+    };
+    const auto truth_hp = hp(truth);
+    std::printf("%-14zu %14.2f %14.2f %18.3f %18.3f\n", interval,
+                math::mape(truth, restored.splined),
+                math::mape(truth, restored.merged),
+                math::pearson(truth_hp, hp(restored.splined)),
+                math::pearson(truth_hp, hp(restored.merged)));
+    Series s;
+    s.interval = interval;
+    s.spline = restored.splined;
+    s.merged = restored.merged;
+    s.spline.resize(plot_ticks);  // CSV carries the common plot window
+    s.merged.resize(plot_ticks);
+    all_series.push_back(std::move(s));
+  }
+
+  for (const auto& s : all_series) {
+    csv << ",spline_mi" << s.interval << ",statictrr_mi" << s.interval;
+  }
+  csv << '\n';
+  const auto truth = reference_run.truth.node_power();
+  for (std::size_t t = 0; t < plot_ticks; ++t) {
+    csv << t << ',' << truth[t];
+    for (const auto& s : all_series) {
+      csv << ',' << s.spline[t] << ',' << s.merged[t];
+    }
+    csv << '\n';
+  }
+  std::printf("\n[csv] wrote bench_out/fig7_traces.csv\n");
+  std::printf("Shape check (paper Fig 7): spline fluctuation-tracking decays "
+              "with the interval; StaticTRR retains more of it via the PMC "
+              "residual model.\n");
+  return 0;
+}

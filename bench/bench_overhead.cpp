@@ -1,0 +1,131 @@
+// §6.4.5 overhead microbenchmarks (google-benchmark):
+//   * offline training      (paper: < 10 min on their testbed)
+//   * online fine-tuning    (paper: < 2 s)
+//   * prediction latency    (paper: < 1 ms at node and component level)
+#include <benchmark/benchmark.h>
+
+#include "highrpm/core/highrpm.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+using namespace highrpm;
+
+namespace {
+
+std::vector<measure::CollectedRun> training_runs() {
+  static const auto runs = [] {
+    measure::Collector collector;
+    std::vector<measure::CollectedRun> r;
+    r.push_back(collector.collect(sim::PlatformConfig::arm(),
+                                  workloads::fft(), 200, 1));
+    r.push_back(collector.collect(sim::PlatformConfig::arm(),
+                                  workloads::stream(), 200, 2));
+    return r;
+  }();
+  return runs;
+}
+
+const measure::CollectedRun& test_run() {
+  static const auto run = [] {
+    measure::Collector collector;
+    return collector.collect(sim::PlatformConfig::arm(), workloads::hpcg(),
+                             120, 3);
+  }();
+  return run;
+}
+
+core::HighRpmConfig bench_config() {
+  core::HighRpmConfig cfg;
+  cfg.dynamic_trr.rnn.epochs = 15;
+  cfg.srr.epochs = 40;
+  return cfg;
+}
+
+const core::HighRpm& trained_framework() {
+  static const auto instance = [] {
+    core::HighRpm h(bench_config());
+    h.initial_learning(training_runs());
+    return h;
+  }();
+  return instance;
+}
+
+void BM_OfflineTraining(benchmark::State& state) {
+  const auto runs = training_runs();
+  for (auto _ : state) {
+    core::HighRpm h(bench_config());
+    h.initial_learning(runs);
+    benchmark::DoNotOptimize(h.trained());
+  }
+}
+BENCHMARK(BM_OfflineTraining)->Unit(benchmark::kMillisecond);
+
+void BM_OnlineFineTune(benchmark::State& state) {
+  // One DynamicTRR fine-tune step on a fresh window (the per-IM-reading
+  // cost; paper: < 2 s).
+  core::HighRpm h = trained_framework();
+  const auto& run = test_run();
+  const auto& f = run.dataset.features();
+  for (auto _ : state) {
+    state.PauseTiming();
+    h.reset_stream();
+    // Fill the window (9 unmeasured ticks), stop timing outside.
+    for (std::size_t t = 1; t < 10; ++t) {
+      h.on_tick(f.row(t), std::nullopt);
+    }
+    state.ResumeTiming();
+    // Tick 10 carries the IM reading -> online fine-tune fires.
+    benchmark::DoNotOptimize(
+        h.on_tick(f.row(10), run.dataset.target("P_NODE")[10]));
+  }
+}
+BENCHMARK(BM_OnlineFineTune)->Unit(benchmark::kMillisecond);
+
+void BM_NodePredictionLatency(benchmark::State& state) {
+  core::HighRpm h = trained_framework();
+  core::HighRpmConfig cfg = bench_config();
+  const auto& run = test_run();
+  const auto& f = run.dataset.features();
+  std::size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.on_tick(f.row(t % 100), std::nullopt));
+    ++t;
+  }
+}
+BENCHMARK(BM_NodePredictionLatency)->Unit(benchmark::kMicrosecond);
+
+void BM_ComponentPredictionLatency(benchmark::State& state) {
+  core::HighRpm h = trained_framework();
+  const auto& run = test_run();
+  const auto& f = run.dataset.features();
+  std::size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.srr().predict_one(f.row(t % 100), 90.0));
+    ++t;
+  }
+}
+BENCHMARK(BM_ComponentPredictionLatency)->Unit(benchmark::kMicrosecond);
+
+void BM_StaticTrrLogRestoration(benchmark::State& state) {
+  const core::HighRpm& h = trained_framework();
+  const auto& run = test_run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.restore_log(run));
+  }
+}
+BENCHMARK(BM_StaticTrrLogRestoration)->Unit(benchmark::kMillisecond);
+
+void BM_ActiveLearningRound(benchmark::State& state) {
+  const auto& run = test_run();
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::HighRpm h = trained_framework();
+    state.ResumeTiming();
+    h.active_learning(run);
+    benchmark::DoNotOptimize(h.active_learning_rounds());
+  }
+}
+BENCHMARK(BM_ActiveLearningRound)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Table 8: SRR with vs. without the P_Node input feature.
+//
+// Paper headline: dropping P_Node roughly quadruples the error
+// (seen CPU 7.65% -> 30.46%, seen MEM 5.31% -> 21.56%), demonstrating the
+// value of the bi-directional workflow.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace highrpm;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::from_args(argc, argv);
+  std::printf("Table 8 reproduction: P_Node ablation, %zu samples/suite\n",
+              opt.samples_per_suite);
+  const auto data =
+      core::collect_all_suites(opt.protocol(sim::PlatformConfig::arm()));
+  const auto seen = core::make_seen_splits(data, 0.25);
+  const auto unseen = core::make_unseen_splits(data);
+
+  std::printf("Evaluating SRR with P_Node...\n");
+  const auto with_seen = bench::eval_srr(seen, true, opt);
+  const auto with_unseen = bench::eval_srr(unseen, true, opt);
+  std::printf("Evaluating SRR without P_Node...\n");
+  const auto without_seen = bench::eval_srr(seen, false, opt);
+  const auto without_unseen = bench::eval_srr(unseen, false, opt);
+
+  std::vector<bench::TableRow> rows;
+  rows.push_back(bench::TableRow{
+      "Seen", "P_CPU", {with_seen.cpu, without_seen.cpu}});
+  rows.push_back(bench::TableRow{
+      "Seen", "P_MEM", {with_seen.mem, without_seen.mem}});
+  rows.push_back(bench::TableRow{
+      "Unseen", "P_CPU", {with_unseen.cpu, without_unseen.cpu}});
+  rows.push_back(bench::TableRow{
+      "Unseen", "P_MEM", {with_unseen.mem, without_unseen.mem}});
+
+  bench::print_table("Table 8: SRR with/without P_Node feature",
+                     {"With P_Node", "Without P_Node"}, rows);
+  bench::write_csv("table8_pnode_ablation", {"with_pnode", "without_pnode"},
+                   rows);
+
+  std::printf(
+      "\nShape check: removing P_Node must increase MAPE in every cell.\n"
+      "(The paper reports 3-4x factors; our simulated PMC set is more\n"
+      "component-informative than real hardware's, so the PMC-only fallback\n"
+      "is less catastrophic here — see EXPERIMENTS.md.)\n");
+  for (const auto& r : rows) {
+    const double ratio = r.cells[1].mape / std::max(0.01, r.cells[0].mape);
+    std::printf("  %-7s %-6s  %.2f%% -> %.2f%%  (%.2fx)  %s\n",
+                r.type.c_str(), r.model.c_str(), r.cells[0].mape,
+                r.cells[1].mape, ratio, ratio > 1.0 ? "OK" : "WEAK");
+  }
+  return 0;
+}

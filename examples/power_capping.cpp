@@ -1,0 +1,50 @@
+// Power capping under different reading (PI) and action (AI) intervals —
+// the paper's Fig-1 motivation, as a runnable scenario.
+//
+// A Graph500 BFS run is power-capped by a DVFS controller. As the reading
+// interval coarsens the controller misses spikes; as the action interval
+// coarsens it reacts late. Both inflate peak power and total energy — the
+// reason high-resolution power monitoring matters.
+#include <cstdio>
+
+#include "highrpm/capping/capper.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+using namespace highrpm;
+
+namespace {
+
+void run_case(const char* label, double pi_s, double ai_s) {
+  capping::CappingConfig cfg;
+  cfg.node_cap_w = 90.0;
+  cfg.reading_interval_s = pi_s;
+  cfg.action_interval_s = ai_s;
+  capping::PowerCapController capper(cfg);
+  // Same seed: every case sees the same workload realization.
+  sim::NodeSimulator node(sim::PlatformConfig::arm(),
+                          workloads::graph500_bfs(), 12345);
+  const auto r = capper.run(node, 900);
+  std::printf("%-28s %8.1fW %10.1fW %10.2fkJ %10.1fs %8zu\n", label,
+              r.peak_cpu_w, r.peak_node_w, r.energy_j / 1000.0,
+              r.seconds_over_cap, r.dvfs_actions);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Power-capping Graph500 BFS (cap = 90 W node, 900 s)\n");
+  std::printf("%-28s %9s %11s %12s %11s %8s\n", "case (PI / AI)", "peak CPU",
+              "peak node", "energy", "time>cap", "actions");
+  run_case("(a) PI=1s,  AI=1s", 1, 1);
+  run_case("(b) PI=10s, AI=1s", 10, 1);
+  run_case("(c) PI=1s,  AI=1s", 1, 1);
+  run_case("(d) PI=1s,  AI=10s", 1, 10);
+  run_case("(e) PI=1s,  AI=30s", 1, 30);
+  run_case("(f) PI=10s, AI=30s", 10, 30);
+  std::printf(
+      "\nCoarser PI hides spikes from the controller; coarser AI delays the\n"
+      "response. Peak power and energy grow accordingly (paper Fig 1: peak\n"
+      "CPU power reaches ~50 W and energy rises 37.3 kJ -> 38.4 kJ as AI\n"
+      "grows from 1 s to 30 s).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// DynamicTRR (paper §4.2.2): real-time temporal-resolution restoration.
+//
+// A compact stacked LSTM consumes sliding windows of miss_interval rows,
+// each row = [PMC..., P'_Node(previous tick)], and predicts the node power
+// at every step of the window (Fig 4's dataset construction). Offline it is
+// trained on windows from the training programs; online it runs in a
+// streaming loop: every tick gets a prediction, and whenever a real IM
+// reading arrives the model is fine-tuned on the freshly completed window
+// (the active-learning behaviour of §4.1/§6.4.5: fine-tune < 2 s).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "highrpm/data/window.hpp"
+#include "highrpm/ml/rnn.hpp"
+
+namespace highrpm::core {
+
+struct DynamicTrrConfig {
+  std::size_t miss_interval = 10;  // ticks between IM readings (window size)
+  ml::RnnConfig rnn{};             // defaults: LSTM, units=2, layers=2
+  /// Epochs used for each online fine-tune step.
+  std::size_t finetune_epochs = 2;
+  bool online_finetune = true;
+  /// Offline-training window stride: 1 uses every overlapping window;
+  /// larger strides trade a little accuracy for proportionally faster
+  /// training (useful for large corpora / sweep benches).
+  std::size_t train_stride = 1;
+};
+
+class DynamicTrr {
+ public:
+  explicit DynamicTrr(DynamicTrrConfig cfg = {});
+
+  /// Offline training: per-run PMC matrices with dense node-power labels
+  /// (training programs have rig-derived dense labels, §5.2). Windows are
+  /// built per run so sequences never span run boundaries.
+  void train(std::span<const math::Matrix> run_pmcs,
+             std::span<const std::vector<double>> run_labels);
+
+  /// Convenience overload for a single run.
+  void train_single(const math::Matrix& pmcs, std::span<const double> labels);
+
+  /// Warm-start fine-tune on pre-built windows (active learning stage).
+  void fine_tune(std::span<const data::SequenceSample> windows,
+                 std::size_t epochs);
+
+  // --- streaming interface ---
+  /// Reset the stream state (new program / new node).
+  void reset_stream();
+  /// Feed one tick: the sampled PMC rates and, if this tick carried an IM
+  /// reading, its value. Returns the node-power estimate for this tick
+  /// (the measured value itself when one is available).
+  double step(std::span<const double> pmcs,
+              std::optional<double> im_reading);
+
+  bool fitted() const noexcept { return model_.fitted(); }
+  const DynamicTrrConfig& config() const noexcept { return cfg_; }
+  const ml::SequenceRegressor& model() const noexcept { return model_; }
+  std::size_t finetune_count() const noexcept { return finetunes_; }
+
+ private:
+  DynamicTrrConfig cfg_;
+  ml::SequenceRegressor model_;
+  // Streaming window: rows of [PMC..., P'_prev]; labels for fine-tuning.
+  std::vector<std::vector<double>> window_rows_;
+  std::vector<double> window_estimates_;
+  double prev_estimate_ = 0.0;
+  bool have_prev_ = false;
+  std::size_t finetunes_ = 0;
+};
+
+}  // namespace highrpm::core

@@ -1,0 +1,121 @@
+// The HighRPM framework facade (paper Fig 3): wires TRR and SRR together
+// behind the two-stage lifecycle the paper describes —
+//   initial learning: train StaticTRR / DynamicTRR / SRR on initial samples
+//   active learning:  pool initial + restored samples, draw reinforcement
+//                     samples, fine-tune
+// and the two monitoring modes:
+//   restore_log(): offline historical-log analysis (StaticTRR + SRR)
+//   on_tick():     online streaming monitoring (DynamicTRR + SRR)
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "highrpm/core/dynamic_trr.hpp"
+#include "highrpm/core/sampler.hpp"
+#include "highrpm/core/srr.hpp"
+#include "highrpm/core/static_trr.hpp"
+#include "highrpm/measure/collector.hpp"
+
+namespace highrpm::core {
+
+struct HighRpmConfig {
+  std::size_t miss_interval = 10;
+  StaticTrrConfig static_trr{};
+  DynamicTrrConfig dynamic_trr{};
+  SrrConfig srr{};
+  SamplerConfig sampler{};
+  /// Constant peripheral draw assumed by the consistency calibration
+  /// (paper §5.2: P_Other is a constant ~25 W).
+  double p_other_w = 25.0;
+  std::size_t active_finetune_epochs = 2;
+};
+
+/// One tick's power picture as HighRPM reports it.
+struct PowerEstimate {
+  double node_w = 0.0;
+  double cpu_w = 0.0;
+  double mem_w = 0.0;
+  /// True when node_w is a real IM reading rather than a TRR estimate.
+  bool measured = false;
+};
+
+/// Offline restoration of a whole run.
+struct LogRestoration {
+  std::vector<double> node_w;  // StaticTRR-merged node power per tick
+  std::vector<double> cpu_w;   // SRR component split per tick
+  std::vector<double> mem_w;
+};
+
+class HighRpm {
+ public:
+  explicit HighRpm(HighRpmConfig cfg = {});
+
+  /// Initial learning stage: training runs carry dense node labels and
+  /// rig-based component labels (paper §5.2). Trains DynamicTRR and SRR.
+  void initial_learning(std::span<const measure::CollectedRun> runs);
+
+  /// Active learning stage on a *deployment* run (sparse IM only): restore
+  /// node power with StaticTRR, pool measured + restored samples, draw a
+  /// reinforcement subset, and fine-tune DynamicTRR and SRR. SRR component
+  /// pseudo-labels come from its own predictions rescaled so that
+  /// cpu + mem = node - P_Other (the bi-directional consistency constraint).
+  void active_learning(const measure::CollectedRun& run);
+
+  /// Offline log analysis: StaticTRR node restoration + SRR breakdown.
+  LogRestoration restore_log(const measure::CollectedRun& run) const;
+
+  // --- streaming mode ---
+  void reset_stream();
+  PowerEstimate on_tick(std::span<const double> pmcs,
+                        std::optional<double> im_reading);
+
+  bool trained() const noexcept {
+    return dynamic_trr_.fitted() && srr_.fitted();
+  }
+  const HighRpmConfig& config() const noexcept { return cfg_; }
+  DynamicTrr& dynamic_trr() noexcept { return dynamic_trr_; }
+  Srr& srr() noexcept { return srr_; }
+  std::size_t active_learning_rounds() const noexcept { return al_rounds_; }
+
+ private:
+  /// Fit a fresh StaticTRR on a run's sparse IM readings and restore it.
+  std::vector<double> static_restore(const measure::CollectedRun& run) const;
+
+  HighRpmConfig cfg_;
+  DynamicTrr dynamic_trr_;
+  Srr srr_;
+  ReinforcementSampler sampler_;
+  std::size_t al_rounds_ = 0;
+};
+
+/// Control-node service managing per-compute-node HighRPM instances
+/// (paper §4.1: "installed as a service on the control node ... shared with
+/// other computing nodes", with per-node fine-tuning capturing inter-node
+/// power variation). Nodes are cloned from a golden trained instance and
+/// then drift apart through their own active-learning updates.
+class MonitorService {
+ public:
+  explicit MonitorService(HighRpm golden);
+
+  /// Register a compute node; returns its private instance.
+  void register_node(const std::string& node_id);
+  bool has_node(const std::string& node_id) const;
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  PowerEstimate on_tick(const std::string& node_id,
+                        std::span<const double> pmcs,
+                        std::optional<double> im_reading);
+  void active_learning(const std::string& node_id,
+                       const measure::CollectedRun& run);
+
+  const HighRpm& node(const std::string& node_id) const;
+
+ private:
+  HighRpm& node_mut(const std::string& node_id);
+
+  HighRpm golden_;
+  std::vector<std::pair<std::string, HighRpm>> nodes_;
+};
+
+}  // namespace highrpm::core

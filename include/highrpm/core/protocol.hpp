@@ -1,0 +1,81 @@
+// Evaluation protocol of paper §5.3 / Table 3: the 96 workloads are grouped
+// into their 7 suites; each fold holds one suite out. "Unseen" folds train
+// on the other six suites only; "seen" folds additionally train on the
+// leading part of the target suite's own runs and test on their held-out
+// tails (chronological within-run splits, so the future never leaks into
+// training).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "highrpm/measure/collector.hpp"
+#include "highrpm/sim/platform.hpp"
+
+namespace highrpm::core {
+
+struct ProtocolConfig {
+  sim::PlatformConfig platform = sim::PlatformConfig::arm();
+  measure::CollectorConfig collector{};
+  /// Ticks (= samples at 1 Sa/s) collected per suite, spread across the
+  /// suite's workloads. The paper uses 1000; benches default lower to keep
+  /// single-core runtimes sane (documented in EXPERIMENTS.md).
+  std::size_t samples_per_suite = 1000;
+  /// Floor on per-workload trace length so every run has full windows.
+  std::size_t min_ticks_per_workload = 60;
+  /// Cap on workloads drawn per suite (0 = all). Lets benches subsample the
+  /// big suites while keeping every suite represented.
+  std::size_t max_workloads_per_suite = 0;
+  double seen_test_fraction = 0.25;
+  std::size_t freq_level = SIZE_MAX;  // SIZE_MAX = platform default
+  std::uint64_t seed = 2023;
+};
+
+struct SuiteData {
+  std::string suite;
+  std::vector<measure::CollectedRun> runs;
+};
+
+/// Run every suite's workloads through the collector.
+std::vector<SuiteData> collect_all_suites(const ProtocolConfig& cfg);
+
+/// One train/test fold. Runs are owned copies so folds are self-contained.
+///
+/// Test runs are always *full* runs; `test_score_start[i]` marks where
+/// scoring begins in test run i. Unseen folds score the whole run (start 0).
+/// Seen folds additionally place the head of each target-suite run in the
+/// training set and score only the tail — per-run methods (spline,
+/// StaticTRR) may still fit on the full run's IM readings, since the head
+/// is "seen" data by construction.
+struct EvalSplit {
+  std::string held_out_suite;
+  bool seen = false;
+  std::vector<measure::CollectedRun> train;
+  std::vector<measure::CollectedRun> test;
+  std::vector<std::size_t> test_score_start;
+};
+
+/// The 7 unseen folds (train excludes the held-out suite entirely).
+std::vector<EvalSplit> make_unseen_splits(const std::vector<SuiteData>& data);
+
+/// The 7 seen folds (train additionally includes the head of each target-
+/// suite run; test is the tail).
+std::vector<EvalSplit> make_seen_splits(const std::vector<SuiteData>& data,
+                                        double test_fraction);
+
+/// Contiguous sub-range [start, start+len) of a collected run, with IPMI
+/// readings re-indexed relative to the slice.
+measure::CollectedRun slice_run(const measure::CollectedRun& run,
+                                std::size_t start, std::size_t len);
+
+/// Flatten runs into one (X, targets) table for pointwise models.
+struct FlatData {
+  math::Matrix x;
+  std::vector<double> p_node;
+  std::vector<double> p_cpu;
+  std::vector<double> p_mem;
+};
+FlatData flatten_runs(const std::vector<measure::CollectedRun>& runs);
+
+}  // namespace highrpm::core

@@ -1,0 +1,38 @@
+// Reinforcement sampler for the active-learning stage (paper §4.1): the
+// initial (measured) samples and the restored samples are pooled, and a
+// random subset of reinforcement samples is drawn to fine-tune the models.
+// Measured samples can be over-weighted so ground truth is never drowned
+// out by model-generated data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::core {
+
+struct SamplerConfig {
+  std::size_t reinforcement_size = 256;
+  /// Relative draw weight of measured vs. restored samples.
+  double measured_weight = 3.0;
+  std::uint64_t seed = 151;
+};
+
+class ReinforcementSampler {
+ public:
+  explicit ReinforcementSampler(SamplerConfig cfg = {});
+
+  /// Draw reinforcement indices from a pool of n samples where
+  /// measured[i] marks ground-truth entries. Sampling is without
+  /// replacement (returns min(reinforcement_size, n) indices).
+  std::vector<std::size_t> draw(const std::vector<bool>& measured);
+
+  const SamplerConfig& config() const noexcept { return cfg_; }
+
+ private:
+  SamplerConfig cfg_;
+  math::Rng rng_;
+};
+
+}  // namespace highrpm::core

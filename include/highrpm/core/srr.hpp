@@ -1,0 +1,106 @@
+// SRR (paper §4.3): spatial-resolution restoration. A shallow MLP maps
+// [P_Node, PMC...] -> [P_CPU, P_MEM]. Feeding the node-level IM/TRR power
+// back in as an input feature is the paper's "bi-directional" workflow —
+// the Table-8 ablation (with/without P_Node) is exposed through
+// SrrConfig::include_pnode.
+#pragma once
+
+#include <span>
+
+#include "highrpm/data/dataset.hpp"
+#include "highrpm/measure/collector.hpp"
+#include "highrpm/ml/mlp.hpp"
+
+namespace highrpm::core {
+
+struct SrrConfig {
+  /// Hidden layout; the paper's SRR is a single hidden layer ("input layer,
+  /// a hidden layer, and an output layer") — deeper stacks dilute the
+  /// P_Node signal (§6.4.3), which bench_hyperparam demonstrates.
+  std::vector<std::size_t> hidden{32};
+  std::size_t epochs = 60;
+  double learning_rate = 2e-3;
+  /// Table-8 ablation switch: false drops P_Node from the input layer.
+  bool include_pnode = true;
+  /// Latent-scale augmentation (see build_srr_training_set): virtual-
+  /// application copies per training run and their component rescale
+  /// ranges (CPU is more mix-sensitive than DRAM, hence the wider range).
+  /// 0 copies disables augmentation.
+  std::size_t augment_copies = 1;
+  /// Inference-time consistency projection: rescale the predicted (cpu,
+  /// mem) pair so it sums to p_node - p_other_w (the peripheral draw is a
+  /// known constant, paper §5.2). Bounded by projection_limit to avoid
+  /// amplifying bad node inputs. Only applies when include_pnode is true.
+  bool consistency_projection = true;
+  double p_other_w = 25.0;
+  double projection_limit = 0.35;  // max relative rescale
+  double projection_weight = 0.6;  // blend between raw (0) and projected (1)
+  double augment_cpu_lo = 0.8;
+  double augment_cpu_hi = 1.3;
+  double augment_mem_lo = 0.85;
+  double augment_mem_hi = 1.2;
+  std::uint64_t seed = 131;
+};
+
+struct ComponentEstimate {
+  double cpu_w = 0.0;
+  double mem_w = 0.0;
+};
+
+class Srr {
+ public:
+  explicit Srr(SrrConfig cfg = {});
+
+  /// Train from per-tick PMC features, node power (measured or TRR output)
+  /// and component ground-truth labels.
+  void fit(const math::Matrix& pmcs, std::span<const double> p_node,
+           std::span<const double> p_cpu, std::span<const double> p_mem);
+
+  /// Warm-start fine-tune on reinforcement samples (active learning stage).
+  void fine_tune(const math::Matrix& pmcs, std::span<const double> p_node,
+                 std::span<const double> p_cpu, std::span<const double> p_mem,
+                 std::size_t epochs);
+
+  ComponentEstimate predict_one(std::span<const double> pmcs,
+                                double p_node) const;
+  /// Batch prediction, one estimate per row.
+  std::vector<ComponentEstimate> predict(const math::Matrix& pmcs,
+                                         std::span<const double> p_node) const;
+
+  bool fitted() const noexcept { return net_.fitted(); }
+  const SrrConfig& config() const noexcept { return cfg_; }
+  const ml::Mlp& network() const noexcept { return net_; }
+
+ private:
+  math::Matrix assemble(const math::Matrix& pmcs,
+                        std::span<const double> p_node) const;
+
+  SrrConfig cfg_;
+  ml::Mlp net_;
+};
+
+/// Assembled SRR training set across runs.
+struct SrrTrainingSet {
+  math::Matrix x;  // PMC features only (node power kept separately)
+  std::vector<double> p_node;
+  std::vector<double> p_cpu;
+  std::vector<double> p_mem;
+};
+
+/// Build the SRR training set from collected runs: the node feature is each
+/// run's TRR restoration (paper Fig 3: P'_Node feeds SRR), and — when
+/// cfg.augment_copies > 0 — each run is additionally replayed as virtual
+/// applications whose component powers are rescaled by per-copy factors
+/// (a, b) drawn from [augment_lo, augment_hi], with the node feature shifted
+/// consistently (node' = node + (a-1)·cpu + (b-1)·mem).
+///
+/// The augmentation mirrors reality: the same PMC readings can correspond to
+/// very different component powers depending on instruction mix, so a model
+/// trained across diverse (virtual) applications must route the node-power
+/// information instead of memorizing a PMC-only mapping. This is what makes
+/// the bi-directional design pay off (Table 8).
+SrrTrainingSet build_srr_training_set(
+    std::span<const measure::CollectedRun> runs, const SrrConfig& srr_cfg,
+    const struct StaticTrrConfig& trr_cfg);
+
+}  // namespace highrpm::core

@@ -1,0 +1,25 @@
+// Minimal CSV reader/writer for persisting traces and bench outputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace highrpm::data {
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  std::size_t num_rows() const noexcept { return rows.size(); }
+  std::size_t num_cols() const noexcept { return header.size(); }
+  /// Column values by name; throws std::out_of_range if absent.
+  std::vector<double> column(const std::string& name) const;
+};
+
+/// Write a numeric table with header. Throws std::runtime_error on I/O error.
+void write_csv(const std::string& path, const CsvTable& table);
+
+/// Parse a numeric CSV (all fields after the header must parse as double).
+CsvTable read_csv(const std::string& path);
+
+}  // namespace highrpm::data

@@ -1,0 +1,64 @@
+// Tabular dataset container: a feature matrix with named columns plus one or
+// more named target vectors. This is the currency between measure::Collector
+// (which produces aligned PMC/power samples) and the models in ml:: / core::.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "highrpm/math/matrix.hpp"
+
+namespace highrpm::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(math::Matrix features, std::vector<std::string> feature_names);
+
+  std::size_t num_samples() const noexcept { return features_.rows(); }
+  std::size_t num_features() const noexcept { return features_.cols(); }
+
+  const math::Matrix& features() const noexcept { return features_; }
+  math::Matrix& features() noexcept { return features_; }
+  const std::vector<std::string>& feature_names() const noexcept {
+    return feature_names_;
+  }
+
+  /// Index of a named feature column; throws std::out_of_range if absent.
+  std::size_t feature_index(const std::string& name) const;
+  bool has_feature(const std::string& name) const noexcept;
+
+  /// Register/overwrite a target column. Length must equal num_samples()
+  /// (or define it, if this is the first column on an empty dataset).
+  void set_target(const std::string& name, std::vector<double> values);
+  const std::vector<double>& target(const std::string& name) const;
+  bool has_target(const std::string& name) const noexcept;
+  std::vector<std::string> target_names() const;
+
+  /// Append one sample row + its target values (targets must already exist,
+  /// and values must cover all of them in target_names() order).
+  void append_row(std::span<const double> row,
+                  std::span<const double> target_values);
+
+  /// New dataset containing the given sample rows (targets subset too).
+  Dataset select_rows(std::span<const std::size_t> indices) const;
+  /// First n rows / rows [start, start+n).
+  Dataset slice(std::size_t start, std::size_t n) const;
+  /// Concatenate rows of another dataset (schemas must match exactly).
+  void concat(const Dataset& other);
+
+  /// Add a feature column (e.g. injecting P_Node as an SRR input).
+  void add_feature(const std::string& name, std::span<const double> values);
+  /// Drop a feature column by name (for the Table-8 ablation).
+  Dataset without_feature(const std::string& name) const;
+
+ private:
+  math::Matrix features_;
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> target_names_;
+  std::vector<std::vector<double>> targets_;
+};
+
+}  // namespace highrpm::data

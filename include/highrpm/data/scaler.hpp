@@ -1,0 +1,59 @@
+// Feature scaling. PMC counts span ~9 orders of magnitude (cycles vs. branch
+// misses), so every gradient-based model in ml:: standardizes its inputs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "highrpm/math/matrix.hpp"
+
+namespace highrpm::data {
+
+/// Zero-mean / unit-variance standardization per column.
+class StandardScaler {
+ public:
+  void fit(const math::Matrix& x);
+  math::Matrix transform(const math::Matrix& x) const;
+  std::vector<double> transform_row(std::span<const double> row) const;
+  math::Matrix fit_transform(const math::Matrix& x);
+  bool fitted() const noexcept { return !mean_.empty(); }
+
+  const std::vector<double>& means() const noexcept { return mean_; }
+  const std::vector<double>& stddevs() const noexcept { return std_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+/// Min-max scaling to [0, 1] per column (constant columns map to 0).
+class MinMaxScaler {
+ public:
+  void fit(const math::Matrix& x);
+  math::Matrix transform(const math::Matrix& x) const;
+  std::vector<double> transform_row(std::span<const double> row) const;
+  math::Matrix fit_transform(const math::Matrix& x);
+  bool fitted() const noexcept { return !min_.empty(); }
+
+ private:
+  std::vector<double> min_;
+  std::vector<double> range_;
+};
+
+/// Scalar target standardization with inverse transform.
+class TargetScaler {
+ public:
+  void fit(std::span<const double> y);
+  std::vector<double> transform(std::span<const double> y) const;
+  double transform_one(double y) const;
+  std::vector<double> inverse(std::span<const double> y) const;
+  double inverse_one(double y) const;
+  bool fitted() const noexcept { return fitted_; }
+
+ private:
+  double mean_ = 0.0;
+  double std_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace highrpm::data

@@ -1,0 +1,39 @@
+// Train/test splitting and k-fold cross-validation (paper §5.3 uses 5-fold
+// CV plus a 7-way suite-level seen/unseen protocol built on top of these).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::data {
+
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Random shuffled split with the given test fraction.
+SplitIndices train_test_split(std::size_t n, double test_fraction,
+                              math::Rng& rng);
+
+/// Deterministic contiguous split (preserves time ordering; required for
+/// time-series models where shuffling would leak the future).
+SplitIndices chronological_split(std::size_t n, double test_fraction);
+
+/// K-fold cross validation indices. If shuffle is true the fold assignment
+/// is randomized via rng; otherwise folds are contiguous blocks.
+class KFold {
+ public:
+  KFold(std::size_t n_splits, bool shuffle = false);
+  std::vector<SplitIndices> split(std::size_t n, math::Rng& rng) const;
+  std::size_t n_splits() const noexcept { return n_splits_; }
+
+ private:
+  std::size_t n_splits_;
+  bool shuffle_;
+};
+
+}  // namespace highrpm::data

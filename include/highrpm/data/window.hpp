@@ -1,0 +1,34 @@
+// Sliding-window sequence construction for the recurrent models (paper Fig 4):
+// each DynamicTRR sample s'(i) is a (miss_interval x (m+1)) block of
+// [PMC..., P'_Node(prev)] rows whose label is the vector of the window's
+// miss_interval node-power values.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "highrpm/math/matrix.hpp"
+
+namespace highrpm::data {
+
+/// One recurrent training sample: a sequence of feature rows plus a label
+/// vector (one label per step, per Fig 4's <P(i) ... P(i+miss-1)> labels).
+struct SequenceSample {
+  math::Matrix steps;          // window x feature_dim
+  std::vector<double> labels;  // window labels (node power per step)
+};
+
+/// Build (n - window + 1) overlapping windows from a flat feature matrix and
+/// a label series. Throws if n < window.
+std::vector<SequenceSample> make_windows(const math::Matrix& features,
+                                         std::span<const double> labels,
+                                         std::size_t window);
+
+/// Like make_windows but appends the *previous step's* label as an extra
+/// trailing feature on every row (the paper's P'_Node(i-1) feature); the
+/// first row of the series uses `initial_prev`.
+std::vector<SequenceSample> make_windows_with_prev_label(
+    const math::Matrix& features, std::span<const double> labels,
+    std::size_t window, double initial_prev);
+
+}  // namespace highrpm::data

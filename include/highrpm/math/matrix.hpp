@@ -1,0 +1,96 @@
+// Dense row-major matrix and vector utilities used throughout HighRPM.
+//
+// This is deliberately a small, dependency-free linear-algebra core: the
+// models in highrpm::ml need matrix products, transposed products, and a
+// couple of factorizations (Cholesky, QR least squares in solve.hpp) — not a
+// full BLAS. Everything is double precision and value-semantic.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace highrpm::math {
+
+/// Dense row-major matrix of doubles.
+///
+/// Invariants: data_.size() == rows_ * cols_ always holds; a
+/// default-constructed matrix is 0x0 and usable as an empty value.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Build from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  /// Wrap a flat row-major buffer (copies the data).
+  static Matrix from_rows(std::size_t rows, std::size_t cols,
+                          std::span<const double> flat);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// View of row r as a contiguous span.
+  std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::vector<double> col(std::size_t c) const;
+
+  std::span<double> flat() noexcept { return data_; }
+  std::span<const double> flat() const noexcept { return data_; }
+
+  Matrix transposed() const;
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  bool same_shape(const Matrix& o) const noexcept {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B. Throws std::invalid_argument on shape mismatch.
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A^T * A (symmetric; computed exploiting symmetry).
+Matrix gram(const Matrix& a);
+/// y = A * x.
+std::vector<double> matvec(const Matrix& a, std::span<const double> x);
+/// y = A^T * x.
+std::vector<double> matvec_t(const Matrix& a, std::span<const double> x);
+
+// --- small vector helpers (free functions over std::span/std::vector) ---
+
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);
+/// a += s * b
+void axpy(double s, std::span<const double> b, std::span<double> a);
+void scale(std::span<double> a, double s);
+std::vector<double> vec_add(std::span<const double> a, std::span<const double> b);
+std::vector<double> vec_sub(std::span<const double> a, std::span<const double> b);
+
+}  // namespace highrpm::math

@@ -1,0 +1,34 @@
+// Error metrics from the paper's §5.5: MAPE, RMSE, MAE, R².
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace highrpm::math {
+
+/// Mean absolute percentage error, in percent. Observations with
+/// |y_true| < eps are skipped (matching common MAPE implementations);
+/// returns 0 if every observation is skipped.
+double mape(std::span<const double> y_true, std::span<const double> y_pred,
+            double eps = 1e-9);
+double rmse(std::span<const double> y_true, std::span<const double> y_pred);
+double mae(std::span<const double> y_true, std::span<const double> y_pred);
+/// Coefficient of determination; 1 - SS_res/SS_tot. Returns 0 when y_true is
+/// constant (undefined R²).
+double r2(std::span<const double> y_true, std::span<const double> y_pred);
+
+/// All four metrics bundled — the row format used by the paper's tables.
+struct MetricReport {
+  double mape = 0.0;
+  double rmse = 0.0;
+  double mae = 0.0;
+  double r2 = 0.0;
+
+  /// "MAPE=.. RMSE=.. MAE=.. R2=.." single-line rendering.
+  std::string to_string() const;
+};
+
+MetricReport evaluate_metrics(std::span<const double> y_true,
+                              std::span<const double> y_pred);
+
+}  // namespace highrpm::math

@@ -1,0 +1,38 @@
+// Linear solvers used by the regression models: Cholesky for SPD normal
+// equations (ridge / linear regression) and Householder QR for plain
+// least squares when the Gram matrix is ill-conditioned.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "highrpm/math/matrix.hpp"
+
+namespace highrpm::math {
+
+/// Solve A x = b for symmetric positive-definite A via Cholesky.
+/// Throws std::domain_error if A is not (numerically) SPD.
+std::vector<double> solve_cholesky(const Matrix& a, std::span<const double> b);
+
+/// Minimize ||A x - b||_2 via Householder QR (A.rows() >= A.cols()).
+/// Rank-deficient columns get a zero coefficient rather than throwing.
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        std::span<const double> b);
+
+/// Solve the ridge-regularized normal equations (A^T A + lambda I) x = A^T b.
+/// The intercept column (if flagged) is excluded from regularization by
+/// passing its index; pass SIZE_MAX to regularize everything.
+std::vector<double> solve_ridge(const Matrix& a, std::span<const double> b,
+                                double lambda,
+                                std::size_t unpenalized_col = SIZE_MAX);
+
+/// Natural-spline style tridiagonal solve (Thomas algorithm).
+/// diag/lower/upper are the three bands; rhs is overwritten conceptually but
+/// passed by value. All bands must describe a diagonally dominant system.
+std::vector<double> solve_tridiagonal(std::span<const double> lower,
+                                      std::span<const double> diag,
+                                      std::span<const double> upper,
+                                      std::vector<double> rhs);
+
+}  // namespace highrpm::math

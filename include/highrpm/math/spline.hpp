@@ -1,0 +1,50 @@
+// Natural cubic spline interpolation — the long-term trend estimator used by
+// StaticTRR (paper §4.2.1). Knots are the sparse IPMI readings; evaluation
+// between knots reconstructs the 1 Sa/s trend. Outside the knot range we
+// extrapolate with the boundary cubic clamped to linear to avoid blow-up.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace highrpm::math {
+
+/// Natural cubic spline through (x_i, y_i) with strictly increasing x.
+class CubicSpline {
+ public:
+  CubicSpline() = default;
+  /// Throws std::invalid_argument if fewer than 2 points or x not increasing.
+  CubicSpline(std::span<const double> x, std::span<const double> y);
+
+  bool fitted() const noexcept { return !x_.empty(); }
+  std::size_t knots() const noexcept { return x_.size(); }
+
+  /// Evaluate the spline at t (linear extrapolation outside the knot range).
+  double operator()(double t) const;
+  std::vector<double> evaluate(std::span<const double> t) const;
+
+  /// First derivative at t.
+  double derivative(double t) const;
+
+ private:
+  std::size_t segment(double t) const;
+
+  std::vector<double> x_;
+  std::vector<double> y_;
+  // Per-segment cubic coefficients: y = a + b dt + c dt^2 + d dt^3.
+  std::vector<double> b_, c_, d_;
+};
+
+/// Piecewise-linear interpolation (baseline for comparisons / tests).
+class LinearInterp {
+ public:
+  LinearInterp() = default;
+  LinearInterp(std::span<const double> x, std::span<const double> y);
+  double operator()(double t) const;
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+}  // namespace highrpm::math

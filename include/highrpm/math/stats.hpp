@@ -1,0 +1,27 @@
+// Descriptive statistics helpers shared by the simulator, the models and the
+// evaluation harness.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace highrpm::math {
+
+double mean(std::span<const double> v);
+/// Population variance (divide by n). Returns 0 for n < 1.
+double variance(std::span<const double> v);
+double stddev(std::span<const double> v);
+double min_value(std::span<const double> v);
+double max_value(std::span<const double> v);
+/// Linear-interpolated quantile, q in [0, 1].
+double quantile(std::vector<double> v, double q);
+double median(std::vector<double> v);
+/// Pearson correlation; returns 0 when either side is constant.
+double pearson(std::span<const double> a, std::span<const double> b);
+/// Lag-k autocorrelation of a series; returns 0 when variance is ~0.
+double autocorrelation(std::span<const double> v, std::size_t lag);
+/// Simple moving average with a centered window of the given (odd) width.
+std::vector<double> moving_average(std::span<const double> v,
+                                   std::size_t window);
+
+}  // namespace highrpm::math

@@ -1,0 +1,70 @@
+// Collector: runs a workload on the simulated node in "standalone mode" and
+// produces the aligned measurement record everything downstream consumes —
+// sampled PMC features, sparse IPMI node-power readings, dense rig-based
+// component readings, and the simulator ground truth (kept only for
+// evaluation). This is the boundary that preserves the paper's deployment
+// contract: highrpm::core sees only what a real system would expose.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "highrpm/data/dataset.hpp"
+#include "highrpm/measure/direct.hpp"
+#include "highrpm/measure/ipmi.hpp"
+#include "highrpm/measure/pmc_sampler.hpp"
+#include "highrpm/sim/node.hpp"
+
+namespace highrpm::measure {
+
+struct CollectorConfig {
+  IpmiConfig ipmi;
+  DirectRigConfig rig;
+  PmcSamplerConfig pmc;
+};
+
+/// Everything recorded while a workload ran.
+struct CollectedRun {
+  std::string workload_name;
+  std::string suite;
+
+  /// Feature table: one row per tick, columns = PMC event names.
+  /// Targets: "P_NODE" (dense ground-truth node power), "P_CPU" and "P_MEM"
+  /// (direct-rig readings, the paper's component ground truth).
+  data::Dataset dataset;
+
+  /// True iff an IPMI reading is available at this tick (set A vs. set B in
+  /// the StaticTRR construction of §4.2.1).
+  std::vector<bool> measured;
+  std::vector<IpmiReading> ipmi_readings;
+
+  /// Full simulator ground truth — evaluation only.
+  sim::Trace truth;
+
+  std::size_t num_ticks() const noexcept { return dataset.num_samples(); }
+  /// Indices of measured (labeled) ticks.
+  std::vector<std::size_t> measured_indices() const;
+};
+
+class Collector {
+ public:
+  explicit Collector(CollectorConfig cfg = {});
+
+  /// Run `ticks` seconds of the workload at the platform's default DVFS
+  /// level (or `freq_level` when given) and record everything.
+  CollectedRun collect(const sim::PlatformConfig& platform,
+                       const sim::Workload& workload, std::size_t ticks,
+                       std::uint64_t seed,
+                       std::size_t freq_level = SIZE_MAX);
+
+  const CollectorConfig& config() const noexcept { return cfg_; }
+
+ private:
+  CollectorConfig cfg_;
+};
+
+/// Feature-name list used for all collected datasets (the PMC event names).
+std::vector<std::string> pmc_feature_names();
+
+}  // namespace highrpm::measure

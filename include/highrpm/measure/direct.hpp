@@ -1,0 +1,41 @@
+// The direct-measurement rig of paper §5.2: jumper-wired voltage-domain
+// registers (0x8b / 0x8c) read at 1 Sa/s with a 0.1 W error. It supplies
+// dense ground-truth component power for *training and evaluation only* —
+// the deployed HighRPM never needs it, exactly as in the paper (the rig
+// "is unsuitable for large-scale deployments").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "highrpm/math/rng.hpp"
+#include "highrpm/sim/trace.hpp"
+
+namespace highrpm::measure {
+
+struct DirectRigConfig {
+  double reading_error_w = 0.1;  // paper: "a power reading error of 0.1W"
+  std::uint64_t seed = 401;
+};
+
+struct ComponentReading {
+  double time_s = 0.0;
+  double cpu_w = 0.0;
+  double mem_w = 0.0;
+};
+
+class DirectMeasurementRig {
+ public:
+  explicit DirectMeasurementRig(DirectRigConfig cfg = {});
+
+  ComponentReading read(const sim::TickSample& tick);
+  std::vector<ComponentReading> read_trace(const sim::Trace& trace);
+
+  const DirectRigConfig& config() const noexcept { return cfg_; }
+
+ private:
+  DirectRigConfig cfg_;
+  math::Rng rng_;
+};
+
+}  // namespace highrpm::measure

@@ -1,0 +1,54 @@
+// General integrated measurement (GIM): a simulated IPMI/BMC node-power
+// sensor. It reproduces the properties the paper attributes to IPMI-class
+// readings (§2.2): a long read-out interval (>= 10 s, i.e. <= 0.1 Sa/s),
+// coarse quantization, a small sensor error, and a read-out delay — the
+// reading returned at poll time reflects the power `readout_delay_s` ago.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "highrpm/math/rng.hpp"
+#include "highrpm/sim/trace.hpp"
+
+namespace highrpm::measure {
+
+struct IpmiConfig {
+  double interval_s = 10.0;      // seconds between readings (miss_interval)
+  double readout_delay_s = 1.0;  // staleness of the returned value
+  double quantization_w = 1.0;   // reading resolution in watts
+  double sensor_noise_w = 0.5;   // gaussian sensor error
+  std::uint64_t seed = 301;
+};
+
+struct IpmiReading {
+  double time_s = 0.0;   // when the reading became available
+  double power_w = 0.0;  // quantized, delayed node power
+  std::size_t tick_index = 0;
+};
+
+/// Streaming IPMI sensor: feed every simulator tick; a reading pops out
+/// every `interval_s` ticks.
+class IpmiSensor {
+ public:
+  explicit IpmiSensor(IpmiConfig cfg = {});
+
+  /// Offer one tick; returns a reading when the interval elapses.
+  std::optional<IpmiReading> offer(const sim::TickSample& tick);
+
+  /// Convenience: sample a whole trace at once.
+  std::vector<IpmiReading> sample_trace(const sim::Trace& trace);
+
+  const IpmiConfig& config() const noexcept { return cfg_; }
+  void reset();
+
+ private:
+  IpmiConfig cfg_;
+  math::Rng rng_;
+  std::size_t ticks_seen_ = 0;
+  std::deque<std::pair<std::size_t, double>> history_;  // (tick, node power)
+};
+
+}  // namespace highrpm::measure

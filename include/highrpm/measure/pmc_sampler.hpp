@@ -1,0 +1,48 @@
+// PMC sampling subsystem: the stand-in for the paper's loadable kernel
+// module that reads per-core counters at 1 Sa/s and aggregates them (§5.2).
+// Real PMU sampling is imperfect — counters are read one core at a time and
+// may be multiplexed — so the sampler adds configurable relative read noise
+// and (optionally) event multiplexing, where only a subset of events is
+// live each tick and the rest are extrapolated from their last value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "highrpm/math/rng.hpp"
+#include "highrpm/sim/pmc.hpp"
+#include "highrpm/sim/trace.hpp"
+
+namespace highrpm::measure {
+
+struct PmcSamplerConfig {
+  double relative_noise = 0.015;  // per-event relative read noise
+  /// Number of hardware counter slots; if < kNumPmcEvents the sampler
+  /// multiplexes, rotating which events are live each tick. 0 = no
+  /// multiplexing (all events live every tick).
+  std::size_t counter_slots = 0;
+  std::uint64_t seed = 601;
+};
+
+class PmcSampler {
+ public:
+  explicit PmcSampler(PmcSamplerConfig cfg = {});
+
+  /// Sampled counter rates for one tick.
+  sim::PmcVector sample(const sim::TickSample& tick);
+
+  /// Sample a full trace into an (n x kNumPmcEvents) matrix.
+  math::Matrix sample_trace(const sim::Trace& trace);
+
+  const PmcSamplerConfig& config() const noexcept { return cfg_; }
+  void reset();
+
+ private:
+  PmcSamplerConfig cfg_;
+  math::Rng rng_;
+  sim::PmcVector last_{};
+  std::size_t rotation_ = 0;
+  bool has_last_ = false;
+};
+
+}  // namespace highrpm::measure

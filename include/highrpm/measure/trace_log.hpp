@@ -1,0 +1,27 @@
+// Power-log persistence: save a CollectedRun to a CSV power log and load it
+// back. This is the substrate for StaticTRR's primary use case — offline
+// "historical power log analysis" (paper §4.2) — and lets monitoring data
+// collected on one machine be analyzed on another.
+//
+// Format: one row per tick with columns
+//   tick, <PMC events...>, P_NODE, P_CPU, P_MEM, measured, ipmi_w,
+//   truth_cpu, truth_mem, truth_other
+// `measured` is 0/1; `ipmi_w` is the IM reading at measured ticks (0
+// elsewhere). Ground-truth columns are optional on load (files from real
+// deployments won't have them); absent truth is reconstructed from the
+// target columns so evaluation helpers keep working.
+#pragma once
+
+#include <string>
+
+#include "highrpm/measure/collector.hpp"
+
+namespace highrpm::measure {
+
+/// Write the run to `path` (CSV). Throws std::runtime_error on I/O error.
+void save_run(const std::string& path, const CollectedRun& run);
+
+/// Read a run back. Throws std::runtime_error on parse/shape errors.
+CollectedRun load_run(const std::string& path);
+
+}  // namespace highrpm::measure

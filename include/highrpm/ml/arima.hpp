@@ -1,0 +1,81 @@
+// AR / ARIMA-style time-series modeling.
+//
+// Paper §4.2.1 names ARIMA together with splines as the classical
+// interpolation family that "can only estimate missing data points based on
+// long-term trends": ArimaInterpolator is that baseline, used by the
+// Table-6 bench as an extra TRR-family row and available to users as a
+// lightweight trend model.
+//
+// The implementation is a least-squares AR(p) on a d-times differenced
+// series (no MA term — invertible MA fitting buys little for power trends
+// and costs a nonlinear optimizer). Gap interpolation blends the forward
+// forecast from the left knots with the backward "forecast" from the
+// right knots (time-reversed AR), linearly weighted by gap position.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace highrpm::ml {
+
+/// Autoregressive model of order p with intercept, fit by least squares.
+class ArModel {
+ public:
+  explicit ArModel(std::size_t order = 2);
+
+  /// Fit on a regularly-sampled series (needs > order + 1 points).
+  void fit(std::span<const double> series);
+
+  /// One-step-ahead prediction given the last `order` values
+  /// (most recent last).
+  double predict_next(std::span<const double> recent) const;
+
+  /// Forecast h steps ahead from the end of `history`.
+  std::vector<double> forecast(std::span<const double> history,
+                               std::size_t horizon) const;
+
+  bool fitted() const noexcept { return !coef_.empty(); }
+  std::size_t order() const noexcept { return order_; }
+  std::span<const double> coefficients() const noexcept { return coef_; }
+  double intercept() const noexcept { return intercept_; }
+
+ private:
+  std::size_t order_;
+  std::vector<double> coef_;  // lag-1 first
+  double intercept_ = 0.0;
+};
+
+struct ArimaConfig {
+  std::size_t p = 2;  // AR order
+  std::size_t d = 1;  // differencing order (0 or 1)
+};
+
+/// Interpolates a sparse regularly-spaced series onto a dense grid:
+/// readings are at ticks {0, interval, 2*interval, ...}; the interpolator
+/// returns one value per tick in [0, n_ticks). This is the ARIMA-family
+/// counterpart of the spline trend model.
+class ArimaInterpolator {
+ public:
+  explicit ArimaInterpolator(ArimaConfig cfg = {});
+
+  /// Fit on the sparse reading values (in time order, constant spacing).
+  void fit(std::span<const double> readings);
+
+  /// Dense reconstruction: `reading_ticks[i]` is the tick index of
+  /// readings[i]; ticks outside the reading range extrapolate the nearest
+  /// model. reading_ticks must be strictly increasing.
+  std::vector<double> interpolate(std::span<const double> readings,
+                                  std::span<const std::size_t> reading_ticks,
+                                  std::size_t n_ticks) const;
+
+  bool fitted() const noexcept { return forward_.fitted(); }
+  const ArimaConfig& config() const noexcept { return cfg_; }
+
+ private:
+  ArimaConfig cfg_;
+  ArModel forward_;
+  ArModel backward_;
+};
+
+}  // namespace highrpm::ml

@@ -1,0 +1,33 @@
+// Factory for the twelve Table-4 baseline models the paper compares against.
+// Pointwise models come back as ml::Regressor; the two recurrent baselines
+// (GRU, LSTM) are SequenceRegressors "built based on the structure of
+// HighRPM" (§5.4) and are constructed via make_rnn_baseline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "highrpm/ml/regressor.hpp"
+#include "highrpm/ml/rnn.hpp"
+
+namespace highrpm::ml {
+
+/// Names of the ten pointwise baselines in Table-4 order.
+std::vector<std::string> pointwise_baseline_names();
+
+/// Construct a pointwise baseline by Table-4 abbreviation
+/// ("LR", "LaR", "RR", "SGD", "DT", "RF", "GB", "KNN", "SVM", "NN").
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<Regressor> make_baseline(const std::string& abbreviation,
+                                         std::uint64_t seed = 1);
+
+/// Construct one of the recurrent baselines ("GRU" or "LSTM"), with the
+/// paper's #units=2 and the HighRPM window structure.
+SequenceRegressor make_rnn_baseline(const std::string& abbreviation,
+                                    std::uint64_t seed = 1);
+
+/// All twelve names, Table-4 order (pointwise then RNN).
+std::vector<std::string> all_baseline_names();
+
+}  // namespace highrpm::ml

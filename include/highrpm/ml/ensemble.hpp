@@ -1,0 +1,59 @@
+// Tree ensembles from Table 4: RandomForest (#trees=10) and
+// GradientBoosting (#trees=10).
+#pragma once
+
+#include "highrpm/ml/tree.hpp"
+
+namespace highrpm::ml {
+
+struct ForestConfig {
+  std::size_t n_trees = 10;
+  TreeConfig tree;
+  /// Fraction of features considered per split (sqrt rule when 0).
+  double feature_fraction = 0.0;
+  std::uint64_t seed = 7;
+};
+
+/// Bagged regression forest: bootstrap rows, random feature subsets.
+class RandomForestRegressor final : public Regressor {
+ public:
+  explicit RandomForestRegressor(ForestConfig cfg = {});
+  void fit(const math::Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> row) const override;
+  std::unique_ptr<Regressor> clone() const override;
+  std::string name() const override { return "RF"; }
+  bool fitted() const override { return !trees_.empty(); }
+  std::size_t size() const noexcept { return trees_.size(); }
+
+ private:
+  ForestConfig cfg_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+struct BoostingConfig {
+  std::size_t n_trees = 10;
+  double learning_rate = 0.3;
+  TreeConfig tree{.max_depth = 4, .min_samples_split = 8,
+                  .min_samples_leaf = 4};
+  std::uint64_t seed = 11;
+};
+
+/// Gradient boosting on squared error: each stage fits the residual.
+class GradientBoostingRegressor final : public Regressor {
+ public:
+  explicit GradientBoostingRegressor(BoostingConfig cfg = {});
+  void fit(const math::Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> row) const override;
+  std::unique_ptr<Regressor> clone() const override;
+  std::string name() const override { return "GB"; }
+  bool fitted() const override { return fitted_; }
+  std::size_t size() const noexcept { return trees_.size(); }
+
+ private:
+  BoostingConfig cfg_;
+  double base_ = 0.0;
+  bool fitted_ = false;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace highrpm::ml

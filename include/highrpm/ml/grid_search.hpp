@@ -1,0 +1,48 @@
+// Cross-validated hyperparameter search — the paper's §5.4 tunes every
+// fine-tuned baseline "with GridSearch ... in each cross-validation".
+// Candidates are model factories so a grid over any hyperparameter of any
+// Regressor can be expressed without reflection.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "highrpm/math/matrix.hpp"
+#include "highrpm/ml/regressor.hpp"
+
+namespace highrpm::ml {
+
+using RegressorFactory = std::function<std::unique_ptr<Regressor>()>;
+
+enum class CvMetric { kMape, kRmse, kMae };
+
+struct GridSearchConfig {
+  std::size_t folds = 5;  // paper: 5-fold cross-validation
+  CvMetric metric = CvMetric::kMape;
+  std::uint64_t seed = 911;
+  bool shuffle = true;
+};
+
+struct GridSearchResult {
+  std::size_t best_index = 0;
+  double best_score = 0.0;
+  /// Fold-averaged CV score per candidate, candidate order preserved.
+  std::vector<double> scores;
+};
+
+/// Evaluate every candidate with k-fold CV on (x, y) and return the scores
+/// and the argmin. Throws std::invalid_argument on an empty grid or data
+/// too small for the fold count.
+GridSearchResult grid_search(std::span<const RegressorFactory> candidates,
+                             const math::Matrix& x, std::span<const double> y,
+                             const GridSearchConfig& cfg = {});
+
+/// Convenience: run grid_search and return the winning model trained on the
+/// full dataset.
+std::unique_ptr<Regressor> fit_best(std::span<const RegressorFactory> candidates,
+                                    const math::Matrix& x,
+                                    std::span<const double> y,
+                                    const GridSearchConfig& cfg = {});
+
+}  // namespace highrpm::ml

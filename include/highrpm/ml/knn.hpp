@@ -1,0 +1,28 @@
+// K-nearest-neighbour regression (Table 4: #neighbors=3). Brute-force search
+// on standardized features — training sets here are a few thousand rows, so
+// an index structure would cost more than it saves.
+#pragma once
+
+#include "highrpm/data/scaler.hpp"
+#include "highrpm/ml/regressor.hpp"
+
+namespace highrpm::ml {
+
+class KnnRegressor final : public Regressor {
+ public:
+  explicit KnnRegressor(std::size_t k = 3, bool distance_weighted = false);
+  void fit(const math::Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> row) const override;
+  std::unique_ptr<Regressor> clone() const override;
+  std::string name() const override { return "KNN"; }
+  bool fitted() const override { return !y_.empty(); }
+
+ private:
+  std::size_t k_;
+  bool distance_weighted_;
+  data::StandardScaler scaler_;
+  math::Matrix x_;  // standardized training features
+  std::vector<double> y_;
+};
+
+}  // namespace highrpm::ml

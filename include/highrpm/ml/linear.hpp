@@ -1,0 +1,89 @@
+// Linear baselines from Table 4: ordinary least squares (Powell-style LR),
+// Lasso (coordinate descent), Ridge (closed form), and SGD regression.
+#pragma once
+
+#include "highrpm/data/scaler.hpp"
+#include "highrpm/math/rng.hpp"
+#include "highrpm/ml/regressor.hpp"
+
+namespace highrpm::ml {
+
+/// Ordinary least-squares linear regression with intercept (QR solve).
+class LinearRegression final : public Regressor {
+ public:
+  void fit(const math::Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> row) const override;
+  std::unique_ptr<Regressor> clone() const override;
+  std::string name() const override { return "LR"; }
+  bool fitted() const override { return !coef_.empty(); }
+
+  std::span<const double> coefficients() const noexcept { return coef_; }
+  double intercept() const noexcept { return intercept_; }
+
+ private:
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+/// Ridge regression: (X^T X + lambda I) w = X^T y with unpenalized intercept.
+class RidgeRegression final : public Regressor {
+ public:
+  explicit RidgeRegression(double lambda = 1.0);
+  void fit(const math::Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> row) const override;
+  std::unique_ptr<Regressor> clone() const override;
+  std::string name() const override { return "RR"; }
+  bool fitted() const override { return !coef_.empty(); }
+
+ private:
+  double lambda_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+/// Lasso via cyclic coordinate descent on standardized features.
+class LassoRegression final : public Regressor {
+ public:
+  explicit LassoRegression(double alpha = 0.01, std::size_t max_iter = 1000,
+                           double tol = 1e-6);
+  void fit(const math::Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> row) const override;
+  std::unique_ptr<Regressor> clone() const override;
+  std::string name() const override { return "LaR"; }
+  bool fitted() const override { return !coef_.empty(); }
+
+  /// Number of exactly-zero coefficients after fitting (sparsity check).
+  std::size_t num_zero_coefficients() const;
+
+ private:
+  double alpha_;
+  std::size_t max_iter_;
+  double tol_;
+  data::StandardScaler scaler_;
+  std::vector<double> coef_;  // in standardized space
+  double intercept_ = 0.0;    // in standardized space (mean of y)
+};
+
+/// Squared-error SGD regression (paper: squared_error, max_iter=10000) on
+/// standardized features with inverse-scaling learning rate.
+class SgdRegression final : public Regressor {
+ public:
+  explicit SgdRegression(double eta0 = 0.01, std::size_t max_iter = 10000,
+                         double l2 = 1e-4, std::uint64_t seed = 17);
+  void fit(const math::Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> row) const override;
+  std::unique_ptr<Regressor> clone() const override;
+  std::string name() const override { return "SGD"; }
+  bool fitted() const override { return !coef_.empty(); }
+
+ private:
+  double eta0_;
+  std::size_t max_iter_;
+  double l2_;
+  std::uint64_t seed_;
+  data::StandardScaler scaler_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace highrpm::ml

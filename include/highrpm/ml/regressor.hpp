@@ -1,0 +1,48 @@
+// Common interface for the pointwise (non-recurrent) regression models.
+//
+// All twelve Table-4 baselines plus HighRPM's internal ResModel and SRR are
+// programmed against this interface so the evaluation harness can sweep them
+// uniformly. Models own any internal preprocessing (scaling etc.) so that
+// fit/predict always speak raw feature units.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "highrpm/math/matrix.hpp"
+
+namespace highrpm::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Train on rows of x against targets y (y.size() == x.rows()).
+  virtual void fit(const math::Matrix& x, std::span<const double> y) = 0;
+
+  /// Predict a single sample (row width must match training width).
+  virtual double predict_one(std::span<const double> row) const = 0;
+
+  /// Batch prediction; default loops over predict_one.
+  virtual std::vector<double> predict(const math::Matrix& x) const;
+
+  /// Fresh unfitted copy with identical hyperparameters.
+  virtual std::unique_ptr<Regressor> clone() const = 0;
+
+  /// Human-readable short name ("LR", "DT", ...).
+  virtual std::string name() const = 0;
+
+  virtual bool fitted() const = 0;
+
+ protected:
+  /// Throws std::invalid_argument unless x/y agree and are non-empty.
+  static void check_training_input(const math::Matrix& x,
+                                   std::span<const double> y);
+  /// Throws std::logic_error / std::invalid_argument on bad predict calls.
+  static void check_predict_input(bool is_fitted, std::size_t expected_width,
+                                  std::span<const double> row);
+};
+
+}  // namespace highrpm::ml

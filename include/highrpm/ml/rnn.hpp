@@ -1,0 +1,112 @@
+// Recurrent sequence regressors: stacked LSTM or GRU cells plus a shared
+// fully-connected output head, trained with truncated BPTT over the
+// fixed-length windows produced by data::make_windows*.
+//
+// This implements the paper's DynamicTRR network ("a compact LSTM model with
+// an input layer, two hidden layers, and a fully connected layer", units = 2
+// per Table 4) and the GRU/LSTM baselines. Supports warm-start fine-tuning:
+// DynamicTRR refines the trained model with the newest window every time a
+// real IM reading arrives (§4.2.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "highrpm/data/scaler.hpp"
+#include "highrpm/data/window.hpp"
+#include "highrpm/math/matrix.hpp"
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::ml {
+
+enum class CellType { kLstm, kGru };
+
+struct RnnConfig {
+  CellType cell = CellType::kLstm;
+  std::size_t units = 2;   // hidden width per recurrent layer
+  std::size_t layers = 2;  // stacked recurrent layers
+  std::size_t epochs = 30;
+  std::size_t batch_size = 16;
+  double learning_rate = 5e-3;  // Adam
+  double grad_clip = 5.0;       // elementwise clip on accumulated grads
+  std::uint64_t seed = 97;
+};
+
+/// Many-to-many sequence regressor: given a T x F window it emits one scalar
+/// per step. Input/target scaling is internal (raw units at the interface).
+class SequenceRegressor {
+ public:
+  explicit SequenceRegressor(RnnConfig cfg = {});
+
+  /// Train (reset=true) or fine-tune (reset=false, keeping scalers/weights).
+  void fit(std::span<const data::SequenceSample> samples, bool reset = true,
+           std::size_t epochs_override = 0);
+
+  /// Per-step predictions for a T x F window (any T >= 1).
+  std::vector<double> predict(const math::Matrix& steps) const;
+
+  bool fitted() const noexcept { return fitted_; }
+  const RnnConfig& config() const noexcept { return cfg_; }
+  std::size_t input_dim() const noexcept { return in_dim_; }
+  std::size_t parameter_count() const;
+  std::string name() const {
+    return cfg_.cell == CellType::kLstm ? "LSTM" : "GRU";
+  }
+
+ private:
+  struct CellParams {
+    // Gate-stacked weights: LSTM rows = 4*units (i,f,g,o); GRU rows = 3*units
+    // (z,r,n). w: gates x input_dim, u: gates x units, b: gates.
+    math::Matrix w, u;
+    std::vector<double> b;
+    // Adam moments.
+    math::Matrix mw, vw, mu, vu;
+    std::vector<double> mb, vb;
+  };
+  struct Head {
+    std::vector<double> w;  // units
+    double b = 0.0;
+    std::vector<double> mw, vw;
+    double mb = 0.0, vb = 0.0, mbb = 0.0;
+  };
+  /// Per-step per-layer cache for backprop.
+  struct StepCache {
+    std::vector<double> x;      // layer input
+    std::vector<double> h_prev;
+    std::vector<double> c_prev;  // LSTM only
+    std::vector<double> gates;   // post-activation gate values
+    std::vector<double> c;       // LSTM cell state
+    std::vector<double> h;
+  };
+
+  void initialize(std::size_t in_dim, math::Rng& rng);
+  std::size_t gate_count() const {
+    return (cfg_.cell == CellType::kLstm ? 4 : 3) * cfg_.units;
+  }
+  /// One cell step; fills cache (if given) and returns h.
+  std::vector<double> cell_step(const CellParams& p,
+                                std::span<const double> x,
+                                std::span<const double> h_prev,
+                                std::span<double> c_inout,
+                                StepCache* cache) const;
+  /// Forward a whole window, returning per-step head outputs (scaled space);
+  /// caches are per layer per step when requested.
+  std::vector<double> forward(const math::Matrix& steps_scaled,
+                              std::vector<std::vector<StepCache>>* caches) const;
+  void adam_step(double lr);
+
+  RnnConfig cfg_;
+  std::size_t in_dim_ = 0;
+  std::vector<CellParams> cells_;
+  Head head_;
+  // Gradient accumulators (allocated lazily in fit).
+  std::vector<CellParams> grads_;
+  std::vector<double> head_gw_;
+  double head_gb_ = 0.0;
+  data::StandardScaler x_scaler_;
+  data::TargetScaler y_scaler_;
+  std::uint64_t adam_t_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace highrpm::ml

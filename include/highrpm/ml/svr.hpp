@@ -1,0 +1,50 @@
+// Support-vector regression baseline (Table 4).
+//
+// Full SMO-style kernel SVR is overkill for a power-model baseline, so this
+// implements epsilon-insensitive SVR trained by subgradient descent, with an
+// optional random-Fourier-feature (RFF) lift that approximates an RBF kernel
+// — the same approximation family as sklearn's kernel_approximation.RBFSampler
+// feeding LinearSVR. With rff_dim == 0 the model is a plain linear SVR.
+#pragma once
+
+#include "highrpm/data/scaler.hpp"
+#include "highrpm/math/rng.hpp"
+#include "highrpm/ml/regressor.hpp"
+
+namespace highrpm::ml {
+
+struct SvrConfig {
+  double epsilon = 0.1;   // insensitive-tube half-width (standardized units)
+  double c = 1.0;         // inverse regularization strength
+  std::size_t epochs = 40;
+  double eta0 = 0.05;
+  /// Random Fourier feature dimension; 0 = linear SVR.
+  std::size_t rff_dim = 64;
+  /// RBF gamma; <= 0 means 1 / n_features ("scale"-like).
+  double gamma = 0.0;
+  std::uint64_t seed = 23;
+};
+
+class SvrRegressor final : public Regressor {
+ public:
+  explicit SvrRegressor(SvrConfig cfg = {});
+  void fit(const math::Matrix& x, std::span<const double> y) override;
+  double predict_one(std::span<const double> row) const override;
+  std::unique_ptr<Regressor> clone() const override;
+  std::string name() const override { return "SVM"; }
+  bool fitted() const override { return !w_.empty(); }
+
+ private:
+  std::vector<double> lift(std::span<const double> standardized) const;
+
+  SvrConfig cfg_;
+  data::StandardScaler scaler_;
+  data::TargetScaler y_scaler_;
+  // RFF projection (rff_dim x n_features) and phases; empty when linear.
+  math::Matrix omega_;
+  std::vector<double> phase_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace highrpm::ml

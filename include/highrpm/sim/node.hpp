@@ -1,0 +1,53 @@
+// NodeSimulator: the simulated compute node. It plays a Workload on a
+// PlatformConfig one 1-second tick at a time, producing node-aggregated PMC
+// rates and ground-truth component powers with the statistical structure
+// the paper's models must cope with: loop-periodic trends, AR(1)-correlated
+// short-term noise, Poisson activity spikes, and a slowly wandering
+// peripheral draw. DVFS can be changed between ticks (used by the power
+// capping controller and the Fig-9 frequency experiment).
+#pragma once
+
+#include <cstdint>
+
+#include "highrpm/math/rng.hpp"
+#include "highrpm/sim/phase.hpp"
+#include "highrpm/sim/platform.hpp"
+#include "highrpm/sim/trace.hpp"
+
+namespace highrpm::sim {
+
+class NodeSimulator {
+ public:
+  NodeSimulator(PlatformConfig platform, Workload workload,
+                std::uint64_t seed);
+
+  /// Advance one second of simulated time and return the tick's sample.
+  TickSample step();
+  /// Run n ticks and collect them into a trace.
+  Trace run(std::size_t n_ticks);
+
+  void set_frequency_level(std::size_t level);
+  std::size_t frequency_level() const noexcept { return freq_level_; }
+  double time() const noexcept { return time_s_; }
+  const PlatformConfig& platform() const noexcept { return platform_; }
+  const Workload& workload() const noexcept { return workload_; }
+
+ private:
+  /// Phase active at the current time (phases loop).
+  const PhaseSpec& current_phase() const;
+  double modulation(const PhaseSpec& p, double t) const;
+
+  PlatformConfig platform_;
+  Workload workload_;
+  math::Rng rng_;
+  std::size_t freq_level_;
+  double time_s_ = 0.0;
+  double ar1_state_ = 0.0;
+  double other_wander_ = 0.0;
+  double energy_latent_ = 0.0;
+  // Active spike: remaining ticks and magnitude (0 when inactive).
+  double spike_remaining_ = 0.0;
+  double spike_magnitude_ = 0.0;
+};
+
+}  // namespace highrpm::sim

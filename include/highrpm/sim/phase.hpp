@@ -1,0 +1,71 @@
+// Workload activity description. A workload is a looped sequence of phases;
+// each phase pins mean architectural activity factors plus the modulation
+// that produces the power structure HighRPM must recover: long-term trends
+// from loop periodicity and short-term fluctuations from correlated noise
+// and spike events (paper §4.2: "long-term trends determined by program
+// loops and unforeseen short-term fluctuations").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace highrpm::sim {
+
+enum class Waveform { kConstant, kSine, kSawtooth, kSquare, kTriangle };
+
+/// Mean activity of one program phase. All *_frac values are per retired
+/// instruction; utilization and ipc set the instruction stream itself.
+struct PhaseSpec {
+  std::string label = "phase";
+  double duration_s = 60.0;  // nominal phase length in seconds
+
+  double utilization = 0.8;  // busy fraction of each core, [0, 1]
+  double ipc = 1.5;          // retired instructions per busy cycle
+  double uops_per_inst = 1.3;
+  double branch_frac = 0.15;
+  double l1i_ld_frac = 0.95;
+  double l1i_st_frac = 0.02;
+  double load_frac = 0.30;   // L1D loads per instruction
+  double store_frac = 0.12;  // L1D stores per instruction
+  double l1_miss = 0.06;     // L1D -> L2 miss ratio
+  double l2_miss = 0.30;     // L2 -> L3 miss ratio
+  double l3_miss = 0.35;     // L3 -> memory miss ratio
+  double bus_per_mem = 1.6;  // bus accesses per memory access
+
+  // Latent per-application energy weights, invisible to the PMCs: the same
+  // instruction count costs different energy depending on instruction mix
+  // (vector vs. scalar) and row-buffer locality. These are what limit the
+  // accuracy of PMC-only power models on unseen applications (paper §6.1.1)
+  // while node-power-informed models remain accurate.
+  double inst_energy_scale = 1.0;
+  double mem_energy_scale = 1.0;
+
+  // Long-term modulation: activity oscillates with the program's outer loop.
+  Waveform waveform = Waveform::kSine;
+  double mod_period_s = 40.0;
+  double mod_depth = 0.15;  // relative amplitude applied to utilization
+
+  // Short-term structure.
+  double ar1_rho = 0.7;      // AR(1) correlation of the activity noise
+  double ar1_sigma = 0.04;   // AR(1) innovation stddev (relative)
+  double spike_rate_hz = 0.02;   // Poisson rate of activity spikes
+  double spike_magnitude = 0.5;  // relative utilization jump at a spike
+  double spike_len_s = 2.0;      // mean spike duration
+};
+
+/// A named workload: phases played in order, then looped until the requested
+/// trace length is reached.
+struct Workload {
+  std::string name;
+  std::string suite;  // "SPEC", "PARSEC", "HPCC", "Graph500", ...
+  std::vector<PhaseSpec> phases;
+
+  double total_phase_duration() const {
+    double s = 0.0;
+    for (const auto& p : phases) s += p.duration_s;
+    return s;
+  }
+};
+
+}  // namespace highrpm::sim

@@ -1,0 +1,60 @@
+// Hardware platform descriptions: the ARM-based evaluation system (64-core
+// ARMv8, DVFS ladder 1.4/1.8/2.2 GHz, IPMI node power at 0.1 Sa/s) and the
+// x86 Tianhe-1A-like system (Xeon E5-2660 v2 class, 2.6 GHz, RAPL) used for
+// the paper's Table 9 generalization experiment.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace highrpm::sim {
+
+/// Coefficients of the ground-truth component power model (see
+/// power_model.hpp for the functional form).
+struct PowerCoefficients {
+  // CPU side.
+  double cpu_idle_w = 18.0;       // whole-socket idle power
+  double volt_base = 0.75;        // V(f) = volt_base + volt_slope * f_ghz
+  double volt_slope = 0.12;
+  double dyn_scale = 7.0;         // scales V^2 * f * utilization term
+  double inst_energy_nj = 0.05;   // per-instruction energy (nJ)
+  double cache_energy_nj = 1.0;   // per L2/L3 access energy (nJ)
+  double cpu_sat = 95.0;          // soft saturation of CPU dynamic power (W)
+  /// Memory-stall IPC penalty coefficient (cycles lost per DRAM-bound
+  /// instruction fraction, scaled by frequency).
+  double stall_coeff = 30.0;
+  // Memory side.
+  double mem_idle_w = 4.0;
+  double mem_energy_nj = 20.0;    // per memory access energy (nJ)
+  double mem_sat_rate = 1.2e9;    // accesses/s where DIMM power saturates
+  double bus_energy_nj = 1.1;
+  // Peripherals.
+  double other_idle_w = 25.0;     // paper: constant ~25 W
+  double other_wander_w = 0.3;    // slow wander, "within just under 1W"
+  // Process noise on true component powers (W).
+  double cpu_noise_w = 0.35;
+  double mem_noise_w = 0.12;
+};
+
+struct PlatformConfig {
+  std::string name;
+  std::size_t num_cores = 64;
+  /// DVFS ladder in GHz; index selects the operating point.
+  std::vector<double> freq_levels_ghz = {1.4, 1.8, 2.2};
+  std::size_t default_freq_level = 2;
+  PowerCoefficients power;
+
+  /// The ARM evaluation platform (paper §5.1): 64-core ARMv8, 128 GB DDR4,
+  /// BMC/IPMI node power at <= 0.1 Sa/s, direct-measurement rig at 1 Sa/s.
+  static PlatformConfig arm();
+  /// The x86 platform (paper §6.3): Xeon E5-2660 v2-like, 2.6 GHz, RAPL.
+  /// Higher frequency and noise floor make modeling slightly harder, which
+  /// is the effect Table 9 reports.
+  static PlatformConfig x86();
+
+  double frequency_ghz(std::size_t level) const;
+  double max_frequency_ghz() const { return freq_levels_ghz.back(); }
+};
+
+}  // namespace highrpm::sim

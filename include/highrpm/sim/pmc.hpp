@@ -1,0 +1,47 @@
+// Hardware performance-counter events exposed by the simulated platforms —
+// the event set of the paper's Table 2 (ARM PMUv3 naming, with the three
+// data-cache levels unrolled).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace highrpm::sim {
+
+enum class PmcEvent : std::size_t {
+  kCpuCycles = 0,
+  kInstRetired,
+  kBrPred,
+  kUopRetired,
+  kL1ICacheLd,
+  kL1ICacheSt,
+  kL1DCacheLd,
+  kL1DCacheSt,
+  kL2DCacheLd,
+  kL2DCacheSt,
+  kL3DCacheLd,
+  kL3DCacheSt,
+  kBusAccess,
+  kMemAccess,
+  kCount
+};
+
+inline constexpr std::size_t kNumPmcEvents =
+    static_cast<std::size_t>(PmcEvent::kCount);
+
+inline constexpr std::array<std::string_view, kNumPmcEvents> kPmcEventNames = {
+    "CPU_CYCLES",   "INST_RETIRED", "BR_PRED",      "UOP_RETIRED",
+    "L1I_CACHE_LD", "L1I_CACHE_ST", "L1D_CACHE_LD", "L1D_CACHE_ST",
+    "L2D_CACHE_LD", "L2D_CACHE_ST", "L3D_CACHE_LD", "L3D_CACHE_ST",
+    "BUS_ACCESS",   "MEM_ACCESS"};
+
+constexpr std::string_view pmc_event_name(PmcEvent e) {
+  return kPmcEventNames[static_cast<std::size_t>(e)];
+}
+
+/// Node-wide counter snapshot for one tick (events aggregated over cores,
+/// in events per second).
+using PmcVector = std::array<double, kNumPmcEvents>;
+
+}  // namespace highrpm::sim

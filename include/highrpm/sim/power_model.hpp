@@ -1,0 +1,46 @@
+// Ground-truth component power model: maps node-aggregated PMC rates plus
+// the DVFS operating point to true CPU and memory power. This is the
+// simulator-side physical model that replaces the paper's jumper-wire direct
+// measurement; nothing in highrpm::core ever calls it directly.
+//
+// Functional form (per DESIGN.md §5):
+//   busy  = CPU_CYCLES / f_hz                 (busy-core equivalents)
+//   P_dyn = dyn_scale * V(f)^2 * f_ghz * busy/n_cores * n_cores_norm
+//         + inst_energy * INST_RETIRED + cache_energy * (L2 + L3 accesses)
+//   P_cpu = cpu_idle + cpu_sat * tanh(P_dyn / cpu_sat)        (soft limit)
+//   P_mem = mem_idle + mem_energy * r / (1 + r / mem_sat) + bus_energy * BUS
+// The tanh saturation and the memory roll-off are what make the
+// PMC -> power relationship nonlinear, which is why the linear Table-4
+// baselines trail the nonlinear ones in the reproduction, as in the paper.
+#pragma once
+
+#include "highrpm/sim/platform.hpp"
+#include "highrpm/sim/pmc.hpp"
+
+namespace highrpm::sim {
+
+struct ComponentPower {
+  double cpu_w = 0.0;
+  double mem_w = 0.0;
+};
+
+/// Latent energy weights of the running application (see PhaseSpec): they
+/// multiply the per-instruction and per-memory-access energies but leave the
+/// PMC readings untouched — the physical reason PMC-only models have an
+/// accuracy floor.
+struct EnergyScale {
+  double inst = 1.0;
+  double mem = 1.0;
+};
+
+/// Deterministic (noise-free) component power for one tick of PMC rates at
+/// the given DVFS level.
+ComponentPower compute_component_power(const PlatformConfig& platform,
+                                       const PmcVector& pmcs,
+                                       std::size_t freq_level,
+                                       const EnergyScale& scale = {});
+
+/// Supply voltage at a frequency (V(f) = volt_base + volt_slope * f_ghz).
+double supply_voltage(const PowerCoefficients& c, double f_ghz);
+
+}  // namespace highrpm::sim

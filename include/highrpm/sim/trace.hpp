@@ -1,0 +1,55 @@
+// Ground-truth trace produced by the node simulator: one sample per tick
+// (1 tick = 1 s, the paper's dense 1 Sa/s resolution).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "highrpm/math/matrix.hpp"
+#include "highrpm/sim/pmc.hpp"
+
+namespace highrpm::sim {
+
+struct TickSample {
+  double time_s = 0.0;
+  PmcVector pmcs{};  // node-aggregated event rates (events/s)
+  double p_cpu_w = 0.0;
+  double p_mem_w = 0.0;
+  double p_other_w = 0.0;
+  double p_node_w = 0.0;
+  std::size_t freq_level = 0;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+
+  void push_back(const TickSample& s) { samples_.push_back(s); }
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  const TickSample& operator[](std::size_t i) const { return samples_[i]; }
+  const std::vector<TickSample>& samples() const noexcept { return samples_; }
+
+  std::vector<double> times() const;
+  std::vector<double> node_power() const;
+  std::vector<double> cpu_power() const;
+  std::vector<double> mem_power() const;
+  std::vector<double> other_power() const;
+  std::vector<double> pmc_series(PmcEvent e) const;
+
+  /// All PMC rates as an (n x kNumPmcEvents) matrix.
+  math::Matrix pmc_matrix() const;
+
+  /// Total energy over the trace in joules (1 s ticks -> sum of node power).
+  double total_energy_j() const;
+  double peak_node_power() const;
+
+  /// Append another trace, shifting its timestamps to continue this one.
+  void append(const Trace& other);
+
+ private:
+  std::vector<TickSample> samples_;
+};
+
+}  // namespace highrpm::sim

@@ -1,0 +1,56 @@
+// The benchmarking workload set of paper §5.3: 96 workload profiles grouped
+// into the same seven suites (SPEC CPU 2017 x43, PARSEC x36, HPCC x12,
+// Graph500 x2, HPL-AI, SMG2000, HPCG). Each profile is a deterministic
+// phase-structured activity model whose parameters are drawn from
+// suite-characteristic ranges, so the set spans the compute-bound ...
+// memory-bound spectrum the paper's training protocol needs. The three
+// workloads used in the motivation figures (FFT, Stream, Graph500-BFS) are
+// hand-tuned to reproduce the Fig 1 / Fig 2 behaviours.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "highrpm/sim/phase.hpp"
+
+namespace highrpm::workloads {
+
+/// Compute-intensive FFT (HPCC pTRANS/FFT-like): CPU power dominates
+/// (paper Fig 2 left).
+sim::Workload fft();
+
+/// Memory-bandwidth-bound STREAM: RAM power dominates (paper Fig 2 right).
+sim::Workload stream();
+
+/// Graph500 BFS: phased and spiky — alternating scan/expand supersteps with
+/// sharp power spikes (paper Fig 1).
+sim::Workload graph500_bfs();
+
+/// Graph500 SSSP companion kernel.
+sim::Workload graph500_sssp();
+
+/// Dense mixed-precision LU (HPL-AI): sustained near-peak CPU activity.
+sim::Workload hpl_ai();
+
+/// Semicoarsening multigrid (SMG2000): alternating smooth/restrict phases,
+/// memory-heavy.
+sim::Workload smg2000();
+
+/// High-performance conjugate gradients (HPCG): bandwidth-bound SpMV cycle.
+sim::Workload hpcg();
+
+/// Names of the seven suites, Table-3 order.
+std::vector<std::string> suite_names();
+
+/// All workloads of one suite ("SPEC"=43, "PARSEC"=36, "HPCC"=12,
+/// "Graph500"=2, "HPL-AI"=1, "SMG2000"=1, "HPCG"=1).
+/// Throws std::invalid_argument for unknown suites.
+std::vector<sim::Workload> suite(const std::string& name);
+
+/// The full 96-workload benchmark set, suite by suite.
+std::vector<sim::Workload> full_benchmark_set();
+
+/// Look a workload up by name anywhere in the full set.
+sim::Workload by_name(const std::string& name);
+
+}  // namespace highrpm::workloads

@@ -1,0 +1,55 @@
+#include "highrpm/capping/capper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace highrpm::capping {
+
+PowerCapController::PowerCapController(CappingConfig cfg) : cfg_(cfg) {
+  if (cfg_.reading_interval_s < 1.0 || cfg_.action_interval_s < 1.0) {
+    throw std::invalid_argument("PowerCapController: intervals must be >= 1 s");
+  }
+}
+
+CappingResult PowerCapController::run(sim::NodeSimulator& node,
+                                      std::size_t ticks) {
+  CappingResult result;
+  const std::size_t pi =
+      static_cast<std::size_t>(std::llround(cfg_.reading_interval_s));
+  const std::size_t ai =
+      static_cast<std::size_t>(std::llround(cfg_.action_interval_s));
+  const std::size_t max_level =
+      node.platform().freq_levels_ghz.size() - 1;
+
+  double last_reading = 0.0;
+  bool have_reading = false;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    const sim::TickSample s = node.step();
+    result.trace.push_back(s);
+    result.freq_level_per_tick.push_back(s.freq_level);
+    result.peak_node_w = std::max(result.peak_node_w, s.p_node_w);
+    result.peak_cpu_w = std::max(result.peak_cpu_w, s.p_cpu_w);
+    result.energy_j += s.p_node_w;
+    if (s.p_node_w > cfg_.node_cap_w) result.seconds_over_cap += 1.0;
+
+    if (t % pi == 0) {
+      last_reading = s.p_node_w;
+      have_reading = true;
+    }
+    if (have_reading && t % ai == 0) {
+      const std::size_t level = node.frequency_level();
+      if (last_reading > cfg_.node_cap_w && level > 0) {
+        node.set_frequency_level(level - 1);
+        ++result.dvfs_actions;
+      } else if (last_reading < cfg_.node_cap_w - cfg_.hysteresis_w &&
+                 level < max_level) {
+        node.set_frequency_level(level + 1);
+        ++result.dvfs_actions;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace highrpm::capping

@@ -1,0 +1,115 @@
+#include "highrpm/core/dynamic_trr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace highrpm::core {
+
+DynamicTrr::DynamicTrr(DynamicTrrConfig cfg)
+    : cfg_(cfg), model_(cfg.rnn) {
+  if (cfg_.miss_interval < 2) {
+    throw std::invalid_argument("DynamicTrr: miss_interval must be >= 2");
+  }
+}
+
+void DynamicTrr::train(std::span<const math::Matrix> run_pmcs,
+                       std::span<const std::vector<double>> run_labels) {
+  if (run_pmcs.size() != run_labels.size() || run_pmcs.empty()) {
+    throw std::invalid_argument("DynamicTrr::train: run count mismatch");
+  }
+  std::vector<data::SequenceSample> samples;
+  for (std::size_t r = 0; r < run_pmcs.size(); ++r) {
+    if (run_pmcs[r].rows() < cfg_.miss_interval) continue;
+    // First tick's P'_prev: the first label (a measured reading always
+    // exists at stream start in deployment).
+    auto w = data::make_windows_with_prev_label(
+        run_pmcs[r], run_labels[r], cfg_.miss_interval, run_labels[r][0]);
+    const std::size_t stride = std::max<std::size_t>(1, cfg_.train_stride);
+    for (std::size_t i = 0; i < w.size(); i += stride) {
+      samples.push_back(std::move(w[i]));
+    }
+  }
+  if (samples.empty()) {
+    throw std::invalid_argument("DynamicTrr::train: no full windows");
+  }
+  model_.fit(samples, /*reset=*/true);
+  reset_stream();
+}
+
+void DynamicTrr::train_single(const math::Matrix& pmcs,
+                              std::span<const double> labels) {
+  const std::vector<double> l(labels.begin(), labels.end());
+  train(std::span<const math::Matrix>(&pmcs, 1),
+        std::span<const std::vector<double>>(&l, 1));
+}
+
+void DynamicTrr::fine_tune(std::span<const data::SequenceSample> windows,
+                           std::size_t epochs) {
+  if (!fitted()) throw std::logic_error("DynamicTrr::fine_tune: not trained");
+  if (windows.empty()) return;
+  model_.fit(windows, /*reset=*/false, epochs);
+  ++finetunes_;
+}
+
+void DynamicTrr::reset_stream() {
+  window_rows_.clear();
+  window_estimates_.clear();
+  prev_estimate_ = 0.0;
+  have_prev_ = false;
+}
+
+double DynamicTrr::step(std::span<const double> pmcs,
+                        std::optional<double> im_reading) {
+  if (!fitted()) throw std::logic_error("DynamicTrr::step: not trained");
+
+  // Build this tick's row: [PMC..., P'_prev]. Before the first estimate we
+  // use the IM reading if present, else fall back to 0 (cold start).
+  std::vector<double> row(pmcs.begin(), pmcs.end());
+  double prev = prev_estimate_;
+  if (!have_prev_) prev = im_reading.value_or(0.0);
+  row.push_back(prev);
+
+  window_rows_.push_back(std::move(row));
+  if (window_rows_.size() > cfg_.miss_interval) {
+    window_rows_.erase(window_rows_.begin());
+    window_estimates_.erase(window_estimates_.begin());
+  }
+
+  // Predict over the current (possibly still-filling) window; the last
+  // step's output is this tick's estimate.
+  math::Matrix steps(window_rows_.size(), window_rows_[0].size());
+  for (std::size_t r = 0; r < window_rows_.size(); ++r) {
+    std::copy(window_rows_[r].begin(), window_rows_[r].end(),
+              steps.row(r).begin());
+  }
+  const auto preds = model_.predict(steps);
+  double estimate = preds.back();
+
+  if (im_reading) {
+    // A measured value supersedes the prediction and, per §4.2.2, triggers
+    // an online fine-tune on the completed window: labels are the window's
+    // estimates with the final one replaced by the measurement.
+    estimate = *im_reading;
+    if (cfg_.online_finetune && window_rows_.size() == cfg_.miss_interval) {
+      data::SequenceSample s;
+      s.steps = steps;
+      s.labels = window_estimates_;
+      s.labels.push_back(estimate);
+      if (s.labels.size() == cfg_.miss_interval) {
+        model_.fit(std::span<const data::SequenceSample>(&s, 1),
+                   /*reset=*/false, cfg_.finetune_epochs);
+        ++finetunes_;
+      }
+    }
+  }
+
+  window_estimates_.push_back(estimate);
+  if (window_estimates_.size() > window_rows_.size()) {
+    window_estimates_.erase(window_estimates_.begin());
+  }
+  prev_estimate_ = estimate;
+  have_prev_ = true;
+  return estimate;
+}
+
+}  // namespace highrpm::core

@@ -1,0 +1,185 @@
+#include "highrpm/core/highrpm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace highrpm::core {
+
+HighRpm::HighRpm(HighRpmConfig cfg)
+    : cfg_(std::move(cfg)),
+      dynamic_trr_([&] {
+        DynamicTrrConfig d = cfg_.dynamic_trr;
+        d.miss_interval = cfg_.miss_interval;
+        return d;
+      }()),
+      srr_(cfg_.srr),
+      sampler_(cfg_.sampler) {}
+
+void HighRpm::initial_learning(
+    std::span<const measure::CollectedRun> runs) {
+  if (runs.empty()) {
+    throw std::invalid_argument("HighRpm::initial_learning: no runs");
+  }
+  // DynamicTRR: windows per run over dense node labels.
+  std::vector<math::Matrix> pmcs;
+  std::vector<std::vector<double>> node_labels;
+  for (const auto& run : runs) {
+    pmcs.push_back(run.dataset.features());
+    node_labels.push_back(run.dataset.target("P_NODE"));
+  }
+  dynamic_trr_.train(pmcs, node_labels);
+
+  // SRR: pooled (and latent-scale-augmented) samples across runs, with the
+  // TRR restoration of each run as the bi-directional node-power input —
+  // at monitoring time SRR only ever sees restored node power, so training
+  // on it keeps the input distributions matched (paper Fig 3).
+  StaticTrrConfig scfg = cfg_.static_trr;
+  scfg.miss_interval = cfg_.miss_interval;
+  const auto set = build_srr_training_set(runs, cfg_.srr, scfg);
+  srr_.fit(set.x, set.p_node, set.p_cpu, set.p_mem);
+  reset_stream();
+}
+
+std::vector<double> HighRpm::static_restore(
+    const measure::CollectedRun& run) const {
+  StaticTrrConfig sc = cfg_.static_trr;
+  sc.miss_interval = cfg_.miss_interval;
+  return restore_node_power(run, sc);
+}
+
+void HighRpm::active_learning(const measure::CollectedRun& run) {
+  if (!trained()) {
+    throw std::logic_error("HighRpm::active_learning: run initial_learning first");
+  }
+  const auto restored = static_restore(run);
+  const auto reinforcement = sampler_.draw(run.measured);
+  if (reinforcement.size() < cfg_.miss_interval) return;
+
+  const auto& features = run.dataset.features();
+
+  // --- fine-tune DynamicTRR on restored node power over the drawn span ---
+  // Windows must be contiguous, so fine-tune on the contiguous stretch
+  // covering the reinforcement draw.
+  const std::size_t lo = reinforcement.front();
+  const std::size_t hi = reinforcement.back();
+  if (hi - lo + 1 >= cfg_.miss_interval) {
+    const std::size_t n = hi - lo + 1;
+    math::Matrix sub(n, features.cols());
+    std::vector<double> labels(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::copy(features.row(lo + i).begin(), features.row(lo + i).end(),
+                sub.row(i).begin());
+      labels[i] = restored[lo + i];
+    }
+    auto windows = data::make_windows_with_prev_label(
+        sub, labels, cfg_.miss_interval, labels[0]);
+    // Keep the fine-tune cheap: cap the window count.
+    if (windows.size() > 64) windows.resize(64);
+    dynamic_trr_.fine_tune(windows, cfg_.active_finetune_epochs);
+  }
+
+  // --- fine-tune SRR with consistency-calibrated pseudo-labels ---
+  math::Matrix sx(reinforcement.size(), features.cols());
+  std::vector<double> s_node(reinforcement.size());
+  std::vector<double> s_cpu(reinforcement.size());
+  std::vector<double> s_mem(reinforcement.size());
+  for (std::size_t i = 0; i < reinforcement.size(); ++i) {
+    const std::size_t t = reinforcement[i];
+    std::copy(features.row(t).begin(), features.row(t).end(),
+              sx.row(i).begin());
+    s_node[i] = restored[t];
+    const auto est = srr_.predict_one(features.row(t), s_node[i]);
+    // Rescale the component split so it sums to node - P_Other: the node
+    // reading is trusted (it is measurement-derived), the split ratio is
+    // the model's.
+    const double budget = std::max(1.0, s_node[i] - cfg_.p_other_w);
+    const double total = std::max(1e-6, est.cpu_w + est.mem_w);
+    s_cpu[i] = est.cpu_w * budget / total;
+    s_mem[i] = est.mem_w * budget / total;
+  }
+  srr_.fine_tune(sx, s_node, s_cpu, s_mem, cfg_.active_finetune_epochs);
+  ++al_rounds_;
+}
+
+LogRestoration HighRpm::restore_log(const measure::CollectedRun& run) const {
+  if (!srr_.fitted()) {
+    throw std::logic_error("HighRpm::restore_log: run initial_learning first");
+  }
+  LogRestoration out;
+  out.node_w = static_restore(run);
+  const auto& features = run.dataset.features();
+  out.cpu_w.resize(features.rows());
+  out.mem_w.resize(features.rows());
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    const auto est = srr_.predict_one(features.row(r), out.node_w[r]);
+    out.cpu_w[r] = est.cpu_w;
+    out.mem_w[r] = est.mem_w;
+  }
+  return out;
+}
+
+void HighRpm::reset_stream() { dynamic_trr_.reset_stream(); }
+
+PowerEstimate HighRpm::on_tick(std::span<const double> pmcs,
+                               std::optional<double> im_reading) {
+  if (!trained()) {
+    throw std::logic_error("HighRpm::on_tick: run initial_learning first");
+  }
+  PowerEstimate est;
+  est.node_w = dynamic_trr_.step(pmcs, im_reading);
+  est.measured = im_reading.has_value();
+  const auto comp = srr_.predict_one(pmcs, est.node_w);
+  est.cpu_w = comp.cpu_w;
+  est.mem_w = comp.mem_w;
+  return est;
+}
+
+MonitorService::MonitorService(HighRpm golden) : golden_(std::move(golden)) {
+  if (!golden_.trained()) {
+    throw std::invalid_argument("MonitorService: golden instance untrained");
+  }
+}
+
+void MonitorService::register_node(const std::string& node_id) {
+  if (has_node(node_id)) {
+    throw std::invalid_argument("MonitorService: duplicate node '" + node_id +
+                                "'");
+  }
+  HighRpm instance = golden_;
+  instance.reset_stream();
+  nodes_.emplace_back(node_id, std::move(instance));
+}
+
+bool MonitorService::has_node(const std::string& node_id) const {
+  for (const auto& [id, _] : nodes_) {
+    if (id == node_id) return true;
+  }
+  return false;
+}
+
+HighRpm& MonitorService::node_mut(const std::string& node_id) {
+  for (auto& [id, inst] : nodes_) {
+    if (id == node_id) return inst;
+  }
+  throw std::out_of_range("MonitorService: unknown node '" + node_id + "'");
+}
+
+const HighRpm& MonitorService::node(const std::string& node_id) const {
+  for (const auto& [id, inst] : nodes_) {
+    if (id == node_id) return inst;
+  }
+  throw std::out_of_range("MonitorService: unknown node '" + node_id + "'");
+}
+
+PowerEstimate MonitorService::on_tick(const std::string& node_id,
+                                      std::span<const double> pmcs,
+                                      std::optional<double> im_reading) {
+  return node_mut(node_id).on_tick(pmcs, im_reading);
+}
+
+void MonitorService::active_learning(const std::string& node_id,
+                                     const measure::CollectedRun& run) {
+  node_mut(node_id).active_learning(run);
+}
+
+}  // namespace highrpm::core

@@ -1,0 +1,139 @@
+#include "highrpm/core/protocol.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "highrpm/workloads/suites.hpp"
+
+namespace highrpm::core {
+
+std::vector<SuiteData> collect_all_suites(const ProtocolConfig& cfg) {
+  measure::Collector collector(cfg.collector);
+  math::Rng seeder(cfg.seed);
+  std::vector<SuiteData> out;
+  for (const auto& suite_name : workloads::suite_names()) {
+    auto ws = workloads::suite(suite_name);
+    if (cfg.max_workloads_per_suite > 0 &&
+        ws.size() > cfg.max_workloads_per_suite) {
+      ws.resize(cfg.max_workloads_per_suite);
+    }
+    // Spread the suite budget across its workloads, respecting the floor.
+    const std::size_t per_workload = std::max(
+        cfg.min_ticks_per_workload, cfg.samples_per_suite / ws.size());
+    SuiteData sd;
+    sd.suite = suite_name;
+    for (const auto& w : ws) {
+      sd.runs.push_back(collector.collect(cfg.platform, w, per_workload,
+                                          seeder.next_u64(), cfg.freq_level));
+    }
+    out.push_back(std::move(sd));
+  }
+  return out;
+}
+
+measure::CollectedRun slice_run(const measure::CollectedRun& run,
+                                std::size_t start, std::size_t len) {
+  if (start + len > run.num_ticks()) {
+    throw std::out_of_range("slice_run: range out of bounds");
+  }
+  measure::CollectedRun out;
+  out.workload_name = run.workload_name;
+  out.suite = run.suite;
+  out.dataset = run.dataset.slice(start, len);
+  out.measured.assign(run.measured.begin() + static_cast<std::ptrdiff_t>(start),
+                      run.measured.begin() +
+                          static_cast<std::ptrdiff_t>(start + len));
+  for (const auto& r : run.ipmi_readings) {
+    if (r.tick_index >= start && r.tick_index < start + len) {
+      measure::IpmiReading nr = r;
+      nr.tick_index -= start;
+      out.ipmi_readings.push_back(nr);
+    }
+  }
+  for (std::size_t i = start; i < start + len; ++i) {
+    out.truth.push_back(run.truth[i]);
+  }
+  return out;
+}
+
+std::vector<EvalSplit> make_unseen_splits(const std::vector<SuiteData>& data) {
+  std::vector<EvalSplit> out;
+  for (std::size_t held = 0; held < data.size(); ++held) {
+    EvalSplit split;
+    split.held_out_suite = data[held].suite;
+    split.seen = false;
+    for (std::size_t s = 0; s < data.size(); ++s) {
+      for (const auto& run : data[s].runs) {
+        if (s == held) {
+          split.test.push_back(run);
+          split.test_score_start.push_back(0);
+        } else {
+          split.train.push_back(run);
+        }
+      }
+    }
+    out.push_back(std::move(split));
+  }
+  return out;
+}
+
+std::vector<EvalSplit> make_seen_splits(const std::vector<SuiteData>& data,
+                                        double test_fraction) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("make_seen_splits: bad test fraction");
+  }
+  std::vector<EvalSplit> out;
+  for (std::size_t held = 0; held < data.size(); ++held) {
+    EvalSplit split;
+    split.held_out_suite = data[held].suite;
+    split.seen = true;
+    for (std::size_t s = 0; s < data.size(); ++s) {
+      for (const auto& run : data[s].runs) {
+        if (s != held) {
+          split.train.push_back(run);
+          continue;
+        }
+        // Target suite: the head trains, the full run is the test run with
+        // scoring restricted to the tail (chronological; no future leak).
+        const std::size_t n = run.num_ticks();
+        const std::size_t n_test = std::max<std::size_t>(
+            1, static_cast<std::size_t>(test_fraction *
+                                        static_cast<double>(n)));
+        const std::size_t n_train = n - n_test;
+        if (n_train > 0) split.train.push_back(slice_run(run, 0, n_train));
+        split.test.push_back(run);
+        split.test_score_start.push_back(n_train);
+      }
+    }
+    out.push_back(std::move(split));
+  }
+  return out;
+}
+
+FlatData flatten_runs(const std::vector<measure::CollectedRun>& runs) {
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.num_ticks();
+  if (total == 0) throw std::invalid_argument("flatten_runs: empty input");
+  FlatData out;
+  out.x = math::Matrix(total, runs[0].dataset.num_features());
+  out.p_node.resize(total);
+  out.p_cpu.resize(total);
+  out.p_mem.resize(total);
+  std::size_t w = 0;
+  for (const auto& r : runs) {
+    const auto& f = r.dataset.features();
+    const auto& pn = r.dataset.target("P_NODE");
+    const auto& pc = r.dataset.target("P_CPU");
+    const auto& pm = r.dataset.target("P_MEM");
+    for (std::size_t i = 0; i < f.rows(); ++i) {
+      std::copy(f.row(i).begin(), f.row(i).end(), out.x.row(w).begin());
+      out.p_node[w] = pn[i];
+      out.p_cpu[w] = pc[i];
+      out.p_mem[w] = pm[i];
+      ++w;
+    }
+  }
+  return out;
+}
+
+}  // namespace highrpm::core

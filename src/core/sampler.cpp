@@ -1,0 +1,42 @@
+#include "highrpm/core/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace highrpm::core {
+
+ReinforcementSampler::ReinforcementSampler(SamplerConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.measured_weight <= 0.0) {
+    throw std::invalid_argument("ReinforcementSampler: weight must be > 0");
+  }
+}
+
+std::vector<std::size_t> ReinforcementSampler::draw(
+    const std::vector<bool>& measured) {
+  const std::size_t n = measured.size();
+  if (n == 0) return {};
+  const std::size_t k = std::min(cfg_.reinforcement_size, n);
+
+  // Weighted sampling without replacement via exponential-race keys:
+  // key_i = u_i^(1/w_i); the k largest keys win (Efraimidis-Spirakis).
+  std::vector<std::pair<double, std::size_t>> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = measured[i] ? cfg_.measured_weight : 1.0;
+    double u;
+    do {
+      u = rng_.uniform();
+    } while (u <= 0.0);
+    keys[i] = {std::pow(u, 1.0 / w), i};
+  }
+  std::nth_element(keys.begin(), keys.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   keys.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::size_t> out(k);
+  for (std::size_t i = 0; i < k; ++i) out[i] = keys[i].second;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace highrpm::core

@@ -1,0 +1,149 @@
+#include "highrpm/core/srr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "highrpm/core/static_trr.hpp"
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::core {
+
+namespace {
+ml::MlpConfig to_mlp_config(const SrrConfig& cfg) {
+  ml::MlpConfig mc;
+  mc.hidden = cfg.hidden;
+  mc.epochs = cfg.epochs;
+  mc.learning_rate = cfg.learning_rate;
+  mc.seed = cfg.seed;
+  return mc;
+}
+}  // namespace
+
+Srr::Srr(SrrConfig cfg) : cfg_(std::move(cfg)), net_(to_mlp_config(cfg_)) {}
+
+math::Matrix Srr::assemble(const math::Matrix& pmcs,
+                           std::span<const double> p_node) const {
+  if (!cfg_.include_pnode) return pmcs;
+  if (p_node.size() != pmcs.rows()) {
+    throw std::invalid_argument("Srr: p_node length mismatch");
+  }
+  math::Matrix x(pmcs.rows(), pmcs.cols() + 1);
+  for (std::size_t r = 0; r < pmcs.rows(); ++r) {
+    auto dst = x.row(r);
+    dst[0] = p_node[r];  // the bi-directional feature comes first
+    const auto src = pmcs.row(r);
+    std::copy(src.begin(), src.end(), dst.begin() + 1);
+  }
+  return x;
+}
+
+void Srr::fit(const math::Matrix& pmcs, std::span<const double> p_node,
+              std::span<const double> p_cpu, std::span<const double> p_mem) {
+  if (p_cpu.size() != pmcs.rows() || p_mem.size() != pmcs.rows()) {
+    throw std::invalid_argument("Srr::fit: label length mismatch");
+  }
+  const math::Matrix x = assemble(pmcs, p_node);
+  math::Matrix y(pmcs.rows(), 2);
+  for (std::size_t r = 0; r < pmcs.rows(); ++r) {
+    y(r, 0) = p_cpu[r];
+    y(r, 1) = p_mem[r];
+  }
+  net_.fit(x, y, /*reset=*/true);
+}
+
+void Srr::fine_tune(const math::Matrix& pmcs, std::span<const double> p_node,
+                    std::span<const double> p_cpu,
+                    std::span<const double> p_mem, std::size_t epochs) {
+  if (!fitted()) throw std::logic_error("Srr::fine_tune: not fitted");
+  const math::Matrix x = assemble(pmcs, p_node);
+  math::Matrix y(pmcs.rows(), 2);
+  for (std::size_t r = 0; r < pmcs.rows(); ++r) {
+    y(r, 0) = p_cpu[r];
+    y(r, 1) = p_mem[r];
+  }
+  net_.fit(x, y, /*reset=*/false, epochs);
+}
+
+ComponentEstimate Srr::predict_one(std::span<const double> pmcs,
+                                   double p_node) const {
+  std::vector<double> row;
+  row.reserve(pmcs.size() + 1);
+  if (cfg_.include_pnode) row.push_back(p_node);
+  row.insert(row.end(), pmcs.begin(), pmcs.end());
+  const auto out = net_.predict_one(row);
+  ComponentEstimate est{out[0], out[1]};
+  if (cfg_.include_pnode && cfg_.consistency_projection) {
+    // The component split must add up to the node budget: rescale toward
+    // p_node - P_Other, bounded so a bad node input cannot blow it up.
+    const double budget = p_node - cfg_.p_other_w;
+    const double total = est.cpu_w + est.mem_w;
+    if (budget > 1.0 && total > 1.0) {
+      double scale = std::clamp(budget / total,
+                                1.0 - cfg_.projection_limit,
+                                1.0 + cfg_.projection_limit);
+      scale = 1.0 + cfg_.projection_weight * (scale - 1.0);
+      est.cpu_w *= scale;
+      est.mem_w *= scale;
+    }
+  }
+  return est;
+}
+
+std::vector<ComponentEstimate> Srr::predict(
+    const math::Matrix& pmcs, std::span<const double> p_node) const {
+  std::vector<ComponentEstimate> out;
+  out.reserve(pmcs.rows());
+  for (std::size_t r = 0; r < pmcs.rows(); ++r) {
+    out.push_back(predict_one(pmcs.row(r),
+                              cfg_.include_pnode ? p_node[r] : 0.0));
+  }
+  return out;
+}
+
+SrrTrainingSet build_srr_training_set(
+    std::span<const measure::CollectedRun> runs, const SrrConfig& srr_cfg,
+    const StaticTrrConfig& trr_cfg) {
+  if (runs.empty()) {
+    throw std::invalid_argument("build_srr_training_set: no runs");
+  }
+  const std::size_t copies = srr_cfg.augment_copies;
+  std::size_t total = 0;
+  for (const auto& run : runs) total += run.num_ticks() * (1 + copies);
+
+  SrrTrainingSet set;
+  set.x = math::Matrix(total, runs[0].dataset.num_features());
+  set.p_node.resize(total);
+  set.p_cpu.resize(total);
+  set.p_mem.resize(total);
+
+  math::Rng rng(srr_cfg.seed ^ 0xA46B5ULL);
+  std::size_t w = 0;
+  for (const auto& run : runs) {
+    const auto& f = run.dataset.features();
+    const auto restored = restore_node_power(run, trr_cfg);
+    const auto& cpu = run.dataset.target("P_CPU");
+    const auto& mem = run.dataset.target("P_MEM");
+    for (std::size_t copy = 0; copy <= copies; ++copy) {
+      // Copy 0 is the run itself; further copies are virtual applications
+      // with per-copy component rescales (constant within the copy, like a
+      // real application's latent energy weights).
+      const double a =
+          copy == 0 ? 1.0
+                    : rng.uniform(srr_cfg.augment_cpu_lo, srr_cfg.augment_cpu_hi);
+      const double b =
+          copy == 0 ? 1.0
+                    : rng.uniform(srr_cfg.augment_mem_lo, srr_cfg.augment_mem_hi);
+      for (std::size_t r = 0; r < f.rows(); ++r) {
+        std::copy(f.row(r).begin(), f.row(r).end(), set.x.row(w).begin());
+        set.p_cpu[w] = a * cpu[r];
+        set.p_mem[w] = b * mem[r];
+        set.p_node[w] =
+            restored[r] + (a - 1.0) * cpu[r] + (b - 1.0) * mem[r];
+        ++w;
+      }
+    }
+  }
+  return set;
+}
+
+}  // namespace highrpm::core

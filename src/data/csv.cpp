@@ -1,0 +1,85 @@
+#include "highrpm/data/csv.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace highrpm::data {
+
+std::vector<double> CsvTable::column(const std::string& name) const {
+  std::size_t idx = header.size();
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == header.size()) {
+    throw std::out_of_range("CsvTable: unknown column '" + name + "'");
+  }
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(r.at(idx));
+  return out;
+}
+
+void write_csv(const std::string& path, const CsvTable& table) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_csv: cannot open " + path);
+  // Round-trip-exact doubles: 17 significant digits.
+  f << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t i = 0; i < table.header.size(); ++i) {
+    if (i) f << ',';
+    f << table.header[i];
+  }
+  f << '\n';
+  for (const auto& row : table.rows) {
+    if (row.size() != table.header.size()) {
+      throw std::invalid_argument("write_csv: ragged row");
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) f << ',';
+      f << row[i];
+    }
+    f << '\n';
+  }
+  if (!f) throw std::runtime_error("write_csv: write failed for " + path);
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_csv: cannot open " + path);
+  CsvTable table;
+  std::string line;
+  if (!std::getline(f, line)) {
+    throw std::runtime_error("read_csv: empty file " + path);
+  }
+  {
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) table.header.push_back(cell);
+  }
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    std::vector<double> row;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        row.push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        throw std::runtime_error("read_csv: non-numeric cell '" + cell +
+                                 "' in " + path);
+      }
+    }
+    if (row.size() != table.header.size()) {
+      throw std::runtime_error("read_csv: ragged row in " + path);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace highrpm::data

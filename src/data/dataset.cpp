@@ -1,0 +1,163 @@
+#include "highrpm/data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace highrpm::data {
+
+Dataset::Dataset(math::Matrix features, std::vector<std::string> feature_names)
+    : features_(std::move(features)), feature_names_(std::move(feature_names)) {
+  if (feature_names_.size() != features_.cols()) {
+    throw std::invalid_argument("Dataset: feature name count != columns");
+  }
+}
+
+std::size_t Dataset::feature_index(const std::string& name) const {
+  const auto it = std::find(feature_names_.begin(), feature_names_.end(), name);
+  if (it == feature_names_.end()) {
+    throw std::out_of_range("Dataset: unknown feature '" + name + "'");
+  }
+  return static_cast<std::size_t>(it - feature_names_.begin());
+}
+
+bool Dataset::has_feature(const std::string& name) const noexcept {
+  return std::find(feature_names_.begin(), feature_names_.end(), name) !=
+         feature_names_.end();
+}
+
+void Dataset::set_target(const std::string& name, std::vector<double> values) {
+  if (values.size() != num_samples()) {
+    throw std::invalid_argument("Dataset::set_target: length mismatch");
+  }
+  for (std::size_t i = 0; i < target_names_.size(); ++i) {
+    if (target_names_[i] == name) {
+      targets_[i] = std::move(values);
+      return;
+    }
+  }
+  target_names_.push_back(name);
+  targets_.push_back(std::move(values));
+}
+
+const std::vector<double>& Dataset::target(const std::string& name) const {
+  for (std::size_t i = 0; i < target_names_.size(); ++i) {
+    if (target_names_[i] == name) return targets_[i];
+  }
+  throw std::out_of_range("Dataset: unknown target '" + name + "'");
+}
+
+bool Dataset::has_target(const std::string& name) const noexcept {
+  return std::find(target_names_.begin(), target_names_.end(), name) !=
+         target_names_.end();
+}
+
+std::vector<std::string> Dataset::target_names() const { return target_names_; }
+
+void Dataset::append_row(std::span<const double> row,
+                         std::span<const double> target_values) {
+  if (row.size() != num_features()) {
+    throw std::invalid_argument("Dataset::append_row: feature width mismatch");
+  }
+  if (target_values.size() != targets_.size()) {
+    throw std::invalid_argument("Dataset::append_row: target count mismatch");
+  }
+  math::Matrix next(num_samples() + 1, num_features());
+  std::copy(features_.flat().begin(), features_.flat().end(),
+            next.flat().begin());
+  std::copy(row.begin(), row.end(), next.row(num_samples()).begin());
+  features_ = std::move(next);
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    targets_[t].push_back(target_values[t]);
+  }
+}
+
+Dataset Dataset::select_rows(std::span<const std::size_t> indices) const {
+  math::Matrix f(indices.size(), num_features());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= num_samples()) {
+      throw std::out_of_range("Dataset::select_rows: index out of range");
+    }
+    const auto src = features_.row(indices[i]);
+    std::copy(src.begin(), src.end(), f.row(i).begin());
+  }
+  Dataset out(std::move(f), feature_names_);
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    std::vector<double> tv(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      tv[i] = targets_[t][indices[i]];
+    }
+    out.set_target(target_names_[t], std::move(tv));
+  }
+  return out;
+}
+
+Dataset Dataset::slice(std::size_t start, std::size_t n) const {
+  if (start + n > num_samples()) {
+    throw std::out_of_range("Dataset::slice: range out of bounds");
+  }
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = start + i;
+  return select_rows(idx);
+}
+
+void Dataset::concat(const Dataset& other) {
+  if (other.feature_names_ != feature_names_ ||
+      other.target_names_ != target_names_) {
+    throw std::invalid_argument("Dataset::concat: schema mismatch");
+  }
+  math::Matrix next(num_samples() + other.num_samples(), num_features());
+  std::copy(features_.flat().begin(), features_.flat().end(),
+            next.flat().begin());
+  std::copy(other.features_.flat().begin(), other.features_.flat().end(),
+            next.flat().begin() + static_cast<std::ptrdiff_t>(features_.size()));
+  features_ = std::move(next);
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    targets_[t].insert(targets_[t].end(), other.targets_[t].begin(),
+                       other.targets_[t].end());
+  }
+}
+
+void Dataset::add_feature(const std::string& name,
+                          std::span<const double> values) {
+  if (values.size() != num_samples()) {
+    throw std::invalid_argument("Dataset::add_feature: length mismatch");
+  }
+  if (has_feature(name)) {
+    throw std::invalid_argument("Dataset::add_feature: duplicate '" + name +
+                                "'");
+  }
+  math::Matrix next(num_samples(), num_features() + 1);
+  for (std::size_t r = 0; r < num_samples(); ++r) {
+    const auto src = features_.row(r);
+    auto dst = next.row(r);
+    std::copy(src.begin(), src.end(), dst.begin());
+    dst[num_features()] = values[r];
+  }
+  features_ = std::move(next);
+  feature_names_.push_back(name);
+}
+
+Dataset Dataset::without_feature(const std::string& name) const {
+  const std::size_t drop = feature_index(name);
+  math::Matrix next(num_samples(), num_features() - 1);
+  for (std::size_t r = 0; r < num_samples(); ++r) {
+    const auto src = features_.row(r);
+    auto dst = next.row(r);
+    std::size_t w = 0;
+    for (std::size_t c = 0; c < num_features(); ++c) {
+      if (c != drop) dst[w++] = src[c];
+    }
+  }
+  std::vector<std::string> names;
+  names.reserve(feature_names_.size() - 1);
+  for (std::size_t c = 0; c < feature_names_.size(); ++c) {
+    if (c != drop) names.push_back(feature_names_[c]);
+  }
+  Dataset out(std::move(next), std::move(names));
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    out.set_target(target_names_[t], targets_[t]);
+  }
+  return out;
+}
+
+}  // namespace highrpm::data

@@ -1,0 +1,133 @@
+#include "highrpm/data/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "highrpm/math/stats.hpp"
+
+namespace highrpm::data {
+
+namespace {
+void require_fitted(bool fitted, const char* what) {
+  if (!fitted) throw std::logic_error(std::string(what) + ": not fitted");
+}
+}  // namespace
+
+void StandardScaler::fit(const math::Matrix& x) {
+  const std::size_t n = x.cols();
+  mean_.assign(n, 0.0);
+  std_.assign(n, 1.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    const auto col = x.col(c);
+    mean_[c] = math::mean(col);
+    const double s = math::stddev(col);
+    std_[c] = s > 1e-12 ? s : 1.0;
+  }
+}
+
+math::Matrix StandardScaler::transform(const math::Matrix& x) const {
+  require_fitted(fitted(), "StandardScaler");
+  if (x.cols() != mean_.size()) {
+    throw std::invalid_argument("StandardScaler: column count mismatch");
+  }
+  math::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = (x(r, c) - mean_[c]) / std_[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> StandardScaler::transform_row(
+    std::span<const double> row) const {
+  require_fitted(fitted(), "StandardScaler");
+  if (row.size() != mean_.size()) {
+    throw std::invalid_argument("StandardScaler: row width mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - mean_[c]) / std_[c];
+  }
+  return out;
+}
+
+math::Matrix StandardScaler::fit_transform(const math::Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+void MinMaxScaler::fit(const math::Matrix& x) {
+  const std::size_t n = x.cols();
+  min_.assign(n, 0.0);
+  range_.assign(n, 1.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    const auto col = x.col(c);
+    const double lo = math::min_value(col);
+    const double hi = math::max_value(col);
+    min_[c] = lo;
+    range_[c] = (hi - lo) > 1e-12 ? hi - lo : 1.0;
+  }
+}
+
+math::Matrix MinMaxScaler::transform(const math::Matrix& x) const {
+  require_fitted(fitted(), "MinMaxScaler");
+  if (x.cols() != min_.size()) {
+    throw std::invalid_argument("MinMaxScaler: column count mismatch");
+  }
+  math::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = (x(r, c) - min_[c]) / range_[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> MinMaxScaler::transform_row(
+    std::span<const double> row) const {
+  require_fitted(fitted(), "MinMaxScaler");
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - min_[c]) / range_[c];
+  }
+  return out;
+}
+
+math::Matrix MinMaxScaler::fit_transform(const math::Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+void TargetScaler::fit(std::span<const double> y) {
+  mean_ = math::mean(y);
+  const double s = math::stddev(y);
+  std_ = s > 1e-12 ? s : 1.0;
+  fitted_ = true;
+}
+
+std::vector<double> TargetScaler::transform(std::span<const double> y) const {
+  require_fitted(fitted_, "TargetScaler");
+  std::vector<double> out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) out[i] = (y[i] - mean_) / std_;
+  return out;
+}
+
+double TargetScaler::transform_one(double y) const {
+  require_fitted(fitted_, "TargetScaler");
+  return (y - mean_) / std_;
+}
+
+std::vector<double> TargetScaler::inverse(std::span<const double> y) const {
+  require_fitted(fitted_, "TargetScaler");
+  std::vector<double> out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) out[i] = y[i] * std_ + mean_;
+  return out;
+}
+
+double TargetScaler::inverse_one(double y) const {
+  require_fitted(fitted_, "TargetScaler");
+  return y * std_ + mean_;
+}
+
+}  // namespace highrpm::data

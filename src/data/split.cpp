@@ -1,0 +1,62 @@
+#include "highrpm/data/split.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace highrpm::data {
+
+SplitIndices train_test_split(std::size_t n, double test_fraction,
+                              math::Rng& rng) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("train_test_split: fraction out of (0,1)");
+  }
+  auto perm = rng.permutation(n);
+  const std::size_t n_test =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   static_cast<double>(n) * test_fraction));
+  SplitIndices out;
+  out.test.assign(perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(n_test));
+  out.train.assign(perm.begin() + static_cast<std::ptrdiff_t>(n_test), perm.end());
+  return out;
+}
+
+SplitIndices chronological_split(std::size_t n, double test_fraction) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("chronological_split: fraction out of (0,1)");
+  }
+  const std::size_t n_test =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   static_cast<double>(n) * test_fraction));
+  SplitIndices out;
+  for (std::size_t i = 0; i < n - n_test; ++i) out.train.push_back(i);
+  for (std::size_t i = n - n_test; i < n; ++i) out.test.push_back(i);
+  return out;
+}
+
+KFold::KFold(std::size_t n_splits, bool shuffle)
+    : n_splits_(n_splits), shuffle_(shuffle) {
+  if (n_splits < 2) throw std::invalid_argument("KFold: need >= 2 splits");
+}
+
+std::vector<SplitIndices> KFold::split(std::size_t n, math::Rng& rng) const {
+  if (n < n_splits_) throw std::invalid_argument("KFold: n < n_splits");
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  if (shuffle_) order = rng.permutation(n);
+
+  std::vector<SplitIndices> folds(n_splits_);
+  const std::size_t base = n / n_splits_;
+  const std::size_t extra = n % n_splits_;
+  std::size_t cursor = 0;
+  for (std::size_t f = 0; f < n_splits_; ++f) {
+    const std::size_t len = base + (f < extra ? 1 : 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool in_test = i >= cursor && i < cursor + len;
+      (in_test ? folds[f].test : folds[f].train).push_back(order[i]);
+    }
+    cursor += len;
+  }
+  return folds;
+}
+
+}  // namespace highrpm::data

@@ -1,0 +1,52 @@
+#include "highrpm/data/window.hpp"
+
+#include <stdexcept>
+
+namespace highrpm::data {
+
+std::vector<SequenceSample> make_windows(const math::Matrix& features,
+                                         std::span<const double> labels,
+                                         std::size_t window) {
+  const std::size_t n = features.rows();
+  if (labels.size() != n) {
+    throw std::invalid_argument("make_windows: label length mismatch");
+  }
+  if (window == 0 || n < window) {
+    throw std::invalid_argument("make_windows: series shorter than window");
+  }
+  std::vector<SequenceSample> out;
+  out.reserve(n - window + 1);
+  for (std::size_t start = 0; start + window <= n; ++start) {
+    SequenceSample s;
+    s.steps = math::Matrix(window, features.cols());
+    s.labels.resize(window);
+    for (std::size_t k = 0; k < window; ++k) {
+      const auto src = features.row(start + k);
+      std::copy(src.begin(), src.end(), s.steps.row(k).begin());
+      s.labels[k] = labels[start + k];
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<SequenceSample> make_windows_with_prev_label(
+    const math::Matrix& features, std::span<const double> labels,
+    std::size_t window, double initial_prev) {
+  const std::size_t n = features.rows();
+  if (labels.size() != n) {
+    throw std::invalid_argument(
+        "make_windows_with_prev_label: label length mismatch");
+  }
+  // Augment each row with the previous step's label, then window normally.
+  math::Matrix aug(n, features.cols() + 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto src = features.row(r);
+    auto dst = aug.row(r);
+    std::copy(src.begin(), src.end(), dst.begin());
+    dst[features.cols()] = r == 0 ? initial_prev : labels[r - 1];
+  }
+  return make_windows(aug, labels, window);
+}
+
+}  // namespace highrpm::data

@@ -1,0 +1,158 @@
+#include "highrpm/math/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace highrpm::math {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_rows(std::size_t rows, std::size_t cols,
+                         std::span<const double> flat) {
+  if (flat.size() != rows * cols) {
+    throw std::invalid_argument("Matrix::from_rows: size mismatch");
+  }
+  Matrix m(rows, cols);
+  std::copy(flat.begin(), flat.end(), m.data_.begin());
+  return m;
+}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  if (!same_shape(o)) throw std::invalid_argument("Matrix+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  if (!same_shape(o)) throw std::invalid_argument("Matrix-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: inner dimension mismatch");
+  }
+  Matrix c(a.rows(), b.cols(), 0.0);
+  // i-k-j loop order keeps the inner loop contiguous for row-major storage.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const auto brow = b.row(k);
+      auto crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix gram(const Matrix& a) {
+  const std::size_t n = a.cols();
+  Matrix g(n, n, 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      for (std::size_t j = i; j < n; ++j) g(i, j) += ri * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
+  if (x.size() != a.cols()) throw std::invalid_argument("matvec: size mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), x);
+  return y;
+}
+
+std::vector<double> matvec_t(const Matrix& a, std::span<const double> x) {
+  if (x.size() != a.rows()) {
+    throw std::invalid_argument("matvec_t: size mismatch");
+  }
+  std::vector<double> y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
+  }
+  return y;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double s, std::span<const double> b, std::span<double> a) {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) a[i] += s * b[i];
+}
+
+void scale(std::span<double> a, double s) {
+  for (double& v : a) v *= s;
+}
+
+std::vector<double> vec_add(std::span<const double> a,
+                            std::span<const double> b) {
+  std::vector<double> out(a.begin(), a.end());
+  axpy(1.0, b, out);
+  return out;
+}
+
+std::vector<double> vec_sub(std::span<const double> a,
+                            std::span<const double> b) {
+  std::vector<double> out(a.begin(), a.end());
+  axpy(-1.0, b, out);
+  return out;
+}
+
+}  // namespace highrpm::math

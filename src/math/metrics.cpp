@@ -1,0 +1,76 @@
+#include "highrpm/math/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "highrpm/math/stats.hpp"
+
+namespace highrpm::math {
+
+namespace {
+void check_sizes(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("metrics: size mismatch or empty input");
+  }
+}
+}  // namespace
+
+double mape(std::span<const double> y_true, std::span<const double> y_pred,
+            double eps) {
+  check_sizes(y_true, y_pred);
+  double s = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    if (std::fabs(y_true[i]) < eps) continue;
+    s += std::fabs((y_true[i] - y_pred[i]) / y_true[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : 100.0 * s / static_cast<double>(n);
+}
+
+double rmse(std::span<const double> y_true, std::span<const double> y_pred) {
+  check_sizes(y_true, y_pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const double d = y_true[i] - y_pred[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(y_true.size()));
+}
+
+double mae(std::span<const double> y_true, std::span<const double> y_pred) {
+  check_sizes(y_true, y_pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    s += std::fabs(y_true[i] - y_pred[i]);
+  }
+  return s / static_cast<double>(y_true.size());
+}
+
+double r2(std::span<const double> y_true, std::span<const double> y_pred) {
+  check_sizes(y_true, y_pred);
+  const double m = mean(y_true);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - m) * (y_true[i] - m);
+  }
+  if (ss_tot < 1e-24) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+std::string MetricReport::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "MAPE=%.2f%% RMSE=%.2f MAE=%.2f R2=%.3f",
+                mape, rmse, mae, r2);
+  return buf;
+}
+
+MetricReport evaluate_metrics(std::span<const double> y_true,
+                              std::span<const double> y_pred) {
+  return MetricReport{mape(y_true, y_pred), rmse(y_true, y_pred),
+                      mae(y_true, y_pred), r2(y_true, y_pred)};
+}
+
+}  // namespace highrpm::math

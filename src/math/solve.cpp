@@ -1,0 +1,129 @@
+#include "highrpm/math/solve.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace highrpm::math {
+
+std::vector<double> solve_cholesky(const Matrix& a, std::span<const double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("solve_cholesky: shape mismatch");
+  }
+  // L lower-triangular with A = L L^T.
+  Matrix l(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (s <= 0.0 || !std::isfinite(s)) {
+          throw std::domain_error("solve_cholesky: matrix not SPD");
+        }
+        l(i, i) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  // Forward solve L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  // Back solve L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        std::span<const double> b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m) {
+    throw std::invalid_argument("solve_least_squares: rhs size mismatch");
+  }
+  if (m < n) {
+    throw std::invalid_argument("solve_least_squares: underdetermined system");
+  }
+  // Householder QR working on copies.
+  Matrix r = a;
+  std::vector<double> qtb(b.begin(), b.end());
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build Householder vector for column k, rows k..m-1.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) continue;  // rank-deficient column: leave as-is
+    const double alpha = r(k, k) > 0 ? -norm : norm;
+    std::vector<double> v(m - k, 0.0);
+    v[0] = r(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    double vtv = 0.0;
+    for (double vi : v) vtv += vi * vi;
+    if (vtv < 1e-24) continue;
+    // Apply H = I - 2 v v^T / (v^T v) to R (cols k..n-1) and to qtb.
+    for (std::size_t j = k; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += v[i - k] * r(i, j);
+      const double f = 2.0 * s / vtv;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= f * v[i - k];
+    }
+    double s = 0.0;
+    for (std::size_t i = k; i < m; ++i) s += v[i - k] * qtb[i];
+    const double f = 2.0 * s / vtv;
+    for (std::size_t i = k; i < m; ++i) qtb[i] -= f * v[i - k];
+  }
+  // Back substitution on the upper-triangular R.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = qtb[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= r(ii, j) * x[j];
+    const double d = r(ii, ii);
+    x[ii] = std::fabs(d) > 1e-12 ? s / d : 0.0;
+  }
+  return x;
+}
+
+std::vector<double> solve_ridge(const Matrix& a, std::span<const double> b,
+                                double lambda, std::size_t unpenalized_col) {
+  Matrix g = gram(a);
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    if (i != unpenalized_col) g(i, i) += lambda;
+  }
+  // Tiny jitter keeps the Cholesky SPD even for duplicate columns.
+  for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += 1e-10;
+  const std::vector<double> atb = matvec_t(a, b);
+  return solve_cholesky(g, atb);
+}
+
+std::vector<double> solve_tridiagonal(std::span<const double> lower,
+                                      std::span<const double> diag,
+                                      std::span<const double> upper,
+                                      std::vector<double> rhs) {
+  const std::size_t n = diag.size();
+  if (lower.size() != n - 1 || upper.size() != n - 1 || rhs.size() != n) {
+    throw std::invalid_argument("solve_tridiagonal: band size mismatch");
+  }
+  std::vector<double> c(n - 1);
+  std::vector<double> d(rhs.begin(), rhs.end());
+  c[0] = upper[0] / diag[0];
+  d[0] = d[0] / diag[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double m = diag[i] - lower[i - 1] * c[i - 1];
+    if (i < n - 1) c[i] = upper[i] / m;
+    d[i] = (d[i] - lower[i - 1] * d[i - 1]) / m;
+  }
+  for (std::size_t ii = n - 1; ii-- > 0;) d[ii] -= c[ii] * d[ii + 1];
+  return d;
+}
+
+}  // namespace highrpm::math

@@ -1,0 +1,122 @@
+#include "highrpm/math/spline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "highrpm/math/solve.hpp"
+
+namespace highrpm::math {
+
+CubicSpline::CubicSpline(std::span<const double> x, std::span<const double> y)
+    : x_(x.begin(), x.end()), y_(y.begin(), y.end()) {
+  const std::size_t n = x_.size();
+  if (n < 2 || y_.size() != n) {
+    throw std::invalid_argument("CubicSpline: need >= 2 matching points");
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    if (x_[i] <= x_[i - 1]) {
+      throw std::invalid_argument("CubicSpline: x must be strictly increasing");
+    }
+  }
+  b_.assign(n - 1, 0.0);
+  c_.assign(n - 1, 0.0);
+  d_.assign(n - 1, 0.0);
+  if (n == 2) {
+    b_[0] = (y_[1] - y_[0]) / (x_[1] - x_[0]);
+    return;
+  }
+  // Solve for second derivatives m_i with natural boundary m_0 = m_{n-1} = 0.
+  // Interior rows form a tridiagonal system of size n-2.
+  const std::size_t m = n - 2;
+  std::vector<double> lower(m > 1 ? m - 1 : 0), diag(m), upper(m > 1 ? m - 1 : 0),
+      rhs(m);
+  std::vector<double> h(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) h[i] = x_[i + 1] - x_[i];
+  for (std::size_t i = 0; i < m; ++i) {
+    diag[i] = 2.0 * (h[i] + h[i + 1]);
+    rhs[i] = 6.0 * ((y_[i + 2] - y_[i + 1]) / h[i + 1] -
+                    (y_[i + 1] - y_[i]) / h[i]);
+    if (i > 0) lower[i - 1] = h[i];
+    if (i + 1 < m) upper[i] = h[i + 1];
+  }
+  std::vector<double> mm(n, 0.0);
+  if (m == 1) {
+    mm[1] = rhs[0] / diag[0];
+  } else {
+    auto sol = solve_tridiagonal(lower, diag, upper, std::move(rhs));
+    for (std::size_t i = 0; i < m; ++i) mm[i + 1] = sol[i];
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b_[i] = (y_[i + 1] - y_[i]) / h[i] - h[i] * (2.0 * mm[i] + mm[i + 1]) / 6.0;
+    c_[i] = mm[i] / 2.0;
+    d_[i] = (mm[i + 1] - mm[i]) / (6.0 * h[i]);
+  }
+}
+
+std::size_t CubicSpline::segment(double t) const {
+  // Rightmost segment whose left knot <= t, clamped to the valid range.
+  const auto it = std::upper_bound(x_.begin(), x_.end(), t);
+  if (it == x_.begin()) return 0;
+  std::size_t idx = static_cast<std::size_t>(it - x_.begin()) - 1;
+  return std::min(idx, x_.size() - 2);
+}
+
+double CubicSpline::operator()(double t) const {
+  if (!fitted()) throw std::logic_error("CubicSpline: not fitted");
+  if (t <= x_.front()) {
+    // Linear extrapolation using the left boundary slope.
+    return y_.front() + b_.front() * (t - x_.front());
+  }
+  if (t >= x_.back()) {
+    const std::size_t i = x_.size() - 2;
+    const double h = x_.back() - x_[i];
+    const double slope = b_[i] + 2.0 * c_[i] * h + 3.0 * d_[i] * h * h;
+    return y_.back() + slope * (t - x_.back());
+  }
+  const std::size_t i = segment(t);
+  const double dt = t - x_[i];
+  return y_[i] + dt * (b_[i] + dt * (c_[i] + dt * d_[i]));
+}
+
+std::vector<double> CubicSpline::evaluate(std::span<const double> t) const {
+  std::vector<double> out(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) out[i] = (*this)(t[i]);
+  return out;
+}
+
+double CubicSpline::derivative(double t) const {
+  if (!fitted()) throw std::logic_error("CubicSpline: not fitted");
+  if (t <= x_.front()) return b_.front();
+  if (t >= x_.back()) {
+    const std::size_t i = x_.size() - 2;
+    const double h = x_.back() - x_[i];
+    return b_[i] + 2.0 * c_[i] * h + 3.0 * d_[i] * h * h;
+  }
+  const std::size_t i = segment(t);
+  const double dt = t - x_[i];
+  return b_[i] + 2.0 * c_[i] * dt + 3.0 * d_[i] * dt * dt;
+}
+
+LinearInterp::LinearInterp(std::span<const double> x, std::span<const double> y)
+    : x_(x.begin(), x.end()), y_(y.begin(), y.end()) {
+  if (x_.size() < 2 || y_.size() != x_.size()) {
+    throw std::invalid_argument("LinearInterp: need >= 2 matching points");
+  }
+  for (std::size_t i = 1; i < x_.size(); ++i) {
+    if (x_[i] <= x_[i - 1]) {
+      throw std::invalid_argument("LinearInterp: x must be strictly increasing");
+    }
+  }
+}
+
+double LinearInterp::operator()(double t) const {
+  if (x_.empty()) throw std::logic_error("LinearInterp: not fitted");
+  if (t <= x_.front()) return y_.front();
+  if (t >= x_.back()) return y_.back();
+  const auto it = std::upper_bound(x_.begin(), x_.end(), t);
+  const std::size_t i = static_cast<std::size_t>(it - x_.begin()) - 1;
+  const double f = (t - x_[i]) / (x_[i + 1] - x_[i]);
+  return y_[i] * (1.0 - f) + y_[i + 1] * f;
+}
+
+}  // namespace highrpm::math

@@ -1,0 +1,96 @@
+#include "highrpm/math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace highrpm::math {
+
+double mean(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(std::span<const double> v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(std::span<const double> v) { return std::sqrt(variance(v)); }
+
+double min_value(std::span<const double> v) {
+  if (v.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_value(std::span<const double> v) {
+  if (v.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::max_element(v.begin(), v.end());
+}
+
+double quantile(std::vector<double> v, double q) {
+  if (v.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q out of range");
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double median(std::vector<double> v) { return quantile(std::move(v), 0.5); }
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  const double ma = mean(a.subspan(0, n));
+  const double mb = mean(b.subspan(0, n));
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa < 1e-24 || sbb < 1e-24) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+double autocorrelation(std::span<const double> v, std::size_t lag) {
+  if (v.size() <= lag + 1) return 0.0;
+  const double m = mean(v);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    den += (v[i] - m) * (v[i] - m);
+  }
+  if (den < 1e-24) return 0.0;
+  for (std::size_t i = 0; i + lag < v.size(); ++i) {
+    num += (v[i] - m) * (v[i + lag] - m);
+  }
+  return num / den;
+}
+
+std::vector<double> moving_average(std::span<const double> v,
+                                   std::size_t window) {
+  if (window == 0) throw std::invalid_argument("moving_average: window == 0");
+  std::vector<double> out(v.size(), 0.0);
+  const std::size_t half = window / 2;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(i + half + 1, v.size());
+    double s = 0.0;
+    for (std::size_t j = lo; j < hi; ++j) s += v[j];
+    out[i] = s / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+}  // namespace highrpm::math

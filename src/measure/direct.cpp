@@ -1,0 +1,26 @@
+#include "highrpm/measure/direct.hpp"
+
+#include <algorithm>
+
+namespace highrpm::measure {
+
+DirectMeasurementRig::DirectMeasurementRig(DirectRigConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed) {}
+
+ComponentReading DirectMeasurementRig::read(const sim::TickSample& tick) {
+  ComponentReading r;
+  r.time_s = tick.time_s;
+  r.cpu_w = std::max(0.0, tick.p_cpu_w + rng_.normal(0.0, cfg_.reading_error_w));
+  r.mem_w = std::max(0.0, tick.p_mem_w + rng_.normal(0.0, cfg_.reading_error_w));
+  return r;
+}
+
+std::vector<ComponentReading> DirectMeasurementRig::read_trace(
+    const sim::Trace& trace) {
+  std::vector<ComponentReading> out;
+  out.reserve(trace.size());
+  for (const auto& tick : trace.samples()) out.push_back(read(tick));
+  return out;
+}
+
+}  // namespace highrpm::measure

@@ -1,0 +1,55 @@
+#include "highrpm/measure/ipmi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace highrpm::measure {
+
+IpmiSensor::IpmiSensor(IpmiConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.interval_s < 1.0) {
+    throw std::invalid_argument("IpmiSensor: interval must be >= 1 s");
+  }
+}
+
+void IpmiSensor::reset() {
+  ticks_seen_ = 0;
+  history_.clear();
+  rng_ = math::Rng(cfg_.seed);
+}
+
+std::optional<IpmiReading> IpmiSensor::offer(const sim::TickSample& tick) {
+  history_.emplace_back(ticks_seen_, tick.p_node_w);
+  const std::size_t delay =
+      static_cast<std::size_t>(std::llround(cfg_.readout_delay_s));
+  while (history_.size() > delay + 1) history_.pop_front();
+
+  const std::size_t interval =
+      static_cast<std::size_t>(std::llround(cfg_.interval_s));
+  const std::size_t idx = ticks_seen_;
+  ++ticks_seen_;
+  if (idx % interval != 0) return std::nullopt;
+
+  // The value the BMC hands back is the power from `readout_delay_s` ago
+  // (or the oldest we have, early in the run), noised then quantized.
+  const double raw = history_.front().second;
+  double v = raw + rng_.normal(0.0, cfg_.sensor_noise_w);
+  if (cfg_.quantization_w > 0.0) {
+    v = std::round(v / cfg_.quantization_w) * cfg_.quantization_w;
+  }
+  IpmiReading r;
+  r.time_s = tick.time_s;
+  r.power_w = std::max(0.0, v);
+  r.tick_index = idx;
+  return r;
+}
+
+std::vector<IpmiReading> IpmiSensor::sample_trace(const sim::Trace& trace) {
+  reset();
+  std::vector<IpmiReading> out;
+  for (const auto& tick : trace.samples()) {
+    if (auto r = offer(tick)) out.push_back(*r);
+  }
+  return out;
+}
+
+}  // namespace highrpm::measure

@@ -1,0 +1,50 @@
+#include "highrpm/measure/pmc_sampler.hpp"
+
+#include <algorithm>
+
+namespace highrpm::measure {
+
+PmcSampler::PmcSampler(PmcSamplerConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+void PmcSampler::reset() {
+  rng_ = math::Rng(cfg_.seed);
+  last_ = {};
+  rotation_ = 0;
+  has_last_ = false;
+}
+
+sim::PmcVector PmcSampler::sample(const sim::TickSample& tick) {
+  sim::PmcVector out{};
+  const std::size_t n = sim::kNumPmcEvents;
+  const bool multiplexed = cfg_.counter_slots > 0 && cfg_.counter_slots < n;
+  for (std::size_t e = 0; e < n; ++e) {
+    bool live = true;
+    if (multiplexed) {
+      // Rotate a contiguous live window of counter_slots events each tick.
+      const std::size_t offset = (e + n - rotation_ % n) % n;
+      live = offset < cfg_.counter_slots;
+    }
+    if (live || !has_last_) {
+      const double noise = 1.0 + rng_.normal(0.0, cfg_.relative_noise);
+      out[e] = std::max(0.0, tick.pmcs[e] * noise);
+    } else {
+      out[e] = last_[e];  // hold last sampled value while not live
+    }
+  }
+  if (multiplexed) rotation_ += cfg_.counter_slots;
+  last_ = out;
+  has_last_ = true;
+  return out;
+}
+
+math::Matrix PmcSampler::sample_trace(const sim::Trace& trace) {
+  reset();
+  math::Matrix m(trace.size(), sim::kNumPmcEvents);
+  for (std::size_t r = 0; r < trace.size(); ++r) {
+    const auto v = sample(trace[r]);
+    std::copy(v.begin(), v.end(), m.row(r).begin());
+  }
+  return m;
+}
+
+}  // namespace highrpm::measure

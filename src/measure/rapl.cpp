@@ -1,0 +1,44 @@
+#include "highrpm/measure/rapl.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace highrpm::measure {
+
+RaplInterface::RaplInterface(RaplConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.wrap_bits == 0 || cfg_.wrap_bits > 63) {
+    throw std::invalid_argument("RaplInterface: wrap_bits must be in [1,63]");
+  }
+}
+
+void RaplInterface::advance(const sim::TickSample& tick) {
+  // One tick = one second; energy += power * 1 s, with RAPL model error.
+  const double err = 1.0 + rng_.normal(0.0, cfg_.relative_error);
+  pkg_uj_ += std::max(0.0, tick.p_cpu_w * err) * 1e6;
+  ram_uj_ += std::max(0.0, tick.p_mem_w * err) * 1e6;
+}
+
+std::uint64_t RaplInterface::wrap(double uj) const noexcept {
+  const double unit = cfg_.counter_resolution_uj;
+  const std::uint64_t units = static_cast<std::uint64_t>(uj / unit);
+  const std::uint64_t mask = (1ULL << cfg_.wrap_bits) - 1ULL;
+  // Counter counts energy units, wraps at 2^wrap_bits, reported in uJ.
+  return static_cast<std::uint64_t>(
+      static_cast<double>(units & mask) * unit);
+}
+
+double RaplInterface::power_from_counters(std::uint64_t before,
+                                          std::uint64_t after,
+                                          double dt_s) const {
+  if (dt_s <= 0.0) {
+    throw std::invalid_argument("power_from_counters: dt must be > 0");
+  }
+  const double unit = cfg_.counter_resolution_uj;
+  const double wrap_uj =
+      std::ldexp(1.0, static_cast<int>(cfg_.wrap_bits)) * unit;
+  double delta = static_cast<double>(after) - static_cast<double>(before);
+  if (delta < 0.0) delta += wrap_uj;  // single wraparound
+  return delta * 1e-6 / dt_s;
+}
+
+}  // namespace highrpm::measure

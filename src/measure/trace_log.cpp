@@ -1,0 +1,113 @@
+#include "highrpm/measure/trace_log.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "highrpm/data/csv.hpp"
+
+namespace highrpm::measure {
+
+namespace {
+constexpr const char* kMeasuredCol = "measured";
+constexpr const char* kIpmiCol = "ipmi_w";
+}  // namespace
+
+void save_run(const std::string& path, const CollectedRun& run) {
+  data::CsvTable table;
+  table.header.push_back("tick");
+  for (const auto& name : pmc_feature_names()) table.header.push_back(name);
+  table.header.insert(table.header.end(),
+                      {"P_NODE", "P_CPU", "P_MEM", kMeasuredCol, kIpmiCol,
+                       "truth_cpu", "truth_mem", "truth_other"});
+
+  const auto& f = run.dataset.features();
+  const auto& p_node = run.dataset.target("P_NODE");
+  const auto& p_cpu = run.dataset.target("P_CPU");
+  const auto& p_mem = run.dataset.target("P_MEM");
+  std::vector<double> ipmi_at(run.num_ticks(), 0.0);
+  for (const auto& r : run.ipmi_readings) {
+    if (r.tick_index < ipmi_at.size()) ipmi_at[r.tick_index] = r.power_w;
+  }
+  for (std::size_t t = 0; t < run.num_ticks(); ++t) {
+    std::vector<double> row;
+    row.reserve(table.header.size());
+    row.push_back(static_cast<double>(t));
+    for (const double v : f.row(t)) row.push_back(v);
+    row.push_back(p_node[t]);
+    row.push_back(p_cpu[t]);
+    row.push_back(p_mem[t]);
+    row.push_back(run.measured[t] ? 1.0 : 0.0);
+    row.push_back(ipmi_at[t]);
+    row.push_back(run.truth[t].p_cpu_w);
+    row.push_back(run.truth[t].p_mem_w);
+    row.push_back(run.truth[t].p_other_w);
+    table.rows.push_back(std::move(row));
+  }
+  data::write_csv(path, table);
+}
+
+CollectedRun load_run(const std::string& path) {
+  const data::CsvTable table = data::read_csv(path);
+  const auto names = pmc_feature_names();
+  const std::size_t n = table.num_rows();
+  if (n == 0) throw std::runtime_error("load_run: empty log " + path);
+
+  CollectedRun run;
+  run.workload_name = "log:" + path;
+  run.suite = "LOG";
+
+  math::Matrix features(n, names.size());
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    const auto col = table.column(names[c]);
+    for (std::size_t r = 0; r < n; ++r) features(r, c) = col[r];
+  }
+  run.dataset = data::Dataset(std::move(features), names);
+  run.dataset.set_target("P_NODE", table.column("P_NODE"));
+  run.dataset.set_target("P_CPU", table.column("P_CPU"));
+  run.dataset.set_target("P_MEM", table.column("P_MEM"));
+
+  const auto measured = table.column(kMeasuredCol);
+  const auto ipmi = table.column(kIpmiCol);
+  run.measured.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    run.measured[t] = measured[t] != 0.0;
+    if (run.measured[t]) {
+      IpmiReading r;
+      r.tick_index = t;
+      r.time_s = static_cast<double>(t);
+      r.power_w = ipmi[t];
+      run.ipmi_readings.push_back(r);
+    }
+  }
+
+  // Ground truth: use stored columns when present, else fall back to the
+  // targets (real-deployment logs have no simulator truth).
+  const bool has_truth =
+      std::find(table.header.begin(), table.header.end(), "truth_cpu") !=
+      table.header.end();
+  const auto& p_node = run.dataset.target("P_NODE");
+  const auto& p_cpu = run.dataset.target("P_CPU");
+  const auto& p_mem = run.dataset.target("P_MEM");
+  std::vector<double> t_cpu, t_mem, t_other;
+  if (has_truth) {
+    t_cpu = table.column("truth_cpu");
+    t_mem = table.column("truth_mem");
+    t_other = table.column("truth_other");
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    sim::TickSample s;
+    s.time_s = static_cast<double>(t);
+    for (std::size_t c = 0; c < names.size(); ++c) {
+      s.pmcs[c] = run.dataset.features()(t, c);
+    }
+    s.p_cpu_w = has_truth ? t_cpu[t] : p_cpu[t];
+    s.p_mem_w = has_truth ? t_mem[t] : p_mem[t];
+    s.p_other_w =
+        has_truth ? t_other[t] : p_node[t] - s.p_cpu_w - s.p_mem_w;
+    s.p_node_w = has_truth ? s.p_cpu_w + s.p_mem_w + s.p_other_w : p_node[t];
+    run.truth.push_back(s);
+  }
+  return run;
+}
+
+}  // namespace highrpm::measure

@@ -1,0 +1,201 @@
+#include "highrpm/ml/arima.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "highrpm/math/matrix.hpp"
+#include "highrpm/math/solve.hpp"
+
+namespace highrpm::ml {
+
+ArModel::ArModel(std::size_t order) : order_(order) {
+  if (order == 0) throw std::invalid_argument("ArModel: order must be >= 1");
+}
+
+void ArModel::fit(std::span<const double> series) {
+  const std::size_t n = series.size();
+  if (n < order_ + 2) {
+    throw std::invalid_argument("ArModel::fit: series too short for order");
+  }
+  // Design matrix: row t has [1, y_{t-1}, ..., y_{t-p}] predicting y_t.
+  const std::size_t rows = n - order_;
+  math::Matrix x(rows, order_ + 1);
+  std::vector<double> y(rows);
+  for (std::size_t t = 0; t < rows; ++t) {
+    x(t, 0) = 1.0;
+    for (std::size_t j = 0; j < order_; ++j) {
+      x(t, j + 1) = series[t + order_ - 1 - j];  // lag j+1
+    }
+    y[t] = series[t + order_];
+  }
+  // Tiny ridge keeps short / near-constant series well-posed.
+  const auto w = math::solve_ridge(x, y, 1e-8, /*unpenalized_col=*/0);
+  intercept_ = w[0];
+  coef_.assign(w.begin() + 1, w.end());
+  // Stationarity guard: shrink the AR polynomial so iterated forecasts
+  // cannot diverge (sum of |coefficients| kept below 1).
+  double l1 = 0.0;
+  for (const double c : coef_) l1 += std::abs(c);
+  if (l1 > 0.95) {
+    const double shrink = 0.95 / l1;
+    for (double& c : coef_) c *= shrink;
+    intercept_ *= shrink;
+  }
+}
+
+double ArModel::predict_next(std::span<const double> recent) const {
+  if (!fitted()) throw std::logic_error("ArModel: not fitted");
+  if (recent.size() < order_) {
+    throw std::invalid_argument("ArModel::predict_next: need `order` values");
+  }
+  double v = intercept_;
+  // coef_[j] multiplies lag j+1 = recent[size-1-j].
+  for (std::size_t j = 0; j < order_; ++j) {
+    v += coef_[j] * recent[recent.size() - 1 - j];
+  }
+  return v;
+}
+
+std::vector<double> ArModel::forecast(std::span<const double> history,
+                                      std::size_t horizon) const {
+  if (!fitted()) throw std::logic_error("ArModel: not fitted");
+  std::vector<double> buf(history.begin(), history.end());
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    const double v = predict_next(buf);
+    out.push_back(v);
+    buf.push_back(v);
+  }
+  return out;
+}
+
+ArimaInterpolator::ArimaInterpolator(ArimaConfig cfg)
+    : cfg_(cfg), forward_(cfg.p), backward_(cfg.p) {
+  if (cfg_.d > 1) {
+    throw std::invalid_argument("ArimaInterpolator: d must be 0 or 1");
+  }
+}
+
+namespace {
+
+std::vector<double> difference(std::span<const double> v) {
+  std::vector<double> out;
+  out.reserve(v.size() > 0 ? v.size() - 1 : 0);
+  for (std::size_t i = 1; i < v.size(); ++i) out.push_back(v[i] - v[i - 1]);
+  return out;
+}
+
+}  // namespace
+
+void ArimaInterpolator::fit(std::span<const double> readings) {
+  std::vector<double> series(readings.begin(), readings.end());
+  if (cfg_.d == 1) series = difference(series);
+  if (series.size() < cfg_.p + 2) {
+    throw std::invalid_argument("ArimaInterpolator::fit: too few readings");
+  }
+  forward_.fit(series);
+  std::vector<double> reversed(series.rbegin(), series.rend());
+  backward_.fit(reversed);
+}
+
+std::vector<double> ArimaInterpolator::interpolate(
+    std::span<const double> readings,
+    std::span<const std::size_t> reading_ticks, std::size_t n_ticks) const {
+  if (!fitted()) throw std::logic_error("ArimaInterpolator: not fitted");
+  if (readings.size() != reading_ticks.size() || readings.size() < 2) {
+    throw std::invalid_argument("ArimaInterpolator: need >= 2 readings");
+  }
+  std::vector<double> out(n_ticks, readings[0]);
+
+  // Knot values pass through.
+  for (std::size_t i = 0; i < reading_ticks.size(); ++i) {
+    if (reading_ticks[i] < n_ticks) out[reading_ticks[i]] = readings[i];
+  }
+
+  // In level space the d=1 forecast integrates predicted differences; the
+  // forward pass starts from the left knot, the backward pass from the
+  // right knot, and the gap blends the two linearly.
+  const std::size_t m = readings.size();
+  for (std::size_t k = 0; k + 1 < m; ++k) {
+    const std::size_t lo = reading_ticks[k];
+    const std::size_t hi = std::min<std::size_t>(reading_ticks[k + 1], n_ticks);
+    if (hi <= lo + 1) continue;
+    const std::size_t gap = hi - lo - 1;
+
+    // Histories in model space (differences when d=1, levels when d=0).
+    std::vector<double> fwd_hist, bwd_hist;
+    for (std::size_t i = 0; i + 1 <= k; ++i) {
+      if (cfg_.d == 1) {
+        fwd_hist.push_back(readings[i + 1] - readings[i]);
+      }
+    }
+    if (cfg_.d == 0) {
+      fwd_hist.assign(readings.begin(),
+                      readings.begin() + static_cast<std::ptrdiff_t>(k + 1));
+    }
+    for (std::size_t i = m - 1; i > k + 1; --i) {
+      if (cfg_.d == 1) {
+        bwd_hist.push_back(readings[i - 1] - readings[i]);
+      } else {
+        bwd_hist.push_back(readings[i]);
+      }
+    }
+    if (cfg_.d == 0 && bwd_hist.empty()) bwd_hist.push_back(readings[m - 1]);
+    // Pad short histories (boundary gaps) with a sensible prior: the global
+    // mean difference for d=1 (negated for the time-reversed model), the
+    // nearest reading level for d=0.
+    const double mean_diff =
+        (readings[m - 1] - readings[0]) / static_cast<double>(m - 1);
+    const auto pad = [&](std::vector<double>& h, double fill_d1) {
+      const double fill =
+          cfg_.d == 1 ? fill_d1 : (h.empty() ? readings[k] : h.back());
+      while (h.size() < cfg_.p) h.insert(h.begin(), fill);
+    };
+    pad(fwd_hist, mean_diff);
+    pad(bwd_hist, -mean_diff);
+
+    // The AR model lives on the *reading* timescale: one AR step spans the
+    // whole gap. Predict the next reading from each side, spread the change
+    // linearly across the dense ticks, and blend the two directions.
+    const double fwd_next = forward_.predict_next(fwd_hist);
+    const double bwd_next = backward_.predict_next(bwd_hist);
+    const double fwd_target =
+        cfg_.d == 1 ? readings[k] + fwd_next : fwd_next;
+    const double bwd_target =
+        cfg_.d == 1 ? readings[k + 1] + bwd_next : bwd_next;
+
+    // Interpolated levels stay within a widened envelope of the observed
+    // readings — an interpolator has no business inventing new extremes.
+    double r_lo = readings[0], r_hi = readings[0];
+    for (const double v : readings) {
+      r_lo = std::min(r_lo, v);
+      r_hi = std::max(r_hi, v);
+    }
+    const double margin = 0.5 * std::max(1.0, r_hi - r_lo);
+    for (std::size_t g = 0; g < gap; ++g) {
+      const double frac =
+          static_cast<double>(g + 1) / static_cast<double>(gap + 1);
+      const double fwd_level =
+          readings[k] + (fwd_target - readings[k]) * frac;
+      const double bwd_level =
+          readings[k + 1] + (bwd_target - readings[k + 1]) * (1.0 - frac);
+      out[lo + 1 + g] =
+          std::clamp((1.0 - frac) * fwd_level + frac * bwd_level,
+                     r_lo - margin, r_hi + margin);
+    }
+  }
+
+  // Extrapolation outside the knot range: hold the boundary readings.
+  for (std::size_t t = 0; t < std::min<std::size_t>(reading_ticks[0], n_ticks);
+       ++t) {
+    out[t] = readings[0];
+  }
+  for (std::size_t t = reading_ticks[m - 1] + 1; t < n_ticks; ++t) {
+    out[t] = readings[m - 1];
+  }
+  return out;
+}
+
+}  // namespace highrpm::ml

@@ -1,0 +1,84 @@
+#include "highrpm/ml/baselines.hpp"
+
+#include <stdexcept>
+
+#include "highrpm/ml/ensemble.hpp"
+#include "highrpm/ml/knn.hpp"
+#include "highrpm/ml/linear.hpp"
+#include "highrpm/ml/mlp.hpp"
+#include "highrpm/ml/svr.hpp"
+#include "highrpm/ml/tree.hpp"
+
+namespace highrpm::ml {
+
+std::vector<std::string> pointwise_baseline_names() {
+  return {"LR", "LaR", "RR", "SGD", "DT", "RF", "GB", "KNN", "SVM", "NN"};
+}
+
+std::unique_ptr<Regressor> make_baseline(const std::string& abbreviation,
+                                         std::uint64_t seed) {
+  if (abbreviation == "LR") return std::make_unique<LinearRegression>();
+  if (abbreviation == "LaR") return std::make_unique<LassoRegression>();
+  if (abbreviation == "RR") return std::make_unique<RidgeRegression>();
+  if (abbreviation == "SGD") {
+    return std::make_unique<SgdRegression>(0.01, 10000, 1e-4, seed);
+  }
+  if (abbreviation == "DT") {
+    TreeConfig tc;
+    tc.seed = seed;
+    return std::make_unique<DecisionTreeRegressor>(tc);
+  }
+  if (abbreviation == "RF") {
+    ForestConfig fc;
+    fc.n_trees = 10;  // Table 4: #trees=10
+    fc.seed = seed;
+    return std::make_unique<RandomForestRegressor>(fc);
+  }
+  if (abbreviation == "GB") {
+    BoostingConfig bc;
+    bc.n_trees = 10;  // Table 4: #trees=10
+    bc.seed = seed;
+    return std::make_unique<GradientBoostingRegressor>(bc);
+  }
+  if (abbreviation == "KNN") {
+    return std::make_unique<KnnRegressor>(3);  // Table 4: #neighbors=3
+  }
+  if (abbreviation == "SVM") {
+    SvrConfig sc;
+    sc.seed = seed;
+    return std::make_unique<SvrRegressor>(sc);
+  }
+  if (abbreviation == "NN") {
+    MlpConfig mc;
+    mc.hidden = {30};  // Table 4: #hidden_size=30
+    mc.seed = seed;
+    return std::make_unique<MlpRegressor>(mc);
+  }
+  throw std::invalid_argument("make_baseline: unknown model '" + abbreviation +
+                              "'");
+}
+
+SequenceRegressor make_rnn_baseline(const std::string& abbreviation,
+                                    std::uint64_t seed) {
+  RnnConfig rc;
+  rc.units = 2;  // Table 4: #units=2
+  rc.seed = seed;
+  if (abbreviation == "GRU") {
+    rc.cell = CellType::kGru;
+  } else if (abbreviation == "LSTM") {
+    rc.cell = CellType::kLstm;
+  } else {
+    throw std::invalid_argument("make_rnn_baseline: unknown model '" +
+                                abbreviation + "'");
+  }
+  return SequenceRegressor(rc);
+}
+
+std::vector<std::string> all_baseline_names() {
+  auto names = pointwise_baseline_names();
+  names.push_back("GRU");
+  names.push_back("LSTM");
+  return names;
+}
+
+}  // namespace highrpm::ml

@@ -1,0 +1,88 @@
+#include "highrpm/ml/ensemble.hpp"
+
+#include <cmath>
+
+#include "highrpm/math/stats.hpp"
+
+namespace highrpm::ml {
+
+RandomForestRegressor::RandomForestRegressor(ForestConfig cfg) : cfg_(cfg) {}
+
+void RandomForestRegressor::fit(const math::Matrix& x,
+                                std::span<const double> y) {
+  check_training_input(x, y);
+  trees_.clear();
+  trees_.reserve(cfg_.n_trees);
+  math::Rng rng(cfg_.seed);
+  const std::size_t n = x.rows();
+  std::size_t max_features;
+  if (cfg_.feature_fraction > 0.0) {
+    max_features = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(cfg_.feature_fraction * static_cast<double>(x.cols()))));
+  } else {
+    max_features = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::round(std::sqrt(static_cast<double>(x.cols())))));
+  }
+  for (std::size_t t = 0; t < cfg_.n_trees; ++t) {
+    // Bootstrap sample of rows.
+    std::vector<std::size_t> rows(n);
+    for (auto& r : rows) r = rng.uniform_index(n);
+    TreeConfig tc = cfg_.tree;
+    tc.max_features = max_features;
+    tc.seed = rng.next_u64();
+    DecisionTreeRegressor tree(tc);
+    tree.fit_subset(x, y, rows);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForestRegressor::predict_one(std::span<const double> row) const {
+  check_predict_input(fitted(), row.size(), row);  // width checked per-tree
+  double s = 0.0;
+  for (const auto& t : trees_) s += t.predict_one(row);
+  return s / static_cast<double>(trees_.size());
+}
+
+std::unique_ptr<Regressor> RandomForestRegressor::clone() const {
+  return std::make_unique<RandomForestRegressor>(cfg_);
+}
+
+GradientBoostingRegressor::GradientBoostingRegressor(BoostingConfig cfg)
+    : cfg_(cfg) {}
+
+void GradientBoostingRegressor::fit(const math::Matrix& x,
+                                    std::span<const double> y) {
+  check_training_input(x, y);
+  trees_.clear();
+  base_ = math::mean(y);
+  std::vector<double> residual(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - base_;
+  math::Rng rng(cfg_.seed);
+  for (std::size_t t = 0; t < cfg_.n_trees; ++t) {
+    TreeConfig tc = cfg_.tree;
+    tc.seed = rng.next_u64();
+    DecisionTreeRegressor tree(tc);
+    tree.fit(x, residual);
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+      residual[i] -= cfg_.learning_rate * tree.predict_one(x.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+double GradientBoostingRegressor::predict_one(
+    std::span<const double> row) const {
+  check_predict_input(fitted_, row.size(), row);
+  double s = base_;
+  for (const auto& t : trees_) s += cfg_.learning_rate * t.predict_one(row);
+  return s;
+}
+
+std::unique_ptr<Regressor> GradientBoostingRegressor::clone() const {
+  return std::make_unique<GradientBoostingRegressor>(cfg_);
+}
+
+}  // namespace highrpm::ml

@@ -1,0 +1,83 @@
+#include "highrpm/ml/grid_search.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "highrpm/data/split.hpp"
+#include "highrpm/math/metrics.hpp"
+
+namespace highrpm::ml {
+
+namespace {
+
+double score_of(CvMetric metric, std::span<const double> truth,
+                std::span<const double> pred) {
+  switch (metric) {
+    case CvMetric::kMape:
+      return math::mape(truth, pred);
+    case CvMetric::kRmse:
+      return math::rmse(truth, pred);
+    case CvMetric::kMae:
+      return math::mae(truth, pred);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+GridSearchResult grid_search(std::span<const RegressorFactory> candidates,
+                             const math::Matrix& x, std::span<const double> y,
+                             const GridSearchConfig& cfg) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("grid_search: empty candidate grid");
+  }
+  if (x.rows() != y.size() || x.rows() < cfg.folds) {
+    throw std::invalid_argument("grid_search: data/fold mismatch");
+  }
+  math::Rng rng(cfg.seed);
+  const data::KFold kfold(cfg.folds, cfg.shuffle);
+  const auto folds = kfold.split(x.rows(), rng);
+
+  GridSearchResult result;
+  result.scores.reserve(candidates.size());
+  result.best_score = std::numeric_limits<double>::infinity();
+
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    double total = 0.0;
+    for (const auto& fold : folds) {
+      math::Matrix xt(fold.train.size(), x.cols());
+      std::vector<double> yt(fold.train.size());
+      for (std::size_t i = 0; i < fold.train.size(); ++i) {
+        const auto src = x.row(fold.train[i]);
+        std::copy(src.begin(), src.end(), xt.row(i).begin());
+        yt[i] = y[fold.train[i]];
+      }
+      auto model = candidates[c]();
+      model->fit(xt, yt);
+      std::vector<double> truth(fold.test.size()), pred(fold.test.size());
+      for (std::size_t i = 0; i < fold.test.size(); ++i) {
+        truth[i] = y[fold.test[i]];
+        pred[i] = model->predict_one(x.row(fold.test[i]));
+      }
+      total += score_of(cfg.metric, truth, pred);
+    }
+    const double avg = total / static_cast<double>(folds.size());
+    result.scores.push_back(avg);
+    if (avg < result.best_score) {
+      result.best_score = avg;
+      result.best_index = c;
+    }
+  }
+  return result;
+}
+
+std::unique_ptr<Regressor> fit_best(
+    std::span<const RegressorFactory> candidates, const math::Matrix& x,
+    std::span<const double> y, const GridSearchConfig& cfg) {
+  const auto result = grid_search(candidates, x, y, cfg);
+  auto model = candidates[result.best_index]();
+  model->fit(x, y);
+  return model;
+}
+
+}  // namespace highrpm::ml

@@ -1,0 +1,55 @@
+#include "highrpm/ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace highrpm::ml {
+
+KnnRegressor::KnnRegressor(std::size_t k, bool distance_weighted)
+    : k_(k), distance_weighted_(distance_weighted) {
+  if (k == 0) throw std::invalid_argument("KnnRegressor: k must be >= 1");
+}
+
+void KnnRegressor::fit(const math::Matrix& x, std::span<const double> y) {
+  check_training_input(x, y);
+  x_ = scaler_.fit_transform(x);
+  y_.assign(y.begin(), y.end());
+}
+
+double KnnRegressor::predict_one(std::span<const double> row) const {
+  check_predict_input(fitted(), scaler_.means().size(), row);
+  const auto q = scaler_.transform_row(row);
+  const std::size_t k = std::min(k_, y_.size());
+  // Partial selection of the k smallest squared distances.
+  std::vector<std::pair<double, std::size_t>> d(y_.size());
+  for (std::size_t i = 0; i < y_.size(); ++i) {
+    const auto r = x_.row(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < q.size(); ++j) {
+      const double diff = r[j] - q[j];
+      s += diff * diff;
+    }
+    d[i] = {s, i};
+  }
+  std::nth_element(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   d.end());
+  if (!distance_weighted_) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < k; ++i) s += y_[d[i].second];
+    return s / static_cast<double>(k);
+  }
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (std::sqrt(d[i].first) + 1e-9);
+    num += w * y_[d[i].second];
+    den += w;
+  }
+  return num / den;
+}
+
+std::unique_ptr<Regressor> KnnRegressor::clone() const {
+  return std::make_unique<KnnRegressor>(k_, distance_weighted_);
+}
+
+}  // namespace highrpm::ml

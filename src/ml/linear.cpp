@@ -1,0 +1,176 @@
+#include "highrpm/ml/linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "highrpm/math/solve.hpp"
+#include "highrpm/math/stats.hpp"
+
+namespace highrpm::ml {
+
+namespace {
+/// Append a leading 1-column for the intercept.
+math::Matrix with_intercept(const math::Matrix& x) {
+  math::Matrix out(x.rows(), x.cols() + 1);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto dst = out.row(r);
+    dst[0] = 1.0;
+    const auto src = x.row(r);
+    std::copy(src.begin(), src.end(), dst.begin() + 1);
+  }
+  return out;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- LR
+
+void LinearRegression::fit(const math::Matrix& x, std::span<const double> y) {
+  check_training_input(x, y);
+  const math::Matrix xi = with_intercept(x);
+  std::vector<double> w;
+  if (xi.rows() >= xi.cols()) {
+    w = math::solve_least_squares(xi, y);
+  } else {
+    // Underdetermined: fall back to tiny-ridge normal equations.
+    w = math::solve_ridge(xi, y, 1e-8, 0);
+  }
+  intercept_ = w[0];
+  coef_.assign(w.begin() + 1, w.end());
+}
+
+double LinearRegression::predict_one(std::span<const double> row) const {
+  check_predict_input(fitted(), coef_.size(), row);
+  return intercept_ + math::dot(coef_, row);
+}
+
+std::unique_ptr<Regressor> LinearRegression::clone() const {
+  return std::make_unique<LinearRegression>();
+}
+
+// ---------------------------------------------------------------- Ridge
+
+RidgeRegression::RidgeRegression(double lambda) : lambda_(lambda) {}
+
+void RidgeRegression::fit(const math::Matrix& x, std::span<const double> y) {
+  check_training_input(x, y);
+  const math::Matrix xi = with_intercept(x);
+  const auto w = math::solve_ridge(xi, y, lambda_, /*unpenalized_col=*/0);
+  intercept_ = w[0];
+  coef_.assign(w.begin() + 1, w.end());
+}
+
+double RidgeRegression::predict_one(std::span<const double> row) const {
+  check_predict_input(fitted(), coef_.size(), row);
+  return intercept_ + math::dot(coef_, row);
+}
+
+std::unique_ptr<Regressor> RidgeRegression::clone() const {
+  return std::make_unique<RidgeRegression>(lambda_);
+}
+
+// ---------------------------------------------------------------- Lasso
+
+LassoRegression::LassoRegression(double alpha, std::size_t max_iter, double tol)
+    : alpha_(alpha), max_iter_(max_iter), tol_(tol) {}
+
+void LassoRegression::fit(const math::Matrix& x, std::span<const double> y) {
+  check_training_input(x, y);
+  const math::Matrix xs = scaler_.fit_transform(x);
+  const std::size_t n = xs.rows();
+  const std::size_t p = xs.cols();
+  intercept_ = math::mean(y);
+  std::vector<double> yc(n);
+  for (std::size_t i = 0; i < n; ++i) yc[i] = y[i] - intercept_;
+
+  coef_.assign(p, 0.0);
+  std::vector<double> residual = yc;  // r = y - X w (w = 0 initially)
+  // Column squared norms for the coordinate updates.
+  std::vector<double> col_sq(p, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = xs.row(r);
+    for (std::size_t j = 0; j < p; ++j) col_sq[j] += row[j] * row[j];
+  }
+  const double thresh = alpha_ * static_cast<double>(n);
+  for (std::size_t it = 0; it < max_iter_; ++it) {
+    double max_delta = 0.0;
+    for (std::size_t j = 0; j < p; ++j) {
+      if (col_sq[j] < 1e-12) continue;
+      // rho = x_j . (r + w_j x_j)
+      double rho = 0.0;
+      for (std::size_t r = 0; r < n; ++r) rho += xs(r, j) * residual[r];
+      rho += coef_[j] * col_sq[j];
+      // Soft-thresholding.
+      double w_new = 0.0;
+      if (rho > thresh) {
+        w_new = (rho - thresh) / col_sq[j];
+      } else if (rho < -thresh) {
+        w_new = (rho + thresh) / col_sq[j];
+      }
+      const double delta = w_new - coef_[j];
+      if (delta != 0.0) {
+        for (std::size_t r = 0; r < n; ++r) residual[r] -= delta * xs(r, j);
+        coef_[j] = w_new;
+      }
+      max_delta = std::max(max_delta, std::fabs(delta));
+    }
+    if (max_delta < tol_) break;
+  }
+}
+
+double LassoRegression::predict_one(std::span<const double> row) const {
+  check_predict_input(fitted(), scaler_.means().size(), row);
+  const auto xs = scaler_.transform_row(row);
+  return intercept_ + math::dot(coef_, xs);
+}
+
+std::unique_ptr<Regressor> LassoRegression::clone() const {
+  return std::make_unique<LassoRegression>(alpha_, max_iter_, tol_);
+}
+
+std::size_t LassoRegression::num_zero_coefficients() const {
+  return static_cast<std::size_t>(
+      std::count(coef_.begin(), coef_.end(), 0.0));
+}
+
+// ---------------------------------------------------------------- SGD
+
+SgdRegression::SgdRegression(double eta0, std::size_t max_iter, double l2,
+                             std::uint64_t seed)
+    : eta0_(eta0), max_iter_(max_iter), l2_(l2), seed_(seed) {}
+
+void SgdRegression::fit(const math::Matrix& x, std::span<const double> y) {
+  check_training_input(x, y);
+  const math::Matrix xs = scaler_.fit_transform(x);
+  const std::size_t n = xs.rows();
+  const std::size_t p = xs.cols();
+  coef_.assign(p, 0.0);
+  intercept_ = math::mean(y);
+  math::Rng rng(seed_);
+  std::size_t t = 0;
+  for (std::size_t it = 0; it < max_iter_; ++it) {
+    const std::size_t i = rng.uniform_index(n);
+    const auto row = xs.row(i);
+    const double pred = intercept_ + math::dot(coef_, row);
+    const double err = pred - y[i];
+    // Inverse-scaling learning rate (sklearn 'invscaling'-like).
+    const double eta =
+        eta0_ / std::pow(1.0 + static_cast<double>(t) * 1e-3, 0.25);
+    for (std::size_t j = 0; j < p; ++j) {
+      coef_[j] -= eta * (err * row[j] + l2_ * coef_[j]);
+    }
+    intercept_ -= eta * err;
+    ++t;
+  }
+}
+
+double SgdRegression::predict_one(std::span<const double> row) const {
+  check_predict_input(fitted(), scaler_.means().size(), row);
+  const auto xs = scaler_.transform_row(row);
+  return intercept_ + math::dot(coef_, xs);
+}
+
+std::unique_ptr<Regressor> SgdRegression::clone() const {
+  return std::make_unique<SgdRegression>(eta0_, max_iter_, l2_, seed_);
+}
+
+}  // namespace highrpm::ml

@@ -1,0 +1,247 @@
+#include "highrpm/ml/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace highrpm::ml {
+
+namespace {
+constexpr double kAdamBeta1 = 0.9;
+constexpr double kAdamBeta2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+}  // namespace
+
+Mlp::Mlp(MlpConfig cfg) : cfg_(std::move(cfg)) {}
+
+void Mlp::initialize(std::size_t in_dim, std::size_t out_dim, math::Rng& rng) {
+  in_dim_ = in_dim;
+  out_dim_ = out_dim;
+  layers_.clear();
+  std::vector<std::size_t> dims;
+  dims.push_back(in_dim);
+  for (const std::size_t h : cfg_.hidden) dims.push_back(h);
+  dims.push_back(out_dim);
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    Layer layer;
+    const std::size_t fan_in = dims[l];
+    const std::size_t fan_out = dims[l + 1];
+    // Glorot-uniform initialization.
+    const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    layer.w = math::Matrix(fan_out, fan_in);
+    for (double& v : layer.w.flat()) v = rng.uniform(-limit, limit);
+    layer.b.assign(fan_out, 0.0);
+    layer.mw = math::Matrix(fan_out, fan_in);
+    layer.vw = math::Matrix(fan_out, fan_in);
+    layer.mb.assign(fan_out, 0.0);
+    layer.vb.assign(fan_out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+  adam_t_ = 0;
+}
+
+double Mlp::activate(double v) const {
+  switch (cfg_.activation) {
+    case Activation::kReLU:
+      return v > 0.0 ? v : 0.0;
+    case Activation::kTanh:
+      return std::tanh(v);
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-v));
+  }
+  return v;
+}
+
+double Mlp::activate_grad(double pre, double post) const {
+  switch (cfg_.activation) {
+    case Activation::kReLU:
+      return pre > 0.0 ? 1.0 : 0.0;
+    case Activation::kTanh:
+      return 1.0 - post * post;
+    case Activation::kSigmoid:
+      return post * (1.0 - post);
+  }
+  return 1.0;
+}
+
+std::vector<double> Mlp::forward(
+    std::span<const double> x, std::vector<std::vector<double>>* acts) const {
+  std::vector<double> cur(x.begin(), x.end());
+  if (acts) acts->push_back(cur);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> next(layer.b);
+    for (std::size_t o = 0; o < layer.w.rows(); ++o) {
+      next[o] += math::dot(layer.w.row(o), cur);
+    }
+    const bool is_output = l + 1 == layers_.size();
+    if (!is_output) {
+      if (acts) acts->push_back(next);  // pre-activations
+      for (double& v : next) v = activate(v);
+    }
+    if (acts) acts->push_back(next);
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+void Mlp::fit(const math::Matrix& x, const math::Matrix& y, bool reset,
+              std::size_t epochs_override) {
+  if (x.rows() == 0 || x.rows() != y.rows()) {
+    throw std::invalid_argument("Mlp::fit: shape mismatch");
+  }
+  math::Rng rng(cfg_.seed + (reset ? 0 : 1 + adam_t_));
+  if (reset || !fitted_) {
+    x_scaler_.fit(x);
+    y_scalers_.assign(y.cols(), data::TargetScaler{});
+    for (std::size_t c = 0; c < y.cols(); ++c) y_scalers_[c].fit(y.col(c));
+    initialize(x.cols(), y.cols(), rng);
+    fitted_ = true;
+  } else {
+    if (x.cols() != in_dim_ || y.cols() != out_dim_) {
+      throw std::invalid_argument("Mlp::fit(fine-tune): dimension mismatch");
+    }
+  }
+  const math::Matrix xs = x_scaler_.transform(x);
+  math::Matrix ys(y.rows(), y.cols());
+  for (std::size_t c = 0; c < y.cols(); ++c) {
+    const auto col = y.col(c);
+    for (std::size_t r = 0; r < y.rows(); ++r) {
+      ys(r, c) = y_scalers_[c].transform_one(col[r]);
+    }
+  }
+
+  const std::size_t n = xs.rows();
+  const std::size_t epochs = epochs_override > 0 ? epochs_override : cfg_.epochs;
+  const std::size_t batch = std::max<std::size_t>(1, cfg_.batch_size);
+
+  // Gradient accumulators mirroring layer shapes.
+  std::vector<math::Matrix> gw(layers_.size());
+  std::vector<std::vector<double>> gb(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    gw[l] = math::Matrix(layers_[l].w.rows(), layers_[l].w.cols());
+    gb[l].assign(layers_[l].b.size(), 0.0);
+  }
+
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    const auto order = rng.permutation(n);
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t end = std::min(start + batch, n);
+      const double inv = 1.0 / static_cast<double>(end - start);
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        for (double& v : gw[l].flat()) v = 0.0;
+        for (double& v : gb[l]) v = 0.0;
+      }
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t i = order[bi];
+        // acts layout: [input, pre1, post1, pre2, post2, ..., output]
+        std::vector<std::vector<double>> acts;
+        const auto out = forward(xs.row(i), &acts);
+        // Output delta: dL/d(out) for 0.5*MSE = (pred - target).
+        std::vector<double> delta(out_dim_);
+        for (std::size_t o = 0; o < out_dim_; ++o) {
+          delta[o] = out[o] - ys(i, o);
+        }
+        // Walk layers backwards. post-activation of layer l-1 is the input
+        // to layer l; index arithmetic per the layout above.
+        for (std::size_t li = layers_.size(); li-- > 0;) {
+          const std::vector<double>& input =
+              li == 0 ? acts[0] : acts[2 * li];
+          for (std::size_t o = 0; o < layers_[li].w.rows(); ++o) {
+            gb[li][o] += delta[o];
+            auto grow = gw[li].row(o);
+            for (std::size_t j = 0; j < input.size(); ++j) {
+              grow[j] += delta[o] * input[j];
+            }
+          }
+          if (li == 0) break;
+          // Propagate delta to the previous layer through w and activation.
+          std::vector<double> prev(layers_[li].w.cols(), 0.0);
+          for (std::size_t o = 0; o < layers_[li].w.rows(); ++o) {
+            const auto wrow = layers_[li].w.row(o);
+            for (std::size_t j = 0; j < prev.size(); ++j) {
+              prev[j] += delta[o] * wrow[j];
+            }
+          }
+          const std::vector<double>& pre = acts[2 * li - 1];
+          const std::vector<double>& post = acts[2 * li];
+          for (std::size_t j = 0; j < prev.size(); ++j) {
+            prev[j] *= activate_grad(pre[j], post[j]);
+          }
+          delta = std::move(prev);
+        }
+      }
+      // Adam update.
+      ++adam_t_;
+      const double bc1 = 1.0 - std::pow(kAdamBeta1, static_cast<double>(adam_t_));
+      const double bc2 = 1.0 - std::pow(kAdamBeta2, static_cast<double>(adam_t_));
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        auto wflat = layer.w.flat();
+        auto mflat = layer.mw.flat();
+        auto vflat = layer.vw.flat();
+        auto gflat = gw[l].flat();
+        for (std::size_t j = 0; j < wflat.size(); ++j) {
+          const double g = gflat[j] * inv + cfg_.l2 * wflat[j];
+          mflat[j] = kAdamBeta1 * mflat[j] + (1.0 - kAdamBeta1) * g;
+          vflat[j] = kAdamBeta2 * vflat[j] + (1.0 - kAdamBeta2) * g * g;
+          wflat[j] -= cfg_.learning_rate * (mflat[j] / bc1) /
+                      (std::sqrt(vflat[j] / bc2) + kAdamEps);
+        }
+        for (std::size_t j = 0; j < layer.b.size(); ++j) {
+          const double g = gb[l][j] * inv;
+          layer.mb[j] = kAdamBeta1 * layer.mb[j] + (1.0 - kAdamBeta1) * g;
+          layer.vb[j] = kAdamBeta2 * layer.vb[j] + (1.0 - kAdamBeta2) * g * g;
+          layer.b[j] -= cfg_.learning_rate * (layer.mb[j] / bc1) /
+                        (std::sqrt(layer.vb[j] / bc2) + kAdamEps);
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> Mlp::predict_one(std::span<const double> row) const {
+  if (!fitted_) throw std::logic_error("Mlp::predict: not fitted");
+  if (row.size() != in_dim_) {
+    throw std::invalid_argument("Mlp::predict: feature width mismatch");
+  }
+  const auto xs = x_scaler_.transform_row(row);
+  auto out = forward(xs, nullptr);
+  for (std::size_t o = 0; o < out.size(); ++o) {
+    out[o] = y_scalers_[o].inverse_one(out[o]);
+  }
+  return out;
+}
+
+math::Matrix Mlp::predict(const math::Matrix& x) const {
+  math::Matrix out(x.rows(), out_dim_);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto p = predict_one(x.row(r));
+    std::copy(p.begin(), p.end(), out.row(r).begin());
+  }
+  return out;
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.w.size() + l.b.size();
+  return n;
+}
+
+MlpRegressor::MlpRegressor(MlpConfig cfg) : cfg_(cfg), net_(cfg) {}
+
+void MlpRegressor::fit(const math::Matrix& x, std::span<const double> y) {
+  check_training_input(x, y);
+  math::Matrix ym(y.size(), 1);
+  for (std::size_t i = 0; i < y.size(); ++i) ym(i, 0) = y[i];
+  net_.fit(x, ym, /*reset=*/true);
+}
+
+double MlpRegressor::predict_one(std::span<const double> row) const {
+  return net_.predict_one(row)[0];
+}
+
+std::unique_ptr<Regressor> MlpRegressor::clone() const {
+  return std::make_unique<MlpRegressor>(cfg_);
+}
+
+}  // namespace highrpm::ml

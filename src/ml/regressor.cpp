@@ -1,0 +1,31 @@
+#include "highrpm/ml/regressor.hpp"
+
+#include <stdexcept>
+
+namespace highrpm::ml {
+
+std::vector<double> Regressor::predict(const math::Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_one(x.row(r));
+  return out;
+}
+
+void Regressor::check_training_input(const math::Matrix& x,
+                                     std::span<const double> y) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    throw std::invalid_argument("Regressor::fit: empty training matrix");
+  }
+  if (y.size() != x.rows()) {
+    throw std::invalid_argument("Regressor::fit: target length mismatch");
+  }
+}
+
+void Regressor::check_predict_input(bool is_fitted, std::size_t expected_width,
+                                    std::span<const double> row) {
+  if (!is_fitted) throw std::logic_error("Regressor::predict: not fitted");
+  if (row.size() != expected_width) {
+    throw std::invalid_argument("Regressor::predict: feature width mismatch");
+  }
+}
+
+}  // namespace highrpm::ml

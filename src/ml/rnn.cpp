@@ -1,0 +1,417 @@
+#include "highrpm/ml/rnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace highrpm::ml {
+
+namespace {
+constexpr double kBeta1 = 0.9;
+constexpr double kBeta2 = 0.999;
+constexpr double kEps = 1e-8;
+
+double sigmoid(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+
+void adam_update(std::span<double> param, std::span<const double> grad,
+                 std::span<double> m, std::span<double> v, double lr,
+                 double bc1, double bc2) {
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    m[i] = kBeta1 * m[i] + (1.0 - kBeta1) * grad[i];
+    v[i] = kBeta2 * v[i] + (1.0 - kBeta2) * grad[i] * grad[i];
+    param[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + kEps);
+  }
+}
+
+void clip(std::span<double> g, double limit) {
+  for (double& v : g) v = std::clamp(v, -limit, limit);
+}
+}  // namespace
+
+SequenceRegressor::SequenceRegressor(RnnConfig cfg) : cfg_(cfg) {
+  if (cfg_.units == 0 || cfg_.layers == 0) {
+    throw std::invalid_argument("SequenceRegressor: units/layers must be >= 1");
+  }
+}
+
+void SequenceRegressor::initialize(std::size_t in_dim, math::Rng& rng) {
+  in_dim_ = in_dim;
+  cells_.clear();
+  const std::size_t g = gate_count();
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    const std::size_t xdim = l == 0 ? in_dim : cfg_.units;
+    CellParams p;
+    const double limit =
+        std::sqrt(6.0 / static_cast<double>(xdim + cfg_.units));
+    p.w = math::Matrix(g, xdim);
+    for (double& v : p.w.flat()) v = rng.uniform(-limit, limit);
+    p.u = math::Matrix(g, cfg_.units);
+    for (double& v : p.u.flat()) v = rng.uniform(-limit, limit);
+    p.b.assign(g, 0.0);
+    if (cfg_.cell == CellType::kLstm) {
+      // Forget-gate bias of 1 helps gradient flow early in training.
+      for (std::size_t j = cfg_.units; j < 2 * cfg_.units; ++j) p.b[j] = 1.0;
+    }
+    p.mw = math::Matrix(g, xdim);
+    p.vw = math::Matrix(g, xdim);
+    p.mu = math::Matrix(g, cfg_.units);
+    p.vu = math::Matrix(g, cfg_.units);
+    p.mb.assign(g, 0.0);
+    p.vb.assign(g, 0.0);
+    cells_.push_back(std::move(p));
+  }
+  head_.w.assign(cfg_.units, 0.0);
+  const double hl = std::sqrt(6.0 / static_cast<double>(cfg_.units + 1));
+  for (double& v : head_.w) v = rng.uniform(-hl, hl);
+  head_.b = 0.0;
+  head_.mw.assign(cfg_.units, 0.0);
+  head_.vw.assign(cfg_.units, 0.0);
+  head_.mb = head_.vb = 0.0;
+  adam_t_ = 0;
+}
+
+std::vector<double> SequenceRegressor::cell_step(const CellParams& p,
+                                                 std::span<const double> x,
+                                                 std::span<const double> h_prev,
+                                                 std::span<double> c_inout,
+                                                 StepCache* cache) const {
+  const std::size_t H = cfg_.units;
+  const std::size_t g = gate_count();
+  std::vector<double> z(g);
+  if (cfg_.cell == CellType::kLstm) {
+    for (std::size_t j = 0; j < g; ++j) {
+      z[j] = p.b[j] + math::dot(p.w.row(j), x) + math::dot(p.u.row(j), h_prev);
+    }
+    std::vector<double> gates(g);
+    for (std::size_t j = 0; j < H; ++j) gates[j] = sigmoid(z[j]);              // i
+    for (std::size_t j = H; j < 2 * H; ++j) gates[j] = sigmoid(z[j]);          // f
+    for (std::size_t j = 2 * H; j < 3 * H; ++j) gates[j] = std::tanh(z[j]);    // g
+    for (std::size_t j = 3 * H; j < 4 * H; ++j) gates[j] = sigmoid(z[j]);      // o
+    std::vector<double> h(H);
+    std::vector<double> c(H);
+    for (std::size_t j = 0; j < H; ++j) {
+      c[j] = gates[H + j] * c_inout[j] + gates[j] * gates[2 * H + j];
+      h[j] = gates[3 * H + j] * std::tanh(c[j]);
+    }
+    if (cache) {
+      cache->x.assign(x.begin(), x.end());
+      cache->h_prev.assign(h_prev.begin(), h_prev.end());
+      cache->c_prev.assign(c_inout.begin(), c_inout.end());
+      cache->gates = gates;
+      cache->c = c;
+      cache->h = h;
+    }
+    std::copy(c.begin(), c.end(), c_inout.begin());
+    return h;
+  }
+  // GRU: z (update), r (reset), n (candidate).
+  for (std::size_t j = 0; j < 2 * H; ++j) {
+    z[j] = p.b[j] + math::dot(p.w.row(j), x) + math::dot(p.u.row(j), h_prev);
+  }
+  std::vector<double> gates(g);
+  for (std::size_t j = 0; j < H; ++j) gates[j] = sigmoid(z[j]);          // z
+  for (std::size_t j = H; j < 2 * H; ++j) gates[j] = sigmoid(z[j]);      // r
+  std::vector<double> rh(H);
+  for (std::size_t j = 0; j < H; ++j) rh[j] = gates[H + j] * h_prev[j];
+  for (std::size_t j = 2 * H; j < 3 * H; ++j) {
+    gates[j] = std::tanh(p.b[j] + math::dot(p.w.row(j), x) +
+                         math::dot(p.u.row(j), rh));
+  }
+  std::vector<double> h(H);
+  for (std::size_t j = 0; j < H; ++j) {
+    h[j] = (1.0 - gates[j]) * gates[2 * H + j] + gates[j] * h_prev[j];
+  }
+  if (cache) {
+    cache->x.assign(x.begin(), x.end());
+    cache->h_prev.assign(h_prev.begin(), h_prev.end());
+    cache->gates = gates;
+    cache->h = h;
+  }
+  return h;
+}
+
+std::vector<double> SequenceRegressor::forward(
+    const math::Matrix& steps_scaled,
+    std::vector<std::vector<StepCache>>* caches) const {
+  const std::size_t T = steps_scaled.rows();
+  const std::size_t H = cfg_.units;
+  std::vector<std::vector<double>> h(cfg_.layers, std::vector<double>(H, 0.0));
+  std::vector<std::vector<double>> c(cfg_.layers, std::vector<double>(H, 0.0));
+  if (caches) {
+    caches->assign(cfg_.layers, std::vector<StepCache>(T));
+  }
+  std::vector<double> out(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    std::vector<double> x(steps_scaled.row(t).begin(),
+                          steps_scaled.row(t).end());
+    for (std::size_t l = 0; l < cfg_.layers; ++l) {
+      StepCache* cache = caches ? &(*caches)[l][t] : nullptr;
+      x = cell_step(cells_[l], x, h[l], c[l], cache);
+      h[l] = x;
+    }
+    out[t] = head_.b + math::dot(head_.w, h.back());
+  }
+  return out;
+}
+
+void SequenceRegressor::fit(std::span<const data::SequenceSample> samples,
+                            bool reset, std::size_t epochs_override) {
+  if (samples.empty()) {
+    throw std::invalid_argument("SequenceRegressor::fit: no samples");
+  }
+  const std::size_t F = samples[0].steps.cols();
+  math::Rng rng(cfg_.seed + (reset ? 0 : 1 + adam_t_));
+  if (reset || !fitted_) {
+    // Fit scalers over all rows / labels of the training windows.
+    std::size_t total_rows = 0;
+    for (const auto& s : samples) total_rows += s.steps.rows();
+    math::Matrix all(total_rows, F);
+    std::vector<double> all_labels;
+    std::size_t w = 0;
+    for (const auto& s : samples) {
+      if (s.steps.cols() != F || s.labels.size() != s.steps.rows()) {
+        throw std::invalid_argument("SequenceRegressor::fit: ragged samples");
+      }
+      for (std::size_t r = 0; r < s.steps.rows(); ++r) {
+        std::copy(s.steps.row(r).begin(), s.steps.row(r).end(),
+                  all.row(w++).begin());
+      }
+      all_labels.insert(all_labels.end(), s.labels.begin(), s.labels.end());
+    }
+    x_scaler_.fit(all);
+    y_scaler_.fit(all_labels);
+    initialize(F, rng);
+    fitted_ = true;
+  } else if (F != in_dim_) {
+    throw std::invalid_argument("SequenceRegressor::fit: width mismatch");
+  }
+
+  // Allocate gradient accumulators mirroring parameters.
+  const std::size_t g = gate_count();
+  grads_.clear();
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    CellParams gp;
+    gp.w = math::Matrix(g, cells_[l].w.cols());
+    gp.u = math::Matrix(g, cfg_.units);
+    gp.b.assign(g, 0.0);
+    grads_.push_back(std::move(gp));
+  }
+  head_gw_.assign(cfg_.units, 0.0);
+  head_gb_ = 0.0;
+
+  const std::size_t n = samples.size();
+  const std::size_t epochs = epochs_override > 0 ? epochs_override : cfg_.epochs;
+  const std::size_t batch = std::max<std::size_t>(1, cfg_.batch_size);
+  const std::size_t H = cfg_.units;
+
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    const auto order = rng.permutation(n);
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t end = std::min(start + batch, n);
+      for (auto& gp : grads_) {
+        for (double& v : gp.w.flat()) v = 0.0;
+        for (double& v : gp.u.flat()) v = 0.0;
+        for (double& v : gp.b) v = 0.0;
+      }
+      std::fill(head_gw_.begin(), head_gw_.end(), 0.0);
+      head_gb_ = 0.0;
+      double denom = 0.0;
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const auto& s = samples[order[bi]];
+        const std::size_t T = s.steps.rows();
+        denom += static_cast<double>(T);
+        // Scale the window.
+        math::Matrix xs(T, F);
+        for (std::size_t t = 0; t < T; ++t) {
+          const auto sr = x_scaler_.transform_row(s.steps.row(t));
+          std::copy(sr.begin(), sr.end(), xs.row(t).begin());
+        }
+        std::vector<std::vector<StepCache>> caches;
+        const auto pred = forward(xs, &caches);
+        // Output-space deltas.
+        std::vector<double> dy(T);
+        for (std::size_t t = 0; t < T; ++t) {
+          dy[t] = pred[t] - y_scaler_.transform_one(s.labels[t]);
+        }
+        // BPTT: per-layer gradients flowing backward in time.
+        std::vector<std::vector<double>> dh_time(cfg_.layers,
+                                                 std::vector<double>(H, 0.0));
+        std::vector<std::vector<double>> dc_time(cfg_.layers,
+                                                 std::vector<double>(H, 0.0));
+        for (std::size_t t = T; t-- > 0;) {
+          // Head gradient feeds the top layer's h at step t.
+          std::vector<double> dh(H, 0.0);
+          const auto& top = caches[cfg_.layers - 1][t];
+          for (std::size_t j = 0; j < H; ++j) {
+            head_gw_[j] += dy[t] * top.h[j];
+            dh[j] = dy[t] * head_.w[j] + dh_time[cfg_.layers - 1][j];
+          }
+          head_gb_ += dy[t];
+          for (std::size_t l = cfg_.layers; l-- > 0;) {
+            const auto& cache = caches[l][t];
+            const CellParams& p = cells_[l];
+            CellParams& gp = grads_[l];
+            std::vector<double> dx(cache.x.size(), 0.0);
+            std::vector<double> dh_prev(H, 0.0);
+            if (cfg_.cell == CellType::kLstm) {
+              std::vector<double> dz(g, 0.0);
+              for (std::size_t j = 0; j < H; ++j) {
+                const double i_g = cache.gates[j];
+                const double f_g = cache.gates[H + j];
+                const double g_g = cache.gates[2 * H + j];
+                const double o_g = cache.gates[3 * H + j];
+                const double tc = std::tanh(cache.c[j]);
+                const double dho = dh[j];
+                double dc = dc_time[l][j] + dho * o_g * (1.0 - tc * tc);
+                const double do_ = dho * tc;
+                const double di = dc * g_g;
+                const double dg = dc * i_g;
+                const double df = dc * cache.c_prev[j];
+                dc_time[l][j] = dc * f_g;  // flows to step t-1
+                dz[j] = di * i_g * (1.0 - i_g);
+                dz[H + j] = df * f_g * (1.0 - f_g);
+                dz[2 * H + j] = dg * (1.0 - g_g * g_g);
+                dz[3 * H + j] = do_ * o_g * (1.0 - o_g);
+              }
+              for (std::size_t j = 0; j < g; ++j) {
+                const double d = dz[j];
+                if (d == 0.0) continue;
+                gp.b[j] += d;
+                auto gw = gp.w.row(j);
+                for (std::size_t k = 0; k < dx.size(); ++k) {
+                  gw[k] += d * cache.x[k];
+                  dx[k] += d * p.w(j, k);
+                }
+                auto gu = gp.u.row(j);
+                for (std::size_t k = 0; k < H; ++k) {
+                  gu[k] += d * cache.h_prev[k];
+                  dh_prev[k] += d * p.u(j, k);
+                }
+              }
+            } else {
+              // GRU backward.
+              std::vector<double> dz(g, 0.0);
+              std::vector<double> drh(H, 0.0);
+              for (std::size_t j = 0; j < H; ++j) {
+                const double z_g = cache.gates[j];
+                const double n_g = cache.gates[2 * H + j];
+                const double dhj = dh[j] + dc_time[l][j];  // dc_time unused; 0
+                const double dzg = dhj * (cache.h_prev[j] - n_g);
+                const double dn = dhj * (1.0 - z_g);
+                dh_prev[j] += dhj * z_g;
+                dz[j] = dzg * z_g * (1.0 - z_g);
+                dz[2 * H + j] = dn * (1.0 - n_g * n_g);
+              }
+              // Candidate path: n pre-act depends on x and r*h_prev.
+              for (std::size_t j = 0; j < H; ++j) {
+                const double d = dz[2 * H + j];
+                if (d == 0.0) continue;
+                gp.b[2 * H + j] += d;
+                auto gw = gp.w.row(2 * H + j);
+                for (std::size_t k = 0; k < dx.size(); ++k) {
+                  gw[k] += d * cache.x[k];
+                  dx[k] += d * p.w(2 * H + j, k);
+                }
+                auto gu = gp.u.row(2 * H + j);
+                for (std::size_t k = 0; k < H; ++k) {
+                  const double rh = cache.gates[H + k] * cache.h_prev[k];
+                  gu[k] += d * rh;
+                  drh[k] += d * p.u(2 * H + j, k);
+                }
+              }
+              for (std::size_t j = 0; j < H; ++j) {
+                const double r_g = cache.gates[H + j];
+                const double dr = drh[j] * cache.h_prev[j];
+                dh_prev[j] += drh[j] * r_g;
+                dz[H + j] = dr * r_g * (1.0 - r_g);
+              }
+              // z and r gate paths.
+              for (std::size_t j = 0; j < 2 * H; ++j) {
+                const double d = dz[j];
+                if (d == 0.0) continue;
+                gp.b[j] += d;
+                auto gw = gp.w.row(j);
+                for (std::size_t k = 0; k < dx.size(); ++k) {
+                  gw[k] += d * cache.x[k];
+                  dx[k] += d * p.w(j, k);
+                }
+                auto gu = gp.u.row(j);
+                for (std::size_t k = 0; k < H; ++k) {
+                  gu[k] += d * cache.h_prev[k];
+                  dh_prev[k] += d * p.u(j, k);
+                }
+              }
+            }
+            dh_time[l] = dh_prev;
+            if (l > 0) {
+              // dx feeds the lower layer's h at the same time step.
+              for (std::size_t j = 0; j < H; ++j) {
+                dx[j] += dh_time[l - 1][j];
+              }
+              dh = std::move(dx);
+              dh_time[l - 1].assign(H, 0.0);
+            }
+          }
+        }
+      }
+      // Average, clip, Adam.
+      const double inv = denom > 0 ? 1.0 / denom : 0.0;
+      for (auto& gp : grads_) {
+        for (double& v : gp.w.flat()) v *= inv;
+        for (double& v : gp.u.flat()) v *= inv;
+        for (double& v : gp.b) v *= inv;
+        clip(gp.w.flat(), cfg_.grad_clip);
+        clip(gp.u.flat(), cfg_.grad_clip);
+        clip(gp.b, cfg_.grad_clip);
+      }
+      for (double& v : head_gw_) v *= inv;
+      head_gb_ *= inv;
+      clip(head_gw_, cfg_.grad_clip);
+      head_gb_ = std::clamp(head_gb_, -cfg_.grad_clip, cfg_.grad_clip);
+      ++adam_t_;
+      adam_step(cfg_.learning_rate);
+    }
+  }
+}
+
+void SequenceRegressor::adam_step(double lr) {
+  const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_t_));
+  const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_t_));
+  for (std::size_t l = 0; l < cells_.size(); ++l) {
+    CellParams& p = cells_[l];
+    CellParams& gp = grads_[l];
+    adam_update(p.w.flat(), gp.w.flat(), p.mw.flat(), p.vw.flat(), lr, bc1, bc2);
+    adam_update(p.u.flat(), gp.u.flat(), p.mu.flat(), p.vu.flat(), lr, bc1, bc2);
+    adam_update(p.b, gp.b, p.mb, p.vb, lr, bc1, bc2);
+  }
+  adam_update(head_.w, head_gw_, head_.mw, head_.vw, lr, bc1, bc2);
+  std::span<double> bspan(&head_.b, 1);
+  std::span<const double> gbspan(&head_gb_, 1);
+  std::span<double> mspan(&head_.mb, 1);
+  std::span<double> vspan(&head_.vb, 1);
+  adam_update(bspan, gbspan, mspan, vspan, lr, bc1, bc2);
+}
+
+std::vector<double> SequenceRegressor::predict(const math::Matrix& steps) const {
+  if (!fitted_) throw std::logic_error("SequenceRegressor: not fitted");
+  if (steps.cols() != in_dim_) {
+    throw std::invalid_argument("SequenceRegressor::predict: width mismatch");
+  }
+  math::Matrix xs(steps.rows(), steps.cols());
+  for (std::size_t t = 0; t < steps.rows(); ++t) {
+    const auto sr = x_scaler_.transform_row(steps.row(t));
+    std::copy(sr.begin(), sr.end(), xs.row(t).begin());
+  }
+  auto out = forward(xs, nullptr);
+  for (double& v : out) v = y_scaler_.inverse_one(v);
+  return out;
+}
+
+std::size_t SequenceRegressor::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& p : cells_) n += p.w.size() + p.u.size() + p.b.size();
+  n += head_.w.size() + 1;
+  return n;
+}
+
+}  // namespace highrpm::ml

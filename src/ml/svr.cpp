@@ -1,0 +1,87 @@
+#include "highrpm/ml/svr.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace highrpm::ml {
+
+SvrRegressor::SvrRegressor(SvrConfig cfg) : cfg_(cfg) {}
+
+std::vector<double> SvrRegressor::lift(
+    std::span<const double> standardized) const {
+  if (cfg_.rff_dim == 0) {
+    return {standardized.begin(), standardized.end()};
+  }
+  // phi_k(x) = sqrt(2/D) * cos(omega_k . x + phase_k)
+  std::vector<double> out(cfg_.rff_dim);
+  const double scale = std::sqrt(2.0 / static_cast<double>(cfg_.rff_dim));
+  for (std::size_t k = 0; k < cfg_.rff_dim; ++k) {
+    out[k] = scale * std::cos(math::dot(omega_.row(k), standardized) + phase_[k]);
+  }
+  return out;
+}
+
+void SvrRegressor::fit(const math::Matrix& x, std::span<const double> y) {
+  check_training_input(x, y);
+  const math::Matrix xs = scaler_.fit_transform(x);
+  y_scaler_.fit(y);
+  const auto ys = y_scaler_.transform(y);
+
+  math::Rng rng(cfg_.seed);
+  const std::size_t p = xs.cols();
+  if (cfg_.rff_dim > 0) {
+    const double gamma =
+        cfg_.gamma > 0.0 ? cfg_.gamma : 1.0 / static_cast<double>(p);
+    const double omega_std = std::sqrt(2.0 * gamma);
+    omega_ = math::Matrix(cfg_.rff_dim, p);
+    phase_.resize(cfg_.rff_dim);
+    for (std::size_t k = 0; k < cfg_.rff_dim; ++k) {
+      for (std::size_t j = 0; j < p; ++j) {
+        omega_(k, j) = rng.normal(0.0, omega_std);
+      }
+      phase_[k] = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    }
+  }
+
+  const std::size_t dim = cfg_.rff_dim > 0 ? cfg_.rff_dim : p;
+  w_.assign(dim, 0.0);
+  b_ = 0.0;
+  const std::size_t n = xs.rows();
+  const double lambda = 1.0 / (cfg_.c * static_cast<double>(n));
+  std::size_t t = 0;
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    const auto order = rng.permutation(n);
+    for (const std::size_t i : order) {
+      const auto phi = lift(xs.row(i));
+      const double pred = math::dot(w_, phi) + b_;
+      const double err = pred - ys[i];
+      const double eta =
+          cfg_.eta0 / (1.0 + cfg_.eta0 * lambda * static_cast<double>(t));
+      // Subgradient of epsilon-insensitive loss + L2.
+      double g = 0.0;
+      if (err > cfg_.epsilon) {
+        g = 1.0;
+      } else if (err < -cfg_.epsilon) {
+        g = -1.0;
+      }
+      for (std::size_t j = 0; j < dim; ++j) {
+        w_[j] -= eta * (g * phi[j] + lambda * w_[j]);
+      }
+      b_ -= eta * g;
+      ++t;
+    }
+  }
+}
+
+double SvrRegressor::predict_one(std::span<const double> row) const {
+  check_predict_input(fitted(), scaler_.means().size(), row);
+  const auto xs = scaler_.transform_row(row);
+  const auto phi = lift(xs);
+  return y_scaler_.inverse_one(math::dot(w_, phi) + b_);
+}
+
+std::unique_ptr<Regressor> SvrRegressor::clone() const {
+  return std::make_unique<SvrRegressor>(cfg_);
+}
+
+}  // namespace highrpm::ml

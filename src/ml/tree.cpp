@@ -1,0 +1,137 @@
+#include "highrpm/ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace highrpm::ml {
+
+DecisionTreeRegressor::DecisionTreeRegressor(TreeConfig cfg) : cfg_(cfg) {}
+
+void DecisionTreeRegressor::fit(const math::Matrix& x,
+                                std::span<const double> y) {
+  check_training_input(x, y);
+  std::vector<std::size_t> rows(x.rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  fit_subset(x, y, rows);
+}
+
+void DecisionTreeRegressor::fit_subset(const math::Matrix& x,
+                                       std::span<const double> y,
+                                       std::span<const std::size_t> rows) {
+  if (rows.empty()) {
+    throw std::invalid_argument("DecisionTree: empty row subset");
+  }
+  nodes_.clear();
+  depth_ = 0;
+  n_features_ = x.cols();
+  std::vector<std::size_t> work(rows.begin(), rows.end());
+  math::Rng rng(cfg_.seed);
+  build(x, y, work, 0, work.size(), 0, rng);
+}
+
+std::size_t DecisionTreeRegressor::build(const math::Matrix& x,
+                                         std::span<const double> y,
+                                         std::vector<std::size_t>& rows,
+                                         std::size_t begin, std::size_t end,
+                                         std::size_t level, math::Rng& rng) {
+  depth_ = std::max(depth_, level);
+  const std::size_t n = end - begin;
+  // Node statistics.
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double v = y[rows[i]];
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double node_mean = sum / static_cast<double>(n);
+  const double node_sse = sum_sq - sum * sum / static_cast<double>(n);
+
+  const std::size_t node_idx = nodes_.size();
+  nodes_.push_back(Node{});
+  nodes_[node_idx].value = node_mean;
+
+  const bool can_split = level < cfg_.max_depth &&
+                         n >= cfg_.min_samples_split && node_sse > 1e-12;
+  if (!can_split) return node_idx;
+
+  // Candidate features (optionally subsampled, for forests).
+  std::vector<std::size_t> feats;
+  if (cfg_.max_features && *cfg_.max_features < n_features_) {
+    feats = rng.sample_without_replacement(n_features_, *cfg_.max_features);
+  } else {
+    feats.resize(n_features_);
+    std::iota(feats.begin(), feats.end(), 0);
+  }
+
+  double best_gain = 1e-12;
+  std::size_t best_feat = SIZE_MAX;
+  double best_thresh = 0.0;
+
+  // Scratch: (feature value, target) pairs sorted per candidate feature.
+  std::vector<std::pair<double, double>> pairs(n);
+  for (const std::size_t f : feats) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r = rows[begin + i];
+      pairs[i] = {x(r, f), y[r]};
+    }
+    std::sort(pairs.begin(), pairs.end());
+    if (pairs.front().first == pairs.back().first) continue;  // constant
+    double left_sum = 0.0, left_sq = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_sum += pairs[i].second;
+      left_sq += pairs[i].second * pairs[i].second;
+      if (pairs[i].first == pairs[i + 1].first) continue;  // tie: no cut here
+      const std::size_t nl = i + 1;
+      const std::size_t nr = n - nl;
+      if (nl < cfg_.min_samples_leaf || nr < cfg_.min_samples_leaf) continue;
+      const double right_sum = sum - left_sum;
+      const double right_sq = sum_sq - left_sq;
+      const double sse_l =
+          left_sq - left_sum * left_sum / static_cast<double>(nl);
+      const double sse_r =
+          right_sq - right_sum * right_sum / static_cast<double>(nr);
+      const double gain = node_sse - sse_l - sse_r;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feat = f;
+        best_thresh = 0.5 * (pairs[i].first + pairs[i + 1].first);
+      }
+    }
+  }
+  if (best_feat == SIZE_MAX) return node_idx;
+
+  // Partition rows in place around the threshold.
+  const auto mid_it = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t r) { return x(r, best_feat) <= best_thresh; });
+  const std::size_t mid =
+      static_cast<std::size_t>(mid_it - rows.begin());
+  if (mid == begin || mid == end) return node_idx;  // degenerate partition
+
+  nodes_[node_idx].feature = best_feat;
+  nodes_[node_idx].threshold = best_thresh;
+  const std::size_t left = build(x, y, rows, begin, mid, level + 1, rng);
+  const std::size_t right = build(x, y, rows, mid, end, level + 1, rng);
+  nodes_[node_idx].left = left;
+  nodes_[node_idx].right = right;
+  return node_idx;
+}
+
+double DecisionTreeRegressor::predict_one(std::span<const double> row) const {
+  check_predict_input(fitted(), n_features_, row);
+  std::size_t idx = 0;
+  while (nodes_[idx].feature != SIZE_MAX) {
+    idx = row[nodes_[idx].feature] <= nodes_[idx].threshold ? nodes_[idx].left
+                                                            : nodes_[idx].right;
+  }
+  return nodes_[idx].value;
+}
+
+std::unique_ptr<Regressor> DecisionTreeRegressor::clone() const {
+  return std::make_unique<DecisionTreeRegressor>(cfg_);
+}
+
+}  // namespace highrpm::ml

@@ -1,0 +1,163 @@
+#include "highrpm/sim/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "highrpm/sim/power_model.hpp"
+
+namespace highrpm::sim {
+
+NodeSimulator::NodeSimulator(PlatformConfig platform, Workload workload,
+                             std::uint64_t seed)
+    : platform_(std::move(platform)),
+      workload_(std::move(workload)),
+      rng_(seed),
+      freq_level_(platform_.default_freq_level) {
+  if (workload_.phases.empty()) {
+    throw std::invalid_argument("NodeSimulator: workload has no phases");
+  }
+}
+
+const PhaseSpec& NodeSimulator::current_phase() const {
+  const double total = workload_.total_phase_duration();
+  double t = std::fmod(time_s_, total);
+  for (const auto& p : workload_.phases) {
+    if (t < p.duration_s) return p;
+    t -= p.duration_s;
+  }
+  return workload_.phases.back();
+}
+
+double NodeSimulator::modulation(const PhaseSpec& p, double t) const {
+  if (p.mod_depth <= 0.0 || p.mod_period_s <= 0.0) return 0.0;
+  const double x = std::fmod(t, p.mod_period_s) / p.mod_period_s;  // [0, 1)
+  switch (p.waveform) {
+    case Waveform::kConstant:
+      return 0.0;
+    case Waveform::kSine:
+      return p.mod_depth * std::sin(2.0 * std::numbers::pi * x);
+    case Waveform::kSawtooth:
+      return p.mod_depth * (2.0 * x - 1.0);
+    case Waveform::kSquare:
+      return p.mod_depth * (x < 0.5 ? 1.0 : -1.0);
+    case Waveform::kTriangle:
+      return p.mod_depth * (x < 0.5 ? 4.0 * x - 1.0 : 3.0 - 4.0 * x);
+  }
+  return 0.0;
+}
+
+void NodeSimulator::set_frequency_level(std::size_t level) {
+  if (level >= platform_.freq_levels_ghz.size()) {
+    throw std::out_of_range("NodeSimulator: invalid frequency level");
+  }
+  freq_level_ = level;
+}
+
+TickSample NodeSimulator::step() {
+  const PhaseSpec& phase = current_phase();
+  const double f_ghz = platform_.frequency_ghz(freq_level_);
+  const double f_hz = f_ghz * 1e9;
+  const double n_cores = static_cast<double>(platform_.num_cores);
+
+  // --- activity level for this tick ---
+  // AR(1) short-term noise.
+  ar1_state_ = phase.ar1_rho * ar1_state_ +
+               rng_.normal(0.0, phase.ar1_sigma);
+  // Poisson spike arrivals; an active spike decays over spike_len_s.
+  if (spike_remaining_ <= 0.0 && phase.spike_rate_hz > 0.0 &&
+      rng_.bernoulli(std::min(1.0, phase.spike_rate_hz))) {
+    spike_remaining_ =
+        std::max(1.0, rng_.exponential(1.0 / std::max(0.5, phase.spike_len_s)));
+    spike_magnitude_ =
+        phase.spike_magnitude * rng_.uniform(0.5, 1.5) *
+        (rng_.bernoulli(0.8) ? 1.0 : -0.6);  // mostly up-spikes, some dips
+  }
+  double spike = 0.0;
+  if (spike_remaining_ > 0.0) {
+    spike = spike_magnitude_;
+    spike_remaining_ -= 1.0;
+  }
+
+  double util = phase.utilization *
+                (1.0 + modulation(phase, time_s_) + ar1_state_ + spike);
+  util = std::clamp(util, 0.02, 1.0);
+
+  // --- instruction stream ---
+  // Memory-boundness throttles effective IPC more at higher frequency
+  // (memory latency is frequency-independent, so stall cycles grow).
+  const double access_frac = phase.load_frac + phase.store_frac;
+  const double dram_frac =
+      access_frac * phase.l1_miss * phase.l2_miss * phase.l3_miss;
+  const double stall = 1.0 + dram_frac * platform_.power.stall_coeff *
+                                 (f_ghz / platform_.max_frequency_ghz());
+  const double ipc_eff = phase.ipc / stall;
+
+  const double cycles = n_cores * f_hz * util;
+  const double inst = cycles * ipc_eff;
+
+  // --- per-event rates ---
+  PmcVector pmcs{};
+  const auto set = [&](PmcEvent e, double v) {
+    // Counter jitter: PMU aggregation is not exact (paper notes PMC noise).
+    const double jitter = 1.0 + rng_.normal(0.0, 0.01);
+    pmcs[static_cast<std::size_t>(e)] = std::max(0.0, v * jitter);
+  };
+  set(PmcEvent::kCpuCycles, cycles);
+  set(PmcEvent::kInstRetired, inst);
+  set(PmcEvent::kBrPred, inst * phase.branch_frac);
+  set(PmcEvent::kUopRetired, inst * phase.uops_per_inst);
+  set(PmcEvent::kL1ICacheLd, inst * phase.l1i_ld_frac);
+  set(PmcEvent::kL1ICacheSt, inst * phase.l1i_st_frac);
+  const double l1d_ld = inst * phase.load_frac;
+  const double l1d_st = inst * phase.store_frac;
+  set(PmcEvent::kL1DCacheLd, l1d_ld);
+  set(PmcEvent::kL1DCacheSt, l1d_st);
+  const double l2_ld = l1d_ld * phase.l1_miss;
+  const double l2_st = l1d_st * phase.l1_miss;
+  set(PmcEvent::kL2DCacheLd, l2_ld);
+  set(PmcEvent::kL2DCacheSt, l2_st);
+  const double l3_ld = l2_ld * phase.l2_miss;
+  const double l3_st = l2_st * phase.l2_miss;
+  set(PmcEvent::kL3DCacheLd, l3_ld);
+  set(PmcEvent::kL3DCacheSt, l3_st);
+  const double mem = (l3_ld + l3_st) * phase.l3_miss;
+  set(PmcEvent::kMemAccess, mem);
+  set(PmcEvent::kBusAccess, mem * phase.bus_per_mem);
+
+  // --- ground-truth power ---
+  // Latent energy-weight wobble: slow AR(1) drift of the effective
+  // per-instruction / per-access energy around the phase's application-
+  // specific scale. Neither the scale nor the wobble is visible in any PMC.
+  energy_latent_ = 0.95 * energy_latent_ + rng_.normal(0.0, 0.05);
+  EnergyScale scale;
+  scale.inst = phase.inst_energy_scale * (1.0 + 0.25 * energy_latent_);
+  scale.mem = phase.mem_energy_scale * (1.0 + 0.25 * energy_latent_);
+  const ComponentPower p =
+      compute_component_power(platform_, pmcs, freq_level_, scale);
+  const PowerCoefficients& c = platform_.power;
+  // Peripheral wander: bounded random walk, "varies within just under 1W".
+  other_wander_ = std::clamp(other_wander_ + rng_.normal(0.0, 0.02),
+                             -c.other_wander_w, c.other_wander_w);
+
+  TickSample s;
+  s.time_s = time_s_;
+  s.pmcs = pmcs;
+  s.p_cpu_w = std::max(0.0, p.cpu_w + rng_.normal(0.0, c.cpu_noise_w));
+  s.p_mem_w = std::max(0.0, p.mem_w + rng_.normal(0.0, c.mem_noise_w));
+  s.p_other_w = c.other_idle_w + other_wander_;
+  s.p_node_w = s.p_cpu_w + s.p_mem_w + s.p_other_w;
+  s.freq_level = freq_level_;
+
+  time_s_ += 1.0;
+  return s;
+}
+
+Trace NodeSimulator::run(std::size_t n_ticks) {
+  Trace t;
+  for (std::size_t i = 0; i < n_ticks; ++i) t.push_back(step());
+  return t;
+}
+
+}  // namespace highrpm::sim

@@ -1,0 +1,54 @@
+#include "highrpm/sim/platform.hpp"
+
+#include <stdexcept>
+
+namespace highrpm::sim {
+
+PlatformConfig PlatformConfig::arm() {
+  PlatformConfig cfg;
+  cfg.name = "arm64-dev";
+  cfg.num_cores = 64;
+  cfg.freq_levels_ghz = {1.4, 1.8, 2.2};
+  cfg.default_freq_level = 2;
+  // Defaults in PowerCoefficients are tuned for this platform: full-load
+  // node power ~90 W with CPU-dominant workloads (paper Fig 2) of which
+  // ~25 W is peripherals.
+  return cfg;
+}
+
+PlatformConfig PlatformConfig::x86() {
+  PlatformConfig cfg;
+  cfg.name = "x86-tianhe1a-like";
+  cfg.num_cores = 20;  // dual E5-2660 v2 (10 cores each)
+  cfg.freq_levels_ghz = {1.8, 2.2, 2.6};
+  cfg.default_freq_level = 2;
+  PowerCoefficients& p = cfg.power;
+  p.cpu_idle_w = 38.0;
+  p.volt_base = 0.80;
+  p.volt_slope = 0.13;
+  p.dyn_scale = 20.0;
+  p.inst_energy_nj = 0.45;
+  p.cache_energy_nj = 1.6;
+  p.cpu_sat = 190.0;
+  p.stall_coeff = 35.0;
+  p.mem_idle_w = 9.0;
+  p.mem_energy_nj = 26.0;
+  p.mem_sat_rate = 1.5e9;
+  p.bus_energy_nj = 1.4;
+  p.other_idle_w = 55.0;
+  p.other_wander_w = 0.6;
+  // Higher clock -> more activity variance (paper §6.3 attributes the
+  // slightly larger x86 errors to the higher CPU frequency).
+  p.cpu_noise_w = 1.1;
+  p.mem_noise_w = 0.4;
+  return cfg;
+}
+
+double PlatformConfig::frequency_ghz(std::size_t level) const {
+  if (level >= freq_levels_ghz.size()) {
+    throw std::out_of_range("PlatformConfig: invalid frequency level");
+  }
+  return freq_levels_ghz[level];
+}
+
+}  // namespace highrpm::sim

@@ -1,0 +1,54 @@
+#include "highrpm/sim/power_model.hpp"
+
+#include <cmath>
+
+namespace highrpm::sim {
+
+double supply_voltage(const PowerCoefficients& c, double f_ghz) {
+  return c.volt_base + c.volt_slope * f_ghz;
+}
+
+ComponentPower compute_component_power(const PlatformConfig& platform,
+                                       const PmcVector& pmcs,
+                                       std::size_t freq_level,
+                                       const EnergyScale& scale) {
+  const PowerCoefficients& c = platform.power;
+  const double f_ghz = platform.frequency_ghz(freq_level);
+  const double f_hz = f_ghz * 1e9;
+
+  const auto rate = [&](PmcEvent e) {
+    return pmcs[static_cast<std::size_t>(e)];
+  };
+
+  // CPU: V^2 f switching power scaled by busy-core fraction, plus
+  // per-instruction and per-cache-access energy.
+  const double busy_cores = rate(PmcEvent::kCpuCycles) / f_hz;
+  const double util = busy_cores / static_cast<double>(platform.num_cores);
+  const double v = supply_voltage(c, f_ghz);
+  const double p_switch = c.dyn_scale * v * v * f_ghz * util *
+                          static_cast<double>(platform.num_cores) / 64.0;
+  const double p_inst =
+      c.inst_energy_nj * 1e-9 * rate(PmcEvent::kInstRetired);
+  const double cache_rate =
+      rate(PmcEvent::kL2DCacheLd) + rate(PmcEvent::kL2DCacheSt) +
+      rate(PmcEvent::kL3DCacheLd) + rate(PmcEvent::kL3DCacheSt);
+  const double p_cache = c.cache_energy_nj * 1e-9 * cache_rate;
+  // The application energy weight scales the whole dynamic term: switching
+  // activity per cycle, per-instruction energy and cache energy all depend
+  // on the instruction mix, none of which the PMCs resolve.
+  const double p_dyn_raw = scale.inst * (p_switch + p_inst + p_cache);
+  const double p_dyn = c.cpu_sat * std::tanh(p_dyn_raw / c.cpu_sat);
+
+  // Memory: per-access energy with bandwidth roll-off plus bus interface.
+  const double mem_rate = rate(PmcEvent::kMemAccess);
+  const double p_mem_access = scale.mem * c.mem_energy_nj * 1e-9 * mem_rate /
+                              (1.0 + mem_rate / c.mem_sat_rate);
+  const double p_bus = c.bus_energy_nj * 1e-9 * rate(PmcEvent::kBusAccess);
+
+  ComponentPower out;
+  out.cpu_w = c.cpu_idle_w + p_dyn;
+  out.mem_w = c.mem_idle_w + p_mem_access + p_bus;
+  return out;
+}
+
+}  // namespace highrpm::sim

@@ -1,0 +1,81 @@
+#include "highrpm/sim/trace.hpp"
+
+#include <algorithm>
+
+namespace highrpm::sim {
+
+std::vector<double> Trace::times() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.time_s);
+  return out;
+}
+
+std::vector<double> Trace::node_power() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.p_node_w);
+  return out;
+}
+
+std::vector<double> Trace::cpu_power() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.p_cpu_w);
+  return out;
+}
+
+std::vector<double> Trace::mem_power() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.p_mem_w);
+  return out;
+}
+
+std::vector<double> Trace::other_power() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.p_other_w);
+  return out;
+}
+
+std::vector<double> Trace::pmc_series(PmcEvent e) const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  const std::size_t idx = static_cast<std::size_t>(e);
+  for (const auto& s : samples_) out.push_back(s.pmcs[idx]);
+  return out;
+}
+
+math::Matrix Trace::pmc_matrix() const {
+  math::Matrix m(samples_.size(), kNumPmcEvents);
+  for (std::size_t r = 0; r < samples_.size(); ++r) {
+    for (std::size_t c = 0; c < kNumPmcEvents; ++c) {
+      m(r, c) = samples_[r].pmcs[c];
+    }
+  }
+  return m;
+}
+
+double Trace::total_energy_j() const {
+  double e = 0.0;
+  for (const auto& s : samples_) e += s.p_node_w;  // 1-second ticks
+  return e;
+}
+
+double Trace::peak_node_power() const {
+  double p = 0.0;
+  for (const auto& s : samples_) p = std::max(p, s.p_node_w);
+  return p;
+}
+
+void Trace::append(const Trace& other) {
+  const double offset =
+      samples_.empty() ? 0.0 : samples_.back().time_s + 1.0;
+  for (TickSample s : other.samples_) {
+    s.time_s += offset;
+    samples_.push_back(s);
+  }
+}
+
+}  // namespace highrpm::sim

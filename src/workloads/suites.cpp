@@ -1,0 +1,424 @@
+#include "highrpm/workloads/suites.hpp"
+
+#include <stdexcept>
+
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::workloads {
+
+using sim::PhaseSpec;
+using sim::Waveform;
+using sim::Workload;
+
+Workload fft() {
+  Workload w;
+  w.name = "fft";
+  w.suite = "HPCC";
+  PhaseSpec compute;
+  compute.label = "butterfly";
+  compute.duration_s = 120.0;
+  compute.utilization = 0.92;
+  compute.ipc = 2.4;
+  compute.uops_per_inst = 1.5;
+  compute.branch_frac = 0.08;
+  compute.load_frac = 0.28;
+  compute.store_frac = 0.14;
+  compute.l1_miss = 0.04;
+  compute.l2_miss = 0.25;
+  compute.l3_miss = 0.20;
+  compute.inst_energy_scale = 1.15;  // wide SIMD butterflies
+  compute.mem_energy_scale = 0.9;
+  compute.waveform = Waveform::kSine;
+  compute.mod_period_s = 30.0;
+  compute.mod_depth = 0.06;
+  compute.ar1_rho = 0.6;
+  compute.ar1_sigma = 0.02;
+  compute.spike_rate_hz = 0.01;
+  compute.spike_magnitude = 0.15;
+  w.phases.push_back(compute);
+  return w;
+}
+
+Workload stream() {
+  Workload w;
+  w.name = "stream";
+  w.suite = "HPCC";
+  PhaseSpec copy;
+  copy.label = "triad";
+  copy.duration_s = 120.0;
+  copy.utilization = 0.85;
+  copy.ipc = 1.2;
+  copy.uops_per_inst = 1.2;
+  copy.branch_frac = 0.04;
+  copy.load_frac = 0.45;
+  copy.store_frac = 0.22;
+  copy.l1_miss = 0.25;
+  copy.l2_miss = 0.55;
+  copy.l3_miss = 0.85;
+  copy.bus_per_mem = 1.8;
+  copy.inst_energy_scale = 0.85;  // simple scalar copy loops
+  copy.mem_energy_scale = 1.30;   // page-crossing streaming traffic
+  copy.waveform = Waveform::kSquare;  // kernel rotation (copy/scale/add/triad)
+  copy.mod_period_s = 48.0;
+  copy.mod_depth = 0.05;
+  copy.ar1_rho = 0.5;
+  copy.ar1_sigma = 0.02;
+  copy.spike_rate_hz = 0.008;
+  copy.spike_magnitude = 0.12;
+  w.phases.push_back(copy);
+  return w;
+}
+
+Workload graph500_bfs() {
+  Workload w;
+  w.name = "graph500-bfs";
+  w.suite = "Graph500";
+  // BFS supersteps: a low-activity frontier-scan phase alternating with a
+  // high-activity expansion burst — the spiky profile of Fig 1.
+  PhaseSpec scan;
+  scan.label = "frontier-scan";
+  scan.duration_s = 14.0;
+  scan.utilization = 0.45;
+  scan.ipc = 0.9;
+  scan.branch_frac = 0.22;
+  scan.load_frac = 0.40;
+  scan.store_frac = 0.10;
+  scan.l1_miss = 0.18;
+  scan.l2_miss = 0.50;
+  scan.l3_miss = 0.70;
+  scan.waveform = Waveform::kTriangle;
+  scan.mod_period_s = 14.0;
+  scan.mod_depth = 0.18;
+  scan.ar1_rho = 0.75;
+  scan.ar1_sigma = 0.06;
+  scan.spike_rate_hz = 0.06;
+  scan.spike_magnitude = 0.6;
+  scan.spike_len_s = 2.0;
+  scan.inst_energy_scale = 1.0;
+  scan.mem_energy_scale = 1.15;  // irregular row-buffer-hostile accesses
+
+  PhaseSpec expand;
+  expand.label = "expand";
+  expand.duration_s = 8.0;
+  expand.utilization = 0.95;
+  expand.ipc = 1.4;
+  expand.branch_frac = 0.18;
+  expand.load_frac = 0.42;
+  expand.store_frac = 0.18;
+  expand.l1_miss = 0.15;
+  expand.l2_miss = 0.45;
+  expand.l3_miss = 0.65;
+  expand.waveform = Waveform::kConstant;
+  expand.ar1_rho = 0.6;
+  expand.ar1_sigma = 0.05;
+  expand.spike_rate_hz = 0.10;
+  expand.spike_magnitude = 0.35;
+  expand.spike_len_s = 1.5;
+  expand.inst_energy_scale = 1.05;
+  expand.mem_energy_scale = 1.15;
+
+  w.phases.push_back(scan);
+  w.phases.push_back(expand);
+  return w;
+}
+
+Workload graph500_sssp() {
+  Workload w = graph500_bfs();
+  w.name = "graph500-sssp";
+  // SSSP relaxation passes run longer and hit memory a little harder.
+  w.phases[0].duration_s = 18.0;
+  w.phases[0].l3_miss = 0.75;
+  w.phases[1].utilization = 0.9;
+  w.phases[1].l3_miss = 0.7;
+  return w;
+}
+
+Workload hpl_ai() {
+  Workload w;
+  w.name = "hpl-ai";
+  w.suite = "HPL-AI";
+  PhaseSpec gemm;
+  gemm.label = "panel-gemm";
+  gemm.duration_s = 90.0;
+  gemm.utilization = 0.97;
+  gemm.ipc = 2.8;
+  gemm.uops_per_inst = 1.6;
+  gemm.branch_frac = 0.05;
+  gemm.load_frac = 0.30;
+  gemm.store_frac = 0.12;
+  gemm.l1_miss = 0.04;
+  gemm.l2_miss = 0.20;
+  gemm.l3_miss = 0.25;
+  gemm.waveform = Waveform::kSawtooth;  // shrinking trailing matrix
+  gemm.mod_period_s = 90.0;
+  gemm.mod_depth = 0.10;
+  gemm.ar1_rho = 0.5;
+  gemm.ar1_sigma = 0.015;
+  gemm.spike_rate_hz = 0.01;
+  gemm.spike_magnitude = 0.1;
+  gemm.inst_energy_scale = 1.45;  // dense FMA-heavy mixed precision
+  gemm.mem_energy_scale = 0.9;
+
+  PhaseSpec swap;
+  swap.label = "pivot-swap";
+  swap.duration_s = 10.0;
+  swap.utilization = 0.55;
+  swap.ipc = 0.9;
+  swap.load_frac = 0.45;
+  swap.store_frac = 0.25;
+  swap.l1_miss = 0.22;
+  swap.l2_miss = 0.5;
+  swap.l3_miss = 0.7;
+  swap.ar1_rho = 0.6;
+  swap.ar1_sigma = 0.04;
+  w.phases.push_back(gemm);
+  w.phases.push_back(swap);
+  return w;
+}
+
+Workload smg2000() {
+  Workload w;
+  w.name = "smg2000";
+  w.suite = "SMG2000";
+  PhaseSpec smooth;
+  smooth.label = "smooth";
+  smooth.duration_s = 25.0;
+  smooth.utilization = 0.8;
+  smooth.ipc = 1.1;
+  smooth.load_frac = 0.42;
+  smooth.store_frac = 0.20;
+  smooth.l1_miss = 0.16;
+  smooth.l2_miss = 0.5;
+  smooth.l3_miss = 0.72;
+  smooth.waveform = Waveform::kSine;
+  smooth.mod_period_s = 50.0;
+  smooth.mod_depth = 0.12;
+  smooth.ar1_rho = 0.7;
+  smooth.ar1_sigma = 0.04;
+  smooth.spike_rate_hz = 0.02;
+  smooth.spike_magnitude = 0.3;
+  smooth.inst_energy_scale = 0.95;
+  smooth.mem_energy_scale = 1.2;
+
+  PhaseSpec restrict_;
+  restrict_.label = "restrict";
+  restrict_.duration_s = 12.0;
+  restrict_.utilization = 0.6;
+  restrict_.ipc = 1.3;
+  restrict_.load_frac = 0.38;
+  restrict_.store_frac = 0.16;
+  restrict_.l1_miss = 0.12;
+  restrict_.l2_miss = 0.45;
+  restrict_.l3_miss = 0.6;
+  restrict_.ar1_rho = 0.65;
+  restrict_.ar1_sigma = 0.035;
+  w.phases.push_back(smooth);
+  w.phases.push_back(restrict_);
+  return w;
+}
+
+Workload hpcg() {
+  Workload w;
+  w.name = "hpcg";
+  w.suite = "HPCG";
+  PhaseSpec spmv;
+  spmv.label = "spmv-mg";
+  spmv.duration_s = 100.0;
+  spmv.utilization = 0.82;
+  spmv.ipc = 1.0;
+  spmv.branch_frac = 0.10;
+  spmv.load_frac = 0.48;
+  spmv.store_frac = 0.15;
+  spmv.l1_miss = 0.20;
+  spmv.l2_miss = 0.55;
+  spmv.l3_miss = 0.78;
+  spmv.waveform = Waveform::kSine;
+  spmv.mod_period_s = 60.0;
+  spmv.mod_depth = 0.08;
+  spmv.ar1_rho = 0.7;
+  spmv.ar1_sigma = 0.03;
+  spmv.spike_rate_hz = 0.015;
+  spmv.spike_magnitude = 0.25;
+  spmv.inst_energy_scale = 0.9;
+  spmv.mem_energy_scale = 1.25;  // sparse gather traffic
+  w.phases.push_back(spmv);
+  return w;
+}
+
+namespace {
+
+/// Deterministic per-benchmark seed from suite and index.
+std::uint64_t profile_seed(const std::string& suite_name, std::size_t idx) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char ch : suite_name) {
+    h = (h ^ static_cast<std::uint64_t>(ch)) * 1099511628211ULL;
+  }
+  return h + 0x9E3779B97F4A7C15ULL * (idx + 1);
+}
+
+/// Parameter ranges characterizing a suite's benchmarks.
+struct SuiteRanges {
+  double util_lo, util_hi;
+  double ipc_lo, ipc_hi;
+  double load_lo, load_hi;
+  double miss1_lo, miss1_hi;   // L1 miss
+  double miss3_lo, miss3_hi;   // L3 miss
+  double mod_depth_hi;
+  double spike_rate_hi;
+  std::size_t phases_lo, phases_hi;
+};
+
+Workload generated_workload(const std::string& suite_name,
+                            const std::string& name, const SuiteRanges& r,
+                            std::size_t idx) {
+  math::Rng rng(profile_seed(suite_name, idx));
+  Workload w;
+  w.name = name;
+  w.suite = suite_name;
+  const std::size_t n_phases =
+      r.phases_lo +
+      rng.uniform_index(r.phases_hi - r.phases_lo + 1);
+  for (std::size_t p = 0; p < n_phases; ++p) {
+    PhaseSpec ph;
+    ph.label = "phase-" + std::to_string(p);
+    ph.duration_s = rng.uniform(20.0, 90.0);
+    ph.utilization = rng.uniform(r.util_lo, r.util_hi);
+    ph.ipc = rng.uniform(r.ipc_lo, r.ipc_hi);
+    ph.uops_per_inst = rng.uniform(1.1, 1.6);
+    ph.branch_frac = rng.uniform(0.05, 0.25);
+    ph.l1i_ld_frac = rng.uniform(0.85, 1.0);
+    ph.l1i_st_frac = rng.uniform(0.01, 0.04);
+    ph.load_frac = rng.uniform(r.load_lo, r.load_hi);
+    ph.store_frac = ph.load_frac * rng.uniform(0.3, 0.6);
+    ph.l1_miss = rng.uniform(r.miss1_lo, r.miss1_hi);
+    ph.l2_miss = rng.uniform(0.2, 0.6);
+    ph.l3_miss = rng.uniform(r.miss3_lo, r.miss3_hi);
+    ph.bus_per_mem = rng.uniform(1.3, 2.0);
+    const auto wf = rng.uniform_index(5);
+    ph.waveform = static_cast<Waveform>(wf);
+    ph.mod_period_s = rng.uniform(20.0, 80.0);
+    ph.mod_depth = rng.uniform(0.0, r.mod_depth_hi);
+    ph.ar1_rho = rng.uniform(0.4, 0.85);
+    ph.ar1_sigma = rng.uniform(0.01, 0.06);
+    ph.spike_rate_hz = rng.uniform(0.0, r.spike_rate_hi);
+    ph.spike_magnitude = rng.uniform(0.1, 0.6);
+    ph.spike_len_s = rng.uniform(1.0, 4.0);
+    // Application-specific energy weights (see PhaseSpec): drawn once per
+    // phase, constant across runs of the same benchmark.
+    ph.inst_energy_scale = rng.uniform(0.5, 2.0);
+    ph.mem_energy_scale = rng.uniform(0.6, 1.8);
+    w.phases.push_back(ph);
+  }
+  return w;
+}
+
+const char* const kSpecNames[43] = {
+    "perlbench", "gcc",       "mcf",        "omnetpp",    "xalancbmk",
+    "x264",      "deepsjeng", "leela",      "exchange2",  "xz",
+    "bwaves",    "cactuBSSN", "lbm",        "wrf",        "cam4",
+    "pop2",      "imagick",   "nab",        "fotonik3d",  "roms",
+    "namd",      "parest",    "povray",     "blender",    "specrand-i",
+    "specrand-f", "gcc-pp",   "mcf-s",      "omnetpp-s",  "xalancbmk-s",
+    "x264-pass2", "deepsjeng-s", "leela-s", "exchange2-s", "xz-s",
+    "bwaves-s",  "cactuBSSN-s", "lbm-s",    "wrf-s",      "cam4-s",
+    "pop2-s",    "imagick-s", "nab-s"};
+
+const char* const kParsecNames[36] = {
+    "blackscholes", "bodytrack",  "canneal",     "dedup",
+    "facesim",      "ferret",     "fluidanimate", "freqmine",
+    "raytrace",     "streamcluster", "swaptions", "vips",
+    "x264-parsec",  "netdedup",   "netferret",   "netstreamcluster",
+    "blackscholes-l", "bodytrack-l", "canneal-l", "dedup-l",
+    "facesim-l",    "ferret-l",   "fluidanimate-l", "freqmine-l",
+    "raytrace-l",   "streamcluster-l", "swaptions-l", "vips-l",
+    "x264-parsec-l", "netdedup-l", "netferret-l", "netstreamcluster-l",
+    "blackscholes-xl", "canneal-xl", "dedup-xl",  "swaptions-xl"};
+
+const char* const kHpccNames[10] = {
+    // fft and stream are hand-tuned above; these fill out the 12-kernel set.
+    "hpl",        "dgemm",      "ptrans",    "randomaccess", "latency-bw",
+    "mpi-fft",    "star-stream", "star-dgemm", "star-random", "single-hpl"};
+
+}  // namespace
+
+std::vector<std::string> suite_names() {
+  return {"SPEC", "PARSEC", "HPCC", "Graph500", "HPL-AI", "SMG2000", "HPCG"};
+}
+
+std::vector<Workload> suite(const std::string& name) {
+  std::vector<Workload> out;
+  if (name == "SPEC") {
+    // SPEC CPU 2017: predominantly compute-bound, wide IPC spread, low-to-
+    // moderate memory traffic.
+    const SuiteRanges r{.util_lo = 0.55, .util_hi = 0.98,
+                        .ipc_lo = 0.9,  .ipc_hi = 2.8,
+                        .load_lo = 0.2, .load_hi = 0.42,
+                        .miss1_lo = 0.02, .miss1_hi = 0.15,
+                        .miss3_lo = 0.2,  .miss3_hi = 0.6,
+                        .mod_depth_hi = 0.2, .spike_rate_hi = 0.04,
+                        .phases_lo = 1, .phases_hi = 3};
+    for (std::size_t i = 0; i < 43; ++i) {
+      out.push_back(generated_workload("SPEC", kSpecNames[i], r, i));
+    }
+  } else if (name == "PARSEC") {
+    // PARSEC: shared-memory parallel mixes; bursty, moderate memory.
+    const SuiteRanges r{.util_lo = 0.4,  .util_hi = 0.95,
+                        .ipc_lo = 0.8,  .ipc_hi = 2.2,
+                        .load_lo = 0.25, .load_hi = 0.48,
+                        .miss1_lo = 0.05, .miss1_hi = 0.2,
+                        .miss3_lo = 0.3,  .miss3_hi = 0.75,
+                        .mod_depth_hi = 0.25, .spike_rate_hi = 0.06,
+                        .phases_lo = 1, .phases_hi = 3};
+    for (std::size_t i = 0; i < 36; ++i) {
+      out.push_back(generated_workload("PARSEC", kParsecNames[i], r, i));
+    }
+  } else if (name == "HPCC") {
+    out.push_back(fft());
+    out.push_back(stream());
+    // Remaining HPCC kernels span the full locality spectrum.
+    const SuiteRanges r{.util_lo = 0.6,  .util_hi = 0.98,
+                        .ipc_lo = 0.9,  .ipc_hi = 2.6,
+                        .load_lo = 0.25, .load_hi = 0.5,
+                        .miss1_lo = 0.03, .miss1_hi = 0.25,
+                        .miss3_lo = 0.25, .miss3_hi = 0.85,
+                        .mod_depth_hi = 0.15, .spike_rate_hi = 0.05,
+                        .phases_lo = 1, .phases_hi = 2};
+    for (std::size_t i = 0; i < 10; ++i) {
+      out.push_back(generated_workload("HPCC", kHpccNames[i], r, i));
+    }
+  } else if (name == "Graph500") {
+    out.push_back(graph500_bfs());
+    out.push_back(graph500_sssp());
+  } else if (name == "HPL-AI") {
+    out.push_back(hpl_ai());
+  } else if (name == "SMG2000") {
+    out.push_back(smg2000());
+  } else if (name == "HPCG") {
+    out.push_back(hpcg());
+  } else {
+    throw std::invalid_argument("workloads::suite: unknown suite '" + name +
+                                "'");
+  }
+  return out;
+}
+
+std::vector<Workload> full_benchmark_set() {
+  std::vector<Workload> out;
+  for (const auto& s : suite_names()) {
+    auto ws = suite(s);
+    out.insert(out.end(), ws.begin(), ws.end());
+  }
+  return out;
+}
+
+Workload by_name(const std::string& name) {
+  for (const auto& s : suite_names()) {
+    for (auto& w : suite(s)) {
+      if (w.name == name) return w;
+    }
+  }
+  throw std::invalid_argument("workloads::by_name: unknown workload '" + name +
+                              "'");
+}
+
+}  // namespace highrpm::workloads

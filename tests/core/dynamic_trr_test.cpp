@@ -1,0 +1,156 @@
+#include "highrpm/core/dynamic_trr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "highrpm/math/metrics.hpp"
+#include "highrpm/measure/collector.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+namespace highrpm::core {
+namespace {
+
+measure::CollectedRun collect(const sim::Workload& w, std::size_t ticks,
+                              std::uint64_t seed) {
+  measure::Collector collector;
+  return collector.collect(sim::PlatformConfig::arm(), w, ticks, seed);
+}
+
+DynamicTrrConfig fast_config() {
+  DynamicTrrConfig cfg;
+  cfg.rnn.epochs = 12;
+  return cfg;
+}
+
+TEST(DynamicTrr, ConfigValidation) {
+  DynamicTrrConfig cfg;
+  cfg.miss_interval = 1;
+  EXPECT_THROW(DynamicTrr{cfg}, std::invalid_argument);
+}
+
+TEST(DynamicTrr, StepBeforeTrainThrows) {
+  DynamicTrr trr(fast_config());
+  const std::vector<double> pmcs(sim::kNumPmcEvents, 0.0);
+  EXPECT_THROW(trr.step(pmcs, std::nullopt), std::logic_error);
+}
+
+TEST(DynamicTrr, TrainRequiresFullWindows) {
+  DynamicTrr trr(fast_config());
+  // 5 ticks < miss_interval of 10: no window can be built.
+  const math::Matrix pmcs(5, 3, 1.0);
+  const std::vector<double> labels{1, 2, 3, 4, 5};
+  EXPECT_THROW(trr.train_single(pmcs, labels), std::invalid_argument);
+}
+
+TEST(DynamicTrr, StreamingProducesEstimateEveryTick) {
+  const auto train = collect(workloads::fft(), 250, 1);
+  DynamicTrr trr(fast_config());
+  trr.train_single(train.dataset.features(), train.dataset.target("P_NODE"));
+
+  const auto test = collect(workloads::fft(), 60, 2);
+  const auto& features = test.dataset.features();
+  for (std::size_t t = 0; t < test.num_ticks(); ++t) {
+    std::optional<double> reading;
+    if (test.measured[t]) {
+      reading = test.dataset.target("P_NODE")[t];
+    }
+    const double est = trr.step(features.row(t), reading);
+    EXPECT_TRUE(std::isfinite(est));
+    EXPECT_GT(est, 0.0);
+    EXPECT_LT(est, 400.0);
+  }
+}
+
+TEST(DynamicTrr, MeasuredTicksReturnTheMeasurement) {
+  const auto train = collect(workloads::fft(), 250, 3);
+  DynamicTrr trr(fast_config());
+  trr.train_single(train.dataset.features(), train.dataset.target("P_NODE"));
+  const auto test = collect(workloads::fft(), 40, 4);
+  const auto& features = test.dataset.features();
+  for (std::size_t t = 0; t < test.num_ticks(); ++t) {
+    if (test.measured[t]) {
+      const double v = test.dataset.target("P_NODE")[t];
+      EXPECT_DOUBLE_EQ(trr.step(features.row(t), v), v);
+    } else {
+      trr.step(features.row(t), std::nullopt);
+    }
+  }
+}
+
+TEST(DynamicTrr, OnlineFinetuneFiresOnMeasurements) {
+  const auto train = collect(workloads::fft(), 250, 5);
+  DynamicTrrConfig cfg = fast_config();
+  cfg.online_finetune = true;
+  DynamicTrr trr(cfg);
+  trr.train_single(train.dataset.features(), train.dataset.target("P_NODE"));
+  const auto test = collect(workloads::fft(), 60, 6);
+  const auto& features = test.dataset.features();
+  const std::size_t before = trr.finetune_count();
+  for (std::size_t t = 0; t < test.num_ticks(); ++t) {
+    std::optional<double> reading;
+    if (test.measured[t]) reading = test.dataset.target("P_NODE")[t];
+    trr.step(features.row(t), reading);
+  }
+  // Readings arrive every 10 ticks; the first few fall before the window is
+  // full, so expect at least a couple of fine-tunes over 60 ticks.
+  EXPECT_GE(trr.finetune_count(), before + 2);
+}
+
+TEST(DynamicTrr, TracksNodePowerOnUnseenRun) {
+  // Train on two workloads, stream an unseen one: errors should stay in a
+  // usable band (the full Table-5 comparison lives in the bench).
+  std::vector<math::Matrix> pmcs;
+  std::vector<std::vector<double>> labels;
+  for (const auto& [w, seed] :
+       std::vector<std::pair<sim::Workload, std::uint64_t>>{
+           {workloads::fft(), 10}, {workloads::stream(), 11}}) {
+    const auto run = collect(w, 200, seed);
+    pmcs.push_back(run.dataset.features());
+    labels.push_back(run.dataset.target("P_NODE"));
+  }
+  DynamicTrrConfig cfg = fast_config();
+  cfg.rnn.epochs = 25;
+  DynamicTrr trr(cfg);
+  trr.train(pmcs, labels);
+
+  const auto test = collect(workloads::hpcg(), 120, 12);
+  const auto& features = test.dataset.features();
+  std::vector<double> truth, est;
+  for (std::size_t t = 0; t < test.num_ticks(); ++t) {
+    std::optional<double> reading;
+    if (test.measured[t]) reading = test.dataset.target("P_NODE")[t];
+    const double e = trr.step(features.row(t), reading);
+    if (!test.measured[t]) {  // score only restored ticks
+      truth.push_back(test.truth[t].p_node_w);
+      est.push_back(e);
+    }
+  }
+  EXPECT_LT(math::mape(truth, est), 15.0);
+}
+
+TEST(DynamicTrr, ResetStreamClearsState) {
+  const auto train = collect(workloads::fft(), 250, 13);
+  DynamicTrr trr(fast_config());
+  trr.train_single(train.dataset.features(), train.dataset.target("P_NODE"));
+  const auto test = collect(workloads::fft(), 30, 14);
+  const auto& features = test.dataset.features();
+  std::vector<double> first;
+  for (std::size_t t = 0; t < 20; ++t) {
+    first.push_back(trr.step(features.row(t), std::nullopt));
+  }
+  trr.reset_stream();
+  // Replaying the same ticks after reset gives the same estimates only if
+  // no online fine-tune happened (none did: no readings were offered).
+  for (std::size_t t = 0; t < 20; ++t) {
+    EXPECT_DOUBLE_EQ(trr.step(features.row(t), std::nullopt), first[t]);
+  }
+}
+
+TEST(DynamicTrr, FineTuneApiRejectsUntrained) {
+  DynamicTrr trr(fast_config());
+  EXPECT_THROW(trr.fine_tune({}, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace highrpm::core

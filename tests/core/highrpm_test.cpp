@@ -1,0 +1,137 @@
+#include "highrpm/core/highrpm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "highrpm/math/metrics.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+namespace highrpm::core {
+namespace {
+
+HighRpmConfig fast_config() {
+  HighRpmConfig cfg;
+  cfg.dynamic_trr.rnn.epochs = 12;
+  cfg.srr.epochs = 30;
+  return cfg;
+}
+
+std::vector<measure::CollectedRun> training_runs(std::uint64_t seed) {
+  measure::Collector collector;
+  std::vector<measure::CollectedRun> runs;
+  runs.push_back(collector.collect(sim::PlatformConfig::arm(),
+                                   workloads::fft(), 200, seed));
+  runs.push_back(collector.collect(sim::PlatformConfig::arm(),
+                                   workloads::stream(), 200, seed + 1));
+  return runs;
+}
+
+measure::CollectedRun test_run(std::uint64_t seed, std::size_t ticks = 100) {
+  measure::Collector collector;
+  return collector.collect(sim::PlatformConfig::arm(), workloads::smg2000(),
+                           ticks, seed);
+}
+
+class HighRpmTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    framework_ = new HighRpm(fast_config());
+    const auto runs = training_runs(100);
+    framework_->initial_learning(runs);
+  }
+  static void TearDownTestSuite() {
+    delete framework_;
+    framework_ = nullptr;
+  }
+  static HighRpm* framework_;
+};
+
+HighRpm* HighRpmTest::framework_ = nullptr;
+
+TEST(HighRpm, UntrainedUsageThrows) {
+  HighRpm h(fast_config());
+  EXPECT_FALSE(h.trained());
+  const std::vector<double> pmcs(sim::kNumPmcEvents, 0.0);
+  EXPECT_THROW(h.on_tick(pmcs, std::nullopt), std::logic_error);
+  EXPECT_THROW(h.restore_log(test_run(1)), std::logic_error);
+  EXPECT_THROW(h.active_learning(test_run(1)), std::logic_error);
+  EXPECT_THROW(h.initial_learning({}), std::invalid_argument);
+}
+
+TEST_F(HighRpmTest, TrainedAfterInitialLearning) {
+  EXPECT_TRUE(framework_->trained());
+}
+
+TEST_F(HighRpmTest, RestoreLogCoversEveryTick) {
+  const auto run = test_run(2, 120);
+  const auto log = framework_->restore_log(run);
+  EXPECT_EQ(log.node_w.size(), 120u);
+  EXPECT_EQ(log.cpu_w.size(), 120u);
+  EXPECT_EQ(log.mem_w.size(), 120u);
+  const auto truth = run.truth.node_power();
+  EXPECT_LT(math::mape(truth, log.node_w), 12.0);
+}
+
+TEST_F(HighRpmTest, StreamingEstimatesAreConsistent) {
+  HighRpm h = *framework_;  // private copy so fine-tunes don't leak
+  h.reset_stream();
+  const auto run = test_run(3, 80);
+  const auto& features = run.dataset.features();
+  std::vector<double> truth, est;
+  for (std::size_t t = 0; t < run.num_ticks(); ++t) {
+    std::optional<double> reading;
+    if (run.measured[t]) reading = run.dataset.target("P_NODE")[t];
+    const auto e = h.on_tick(features.row(t), reading);
+    EXPECT_EQ(e.measured, run.measured[t]);
+    // Components must roughly add up: node ~= cpu + mem + P_other.
+    EXPECT_NEAR(e.cpu_w + e.mem_w + h.config().p_other_w, e.node_w,
+                0.5 * e.node_w);
+    truth.push_back(run.truth[t].p_node_w);
+    est.push_back(e.node_w);
+  }
+  EXPECT_LT(math::mape(truth, est), 12.0);
+}
+
+TEST_F(HighRpmTest, ActiveLearningRunsAndCounts) {
+  HighRpm h = *framework_;
+  const auto run = test_run(4, 150);
+  const std::size_t before = h.active_learning_rounds();
+  h.active_learning(run);
+  EXPECT_EQ(h.active_learning_rounds(), before + 1);
+}
+
+TEST_F(HighRpmTest, MonitorServiceManagesNodes) {
+  MonitorService service(*framework_);
+  service.register_node("cn-0");
+  service.register_node("cn-1");
+  EXPECT_EQ(service.node_count(), 2u);
+  EXPECT_TRUE(service.has_node("cn-0"));
+  EXPECT_FALSE(service.has_node("cn-9"));
+  EXPECT_THROW(service.register_node("cn-0"), std::invalid_argument);
+
+  const auto run = test_run(5, 40);
+  const auto& features = run.dataset.features();
+  for (std::size_t t = 0; t < 20; ++t) {
+    const auto e = service.on_tick("cn-0", features.row(t), std::nullopt);
+    EXPECT_GT(e.node_w, 0.0);
+  }
+  EXPECT_THROW(service.on_tick("cn-9", features.row(0), std::nullopt),
+               std::out_of_range);
+}
+
+TEST_F(HighRpmTest, MonitorServicePerNodeIsolation) {
+  MonitorService service(*framework_);
+  service.register_node("a");
+  service.register_node("b");
+  const auto run = test_run(6, 150);
+  // Active-learn only node "a"; node "b" must be untouched.
+  service.active_learning("a", run);
+  EXPECT_EQ(service.node("a").active_learning_rounds(), 1u);
+  EXPECT_EQ(service.node("b").active_learning_rounds(), 0u);
+}
+
+TEST(MonitorService, RejectsUntrainedGolden) {
+  EXPECT_THROW(MonitorService(HighRpm(fast_config())), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace highrpm::core

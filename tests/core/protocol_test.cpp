@@ -1,0 +1,127 @@
+#include "highrpm/core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace highrpm::core {
+namespace {
+
+ProtocolConfig tiny_config() {
+  ProtocolConfig cfg;
+  cfg.samples_per_suite = 120;
+  cfg.min_ticks_per_workload = 40;
+  cfg.max_workloads_per_suite = 3;
+  return cfg;
+}
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { data_ = new auto(collect_all_suites(tiny_config())); }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static std::vector<SuiteData>* data_;
+};
+
+std::vector<SuiteData>* ProtocolTest::data_ = nullptr;
+
+TEST_F(ProtocolTest, CollectsAllSevenSuites) {
+  ASSERT_EQ(data_->size(), 7u);
+  EXPECT_EQ((*data_)[0].suite, "SPEC");
+  EXPECT_EQ((*data_)[6].suite, "HPCG");
+  for (const auto& sd : *data_) {
+    EXPECT_FALSE(sd.runs.empty()) << sd.suite;
+    EXPECT_LE(sd.runs.size(), 3u) << sd.suite;  // max_workloads cap
+    for (const auto& run : sd.runs) {
+      EXPECT_GE(run.num_ticks(), 40u);
+      EXPECT_EQ(run.suite, sd.suite);
+    }
+  }
+}
+
+TEST_F(ProtocolTest, UnseenSplitsExcludeHeldOutSuite) {
+  const auto splits = make_unseen_splits(*data_);
+  ASSERT_EQ(splits.size(), 7u);
+  for (const auto& s : splits) {
+    EXPECT_FALSE(s.seen);
+    for (const auto& run : s.train) {
+      EXPECT_NE(run.suite, s.held_out_suite);
+    }
+    ASSERT_EQ(s.test.size(), s.test_score_start.size());
+    for (std::size_t i = 0; i < s.test.size(); ++i) {
+      EXPECT_EQ(s.test[i].suite, s.held_out_suite);
+      EXPECT_EQ(s.test_score_start[i], 0u);  // whole run is scored
+    }
+    EXPECT_FALSE(s.test.empty());
+  }
+}
+
+TEST_F(ProtocolTest, SeenSplitsIncludeTargetSuiteHead) {
+  const auto splits = make_seen_splits(*data_, 0.25);
+  ASSERT_EQ(splits.size(), 7u);
+  for (const auto& s : splits) {
+    EXPECT_TRUE(s.seen);
+    std::size_t target_train_runs = 0;
+    for (const auto& run : s.train) {
+      if (run.suite == s.held_out_suite) ++target_train_runs;
+    }
+    EXPECT_GT(target_train_runs, 0u);
+    // Test runs are full runs; scoring starts at the head/tail boundary
+    // (~75% in), so the scored tail never overlaps the trained head.
+    ASSERT_EQ(s.test.size(), s.test_score_start.size());
+    for (std::size_t i = 0; i < s.test.size(); ++i) {
+      const auto& run = s.test[i];
+      EXPECT_EQ(run.suite, s.held_out_suite);
+      EXPECT_GT(s.test_score_start[i], run.num_ticks() / 2);
+      EXPECT_LT(s.test_score_start[i], run.num_ticks());
+    }
+  }
+}
+
+TEST_F(ProtocolTest, SeenSplitsRejectBadFraction) {
+  EXPECT_THROW(make_seen_splits(*data_, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_seen_splits(*data_, 1.0), std::invalid_argument);
+}
+
+TEST_F(ProtocolTest, SliceRunReindexesIpmi) {
+  const auto& run = (*data_)[0].runs[0];
+  const auto s = slice_run(run, 10, 25);
+  EXPECT_EQ(s.num_ticks(), 25u);
+  EXPECT_EQ(s.measured.size(), 25u);
+  EXPECT_EQ(s.truth.size(), 25u);
+  for (const auto& r : s.ipmi_readings) {
+    EXPECT_LT(r.tick_index, 25u);
+    EXPECT_TRUE(s.measured[r.tick_index]);
+  }
+  EXPECT_THROW(slice_run(run, 0, run.num_ticks() + 1), std::out_of_range);
+}
+
+TEST_F(ProtocolTest, SliceRunPreservesValues) {
+  const auto& run = (*data_)[1].runs[0];
+  const auto s = slice_run(run, 5, 10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(s.dataset.target("P_NODE")[i],
+                     run.dataset.target("P_NODE")[5 + i]);
+    EXPECT_DOUBLE_EQ(s.truth[i].p_cpu_w, run.truth[5 + i].p_cpu_w);
+  }
+}
+
+TEST_F(ProtocolTest, FlattenConcatenatesEverything) {
+  const auto& runs = (*data_)[2].runs;
+  const auto flat = flatten_runs(runs);
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.num_ticks();
+  EXPECT_EQ(flat.x.rows(), total);
+  EXPECT_EQ(flat.p_node.size(), total);
+  EXPECT_EQ(flat.p_cpu.size(), total);
+  EXPECT_EQ(flat.p_mem.size(), total);
+  // First run's first row round-trips.
+  EXPECT_DOUBLE_EQ(flat.p_node[0], runs[0].dataset.target("P_NODE")[0]);
+}
+
+TEST(Protocol, FlattenEmptyThrows) {
+  EXPECT_THROW(flatten_runs({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace highrpm::core

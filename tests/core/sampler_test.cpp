@@ -1,0 +1,89 @@
+#include "highrpm/core/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace highrpm::core {
+namespace {
+
+TEST(Sampler, RejectsNonPositiveWeight) {
+  SamplerConfig cfg;
+  cfg.measured_weight = 0.0;
+  EXPECT_THROW(ReinforcementSampler{cfg}, std::invalid_argument);
+}
+
+TEST(Sampler, EmptyPoolGivesEmptyDraw) {
+  ReinforcementSampler s;
+  EXPECT_TRUE(s.draw({}).empty());
+}
+
+TEST(Sampler, DrawSizeRespectsPoolAndConfig) {
+  SamplerConfig cfg;
+  cfg.reinforcement_size = 10;
+  ReinforcementSampler s(cfg);
+  EXPECT_EQ(s.draw(std::vector<bool>(100, false)).size(), 10u);
+  EXPECT_EQ(s.draw(std::vector<bool>(5, false)).size(), 5u);
+}
+
+TEST(Sampler, IndicesAreUniqueSortedAndInRange) {
+  SamplerConfig cfg;
+  cfg.reinforcement_size = 50;
+  ReinforcementSampler s(cfg);
+  const auto idx = s.draw(std::vector<bool>(200, false));
+  std::set<std::size_t> seen(idx.begin(), idx.end());
+  EXPECT_EQ(seen.size(), idx.size());
+  for (const auto i : idx) EXPECT_LT(i, 200u);
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+}
+
+TEST(Sampler, MeasuredSamplesAreOverRepresented) {
+  // 10% of the pool is measured but carries weight 5: the measured fraction
+  // of the draw should clearly exceed 10%.
+  SamplerConfig cfg;
+  cfg.reinforcement_size = 100;
+  cfg.measured_weight = 5.0;
+  ReinforcementSampler s(cfg);
+  std::vector<bool> measured(1000, false);
+  for (std::size_t i = 0; i < 1000; i += 10) measured[i] = true;
+  std::size_t measured_hits = 0, total = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (const auto i : s.draw(measured)) {
+      if (measured[i]) ++measured_hits;
+      ++total;
+    }
+  }
+  const double frac = static_cast<double>(measured_hits) /
+                      static_cast<double>(total);
+  EXPECT_GT(frac, 0.2);
+}
+
+TEST(Sampler, UniformWeightIsUnbiased) {
+  SamplerConfig cfg;
+  cfg.reinforcement_size = 100;
+  cfg.measured_weight = 1.0;
+  ReinforcementSampler s(cfg);
+  std::vector<bool> measured(1000, false);
+  for (std::size_t i = 0; i < 100; ++i) measured[i] = true;  // first 10%
+  std::size_t measured_hits = 0, total = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (const auto i : s.draw(measured)) {
+      if (measured[i]) ++measured_hits;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(measured_hits) / static_cast<double>(total),
+              0.1, 0.03);
+}
+
+TEST(Sampler, SuccessiveDrawsDiffer) {
+  SamplerConfig cfg;
+  cfg.reinforcement_size = 20;
+  ReinforcementSampler s(cfg);
+  const auto a = s.draw(std::vector<bool>(500, false));
+  const auto b = s.draw(std::vector<bool>(500, false));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace highrpm::core

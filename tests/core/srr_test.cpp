@@ -1,0 +1,201 @@
+#include "highrpm/core/srr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "highrpm/math/metrics.hpp"
+#include "highrpm/core/static_trr.hpp"
+#include "highrpm/measure/collector.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+namespace highrpm::core {
+namespace {
+
+measure::CollectedRun collect(const sim::Workload& w, std::size_t ticks,
+                              std::uint64_t seed) {
+  measure::Collector collector;
+  return collector.collect(sim::PlatformConfig::arm(), w, ticks, seed);
+}
+
+SrrConfig fast_config(bool include_pnode = true) {
+  SrrConfig cfg;
+  cfg.epochs = 40;
+  cfg.include_pnode = include_pnode;
+  return cfg;
+}
+
+struct TrainedSrr {
+  Srr srr;
+  measure::CollectedRun test;
+};
+
+TrainedSrr train_mixed(bool include_pnode, std::uint64_t seed) {
+  // Train on a CPU-bound and a memory-bound workload so the split is
+  // genuinely learnable, test on a third.
+  const auto a = collect(workloads::fft(), 200, seed);
+  const auto b = collect(workloads::stream(), 200, seed + 1);
+  const std::size_t n = a.num_ticks() + b.num_ticks();
+  math::Matrix x(n, a.dataset.num_features());
+  std::vector<double> p_node(n), p_cpu(n), p_mem(n);
+  std::size_t w = 0;
+  for (const auto* run : {&a, &b}) {
+    const auto& f = run->dataset.features();
+    for (std::size_t r = 0; r < f.rows(); ++r) {
+      std::copy(f.row(r).begin(), f.row(r).end(), x.row(w).begin());
+      p_node[w] = run->dataset.target("P_NODE")[r];
+      p_cpu[w] = run->dataset.target("P_CPU")[r];
+      p_mem[w] = run->dataset.target("P_MEM")[r];
+      ++w;
+    }
+  }
+  TrainedSrr out{Srr(fast_config(include_pnode)),
+                 collect(workloads::smg2000(), 150, seed + 2)};
+  out.srr.fit(x, p_node, p_cpu, p_mem);
+  return out;
+}
+
+TEST(Srr, FitValidatesLengths) {
+  Srr srr(fast_config());
+  const math::Matrix x(10, 3, 1.0);
+  const std::vector<double> ten(10, 1.0), nine(9, 1.0);
+  EXPECT_THROW(srr.fit(x, ten, nine, ten), std::invalid_argument);
+  EXPECT_THROW(srr.fit(x, nine, ten, ten), std::invalid_argument);
+}
+
+TEST(Srr, PredictBeforeFitThrows) {
+  Srr srr(fast_config());
+  const std::vector<double> pmcs(3, 1.0);
+  EXPECT_THROW(srr.predict_one(pmcs, 90.0), std::logic_error);
+  EXPECT_THROW(srr.fine_tune(math::Matrix(2, 3), std::vector<double>(2),
+                             std::vector<double>(2), std::vector<double>(2), 1),
+               std::logic_error);
+}
+
+TEST(Srr, SplitsNodePowerIntoComponents) {
+  auto t = train_mixed(true, 1);
+  const auto& features = t.test.dataset.features();
+  const auto& p_node = t.test.dataset.target("P_NODE");
+  std::vector<double> cpu_true, cpu_pred, mem_true, mem_pred;
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    const auto est = t.srr.predict_one(features.row(r), p_node[r]);
+    cpu_true.push_back(t.test.truth[r].p_cpu_w);
+    cpu_pred.push_back(est.cpu_w);
+    mem_true.push_back(t.test.truth[r].p_mem_w);
+    mem_pred.push_back(est.mem_w);
+  }
+  EXPECT_LT(math::mape(cpu_true, cpu_pred), 15.0);
+  EXPECT_LT(math::mape(mem_true, mem_pred), 25.0);
+}
+
+TEST(Srr, PnodeFeatureImprovesAccuracy) {
+  // The Table-8 ablation in miniature: dropping P_Node must hurt.
+  auto with = train_mixed(true, 5);
+  auto without = train_mixed(false, 5);
+  const auto& features = with.test.dataset.features();
+  const auto& p_node = with.test.dataset.target("P_NODE");
+  double err_with = 0.0, err_without = 0.0;
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    const auto ew = with.srr.predict_one(features.row(r), p_node[r]);
+    const auto eo = without.srr.predict_one(features.row(r), 0.0);
+    err_with += std::abs(ew.cpu_w - with.test.truth[r].p_cpu_w) +
+                std::abs(ew.mem_w - with.test.truth[r].p_mem_w);
+    err_without += std::abs(eo.cpu_w - with.test.truth[r].p_cpu_w) +
+                   std::abs(eo.mem_w - with.test.truth[r].p_mem_w);
+  }
+  EXPECT_LT(err_with, err_without);
+}
+
+TEST(Srr, BatchPredictMatchesPointwise) {
+  auto t = train_mixed(true, 7);
+  const auto& features = t.test.dataset.features();
+  const auto& p_node = t.test.dataset.target("P_NODE");
+  const auto batch = t.srr.predict(features, p_node);
+  ASSERT_EQ(batch.size(), features.rows());
+  for (std::size_t r = 0; r < 10; ++r) {
+    const auto one = t.srr.predict_one(features.row(r), p_node[r]);
+    EXPECT_DOUBLE_EQ(batch[r].cpu_w, one.cpu_w);
+    EXPECT_DOUBLE_EQ(batch[r].mem_w, one.mem_w);
+  }
+}
+
+TEST(Srr, FineTuneShiftsModel) {
+  auto t = train_mixed(true, 9);
+  const auto& features = t.test.dataset.features();
+  const auto& p_node = t.test.dataset.target("P_NODE");
+  const auto before = t.srr.predict_one(features.row(0), p_node[0]);
+  // Fine-tune toward deliberately shifted labels.
+  std::vector<double> cpu_shift(features.rows()), mem_shift(features.rows());
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    cpu_shift[r] = t.test.dataset.target("P_CPU")[r] + 15.0;
+    mem_shift[r] = t.test.dataset.target("P_MEM")[r] + 5.0;
+  }
+  t.srr.fine_tune(features, p_node, cpu_shift, mem_shift, 20);
+  const auto after = t.srr.predict_one(features.row(0), p_node[0]);
+  EXPECT_GT(after.cpu_w, before.cpu_w);
+}
+
+TEST(Srr, ConsistencyProjectionPullsTowardBudget) {
+  auto t = train_mixed(true, 21);
+  const auto& features = t.test.dataset.features();
+  const auto& p_node = t.test.dataset.target("P_NODE");
+  // Invariant of the partial projection: |cpu+mem - (node - P_Other)| is
+  // bounded by the projection limit (plus network slack inside the clamp).
+  for (std::size_t r = 0; r < features.rows(); r += 17) {
+    const auto est = t.srr.predict_one(features.row(r), p_node[r]);
+    const double budget = p_node[r] - t.srr.config().p_other_w;
+    const double total = est.cpu_w + est.mem_w;
+    if (budget > 1.0) {
+      // After partial projection the total lies between the raw sum and
+      // the budget; in particular it cannot be further from the budget
+      // than the unconstrained network would allow via the clamp.
+      EXPECT_LT(std::abs(total - budget),
+                (t.srr.config().projection_limit + 0.05) * budget + 10.0);
+    }
+  }
+}
+
+TEST(Srr, AugmentedTrainingSetHasExpectedSize) {
+  measure::Collector collector;
+  std::vector<measure::CollectedRun> runs;
+  runs.push_back(collector.collect(sim::PlatformConfig::arm(),
+                                   workloads::fft(), 60, 31));
+  runs.push_back(collector.collect(sim::PlatformConfig::arm(),
+                                   workloads::stream(), 40, 32));
+  SrrConfig cfg;
+  cfg.augment_copies = 2;
+  StaticTrrConfig trr_cfg;
+  const auto set = build_srr_training_set(runs, cfg, trr_cfg);
+  EXPECT_EQ(set.x.rows(), (60u + 40u) * 3u);  // original + 2 copies
+  EXPECT_EQ(set.p_node.size(), set.x.rows());
+  // Copy 0 rows carry the unscaled rig labels.
+  EXPECT_NEAR(set.p_cpu[0], runs[0].dataset.target("P_CPU")[0], 1e-9);
+  // Virtual-application rows are rescaled but stay positive and bounded.
+  for (std::size_t i = 0; i < set.x.rows(); ++i) {
+    EXPECT_GT(set.p_cpu[i], 0.0);
+    EXPECT_LT(set.p_cpu[i], 200.0);
+    EXPECT_GT(set.p_node[i], 0.0);
+  }
+}
+
+TEST(Srr, AugmentationZeroCopiesIsIdentity) {
+  measure::Collector collector;
+  std::vector<measure::CollectedRun> runs;
+  runs.push_back(collector.collect(sim::PlatformConfig::arm(),
+                                   workloads::fft(), 50, 33));
+  SrrConfig cfg;
+  cfg.augment_copies = 0;
+  StaticTrrConfig trr_cfg;
+  const auto set = build_srr_training_set(runs, cfg, trr_cfg);
+  EXPECT_EQ(set.x.rows(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(set.p_cpu[i], runs[0].dataset.target("P_CPU")[i]);
+    EXPECT_DOUBLE_EQ(set.p_mem[i], runs[0].dataset.target("P_MEM")[i]);
+  }
+}
+
+TEST(Srr, ConfigExposesAblationSwitch) {
+  EXPECT_TRUE(Srr(fast_config(true)).config().include_pnode);
+  EXPECT_FALSE(Srr(fast_config(false)).config().include_pnode);
+}
+
+}  // namespace
+}  // namespace highrpm::core

@@ -1,0 +1,199 @@
+#include "highrpm/core/static_trr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "highrpm/math/metrics.hpp"
+#include "highrpm/measure/collector.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+namespace highrpm::core {
+namespace {
+
+measure::CollectedRun collect(const sim::Workload& w, std::size_t ticks,
+                              std::uint64_t seed) {
+  measure::Collector collector;
+  return collector.collect(sim::PlatformConfig::arm(), w, ticks, seed);
+}
+
+struct Fitted {
+  StaticTrr trr{};
+  measure::CollectedRun run;
+};
+
+Fitted fit_on(const sim::Workload& w, std::size_t ticks, std::uint64_t seed,
+              StaticTrrConfig cfg = {}) {
+  Fitted f{StaticTrr(cfg), collect(w, ticks, seed)};
+  std::vector<std::size_t> idx;
+  std::vector<double> power;
+  for (const auto& r : f.run.ipmi_readings) {
+    idx.push_back(r.tick_index);
+    power.push_back(r.power_w);
+  }
+  const auto times = f.run.truth.times();
+  f.trr.fit(f.run.dataset.features(), times, idx, power);
+  return f;
+}
+
+TEST(StaticTrr, RequiresEnoughLabels) {
+  StaticTrr trr;
+  const math::Matrix pmcs(10, 3);
+  const std::vector<double> times{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const std::vector<std::size_t> idx{0, 5};
+  const std::vector<double> power{90, 92};
+  EXPECT_THROW(trr.fit(pmcs, times, idx, power), std::invalid_argument);
+}
+
+TEST(StaticTrr, RestoreBeforeFitThrows) {
+  StaticTrr trr;
+  EXPECT_THROW(trr.restore(math::Matrix(5, 3), std::vector<double>(5)),
+               std::logic_error);
+}
+
+TEST(StaticTrr, RestoresFullResolution) {
+  auto f = fit_on(workloads::fft(), 200, 1);
+  const auto r =
+      f.trr.restore(f.run.dataset.features(), f.run.truth.times());
+  EXPECT_EQ(r.splined.size(), 200u);
+  EXPECT_EQ(r.residual.size(), 200u);
+  EXPECT_EQ(r.merged.size(), 200u);
+}
+
+TEST(StaticTrr, RestorationTracksGroundTruth) {
+  // The headline behaviour: 10x temporal restoration with single-digit MAPE.
+  auto f = fit_on(workloads::fft(), 400, 2);
+  const auto r =
+      f.trr.restore(f.run.dataset.features(), f.run.truth.times());
+  const auto truth = f.run.truth.node_power();
+  EXPECT_LT(math::mape(truth, r.merged), 8.0);
+}
+
+TEST(StaticTrr, MergedAtLeastCloseToSplineQuality) {
+  // Table 6: StaticTRR may be slightly worse than raw spline on aggregate
+  // metrics but must stay in the same band.
+  auto f = fit_on(workloads::graph500_bfs(), 400, 3);
+  const auto r =
+      f.trr.restore(f.run.dataset.features(), f.run.truth.times());
+  const auto truth = f.run.truth.node_power();
+  const double spline_mape = math::mape(truth, r.splined);
+  const double merged_mape = math::mape(truth, r.merged);
+  EXPECT_LT(merged_mape, spline_mape + 5.0);
+}
+
+TEST(StaticTrr, BoundsDerivedFromLabels) {
+  auto f = fit_on(workloads::fft(), 150, 4);
+  EXPECT_GT(f.trr.p_upper(), f.trr.p_bottom());
+  EXPECT_GT(f.trr.p_bottom(), 0.0);
+}
+
+TEST(StaticTrr, ExplicitBoundsHonored) {
+  StaticTrrConfig cfg;
+  cfg.p_upper = 500.0;
+  cfg.p_bottom = 1.0;
+  auto f = fit_on(workloads::fft(), 150, 5, cfg);
+  EXPECT_DOUBLE_EQ(f.trr.p_upper(), 500.0);
+  EXPECT_DOUBLE_EQ(f.trr.p_bottom(), 1.0);
+}
+
+// ------------------------- Algorithm 1 unit tests -------------------------
+
+TEST(PostProcess, AgreementKeepsSpline) {
+  StaticTrrConfig cfg;
+  cfg.alpha = 0.1;
+  cfg.beta = 0.5;
+  const std::vector<double> spl{100, 100, 100};
+  const std::vector<double> res{101, 99, 100};  // within alpha band
+  const auto out = static_trr_post_process(spl, res, 200, 10, cfg);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(out[i], spl[i]);
+}
+
+TEST(PostProcess, ModerateDisagreementAverages) {
+  StaticTrrConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.beta = 0.5;
+  const std::vector<double> spl{100};
+  const std::vector<double> res{120};  // 20% apart: between alpha and beta
+  const auto out = static_trr_post_process(spl, res, 200, 10, cfg);
+  EXPECT_DOUBLE_EQ(out[0], 110.0);
+}
+
+TEST(PostProcess, ExtremeDisagreementTrustsSpline) {
+  StaticTrrConfig cfg;
+  cfg.alpha = 0.05;
+  cfg.beta = 0.2;
+  const std::vector<double> spl{100};
+  const std::vector<double> res{160};  // 60% apart: beyond beta
+  const auto out = static_trr_post_process(spl, res, 200, 10, cfg);
+  EXPECT_DOUBLE_EQ(out[0], 100.0);
+}
+
+TEST(PostProcess, OutOfBoundsResidualFallsBackToSpline) {
+  StaticTrrConfig cfg;
+  const std::vector<double> spl{100, 100};
+  const std::vector<double> res{500, 5};  // above upper / below bottom
+  const auto out = static_trr_post_process(spl, res, 200, 10, cfg);
+  EXPECT_DOUBLE_EQ(out[0], 100.0);
+  EXPECT_DOUBLE_EQ(out[1], 100.0);
+}
+
+TEST(PostProcess, SpikeHoldSpreadsJump) {
+  StaticTrrConfig cfg;
+  cfg.miss_interval = 4;
+  cfg.spike_jump_fraction = 0.30;
+  // range = 100; the step of 50 >= 30 exceeds the threshold at i=5 and the
+  // step value is held across the surrounding half window [3, 7).
+  std::vector<double> spl{50, 50, 50, 50, 50, 100, 100, 100, 100, 100};
+  const std::vector<double> res = spl;
+  const auto out = static_trr_post_process(spl, res, 110, 10, cfg);
+  EXPECT_DOUBLE_EQ(out[3], 100.0);
+  EXPECT_DOUBLE_EQ(out[4], 100.0);
+  EXPECT_DOUBLE_EQ(out[5], 100.0);
+  EXPECT_DOUBLE_EQ(out[6], 100.0);
+  EXPECT_DOUBLE_EQ(out[0], 50.0);
+  EXPECT_DOUBLE_EQ(out[9], 100.0);
+}
+
+TEST(PostProcess, IsolatedPulseBothEdgesHeld) {
+  // A one-tick pulse triggers the hold on both edges; the trailing edge's
+  // hold (the pre-pulse level) wins where the windows overlap.
+  StaticTrrConfig cfg;
+  cfg.miss_interval = 4;
+  cfg.spike_jump_fraction = 0.30;
+  std::vector<double> spl{50, 50, 50, 50, 50, 100, 50, 50, 50, 50};
+  const auto out = static_trr_post_process(spl, spl, 110, 10, cfg);
+  EXPECT_DOUBLE_EQ(out[3], 100.0);  // leading-edge hold only
+  EXPECT_DOUBLE_EQ(out[5], 50.0);   // overwritten by the i=6 back-edge hold
+}
+
+TEST(PostProcess, LengthMismatchThrows) {
+  StaticTrrConfig cfg;
+  EXPECT_THROW(static_trr_post_process(std::vector<double>{1, 2},
+                                       std::vector<double>{1}, 10, 0, cfg),
+               std::invalid_argument);
+}
+
+// Property: merged output is always within the envelope of its inputs
+// (after the spike-hold), for random spline/residual pairs.
+class PostProcessEnvelope : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PostProcessEnvelope, OutputWithinInputEnvelope) {
+  math::Rng rng(GetParam());
+  StaticTrrConfig cfg;
+  cfg.spike_jump_fraction = 10.0;  // disable spike-hold for the invariant
+  const std::size_t n = 50;
+  std::vector<double> spl(n), res(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    spl[i] = rng.uniform(50, 150);
+    res[i] = rng.uniform(50, 150);
+  }
+  const auto out = static_trr_post_process(spl, res, 200, 10, cfg);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GE(out[i], std::min(spl[i], res[i]) - 1e-9);
+    EXPECT_LE(out[i], std::max(spl[i], res[i]) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostProcessEnvelope,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace highrpm::core

@@ -1,0 +1,74 @@
+#include "highrpm/data/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+namespace highrpm::data {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("highrpm_csv_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  CsvTable t;
+  t.header = {"a", "b", "c"};
+  t.rows = {{1, 2, 3}, {4.5, 5.5, 6.5}};
+  write_csv(path_.string(), t);
+  const CsvTable back = read_csv(path_.string());
+  ASSERT_EQ(back.header, t.header);
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(back.rows[1][0], 4.5);
+  EXPECT_DOUBLE_EQ(back.rows[0][2], 3.0);
+}
+
+TEST_F(CsvTest, ColumnByName) {
+  CsvTable t;
+  t.header = {"x", "y"};
+  t.rows = {{1, 10}, {2, 20}, {3, 30}};
+  const auto y = t.column("y");
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[2], 30.0);
+  EXPECT_THROW(t.column("z"), std::out_of_range);
+}
+
+TEST_F(CsvTest, RaggedRowOnWriteThrows) {
+  CsvTable t;
+  t.header = {"a", "b"};
+  t.rows = {{1}};
+  EXPECT_THROW(write_csv(path_.string(), t), std::invalid_argument);
+}
+
+TEST_F(CsvTest, NonNumericCellOnReadThrows) {
+  {
+    std::ofstream f(path_);
+    f << "a,b\n1,hello\n";
+  }
+  EXPECT_THROW(read_csv(path_.string()), std::runtime_error);
+}
+
+TEST_F(CsvTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/dir/nope.csv"), std::runtime_error);
+}
+
+TEST_F(CsvTest, EmptyRowsAreSkipped) {
+  {
+    std::ofstream f(path_);
+    f << "a\n1\n\n2\n";
+  }
+  const CsvTable t = read_csv(path_.string());
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace highrpm::data

@@ -1,0 +1,114 @@
+#include "highrpm/data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace highrpm::data {
+namespace {
+
+Dataset make_small() {
+  math::Matrix f{{1, 2}, {3, 4}, {5, 6}};
+  Dataset d(std::move(f), {"a", "b"});
+  d.set_target("y", {10, 20, 30});
+  return d;
+}
+
+TEST(Dataset, BasicShape) {
+  const Dataset d = make_small();
+  EXPECT_EQ(d.num_samples(), 3u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.feature_names().size(), 2u);
+}
+
+TEST(Dataset, NameCountMismatchThrows) {
+  EXPECT_THROW(Dataset(math::Matrix(2, 2), {"only-one"}),
+               std::invalid_argument);
+}
+
+TEST(Dataset, FeatureLookup) {
+  const Dataset d = make_small();
+  EXPECT_EQ(d.feature_index("b"), 1u);
+  EXPECT_TRUE(d.has_feature("a"));
+  EXPECT_FALSE(d.has_feature("zzz"));
+  EXPECT_THROW(d.feature_index("zzz"), std::out_of_range);
+}
+
+TEST(Dataset, TargetRoundTrip) {
+  Dataset d = make_small();
+  EXPECT_TRUE(d.has_target("y"));
+  EXPECT_EQ(d.target("y")[1], 20.0);
+  d.set_target("y", {1, 2, 3});  // overwrite
+  EXPECT_EQ(d.target("y")[2], 3.0);
+  EXPECT_THROW(d.target("nope"), std::out_of_range);
+  EXPECT_THROW(d.set_target("bad", {1.0}), std::invalid_argument);
+}
+
+TEST(Dataset, SelectRows) {
+  const Dataset d = make_small();
+  const std::vector<std::size_t> idx{2, 0};
+  const Dataset s = d.select_rows(idx);
+  EXPECT_EQ(s.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(s.features()(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s.features()(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(s.target("y")[0], 30.0);
+  const std::vector<std::size_t> bad{5};
+  EXPECT_THROW(d.select_rows(bad), std::out_of_range);
+}
+
+TEST(Dataset, Slice) {
+  const Dataset d = make_small();
+  const Dataset s = d.slice(1, 2);
+  EXPECT_EQ(s.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(s.features()(0, 1), 4.0);
+  EXPECT_THROW(d.slice(2, 5), std::out_of_range);
+}
+
+TEST(Dataset, Concat) {
+  Dataset a = make_small();
+  const Dataset b = make_small();
+  a.concat(b);
+  EXPECT_EQ(a.num_samples(), 6u);
+  EXPECT_DOUBLE_EQ(a.target("y")[5], 30.0);
+}
+
+TEST(Dataset, ConcatSchemaMismatchThrows) {
+  Dataset a = make_small();
+  Dataset c(math::Matrix{{1.0, 2.0}}, {"x", "b"});
+  c.set_target("y", {1});
+  EXPECT_THROW(a.concat(c), std::invalid_argument);
+}
+
+TEST(Dataset, AppendRow) {
+  Dataset d = make_small();
+  const std::vector<double> row{7, 8};
+  const std::vector<double> t{40};
+  d.append_row(row, t);
+  EXPECT_EQ(d.num_samples(), 4u);
+  EXPECT_DOUBLE_EQ(d.features()(3, 1), 8.0);
+  EXPECT_DOUBLE_EQ(d.target("y")[3], 40.0);
+  const std::vector<double> bad_row{1};
+  EXPECT_THROW(d.append_row(bad_row, t), std::invalid_argument);
+}
+
+TEST(Dataset, AddFeature) {
+  Dataset d = make_small();
+  const std::vector<double> p{0.1, 0.2, 0.3};
+  d.add_feature("P_NODE", p);
+  EXPECT_EQ(d.num_features(), 3u);
+  EXPECT_DOUBLE_EQ(d.features()(1, 2), 0.2);
+  EXPECT_THROW(d.add_feature("P_NODE", p), std::invalid_argument);
+  const std::vector<double> short_p{1.0};
+  EXPECT_THROW(d.add_feature("q", short_p), std::invalid_argument);
+}
+
+TEST(Dataset, WithoutFeature) {
+  Dataset d = make_small();
+  const Dataset w = d.without_feature("a");
+  EXPECT_EQ(w.num_features(), 1u);
+  EXPECT_EQ(w.feature_names()[0], "b");
+  EXPECT_DOUBLE_EQ(w.features()(2, 0), 6.0);
+  // Targets survive the drop.
+  EXPECT_DOUBLE_EQ(w.target("y")[2], 30.0);
+}
+
+}  // namespace
+}  // namespace highrpm::data

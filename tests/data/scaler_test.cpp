@@ -1,0 +1,92 @@
+#include "highrpm/data/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "highrpm/math/stats.hpp"
+
+namespace highrpm::data {
+namespace {
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  math::Matrix x{{1, 100}, {2, 200}, {3, 300}, {4, 400}};
+  StandardScaler s;
+  const auto t = s.fit_transform(x);
+  for (std::size_t c = 0; c < 2; ++c) {
+    const auto col = t.col(c);
+    EXPECT_NEAR(math::mean(col), 0.0, 1e-12);
+    EXPECT_NEAR(math::stddev(col), 1.0, 1e-12);
+  }
+}
+
+TEST(StandardScaler, ConstantColumnMapsToZero) {
+  math::Matrix x{{5, 1}, {5, 2}, {5, 3}};
+  StandardScaler s;
+  const auto t = s.fit_transform(x);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(t(r, 0), 0.0);
+}
+
+TEST(StandardScaler, TransformRowMatchesMatrix) {
+  math::Matrix x{{1, 10}, {3, 30}, {5, 50}};
+  StandardScaler s;
+  const auto t = s.fit_transform(x);
+  const auto row = s.transform_row(x.row(1));
+  EXPECT_DOUBLE_EQ(row[0], t(1, 0));
+  EXPECT_DOUBLE_EQ(row[1], t(1, 1));
+}
+
+TEST(StandardScaler, UnfittedThrows) {
+  StandardScaler s;
+  EXPECT_THROW(s.transform(math::Matrix(1, 1)), std::logic_error);
+}
+
+TEST(StandardScaler, WidthMismatchThrows) {
+  StandardScaler s;
+  s.fit(math::Matrix(3, 2, 1.0));
+  EXPECT_THROW(s.transform(math::Matrix(3, 3)), std::invalid_argument);
+  const std::vector<double> bad{1.0};
+  EXPECT_THROW(s.transform_row(bad), std::invalid_argument);
+}
+
+TEST(MinMaxScaler, MapsToUnitInterval) {
+  math::Matrix x{{0, -10}, {5, 0}, {10, 10}};
+  MinMaxScaler s;
+  const auto t = s.fit_transform(x);
+  EXPECT_DOUBLE_EQ(t(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t(1, 1), 0.5);
+}
+
+TEST(MinMaxScaler, ConstantColumnMapsToZero) {
+  math::Matrix x{{7.0}, {7.0}};
+  MinMaxScaler s;
+  const auto t = s.fit_transform(x);
+  EXPECT_DOUBLE_EQ(t(0, 0), 0.0);
+}
+
+TEST(TargetScaler, RoundTripInverse) {
+  const std::vector<double> y{10, 20, 30, 40};
+  TargetScaler s;
+  s.fit(y);
+  const auto t = s.transform(y);
+  const auto back = s.inverse(t);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(back[i], y[i], 1e-12);
+  EXPECT_NEAR(s.inverse_one(s.transform_one(25.0)), 25.0, 1e-12);
+}
+
+TEST(TargetScaler, TransformedIsStandardized) {
+  const std::vector<double> y{1, 2, 3, 4, 5};
+  TargetScaler s;
+  s.fit(y);
+  const auto t = s.transform(y);
+  EXPECT_NEAR(math::mean(t), 0.0, 1e-12);
+  EXPECT_NEAR(math::stddev(t), 1.0, 1e-12);
+}
+
+TEST(TargetScaler, UnfittedThrows) {
+  TargetScaler s;
+  EXPECT_THROW(s.transform_one(1.0), std::logic_error);
+  EXPECT_THROW(s.inverse_one(1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace highrpm::data

@@ -1,0 +1,95 @@
+#include "highrpm/data/split.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace highrpm::data {
+namespace {
+
+TEST(TrainTestSplit, PartitionsAllIndices) {
+  math::Rng rng(1);
+  const auto s = train_test_split(100, 0.2, rng);
+  EXPECT_EQ(s.test.size(), 20u);
+  EXPECT_EQ(s.train.size(), 80u);
+  std::set<std::size_t> all(s.train.begin(), s.train.end());
+  all.insert(s.test.begin(), s.test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(TrainTestSplit, BadFractionThrows) {
+  math::Rng rng(1);
+  EXPECT_THROW(train_test_split(10, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(train_test_split(10, 1.0, rng), std::invalid_argument);
+}
+
+TEST(ChronologicalSplit, TestIsSuffix) {
+  const auto s = chronological_split(10, 0.3);
+  EXPECT_EQ(s.train.size(), 7u);
+  EXPECT_EQ(s.test.size(), 3u);
+  EXPECT_EQ(s.train.front(), 0u);
+  EXPECT_EQ(s.train.back(), 6u);
+  EXPECT_EQ(s.test.front(), 7u);
+  EXPECT_EQ(s.test.back(), 9u);
+}
+
+TEST(KFold, RequiresAtLeastTwoSplits) {
+  EXPECT_THROW(KFold(1), std::invalid_argument);
+}
+
+TEST(KFold, FoldsPartitionData) {
+  KFold kf(5);
+  math::Rng rng(2);
+  const auto folds = kf.split(23, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> seen(23, 0);
+  for (const auto& f : folds) {
+    EXPECT_EQ(f.train.size() + f.test.size(), 23u);
+    for (const auto i : f.test) seen[i]++;
+    // Train and test are disjoint.
+    std::set<std::size_t> tr(f.train.begin(), f.train.end());
+    for (const auto i : f.test) EXPECT_EQ(tr.count(i), 0u);
+  }
+  // Every index is in exactly one test fold.
+  for (const int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(KFold, ShuffledFoldsStillPartition) {
+  KFold kf(4, /*shuffle=*/true);
+  math::Rng rng(3);
+  const auto folds = kf.split(20, rng);
+  std::vector<int> seen(20, 0);
+  for (const auto& f : folds) {
+    for (const auto i : f.test) seen[i]++;
+  }
+  for (const int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(KFold, TooFewSamplesThrows) {
+  KFold kf(5);
+  math::Rng rng(4);
+  EXPECT_THROW(kf.split(3, rng), std::invalid_argument);
+}
+
+class KFoldSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KFoldSizes, FoldSizesAreBalanced) {
+  const std::size_t n = GetParam();
+  KFold kf(5);
+  math::Rng rng(5);
+  const auto folds = kf.split(n, rng);
+  std::size_t total = 0;
+  for (const auto& f : folds) {
+    total += f.test.size();
+    EXPECT_LE(f.test.size(), n / 5 + 1);
+    EXPECT_GE(f.test.size(), n / 5);
+  }
+  EXPECT_EQ(total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KFoldSizes,
+                         ::testing::Values(5, 17, 50, 101, 1000));
+
+}  // namespace
+}  // namespace highrpm::data

@@ -1,0 +1,76 @@
+#include "highrpm/data/window.hpp"
+
+#include <gtest/gtest.h>
+
+namespace highrpm::data {
+namespace {
+
+math::Matrix series(std::size_t n, std::size_t f) {
+  math::Matrix m(n, f);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < f; ++c) {
+      m(r, c) = static_cast<double>(r * 10 + c);
+    }
+  }
+  return m;
+}
+
+TEST(MakeWindows, CountAndShape) {
+  const auto m = series(10, 3);
+  std::vector<double> labels(10);
+  for (std::size_t i = 0; i < 10; ++i) labels[i] = static_cast<double>(i);
+  const auto w = make_windows(m, labels, 4);
+  ASSERT_EQ(w.size(), 7u);  // n - window + 1
+  for (const auto& s : w) {
+    EXPECT_EQ(s.steps.rows(), 4u);
+    EXPECT_EQ(s.steps.cols(), 3u);
+    EXPECT_EQ(s.labels.size(), 4u);
+  }
+}
+
+TEST(MakeWindows, ContentIsContiguous) {
+  const auto m = series(6, 2);
+  const std::vector<double> labels{0, 1, 2, 3, 4, 5};
+  const auto w = make_windows(m, labels, 3);
+  // Window 2 covers rows 2..4.
+  EXPECT_DOUBLE_EQ(w[2].steps(0, 0), 20.0);
+  EXPECT_DOUBLE_EQ(w[2].steps(2, 1), 41.0);
+  EXPECT_DOUBLE_EQ(w[2].labels[0], 2.0);
+  EXPECT_DOUBLE_EQ(w[2].labels[2], 4.0);
+}
+
+TEST(MakeWindows, ErrorsOnBadInput) {
+  const auto m = series(3, 2);
+  const std::vector<double> labels{0, 1, 2};
+  EXPECT_THROW(make_windows(m, labels, 0), std::invalid_argument);
+  EXPECT_THROW(make_windows(m, labels, 4), std::invalid_argument);
+  const std::vector<double> short_labels{0, 1};
+  EXPECT_THROW(make_windows(m, short_labels, 2), std::invalid_argument);
+}
+
+TEST(MakeWindowsWithPrevLabel, AppendsShiftedLabels) {
+  const auto m = series(5, 2);
+  const std::vector<double> labels{10, 20, 30, 40, 50};
+  const auto w = make_windows_with_prev_label(m, labels, 3, /*initial=*/99.0);
+  ASSERT_EQ(w.size(), 3u);
+  // Feature width grew by one.
+  EXPECT_EQ(w[0].steps.cols(), 3u);
+  // Row 0's prev-label is the initial value; row r's is labels[r-1].
+  EXPECT_DOUBLE_EQ(w[0].steps(0, 2), 99.0);
+  EXPECT_DOUBLE_EQ(w[0].steps(1, 2), 10.0);
+  EXPECT_DOUBLE_EQ(w[0].steps(2, 2), 20.0);
+  EXPECT_DOUBLE_EQ(w[2].steps(0, 2), 20.0);  // window starting at row 2
+  // Labels unchanged.
+  EXPECT_DOUBLE_EQ(w[2].labels[2], 50.0);
+}
+
+TEST(MakeWindowsWithPrevLabel, SingleWindowWholeSeries) {
+  const auto m = series(4, 1);
+  const std::vector<double> labels{1, 2, 3, 4};
+  const auto w = make_windows_with_prev_label(m, labels, 4, 0.0);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].steps.rows(), 4u);
+}
+
+}  // namespace
+}  // namespace highrpm::data

@@ -1,0 +1,155 @@
+#include "highrpm/math/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace highrpm::math {
+namespace {
+
+TEST(Matrix, DefaultConstructedIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, FromRowsChecksSize) {
+  const std::vector<double> flat{1, 2, 3, 4, 5, 6};
+  const Matrix m = Matrix::from_rows(2, 3, flat);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+  EXPECT_THROW(Matrix::from_rows(2, 2, flat), std::invalid_argument);
+}
+
+TEST(Matrix, RowSpanIsMutable) {
+  Matrix m(2, 2, 0.0);
+  auto row = m.row(1);
+  row[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST(Matrix, ColExtraction) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const auto c = m.col(1);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+  EXPECT_DOUBLE_EQ(c[2], 6.0);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, ArithmeticOps) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 5.0);
+  const Matrix diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(0, 0), -3.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(Matmul, MultipliesCorrectly) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matmul, InnerDimensionMismatchThrows) {
+  EXPECT_THROW(matmul(Matrix(2, 3), Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  Matrix a{{1, 2}, {3, 4}};
+  const Matrix c = matmul(a, Matrix::identity(2));
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 4.0);
+}
+
+TEST(Gram, MatchesExplicitProduct) {
+  Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const Matrix g = gram(a);
+  const Matrix expected = matmul(a.transposed(), a);
+  ASSERT_TRUE(g.same_shape(expected));
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    for (std::size_t c = 0; c < g.cols(); ++c) {
+      EXPECT_NEAR(g(r, c), expected(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(Matvec, ForwardAndTransposed) {
+  Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const std::vector<double> x{1.0, -1.0};
+  const auto y = matvec(a, x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+  const std::vector<double> z{1.0, 0.0, 1.0};
+  const auto w = matvec_t(a, z);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 6.0);
+  EXPECT_DOUBLE_EQ(w[1], 8.0);
+}
+
+TEST(VectorHelpers, DotNormAxpy) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2(std::vector<double>{3, 4}), 5.0);
+  std::vector<double> c = a;
+  axpy(2.0, b, c);
+  EXPECT_DOUBLE_EQ(c[0], 9.0);
+  EXPECT_DOUBLE_EQ(c[2], 15.0);
+  const auto s = vec_sub(b, a);
+  EXPECT_DOUBLE_EQ(s[1], 3.0);
+}
+
+}  // namespace
+}  // namespace highrpm::math

@@ -1,0 +1,98 @@
+#include "highrpm/math/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace highrpm::math {
+namespace {
+
+TEST(Metrics, PerfectPredictionIsZeroError) {
+  const std::vector<double> y{10, 20, 30};
+  EXPECT_DOUBLE_EQ(mape(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(rmse(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(mae(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(r2(y, y), 1.0);
+}
+
+TEST(Metrics, MapeIsPercentOfTruth) {
+  const std::vector<double> y{100, 200};
+  const std::vector<double> p{110, 180};
+  EXPECT_NEAR(mape(y, p), 10.0, 1e-12);  // (10% + 10%) / 2
+}
+
+TEST(Metrics, MapeSkipsNearZeroTruth) {
+  const std::vector<double> y{0.0, 100.0};
+  const std::vector<double> p{5.0, 110.0};
+  EXPECT_NEAR(mape(y, p), 10.0, 1e-12);  // only the second point counts
+}
+
+TEST(Metrics, MapeAllSkippedReturnsZero) {
+  const std::vector<double> y{0.0, 0.0};
+  const std::vector<double> p{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(mape(y, p), 0.0);
+}
+
+TEST(Metrics, RmseKnownValue) {
+  const std::vector<double> y{0, 0};
+  const std::vector<double> p{3, 4};
+  EXPECT_NEAR(rmse(y, p), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Metrics, MaeKnownValue) {
+  const std::vector<double> y{1, 2, 3};
+  const std::vector<double> p{2, 2, 1};
+  EXPECT_NEAR(mae(y, p), 1.0, 1e-12);
+}
+
+TEST(Metrics, RmseDominatedByOutliers) {
+  const std::vector<double> y{0, 0, 0, 0};
+  const std::vector<double> small{1, 1, 1, 1};
+  const std::vector<double> spike{0, 0, 0, 4};
+  EXPECT_DOUBLE_EQ(mae(y, small), mae(y, spike));
+  EXPECT_LT(rmse(y, small), rmse(y, spike));  // RMSE penalizes the spike
+}
+
+TEST(Metrics, R2MeanPredictorIsZero) {
+  const std::vector<double> y{1, 2, 3, 4};
+  const std::vector<double> p{2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(r2(y, p), 0.0, 1e-12);
+}
+
+TEST(Metrics, R2NegativeForWorseThanMean) {
+  const std::vector<double> y{1, 2, 3, 4};
+  const std::vector<double> p{4, 3, 2, 1};
+  EXPECT_LT(r2(y, p), 0.0);
+}
+
+TEST(Metrics, R2ConstantTruthReturnsZero) {
+  const std::vector<double> y{5, 5, 5};
+  const std::vector<double> p{4, 5, 6};
+  EXPECT_DOUBLE_EQ(r2(y, p), 0.0);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const std::vector<double> y{1, 2};
+  const std::vector<double> p{1};
+  EXPECT_THROW(mape(y, p), std::invalid_argument);
+  EXPECT_THROW(rmse(y, p), std::invalid_argument);
+  EXPECT_THROW(mae(y, p), std::invalid_argument);
+  EXPECT_THROW(r2(y, p), std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW(mape(empty, empty), std::invalid_argument);
+}
+
+TEST(Metrics, ReportBundlesAllFour) {
+  const std::vector<double> y{10, 20, 30, 40};
+  const std::vector<double> p{11, 19, 33, 38};
+  const MetricReport r = evaluate_metrics(y, p);
+  EXPECT_DOUBLE_EQ(r.mape, mape(y, p));
+  EXPECT_DOUBLE_EQ(r.rmse, rmse(y, p));
+  EXPECT_DOUBLE_EQ(r.mae, mae(y, p));
+  EXPECT_DOUBLE_EQ(r.r2, r2(y, p));
+  EXPECT_NE(r.to_string().find("MAPE="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace highrpm::math

@@ -1,0 +1,129 @@
+#include "highrpm/math/solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::math {
+namespace {
+
+TEST(Cholesky, SolvesSpdSystem) {
+  Matrix a{{4, 1}, {1, 3}};
+  const std::vector<double> b{1, 2};
+  const auto x = solve_cholesky(a, b);
+  // Verify A x = b.
+  EXPECT_NEAR(4 * x[0] + 1 * x[1], 1.0, 1e-10);
+  EXPECT_NEAR(1 * x[0] + 3 * x[1], 2.0, 1e-10);
+}
+
+TEST(Cholesky, RejectsNonSpd) {
+  Matrix a{{0, 1}, {1, 0}};
+  const std::vector<double> b{1, 1};
+  EXPECT_THROW(solve_cholesky(a, b), std::domain_error);
+}
+
+TEST(Cholesky, RejectsShapeMismatch) {
+  EXPECT_THROW(solve_cholesky(Matrix(2, 3), std::vector<double>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(LeastSquares, ExactSystemRecovered) {
+  // Overdetermined but consistent: y = 2x + 1.
+  Matrix a{{1, 0}, {1, 1}, {1, 2}, {1, 3}};
+  const std::vector<double> b{1, 3, 5, 7};
+  const auto x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(LeastSquares, MinimizesResidualOnNoisyData) {
+  Rng rng(5);
+  const std::size_t n = 200;
+  Matrix a(n, 3);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = rng.uniform(-1, 1);
+    a(i, 2) = rng.uniform(-1, 1);
+    b[i] = 0.5 + 2.0 * a(i, 1) - 3.0 * a(i, 2) + rng.normal(0, 0.01);
+  }
+  const auto x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 0.5, 0.02);
+  EXPECT_NEAR(x[1], 2.0, 0.02);
+  EXPECT_NEAR(x[2], -3.0, 0.02);
+}
+
+TEST(LeastSquares, RankDeficientColumnGetsZero) {
+  // Second column is all zeros: coefficient must come back 0, not NaN.
+  Matrix a{{1, 0}, {2, 0}, {3, 0}};
+  const std::vector<double> b{2, 4, 6};
+  const auto x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  EXPECT_THROW(solve_least_squares(Matrix(2, 3), std::vector<double>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(Ridge, ShrinksTowardZero) {
+  Matrix a{{1, 1}, {1, 2}, {1, 3}, {1, 4}};
+  const std::vector<double> b{2, 4, 6, 8};
+  const auto x0 = solve_ridge(a, b, 0.0);
+  const auto x1 = solve_ridge(a, b, 100.0);
+  EXPECT_NEAR(x0[1], 2.0, 1e-4);
+  EXPECT_LT(std::abs(x1[1]), std::abs(x0[1]));  // heavy lambda shrinks slope
+}
+
+TEST(Ridge, UnpenalizedInterceptSurvives) {
+  // Constant target: intercept should stay near 5 even with huge lambda
+  // when column 0 (the intercept) is exempt from the penalty.
+  Matrix a{{1, 1}, {1, 2}, {1, 3}, {1, 4}};
+  const std::vector<double> b{5, 5, 5, 5};
+  const auto x = solve_ridge(a, b, 1e6, /*unpenalized_col=*/0);
+  EXPECT_NEAR(x[0], 5.0, 0.05);
+  EXPECT_NEAR(x[1], 0.0, 0.05);
+}
+
+TEST(Tridiagonal, SolvesKnownSystem) {
+  // [2 1 0; 1 2 1; 0 1 2] x = [4; 8; 8] -> x = [1, 2, 3].
+  const std::vector<double> lower{1, 1};
+  const std::vector<double> diag{2, 2, 2};
+  const std::vector<double> upper{1, 1};
+  const auto x = solve_tridiagonal(lower, diag, upper, {4, 8, 8});
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 2.0, 1e-10);
+  EXPECT_NEAR(x[2], 3.0, 1e-10);
+}
+
+TEST(Tridiagonal, BandSizeMismatchThrows) {
+  EXPECT_THROW(solve_tridiagonal(std::vector<double>{1},
+                                 std::vector<double>{2, 2, 2},
+                                 std::vector<double>{1, 1}, {1, 2, 3}),
+               std::invalid_argument);
+}
+
+// Property sweep: random SPD systems solved by Cholesky satisfy A x = b.
+class CholeskyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CholeskyProperty, RandomSpdSystemsSolve) {
+  Rng rng(GetParam());
+  const std::size_t n = 4 + rng.uniform_index(6);
+  // A = B^T B + I is SPD.
+  Matrix b(n + 2, n);
+  for (double& v : b.flat()) v = rng.normal();
+  Matrix a = gram(b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  std::vector<double> rhs(n);
+  for (double& v : rhs) v = rng.normal();
+  const auto x = solve_cholesky(a, rhs);
+  const auto ax = matvec(a, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], rhs[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CholeskyProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace highrpm::math

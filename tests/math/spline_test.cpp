@@ -1,0 +1,127 @@
+#include "highrpm/math/spline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace highrpm::math {
+namespace {
+
+TEST(CubicSpline, PassesThroughKnots) {
+  const std::vector<double> x{0, 1, 2, 3, 4};
+  const std::vector<double> y{1, 3, 2, 5, 4};
+  CubicSpline s(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(s(x[i]), y[i], 1e-10);
+  }
+}
+
+TEST(CubicSpline, TwoPointsIsLinear) {
+  CubicSpline s(std::vector<double>{0, 2}, std::vector<double>{1, 5});
+  EXPECT_NEAR(s(1.0), 3.0, 1e-12);
+}
+
+TEST(CubicSpline, InterpolatesSmoothFunctionAccurately) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 20; ++i) {
+    x.push_back(i * 0.5);
+    y.push_back(std::sin(x.back()));
+  }
+  CubicSpline s(x, y);
+  // Interior points: the natural boundary condition (y'' = 0) costs accuracy
+  // near the ends, so test away from them.
+  for (double t = 1.25; t < 9.0; t += 0.5) {
+    EXPECT_NEAR(s(t), std::sin(t), 5e-3);
+  }
+  // Near the boundary the error is larger but still small.
+  EXPECT_NEAR(s(0.25), std::sin(0.25), 5e-2);
+}
+
+TEST(CubicSpline, LinearExtrapolationOutsideRange) {
+  const std::vector<double> x{0, 1, 2};
+  const std::vector<double> y{0, 1, 2};
+  CubicSpline s(x, y);
+  // Data is linear, so extrapolation continues the line.
+  EXPECT_NEAR(s(-1.0), -1.0, 1e-9);
+  EXPECT_NEAR(s(3.0), 3.0, 1e-9);
+  // Extrapolation is linear: second difference is ~0 well outside the range.
+  const double d1 = s(10.0) - s(9.0);
+  const double d2 = s(11.0) - s(10.0);
+  EXPECT_NEAR(d1, d2, 1e-9);
+}
+
+TEST(CubicSpline, RejectsBadInput) {
+  EXPECT_THROW(CubicSpline(std::vector<double>{0}, std::vector<double>{1}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      CubicSpline(std::vector<double>{0, 0}, std::vector<double>{1, 2}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      CubicSpline(std::vector<double>{0, 1}, std::vector<double>{1}),
+      std::invalid_argument);
+}
+
+TEST(CubicSpline, UnfittedThrows) {
+  CubicSpline s;
+  EXPECT_FALSE(s.fitted());
+  EXPECT_THROW(s(0.5), std::logic_error);
+}
+
+TEST(CubicSpline, DerivativeMatchesFiniteDifference) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 10; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(std::cos(0.5 * x.back()));
+  }
+  CubicSpline s(x, y);
+  for (double t = 0.5; t < 9.5; t += 1.0) {
+    const double fd = (s(t + 1e-6) - s(t - 1e-6)) / 2e-6;
+    EXPECT_NEAR(s.derivative(t), fd, 1e-5);
+  }
+}
+
+TEST(CubicSpline, EvaluateBatchMatchesPointwise) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{0, 2, 1, 3};
+  CubicSpline s(x, y);
+  const std::vector<double> t{0.5, 1.5, 2.5};
+  const auto out = s.evaluate(t);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], s(t[i]));
+  }
+}
+
+TEST(LinearInterp, InterpolatesAndClamps) {
+  LinearInterp li(std::vector<double>{0, 1, 2}, std::vector<double>{0, 10, 0});
+  EXPECT_DOUBLE_EQ(li(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(li(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(li(-1.0), 0.0);  // clamped to boundary values
+  EXPECT_DOUBLE_EQ(li(5.0), 0.0);
+}
+
+// Property: natural spline of samples of any cubic-free smooth signal stays
+// within the data's bounding box on refinement grids (no wild ringing for
+// these gentle inputs).
+class SplineBoundedness : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplineBoundedness, GentleSignalsStayBounded) {
+  const double freq = GetParam();
+  std::vector<double> x, y;
+  for (int i = 0; i <= 30; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(50.0 + 10.0 * std::sin(freq * x.back()));
+  }
+  CubicSpline s(x, y);
+  for (double t = 0.0; t <= 30.0; t += 0.1) {
+    EXPECT_GT(s(t), 50.0 - 10.0 * 1.3);
+    EXPECT_LT(s(t), 50.0 + 10.0 * 1.3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, SplineBoundedness,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.5, 0.8));
+
+}  // namespace
+}  // namespace highrpm::math

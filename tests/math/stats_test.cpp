@@ -1,0 +1,91 @@
+#include "highrpm/math/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace highrpm::math {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(variance(v), 2.0);
+  EXPECT_DOUBLE_EQ(stddev(v), std::sqrt(2.0));
+}
+
+TEST(Stats, EmptyInputsAreSafe) {
+  const std::vector<double> v;
+  EXPECT_DOUBLE_EQ(mean(v), 0.0);
+  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+  EXPECT_TRUE(std::isnan(min_value(v)));
+  EXPECT_TRUE(std::isnan(max_value(v)));
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v{3, -1, 7, 0};
+  EXPECT_DOUBLE_EQ(min_value(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 7.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> v{0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.125), 5.0);  // between elements
+  EXPECT_THROW(quantile(v, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  const std::vector<double> c{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Stats, AutocorrelationOfConstantIsZero) {
+  const std::vector<double> v(10, 3.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(v, 1), 0.0);
+}
+
+TEST(Stats, AutocorrelationLagZeroIsOne) {
+  const std::vector<double> v{1, 5, 2, 8, 3, 9, 1, 4};
+  EXPECT_NEAR(autocorrelation(v, 0), 1.0, 1e-12);
+}
+
+TEST(Stats, AutocorrelationDetectsAlternation) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(autocorrelation(v, 1), -0.9);
+  EXPECT_GT(autocorrelation(v, 2), 0.9);
+}
+
+TEST(Stats, MovingAverageSmooths) {
+  const std::vector<double> v{0, 10, 0, 10, 0, 10};
+  const auto m = moving_average(v, 3);
+  ASSERT_EQ(m.size(), v.size());
+  // Interior points average their neighbourhood.
+  EXPECT_NEAR(m[2], 10.0 / 3.0 * 2.0 * 0.5, 5.0);  // loose sanity
+  // Window of 1 is identity.
+  const auto id = moving_average(v, 1);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_DOUBLE_EQ(id[i], v[i]);
+  EXPECT_THROW(moving_average(v, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace highrpm::math

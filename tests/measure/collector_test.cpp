@@ -1,0 +1,109 @@
+#include "highrpm/measure/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "highrpm/workloads/suites.hpp"
+
+namespace highrpm::measure {
+namespace {
+
+TEST(Collector, ProducesAlignedRecord) {
+  Collector collector;
+  const auto run = collector.collect(sim::PlatformConfig::arm(),
+                                     workloads::fft(), 100, /*seed=*/1);
+  EXPECT_EQ(run.num_ticks(), 100u);
+  EXPECT_EQ(run.dataset.num_features(), sim::kNumPmcEvents);
+  EXPECT_EQ(run.measured.size(), 100u);
+  EXPECT_EQ(run.truth.size(), 100u);
+  EXPECT_EQ(run.workload_name, "fft");
+  EXPECT_EQ(run.suite, "HPCC");
+  EXPECT_TRUE(run.dataset.has_target("P_NODE"));
+  EXPECT_TRUE(run.dataset.has_target("P_CPU"));
+  EXPECT_TRUE(run.dataset.has_target("P_MEM"));
+}
+
+TEST(Collector, MeasuredMaskMatchesIpmiReadings) {
+  Collector collector;
+  const auto run = collector.collect(sim::PlatformConfig::arm(),
+                                     workloads::stream(), 95, 2);
+  const auto idx = run.measured_indices();
+  ASSERT_EQ(idx.size(), run.ipmi_readings.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    EXPECT_EQ(run.ipmi_readings[i].tick_index, idx[i]);
+  }
+  // Default IPMI interval is 10 s -> readings at 0, 10, ..., 90.
+  EXPECT_EQ(idx.size(), 10u);
+  EXPECT_EQ(idx.front(), 0u);
+}
+
+TEST(Collector, NodeTargetIsGroundTruth) {
+  Collector collector;
+  const auto run = collector.collect(sim::PlatformConfig::arm(),
+                                     workloads::fft(), 30, 3);
+  const auto& p_node = run.dataset.target("P_NODE");
+  for (std::size_t i = 0; i < run.num_ticks(); ++i) {
+    EXPECT_DOUBLE_EQ(p_node[i], run.truth[i].p_node_w);
+  }
+}
+
+TEST(Collector, ComponentTargetsAreRigReadingsNotTruth) {
+  Collector collector;
+  const auto run = collector.collect(sim::PlatformConfig::arm(),
+                                     workloads::fft(), 200, 4);
+  const auto& p_cpu = run.dataset.target("P_CPU");
+  // Rig readings carry 0.1 W noise: close to but not exactly truth.
+  std::size_t exact = 0;
+  for (std::size_t i = 0; i < run.num_ticks(); ++i) {
+    EXPECT_NEAR(p_cpu[i], run.truth[i].p_cpu_w, 1.0);
+    if (p_cpu[i] == run.truth[i].p_cpu_w) ++exact;
+  }
+  EXPECT_LT(exact, 5u);
+}
+
+TEST(Collector, DifferentSeedsGiveDifferentData) {
+  Collector collector;
+  const auto a = collector.collect(sim::PlatformConfig::arm(),
+                                   workloads::fft(), 50, 10);
+  const auto b = collector.collect(sim::PlatformConfig::arm(),
+                                   workloads::fft(), 50, 11);
+  EXPECT_NE(a.dataset.target("P_NODE")[25], b.dataset.target("P_NODE")[25]);
+}
+
+TEST(Collector, SameSeedReproduces) {
+  Collector collector;
+  const auto a = collector.collect(sim::PlatformConfig::arm(),
+                                   workloads::fft(), 50, 12);
+  const auto b = collector.collect(sim::PlatformConfig::arm(),
+                                   workloads::fft(), 50, 12);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.dataset.target("P_NODE")[i],
+                     b.dataset.target("P_NODE")[i]);
+    EXPECT_DOUBLE_EQ(a.dataset.features()(i, 0), b.dataset.features()(i, 0));
+  }
+}
+
+TEST(Collector, FrequencyLevelOverrideHonored) {
+  Collector collector;
+  const auto lo = collector.collect(sim::PlatformConfig::arm(),
+                                    workloads::fft(), 80, 13, /*freq=*/0);
+  const auto hi = collector.collect(sim::PlatformConfig::arm(),
+                                    workloads::fft(), 80, 13, /*freq=*/2);
+  double lo_mean = 0.0, hi_mean = 0.0;
+  for (std::size_t i = 0; i < 80; ++i) {
+    lo_mean += lo.truth[i].p_cpu_w;
+    hi_mean += hi.truth[i].p_cpu_w;
+  }
+  EXPECT_LT(lo_mean, hi_mean);
+  EXPECT_EQ(lo.truth[0].freq_level, 0u);
+  EXPECT_EQ(hi.truth[0].freq_level, 2u);
+}
+
+TEST(Collector, FeatureNamesAreThePmcEvents) {
+  const auto names = pmc_feature_names();
+  ASSERT_EQ(names.size(), sim::kNumPmcEvents);
+  EXPECT_EQ(names[0], "CPU_CYCLES");
+  EXPECT_EQ(names.back(), "MEM_ACCESS");
+}
+
+}  // namespace
+}  // namespace highrpm::measure

@@ -1,0 +1,65 @@
+#include "highrpm/measure/direct.hpp"
+
+#include <gtest/gtest.h>
+
+#include "highrpm/math/stats.hpp"
+#include "highrpm/sim/node.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+namespace highrpm::measure {
+namespace {
+
+TEST(DirectRig, ReadsEveryTick) {
+  sim::NodeSimulator node(sim::PlatformConfig::arm(), workloads::fft(), 1);
+  const auto trace = node.run(50);
+  DirectMeasurementRig rig;
+  const auto readings = rig.read_trace(trace);
+  EXPECT_EQ(readings.size(), trace.size());  // 1 Sa/s dense, per §5.2
+}
+
+TEST(DirectRig, ErrorIsTenthOfAWatt) {
+  sim::NodeSimulator node(sim::PlatformConfig::arm(), workloads::stream(), 2);
+  const auto trace = node.run(500);
+  DirectRigConfig cfg;
+  cfg.reading_error_w = 0.1;  // paper: "a power reading error of 0.1W"
+  DirectMeasurementRig rig(cfg);
+  const auto readings = rig.read_trace(trace);
+  std::vector<double> cpu_err, mem_err;
+  for (std::size_t i = 0; i < readings.size(); ++i) {
+    cpu_err.push_back(readings[i].cpu_w - trace[i].p_cpu_w);
+    mem_err.push_back(readings[i].mem_w - trace[i].p_mem_w);
+  }
+  EXPECT_NEAR(math::stddev(cpu_err), 0.1, 0.03);
+  EXPECT_NEAR(math::stddev(mem_err), 0.1, 0.03);
+  EXPECT_NEAR(math::mean(cpu_err), 0.0, 0.02);  // unbiased
+}
+
+TEST(DirectRig, ReadingsAreNonNegative) {
+  sim::TickSample tick;
+  tick.p_cpu_w = 0.01;
+  tick.p_mem_w = 0.01;
+  DirectRigConfig cfg;
+  cfg.reading_error_w = 5.0;  // large noise to force clipping
+  DirectMeasurementRig rig(cfg);
+  for (int i = 0; i < 200; ++i) {
+    const auto r = rig.read(tick);
+    EXPECT_GE(r.cpu_w, 0.0);
+    EXPECT_GE(r.mem_w, 0.0);
+  }
+}
+
+TEST(DirectRig, DeterministicForSameSeed) {
+  sim::NodeSimulator node(sim::PlatformConfig::arm(), workloads::fft(), 3);
+  const auto trace = node.run(20);
+  DirectRigConfig cfg;
+  cfg.seed = 55;
+  DirectMeasurementRig a(cfg), b(cfg);
+  const auto ra = a.read_trace(trace);
+  const auto rb = b.read_trace(trace);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra[i].cpu_w, rb[i].cpu_w);
+  }
+}
+
+}  // namespace
+}  // namespace highrpm::measure

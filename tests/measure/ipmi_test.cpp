@@ -1,0 +1,122 @@
+#include "highrpm/measure/ipmi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "highrpm/sim/node.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+namespace highrpm::measure {
+namespace {
+
+sim::Trace make_trace(std::size_t ticks, std::uint64_t seed = 1) {
+  sim::NodeSimulator node(sim::PlatformConfig::arm(), workloads::fft(), seed);
+  return node.run(ticks);
+}
+
+TEST(IpmiSensor, RejectsSubSecondInterval) {
+  IpmiConfig cfg;
+  cfg.interval_s = 0.5;
+  EXPECT_THROW(IpmiSensor{cfg}, std::invalid_argument);
+}
+
+TEST(IpmiSensor, SamplesAtConfiguredInterval) {
+  const auto trace = make_trace(100);
+  IpmiConfig cfg;
+  cfg.interval_s = 10.0;  // paper: 0.1 Sa/s
+  IpmiSensor sensor(cfg);
+  const auto readings = sensor.sample_trace(trace);
+  EXPECT_EQ(readings.size(), 10u);
+  for (std::size_t i = 0; i < readings.size(); ++i) {
+    EXPECT_EQ(readings[i].tick_index, i * 10);
+  }
+}
+
+TEST(IpmiSensor, QuantizesToResolution) {
+  const auto trace = make_trace(50);
+  IpmiConfig cfg;
+  cfg.interval_s = 5.0;
+  cfg.quantization_w = 1.0;
+  cfg.sensor_noise_w = 0.0;
+  IpmiSensor sensor(cfg);
+  for (const auto& r : sensor.sample_trace(trace)) {
+    EXPECT_DOUBLE_EQ(r.power_w, std::round(r.power_w));
+  }
+}
+
+TEST(IpmiSensor, ReadoutDelayReturnsStaleValue) {
+  const auto trace = make_trace(50);
+  IpmiConfig cfg;
+  cfg.interval_s = 10.0;
+  cfg.readout_delay_s = 3.0;
+  cfg.quantization_w = 0.0;
+  cfg.sensor_noise_w = 0.0;
+  IpmiSensor sensor(cfg);
+  const auto readings = sensor.sample_trace(trace);
+  ASSERT_GE(readings.size(), 2u);
+  // Reading at tick 10 must equal the true power at tick 7 (3 s stale).
+  EXPECT_NEAR(readings[1].power_w, trace[7].p_node_w, 1e-9);
+}
+
+TEST(IpmiSensor, NoiseIsBoundedInPractice) {
+  const auto trace = make_trace(400);
+  IpmiConfig cfg;
+  cfg.interval_s = 10.0;
+  cfg.readout_delay_s = 0.0;
+  cfg.sensor_noise_w = 0.5;
+  cfg.quantization_w = 1.0;
+  IpmiSensor sensor(cfg);
+  for (const auto& r : sensor.sample_trace(trace)) {
+    EXPECT_NEAR(r.power_w, trace[r.tick_index].p_node_w, 4.0);
+  }
+}
+
+TEST(IpmiSensor, ResetRestartsStream) {
+  const auto trace = make_trace(30);
+  IpmiSensor sensor;
+  const auto first = sensor.sample_trace(trace);
+  const auto second = sensor.sample_trace(trace);  // sample_trace resets
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i].power_w, second[i].power_w);
+  }
+}
+
+TEST(IpmiSensor, StreamingOfferMatchesBatch) {
+  const auto trace = make_trace(60);
+  IpmiConfig cfg;
+  cfg.interval_s = 10.0;
+  IpmiSensor batch(cfg), stream(cfg);
+  const auto batch_readings = batch.sample_trace(trace);
+  std::vector<IpmiReading> stream_readings;
+  stream.reset();
+  for (const auto& tick : trace.samples()) {
+    if (auto r = stream.offer(tick)) stream_readings.push_back(*r);
+  }
+  ASSERT_EQ(batch_readings.size(), stream_readings.size());
+  for (std::size_t i = 0; i < batch_readings.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch_readings[i].power_w, stream_readings[i].power_w);
+  }
+}
+
+class IpmiIntervalProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(IpmiIntervalProperty, ReadingCountMatchesInterval) {
+  const double interval = GetParam();
+  const auto trace = make_trace(200);
+  IpmiConfig cfg;
+  cfg.interval_s = interval;
+  IpmiSensor sensor(cfg);
+  const auto readings = sensor.sample_trace(trace);
+  const std::size_t expected =
+      (200 + static_cast<std::size_t>(interval) - 1) /
+      static_cast<std::size_t>(interval);
+  EXPECT_EQ(readings.size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, IpmiIntervalProperty,
+                         ::testing::Values(1.0, 5.0, 10.0, 30.0, 60.0, 100.0));
+
+}  // namespace
+}  // namespace highrpm::measure

@@ -1,0 +1,92 @@
+#include "highrpm/measure/pmc_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "highrpm/math/stats.hpp"
+#include "highrpm/sim/node.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+namespace highrpm::measure {
+namespace {
+
+sim::Trace make_trace(std::size_t ticks) {
+  sim::NodeSimulator node(sim::PlatformConfig::arm(), workloads::fft(), 21);
+  return node.run(ticks);
+}
+
+TEST(PmcSampler, MatrixShapeMatchesTrace) {
+  const auto trace = make_trace(40);
+  PmcSampler sampler;
+  const auto m = sampler.sample_trace(trace);
+  EXPECT_EQ(m.rows(), 40u);
+  EXPECT_EQ(m.cols(), sim::kNumPmcEvents);
+}
+
+TEST(PmcSampler, NoiseIsRelative) {
+  const auto trace = make_trace(300);
+  PmcSamplerConfig cfg;
+  cfg.relative_noise = 0.02;
+  PmcSampler sampler(cfg);
+  const auto m = sampler.sample_trace(trace);
+  std::vector<double> rel_err;
+  const std::size_t cyc = static_cast<std::size_t>(sim::PmcEvent::kCpuCycles);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double truth = trace[r].pmcs[cyc];
+    if (truth > 0) rel_err.push_back((m(r, cyc) - truth) / truth);
+  }
+  EXPECT_NEAR(math::stddev(rel_err), 0.02, 0.01);
+}
+
+TEST(PmcSampler, ValuesAreNonNegative) {
+  const auto trace = make_trace(100);
+  PmcSamplerConfig cfg;
+  cfg.relative_noise = 0.5;  // exaggerated noise to force clipping paths
+  PmcSampler sampler(cfg);
+  const auto m = sampler.sample_trace(trace);
+  for (const double v : m.flat()) EXPECT_GE(v, 0.0);
+}
+
+TEST(PmcSampler, MultiplexingHoldsStaleValues) {
+  const auto trace = make_trace(20);
+  PmcSamplerConfig cfg;
+  cfg.counter_slots = 4;  // only 4 of 14 events live per tick
+  cfg.relative_noise = 0.0;
+  PmcSampler sampler(cfg);
+  sampler.reset();
+  const auto first = sampler.sample(trace[0]);
+  const auto second = sampler.sample(trace[1]);
+  // Some events must be held from the previous tick (stale == identical).
+  std::size_t held = 0;
+  for (std::size_t e = 0; e < sim::kNumPmcEvents; ++e) {
+    if (second[e] == first[e]) ++held;
+  }
+  EXPECT_GE(held, sim::kNumPmcEvents - cfg.counter_slots - 1);
+}
+
+TEST(PmcSampler, NoMultiplexingTracksEveryEvent) {
+  const auto trace = make_trace(10);
+  PmcSamplerConfig cfg;
+  cfg.counter_slots = 0;
+  cfg.relative_noise = 0.0;
+  PmcSampler sampler(cfg);
+  sampler.reset();
+  for (const auto& tick : trace.samples()) {
+    const auto v = sampler.sample(tick);
+    for (std::size_t e = 0; e < sim::kNumPmcEvents; ++e) {
+      EXPECT_DOUBLE_EQ(v[e], tick.pmcs[e]);
+    }
+  }
+}
+
+TEST(PmcSampler, ResetIsDeterministic) {
+  const auto trace = make_trace(15);
+  PmcSampler sampler;
+  const auto a = sampler.sample_trace(trace);
+  const auto b = sampler.sample_trace(trace);
+  for (std::size_t i = 0; i < a.flat().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flat()[i], b.flat()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace highrpm::measure

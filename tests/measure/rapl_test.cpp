@@ -1,0 +1,96 @@
+#include "highrpm/measure/rapl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "highrpm/sim/node.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+namespace highrpm::measure {
+namespace {
+
+sim::TickSample constant_tick(double cpu_w, double mem_w) {
+  sim::TickSample s;
+  s.p_cpu_w = cpu_w;
+  s.p_mem_w = mem_w;
+  s.p_node_w = cpu_w + mem_w;
+  return s;
+}
+
+TEST(Rapl, ConfigValidation) {
+  RaplConfig cfg;
+  cfg.wrap_bits = 0;
+  EXPECT_THROW(RaplInterface{cfg}, std::invalid_argument);
+  cfg.wrap_bits = 64;
+  EXPECT_THROW(RaplInterface{cfg}, std::invalid_argument);
+}
+
+TEST(Rapl, CountersIncreaseMonotonically) {
+  RaplConfig cfg;
+  cfg.relative_error = 0.0;
+  RaplInterface rapl(cfg);
+  std::uint64_t prev_pkg = rapl.energy_pkg_uj();
+  for (int i = 0; i < 10; ++i) {
+    rapl.advance(constant_tick(100.0, 20.0));
+    EXPECT_GE(rapl.energy_pkg_uj(), prev_pkg);
+    prev_pkg = rapl.energy_pkg_uj();
+  }
+}
+
+TEST(Rapl, DifferentiatedPowerMatchesTruth) {
+  RaplConfig cfg;
+  cfg.relative_error = 0.0;
+  RaplInterface rapl(cfg);
+  const auto before_pkg = rapl.energy_pkg_uj();
+  const auto before_ram = rapl.energy_ram_uj();
+  for (int i = 0; i < 10; ++i) rapl.advance(constant_tick(80.0, 15.0));
+  const double pkg_w =
+      rapl.power_from_counters(before_pkg, rapl.energy_pkg_uj(), 10.0);
+  const double ram_w =
+      rapl.power_from_counters(before_ram, rapl.energy_ram_uj(), 10.0);
+  // Quantization to the 61 uJ unit costs well under 0.1 W over 10 s.
+  EXPECT_NEAR(pkg_w, 80.0, 0.1);
+  EXPECT_NEAR(ram_w, 15.0, 0.1);
+}
+
+TEST(Rapl, HandlesSingleWraparound) {
+  RaplConfig cfg;
+  cfg.relative_error = 0.0;
+  cfg.wrap_bits = 16;  // tiny counter: wraps after 65536 units (~4 J)
+  RaplInterface rapl(cfg);
+  // Move to ~3 J, snapshot, then push 2 J more across the 4 J boundary so
+  // the raw counter value actually decreases (the detectable-wrap case —
+  // like real RAPL, a wrap that leaves the counter above its old value is
+  // indistinguishable from no wrap).
+  for (int i = 0; i < 3; ++i) rapl.advance(constant_tick(1.0, 0.0));
+  const auto before = rapl.energy_pkg_uj();
+  for (int i = 0; i < 2; ++i) rapl.advance(constant_tick(1.0, 0.0));
+  const auto after = rapl.energy_pkg_uj();
+  ASSERT_LT(after, before);  // wrapped
+  const double w = rapl.power_from_counters(before, after, 2.0);
+  EXPECT_NEAR(w, 1.0, 0.05);
+}
+
+TEST(Rapl, ZeroDtThrows) {
+  RaplInterface rapl;
+  EXPECT_THROW(rapl.power_from_counters(0, 100, 0.0), std::invalid_argument);
+}
+
+TEST(Rapl, TracksRealWorkloadEnergy) {
+  sim::NodeSimulator node(sim::PlatformConfig::x86(), workloads::hpcg(), 5);
+  RaplConfig cfg;
+  cfg.relative_error = 0.0;
+  RaplInterface rapl(cfg);
+  double true_cpu_energy = 0.0;
+  const auto before = rapl.energy_pkg_uj();
+  for (int i = 0; i < 60; ++i) {
+    const auto tick = node.step();
+    true_cpu_energy += tick.p_cpu_w;
+    rapl.advance(tick);
+  }
+  const double measured_w =
+      rapl.power_from_counters(before, rapl.energy_pkg_uj(), 60.0);
+  EXPECT_NEAR(measured_w, true_cpu_energy / 60.0, 0.5);
+}
+
+}  // namespace
+}  // namespace highrpm::measure

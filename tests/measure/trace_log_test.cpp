@@ -1,0 +1,102 @@
+#include "highrpm/measure/trace_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "highrpm/data/csv.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+namespace highrpm::measure {
+namespace {
+
+class TraceLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("highrpm_log_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  static CollectedRun make_run(std::size_t ticks = 60) {
+    Collector collector;
+    return collector.collect(sim::PlatformConfig::arm(), workloads::fft(),
+                             ticks, 71);
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(TraceLogTest, RoundTripPreservesShape) {
+  const auto run = make_run();
+  save_run(path_.string(), run);
+  const auto back = load_run(path_.string());
+  EXPECT_EQ(back.num_ticks(), run.num_ticks());
+  EXPECT_EQ(back.dataset.num_features(), run.dataset.num_features());
+  EXPECT_EQ(back.measured, run.measured);
+  EXPECT_EQ(back.ipmi_readings.size(), run.ipmi_readings.size());
+}
+
+TEST_F(TraceLogTest, RoundTripPreservesValues) {
+  const auto run = make_run();
+  save_run(path_.string(), run);
+  const auto back = load_run(path_.string());
+  for (std::size_t t = 0; t < run.num_ticks(); ++t) {
+    EXPECT_NEAR(back.dataset.target("P_NODE")[t],
+                run.dataset.target("P_NODE")[t], 1e-4);
+    EXPECT_NEAR(back.dataset.target("P_CPU")[t],
+                run.dataset.target("P_CPU")[t], 1e-4);
+    EXPECT_NEAR(back.truth[t].p_cpu_w, run.truth[t].p_cpu_w, 1e-4);
+    EXPECT_NEAR(back.truth[t].p_node_w, run.truth[t].p_node_w, 1e-3);
+    // Relative PMC precision (absolute values are ~1e11).
+    EXPECT_NEAR(back.dataset.features()(t, 0) /
+                    std::max(1.0, run.dataset.features()(t, 0)),
+                1.0, 1e-6);
+  }
+  for (std::size_t i = 0; i < run.ipmi_readings.size(); ++i) {
+    EXPECT_EQ(back.ipmi_readings[i].tick_index,
+              run.ipmi_readings[i].tick_index);
+    EXPECT_NEAR(back.ipmi_readings[i].power_w, run.ipmi_readings[i].power_w,
+                1e-4);
+  }
+}
+
+TEST_F(TraceLogTest, LoadedRunWorksWithStaticTrrPath) {
+  // The loaded log must be directly usable for restoration: its measured
+  // mask and IPMI readings agree.
+  const auto run = make_run(80);
+  save_run(path_.string(), run);
+  const auto back = load_run(path_.string());
+  const auto idx = back.measured_indices();
+  ASSERT_EQ(idx.size(), back.ipmi_readings.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    EXPECT_EQ(back.ipmi_readings[i].tick_index, idx[i]);
+  }
+}
+
+TEST_F(TraceLogTest, MissingFileThrows) {
+  EXPECT_THROW(load_run("/nonexistent/log.csv"), std::runtime_error);
+}
+
+TEST_F(TraceLogTest, LogWithoutTruthColumnsFallsBackToTargets) {
+  const auto run = make_run();
+  save_run(path_.string(), run);
+  // Strip the truth columns, as a real-deployment log would look.
+  auto table = data::read_csv(path_.string());
+  const std::size_t keep = table.header.size() - 3;
+  table.header.resize(keep);
+  for (auto& row : table.rows) row.resize(keep);
+  data::write_csv(path_.string(), table);
+
+  const auto back = load_run(path_.string());
+  for (std::size_t t = 0; t < back.num_ticks(); ++t) {
+    // Truth now mirrors the rig targets.
+    EXPECT_NEAR(back.truth[t].p_cpu_w, back.dataset.target("P_CPU")[t], 1e-9);
+    EXPECT_NEAR(back.truth[t].p_node_w, back.dataset.target("P_NODE")[t],
+                1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace highrpm::measure

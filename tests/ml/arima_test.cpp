@@ -1,0 +1,184 @@
+#include "highrpm/ml/arima.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "highrpm/math/metrics.hpp"
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::ml {
+namespace {
+
+TEST(ArModel, RejectsZeroOrder) {
+  EXPECT_THROW(ArModel(0), std::invalid_argument);
+}
+
+TEST(ArModel, FitRejectsShortSeries) {
+  ArModel ar(3);
+  const std::vector<double> s{1, 2, 3};
+  EXPECT_THROW(ar.fit(s), std::invalid_argument);
+}
+
+TEST(ArModel, RecoversAr1Coefficient) {
+  // y_t = 5 + 0.8 y_{t-1} + eps.
+  math::Rng rng(1);
+  std::vector<double> s{25.0};
+  for (int i = 0; i < 500; ++i) {
+    s.push_back(5.0 + 0.8 * s.back() + rng.normal(0, 0.1));
+  }
+  ArModel ar(1);
+  ar.fit(s);
+  EXPECT_NEAR(ar.coefficients()[0], 0.8, 0.05);
+  EXPECT_NEAR(ar.intercept(), 5.0, 1.5);
+}
+
+TEST(ArModel, PredictNextMatchesRecursion) {
+  std::vector<double> s;
+  for (int i = 0; i < 50; ++i) s.push_back(static_cast<double>(i % 7));
+  ArModel ar(2);
+  ar.fit(s);
+  const std::vector<double> recent{3.0, 4.0};
+  const double direct = ar.predict_next(recent);
+  const double expected = ar.intercept() + ar.coefficients()[0] * 4.0 +
+                          ar.coefficients()[1] * 3.0;
+  EXPECT_NEAR(direct, expected, 1e-12);
+}
+
+TEST(ArModel, ForecastExtendsDeterministicSeries) {
+  // A noiseless AR process forecasts itself.
+  std::vector<double> s{10.0, 11.0};
+  for (int i = 0; i < 100; ++i) {
+    s.push_back(1.0 + 0.5 * s[s.size() - 1] + 0.4 * s[s.size() - 2]);
+  }
+  ArModel ar(2);
+  ar.fit(s);
+  const auto f = ar.forecast(s, 5);
+  double y1 = s[s.size() - 1], y2 = s[s.size() - 2];
+  for (const double v : f) {
+    const double expect = 1.0 + 0.5 * y1 + 0.4 * y2;
+    EXPECT_NEAR(v, expect, 1e-6);
+    y2 = y1;
+    y1 = v;
+  }
+}
+
+TEST(ArModel, UnfittedThrows) {
+  ArModel ar(2);
+  const std::vector<double> recent{1, 2};
+  EXPECT_THROW(ar.predict_next(recent), std::logic_error);
+  EXPECT_THROW(ar.forecast(recent, 3), std::logic_error);
+}
+
+TEST(ArimaInterpolator, ValidatesConfigAndInput) {
+  EXPECT_THROW(ArimaInterpolator(ArimaConfig{.p = 2, .d = 2}),
+               std::invalid_argument);
+  ArimaInterpolator ai;
+  const std::vector<double> few{1, 2};
+  EXPECT_THROW(ai.fit(few), std::invalid_argument);
+  EXPECT_THROW(ai.interpolate(few, std::vector<std::size_t>{0, 10}, 20),
+               std::logic_error);  // not fitted
+}
+
+TEST(ArimaInterpolator, PassesThroughKnots) {
+  std::vector<double> readings;
+  std::vector<std::size_t> ticks;
+  for (int i = 0; i < 12; ++i) {
+    readings.push_back(80.0 + 5.0 * std::sin(0.5 * i));
+    ticks.push_back(static_cast<std::size_t>(i) * 10);
+  }
+  ArimaInterpolator ai;
+  ai.fit(readings);
+  const auto dense = ai.interpolate(readings, ticks, 115);
+  for (std::size_t i = 0; i < readings.size(); ++i) {
+    EXPECT_DOUBLE_EQ(dense[ticks[i]], readings[i]);
+  }
+}
+
+TEST(ArimaInterpolator, TracksLinearTrendExactly) {
+  // A linear trend has constant first difference: d=1 AR should nail it.
+  std::vector<double> readings;
+  std::vector<std::size_t> ticks;
+  for (int i = 0; i < 10; ++i) {
+    readings.push_back(50.0 + 2.0 * i);
+    ticks.push_back(static_cast<std::size_t>(i) * 10);
+  }
+  ArimaInterpolator ai(ArimaConfig{.p = 1, .d = 1});
+  ai.fit(readings);
+  const auto dense = ai.interpolate(readings, ticks, 91);
+  // Interior gap values stay close to the linear envelope (the
+  // stationarity-shrunk AR drifts by at most a few watts).
+  for (std::size_t t = 0; t < 91; ++t) {
+    EXPECT_GE(dense[t], 47.0);
+    EXPECT_LE(dense[t], 73.0);
+  }
+  // The fill between knot k and k+1 is monotone nondecreasing.
+  for (std::size_t t = 1; t < 90; ++t) {
+    EXPECT_GE(dense[t] + 1e-6, dense[t - 1] - 2.5);
+  }
+}
+
+TEST(ArimaInterpolator, RestoresSmoothTrendBetterThanHold) {
+  // Dense truth: slow sine. Sparse readings every 10 ticks. ARIMA
+  // interpolation must beat zero-order hold.
+  const std::size_t n = 200;
+  std::vector<double> truth(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    truth[t] = 90.0 + 8.0 * std::sin(2.0 * std::numbers::pi *
+                                     static_cast<double>(t) / 60.0);
+  }
+  std::vector<double> readings;
+  std::vector<std::size_t> ticks;
+  for (std::size_t t = 0; t < n; t += 10) {
+    readings.push_back(truth[t]);
+    ticks.push_back(t);
+  }
+  ArimaInterpolator ai;
+  ai.fit(readings);
+  const auto dense = ai.interpolate(readings, ticks, n);
+  std::vector<double> hold(n);
+  std::size_t k = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (k + 1 < ticks.size() && t >= ticks[k + 1]) ++k;
+    hold[t] = readings[k];
+  }
+  EXPECT_LT(math::rmse(truth, dense), math::rmse(truth, hold));
+  EXPECT_LT(math::mape(truth, dense), 4.0);
+}
+
+TEST(ArimaInterpolator, ExtrapolationHoldsBoundaries) {
+  const std::vector<double> readings{10, 20, 30, 40};
+  const std::vector<std::size_t> ticks{5, 10, 15, 20};
+  ArimaInterpolator ai(ArimaConfig{.p = 1, .d = 1});
+  ai.fit(readings);
+  const auto dense = ai.interpolate(readings, ticks, 25);
+  for (std::size_t t = 0; t < 5; ++t) EXPECT_DOUBLE_EQ(dense[t], 10.0);
+  for (std::size_t t = 21; t < 25; ++t) EXPECT_DOUBLE_EQ(dense[t], 40.0);
+}
+
+class ArimaOrderProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArimaOrderProperty, InterpolationStaysWithinEnvelope) {
+  const std::size_t p = GetParam();
+  math::Rng rng(p);
+  std::vector<double> readings;
+  std::vector<std::size_t> ticks;
+  for (std::size_t i = 0; i < 15; ++i) {
+    readings.push_back(rng.uniform(80.0, 100.0));
+    ticks.push_back(i * 10);
+  }
+  ArimaInterpolator ai(ArimaConfig{.p = p, .d = 1});
+  ai.fit(readings);
+  const auto dense = ai.interpolate(readings, ticks, 141);
+  for (const double v : dense) {
+    EXPECT_GT(v, 40.0);   // no blow-up
+    EXPECT_LT(v, 140.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ArimaOrderProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace highrpm::ml

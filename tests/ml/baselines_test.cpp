@@ -1,0 +1,74 @@
+#include "highrpm/ml/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "highrpm/math/metrics.hpp"
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::ml {
+namespace {
+
+TEST(Baselines, TenPointwiseNamesInTableOrder) {
+  const auto names = pointwise_baseline_names();
+  ASSERT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.front(), "LR");
+  EXPECT_EQ(names.back(), "NN");
+}
+
+TEST(Baselines, AllTwelveNames) {
+  const auto names = all_baseline_names();
+  ASSERT_EQ(names.size(), 12u);
+  EXPECT_EQ(names[10], "GRU");
+  EXPECT_EQ(names[11], "LSTM");
+}
+
+TEST(Baselines, FactoryNamesRoundTrip) {
+  for (const auto& name : pointwise_baseline_names()) {
+    const auto model = make_baseline(name);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->name(), name);
+    EXPECT_FALSE(model->fitted());
+  }
+}
+
+TEST(Baselines, UnknownNameThrows) {
+  EXPECT_THROW(make_baseline("XGB"), std::invalid_argument);
+  EXPECT_THROW(make_rnn_baseline("LR"), std::invalid_argument);
+}
+
+TEST(Baselines, RnnFactoryBuildsBothCells) {
+  EXPECT_EQ(make_rnn_baseline("GRU").name(), "GRU");
+  EXPECT_EQ(make_rnn_baseline("LSTM").name(), "LSTM");
+  EXPECT_EQ(make_rnn_baseline("LSTM").config().units, 2u);  // Table 4
+}
+
+// Every pointwise baseline must train and predict sensibly on an easy
+// nonlinear power-like problem.
+class BaselineSanity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineSanity, FitsEasyProblem) {
+  math::Rng rng(42);
+  const std::size_t n = 300;
+  math::Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(0, 1);        // "utilization"
+    x(i, 1) = rng.uniform(0, 1);        // "memory rate"
+    x(i, 2) = rng.uniform(0, 1);        // irrelevant
+    y[i] = 30.0 + 40.0 * x(i, 0) + 15.0 * x(i, 1) * x(i, 1) +
+           rng.normal(0, 0.5);
+  }
+  auto model = make_baseline(GetParam());
+  model->fit(x, y);
+  EXPECT_TRUE(model->fitted());
+  const auto pred = model->predict(x);
+  EXPECT_LT(math::mape(y, pred), 10.0) << GetParam();
+  EXPECT_GT(math::r2(y, pred), 0.7) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPointwise, BaselineSanity,
+                         ::testing::Values("LR", "LaR", "RR", "SGD", "DT",
+                                           "RF", "GB", "KNN", "SVM", "NN"));
+
+}  // namespace
+}  // namespace highrpm::ml

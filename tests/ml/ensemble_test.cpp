@@ -1,0 +1,126 @@
+#include "highrpm/ml/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "highrpm/math/metrics.hpp"
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::ml {
+namespace {
+
+struct Problem {
+  math::Matrix x;
+  std::vector<double> y;
+};
+
+Problem nonlinear_problem(std::size_t n, std::uint64_t seed) {
+  math::Rng rng(seed);
+  Problem p;
+  p.x = math::Matrix(n, 3);
+  p.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) p.x(i, j) = rng.uniform(-1, 1);
+    p.y[i] = p.x(i, 0) * p.x(i, 1) + std::sin(3 * p.x(i, 2)) +
+             rng.normal(0, 0.05);
+  }
+  return p;
+}
+
+TEST(RandomForest, BuildsRequestedTreeCount) {
+  const auto p = nonlinear_problem(200, 1);
+  ForestConfig cfg;
+  cfg.n_trees = 10;
+  RandomForestRegressor rf(cfg);
+  rf.fit(p.x, p.y);
+  EXPECT_EQ(rf.size(), 10u);
+}
+
+TEST(RandomForest, FitsNonlinearData) {
+  const auto p = nonlinear_problem(600, 2);
+  RandomForestRegressor rf;
+  rf.fit(p.x, p.y);
+  EXPECT_GT(math::r2(p.y, rf.predict(p.x)), 0.8);
+}
+
+TEST(RandomForest, DeterministicForFixedSeed) {
+  const auto p = nonlinear_problem(150, 3);
+  ForestConfig cfg;
+  cfg.seed = 99;
+  RandomForestRegressor a(cfg), b(cfg);
+  a.fit(p.x, p.y);
+  b.fit(p.x, p.y);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(a.predict_one(p.x.row(i)), b.predict_one(p.x.row(i)));
+  }
+}
+
+TEST(RandomForest, PredictBeforeFitThrows) {
+  RandomForestRegressor rf;
+  const std::vector<double> q{1, 2, 3};
+  EXPECT_THROW(rf.predict_one(q), std::logic_error);
+}
+
+TEST(GradientBoosting, ImprovesOverSingleStage) {
+  const auto p = nonlinear_problem(400, 4);
+  BoostingConfig one;
+  one.n_trees = 1;
+  BoostingConfig ten;
+  ten.n_trees = 10;
+  GradientBoostingRegressor gb1(one), gb10(ten);
+  gb1.fit(p.x, p.y);
+  gb10.fit(p.x, p.y);
+  EXPECT_LT(math::rmse(p.y, gb10.predict(p.x)),
+            math::rmse(p.y, gb1.predict(p.x)));
+}
+
+TEST(GradientBoosting, ConstantTargetPredictsConstant) {
+  math::Matrix x(20, 2, 0.5);
+  std::vector<double> y(20, 42.0);
+  GradientBoostingRegressor gb;
+  gb.fit(x, y);
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_NEAR(gb.predict_one(q), 42.0, 1e-9);
+}
+
+TEST(GradientBoosting, FitsNonlinearData) {
+  const auto p = nonlinear_problem(600, 5);
+  GradientBoostingRegressor gb;
+  gb.fit(p.x, p.y);
+  EXPECT_GT(math::r2(p.y, gb.predict(p.x)), 0.7);
+}
+
+TEST(Ensembles, CloneIsUnfittedSameName) {
+  RandomForestRegressor rf;
+  GradientBoostingRegressor gb;
+  EXPECT_EQ(rf.clone()->name(), "RF");
+  EXPECT_FALSE(rf.clone()->fitted());
+  EXPECT_EQ(gb.clone()->name(), "GB");
+  EXPECT_FALSE(gb.clone()->fitted());
+}
+
+// Property: forest averaging reduces (or at least does not explode) variance
+// vs. a single fully-grown tree on held-out data.
+class ForestGeneralization : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForestGeneralization, ForestAtLeastAsGoodAsSingleTreeOutOfSample) {
+  const auto train = nonlinear_problem(400, GetParam());
+  const auto test = nonlinear_problem(200, GetParam() + 1000);
+  DecisionTreeRegressor tree;
+  tree.fit(train.x, train.y);
+  ForestConfig cfg;
+  cfg.n_trees = 10;
+  cfg.seed = GetParam();
+  RandomForestRegressor rf(cfg);
+  rf.fit(train.x, train.y);
+  const double tree_err = math::rmse(test.y, tree.predict(test.x));
+  const double rf_err = math::rmse(test.y, rf.predict(test.x));
+  EXPECT_LT(rf_err, tree_err * 1.15);  // allow slack; usually strictly better
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForestGeneralization,
+                         ::testing::Values(7, 17, 27));
+
+}  // namespace
+}  // namespace highrpm::ml

@@ -1,0 +1,146 @@
+#include "highrpm/ml/grid_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "highrpm/math/rng.hpp"
+#include "highrpm/ml/knn.hpp"
+#include "highrpm/ml/linear.hpp"
+#include "highrpm/ml/tree.hpp"
+
+namespace highrpm::ml {
+namespace {
+
+struct Problem {
+  math::Matrix x;
+  std::vector<double> y;
+};
+
+Problem step_problem(std::size_t n, std::uint64_t seed) {
+  math::Rng rng(seed);
+  Problem p;
+  p.x = math::Matrix(n, 1);
+  p.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x(i, 0) = rng.uniform(0, 1);
+    p.y[i] = (p.x(i, 0) < 0.5 ? 10.0 : 50.0) + rng.normal(0, 0.5);
+  }
+  return p;
+}
+
+Problem linear_problem(std::size_t n, std::uint64_t seed) {
+  math::Rng rng(seed);
+  Problem p;
+  p.x = math::Matrix(n, 2);
+  p.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x(i, 0) = rng.uniform(-1, 1);
+    p.x(i, 1) = rng.uniform(-1, 1);
+    p.y[i] = 40.0 + 3.0 * p.x(i, 0) - 2.0 * p.x(i, 1) + rng.normal(0, 0.3);
+  }
+  return p;
+}
+
+TEST(GridSearch, RejectsEmptyGridAndTinyData) {
+  const auto p = linear_problem(20, 1);
+  EXPECT_THROW(grid_search({}, p.x, p.y), std::invalid_argument);
+  const std::vector<RegressorFactory> grid{
+      [] { return std::make_unique<LinearRegression>(); }};
+  GridSearchConfig cfg;
+  cfg.folds = 50;  // more folds than samples
+  EXPECT_THROW(grid_search(grid, p.x, p.y, cfg), std::invalid_argument);
+}
+
+TEST(GridSearch, ScoresEveryCandidate) {
+  const auto p = linear_problem(100, 2);
+  const std::vector<RegressorFactory> grid{
+      [] { return std::make_unique<LinearRegression>(); },
+      [] { return std::make_unique<RidgeRegression>(1.0); },
+      [] { return std::make_unique<RidgeRegression>(1e6); }};
+  const auto result = grid_search(grid, p.x, p.y);
+  EXPECT_EQ(result.scores.size(), 3u);
+  for (const double s : result.scores) EXPECT_GE(s, 0.0);
+  EXPECT_DOUBLE_EQ(result.scores[result.best_index], result.best_score);
+}
+
+TEST(GridSearch, PrefersCorrectModelClassOnStepData) {
+  // A depth-limited tree beats a line on a step function.
+  const auto p = step_problem(200, 3);
+  const std::vector<RegressorFactory> grid{
+      [] { return std::make_unique<LinearRegression>(); },
+      [] {
+        TreeConfig cfg;
+        cfg.max_depth = 3;
+        return std::make_unique<DecisionTreeRegressor>(cfg);
+      }};
+  const auto result = grid_search(grid, p.x, p.y);
+  EXPECT_EQ(result.best_index, 1u);
+}
+
+TEST(GridSearch, HeavyRidgeLosesOnInformativeData) {
+  const auto p = linear_problem(150, 4);
+  const std::vector<RegressorFactory> grid{
+      [] { return std::make_unique<RidgeRegression>(1e-6); },
+      [] { return std::make_unique<RidgeRegression>(1e8); }};
+  const auto result = grid_search(grid, p.x, p.y);
+  EXPECT_EQ(result.best_index, 0u);
+  EXPECT_LT(result.scores[0], result.scores[1]);
+}
+
+TEST(GridSearch, TunesKnnNeighborCount) {
+  // Very noisy target: k=1 overfits, a larger k wins CV.
+  math::Rng rng(5);
+  math::Matrix x(240, 1);
+  std::vector<double> y(240);
+  for (std::size_t i = 0; i < 240; ++i) {
+    x(i, 0) = rng.uniform(0, 1);
+    y[i] = 100.0 + rng.normal(0, 5.0);  // pure noise around a constant
+  }
+  const std::vector<RegressorFactory> grid{
+      [] { return std::make_unique<KnnRegressor>(1); },
+      [] { return std::make_unique<KnnRegressor>(15); }};
+  const auto result = grid_search(grid, x, y);
+  EXPECT_EQ(result.best_index, 1u);
+}
+
+TEST(GridSearch, MetricSelectionChangesScoreScale) {
+  const auto p = linear_problem(100, 6);
+  const std::vector<RegressorFactory> grid{
+      [] { return std::make_unique<LinearRegression>(); }};
+  GridSearchConfig mape_cfg;
+  mape_cfg.metric = CvMetric::kMape;
+  GridSearchConfig rmse_cfg;
+  rmse_cfg.metric = CvMetric::kRmse;
+  const auto mape_res = grid_search(grid, p.x, p.y, mape_cfg);
+  const auto rmse_res = grid_search(grid, p.x, p.y, rmse_cfg);
+  // MAPE is in percent of a ~40 target; RMSE in absolute ~0.3 units.
+  EXPECT_GT(mape_res.best_score, rmse_res.best_score);
+}
+
+TEST(GridSearch, DeterministicForFixedSeed) {
+  const auto p = linear_problem(120, 7);
+  const std::vector<RegressorFactory> grid{
+      [] { return std::make_unique<RidgeRegression>(0.1); },
+      [] { return std::make_unique<RidgeRegression>(10.0); }};
+  const auto a = grid_search(grid, p.x, p.y);
+  const auto b = grid_search(grid, p.x, p.y);
+  EXPECT_EQ(a.best_index, b.best_index);
+  EXPECT_DOUBLE_EQ(a.best_score, b.best_score);
+}
+
+TEST(FitBest, ReturnsTrainedWinner) {
+  const auto p = step_problem(150, 8);
+  const std::vector<RegressorFactory> grid{
+      [] { return std::make_unique<LinearRegression>(); },
+      [] { return std::make_unique<DecisionTreeRegressor>(); }};
+  const auto model = fit_best(grid, p.x, p.y);
+  ASSERT_NE(model, nullptr);
+  EXPECT_TRUE(model->fitted());
+  EXPECT_EQ(model->name(), "DT");
+  const std::vector<double> lo{0.2};
+  EXPECT_NEAR(model->predict_one(lo), 10.0, 2.0);
+}
+
+}  // namespace
+}  // namespace highrpm::ml

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "highrpm/math/metrics.hpp"
+#include "highrpm/math/rng.hpp"
+#include "highrpm/ml/knn.hpp"
+#include "highrpm/ml/svr.hpp"
+
+namespace highrpm::ml {
+namespace {
+
+TEST(Knn, ExactNeighborWinsWithK1) {
+  math::Matrix x{{0.0}, {1.0}, {2.0}};
+  const std::vector<double> y{10, 20, 30};
+  KnnRegressor knn(1);
+  knn.fit(x, y);
+  const std::vector<double> q{1.1};
+  EXPECT_DOUBLE_EQ(knn.predict_one(q), 20.0);
+}
+
+TEST(Knn, AveragesKNeighbors) {
+  math::Matrix x{{0.0}, {1.0}, {10.0}};
+  const std::vector<double> y{10, 20, 300};
+  KnnRegressor knn(2);
+  knn.fit(x, y);
+  const std::vector<double> q{0.4};
+  EXPECT_DOUBLE_EQ(knn.predict_one(q), 15.0);
+}
+
+TEST(Knn, KLargerThanDataUsesAll) {
+  math::Matrix x{{0.0}, {1.0}};
+  const std::vector<double> y{0, 10};
+  KnnRegressor knn(5);
+  knn.fit(x, y);
+  const std::vector<double> q{0.5};
+  EXPECT_DOUBLE_EQ(knn.predict_one(q), 5.0);
+}
+
+TEST(Knn, ZeroKThrows) { EXPECT_THROW(KnnRegressor(0), std::invalid_argument); }
+
+TEST(Knn, StandardizationMakesScalesComparable) {
+  // Feature 1 has a huge scale; without standardization it would dominate.
+  // The target depends only on feature 0.
+  math::Rng rng(1);
+  const std::size_t n = 200;
+  math::Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(0, 1);
+    x(i, 1) = rng.uniform(0, 1e9);
+    y[i] = x(i, 0) > 0.5 ? 100.0 : 0.0;
+  }
+  KnnRegressor knn(3);
+  knn.fit(x, y);
+  // Correctness proxy: good R2 despite the wild scale of feature 1.
+  EXPECT_GT(math::r2(y, knn.predict(x)), 0.6);
+}
+
+TEST(Knn, DistanceWeightedPrefersCloserNeighbor) {
+  math::Matrix x{{0.0}, {1.0}};
+  const std::vector<double> y{0.0, 100.0};
+  KnnRegressor knn(2, /*distance_weighted=*/true);
+  knn.fit(x, y);
+  const std::vector<double> q{0.1};
+  EXPECT_LT(knn.predict_one(q), 50.0);
+}
+
+TEST(Svr, FitsLinearDataWithLinearKernel) {
+  math::Rng rng(2);
+  const std::size_t n = 300;
+  math::Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y[i] = 4.0 * x(i, 0) - 2.0 * x(i, 1) + 10.0;
+  }
+  SvrConfig cfg;
+  cfg.rff_dim = 0;  // plain linear SVR
+  cfg.epochs = 80;
+  SvrRegressor svr(cfg);
+  svr.fit(x, y);
+  EXPECT_GT(math::r2(y, svr.predict(x)), 0.9);
+}
+
+TEST(Svr, RffKernelFitsNonlinearData) {
+  math::Rng rng(3);
+  const std::size_t n = 400;
+  math::Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-3, 3);
+    y[i] = std::sin(x(i, 0)) * 5.0 + 20.0;
+  }
+  SvrConfig linear_cfg;
+  linear_cfg.rff_dim = 0;
+  SvrRegressor linear(linear_cfg);
+  linear.fit(x, y);
+
+  SvrConfig rbf_cfg;
+  rbf_cfg.rff_dim = 128;
+  rbf_cfg.gamma = 1.0;
+  rbf_cfg.epochs = 120;
+  SvrRegressor rbf(rbf_cfg);
+  rbf.fit(x, y);
+
+  // The RFF lift must beat the purely linear fit on a sine.
+  EXPECT_LT(math::rmse(y, rbf.predict(x)), math::rmse(y, linear.predict(x)));
+  EXPECT_GT(math::r2(y, rbf.predict(x)), 0.7);
+}
+
+TEST(Svr, DeterministicForFixedSeed) {
+  math::Rng rng(4);
+  math::Matrix x(100, 2);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y[i] = x(i, 0) + x(i, 1);
+  }
+  SvrConfig cfg;
+  cfg.seed = 5;
+  SvrRegressor a(cfg), b(cfg);
+  a.fit(x, y);
+  b.fit(x, y);
+  EXPECT_DOUBLE_EQ(a.predict_one(x.row(0)), b.predict_one(x.row(0)));
+}
+
+TEST(Svr, CloneAndName) {
+  SvrRegressor svr;
+  EXPECT_EQ(svr.name(), "SVM");
+  EXPECT_FALSE(svr.clone()->fitted());
+}
+
+TEST(Knn, CloneAndName) {
+  KnnRegressor knn(3);
+  EXPECT_EQ(knn.name(), "KNN");
+  EXPECT_FALSE(knn.clone()->fitted());
+}
+
+}  // namespace
+}  // namespace highrpm::ml

@@ -1,0 +1,171 @@
+#include "highrpm/ml/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "highrpm/math/metrics.hpp"
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::ml {
+namespace {
+
+/// y = 3 + 2 x0 - x1 (+ noise) on n samples.
+struct LinearProblem {
+  math::Matrix x;
+  std::vector<double> y;
+};
+
+LinearProblem make_problem(std::size_t n, double noise, std::uint64_t seed) {
+  math::Rng rng(seed);
+  LinearProblem p;
+  p.x = math::Matrix(n, 2);
+  p.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x(i, 0) = rng.uniform(-2, 2);
+    p.x(i, 1) = rng.uniform(-2, 2);
+    p.y[i] = 3.0 + 2.0 * p.x(i, 0) - p.x(i, 1) + rng.normal(0, noise);
+  }
+  return p;
+}
+
+TEST(LinearRegression, RecoversExactCoefficients) {
+  const auto p = make_problem(100, 0.0, 1);
+  LinearRegression lr;
+  lr.fit(p.x, p.y);
+  EXPECT_NEAR(lr.intercept(), 3.0, 1e-8);
+  EXPECT_NEAR(lr.coefficients()[0], 2.0, 1e-8);
+  EXPECT_NEAR(lr.coefficients()[1], -1.0, 1e-8);
+}
+
+TEST(LinearRegression, PredictMatchesModel) {
+  const auto p = make_problem(50, 0.0, 2);
+  LinearRegression lr;
+  lr.fit(p.x, p.y);
+  const std::vector<double> q{1.0, 1.0};
+  EXPECT_NEAR(lr.predict_one(q), 4.0, 1e-8);
+}
+
+TEST(LinearRegression, UnfittedPredictThrows) {
+  LinearRegression lr;
+  const std::vector<double> q{1.0};
+  EXPECT_THROW(lr.predict_one(q), std::logic_error);
+}
+
+TEST(LinearRegression, WidthMismatchThrows) {
+  const auto p = make_problem(20, 0.0, 3);
+  LinearRegression lr;
+  lr.fit(p.x, p.y);
+  const std::vector<double> q{1.0, 2.0, 3.0};
+  EXPECT_THROW(lr.predict_one(q), std::invalid_argument);
+}
+
+TEST(LinearRegression, EmptyTrainingThrows) {
+  LinearRegression lr;
+  EXPECT_THROW(lr.fit(math::Matrix(), {}), std::invalid_argument);
+}
+
+TEST(RidgeRegression, NearOlsForTinyLambda) {
+  const auto p = make_problem(200, 0.05, 4);
+  LinearRegression ols;
+  ols.fit(p.x, p.y);
+  RidgeRegression ridge(1e-8);
+  ridge.fit(p.x, p.y);
+  const std::vector<double> q{0.5, -0.5};
+  EXPECT_NEAR(ridge.predict_one(q), ols.predict_one(q), 1e-4);
+}
+
+TEST(RidgeRegression, LargeLambdaPredictsNearMean) {
+  const auto p = make_problem(200, 0.05, 5);
+  RidgeRegression ridge(1e9);
+  ridge.fit(p.x, p.y);
+  // With slopes crushed to ~0, prediction falls back near the target mean.
+  double mean = 0.0;
+  for (const double v : p.y) mean += v;
+  mean /= static_cast<double>(p.y.size());
+  const std::vector<double> q{1.0, 1.0};
+  EXPECT_NEAR(ridge.predict_one(q), mean, 0.2);
+}
+
+TEST(LassoRegression, SparsifiesIrrelevantFeatures) {
+  // y depends only on x0; x1..x3 are noise features.
+  math::Rng rng(6);
+  const std::size_t n = 300;
+  math::Matrix x(n, 4);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) x(i, j) = rng.uniform(-1, 1);
+    y[i] = 5.0 * x(i, 0) + rng.normal(0, 0.01);
+  }
+  LassoRegression lasso(0.1);
+  lasso.fit(x, y);
+  EXPECT_GE(lasso.num_zero_coefficients(), 2u);
+}
+
+TEST(LassoRegression, StillPredictsWell) {
+  const auto p = make_problem(300, 0.05, 7);
+  LassoRegression lasso(0.005);
+  lasso.fit(p.x, p.y);
+  const auto pred = lasso.predict(p.x);
+  EXPECT_LT(math::rmse(p.y, pred), 0.2);
+}
+
+TEST(SgdRegression, ConvergesOnLinearData) {
+  const auto p = make_problem(400, 0.05, 8);
+  SgdRegression sgd(0.01, 20000, 1e-5, 9);
+  sgd.fit(p.x, p.y);
+  const auto pred = sgd.predict(p.x);
+  EXPECT_LT(math::rmse(p.y, pred), 0.3);
+  EXPECT_GT(math::r2(p.y, pred), 0.95);
+}
+
+TEST(SgdRegression, DeterministicForFixedSeed) {
+  const auto p = make_problem(100, 0.1, 10);
+  SgdRegression a(0.01, 5000, 1e-4, 77);
+  SgdRegression b(0.01, 5000, 1e-4, 77);
+  a.fit(p.x, p.y);
+  b.fit(p.x, p.y);
+  const std::vector<double> q{0.3, -0.7};
+  EXPECT_DOUBLE_EQ(a.predict_one(q), b.predict_one(q));
+}
+
+TEST(AllLinear, CloneIsUnfittedSameName) {
+  LinearRegression lr;
+  RidgeRegression rr;
+  LassoRegression lar;
+  SgdRegression sgd;
+  for (const Regressor* m :
+       {static_cast<const Regressor*>(&lr), static_cast<const Regressor*>(&rr),
+        static_cast<const Regressor*>(&lar),
+        static_cast<const Regressor*>(&sgd)}) {
+    const auto c = m->clone();
+    EXPECT_EQ(c->name(), m->name());
+    EXPECT_FALSE(c->fitted());
+  }
+}
+
+// Property sweep: every linear model achieves near-zero error on noiseless
+// linear data across seeds.
+class LinearFamilyProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+};
+
+TEST_P(LinearFamilyProperty, FitsNoiselessLinearData) {
+  const auto& [name, seed] = GetParam();
+  const auto p = make_problem(300, 0.0, seed);
+  std::unique_ptr<Regressor> model;
+  if (name == "LR") model = std::make_unique<LinearRegression>();
+  if (name == "RR") model = std::make_unique<RidgeRegression>(1e-6);
+  if (name == "LaR") model = std::make_unique<LassoRegression>(1e-4);
+  if (name == "SGD") model = std::make_unique<SgdRegression>(0.02, 30000);
+  ASSERT_NE(model, nullptr);
+  model->fit(p.x, p.y);
+  const auto pred = model->predict(p.x);
+  EXPECT_LT(math::rmse(p.y, pred), 0.15) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndSeeds, LinearFamilyProperty,
+    ::testing::Combine(::testing::Values("LR", "RR", "LaR", "SGD"),
+                       ::testing::Values(11, 22, 33)));
+
+}  // namespace
+}  // namespace highrpm::ml

@@ -1,0 +1,205 @@
+#include "highrpm/ml/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "highrpm/math/metrics.hpp"
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::ml {
+namespace {
+
+TEST(Mlp, LearnsLinearFunction) {
+  math::Rng rng(1);
+  const std::size_t n = 400;
+  math::Matrix x(n, 2);
+  math::Matrix y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y(i, 0) = 3.0 * x(i, 0) - 2.0 * x(i, 1) + 5.0;
+  }
+  MlpConfig cfg;
+  cfg.hidden = {16};
+  cfg.epochs = 150;
+  Mlp net(cfg);
+  net.fit(x, y);
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = net.predict_one(x.row(i))[0];
+    err += (p - y(i, 0)) * (p - y(i, 0));
+  }
+  EXPECT_LT(std::sqrt(err / n), 0.3);
+}
+
+TEST(Mlp, LearnsNonlinearFunction) {
+  math::Rng rng(2);
+  const std::size_t n = 600;
+  math::Matrix x(n, 1);
+  math::Matrix y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-2, 2);
+    y(i, 0) = std::sin(2 * x(i, 0));
+  }
+  MlpConfig cfg;
+  cfg.hidden = {32};
+  cfg.epochs = 250;
+  Mlp net(cfg);
+  net.fit(x, y);
+  std::vector<double> truth(n), pred(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    truth[i] = y(i, 0);
+    pred[i] = net.predict_one(x.row(i))[0];
+  }
+  EXPECT_GT(math::r2(truth, pred), 0.9);
+}
+
+TEST(Mlp, MultiOutputLearnsBothHeads) {
+  math::Rng rng(3);
+  const std::size_t n = 500;
+  math::Matrix x(n, 2);
+  math::Matrix y(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y(i, 0) = 40.0 + 10.0 * x(i, 0);          // "P_CPU"-like
+    y(i, 1) = 10.0 + 3.0 * x(i, 1);           // "P_MEM"-like
+  }
+  MlpConfig cfg;
+  cfg.hidden = {16};
+  cfg.epochs = 150;
+  Mlp net(cfg);
+  net.fit(x, y);
+  EXPECT_EQ(net.output_dim(), 2u);
+  std::vector<double> t0(n), p0(n), t1(n), p1(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = net.predict_one(x.row(i));
+    t0[i] = y(i, 0);
+    p0[i] = p[0];
+    t1[i] = y(i, 1);
+    p1[i] = p[1];
+  }
+  EXPECT_GT(math::r2(t0, p0), 0.95);
+  EXPECT_GT(math::r2(t1, p1), 0.95);
+}
+
+TEST(Mlp, FineTuneImprovesOnShiftedData) {
+  math::Rng rng(4);
+  const std::size_t n = 300;
+  math::Matrix x(n, 1), y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    y(i, 0) = 2.0 * x(i, 0);
+  }
+  MlpConfig cfg;
+  cfg.hidden = {8};
+  cfg.epochs = 100;
+  Mlp net(cfg);
+  net.fit(x, y);
+  // Shifted regime: y = 2x + 4.
+  math::Matrix y2(n, 1);
+  for (std::size_t i = 0; i < n; ++i) y2(i, 0) = 2.0 * x(i, 0) + 4.0;
+  double before = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    before += std::fabs(net.predict_one(x.row(i))[0] - y2(i, 0));
+  }
+  net.fit(x, y2, /*reset=*/false, /*epochs_override=*/50);
+  double after = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    after += std::fabs(net.predict_one(x.row(i))[0] - y2(i, 0));
+  }
+  EXPECT_LT(after, before * 0.6);
+}
+
+TEST(Mlp, FineTuneRejectsDimensionChange) {
+  math::Matrix x(10, 2, 0.5), y(10, 1, 1.0);
+  Mlp net;
+  net.fit(x, y);
+  math::Matrix x3(10, 3, 0.5);
+  EXPECT_THROW(net.fit(x3, y, /*reset=*/false), std::invalid_argument);
+}
+
+TEST(Mlp, PredictBeforeFitThrows) {
+  Mlp net;
+  const std::vector<double> q{1.0};
+  EXPECT_THROW(net.predict_one(q), std::logic_error);
+}
+
+TEST(Mlp, DeterministicForFixedSeed) {
+  math::Rng rng(5);
+  math::Matrix x(100, 2), y(100, 1);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y(i, 0) = x(i, 0) + x(i, 1);
+  }
+  MlpConfig cfg;
+  cfg.seed = 7;
+  cfg.epochs = 30;
+  Mlp a(cfg), b(cfg);
+  a.fit(x, y);
+  b.fit(x, y);
+  EXPECT_DOUBLE_EQ(a.predict_one(x.row(0))[0], b.predict_one(x.row(0))[0]);
+}
+
+TEST(Mlp, ParameterCountMatchesArchitecture) {
+  MlpConfig cfg;
+  cfg.hidden = {4, 3};
+  Mlp net(cfg);
+  math::Matrix x(20, 5, 0.1), y(20, 2, 1.0);
+  net.fit(x, y);
+  // (5*4 + 4) + (4*3 + 3) + (3*2 + 2) = 24 + 15 + 8 = 47.
+  EXPECT_EQ(net.parameter_count(), 47u);
+}
+
+TEST(MlpRegressor, ImplementsRegressorInterface) {
+  math::Rng rng(6);
+  math::Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    y[i] = 5.0 * x(i, 0) + 1.0;
+  }
+  MlpConfig cfg;
+  cfg.epochs = 80;
+  MlpRegressor nn(cfg);
+  EXPECT_EQ(nn.name(), "NN");
+  nn.fit(x, y);
+  EXPECT_TRUE(nn.fitted());
+  EXPECT_GT(math::r2(y, nn.predict(x)), 0.95);
+  EXPECT_FALSE(nn.clone()->fitted());
+}
+
+// Property: all activations can fit a modest nonlinear target.
+class MlpActivationProperty : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(MlpActivationProperty, FitsQuadratic) {
+  math::Rng rng(8);
+  const std::size_t n = 400;
+  math::Matrix x(n, 1), y(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    y(i, 0) = x(i, 0) * x(i, 0);
+  }
+  MlpConfig cfg;
+  cfg.activation = GetParam();
+  cfg.hidden = {24};
+  cfg.epochs = 400;  // sigmoid converges slowly; give every activation room
+  cfg.learning_rate = 3e-3;
+  Mlp net(cfg);
+  net.fit(x, y);
+  std::vector<double> truth(n), pred(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    truth[i] = y(i, 0);
+    pred[i] = net.predict_one(x.row(i))[0];
+  }
+  EXPECT_GT(math::r2(truth, pred), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Activations, MlpActivationProperty,
+                         ::testing::Values(Activation::kReLU, Activation::kTanh,
+                                           Activation::kSigmoid));
+
+}  // namespace
+}  // namespace highrpm::ml

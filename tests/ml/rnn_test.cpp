@@ -1,0 +1,228 @@
+#include "highrpm/ml/rnn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "highrpm/math/metrics.hpp"
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::ml {
+namespace {
+
+/// Windows of a noisy AR(1)-like series whose label at each step is a
+/// deterministic function of the current feature plus the previous label —
+/// the structure DynamicTRR exploits.
+std::vector<data::SequenceSample> make_sequence_problem(std::size_t n_windows,
+                                                        std::size_t window,
+                                                        std::uint64_t seed) {
+  math::Rng rng(seed);
+  const std::size_t total = n_windows + window - 1;
+  math::Matrix f(total, 2);
+  std::vector<double> labels(total);
+  double prev = 50.0;
+  for (std::size_t t = 0; t < total; ++t) {
+    f(t, 0) = rng.uniform(0, 1);
+    f(t, 1) = prev;  // feed previous label as a feature
+    const double label = 0.8 * prev + 20.0 * f(t, 0);
+    labels[t] = label;
+    prev = label;
+  }
+  return data::make_windows(f, labels, window);
+}
+
+TEST(SequenceRegressor, ConfigValidation) {
+  RnnConfig bad;
+  bad.units = 0;
+  EXPECT_THROW(SequenceRegressor{bad}, std::invalid_argument);
+}
+
+TEST(SequenceRegressor, PredictBeforeFitThrows) {
+  SequenceRegressor m;
+  EXPECT_THROW(m.predict(math::Matrix(3, 2)), std::logic_error);
+}
+
+TEST(SequenceRegressor, EmptyFitThrows) {
+  SequenceRegressor m;
+  EXPECT_THROW(m.fit({}), std::invalid_argument);
+}
+
+TEST(SequenceRegressor, LstmLearnsAutoregressiveSeries) {
+  const auto samples = make_sequence_problem(120, 8, 1);
+  RnnConfig cfg;
+  cfg.cell = CellType::kLstm;
+  cfg.units = 4;
+  cfg.layers = 1;
+  cfg.epochs = 60;
+  SequenceRegressor m(cfg);
+  m.fit(samples);
+  // Evaluate on fresh windows from the same process.
+  const auto test = make_sequence_problem(40, 8, 2);
+  std::vector<double> truth, pred;
+  for (const auto& s : test) {
+    const auto p = m.predict(s.steps);
+    truth.insert(truth.end(), s.labels.begin(), s.labels.end());
+    pred.insert(pred.end(), p.begin(), p.end());
+  }
+  EXPECT_LT(math::mape(truth, pred), 12.0);
+}
+
+TEST(SequenceRegressor, GruLearnsAutoregressiveSeries) {
+  const auto samples = make_sequence_problem(120, 8, 3);
+  RnnConfig cfg;
+  cfg.cell = CellType::kGru;
+  cfg.units = 4;
+  cfg.layers = 1;
+  cfg.epochs = 60;
+  SequenceRegressor m(cfg);
+  m.fit(samples);
+  const auto test = make_sequence_problem(40, 8, 4);
+  std::vector<double> truth, pred;
+  for (const auto& s : test) {
+    const auto p = m.predict(s.steps);
+    truth.insert(truth.end(), s.labels.begin(), s.labels.end());
+    pred.insert(pred.end(), p.begin(), p.end());
+  }
+  EXPECT_LT(math::mape(truth, pred), 12.0);
+}
+
+TEST(SequenceRegressor, StackedLayersWork) {
+  const auto samples = make_sequence_problem(80, 6, 5);
+  RnnConfig cfg;
+  cfg.units = 2;
+  cfg.layers = 2;  // the paper's DynamicTRR depth
+  cfg.epochs = 50;
+  SequenceRegressor m(cfg);
+  m.fit(samples);
+  const auto p = m.predict(samples[0].steps);
+  EXPECT_EQ(p.size(), 6u);
+  for (const double v : p) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(SequenceRegressor, TrainingReducesError) {
+  const auto samples = make_sequence_problem(100, 8, 6);
+  RnnConfig short_cfg;
+  short_cfg.epochs = 1;
+  RnnConfig long_cfg;
+  long_cfg.epochs = 60;
+  SequenceRegressor m_short(short_cfg), m_long(long_cfg);
+  m_short.fit(samples);
+  m_long.fit(samples);
+  double err_short = 0.0, err_long = 0.0;
+  for (const auto& s : samples) {
+    const auto ps = m_short.predict(s.steps);
+    const auto pl = m_long.predict(s.steps);
+    for (std::size_t t = 0; t < s.labels.size(); ++t) {
+      err_short += std::fabs(ps[t] - s.labels[t]);
+      err_long += std::fabs(pl[t] - s.labels[t]);
+    }
+  }
+  EXPECT_LT(err_long, err_short);
+}
+
+TEST(SequenceRegressor, FineTuneAdaptsToShift) {
+  auto samples = make_sequence_problem(100, 8, 7);
+  RnnConfig cfg;
+  cfg.epochs = 40;
+  SequenceRegressor m(cfg);
+  m.fit(samples);
+  // Shift every label by +30 and fine-tune on a handful of windows.
+  for (auto& s : samples) {
+    for (auto& l : s.labels) l += 30.0;
+  }
+  double before = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto p = m.predict(samples[i].steps);
+    for (std::size_t t = 0; t < p.size(); ++t) {
+      before += std::fabs(p[t] - samples[i].labels[t]);
+    }
+  }
+  m.fit(std::span<const data::SequenceSample>(samples.data(), 30),
+        /*reset=*/false, /*epochs_override=*/20);
+  double after = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto p = m.predict(samples[i].steps);
+    for (std::size_t t = 0; t < p.size(); ++t) {
+      after += std::fabs(p[t] - samples[i].labels[t]);
+    }
+  }
+  EXPECT_LT(after, before);
+}
+
+TEST(SequenceRegressor, DeterministicForFixedSeed) {
+  const auto samples = make_sequence_problem(50, 6, 8);
+  RnnConfig cfg;
+  cfg.seed = 9;
+  cfg.epochs = 10;
+  SequenceRegressor a(cfg), b(cfg);
+  a.fit(samples);
+  b.fit(samples);
+  const auto pa = a.predict(samples[0].steps);
+  const auto pb = b.predict(samples[0].steps);
+  for (std::size_t t = 0; t < pa.size(); ++t) {
+    EXPECT_DOUBLE_EQ(pa[t], pb[t]);
+  }
+}
+
+TEST(SequenceRegressor, RaggedSamplesThrow) {
+  auto samples = make_sequence_problem(10, 6, 10);
+  samples[3].labels.pop_back();
+  SequenceRegressor m;
+  EXPECT_THROW(m.fit(samples), std::invalid_argument);
+}
+
+TEST(SequenceRegressor, PredictWidthMismatchThrows) {
+  const auto samples = make_sequence_problem(20, 6, 11);
+  RnnConfig cfg;
+  cfg.epochs = 2;
+  SequenceRegressor m(cfg);
+  m.fit(samples);
+  EXPECT_THROW(m.predict(math::Matrix(6, 5)), std::invalid_argument);
+}
+
+TEST(SequenceRegressor, ParameterCountPositiveAndCellDependent) {
+  const auto samples = make_sequence_problem(20, 6, 12);
+  RnnConfig lstm_cfg;
+  lstm_cfg.cell = CellType::kLstm;
+  lstm_cfg.epochs = 1;
+  RnnConfig gru_cfg = lstm_cfg;
+  gru_cfg.cell = CellType::kGru;
+  SequenceRegressor lstm(lstm_cfg), gru(gru_cfg);
+  lstm.fit(samples);
+  gru.fit(samples);
+  EXPECT_GT(lstm.parameter_count(), gru.parameter_count());  // 4 vs 3 gates
+  EXPECT_EQ(lstm.name(), "LSTM");
+  EXPECT_EQ(gru.name(), "GRU");
+}
+
+// Property: both cells at several widths produce finite, bounded predictions
+// on data within the training distribution.
+class RnnStability
+    : public ::testing::TestWithParam<std::tuple<CellType, std::size_t>> {};
+
+TEST_P(RnnStability, PredictionsAreFiniteAndBounded) {
+  const auto& [cell, units] = GetParam();
+  const auto samples = make_sequence_problem(60, 8, 13);
+  RnnConfig cfg;
+  cfg.cell = cell;
+  cfg.units = units;
+  cfg.epochs = 15;
+  SequenceRegressor m(cfg);
+  m.fit(samples);
+  for (std::size_t i = 0; i < samples.size(); i += 7) {
+    const auto p = m.predict(samples[i].steps);
+    for (const double v : p) {
+      ASSERT_TRUE(std::isfinite(v));
+      ASSERT_GT(v, -500.0);
+      ASSERT_LT(v, 1000.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CellsAndWidths, RnnStability,
+    ::testing::Combine(::testing::Values(CellType::kLstm, CellType::kGru),
+                       ::testing::Values(1u, 2u, 4u)));
+
+}  // namespace
+}  // namespace highrpm::ml

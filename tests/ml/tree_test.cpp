@@ -1,0 +1,154 @@
+#include "highrpm/ml/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "highrpm/math/metrics.hpp"
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::ml {
+namespace {
+
+TEST(DecisionTree, FitsStepFunctionExactly) {
+  // y = 1 if x < 0.5 else 5 — one split suffices.
+  math::Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = static_cast<double>(i) / 100.0;
+    y[i] = x(i, 0) < 0.5 ? 1.0 : 5.0;
+  }
+  DecisionTreeRegressor dt;
+  dt.fit(x, y);
+  const std::vector<double> lo{0.2}, hi{0.8};
+  EXPECT_DOUBLE_EQ(dt.predict_one(lo), 1.0);
+  EXPECT_DOUBLE_EQ(dt.predict_one(hi), 5.0);
+}
+
+TEST(DecisionTree, ConstantTargetIsSingleLeaf) {
+  math::Matrix x(10, 2, 1.0);
+  std::vector<double> y(10, 7.0);
+  DecisionTreeRegressor dt;
+  dt.fit(x, y);
+  EXPECT_EQ(dt.node_count(), 1u);
+  const std::vector<double> q{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(dt.predict_one(q), 7.0);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  math::Rng rng(1);
+  math::Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.uniform(0, 1);
+    y[i] = std::sin(10 * x(i, 0));
+  }
+  TreeConfig cfg;
+  cfg.max_depth = 3;
+  DecisionTreeRegressor dt(cfg);
+  dt.fit(x, y);
+  EXPECT_LE(dt.depth(), 3u);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  math::Rng rng(2);
+  math::Matrix x(64, 1);
+  std::vector<double> y(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    x(i, 0) = rng.uniform(0, 1);
+    y[i] = rng.uniform(0, 1);
+  }
+  TreeConfig cfg;
+  cfg.min_samples_leaf = 8;
+  cfg.min_samples_split = 16;
+  DecisionTreeRegressor dt(cfg);
+  dt.fit(x, y);
+  // With >= 8 samples per leaf on 64 samples, at most 8 leaves => <= 15 nodes.
+  EXPECT_LE(dt.node_count(), 15u);
+}
+
+TEST(DecisionTree, ApproximatesSmoothNonlinearity) {
+  math::Rng rng(3);
+  const std::size_t n = 800;
+  math::Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y[i] = x(i, 0) * x(i, 0) + std::tanh(2 * x(i, 1));
+  }
+  DecisionTreeRegressor dt;
+  dt.fit(x, y);
+  const auto pred = dt.predict(x);
+  EXPECT_GT(math::r2(y, pred), 0.9);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTreeRegressor dt;
+  const std::vector<double> q{1.0};
+  EXPECT_THROW(dt.predict_one(q), std::logic_error);
+}
+
+TEST(DecisionTree, FitSubsetUsesOnlyGivenRows) {
+  math::Matrix x(10, 1);
+  std::vector<double> y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = i < 5 ? 0.0 : 100.0;
+  }
+  // Subset only contains low-half rows -> tree must predict ~0 everywhere.
+  const std::vector<std::size_t> rows{0, 1, 2, 3, 4};
+  DecisionTreeRegressor dt;
+  dt.fit_subset(x, y, rows);
+  const std::vector<double> q{9.0};
+  EXPECT_DOUBLE_EQ(dt.predict_one(q), 0.0);
+}
+
+TEST(DecisionTree, DeterministicForFixedSeed) {
+  math::Rng rng(4);
+  math::Matrix x(100, 3);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.uniform(0, 1);
+    y[i] = x(i, 0) + 2 * x(i, 1);
+  }
+  DecisionTreeRegressor a, b;
+  a.fit(x, y);
+  b.fit(x, y);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.predict_one(x.row(i)), b.predict_one(x.row(i)));
+  }
+}
+
+// Property: training error decreases (weakly) as max_depth grows.
+class TreeDepthProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeDepthProperty, DeeperTreesFitTrainingDataBetter) {
+  math::Rng rng(GetParam());
+  const std::size_t n = 300;
+  math::Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y[i] = std::sin(3 * x(i, 0)) * std::cos(2 * x(i, 1)) + rng.normal(0, 0.05);
+  }
+  double prev = 1e18;
+  for (const std::size_t depth : {1u, 2u, 4u, 8u, 16u}) {
+    TreeConfig cfg;
+    cfg.max_depth = depth;
+    cfg.min_samples_leaf = 1;
+    cfg.min_samples_split = 2;
+    DecisionTreeRegressor dt(cfg);
+    dt.fit(x, y);
+    const double err = math::rmse(y, dt.predict(x));
+    EXPECT_LE(err, prev + 1e-9);
+    prev = err;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeDepthProperty,
+                         ::testing::Values(10, 20, 30, 40));
+
+}  // namespace
+}  // namespace highrpm::ml

@@ -1,0 +1,159 @@
+#include "highrpm/sim/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "highrpm/math/stats.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+namespace highrpm::sim {
+namespace {
+
+TEST(NodeSimulator, RejectsEmptyWorkload) {
+  Workload w;
+  w.name = "empty";
+  EXPECT_THROW(NodeSimulator(PlatformConfig::arm(), w, 1),
+               std::invalid_argument);
+}
+
+TEST(NodeSimulator, TimeAdvancesOneSecondPerTick) {
+  NodeSimulator node(PlatformConfig::arm(), workloads::fft(), 1);
+  EXPECT_DOUBLE_EQ(node.time(), 0.0);
+  const auto s0 = node.step();
+  EXPECT_DOUBLE_EQ(s0.time_s, 0.0);
+  const auto s1 = node.step();
+  EXPECT_DOUBLE_EQ(s1.time_s, 1.0);
+  EXPECT_DOUBLE_EQ(node.time(), 2.0);
+}
+
+TEST(NodeSimulator, DeterministicForSameSeed) {
+  NodeSimulator a(PlatformConfig::arm(), workloads::fft(), 42);
+  NodeSimulator b(PlatformConfig::arm(), workloads::fft(), 42);
+  for (int i = 0; i < 20; ++i) {
+    const auto sa = a.step();
+    const auto sb = b.step();
+    EXPECT_DOUBLE_EQ(sa.p_node_w, sb.p_node_w);
+    EXPECT_DOUBLE_EQ(sa.pmcs[0], sb.pmcs[0]);
+  }
+}
+
+TEST(NodeSimulator, NodePowerIsSumOfComponents) {
+  NodeSimulator node(PlatformConfig::arm(), workloads::stream(), 7);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = node.step();
+    EXPECT_NEAR(s.p_node_w, s.p_cpu_w + s.p_mem_w + s.p_other_w, 1e-9);
+  }
+}
+
+TEST(NodeSimulator, OtherPowerStaysNearConstant) {
+  // Paper §5.2: peripherals vary "within just under 1W" around 25 W.
+  NodeSimulator node(PlatformConfig::arm(), workloads::fft(), 8);
+  const auto trace = node.run(300);
+  const auto other = trace.other_power();
+  EXPECT_GT(math::min_value(other), 24.0);
+  EXPECT_LT(math::max_value(other), 26.0);
+}
+
+TEST(NodeSimulator, FftIsCpuDominant) {
+  // Fig 2 left: CPU power dominates for the compute-bound FFT.
+  NodeSimulator node(PlatformConfig::arm(), workloads::fft(), 9);
+  const auto trace = node.run(200);
+  const double cpu = math::mean(trace.cpu_power());
+  const double mem = math::mean(trace.mem_power());
+  EXPECT_GT(cpu, 2.0 * mem);
+  EXPECT_GT(cpu, 40.0);
+}
+
+TEST(NodeSimulator, StreamIsMemoryHeavy) {
+  // Fig 2 right: RAM power is the dominant dynamic component for Stream.
+  NodeSimulator fft_node(PlatformConfig::arm(), workloads::fft(), 10);
+  NodeSimulator stream_node(PlatformConfig::arm(), workloads::stream(), 10);
+  const auto fft_trace = fft_node.run(200);
+  const auto stream_trace = stream_node.run(200);
+  EXPECT_GT(math::mean(stream_trace.mem_power()),
+            2.0 * math::mean(fft_trace.mem_power()));
+  EXPECT_LT(math::mean(stream_trace.cpu_power()),
+            math::mean(fft_trace.cpu_power()));
+}
+
+TEST(NodeSimulator, BothBenchmarksNearNinetyWattNodeLine) {
+  // Fig 2: node-level average of both workloads sits around the 90 W line.
+  for (const auto& w : {workloads::fft(), workloads::stream()}) {
+    NodeSimulator node(PlatformConfig::arm(), w, 11);
+    const auto trace = node.run(300);
+    const double node_avg = math::mean(trace.node_power());
+    EXPECT_GT(node_avg, 70.0) << w.name;
+    EXPECT_LT(node_avg, 110.0) << w.name;
+  }
+}
+
+TEST(NodeSimulator, LowerFrequencyLowersPowerAndCycles) {
+  NodeSimulator hi(PlatformConfig::arm(), workloads::fft(), 12);
+  NodeSimulator lo(PlatformConfig::arm(), workloads::fft(), 12);
+  lo.set_frequency_level(0);
+  const auto t_hi = hi.run(100);
+  const auto t_lo = lo.run(100);
+  EXPECT_LT(math::mean(t_lo.cpu_power()), math::mean(t_hi.cpu_power()));
+  EXPECT_LT(math::mean(t_lo.pmc_series(PmcEvent::kCpuCycles)),
+            math::mean(t_hi.pmc_series(PmcEvent::kCpuCycles)));
+}
+
+TEST(NodeSimulator, InvalidFrequencyLevelThrows) {
+  NodeSimulator node(PlatformConfig::arm(), workloads::fft(), 13);
+  EXPECT_THROW(node.set_frequency_level(17), std::out_of_range);
+}
+
+TEST(NodeSimulator, PmcsAreNonNegativeAndConsistent) {
+  NodeSimulator node(PlatformConfig::arm(), workloads::graph500_bfs(), 14);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = node.step();
+    for (const double v : s.pmcs) EXPECT_GE(v, 0.0);
+    // Cache hierarchy: L1 >= L2 >= L3 traffic (miss ratios < 1), with slack
+    // for per-counter jitter.
+    const auto at = [&](PmcEvent e) {
+      return s.pmcs[static_cast<std::size_t>(e)];
+    };
+    EXPECT_GT(at(PmcEvent::kL1DCacheLd) * 1.1, at(PmcEvent::kL2DCacheLd));
+    EXPECT_GT(at(PmcEvent::kL2DCacheLd) * 1.1, at(PmcEvent::kL3DCacheLd));
+  }
+}
+
+TEST(NodeSimulator, PowerCorrelatesWithCycles) {
+  // The PMC->power relationship the models rely on must exist in the data.
+  NodeSimulator node(PlatformConfig::arm(), workloads::graph500_bfs(), 15);
+  const auto trace = node.run(400);
+  const double corr = math::pearson(trace.pmc_series(PmcEvent::kCpuCycles),
+                                    trace.cpu_power());
+  EXPECT_GT(corr, 0.8);
+}
+
+TEST(NodeSimulator, Graph500HasSpikes) {
+  // Fig 1's premise: BFS power has sharp spikes on top of its trend.
+  NodeSimulator node(PlatformConfig::arm(), workloads::graph500_bfs(), 16);
+  const auto trace = node.run(600);
+  const auto p = trace.node_power();
+  const double avg = math::mean(p);
+  const double peak = math::max_value(p);
+  EXPECT_GT(peak, avg * 1.12);
+}
+
+class MultiWorkloadProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MultiWorkloadProperty, PowerAlwaysPhysical) {
+  const auto w = workloads::by_name(GetParam());
+  NodeSimulator node(PlatformConfig::arm(), w, 17);
+  const auto trace = node.run(150);
+  for (const auto& s : trace.samples()) {
+    EXPECT_GT(s.p_cpu_w, 0.0);
+    EXPECT_GT(s.p_mem_w, 0.0);
+    EXPECT_GT(s.p_other_w, 20.0);
+    EXPECT_LT(s.p_node_w, 300.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, MultiWorkloadProperty,
+                         ::testing::Values("fft", "stream", "graph500-bfs",
+                                           "hpl-ai", "smg2000", "hpcg",
+                                           "mcf", "canneal"));
+
+}  // namespace
+}  // namespace highrpm::sim

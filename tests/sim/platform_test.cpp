@@ -1,0 +1,40 @@
+#include "highrpm/sim/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace highrpm::sim {
+namespace {
+
+TEST(Platform, ArmPresetMatchesPaper) {
+  const auto p = PlatformConfig::arm();
+  EXPECT_EQ(p.num_cores, 64u);  // §5.1: 64-core ARMv8
+  ASSERT_EQ(p.freq_levels_ghz.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.freq_levels_ghz[0], 1.4);  // §6.4.2: min
+  EXPECT_DOUBLE_EQ(p.freq_levels_ghz[1], 1.8);  // mid
+  EXPECT_DOUBLE_EQ(p.freq_levels_ghz[2], 2.2);  // max
+  EXPECT_DOUBLE_EQ(p.frequency_ghz(p.default_freq_level), 2.2);
+  EXPECT_NEAR(p.power.other_idle_w, 25.0, 1e-9);  // §5.2: P_Other ~ 25 W
+}
+
+TEST(Platform, X86PresetIsFasterAndNoisier) {
+  const auto arm = PlatformConfig::arm();
+  const auto x86 = PlatformConfig::x86();
+  EXPECT_GT(x86.max_frequency_ghz(), arm.max_frequency_ghz());  // 2.6 vs 2.2
+  EXPECT_GT(x86.power.cpu_noise_w, arm.power.cpu_noise_w);
+  EXPECT_NE(x86.name, arm.name);
+}
+
+TEST(Platform, InvalidFrequencyLevelThrows) {
+  const auto p = PlatformConfig::arm();
+  EXPECT_THROW(p.frequency_ghz(99), std::out_of_range);
+}
+
+TEST(Platform, VoltageScalesWithFrequency) {
+  const auto p = PlatformConfig::arm();
+  // Higher frequency -> higher supply voltage (the V^2 f superlinearity the
+  // Fig-9 experiment depends on).
+  EXPECT_GT(p.power.volt_slope, 0.0);
+}
+
+}  // namespace
+}  // namespace highrpm::sim

@@ -1,0 +1,99 @@
+#include "highrpm/sim/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace highrpm::sim {
+namespace {
+
+PmcVector activity(double util, double ipc, double mem_rate,
+                   const PlatformConfig& p, std::size_t level) {
+  PmcVector v{};
+  const double f_hz = p.frequency_ghz(level) * 1e9;
+  const double cycles = static_cast<double>(p.num_cores) * f_hz * util;
+  const double inst = cycles * ipc;
+  v[static_cast<std::size_t>(PmcEvent::kCpuCycles)] = cycles;
+  v[static_cast<std::size_t>(PmcEvent::kInstRetired)] = inst;
+  v[static_cast<std::size_t>(PmcEvent::kL2DCacheLd)] = inst * 0.02;
+  v[static_cast<std::size_t>(PmcEvent::kL3DCacheLd)] = inst * 0.006;
+  v[static_cast<std::size_t>(PmcEvent::kMemAccess)] = mem_rate;
+  v[static_cast<std::size_t>(PmcEvent::kBusAccess)] = mem_rate * 1.6;
+  return v;
+}
+
+TEST(PowerModel, IdleActivityGivesIdlePower) {
+  const auto p = PlatformConfig::arm();
+  const PmcVector zero{};
+  const auto power = compute_component_power(p, zero, 2);
+  EXPECT_NEAR(power.cpu_w, p.power.cpu_idle_w, 1e-9);
+  EXPECT_NEAR(power.mem_w, p.power.mem_idle_w, 1e-9);
+}
+
+TEST(PowerModel, CpuPowerMonotonicInUtilization) {
+  const auto p = PlatformConfig::arm();
+  double prev = 0.0;
+  for (const double util : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const auto power =
+        compute_component_power(p, activity(util, 1.5, 1e8, p, 2), 2);
+    EXPECT_GT(power.cpu_w, prev);
+    prev = power.cpu_w;
+  }
+}
+
+TEST(PowerModel, MemPowerMonotonicAndSaturating) {
+  const auto p = PlatformConfig::arm();
+  // Equally spaced rates: monotone increasing power with decreasing
+  // increments (concave saturation). The bus term is linear, which preserves
+  // concavity of the sum.
+  double prev = 0.0, prev_delta = 1e18;
+  bool first = true;
+  for (const double rate : {0.5e9, 1.0e9, 1.5e9, 2.0e9, 2.5e9}) {
+    const auto power =
+        compute_component_power(p, activity(0.5, 1.5, rate, p, 2), 2);
+    if (!first) {
+      EXPECT_GT(power.mem_w, prev);
+      const double delta = power.mem_w - prev;
+      EXPECT_LT(delta, prev_delta);  // concave roll-off
+      prev_delta = delta;
+    }
+    prev = power.mem_w;
+    first = false;
+  }
+}
+
+TEST(PowerModel, HigherFrequencyCostsMorePowerForSameUtilization) {
+  const auto p = PlatformConfig::arm();
+  // Same busy-core count at both frequencies (activity scaled to match).
+  const auto low = compute_component_power(p, activity(0.8, 1.5, 1e8, p, 0), 0);
+  const auto high = compute_component_power(p, activity(0.8, 1.5, 1e8, p, 2), 2);
+  EXPECT_GT(high.cpu_w, low.cpu_w);
+}
+
+TEST(PowerModel, SupplyVoltageIsAffine) {
+  const auto p = PlatformConfig::arm();
+  const double v1 = supply_voltage(p.power, 1.0);
+  const double v2 = supply_voltage(p.power, 2.0);
+  const double v3 = supply_voltage(p.power, 3.0);
+  EXPECT_NEAR(v2 - v1, v3 - v2, 1e-12);
+  EXPECT_GT(v1, 0.0);
+}
+
+TEST(PowerModel, CpuDynamicPowerSaturates) {
+  const auto p = PlatformConfig::arm();
+  // Ridiculous activity must stay below idle + saturation ceiling.
+  const auto power =
+      compute_component_power(p, activity(1.0, 50.0, 1e8, p, 2), 2);
+  EXPECT_LT(power.cpu_w, p.power.cpu_idle_w + p.power.cpu_sat + 1e-9);
+}
+
+TEST(PowerModel, FullLoadArmCpuPowerInPlausibleRange) {
+  // Calibration: a compute-heavy full-load tick should land in the regime
+  // the paper's Fig 2 shows (node ~90 W with P_Other ~25 W).
+  const auto p = PlatformConfig::arm();
+  const auto power =
+      compute_component_power(p, activity(0.92, 2.2, 2e8, p, 2), 2);
+  EXPECT_GT(power.cpu_w, 40.0);
+  EXPECT_LT(power.cpu_w, 75.0);
+}
+
+}  // namespace
+}  // namespace highrpm::sim

@@ -1,0 +1,81 @@
+#include "highrpm/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace highrpm::sim {
+namespace {
+
+TickSample make_tick(double t, double cpu, double mem, double other) {
+  TickSample s;
+  s.time_s = t;
+  s.p_cpu_w = cpu;
+  s.p_mem_w = mem;
+  s.p_other_w = other;
+  s.p_node_w = cpu + mem + other;
+  s.pmcs[0] = t * 100.0;
+  return s;
+}
+
+TEST(Trace, EmptyTrace) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_DOUBLE_EQ(t.total_energy_j(), 0.0);
+  EXPECT_DOUBLE_EQ(t.peak_node_power(), 0.0);
+}
+
+TEST(Trace, ColumnsExtractCorrectly) {
+  Trace t;
+  t.push_back(make_tick(0, 30, 10, 25));
+  t.push_back(make_tick(1, 40, 12, 25));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.times()[1], 1.0);
+  EXPECT_DOUBLE_EQ(t.cpu_power()[1], 40.0);
+  EXPECT_DOUBLE_EQ(t.mem_power()[0], 10.0);
+  EXPECT_DOUBLE_EQ(t.other_power()[0], 25.0);
+  EXPECT_DOUBLE_EQ(t.node_power()[1], 77.0);
+  EXPECT_DOUBLE_EQ(t.pmc_series(PmcEvent::kCpuCycles)[1], 100.0);
+}
+
+TEST(Trace, EnergyIsSumOfNodePower) {
+  Trace t;
+  t.push_back(make_tick(0, 30, 10, 25));  // 65 W
+  t.push_back(make_tick(1, 40, 10, 25));  // 75 W
+  EXPECT_DOUBLE_EQ(t.total_energy_j(), 140.0);
+  EXPECT_DOUBLE_EQ(t.peak_node_power(), 75.0);
+}
+
+TEST(Trace, PmcMatrixShape) {
+  Trace t;
+  t.push_back(make_tick(0, 1, 1, 1));
+  t.push_back(make_tick(1, 1, 1, 1));
+  const auto m = t.pmc_matrix();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), kNumPmcEvents);
+  EXPECT_DOUBLE_EQ(m(1, 0), 100.0);
+}
+
+TEST(Trace, AppendShiftsTimestamps) {
+  Trace a;
+  a.push_back(make_tick(0, 1, 1, 1));
+  a.push_back(make_tick(1, 1, 1, 1));
+  Trace b;
+  b.push_back(make_tick(0, 2, 2, 2));
+  a.append(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[2].time_s, 2.0);
+  EXPECT_DOUBLE_EQ(a[2].p_cpu_w, 2.0);
+}
+
+TEST(PmcNames, AllDistinctAndNamed) {
+  for (std::size_t i = 0; i < kNumPmcEvents; ++i) {
+    EXPECT_FALSE(kPmcEventNames[i].empty());
+    for (std::size_t j = i + 1; j < kNumPmcEvents; ++j) {
+      EXPECT_NE(kPmcEventNames[i], kPmcEventNames[j]);
+    }
+  }
+  EXPECT_EQ(pmc_event_name(PmcEvent::kMemAccess), "MEM_ACCESS");
+}
+
+}  // namespace
+}  // namespace highrpm::sim

@@ -1,0 +1,101 @@
+#include "highrpm/workloads/suites.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace highrpm::workloads {
+namespace {
+
+TEST(Suites, SevenSuitesInTableOrder) {
+  const auto names = suite_names();
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(names[0], "SPEC");
+  EXPECT_EQ(names[6], "HPCG");
+}
+
+TEST(Suites, SuiteSizesMatchPaperTable3) {
+  EXPECT_EQ(suite("SPEC").size(), 43u);
+  EXPECT_EQ(suite("PARSEC").size(), 36u);
+  EXPECT_EQ(suite("HPCC").size(), 12u);
+  EXPECT_EQ(suite("Graph500").size(), 2u);
+  EXPECT_EQ(suite("HPL-AI").size(), 1u);
+  EXPECT_EQ(suite("SMG2000").size(), 1u);
+  EXPECT_EQ(suite("HPCG").size(), 1u);
+}
+
+TEST(Suites, FullSetIsNinetySix) {
+  const auto all = full_benchmark_set();
+  EXPECT_EQ(all.size(), 96u);  // §5.3: 96 benchmarks
+  std::set<std::string> names;
+  for (const auto& w : all) names.insert(w.name);
+  EXPECT_EQ(names.size(), 96u);  // all distinct
+}
+
+TEST(Suites, UnknownSuiteThrows) {
+  EXPECT_THROW(suite("NPB"), std::invalid_argument);
+}
+
+TEST(Suites, EveryWorkloadHasValidPhases) {
+  for (const auto& w : full_benchmark_set()) {
+    EXPECT_FALSE(w.phases.empty()) << w.name;
+    EXPECT_GT(w.total_phase_duration(), 0.0) << w.name;
+    for (const auto& p : w.phases) {
+      EXPECT_GT(p.duration_s, 0.0) << w.name;
+      EXPECT_GT(p.utilization, 0.0) << w.name;
+      EXPECT_LE(p.utilization, 1.0) << w.name;
+      EXPECT_GT(p.ipc, 0.0) << w.name;
+      EXPECT_GE(p.l1_miss, 0.0) << w.name;
+      EXPECT_LE(p.l1_miss, 1.0) << w.name;
+      EXPECT_LE(p.l3_miss, 1.0) << w.name;
+    }
+  }
+}
+
+TEST(Suites, GenerationIsDeterministic) {
+  const auto a = suite("SPEC");
+  const auto b = suite("SPEC");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    ASSERT_EQ(a[i].phases.size(), b[i].phases.size());
+    for (std::size_t p = 0; p < a[i].phases.size(); ++p) {
+      EXPECT_DOUBLE_EQ(a[i].phases[p].utilization,
+                       b[i].phases[p].utilization);
+    }
+  }
+}
+
+TEST(Suites, WorkloadsWithinSuiteDiffer) {
+  const auto spec = suite("SPEC");
+  // Distinct profiles: utilizations must not be all equal.
+  std::set<double> utils;
+  for (const auto& w : spec) utils.insert(w.phases[0].utilization);
+  EXPECT_GT(utils.size(), 30u);
+}
+
+TEST(Suites, ByNameFindsHandTunedWorkloads) {
+  EXPECT_EQ(by_name("fft").suite, "HPCC");
+  EXPECT_EQ(by_name("stream").suite, "HPCC");
+  EXPECT_EQ(by_name("graph500-bfs").suite, "Graph500");
+  EXPECT_THROW(by_name("not-a-benchmark"), std::invalid_argument);
+}
+
+TEST(Suites, StreamIsMoreMemoryBoundThanFft) {
+  const auto f = fft();
+  const auto s = stream();
+  const auto dram_frac = [](const sim::PhaseSpec& p) {
+    return (p.load_frac + p.store_frac) * p.l1_miss * p.l2_miss * p.l3_miss;
+  };
+  EXPECT_GT(dram_frac(s.phases[0]), 5.0 * dram_frac(f.phases[0]));
+}
+
+TEST(Suites, Graph500HasAlternatingPhases) {
+  const auto g = graph500_bfs();
+  ASSERT_EQ(g.phases.size(), 2u);
+  EXPECT_NE(g.phases[0].utilization, g.phases[1].utilization);
+  EXPECT_GT(g.phases[0].spike_rate_hz, 0.0);
+}
+
+}  // namespace
+}  // namespace highrpm::workloads
