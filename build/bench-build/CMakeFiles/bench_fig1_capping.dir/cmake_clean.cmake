@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_capping"
+  "../bench/bench_fig1_capping.pdb"
+  "CMakeFiles/bench_fig1_capping.dir/bench_fig1_capping.cpp.o"
+  "CMakeFiles/bench_fig1_capping.dir/bench_fig1_capping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_traces"
+  "../bench/bench_fig7_traces.pdb"
+  "CMakeFiles/bench_fig7_traces.dir/bench_fig7_traces.cpp.o"
+  "CMakeFiles/bench_fig7_traces.dir/bench_fig7_traces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

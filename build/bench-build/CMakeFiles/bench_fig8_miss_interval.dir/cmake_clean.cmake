@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_miss_interval"
+  "../bench/bench_fig8_miss_interval.pdb"
+  "CMakeFiles/bench_fig8_miss_interval.dir/bench_fig8_miss_interval.cpp.o"
+  "CMakeFiles/bench_fig8_miss_interval.dir/bench_fig8_miss_interval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_miss_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_frequency"
+  "../bench/bench_fig9_frequency.pdb"
+  "CMakeFiles/bench_fig9_frequency.dir/bench_fig9_frequency.cpp.o"
+  "CMakeFiles/bench_fig9_frequency.dir/bench_fig9_frequency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hyperparam"
+  "../bench/bench_hyperparam.pdb"
+  "CMakeFiles/bench_hyperparam.dir/bench_hyperparam.cpp.o"
+  "CMakeFiles/bench_hyperparam.dir/bench_hyperparam.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hyperparam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

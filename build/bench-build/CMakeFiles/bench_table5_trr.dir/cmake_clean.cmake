@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_trr"
+  "../bench/bench_table5_trr.pdb"
+  "CMakeFiles/bench_table5_trr.dir/bench_table5_trr.cpp.o"
+  "CMakeFiles/bench_table5_trr.dir/bench_table5_trr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_trr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_srr"
+  "../bench/bench_table7_srr.pdb"
+  "CMakeFiles/bench_table7_srr.dir/bench_table7_srr.cpp.o"
+  "CMakeFiles/bench_table7_srr.dir/bench_table7_srr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_srr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table9_x86"
+  "../bench/bench_table9_x86.pdb"
+  "CMakeFiles/bench_table9_x86.dir/bench_table9_x86.cpp.o"
+  "CMakeFiles/bench_table9_x86.dir/bench_table9_x86.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common.cpp" "bench-build/CMakeFiles/highrpm_bench_common.dir/common.cpp.o" "gcc" "bench-build/CMakeFiles/highrpm_bench_common.dir/common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/highrpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/capping/CMakeFiles/highrpm_capping.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/highrpm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/highrpm_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/highrpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/highrpm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/highrpm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/highrpm_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

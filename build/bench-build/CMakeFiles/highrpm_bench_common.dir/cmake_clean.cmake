@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highrpm_bench_common.dir/common.cpp.o"
+  "CMakeFiles/highrpm_bench_common.dir/common.cpp.o.d"
+  "libhighrpm_bench_common.a"
+  "libhighrpm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highrpm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhighrpm_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/component_breakdown.dir/component_breakdown.cpp.o"
+  "CMakeFiles/component_breakdown.dir/component_breakdown.cpp.o.d"
+  "component_breakdown"
+  "component_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/component_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

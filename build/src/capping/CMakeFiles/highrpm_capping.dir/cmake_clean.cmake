@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highrpm_capping.dir/capper.cpp.o"
+  "CMakeFiles/highrpm_capping.dir/capper.cpp.o.d"
+  "libhighrpm_capping.a"
+  "libhighrpm_capping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highrpm_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

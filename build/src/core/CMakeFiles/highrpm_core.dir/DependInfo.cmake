@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dynamic_trr.cpp" "src/core/CMakeFiles/highrpm_core.dir/dynamic_trr.cpp.o" "gcc" "src/core/CMakeFiles/highrpm_core.dir/dynamic_trr.cpp.o.d"
+  "/root/repo/src/core/highrpm.cpp" "src/core/CMakeFiles/highrpm_core.dir/highrpm.cpp.o" "gcc" "src/core/CMakeFiles/highrpm_core.dir/highrpm.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/highrpm_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/highrpm_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/sampler.cpp" "src/core/CMakeFiles/highrpm_core.dir/sampler.cpp.o" "gcc" "src/core/CMakeFiles/highrpm_core.dir/sampler.cpp.o.d"
+  "/root/repo/src/core/srr.cpp" "src/core/CMakeFiles/highrpm_core.dir/srr.cpp.o" "gcc" "src/core/CMakeFiles/highrpm_core.dir/srr.cpp.o.d"
+  "/root/repo/src/core/static_trr.cpp" "src/core/CMakeFiles/highrpm_core.dir/static_trr.cpp.o" "gcc" "src/core/CMakeFiles/highrpm_core.dir/static_trr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/highrpm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/highrpm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/highrpm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/highrpm_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/highrpm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/highrpm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highrpm_core.dir/dynamic_trr.cpp.o"
+  "CMakeFiles/highrpm_core.dir/dynamic_trr.cpp.o.d"
+  "CMakeFiles/highrpm_core.dir/highrpm.cpp.o"
+  "CMakeFiles/highrpm_core.dir/highrpm.cpp.o.d"
+  "CMakeFiles/highrpm_core.dir/protocol.cpp.o"
+  "CMakeFiles/highrpm_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/highrpm_core.dir/sampler.cpp.o"
+  "CMakeFiles/highrpm_core.dir/sampler.cpp.o.d"
+  "CMakeFiles/highrpm_core.dir/srr.cpp.o"
+  "CMakeFiles/highrpm_core.dir/srr.cpp.o.d"
+  "CMakeFiles/highrpm_core.dir/static_trr.cpp.o"
+  "CMakeFiles/highrpm_core.dir/static_trr.cpp.o.d"
+  "libhighrpm_core.a"
+  "libhighrpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highrpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

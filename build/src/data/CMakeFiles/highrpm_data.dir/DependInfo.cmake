@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cpp" "src/data/CMakeFiles/highrpm_data.dir/csv.cpp.o" "gcc" "src/data/CMakeFiles/highrpm_data.dir/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/highrpm_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/highrpm_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/scaler.cpp" "src/data/CMakeFiles/highrpm_data.dir/scaler.cpp.o" "gcc" "src/data/CMakeFiles/highrpm_data.dir/scaler.cpp.o.d"
+  "/root/repo/src/data/split.cpp" "src/data/CMakeFiles/highrpm_data.dir/split.cpp.o" "gcc" "src/data/CMakeFiles/highrpm_data.dir/split.cpp.o.d"
+  "/root/repo/src/data/window.cpp" "src/data/CMakeFiles/highrpm_data.dir/window.cpp.o" "gcc" "src/data/CMakeFiles/highrpm_data.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/highrpm_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

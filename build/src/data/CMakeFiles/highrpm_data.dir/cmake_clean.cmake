@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highrpm_data.dir/csv.cpp.o"
+  "CMakeFiles/highrpm_data.dir/csv.cpp.o.d"
+  "CMakeFiles/highrpm_data.dir/dataset.cpp.o"
+  "CMakeFiles/highrpm_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/highrpm_data.dir/scaler.cpp.o"
+  "CMakeFiles/highrpm_data.dir/scaler.cpp.o.d"
+  "CMakeFiles/highrpm_data.dir/split.cpp.o"
+  "CMakeFiles/highrpm_data.dir/split.cpp.o.d"
+  "CMakeFiles/highrpm_data.dir/window.cpp.o"
+  "CMakeFiles/highrpm_data.dir/window.cpp.o.d"
+  "libhighrpm_data.a"
+  "libhighrpm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highrpm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/matrix.cpp" "src/math/CMakeFiles/highrpm_math.dir/matrix.cpp.o" "gcc" "src/math/CMakeFiles/highrpm_math.dir/matrix.cpp.o.d"
+  "/root/repo/src/math/metrics.cpp" "src/math/CMakeFiles/highrpm_math.dir/metrics.cpp.o" "gcc" "src/math/CMakeFiles/highrpm_math.dir/metrics.cpp.o.d"
+  "/root/repo/src/math/rng.cpp" "src/math/CMakeFiles/highrpm_math.dir/rng.cpp.o" "gcc" "src/math/CMakeFiles/highrpm_math.dir/rng.cpp.o.d"
+  "/root/repo/src/math/solve.cpp" "src/math/CMakeFiles/highrpm_math.dir/solve.cpp.o" "gcc" "src/math/CMakeFiles/highrpm_math.dir/solve.cpp.o.d"
+  "/root/repo/src/math/spline.cpp" "src/math/CMakeFiles/highrpm_math.dir/spline.cpp.o" "gcc" "src/math/CMakeFiles/highrpm_math.dir/spline.cpp.o.d"
+  "/root/repo/src/math/stats.cpp" "src/math/CMakeFiles/highrpm_math.dir/stats.cpp.o" "gcc" "src/math/CMakeFiles/highrpm_math.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

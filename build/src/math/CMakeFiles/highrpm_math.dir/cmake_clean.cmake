@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highrpm_math.dir/matrix.cpp.o"
+  "CMakeFiles/highrpm_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/highrpm_math.dir/metrics.cpp.o"
+  "CMakeFiles/highrpm_math.dir/metrics.cpp.o.d"
+  "CMakeFiles/highrpm_math.dir/rng.cpp.o"
+  "CMakeFiles/highrpm_math.dir/rng.cpp.o.d"
+  "CMakeFiles/highrpm_math.dir/solve.cpp.o"
+  "CMakeFiles/highrpm_math.dir/solve.cpp.o.d"
+  "CMakeFiles/highrpm_math.dir/spline.cpp.o"
+  "CMakeFiles/highrpm_math.dir/spline.cpp.o.d"
+  "CMakeFiles/highrpm_math.dir/stats.cpp.o"
+  "CMakeFiles/highrpm_math.dir/stats.cpp.o.d"
+  "libhighrpm_math.a"
+  "libhighrpm_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highrpm_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/collector.cpp" "src/measure/CMakeFiles/highrpm_measure.dir/collector.cpp.o" "gcc" "src/measure/CMakeFiles/highrpm_measure.dir/collector.cpp.o.d"
+  "/root/repo/src/measure/direct.cpp" "src/measure/CMakeFiles/highrpm_measure.dir/direct.cpp.o" "gcc" "src/measure/CMakeFiles/highrpm_measure.dir/direct.cpp.o.d"
+  "/root/repo/src/measure/ipmi.cpp" "src/measure/CMakeFiles/highrpm_measure.dir/ipmi.cpp.o" "gcc" "src/measure/CMakeFiles/highrpm_measure.dir/ipmi.cpp.o.d"
+  "/root/repo/src/measure/pmc_sampler.cpp" "src/measure/CMakeFiles/highrpm_measure.dir/pmc_sampler.cpp.o" "gcc" "src/measure/CMakeFiles/highrpm_measure.dir/pmc_sampler.cpp.o.d"
+  "/root/repo/src/measure/rapl.cpp" "src/measure/CMakeFiles/highrpm_measure.dir/rapl.cpp.o" "gcc" "src/measure/CMakeFiles/highrpm_measure.dir/rapl.cpp.o.d"
+  "/root/repo/src/measure/trace_log.cpp" "src/measure/CMakeFiles/highrpm_measure.dir/trace_log.cpp.o" "gcc" "src/measure/CMakeFiles/highrpm_measure.dir/trace_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/highrpm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/highrpm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/highrpm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

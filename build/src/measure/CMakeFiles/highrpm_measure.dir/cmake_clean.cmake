@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highrpm_measure.dir/collector.cpp.o"
+  "CMakeFiles/highrpm_measure.dir/collector.cpp.o.d"
+  "CMakeFiles/highrpm_measure.dir/direct.cpp.o"
+  "CMakeFiles/highrpm_measure.dir/direct.cpp.o.d"
+  "CMakeFiles/highrpm_measure.dir/ipmi.cpp.o"
+  "CMakeFiles/highrpm_measure.dir/ipmi.cpp.o.d"
+  "CMakeFiles/highrpm_measure.dir/pmc_sampler.cpp.o"
+  "CMakeFiles/highrpm_measure.dir/pmc_sampler.cpp.o.d"
+  "CMakeFiles/highrpm_measure.dir/rapl.cpp.o"
+  "CMakeFiles/highrpm_measure.dir/rapl.cpp.o.d"
+  "CMakeFiles/highrpm_measure.dir/trace_log.cpp.o"
+  "CMakeFiles/highrpm_measure.dir/trace_log.cpp.o.d"
+  "libhighrpm_measure.a"
+  "libhighrpm_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highrpm_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/arima.cpp" "src/ml/CMakeFiles/highrpm_ml.dir/arima.cpp.o" "gcc" "src/ml/CMakeFiles/highrpm_ml.dir/arima.cpp.o.d"
+  "/root/repo/src/ml/baselines.cpp" "src/ml/CMakeFiles/highrpm_ml.dir/baselines.cpp.o" "gcc" "src/ml/CMakeFiles/highrpm_ml.dir/baselines.cpp.o.d"
+  "/root/repo/src/ml/ensemble.cpp" "src/ml/CMakeFiles/highrpm_ml.dir/ensemble.cpp.o" "gcc" "src/ml/CMakeFiles/highrpm_ml.dir/ensemble.cpp.o.d"
+  "/root/repo/src/ml/grid_search.cpp" "src/ml/CMakeFiles/highrpm_ml.dir/grid_search.cpp.o" "gcc" "src/ml/CMakeFiles/highrpm_ml.dir/grid_search.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/highrpm_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/highrpm_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/ml/CMakeFiles/highrpm_ml.dir/linear.cpp.o" "gcc" "src/ml/CMakeFiles/highrpm_ml.dir/linear.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/highrpm_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/highrpm_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/regressor.cpp" "src/ml/CMakeFiles/highrpm_ml.dir/regressor.cpp.o" "gcc" "src/ml/CMakeFiles/highrpm_ml.dir/regressor.cpp.o.d"
+  "/root/repo/src/ml/rnn.cpp" "src/ml/CMakeFiles/highrpm_ml.dir/rnn.cpp.o" "gcc" "src/ml/CMakeFiles/highrpm_ml.dir/rnn.cpp.o.d"
+  "/root/repo/src/ml/svr.cpp" "src/ml/CMakeFiles/highrpm_ml.dir/svr.cpp.o" "gcc" "src/ml/CMakeFiles/highrpm_ml.dir/svr.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/highrpm_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/highrpm_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/highrpm_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/highrpm_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highrpm_ml.dir/arima.cpp.o"
+  "CMakeFiles/highrpm_ml.dir/arima.cpp.o.d"
+  "CMakeFiles/highrpm_ml.dir/baselines.cpp.o"
+  "CMakeFiles/highrpm_ml.dir/baselines.cpp.o.d"
+  "CMakeFiles/highrpm_ml.dir/ensemble.cpp.o"
+  "CMakeFiles/highrpm_ml.dir/ensemble.cpp.o.d"
+  "CMakeFiles/highrpm_ml.dir/grid_search.cpp.o"
+  "CMakeFiles/highrpm_ml.dir/grid_search.cpp.o.d"
+  "CMakeFiles/highrpm_ml.dir/knn.cpp.o"
+  "CMakeFiles/highrpm_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/highrpm_ml.dir/linear.cpp.o"
+  "CMakeFiles/highrpm_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/highrpm_ml.dir/mlp.cpp.o"
+  "CMakeFiles/highrpm_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/highrpm_ml.dir/regressor.cpp.o"
+  "CMakeFiles/highrpm_ml.dir/regressor.cpp.o.d"
+  "CMakeFiles/highrpm_ml.dir/rnn.cpp.o"
+  "CMakeFiles/highrpm_ml.dir/rnn.cpp.o.d"
+  "CMakeFiles/highrpm_ml.dir/svr.cpp.o"
+  "CMakeFiles/highrpm_ml.dir/svr.cpp.o.d"
+  "CMakeFiles/highrpm_ml.dir/tree.cpp.o"
+  "CMakeFiles/highrpm_ml.dir/tree.cpp.o.d"
+  "libhighrpm_ml.a"
+  "libhighrpm_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highrpm_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/highrpm_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/highrpm_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/sim/CMakeFiles/highrpm_sim.dir/platform.cpp.o" "gcc" "src/sim/CMakeFiles/highrpm_sim.dir/platform.cpp.o.d"
+  "/root/repo/src/sim/power_model.cpp" "src/sim/CMakeFiles/highrpm_sim.dir/power_model.cpp.o" "gcc" "src/sim/CMakeFiles/highrpm_sim.dir/power_model.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/highrpm_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/highrpm_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/highrpm_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highrpm_sim.dir/node.cpp.o"
+  "CMakeFiles/highrpm_sim.dir/node.cpp.o.d"
+  "CMakeFiles/highrpm_sim.dir/platform.cpp.o"
+  "CMakeFiles/highrpm_sim.dir/platform.cpp.o.d"
+  "CMakeFiles/highrpm_sim.dir/power_model.cpp.o"
+  "CMakeFiles/highrpm_sim.dir/power_model.cpp.o.d"
+  "CMakeFiles/highrpm_sim.dir/trace.cpp.o"
+  "CMakeFiles/highrpm_sim.dir/trace.cpp.o.d"
+  "libhighrpm_sim.a"
+  "libhighrpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highrpm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highrpm_workloads.dir/suites.cpp.o"
+  "CMakeFiles/highrpm_workloads.dir/suites.cpp.o.d"
+  "libhighrpm_workloads.a"
+  "libhighrpm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highrpm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

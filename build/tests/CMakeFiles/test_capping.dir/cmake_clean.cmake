@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capping.dir/capping/capper_test.cpp.o"
+  "CMakeFiles/test_capping.dir/capping/capper_test.cpp.o.d"
+  "test_capping"
+  "test_capping.pdb"
+  "test_capping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/dynamic_trr_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/dynamic_trr_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/highrpm_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/highrpm_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/protocol_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/protocol_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sampler_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sampler_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/srr_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/srr_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/static_trr_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/static_trr_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

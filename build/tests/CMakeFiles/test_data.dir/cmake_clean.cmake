@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/data/csv_test.cpp.o"
+  "CMakeFiles/test_data.dir/data/csv_test.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/dataset_test.cpp.o"
+  "CMakeFiles/test_data.dir/data/dataset_test.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/scaler_test.cpp.o"
+  "CMakeFiles/test_data.dir/data/scaler_test.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/split_test.cpp.o"
+  "CMakeFiles/test_data.dir/data/split_test.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/window_test.cpp.o"
+  "CMakeFiles/test_data.dir/data/window_test.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+  "test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

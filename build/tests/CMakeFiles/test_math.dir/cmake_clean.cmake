@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math.dir/math/matrix_test.cpp.o"
+  "CMakeFiles/test_math.dir/math/matrix_test.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/metrics_test.cpp.o"
+  "CMakeFiles/test_math.dir/math/metrics_test.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/rng_test.cpp.o"
+  "CMakeFiles/test_math.dir/math/rng_test.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/solve_test.cpp.o"
+  "CMakeFiles/test_math.dir/math/solve_test.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/spline_test.cpp.o"
+  "CMakeFiles/test_math.dir/math/spline_test.cpp.o.d"
+  "CMakeFiles/test_math.dir/math/stats_test.cpp.o"
+  "CMakeFiles/test_math.dir/math/stats_test.cpp.o.d"
+  "test_math"
+  "test_math.pdb"
+  "test_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

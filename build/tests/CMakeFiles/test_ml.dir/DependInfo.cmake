@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/arima_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/arima_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/arima_test.cpp.o.d"
+  "/root/repo/tests/ml/baselines_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/baselines_test.cpp.o.d"
+  "/root/repo/tests/ml/ensemble_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/ensemble_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/ensemble_test.cpp.o.d"
+  "/root/repo/tests/ml/grid_search_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/grid_search_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/grid_search_test.cpp.o.d"
+  "/root/repo/tests/ml/knn_svr_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/knn_svr_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/knn_svr_test.cpp.o.d"
+  "/root/repo/tests/ml/linear_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/linear_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/linear_test.cpp.o.d"
+  "/root/repo/tests/ml/mlp_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/mlp_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/mlp_test.cpp.o.d"
+  "/root/repo/tests/ml/rnn_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/rnn_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/rnn_test.cpp.o.d"
+  "/root/repo/tests/ml/tree_test.cpp" "tests/CMakeFiles/test_ml.dir/ml/tree_test.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/tree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/highrpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/capping/CMakeFiles/highrpm_capping.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/highrpm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/highrpm_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/highrpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/highrpm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/highrpm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/highrpm_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/arima_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/arima_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/baselines_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/baselines_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/ensemble_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/ensemble_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/grid_search_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/grid_search_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/knn_svr_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/knn_svr_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/linear_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/linear_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/mlp_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/mlp_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/rnn_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/rnn_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/tree_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/tree_test.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+  "test_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
