@@ -2,6 +2,7 @@
 //
 // Paper headline: both benchmarks sit near the 90 W node line (peripherals
 // a constant ~25 W), but FFT is CPU-dominant while Stream is RAM-heavy.
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
 
   std::printf("Fig 2 reproduction: FFT vs Stream component power (%zu s)\n\n",
               ticks);
+  const auto wall_start = std::chrono::steady_clock::now();
   std::printf("%-10s %10s %10s %10s %10s\n", "workload", "node_avg_W",
               "cpu_avg_W", "mem_avg_W", "other_W");
 
@@ -42,6 +44,12 @@ int main(int argc, char** argv) {
         << traces[1][t].p_cpu_w << ',' << traces[1][t].p_mem_w << '\n';
   }
   std::printf("[csv] wrote bench_out/fig2_breakdown_series.csv\n");
+  bench::write_timing_csv(
+      "fig2_breakdown",
+      {bench::TaskTiming{
+          "total", std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count()}});
 
   const double fft_cpu = math::mean(traces[0].cpu_power());
   const double fft_mem = math::mean(traces[0].mem_power());

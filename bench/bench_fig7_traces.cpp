@@ -5,6 +5,7 @@
 // of the short-term structure each preserves. Paper headline: the spline is
 // precise at 10 s but loses short-term changes as the interval grows;
 // StaticTRR's PMC residual model keeps tracking them.
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   (void)opt;
   std::printf("Fig 7 reproduction: spline vs StaticTRR across "
               "miss_interval\n\n");
+  const auto wall_start = std::chrono::steady_clock::now();
 
   std::filesystem::create_directories("bench_out");
   std::ofstream csv("bench_out/fig7_traces.csv");
@@ -100,6 +102,12 @@ int main(int argc, char** argv) {
     csv << '\n';
   }
   std::printf("\n[csv] wrote bench_out/fig7_traces.csv\n");
+  bench::write_timing_csv(
+      "fig7_traces",
+      {bench::TaskTiming{
+          "total", std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count()}});
   std::printf("Shape check (paper Fig 7): spline fluctuation-tracking decays "
               "with the interval; StaticTRR retains more of it via the PMC "
               "residual model.\n");

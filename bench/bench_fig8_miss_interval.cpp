@@ -18,27 +18,38 @@ int main(int argc, char** argv) {
   opt.dynamic_trr_stride = 5;  // bound the per-interval retraining cost
   std::printf("Fig 8 reproduction: MAPE of node-power restoration vs "
               "miss_interval\n\n");
-  std::printf("%-14s %16s %16s\n", "miss_interval", "StaticTRR_MAPE%",
-              "DynamicTRR_MAPE%");
 
-  std::vector<bench::TableRow> rows;
+  // Each interval is a self-contained task: it collects its own corpus
+  // (the IPMI cadence changes with the interval) and evaluates both TRR
+  // variants on it.
+  std::vector<bench::ModelTask> tasks;
   for (const std::size_t interval : {10u, 30u, 60u, 100u}) {
-    bench::Options o = opt;
-    o.miss_interval = interval;
-    // Longer runs at coarser intervals so every run still carries enough
-    // IM readings to spline.
-    o.min_ticks_per_workload = std::max<std::size_t>(240, interval * 4);
-    o.samples_per_suite = o.min_ticks_per_workload;  // one budget per suite
-    core::ProtocolConfig pcfg = o.protocol(sim::PlatformConfig::arm());
-    const auto data = core::collect_all_suites(pcfg);
-    const auto unseen = core::make_unseen_splits(data);
-    const auto st = bench::eval_static_trr(unseen, o);
-    const auto dy = bench::eval_dynamic_trr(unseen, o);
-    std::printf("%-14zu %16.2f %16.2f\n", interval, st.mape, dy.mape);
-    rows.push_back(bench::TableRow{"interval", std::to_string(interval),
-                                   {st, dy}});
+    tasks.push_back(bench::ModelTask{
+        "interval", std::to_string(interval), [interval, &opt] {
+          bench::Options o = opt;
+          o.miss_interval = interval;
+          // Longer runs at coarser intervals so every run still carries
+          // enough IM readings to spline.
+          o.min_ticks_per_workload = std::max<std::size_t>(240, interval * 4);
+          o.samples_per_suite = o.min_ticks_per_workload;  // one per suite
+          core::ProtocolConfig pcfg = o.protocol(sim::PlatformConfig::arm());
+          const auto data = core::collect_all_suites(pcfg);
+          const auto unseen = core::make_unseen_splits(data);
+          return std::vector<math::MetricReport>{
+              bench::eval_static_trr(unseen, o),
+              bench::eval_dynamic_trr(unseen, o)};
+        }});
+  }
+  std::vector<bench::TaskTiming> timings;
+  const auto rows = bench::run_models_parallel(tasks, &timings);
+  std::printf("\n%-14s %16s %16s\n", "miss_interval", "StaticTRR_MAPE%",
+              "DynamicTRR_MAPE%");
+  for (const auto& r : rows) {
+    std::printf("%-14s %16.2f %16.2f\n", r.model.c_str(), r.cells[0].mape,
+                r.cells[1].mape);
   }
   bench::write_csv("fig8_miss_interval", {"statictrr", "dynamictrr"}, rows);
+  bench::write_timing_csv("fig8_miss_interval", timings);
 
   const double first = rows.front().cells[0].mape;
   const double last = rows.back().cells[0].mape;

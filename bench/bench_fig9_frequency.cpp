@@ -20,76 +20,90 @@ int main(int argc, char** argv) {
   std::printf("Fig 9 reproduction: Graph500 component-power MAPE per DVFS "
               "level\n\n");
 
-  measure::Collector collector;
   const char* level_names[3] = {"min(1.4GHz)", "mid(1.8GHz)", "max(2.2GHz)"};
-  std::printf("%-14s | %10s %10s | %13s %13s\n", "level", "HighRPM", "",
+  // One task per DVFS level; every seed below is a pure function of the
+  // level, so the three tasks are independent and thread-count-invariant.
+  std::vector<bench::ModelTask> tasks;
+  for (std::size_t level = 0; level < 3; ++level) {
+    tasks.push_back(bench::ModelTask{
+        "freq", level_names[level], [level, &platform, &opt] {
+          measure::Collector collector;
+          // Train at the matching frequency (the paper trains and evaluates at
+          // the same DVFS level).
+          std::vector<measure::CollectedRun> training;
+          std::uint64_t seed = 9000 + level * 10;
+          for (const char* name : {"fft", "stream", "hpl-ai", "hpcg", "canneal",
+                                   "mcf", "smg2000", "dgemm"}) {
+            training.push_back(collector.collect(
+                platform, workloads::by_name(name), 200, seed++, level));
+          }
+          core::HighRpmConfig cfg;
+          cfg.dynamic_trr.rnn.epochs = opt.rnn_epochs;
+          cfg.srr.epochs = opt.srr_epochs;
+          core::HighRpm highrpm(cfg);
+          highrpm.initial_learning(training);
+
+          // PMC-only NN baseline trained on the same data, one model per target.
+          const auto flat = core::flatten_runs(training);
+          auto nn_cpu = ml::make_baseline("NN", opt.seed);
+          auto nn_mem = ml::make_baseline("NN", opt.seed + 1);
+          nn_cpu->fit(flat.x, flat.p_cpu);
+          nn_mem->fit(flat.x, flat.p_mem);
+
+          // Average over several Graph500 realizations to damp run-to-run noise.
+          std::vector<double> cpu_truth, cpu_pred, mem_truth, mem_pred;
+          std::vector<double> base_cpu_pred, base_mem_pred;
+          for (std::uint64_t rep = 0; rep < 4; ++rep) {
+            const auto run = collector.collect(platform, workloads::graph500_bfs(),
+                                               300, 9100 + level * 7 + rep, level);
+            // Online monitoring mode (DynamicTRR + SRR): the instantaneous power
+            // prediction context of the frequency experiment.
+            highrpm.reset_stream();
+            const auto& features = run.dataset.features();
+            const auto nc = nn_cpu->predict(features);
+            const auto nm = nn_mem->predict(features);
+            for (std::size_t t = 0; t < run.num_ticks(); ++t) {
+              std::optional<double> reading;
+              if (run.measured[t]) reading = run.dataset.target("P_NODE")[t];
+              const auto est = highrpm.on_tick(features.row(t), reading);
+              cpu_truth.push_back(run.truth[t].p_cpu_w);
+              mem_truth.push_back(run.truth[t].p_mem_w);
+              cpu_pred.push_back(est.cpu_w);
+              mem_pred.push_back(est.mem_w);
+              base_cpu_pred.push_back(nc[t]);
+              base_mem_pred.push_back(nm[t]);
+            }
+          }
+          return std::vector<math::MetricReport>{
+              math::evaluate_metrics(cpu_truth, cpu_pred),
+              math::evaluate_metrics(mem_truth, mem_pred),
+              math::evaluate_metrics(cpu_truth, base_cpu_pred),
+              math::evaluate_metrics(mem_truth, base_mem_pred)};
+        }});
+  }
+  std::vector<bench::TaskTiming> timings;
+  const auto rows = bench::run_models_parallel(tasks, &timings);
+
+  std::printf("\n%-14s | %10s %10s | %13s %13s\n", "level", "HighRPM", "",
               "NN baseline", "");
   std::printf("%-14s | %10s %10s | %13s %13s\n", "", "cpu_MAPE%", "mem_MAPE%",
               "cpu_MAPE%", "mem_MAPE%");
-  std::vector<bench::TableRow> rows;
   double worst_gap = 1e9;
   std::vector<double> highrpm_cpu_by_level;
-  for (std::size_t level = 0; level < 3; ++level) {
-    // Train at the matching frequency (the paper trains and evaluates at
-    // the same DVFS level).
-    std::vector<measure::CollectedRun> training;
-    std::uint64_t seed = 9000 + level * 10;
-    for (const char* name : {"fft", "stream", "hpl-ai", "hpcg", "canneal",
-                             "mcf", "smg2000", "dgemm"}) {
-      training.push_back(collector.collect(
-          platform, workloads::by_name(name), 200, seed++, level));
-    }
-    core::HighRpmConfig cfg;
-    cfg.dynamic_trr.rnn.epochs = opt.rnn_epochs;
-    cfg.srr.epochs = opt.srr_epochs;
-    core::HighRpm highrpm(cfg);
-    highrpm.initial_learning(training);
-
-    // PMC-only NN baseline trained on the same data, one model per target.
-    const auto flat = core::flatten_runs(training);
-    auto nn_cpu = ml::make_baseline("NN", opt.seed);
-    auto nn_mem = ml::make_baseline("NN", opt.seed + 1);
-    nn_cpu->fit(flat.x, flat.p_cpu);
-    nn_mem->fit(flat.x, flat.p_mem);
-
-    // Average over several Graph500 realizations to damp run-to-run noise.
-    std::vector<double> cpu_truth, cpu_pred, mem_truth, mem_pred;
-    std::vector<double> base_cpu_pred, base_mem_pred;
-    for (std::uint64_t rep = 0; rep < 4; ++rep) {
-      const auto run = collector.collect(platform, workloads::graph500_bfs(),
-                                         300, 9100 + level * 7 + rep, level);
-      // Online monitoring mode (DynamicTRR + SRR): the instantaneous power
-      // prediction context of the frequency experiment.
-      highrpm.reset_stream();
-      const auto& features = run.dataset.features();
-      const auto nc = nn_cpu->predict(features);
-      const auto nm = nn_mem->predict(features);
-      for (std::size_t t = 0; t < run.num_ticks(); ++t) {
-        std::optional<double> reading;
-        if (run.measured[t]) reading = run.dataset.target("P_NODE")[t];
-        const auto est = highrpm.on_tick(features.row(t), reading);
-        cpu_truth.push_back(run.truth[t].p_cpu_w);
-        mem_truth.push_back(run.truth[t].p_mem_w);
-        cpu_pred.push_back(est.cpu_w);
-        mem_pred.push_back(est.mem_w);
-        base_cpu_pred.push_back(nc[t]);
-        base_mem_pred.push_back(nm[t]);
-      }
-    }
-    const auto cpu = math::evaluate_metrics(cpu_truth, cpu_pred);
-    const auto mem = math::evaluate_metrics(mem_truth, mem_pred);
-    const auto base_cpu = math::evaluate_metrics(cpu_truth, base_cpu_pred);
-    const auto base_mem = math::evaluate_metrics(mem_truth, base_mem_pred);
-    std::printf("%-14s | %10.2f %10.2f | %13.2f %13.2f\n", level_names[level],
+  for (const auto& r : rows) {
+    const auto& cpu = r.cells[0];
+    const auto& mem = r.cells[1];
+    const auto& base_cpu = r.cells[2];
+    const auto& base_mem = r.cells[3];
+    std::printf("%-14s | %10.2f %10.2f | %13.2f %13.2f\n", r.model.c_str(),
                 cpu.mape, mem.mape, base_cpu.mape, base_mem.mape);
-    rows.push_back(bench::TableRow{
-        "freq", level_names[level], {cpu, mem, base_cpu, base_mem}});
-    worst_gap = std::min(worst_gap,
-                         (base_cpu.mape - cpu.mape) + (base_mem.mape - mem.mape));
+    worst_gap = std::min(worst_gap, (base_cpu.mape - cpu.mape) +
+                                        (base_mem.mape - mem.mape));
     highrpm_cpu_by_level.push_back(cpu.mape + mem.mape);
   }
   bench::write_csv("fig9_frequency",
                    {"highrpm_cpu", "highrpm_mem", "nn_cpu", "nn_mem"}, rows);
+  bench::write_timing_csv("fig9_frequency", timings);
 
   std::printf("\nShape check (paper Fig 9: even the worst HighRPM level,\n"
               "~10%% CPU / ~14%% MEM, stays in a usable band):\n");

@@ -40,36 +40,44 @@ int main(int argc, char** argv) {
 
   // ---- DynamicTRR depth sweep ----
   std::printf("Hyperparameter sweep 1: DynamicTRR LSTM layer count\n");
-  std::printf("%-8s %12s\n", "layers", "node_MAPE%");
-  std::vector<bench::TableRow> lstm_rows;
+  std::vector<bench::ModelTask> lstm_tasks;
   for (const std::size_t layers : {1u, 2u, 3u, 4u, 6u}) {
-    core::DynamicTrrConfig cfg;
-    cfg.rnn.layers = layers;
-    cfg.rnn.epochs = opt.rnn_epochs;
-    core::DynamicTrr trr(cfg);
-    std::vector<math::Matrix> pmcs;
-    std::vector<std::vector<double>> labels;
-    for (const auto& run : training) {
-      pmcs.push_back(run.dataset.features());
-      labels.push_back(run.dataset.target("P_NODE"));
-    }
-    trr.train(pmcs, labels);
-    std::vector<double> truth, pred;
-    for (std::size_t t = 0; t < test.num_ticks(); ++t) {
-      std::optional<double> reading;
-      if (test.measured[t]) reading = test.dataset.target("P_NODE")[t];
-      const double e = trr.step(features.row(t), reading);
-      if (!test.measured[t]) {
-        truth.push_back(test.truth[t].p_node_w);
-        pred.push_back(e);
-      }
-    }
-    const auto report = math::evaluate_metrics(truth, pred);
-    std::printf("%-8zu %12.2f\n", layers, report.mape);
-    lstm_rows.push_back(
-        bench::TableRow{"lstm-depth", std::to_string(layers), {report}});
+    lstm_tasks.push_back(bench::ModelTask{
+        "lstm-depth", std::to_string(layers),
+        [layers, &training, &test, &features, &opt] {
+          core::DynamicTrrConfig cfg;
+          cfg.rnn.layers = layers;
+          cfg.rnn.epochs = opt.rnn_epochs;
+          core::DynamicTrr trr(cfg);
+          std::vector<math::Matrix> pmcs;
+          std::vector<std::vector<double>> labels;
+          for (const auto& run : training) {
+            pmcs.push_back(run.dataset.features());
+            labels.push_back(run.dataset.target("P_NODE"));
+          }
+          trr.train(pmcs, labels);
+          std::vector<double> truth, pred;
+          for (std::size_t t = 0; t < test.num_ticks(); ++t) {
+            std::optional<double> reading;
+            if (test.measured[t]) reading = test.dataset.target("P_NODE")[t];
+            const double e = trr.step(features.row(t), reading);
+            if (!test.measured[t]) {
+              truth.push_back(test.truth[t].p_node_w);
+              pred.push_back(e);
+            }
+          }
+          return std::vector<math::MetricReport>{
+              math::evaluate_metrics(truth, pred)};
+        }});
+  }
+  std::vector<bench::TaskTiming> lstm_timings;
+  const auto lstm_rows = bench::run_models_parallel(lstm_tasks, &lstm_timings);
+  std::printf("%-8s %12s\n", "layers", "node_MAPE%");
+  for (const auto& r : lstm_rows) {
+    std::printf("%-8s %12.2f\n", r.model.c_str(), r.cells[0].mape);
   }
   bench::write_csv("hyperparam_lstm_depth", {"node"}, lstm_rows);
+  bench::write_timing_csv("hyperparam_lstm_depth", lstm_timings);
 
   // ---- SRR hidden-depth sweep ----
   // Paper §6.4.3: "the influence of node power consumption on model
@@ -77,73 +85,92 @@ int main(int argc, char** argv) {
   // track is the with-P_Node advantage (without-MAPE minus with-MAPE) as a
   // function of depth.
   std::printf("\nHyperparameter sweep 2: SRR hidden-layer depth\n");
-  std::printf("%-8s %14s %17s %16s\n", "depth", "with_PNode_%",
-              "without_PNode_%", "PNode_advantage");
   core::StaticTrrConfig strr_cfg;
   const auto restored_node = core::restore_node_power(test, strr_cfg);
-  std::vector<bench::TableRow> srr_rows;
+  std::vector<bench::ModelTask> srr_tasks;
   for (const std::size_t depth : {1u, 2u, 3u, 4u}) {
-    double mape_with = 0.0, mape_without = 0.0;
-    for (const bool with_pnode : {true, false}) {
-      core::SrrConfig cfg;
-      cfg.hidden.assign(depth, 24);
-      cfg.epochs = opt.srr_epochs;
-      cfg.include_pnode = with_pnode;
-      core::Srr srr(cfg);
-      const auto set = core::build_srr_training_set(training, cfg, strr_cfg);
-      srr.fit(set.x, set.p_node, set.p_cpu, set.p_mem);
-      const auto est = srr.predict(features, restored_node);
-      std::vector<double> ct, cp, mt, mp;
-      for (std::size_t t = 0; t < test.num_ticks(); ++t) {
-        ct.push_back(test.truth[t].p_cpu_w);
-        cp.push_back(est[t].cpu_w);
-        mt.push_back(test.truth[t].p_mem_w);
-        mp.push_back(est[t].mem_w);
-      }
-      const double combined =
-          0.5 * (math::mape(ct, cp) + math::mape(mt, mp));
-      (with_pnode ? mape_with : mape_without) = combined;
-    }
-    std::printf("%-8zu %14.2f %17.2f %16.2f\n", depth, mape_with,
-                mape_without, mape_without - mape_with);
-    math::MetricReport w_rep, wo_rep;
-    w_rep.mape = mape_with;
-    wo_rep.mape = mape_without;
-    srr_rows.push_back(bench::TableRow{"srr-depth", std::to_string(depth),
-                                       {w_rep, wo_rep}});
+    srr_tasks.push_back(bench::ModelTask{
+        "srr-depth", std::to_string(depth),
+        [depth, &training, &test, &features, &restored_node, &strr_cfg,
+         &opt] {
+          double mape_with = 0.0, mape_without = 0.0;
+          for (const bool with_pnode : {true, false}) {
+            core::SrrConfig cfg;
+            cfg.hidden.assign(depth, 24);
+            cfg.epochs = opt.srr_epochs;
+            cfg.include_pnode = with_pnode;
+            core::Srr srr(cfg);
+            const auto set =
+                core::build_srr_training_set(training, cfg, strr_cfg);
+            srr.fit(set.x, set.p_node, set.p_cpu, set.p_mem);
+            const auto est = srr.predict(features, restored_node);
+            std::vector<double> ct, cp, mt, mp;
+            for (std::size_t t = 0; t < test.num_ticks(); ++t) {
+              ct.push_back(test.truth[t].p_cpu_w);
+              cp.push_back(est[t].cpu_w);
+              mt.push_back(test.truth[t].p_mem_w);
+              mp.push_back(est[t].mem_w);
+            }
+            const double combined =
+                0.5 * (math::mape(ct, cp) + math::mape(mt, mp));
+            (with_pnode ? mape_with : mape_without) = combined;
+          }
+          math::MetricReport w_rep, wo_rep;
+          w_rep.mape = mape_with;
+          wo_rep.mape = mape_without;
+          return std::vector<math::MetricReport>{w_rep, wo_rep};
+        }});
+  }
+  std::vector<bench::TaskTiming> srr_timings;
+  const auto srr_rows = bench::run_models_parallel(srr_tasks, &srr_timings);
+  std::printf("%-8s %14s %17s %16s\n", "depth", "with_PNode_%",
+              "without_PNode_%", "PNode_advantage");
+  for (const auto& r : srr_rows) {
+    std::printf("%-8s %14.2f %17.2f %16.2f\n", r.model.c_str(),
+                r.cells[0].mape, r.cells[1].mape,
+                r.cells[1].mape - r.cells[0].mape);
   }
   bench::write_csv("hyperparam_srr_depth", {"with_pnode", "without_pnode"},
                    srr_rows);
+  bench::write_timing_csv("hyperparam_srr_depth", srr_timings);
 
   // ---- StaticTRR alpha/beta ablation ----
   std::printf("\nHyperparameter sweep 3: StaticTRR Algorithm-1 thresholds\n");
-  std::printf("%-8s %-8s %12s\n", "alpha", "beta", "node_MAPE%");
-  std::vector<bench::TableRow> ab_rows;
+  std::vector<bench::ModelTask> ab_tasks;
   for (const double alpha : {0.05, 0.1, 0.2}) {
     for (const double beta : {0.3, 0.5, 0.8}) {
-      core::StaticTrrConfig cfg;
-      cfg.alpha = alpha;
-      cfg.beta = beta;
-      core::StaticTrr trr(cfg);
-      std::vector<std::size_t> idx;
-      std::vector<double> power;
-      for (const auto& r : test.ipmi_readings) {
-        idx.push_back(r.tick_index);
-        power.push_back(r.power_w);
-      }
-      const auto times = test.truth.times();
-      trr.fit(features, times, idx, power);
-      const auto restored = trr.restore(features, times);
-      std::vector<double> truth, pred;
-      bench::accumulate_restored(test, restored.merged, truth, pred);
-      const auto report = math::evaluate_metrics(truth, pred);
-      std::printf("%-8.2f %-8.2f %12.2f\n", alpha, beta, report.mape);
       char label[32];
       std::snprintf(label, sizeof(label), "a%.2f_b%.2f", alpha, beta);
-      ab_rows.push_back(bench::TableRow{"alpha-beta", label, {report}});
+      ab_tasks.push_back(bench::ModelTask{
+          "alpha-beta", label, [alpha, beta, &test, &features] {
+            core::StaticTrrConfig cfg;
+            cfg.alpha = alpha;
+            cfg.beta = beta;
+            core::StaticTrr trr(cfg);
+            std::vector<std::size_t> idx;
+            std::vector<double> power;
+            for (const auto& r : test.ipmi_readings) {
+              idx.push_back(r.tick_index);
+              power.push_back(r.power_w);
+            }
+            const auto times = test.truth.times();
+            trr.fit(features, times, idx, power);
+            const auto restored = trr.restore(features, times);
+            std::vector<double> truth, pred;
+            bench::accumulate_restored(test, restored.merged, truth, pred);
+            return std::vector<math::MetricReport>{
+                math::evaluate_metrics(truth, pred)};
+          }});
     }
   }
+  std::vector<bench::TaskTiming> ab_timings;
+  const auto ab_rows = bench::run_models_parallel(ab_tasks, &ab_timings);
+  std::printf("%-8s %12s\n", "alpha_beta", "node_MAPE%");
+  for (const auto& r : ab_rows) {
+    std::printf("%-12s %12.2f\n", r.model.c_str(), r.cells[0].mape);
+  }
   bench::write_csv("hyperparam_alpha_beta", {"node"}, ab_rows);
+  bench::write_timing_csv("hyperparam_alpha_beta", ab_timings);
 
   std::printf("\nShape check (paper §6.4.3): shallow recurrent stacks (~2 "
               "layers) and a single SRR hidden layer are at or near the "

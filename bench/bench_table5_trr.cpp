@@ -8,6 +8,7 @@
 
 #include "common.hpp"
 #include "highrpm/ml/baselines.hpp"
+#include "highrpm/runtime/thread_pool.hpp"
 
 using namespace highrpm;
 
@@ -22,37 +23,44 @@ int main(int argc, char** argv) {
   const auto seen = core::make_seen_splits(data, 0.25);
   const auto unseen = core::make_unseen_splits(data);
 
-  std::vector<bench::TableRow> rows;
-  const auto add = [&](const std::string& type, const std::string& model,
-                       const math::MetricReport& s,
-                       const math::MetricReport& u) {
-    rows.push_back(bench::TableRow{type, model, {s, u}});
-    std::printf("  %-10s %-12s seen %6.2f%%  unseen %6.2f%%\n", type.c_str(),
-                model.c_str(), s.mape, u.mape);
-  };
-
-  std::printf("Evaluating pointwise baselines...\n");
+  std::vector<bench::ModelTask> tasks;
   const std::vector<std::pair<std::string, std::string>> pointwise = {
       {"Linear", "LR"},    {"Linear", "LaR"},    {"Linear", "RR"},
       {"Linear", "SGD"},   {"Nonlinear", "DT"},  {"Nonlinear", "RF"},
       {"Nonlinear", "GB"}, {"Nonlinear", "KNN"}, {"Nonlinear", "SVM"},
       {"Nonlinear", "NN"}};
   for (const auto& [type, model] : pointwise) {
-    add(type, model, bench::eval_pointwise(model, seen, "P_NODE", opt),
-        bench::eval_pointwise(model, unseen, "P_NODE", opt));
+    tasks.push_back(bench::ModelTask{
+        type, model, [model = model, &seen, &unseen, &opt] {
+          return std::vector<math::MetricReport>{
+              bench::eval_pointwise(model, seen, "P_NODE", opt),
+              bench::eval_pointwise(model, unseen, "P_NODE", opt)};
+        }});
   }
-  std::printf("Evaluating RNN baselines...\n");
   for (const std::string model : {"GRU", "LSTM"}) {
-    add("RNN", model, bench::eval_rnn(model, seen, "P_NODE", opt),
-        bench::eval_rnn(model, unseen, "P_NODE", opt));
+    tasks.push_back(bench::ModelTask{
+        "RNN", model, [model, &seen, &unseen, &opt] {
+          return std::vector<math::MetricReport>{
+              bench::eval_rnn(model, seen, "P_NODE", opt),
+              bench::eval_rnn(model, unseen, "P_NODE", opt)};
+        }});
   }
-  std::printf("Evaluating DynamicTRR...\n");
-  add("TRR", "DynamicTRR", bench::eval_dynamic_trr(seen, opt),
-      bench::eval_dynamic_trr(unseen, opt));
+  tasks.push_back(bench::ModelTask{"TRR", "DynamicTRR", [&seen, &unseen,
+                                                         &opt] {
+    return std::vector<math::MetricReport>{bench::eval_dynamic_trr(seen, opt),
+                                           bench::eval_dynamic_trr(unseen,
+                                                                   opt)};
+  }});
+
+  std::printf("Evaluating %zu models on %zu threads...\n", tasks.size(),
+              runtime::thread_count());
+  std::vector<bench::TaskTiming> timings;
+  const auto rows = bench::run_models_parallel(tasks, &timings);
 
   bench::print_table("Table 5: node power, TRR vs baselines",
                      {"Seen application", "Unseen application"}, rows);
   bench::write_csv("table5_trr", {"seen", "unseen"}, rows);
+  bench::write_timing_csv("table5_trr", timings);
 
   // Shape check against the paper.
   const auto& trr = rows.back();

@@ -19,27 +19,34 @@ int main(int argc, char** argv) {
   const auto seen = core::make_seen_splits(data, 0.25);
   const auto unseen = core::make_unseen_splits(data);
 
-  std::vector<bench::TableRow> rows;
-  std::printf("Evaluating ARIMA...\n");
-  rows.push_back(bench::TableRow{"Interp", "ARIMA",
-                                 {bench::eval_arima(seen, opt),
-                                  bench::eval_arima(unseen, opt)}});
-  std::printf("Evaluating spline...\n");
-  rows.push_back(bench::TableRow{"TRR", "Spline",
-                                 {bench::eval_spline(seen, opt),
-                                  bench::eval_spline(unseen, opt)}});
-  std::printf("Evaluating StaticTRR...\n");
-  rows.push_back(bench::TableRow{"TRR", "StaticTRR",
-                                 {bench::eval_static_trr(seen, opt),
-                                  bench::eval_static_trr(unseen, opt)}});
-  std::printf("Evaluating DynamicTRR...\n");
-  rows.push_back(bench::TableRow{"TRR", "DynamicTRR",
-                                 {bench::eval_dynamic_trr(seen, opt),
-                                  bench::eval_dynamic_trr(unseen, opt)}});
+  std::vector<bench::ModelTask> tasks;
+  tasks.push_back(bench::ModelTask{"Interp", "ARIMA", [&seen, &unseen, &opt] {
+    return std::vector<math::MetricReport>{bench::eval_arima(seen, opt),
+                                           bench::eval_arima(unseen, opt)};
+  }});
+  tasks.push_back(bench::ModelTask{"TRR", "Spline", [&seen, &unseen, &opt] {
+    return std::vector<math::MetricReport>{bench::eval_spline(seen, opt),
+                                           bench::eval_spline(unseen, opt)};
+  }});
+  tasks.push_back(bench::ModelTask{
+      "TRR", "StaticTRR", [&seen, &unseen, &opt] {
+        return std::vector<math::MetricReport>{
+            bench::eval_static_trr(seen, opt),
+            bench::eval_static_trr(unseen, opt)};
+      }});
+  tasks.push_back(bench::ModelTask{
+      "TRR", "DynamicTRR", [&seen, &unseen, &opt] {
+        return std::vector<math::MetricReport>{
+            bench::eval_dynamic_trr(seen, opt),
+            bench::eval_dynamic_trr(unseen, opt)};
+      }});
+  std::vector<bench::TaskTiming> timings;
+  const auto rows = bench::run_models_parallel(tasks, &timings);
 
   bench::print_table("Table 6: TRR model family",
                      {"Seen application", "Unseen application"}, rows);
   bench::write_csv("table6_trr_variants", {"seen", "unseen"}, rows);
+  bench::write_timing_csv("table6_trr_variants", timings);
 
   std::printf("\nShape check (paper Table 6: spline <= StaticTRR <= "
               "DynamicTRR on MAPE, all in the same single-digit band):\n");

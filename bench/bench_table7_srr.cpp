@@ -21,42 +21,46 @@ int main(int argc, char** argv) {
   const auto unseen = core::make_unseen_splits(data);
 
   // Columns: seen CPU, seen MEM, unseen CPU, unseen MEM.
-  std::vector<bench::TableRow> rows;
+  std::vector<bench::ModelTask> tasks;
   const std::vector<std::pair<std::string, std::string>> pointwise = {
       {"Linear", "LR"},    {"Linear", "LaR"},    {"Linear", "RR"},
       {"Linear", "SGD"},   {"Nonlinear", "DT"},  {"Nonlinear", "RF"},
       {"Nonlinear", "GB"}, {"Nonlinear", "KNN"}, {"Nonlinear", "SVM"},
       {"Nonlinear", "NN"}};
   for (const auto& [type, model] : pointwise) {
-    std::printf("Evaluating %s...\n", model.c_str());
-    rows.push_back(bench::TableRow{
-        type, model,
-        {bench::eval_pointwise(model, seen, "P_CPU", opt),
-         bench::eval_pointwise(model, seen, "P_MEM", opt),
-         bench::eval_pointwise(model, unseen, "P_CPU", opt),
-         bench::eval_pointwise(model, unseen, "P_MEM", opt)}});
+    tasks.push_back(bench::ModelTask{
+        type, model, [model = model, &seen, &unseen, &opt] {
+          return std::vector<math::MetricReport>{
+              bench::eval_pointwise(model, seen, "P_CPU", opt),
+              bench::eval_pointwise(model, seen, "P_MEM", opt),
+              bench::eval_pointwise(model, unseen, "P_CPU", opt),
+              bench::eval_pointwise(model, unseen, "P_MEM", opt)};
+        }});
   }
   for (const std::string model : {"GRU", "LSTM"}) {
-    std::printf("Evaluating %s...\n", model.c_str());
-    rows.push_back(
-        bench::TableRow{"RNN", model,
-                        {bench::eval_rnn(model, seen, "P_CPU", opt),
-                         bench::eval_rnn(model, seen, "P_MEM", opt),
-                         bench::eval_rnn(model, unseen, "P_CPU", opt),
-                         bench::eval_rnn(model, unseen, "P_MEM", opt)}});
+    tasks.push_back(bench::ModelTask{
+        "RNN", model, [model, &seen, &unseen, &opt] {
+          return std::vector<math::MetricReport>{
+              bench::eval_rnn(model, seen, "P_CPU", opt),
+              bench::eval_rnn(model, seen, "P_MEM", opt),
+              bench::eval_rnn(model, unseen, "P_CPU", opt),
+              bench::eval_rnn(model, unseen, "P_MEM", opt)};
+        }});
   }
-  std::printf("Evaluating SRR...\n");
-  const auto srr_seen = bench::eval_srr(seen, /*include_pnode=*/true, opt);
-  const auto srr_unseen = bench::eval_srr(unseen, /*include_pnode=*/true, opt);
-  rows.push_back(bench::TableRow{
-      "SRR", "SRR",
-      {srr_seen.cpu, srr_seen.mem, srr_unseen.cpu, srr_unseen.mem}});
+  tasks.push_back(bench::ModelTask{"SRR", "SRR", [&seen, &unseen, &opt] {
+    const auto s = bench::eval_srr(seen, /*include_pnode=*/true, opt);
+    const auto u = bench::eval_srr(unseen, /*include_pnode=*/true, opt);
+    return std::vector<math::MetricReport>{s.cpu, s.mem, u.cpu, u.mem};
+  }});
+  std::vector<bench::TaskTiming> timings;
+  const auto rows = bench::run_models_parallel(tasks, &timings);
 
   bench::print_table(
       "Table 7: component power, SRR vs baselines",
       {"Seen P_CPU", "Seen P_MEM", "Unseen P_CPU", "Unseen P_MEM"}, rows);
   bench::write_csv("table7_srr",
                    {"seen_cpu", "seen_mem", "unseen_cpu", "unseen_mem"}, rows);
+  bench::write_timing_csv("table7_srr", timings);
 
   double best_cpu = 1e9, best_mem = 1e9;
   for (std::size_t i = 0; i + 1 < rows.size(); ++i) {

@@ -18,27 +18,49 @@ int main(int argc, char** argv) {
   const auto seen = core::make_seen_splits(data, 0.25);
   const auto unseen = core::make_unseen_splits(data);
 
-  std::printf("Evaluating SRR with P_Node...\n");
-  const auto with_seen = bench::eval_srr(seen, true, opt);
-  const auto with_unseen = bench::eval_srr(unseen, true, opt);
-  std::printf("Evaluating SRR without P_Node...\n");
-  const auto without_seen = bench::eval_srr(seen, false, opt);
-  const auto without_unseen = bench::eval_srr(unseen, false, opt);
+  // Four independent SRR trainings: {with, without} x {seen, unseen}. Each
+  // task returns its {cpu, mem} reports; rows re-group them afterwards.
+  std::vector<bench::ModelTask> tasks;
+  struct Variant {
+    const char* label;
+    bool with_pnode;
+    bool seen_fold;
+  };
+  const Variant variants[4] = {{"with_seen", true, true},
+                               {"with_unseen", true, false},
+                               {"without_seen", false, true},
+                               {"without_unseen", false, false}};
+  for (const auto& v : variants) {
+    tasks.push_back(bench::ModelTask{
+        "SRR", v.label, [&, with_pnode = v.with_pnode,
+                         seen_fold = v.seen_fold] {
+          const auto r =
+              bench::eval_srr(seen_fold ? seen : unseen, with_pnode, opt);
+          return std::vector<math::MetricReport>{r.cpu, r.mem};
+        }});
+  }
+  std::vector<bench::TaskTiming> timings;
+  const auto variant_rows = bench::run_models_parallel(tasks, &timings);
+  const auto& with_seen = variant_rows[0].cells;
+  const auto& with_unseen = variant_rows[1].cells;
+  const auto& without_seen = variant_rows[2].cells;
+  const auto& without_unseen = variant_rows[3].cells;
 
   std::vector<bench::TableRow> rows;
   rows.push_back(bench::TableRow{
-      "Seen", "P_CPU", {with_seen.cpu, without_seen.cpu}});
+      "Seen", "P_CPU", {with_seen[0], without_seen[0]}});
   rows.push_back(bench::TableRow{
-      "Seen", "P_MEM", {with_seen.mem, without_seen.mem}});
+      "Seen", "P_MEM", {with_seen[1], without_seen[1]}});
   rows.push_back(bench::TableRow{
-      "Unseen", "P_CPU", {with_unseen.cpu, without_unseen.cpu}});
+      "Unseen", "P_CPU", {with_unseen[0], without_unseen[0]}});
   rows.push_back(bench::TableRow{
-      "Unseen", "P_MEM", {with_unseen.mem, without_unseen.mem}});
+      "Unseen", "P_MEM", {with_unseen[1], without_unseen[1]}});
 
   bench::print_table("Table 8: SRR with/without P_Node feature",
                      {"With P_Node", "Without P_Node"}, rows);
   bench::write_csv("table8_pnode_ablation", {"with_pnode", "without_pnode"},
                    rows);
+  bench::write_timing_csv("table8_pnode_ablation", timings);
 
   std::printf(
       "\nShape check: removing P_Node must increase MAPE in every cell.\n"

@@ -22,46 +22,57 @@ int main(int argc, char** argv) {
   const auto unseen = core::make_unseen_splits(data);
 
   // Columns: temporal P_Node | spatial P_CPU | spatial P_MEM.
-  std::vector<bench::TableRow> rows;
+  std::vector<bench::ModelTask> tasks;
   const std::vector<std::pair<std::string, std::string>> pointwise = {
       {"Linear", "LR"},    {"Linear", "LaR"},    {"Linear", "RR"},
       {"Linear", "SGD"},   {"Nonlin.", "DT"},    {"Nonlin.", "RF"},
       {"Nonlin.", "GB"},   {"Nonlin.", "KNN"},   {"Nonlin.", "SVM"},
       {"Nonlin.", "NN"}};
   for (const auto& [type, model] : pointwise) {
-    std::printf("Evaluating %s...\n", model.c_str());
-    rows.push_back(bench::TableRow{
-        type, model,
-        {bench::eval_pointwise(model, unseen, "P_NODE", opt),
-         bench::eval_pointwise(model, unseen, "P_CPU", opt),
-         bench::eval_pointwise(model, unseen, "P_MEM", opt)}});
+    tasks.push_back(bench::ModelTask{
+        type, model, [model = model, &unseen, &opt] {
+          return std::vector<math::MetricReport>{
+              bench::eval_pointwise(model, unseen, "P_NODE", opt),
+              bench::eval_pointwise(model, unseen, "P_CPU", opt),
+              bench::eval_pointwise(model, unseen, "P_MEM", opt)};
+        }});
   }
   for (const std::string model : {"GRU", "LSTM"}) {
-    std::printf("Evaluating %s...\n", model.c_str());
-    rows.push_back(bench::TableRow{
-        "RNN", model,
-        {bench::eval_rnn(model, unseen, "P_NODE", opt),
-         bench::eval_rnn(model, unseen, "P_CPU", opt),
-         bench::eval_rnn(model, unseen, "P_MEM", opt)}});
+    tasks.push_back(bench::ModelTask{
+        "RNN", model, [model, &unseen, &opt] {
+          return std::vector<math::MetricReport>{
+              bench::eval_rnn(model, unseen, "P_NODE", opt),
+              bench::eval_rnn(model, unseen, "P_CPU", opt),
+              bench::eval_rnn(model, unseen, "P_MEM", opt)};
+        }});
   }
-  std::printf("Evaluating TRR family...\n");
   const math::MetricReport blank;
-  rows.push_back(bench::TableRow{
-      "TRR", "Spline", {bench::eval_spline(unseen, opt), blank, blank}});
-  rows.push_back(bench::TableRow{
-      "TRR", "StaticTRR",
-      {bench::eval_static_trr(unseen, opt), blank, blank}});
-  rows.push_back(bench::TableRow{
-      "TRR", "DynamicTRR",
-      {bench::eval_dynamic_trr(unseen, opt), blank, blank}});
-  std::printf("Evaluating SRR...\n");
-  const auto srr = bench::eval_srr(unseen, true, opt);
-  rows.push_back(bench::TableRow{"SRR", "SRR", {blank, srr.cpu, srr.mem}});
+  tasks.push_back(bench::ModelTask{"TRR", "Spline", [&unseen, &opt, blank] {
+    return std::vector<math::MetricReport>{bench::eval_spline(unseen, opt),
+                                           blank, blank};
+  }});
+  tasks.push_back(bench::ModelTask{
+      "TRR", "StaticTRR", [&unseen, &opt, blank] {
+        return std::vector<math::MetricReport>{
+            bench::eval_static_trr(unseen, opt), blank, blank};
+      }});
+  tasks.push_back(bench::ModelTask{
+      "TRR", "DynamicTRR", [&unseen, &opt, blank] {
+        return std::vector<math::MetricReport>{
+            bench::eval_dynamic_trr(unseen, opt), blank, blank};
+      }});
+  tasks.push_back(bench::ModelTask{"SRR", "SRR", [&unseen, &opt, blank] {
+    const auto srr = bench::eval_srr(unseen, true, opt);
+    return std::vector<math::MetricReport>{blank, srr.cpu, srr.mem};
+  }});
+  std::vector<bench::TaskTiming> timings;
+  const auto rows = bench::run_models_parallel(tasks, &timings);
 
   bench::print_table("Table 9: x86 system, unseen applications",
                      {"Temporal P_Node", "Spatial P_CPU", "Spatial P_MEM"},
                      rows);
   bench::write_csv("table9_x86", {"p_node", "p_cpu", "p_mem"}, rows);
+  bench::write_timing_csv("table9_x86", timings);
 
   // Shape checks.
   double best_node = 1e9;

@@ -9,9 +9,18 @@
 //    measured in deployment).
 //  * Metrics are computed per fold (pooled over that fold's test runs) and
 //    averaged across the seven suite folds, matching §5.3's protocol.
+//
+// Execution model: every bench builds a list of ModelTask entries and hands
+// them to run_models_parallel, which fans the tasks out over the runtime
+// thread pool (HIGHRPM_THREADS). Results come back in task order and all
+// per-task randomness is seeded from loop-constant state, so the result CSV
+// is byte-identical for any thread count. Wall-clock timings go to a
+// *separate* bench_out/<name>_timing.csv — they are the one output that may
+// legitimately differ between runs.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -97,6 +106,34 @@ struct TableRow {
   std::vector<math::MetricReport> cells;  // one per column group
 };
 
+// --- parallel model harness ---
+
+/// One self-contained unit of bench work: evaluate a model (or a sweep
+/// point) and return its row of metric cells. eval must be a pure function
+/// of captured loop-constant state — no shared mutable captures — so tasks
+/// can run concurrently and still produce thread-count-independent rows.
+struct ModelTask {
+  std::string type;
+  std::string model;
+  std::function<std::vector<math::MetricReport>()> eval;
+};
+
+/// Wall-clock seconds a task took (scheduling-dependent; never mixed into
+/// the result CSVs).
+struct TaskTiming {
+  std::string model;
+  double wall_s = 0.0;
+};
+
+/// Run every task on the runtime thread pool and return the rows in task
+/// order. Progress lines print as tasks finish (completion order may vary
+/// with threading; the returned rows never do). When `timings` is non-null
+/// it receives one entry per task plus a trailing "total" entry with the
+/// whole harness's wall time.
+std::vector<TableRow> run_models_parallel(
+    const std::vector<ModelTask>& tasks,
+    std::vector<TaskTiming>* timings = nullptr);
+
 /// Print a paper-style table: each cell renders MAPE/RMSE/MAE.
 void print_table(const std::string& title,
                  const std::vector<std::string>& cell_headers,
@@ -106,5 +143,11 @@ void print_table(const std::string& title,
 void write_csv(const std::string& name,
                const std::vector<std::string>& cell_headers,
                const std::vector<TableRow>& rows);
+
+/// Persist timings to bench_out/<name>_timing.csv (model,wall_s,threads).
+/// Kept separate from the result CSV so result bytes stay identical across
+/// thread counts.
+void write_timing_csv(const std::string& name,
+                      const std::vector<TaskTiming>& timings);
 
 }  // namespace highrpm::bench

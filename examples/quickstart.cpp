@@ -14,6 +14,7 @@
 
 #include "highrpm/core/highrpm.hpp"
 #include "highrpm/math/metrics.hpp"
+#include "highrpm/runtime/thread_pool.hpp"
 #include "highrpm/workloads/suites.hpp"
 
 using namespace highrpm;
@@ -21,6 +22,10 @@ using namespace highrpm;
 int main() {
   const auto platform = sim::PlatformConfig::arm();
   measure::Collector collector;
+  // Training fans out over the runtime pool; results are identical for any
+  // thread count (set HIGHRPM_THREADS=1 to force serial execution).
+  std::printf("Runtime: %zu thread(s) (override with HIGHRPM_THREADS)\n",
+              runtime::thread_count());
 
   // --- 1. training data -----------------------------------------------
   std::printf("Collecting training runs (fft, stream) on %s...\n",

@@ -7,9 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "highrpm/math/metrics.hpp"
 #include "highrpm/measure/collector.hpp"
 #include "highrpm/sim/platform.hpp"
 
@@ -37,7 +40,9 @@ struct SuiteData {
   std::vector<measure::CollectedRun> runs;
 };
 
-/// Run every suite's workloads through the collector.
+/// Run every suite's workloads through the collector. Runs execute on the
+/// runtime thread pool; each run's seed is forked from (cfg.seed, run index)
+/// so the corpus is bit-identical for any thread count.
 std::vector<SuiteData> collect_all_suites(const ProtocolConfig& cfg);
 
 /// One train/test fold. Runs are owned copies so folds are self-contained.
@@ -68,6 +73,17 @@ std::vector<EvalSplit> make_seen_splits(const std::vector<SuiteData>& data,
 /// readings re-indexed relative to the slice.
 measure::CollectedRun slice_run(const measure::CollectedRun& run,
                                 std::size_t start, std::size_t len);
+
+/// The protocol's fold loop, parallelized: evaluate fold_fn on every split
+/// over the runtime pool and return the per-fold reports in fold order
+/// (output order never depends on scheduling). A fold may return nullopt to
+/// drop itself from the result (e.g. no scoreable ticks); folds that need
+/// randomness must seed from their fold index, not shared state, to keep
+/// serial and parallel runs identical.
+std::vector<math::MetricReport> run_folds(
+    const std::vector<EvalSplit>& splits,
+    const std::function<std::optional<math::MetricReport>(
+        const EvalSplit&, std::size_t)>& fold_fn);
 
 /// Flatten runs into one (X, targets) table for pointwise models.
 struct FlatData {

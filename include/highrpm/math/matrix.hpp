@@ -75,7 +75,13 @@ class Matrix {
 };
 
 /// C = A * B. Throws std::invalid_argument on shape mismatch.
+/// Cache-blocked and parallelized over row blocks of A via the runtime pool;
+/// each output row is computed by exactly one task with a fixed summation
+/// order, so the result is bit-identical for any thread count.
 Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A * B^T (row-by-row dot products; avoids materializing a transpose).
+/// Parallelized over rows of A with the same determinism guarantee.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
 /// C = A^T * A (symmetric; computed exploiting symmetry).
 Matrix gram(const Matrix& a);
 /// y = A * x.

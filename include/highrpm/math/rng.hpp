@@ -45,6 +45,12 @@ class Rng {
   /// Independent child generator (for giving submodules their own stream).
   Rng split();
 
+  /// Deterministic per-task stream: the generator for task `index` of a job
+  /// seeded with `seed`. Unlike split(), fork is a pure function — parallel
+  /// workers can derive their streams independently and in any order, which
+  /// is what keeps same-seed serial and parallel runs bit-identical.
+  static Rng fork(std::uint64_t seed, std::uint64_t index);
+
  private:
   std::uint64_t s_[4];
   double spare_ = 0.0;

@@ -47,6 +47,12 @@ struct CollectedRun {
   std::vector<std::size_t> measured_indices() const;
 };
 
+/// Collector is const-callable and thread-safe: collect() builds all of its
+/// instruments (simulator, IPMI, rig, PMC sampler) locally from the run
+/// seed and never touches shared mutable state, so independent runs can be
+/// collected concurrently from one Collector instance. Each collect() call
+/// itself stays single-threaded — parallelism lives above, in
+/// core::collect_all_suites.
 class Collector {
  public:
   explicit Collector(CollectorConfig cfg = {});
@@ -56,7 +62,7 @@ class Collector {
   CollectedRun collect(const sim::PlatformConfig& platform,
                        const sim::Workload& workload, std::size_t ticks,
                        std::uint64_t seed,
-                       std::size_t freq_level = SIZE_MAX);
+                       std::size_t freq_level = SIZE_MAX) const;
 
   const CollectorConfig& config() const noexcept { return cfg_; }
 

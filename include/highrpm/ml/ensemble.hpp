@@ -18,8 +18,12 @@ struct ForestConfig {
 class RandomForestRegressor final : public Regressor {
  public:
   explicit RandomForestRegressor(ForestConfig cfg = {});
+  /// Trains the trees in parallel. Every tree draws its bootstrap rows and
+  /// split seed from its own pre-split stream (math::Rng::fork(seed, tree)),
+  /// so the fitted forest is identical for any thread count.
   void fit(const math::Matrix& x, std::span<const double> y) override;
   double predict_one(std::span<const double> row) const override;
+  std::vector<double> predict(const math::Matrix& x) const override;
   std::unique_ptr<Regressor> clone() const override;
   std::string name() const override { return "RF"; }
   bool fitted() const override { return !trees_.empty(); }
@@ -44,6 +48,7 @@ class GradientBoostingRegressor final : public Regressor {
   explicit GradientBoostingRegressor(BoostingConfig cfg = {});
   void fit(const math::Matrix& x, std::span<const double> y) override;
   double predict_one(std::span<const double> row) const override;
+  std::vector<double> predict(const math::Matrix& x) const override;
   std::unique_ptr<Regressor> clone() const override;
   std::string name() const override { return "GB"; }
   bool fitted() const override { return fitted_; }

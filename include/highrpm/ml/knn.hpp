@@ -13,6 +13,8 @@ class KnnRegressor final : public Regressor {
   explicit KnnRegressor(std::size_t k = 3, bool distance_weighted = false);
   void fit(const math::Matrix& x, std::span<const double> y) override;
   double predict_one(std::span<const double> row) const override;
+  /// Parallel row sweep; each query row scans the training set independently.
+  std::vector<double> predict(const math::Matrix& x) const override;
   std::unique_ptr<Regressor> clone() const override;
   std::string name() const override { return "KNN"; }
   bool fitted() const override { return !y_.empty(); }

@@ -13,6 +13,7 @@ class LinearRegression final : public Regressor {
  public:
   void fit(const math::Matrix& x, std::span<const double> y) override;
   double predict_one(std::span<const double> row) const override;
+  std::vector<double> predict(const math::Matrix& x) const override;
   std::unique_ptr<Regressor> clone() const override;
   std::string name() const override { return "LR"; }
   bool fitted() const override { return !coef_.empty(); }
@@ -31,6 +32,7 @@ class RidgeRegression final : public Regressor {
   explicit RidgeRegression(double lambda = 1.0);
   void fit(const math::Matrix& x, std::span<const double> y) override;
   double predict_one(std::span<const double> row) const override;
+  std::vector<double> predict(const math::Matrix& x) const override;
   std::unique_ptr<Regressor> clone() const override;
   std::string name() const override { return "RR"; }
   bool fitted() const override { return !coef_.empty(); }
@@ -48,6 +50,7 @@ class LassoRegression final : public Regressor {
                            double tol = 1e-6);
   void fit(const math::Matrix& x, std::span<const double> y) override;
   double predict_one(std::span<const double> row) const override;
+  std::vector<double> predict(const math::Matrix& x) const override;
   std::unique_ptr<Regressor> clone() const override;
   std::string name() const override { return "LaR"; }
   bool fitted() const override { return !coef_.empty(); }
@@ -72,6 +75,7 @@ class SgdRegression final : public Regressor {
                          double l2 = 1e-4, std::uint64_t seed = 17);
   void fit(const math::Matrix& x, std::span<const double> y) override;
   double predict_one(std::span<const double> row) const override;
+  std::vector<double> predict(const math::Matrix& x) const override;
   std::unique_ptr<Regressor> clone() const override;
   std::string name() const override { return "SGD"; }
   bool fitted() const override { return !coef_.empty(); }

@@ -83,6 +83,8 @@ class MlpRegressor final : public Regressor {
   explicit MlpRegressor(MlpConfig cfg = {});
   void fit(const math::Matrix& x, std::span<const double> y) override;
   double predict_one(std::span<const double> row) const override;
+  /// Blocked-matmul batch forward pass through the underlying network.
+  std::vector<double> predict(const math::Matrix& x) const override;
   std::unique_ptr<Regressor> clone() const override;
   std::string name() const override { return "NN"; }
   bool fitted() const override { return net_.fitted(); }

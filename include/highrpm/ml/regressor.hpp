@@ -25,7 +25,12 @@ class Regressor {
   /// Predict a single sample (row width must match training width).
   virtual double predict_one(std::span<const double> row) const = 0;
 
-  /// Batch prediction; default loops over predict_one.
+  /// Batch prediction. The base implementation is the documented serial
+  /// fallback: it allocates the output once and feeds predict_one row spans
+  /// straight out of x (no per-row copies). Models with a cheaper batch
+  /// formulation (one matvec, a blocked matmul forward pass, a parallel row
+  /// sweep) override it; overrides must stay deterministic for any thread
+  /// count.
   virtual std::vector<double> predict(const math::Matrix& x) const;
 
   /// Fresh unfitted copy with identical hyperparameters.
@@ -43,6 +48,9 @@ class Regressor {
   /// Throws std::logic_error / std::invalid_argument on bad predict calls.
   static void check_predict_input(bool is_fitted, std::size_t expected_width,
                                   std::span<const double> row);
+  /// Batch-predict variant of the check above (validates x.cols()).
+  static void check_batch_input(bool is_fitted, std::size_t expected_width,
+                                const math::Matrix& x);
 };
 
 }  // namespace highrpm::ml

@@ -27,6 +27,8 @@ class DecisionTreeRegressor final : public Regressor {
 
   void fit(const math::Matrix& x, std::span<const double> y) override;
   double predict_one(std::span<const double> row) const override;
+  /// Parallel row sweep over the tree (deterministic: one row per slot).
+  std::vector<double> predict(const math::Matrix& x) const override;
   std::unique_ptr<Regressor> clone() const override;
   std::string name() const override { return "DT"; }
   bool fitted() const override { return !nodes_.empty(); }

@@ -1,0 +1,103 @@
+// Process-wide deterministic thread pool — the execution core every layer
+// above (math, ml, core, bench) shares.
+//
+// Design constraints, in priority order:
+//  1. Determinism: the pool never decides *what* a task computes, only *when*
+//     it runs. Callers hand over an index-addressed job (run fn(i) for every
+//     i in [0, n)); each index owns its output slot and, when randomness is
+//     needed, its own Rng stream (math::Rng::fork). Same-seed runs therefore
+//     produce bit-identical results for any thread count, including 1.
+//  2. No nesting: a job may not launch another pool job from inside a worker.
+//     ThreadPool::run throws std::logic_error on such calls; the higher-level
+//     parallel_for helpers detect the situation first and degrade to a plain
+//     serial loop, so layered code (e.g. a parallel bench harness invoking a
+//     parallel RandomForest::fit) stays correct and deadlock-free.
+//  3. Simplicity over work stealing: tasks are claimed from a single atomic
+//     counter. For the coarse-grained jobs HighRPM runs (per-fold, per-tree,
+//     per-row-block) this is within noise of fancier schedulers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace highrpm::runtime {
+
+class ThreadPool {
+ public:
+  /// A pool with parallelism degree `threads` (>= 1). The calling thread
+  /// participates in every job, so `threads - 1` workers are spawned.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Parallelism degree (worker threads + the calling thread).
+  std::size_t size() const noexcept { return degree_; }
+
+  /// Execute fn(i) exactly once for every i in [0, n_tasks), blocking until
+  /// all calls finished. The caller participates in the work. If any call
+  /// throws, the exception with the lowest task index is rethrown after the
+  /// job drains (remaining unclaimed tasks are skipped).
+  ///
+  /// Throws std::logic_error when invoked from inside a pool worker
+  /// (nested-call rejection) — use parallel_for, which falls back to a
+  /// serial loop in that situation.
+  void run(std::size_t n_tasks, const std::function<void(std::size_t)>& fn);
+
+  /// True when the current thread is a pool worker executing a job.
+  static bool in_worker() noexcept;
+
+ private:
+  /// One job's shared state. Heap-allocated and handed to workers via
+  /// shared_ptr so a late-waking worker can never touch a newer job's
+  /// counters through stale references.
+  struct Job {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    std::size_t error_index = SIZE_MAX;
+  };
+
+  void worker_loop();
+  void work_on(Job& job);
+  void serial_run(std::size_t n_tasks,
+                  const std::function<void(std::size_t)>& fn);
+
+  std::size_t degree_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_cv_;   // workers wait here for a new job
+  std::condition_variable done_cv_;  // the caller waits here for completion
+  std::shared_ptr<Job> current_job_;
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+};
+
+/// The process-wide pool, created on first use. Its size comes from the
+/// HIGHRPM_THREADS environment variable; unset, empty, or invalid values
+/// fall back to std::thread::hardware_concurrency().
+ThreadPool& global_pool();
+
+/// Parallelism degree of the global pool (>= 1).
+std::size_t thread_count();
+
+/// Rebuild the global pool with `threads` workers; 0 re-reads
+/// HIGHRPM_THREADS / hardware_concurrency. Intended for program startup and
+/// tests — must not be called while pool jobs are in flight.
+void set_thread_count(std::size_t threads);
+
+}  // namespace highrpm::runtime

@@ -3,14 +3,26 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "highrpm/runtime/parallel_for.hpp"
 #include "highrpm/workloads/suites.hpp"
 
 namespace highrpm::core {
 
 std::vector<SuiteData> collect_all_suites(const ProtocolConfig& cfg) {
-  measure::Collector collector(cfg.collector);
-  math::Rng seeder(cfg.seed);
+  const measure::Collector collector(cfg.collector);
+
+  // Enumerate every (suite, workload) run first, in the fixed suite order.
+  // Each run's seed is forked from (cfg.seed, run index) — a pure function
+  // of the enumeration, not of any shared generator state — so the corpus
+  // is bit-identical whether the runs below execute serially or in parallel.
+  struct RunJob {
+    std::size_t suite_index;
+    sim::Workload workload;
+    std::size_t ticks;
+    std::uint64_t seed;
+  };
   std::vector<SuiteData> out;
+  std::vector<RunJob> jobs;
   for (const auto& suite_name : workloads::suite_names()) {
     auto ws = workloads::suite(suite_name);
     if (cfg.max_workloads_per_suite > 0 &&
@@ -23,10 +35,34 @@ std::vector<SuiteData> collect_all_suites(const ProtocolConfig& cfg) {
     SuiteData sd;
     sd.suite = suite_name;
     for (const auto& w : ws) {
-      sd.runs.push_back(collector.collect(cfg.platform, w, per_workload,
-                                          seeder.next_u64(), cfg.freq_level));
+      jobs.push_back(RunJob{out.size(), w, per_workload,
+                            math::Rng::fork(cfg.seed, jobs.size()).next_u64()});
     }
     out.push_back(std::move(sd));
+  }
+
+  auto runs = runtime::parallel_map(jobs.size(), [&](std::size_t i) {
+    const RunJob& job = jobs[i];
+    return collector.collect(cfg.platform, job.workload, job.ticks, job.seed,
+                             cfg.freq_level);
+  });
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    out[jobs[i].suite_index].runs.push_back(std::move(runs[i]));
+  }
+  return out;
+}
+
+std::vector<math::MetricReport> run_folds(
+    const std::vector<EvalSplit>& splits,
+    const std::function<std::optional<math::MetricReport>(
+        const EvalSplit&, std::size_t)>& fold_fn) {
+  auto reports = runtime::parallel_map(
+      splits.size(),
+      [&](std::size_t i) { return fold_fn(splits[i], i); });
+  std::vector<math::MetricReport> out;
+  out.reserve(reports.size());
+  for (auto& r : reports) {
+    if (r.has_value()) out.push_back(*r);
   }
   return out;
 }

@@ -1,7 +1,10 @@
 #include "highrpm/math/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "highrpm/runtime/parallel_for.hpp"
 
 namespace highrpm::math {
 
@@ -72,16 +75,41 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
     throw std::invalid_argument("matmul: inner dimension mismatch");
   }
   Matrix c(a.rows(), b.cols(), 0.0);
-  // i-k-j loop order keeps the inner loop contiguous for row-major storage.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const auto brow = b.row(k);
-      auto crow = c.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+  // Block over rows (parallel grain) and the inner dimension (cache reuse of
+  // B's rows); the j loop stays contiguous for row-major storage. Every
+  // output row belongs to exactly one task and the k summation order is a
+  // fixed function of the shapes, so results never depend on scheduling.
+  constexpr std::size_t kBlock = 64;
+  const std::size_t row_blocks = (a.rows() + kBlock - 1) / kBlock;
+  runtime::parallel_for(row_blocks, [&](std::size_t rb) {
+    const std::size_t i_begin = rb * kBlock;
+    const std::size_t i_end = std::min(i_begin + kBlock, a.rows());
+    for (std::size_t k0 = 0; k0 < a.cols(); k0 += kBlock) {
+      const std::size_t k1 = std::min(k0 + kBlock, a.cols());
+      for (std::size_t i = i_begin; i < i_end; ++i) {
+        auto crow = c.row(i);
+        for (std::size_t k = k0; k < k1; ++k) {
+          const double aik = a(i, k);
+          if (aik == 0.0) continue;
+          const auto brow = b.row(k);
+          for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+        }
+      }
     }
+  });
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_nt: inner dimension mismatch");
   }
+  Matrix c(a.rows(), b.rows());
+  runtime::parallel_for(a.rows(), [&](std::size_t i) {
+    const auto arow = a.row(i);
+    auto crow = c.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) crow[j] = dot(arow, b.row(j));
+  });
   return c;
 }
 
@@ -105,7 +133,8 @@ Matrix gram(const Matrix& a) {
 std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
   if (x.size() != a.cols()) throw std::invalid_argument("matvec: size mismatch");
   std::vector<double> y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), x);
+  runtime::parallel_for(
+      a.rows(), [&](std::size_t i) { y[i] = dot(a.row(i), x); });
   return y;
 }
 

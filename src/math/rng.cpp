@@ -126,4 +126,11 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng Rng::fork(std::uint64_t seed, std::uint64_t index) {
+  // One SplitMix64 avalanche over a seed/index combination (the constructor
+  // adds further mixing rounds). index+1 keeps fork(s, 0) != Rng(s).
+  std::uint64_t x = seed + (index + 1) * 0x9E3779B97F4A7C15ULL;
+  return Rng(splitmix64(x));
+}
+
 }  // namespace highrpm::math

@@ -22,7 +22,7 @@ Collector::Collector(CollectorConfig cfg) : cfg_(cfg) {}
 CollectedRun Collector::collect(const sim::PlatformConfig& platform,
                                 const sim::Workload& workload,
                                 std::size_t ticks, std::uint64_t seed,
-                                std::size_t freq_level) {
+                                std::size_t freq_level) const {
   sim::NodeSimulator node(platform, workload, seed);
   if (freq_level != SIZE_MAX) node.set_frequency_level(freq_level);
 

@@ -1,8 +1,10 @@
 #include "highrpm/ml/ensemble.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "highrpm/math/stats.hpp"
+#include "highrpm/runtime/parallel_for.hpp"
 
 namespace highrpm::ml {
 
@@ -11,9 +13,6 @@ RandomForestRegressor::RandomForestRegressor(ForestConfig cfg) : cfg_(cfg) {}
 void RandomForestRegressor::fit(const math::Matrix& x,
                                 std::span<const double> y) {
   check_training_input(x, y);
-  trees_.clear();
-  trees_.reserve(cfg_.n_trees);
-  math::Rng rng(cfg_.seed);
   const std::size_t n = x.rows();
   std::size_t max_features;
   if (cfg_.feature_fraction > 0.0) {
@@ -25,8 +24,13 @@ void RandomForestRegressor::fit(const math::Matrix& x,
         1, static_cast<std::size_t>(
                std::round(std::sqrt(static_cast<double>(x.cols())))));
   }
-  for (std::size_t t = 0; t < cfg_.n_trees; ++t) {
-    // Bootstrap sample of rows.
+  // Each tree owns a pre-split RNG stream derived from (forest seed, tree
+  // index), so the bootstrap draws and split seeds are independent of both
+  // scheduling and thread count: serial and parallel fits build the same
+  // forest bit for bit.
+  std::vector<DecisionTreeRegressor> trees(cfg_.n_trees);
+  runtime::parallel_for(cfg_.n_trees, [&](std::size_t t) {
+    math::Rng rng = math::Rng::fork(cfg_.seed, t);
     std::vector<std::size_t> rows(n);
     for (auto& r : rows) r = rng.uniform_index(n);
     TreeConfig tc = cfg_.tree;
@@ -34,8 +38,9 @@ void RandomForestRegressor::fit(const math::Matrix& x,
     tc.seed = rng.next_u64();
     DecisionTreeRegressor tree(tc);
     tree.fit_subset(x, y, rows);
-    trees_.push_back(std::move(tree));
-  }
+    trees[t] = std::move(tree);
+  });
+  trees_ = std::move(trees);
 }
 
 double RandomForestRegressor::predict_one(std::span<const double> row) const {
@@ -43,6 +48,20 @@ double RandomForestRegressor::predict_one(std::span<const double> row) const {
   double s = 0.0;
   for (const auto& t : trees_) s += t.predict_one(row);
   return s / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForestRegressor::predict(
+    const math::Matrix& x) const {
+  if (!fitted()) throw std::logic_error("Regressor::predict: not fitted");
+  std::vector<double> out(x.rows());
+  // Same arithmetic as predict_one so both entry points agree exactly.
+  runtime::parallel_for(x.rows(), [&](std::size_t r) {
+    const auto row = x.row(r);
+    double s = 0.0;
+    for (const auto& t : trees_) s += t.predict_one(row);
+    out[r] = s / static_cast<double>(trees_.size());
+  });
+  return out;
 }
 
 std::unique_ptr<Regressor> RandomForestRegressor::clone() const {
@@ -65,8 +84,11 @@ void GradientBoostingRegressor::fit(const math::Matrix& x,
     tc.seed = rng.next_u64();
     DecisionTreeRegressor tree(tc);
     tree.fit(x, residual);
+    // Stages are inherently sequential, but each stage's residual update is
+    // a batch predict (parallel row sweep) instead of n virtual calls.
+    const auto stage = tree.predict(x);
     for (std::size_t i = 0; i < residual.size(); ++i) {
-      residual[i] -= cfg_.learning_rate * tree.predict_one(x.row(i));
+      residual[i] -= cfg_.learning_rate * stage[i];
     }
     trees_.push_back(std::move(tree));
   }
@@ -79,6 +101,19 @@ double GradientBoostingRegressor::predict_one(
   double s = base_;
   for (const auto& t : trees_) s += cfg_.learning_rate * t.predict_one(row);
   return s;
+}
+
+std::vector<double> GradientBoostingRegressor::predict(
+    const math::Matrix& x) const {
+  if (!fitted_) throw std::logic_error("Regressor::predict: not fitted");
+  std::vector<double> out(x.rows());
+  runtime::parallel_for(x.rows(), [&](std::size_t r) {
+    const auto row = x.row(r);
+    double s = base_;
+    for (const auto& t : trees_) s += cfg_.learning_rate * t.predict_one(row);
+    out[r] = s;
+  });
+  return out;
 }
 
 std::unique_ptr<Regressor> GradientBoostingRegressor::clone() const {

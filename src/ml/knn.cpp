@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "highrpm/runtime/parallel_for.hpp"
+
 namespace highrpm::ml {
 
 KnnRegressor::KnnRegressor(std::size_t k, bool distance_weighted)
@@ -46,6 +48,16 @@ double KnnRegressor::predict_one(std::span<const double> row) const {
     den += w;
   }
   return num / den;
+}
+
+std::vector<double> KnnRegressor::predict(const math::Matrix& x) const {
+  check_batch_input(fitted(), scaler_.means().size(), x);
+  std::vector<double> out(x.rows());
+  // Each query row performs its own brute-force scan; rows are independent,
+  // so the sweep parallelizes without any shared mutable state.
+  runtime::parallel_for(
+      x.rows(), [&](std::size_t r) { out[r] = predict_one(x.row(r)); });
+  return out;
 }
 
 std::unique_ptr<Regressor> KnnRegressor::clone() const {

@@ -43,6 +43,13 @@ double LinearRegression::predict_one(std::span<const double> row) const {
   return intercept_ + math::dot(coef_, row);
 }
 
+std::vector<double> LinearRegression::predict(const math::Matrix& x) const {
+  check_batch_input(fitted(), coef_.size(), x);
+  auto out = math::matvec(x, coef_);
+  for (double& v : out) v = intercept_ + v;
+  return out;
+}
+
 std::unique_ptr<Regressor> LinearRegression::clone() const {
   return std::make_unique<LinearRegression>();
 }
@@ -62,6 +69,13 @@ void RidgeRegression::fit(const math::Matrix& x, std::span<const double> y) {
 double RidgeRegression::predict_one(std::span<const double> row) const {
   check_predict_input(fitted(), coef_.size(), row);
   return intercept_ + math::dot(coef_, row);
+}
+
+std::vector<double> RidgeRegression::predict(const math::Matrix& x) const {
+  check_batch_input(fitted(), coef_.size(), x);
+  auto out = math::matvec(x, coef_);
+  for (double& v : out) v = intercept_ + v;
+  return out;
 }
 
 std::unique_ptr<Regressor> RidgeRegression::clone() const {
@@ -123,6 +137,15 @@ double LassoRegression::predict_one(std::span<const double> row) const {
   return intercept_ + math::dot(coef_, xs);
 }
 
+std::vector<double> LassoRegression::predict(const math::Matrix& x) const {
+  check_batch_input(fitted(), scaler_.means().size(), x);
+  // One standardization of the whole batch, then a single matvec.
+  const math::Matrix xs = scaler_.transform(x);
+  auto out = math::matvec(xs, coef_);
+  for (double& v : out) v = intercept_ + v;
+  return out;
+}
+
 std::unique_ptr<Regressor> LassoRegression::clone() const {
   return std::make_unique<LassoRegression>(alpha_, max_iter_, tol_);
 }
@@ -167,6 +190,14 @@ double SgdRegression::predict_one(std::span<const double> row) const {
   check_predict_input(fitted(), scaler_.means().size(), row);
   const auto xs = scaler_.transform_row(row);
   return intercept_ + math::dot(coef_, xs);
+}
+
+std::vector<double> SgdRegression::predict(const math::Matrix& x) const {
+  check_batch_input(fitted(), scaler_.means().size(), x);
+  const math::Matrix xs = scaler_.transform(x);
+  auto out = math::matvec(xs, coef_);
+  for (double& v : out) v = intercept_ + v;
+  return out;
 }
 
 std::unique_ptr<Regressor> SgdRegression::clone() const {

@@ -213,12 +213,35 @@ std::vector<double> Mlp::predict_one(std::span<const double> row) const {
 }
 
 math::Matrix Mlp::predict(const math::Matrix& x) const {
-  math::Matrix out(x.rows(), out_dim_);
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    const auto p = predict_one(x.row(r));
-    std::copy(p.begin(), p.end(), out.row(r).begin());
+  if (!fitted_) throw std::logic_error("Mlp::predict: not fitted");
+  if (x.cols() != in_dim_) {
+    throw std::invalid_argument("Mlp::predict: feature width mismatch");
   }
-  return out;
+  // Batched forward pass: one standardization of the whole input, then a
+  // blocked matmul per layer (weights are stored out x in, so A * W^T fits
+  // without a transpose copy). Per-row dot products run in the same order
+  // as predict_one's, so both entry points agree bit for bit.
+  math::Matrix cur = x_scaler_.transform(x);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    math::Matrix next = math::matmul_nt(cur, layer.w);
+    const bool is_output = l + 1 == layers_.size();
+    for (std::size_t r = 0; r < next.rows(); ++r) {
+      auto row = next.row(r);
+      for (std::size_t o = 0; o < row.size(); ++o) {
+        row[o] += layer.b[o];
+        if (!is_output) row[o] = activate(row[o]);
+      }
+    }
+    cur = std::move(next);
+  }
+  for (std::size_t r = 0; r < cur.rows(); ++r) {
+    auto row = cur.row(r);
+    for (std::size_t o = 0; o < out_dim_; ++o) {
+      row[o] = y_scalers_[o].inverse_one(row[o]);
+    }
+  }
+  return cur;
 }
 
 std::size_t Mlp::parameter_count() const {
@@ -238,6 +261,10 @@ void MlpRegressor::fit(const math::Matrix& x, std::span<const double> y) {
 
 double MlpRegressor::predict_one(std::span<const double> row) const {
   return net_.predict_one(row)[0];
+}
+
+std::vector<double> MlpRegressor::predict(const math::Matrix& x) const {
+  return net_.predict(x).col(0);
 }
 
 std::unique_ptr<Regressor> MlpRegressor::clone() const {

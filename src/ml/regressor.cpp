@@ -5,8 +5,14 @@
 namespace highrpm::ml {
 
 std::vector<double> Regressor::predict(const math::Matrix& x) const {
-  std::vector<double> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_one(x.row(r));
+  // Documented serial fallback: one output allocation up front, rows handed
+  // to predict_one as spans into x so no per-row scratch copies are made.
+  // Models with a real batch formulation override this.
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out.push_back(predict_one(x.row(r)));
+  }
   return out;
 }
 
@@ -24,6 +30,14 @@ void Regressor::check_predict_input(bool is_fitted, std::size_t expected_width,
                                     std::span<const double> row) {
   if (!is_fitted) throw std::logic_error("Regressor::predict: not fitted");
   if (row.size() != expected_width) {
+    throw std::invalid_argument("Regressor::predict: feature width mismatch");
+  }
+}
+
+void Regressor::check_batch_input(bool is_fitted, std::size_t expected_width,
+                                  const math::Matrix& x) {
+  if (!is_fitted) throw std::logic_error("Regressor::predict: not fitted");
+  if (x.cols() != expected_width) {
     throw std::invalid_argument("Regressor::predict: feature width mismatch");
   }
 }

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "highrpm/runtime/parallel_for.hpp"
+
 namespace highrpm::ml {
 
 DecisionTreeRegressor::DecisionTreeRegressor(TreeConfig cfg) : cfg_(cfg) {}
@@ -128,6 +130,23 @@ double DecisionTreeRegressor::predict_one(std::span<const double> row) const {
                                                             : nodes_[idx].right;
   }
   return nodes_[idx].value;
+}
+
+std::vector<double> DecisionTreeRegressor::predict(
+    const math::Matrix& x) const {
+  check_batch_input(fitted(), n_features_, x);
+  std::vector<double> out(x.rows());
+  runtime::parallel_for(x.rows(), [&](std::size_t r) {
+    const auto row = x.row(r);
+    std::size_t idx = 0;
+    while (nodes_[idx].feature != SIZE_MAX) {
+      idx = row[nodes_[idx].feature] <= nodes_[idx].threshold
+                ? nodes_[idx].left
+                : nodes_[idx].right;
+    }
+    out[r] = nodes_[idx].value;
+  });
+  return out;
 }
 
 std::unique_ptr<Regressor> DecisionTreeRegressor::clone() const {

@@ -1,0 +1,157 @@
+// The tentpole guarantee of the runtime layer: same-seed serial
+// (HIGHRPM_THREADS=1) and parallel executions produce bit-identical
+// results. These tests sweep seeds x thread counts over the three layers
+// that parallelized — model fitting/prediction (ml), forest training
+// (ml/ensemble), and corpus collection (core::collect_all_suites) — and
+// compare against a serial reference with exact floating-point equality.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "highrpm/core/protocol.hpp"
+#include "highrpm/math/matrix.hpp"
+#include "highrpm/math/rng.hpp"
+#include "highrpm/ml/baselines.hpp"
+#include "highrpm/ml/ensemble.hpp"
+#include "highrpm/runtime/thread_pool.hpp"
+
+namespace highrpm {
+namespace {
+
+struct SyntheticData {
+  math::Matrix x{0, 0};
+  std::vector<double> y;
+};
+
+/// A small nonlinear regression problem, reproducible from the seed alone.
+SyntheticData make_synthetic(std::uint64_t seed, std::size_t n = 160,
+                             std::size_t d = 6) {
+  math::Rng rng(seed);
+  SyntheticData data;
+  data.x = math::Matrix(n, d);
+  data.y.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      data.x(r, c) = rng.uniform(-2.0, 2.0);
+    }
+    data.y[r] = 3.0 * data.x(r, 0) - 2.0 * data.x(r, 1) +
+                data.x(r, 2) * data.x(r, 3) + 0.1 * rng.normal();
+  }
+  return data;
+}
+
+/// Fit `model` and predict the training matrix at the given thread count.
+std::vector<double> fit_predict(const std::string& model, std::uint64_t seed,
+                                std::size_t threads) {
+  runtime::set_thread_count(threads);
+  const auto data = make_synthetic(seed);
+  auto m = ml::make_baseline(model, seed);
+  m->fit(data.x, data.y);
+  return m->predict(data.x);
+}
+
+class DeterminismTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+ protected:
+  std::uint64_t seed() const { return std::get<0>(GetParam()); }
+  std::size_t threads() const { return std::get<1>(GetParam()); }
+  void TearDown() override { runtime::set_thread_count(0); }
+};
+
+TEST_P(DeterminismTest, BaselinePredictionsMatchSerialBitForBit) {
+  for (const char* model :
+       {"LR", "LaR", "RR", "SGD", "DT", "RF", "GB", "KNN", "SVM", "NN"}) {
+    const auto serial = fit_predict(model, seed(), 1);
+    const auto parallel = fit_predict(model, seed(), threads());
+    ASSERT_EQ(serial.size(), parallel.size()) << model;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      // Exact equality on purpose: the determinism contract is byte
+      // identity, not tolerance-level agreement.
+      ASSERT_EQ(serial[i], parallel[i])
+          << model << " diverged at sample " << i << " with "
+          << threads() << " threads";
+    }
+  }
+}
+
+TEST_P(DeterminismTest, RandomForestFitIsThreadCountInvariant) {
+  const auto data = make_synthetic(seed());
+  ml::ForestConfig cfg;
+  cfg.n_trees = 12;
+  cfg.seed = seed();
+
+  runtime::set_thread_count(1);
+  ml::RandomForestRegressor serial_rf(cfg);
+  serial_rf.fit(data.x, data.y);
+  const auto serial = serial_rf.predict(data.x);
+
+  runtime::set_thread_count(threads());
+  ml::RandomForestRegressor parallel_rf(cfg);
+  parallel_rf.fit(data.x, data.y);
+  const auto parallel = parallel_rf.predict(data.x);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << "sample " << i;
+  }
+}
+
+TEST_P(DeterminismTest, CollectAllSuitesCorpusIsThreadCountInvariant) {
+  core::ProtocolConfig cfg;
+  cfg.samples_per_suite = 60;
+  cfg.min_ticks_per_workload = 30;
+  cfg.max_workloads_per_suite = 2;
+  cfg.seed = seed();
+
+  runtime::set_thread_count(1);
+  const auto serial = core::collect_all_suites(cfg);
+  runtime::set_thread_count(threads());
+  const auto parallel = core::collect_all_suites(cfg);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    const auto& a = serial[s];
+    const auto& b = parallel[s];
+    ASSERT_EQ(a.suite, b.suite);
+    ASSERT_EQ(a.runs.size(), b.runs.size()) << a.suite;
+    for (std::size_t r = 0; r < a.runs.size(); ++r) {
+      const auto& ra = a.runs[r];
+      const auto& rb = b.runs[r];
+      ASSERT_EQ(ra.workload_name, rb.workload_name);
+      ASSERT_EQ(ra.measured, rb.measured);
+
+      const auto fa = ra.dataset.features().flat();
+      const auto fb = rb.dataset.features().flat();
+      ASSERT_EQ(fa.size(), fb.size());
+      for (std::size_t i = 0; i < fa.size(); ++i) {
+        ASSERT_EQ(fa[i], fb[i]) << ra.workload_name << " feature " << i;
+      }
+      for (const char* target : {"P_NODE", "P_CPU", "P_MEM"}) {
+        const auto& ta = ra.dataset.target(target);
+        const auto& tb = rb.dataset.target(target);
+        ASSERT_EQ(ta, tb) << ra.workload_name << ' ' << target;
+      }
+      ASSERT_EQ(ra.ipmi_readings.size(), rb.ipmi_readings.size());
+      for (std::size_t i = 0; i < ra.ipmi_readings.size(); ++i) {
+        ASSERT_EQ(ra.ipmi_readings[i].tick_index,
+                  rb.ipmi_readings[i].tick_index);
+        ASSERT_EQ(ra.ipmi_readings[i].power_w, rb.ipmi_readings[i].power_w);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByThreads, DeterminismTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2023, 424242),
+                       ::testing::Values<std::size_t>(1, 2, 8)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_threads" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace highrpm

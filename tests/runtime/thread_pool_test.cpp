@@ -1,0 +1,148 @@
+#include "highrpm/runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "highrpm/runtime/parallel_for.hpp"
+
+namespace highrpm::runtime {
+namespace {
+
+/// Restores the global pool to its default (env-derived) size after each
+/// test, so tests cannot leak a pool size into each other.
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("HIGHRPM_THREADS");
+    set_thread_count(0);
+  }
+};
+
+TEST_F(ThreadPoolTest, ZeroItemsIsANoOp) {
+  set_thread_count(4);
+  std::atomic<int> calls{0};
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_TRUE(parallel_map(0, [](std::size_t i) { return i; }).empty());
+}
+
+TEST_F(ThreadPoolTest, SingleItemRunsInline) {
+  set_thread_count(4);
+  int calls = 0;  // non-atomic on purpose: n==1 must run on this thread
+  parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  set_thread_count(8);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(ThreadPoolTest, ParallelMapReturnsIndexOrderedResults) {
+  set_thread_count(8);
+  const auto out = parallel_map(257, [](std::size_t i) { return 3 * i + 1; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], 3 * i + 1);
+  }
+}
+
+TEST_F(ThreadPoolTest, ExceptionPropagatesOutOfParallelFor) {
+  set_thread_count(4);
+  try {
+    parallel_for(64, [](std::size_t i) {
+      if (i == 17) throw std::runtime_error("boom at 17");
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 17");
+  }
+}
+
+TEST_F(ThreadPoolTest, LowestIndexExceptionWinsOnDirectRun) {
+  set_thread_count(4);
+  const std::function<void(std::size_t)> fn = [](std::size_t i) {
+    if (i == 3 || i == 11) {
+      throw std::runtime_error("err" + std::to_string(i));
+    }
+  };
+  try {
+    global_pool().run(16, fn);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "err3");
+  }
+}
+
+TEST_F(ThreadPoolTest, NestedDirectRunIsRejected) {
+  set_thread_count(2);
+  std::atomic<int> rejections{0};
+  const std::function<void(std::size_t)> inner = [](std::size_t) {};
+  const std::function<void(std::size_t)> outer = [&](std::size_t) {
+    try {
+      global_pool().run(2, inner);
+    } catch (const std::logic_error&) {
+      ++rejections;
+    }
+  };
+  global_pool().run(4, outer);
+  EXPECT_EQ(rejections.load(), 4);
+}
+
+TEST_F(ThreadPoolTest, NestedParallelForFallsBackToSerial) {
+  set_thread_count(4);
+  constexpr std::size_t kOuter = 8, kInner = 32;
+  std::vector<std::size_t> sums(kOuter, 0);
+  parallel_for(kOuter, [&](std::size_t o) {
+    EXPECT_TRUE(ThreadPool::in_worker());
+    // Inner loop must degrade to a serial loop on this worker; writing to
+    // the outer task's slot without synchronization proves it did.
+    parallel_for(kInner, [&](std::size_t i) { sums[o] += i; });
+  });
+  for (const auto s : sums) {
+    EXPECT_EQ(s, kInner * (kInner - 1) / 2);
+  }
+}
+
+TEST_F(ThreadPoolTest, InWorkerIsFalseOutsideJobs) {
+  EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST_F(ThreadPoolTest, SetThreadCountResizesGlobalPool) {
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3u);
+  EXPECT_EQ(global_pool().size(), 3u);
+  set_thread_count(1);
+  EXPECT_EQ(thread_count(), 1u);
+}
+
+TEST_F(ThreadPoolTest, EnvVariableControlsDefaultSize) {
+  setenv("HIGHRPM_THREADS", "5", 1);
+  set_thread_count(0);  // re-read the environment
+  EXPECT_EQ(thread_count(), 5u);
+
+  setenv("HIGHRPM_THREADS", "not-a-number", 1);
+  set_thread_count(0);
+  EXPECT_GE(thread_count(), 1u);  // falls back to hardware_concurrency
+
+  unsetenv("HIGHRPM_THREADS");
+  set_thread_count(0);
+  EXPECT_GE(thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace highrpm::runtime
