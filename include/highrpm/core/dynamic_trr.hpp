@@ -27,6 +27,28 @@ struct DynamicTrrConfig {
   /// larger strides trade a little accuracy for proportionally faster
   /// training (useful for large corpora / sweep benches).
   std::size_t train_stride = 1;
+  /// Graceful degradation under sensor faults (EXPERIMENTS.md "Fault model
+  /// and degradation semantics"): non-finite PMC rows are replaced by the
+  /// last good row and kept out of fine-tune windows; IM readings outside
+  /// the plausibility band, or stuck at one value while the prediction
+  /// drifts away, are rejected (treated as missing); estimates are clamped
+  /// into the band. On clean streams none of this ever triggers, so
+  /// enabling it is a no-op.
+  bool validate_inputs = true;
+  /// Plausibility band half-margin around the training labels:
+  /// [min - m, max + m] with m = bound_margin * max(1, max - min) — the
+  /// same derivation StaticTRR uses for p_bottom/p_upper. Deployment
+  /// workloads legitimately range past the training labels, so the margin
+  /// is a full band width: wide enough for cross-workload drift, still far
+  /// inside the ~3x excursions a spiking sensor produces.
+  double bound_margin = 1.0;
+  /// A reading repeated more than stuck_limit consecutive times counts as a
+  /// stuck sensor once the model's prediction disagrees with it by more
+  /// than stuck_disagreement * (p_upper - p_bottom). Requiring the
+  /// disagreement keeps legitimately-constant (quantized) readings on
+  /// steady workloads from being rejected.
+  std::size_t stuck_limit = 3;
+  double stuck_disagreement = 0.25;
 };
 
 class DynamicTrr {
@@ -60,15 +82,52 @@ class DynamicTrr {
   const ml::SequenceRegressor& model() const noexcept { return model_; }
   std::size_t finetune_count() const noexcept { return finetunes_; }
 
+  /// Plausibility band and label mean captured at train() time.
+  double p_upper() const noexcept { return p_upper_; }
+  double p_bottom() const noexcept { return p_bottom_; }
+  double train_label_mean() const noexcept { return label_mean_; }
+  /// Degradation diagnostics (cumulative, like finetune_count()).
+  std::size_t rejected_readings() const noexcept { return rejected_readings_; }
+  std::size_t substituted_rows() const noexcept { return substituted_rows_; }
+  /// Current streaming-window fill (never exceeds miss_interval).
+  std::size_t stream_window_size() const noexcept { return window_.size(); }
+
  private:
+  /// One streaming-window step. Keeping the row, its estimate, and its
+  /// validity in a single slot makes the trim keep them in lockstep by
+  /// construction.
+  struct WindowSlot {
+    std::vector<double> row;  // [PMC..., P'_prev]
+    double estimate = 0.0;
+    bool clean = true;  // row arrived finite (eligible for fine-tuning)
+  };
+
+  /// False when the reading is non-finite or outside [p_bottom, p_upper].
+  bool plausible_reading(double value) const;
+  /// Stuck-sensor tracking; true when the reading should be rejected.
+  bool stuck_reading(double value, double estimate);
+  /// Capture label statistics (mean, plausibility band) at train time.
+  void capture_label_stats(std::span<const std::vector<double>> run_labels);
+
   DynamicTrrConfig cfg_;
   ml::SequenceRegressor model_;
-  // Streaming window: rows of [PMC..., P'_prev]; labels for fine-tuning.
-  std::vector<std::vector<double>> window_rows_;
-  std::vector<double> window_estimates_;
+  std::vector<WindowSlot> window_;
   double prev_estimate_ = 0.0;
   bool have_prev_ = false;
   std::size_t finetunes_ = 0;
+  // Captured at train() time.
+  std::size_t n_features_ = 0;
+  double label_mean_ = 0.0;
+  double p_upper_ = 0.0;
+  double p_bottom_ = 0.0;
+  // Degradation state (stream-local) and counters (cumulative).
+  std::vector<double> last_good_pmcs_;
+  bool have_last_good_ = false;
+  double last_im_value_ = 0.0;
+  bool have_last_im_ = false;
+  std::size_t im_repeats_ = 0;
+  std::size_t rejected_readings_ = 0;
+  std::size_t substituted_rows_ = 0;
 };
 
 }  // namespace highrpm::core

@@ -77,6 +77,9 @@ class HighRpm {
   DynamicTrr& dynamic_trr() noexcept { return dynamic_trr_; }
   Srr& srr() noexcept { return srr_; }
   std::size_t active_learning_rounds() const noexcept { return al_rounds_; }
+  /// Streaming ticks whose PMC row was non-finite and had to be held
+  /// (cumulative across streams, like DynamicTrr's counters).
+  std::size_t held_rows() const noexcept { return held_rows_; }
 
  private:
   /// Fit a fresh StaticTRR on a run's sparse IM readings and restore it.
@@ -87,6 +90,10 @@ class HighRpm {
   Srr srr_;
   ReinforcementSampler sampler_;
   std::size_t al_rounds_ = 0;
+  /// Last finite PMC row seen by on_tick — substituted on degraded ticks so
+  /// TRR and SRR see the same held input.
+  std::vector<double> last_good_row_;
+  std::size_t held_rows_ = 0;
 };
 
 /// Control-node service managing per-compute-node HighRPM instances

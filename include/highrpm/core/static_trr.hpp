@@ -95,4 +95,21 @@ std::vector<double> static_trr_post_process(std::span<const double> splined,
                                             double p_upper, double p_bottom,
                                             const StaticTrrConfig& cfg);
 
+/// Scrubbed sparse labeled readings (see clean_labeled_readings).
+struct CleanedReadings {
+  std::vector<std::size_t> idx;
+  std::vector<double> power;
+};
+
+/// Input scrub shared by StaticTrr::fit and restore_node_power: drops
+/// non-finite power values and out-of-range tick indices, sorts by tick,
+/// and merges duplicate ticks by averaging their readings. Faulty sensors
+/// (readout-clock jitter, delayed BMC polls) routinely produce duplicate or
+/// non-monotonic timestamps, which would otherwise surface as a
+/// CubicSpline "x must be strictly increasing" error from deep inside fit.
+/// Already-clean input passes through unchanged.
+CleanedReadings clean_labeled_readings(std::span<const std::size_t> idx,
+                                       std::span<const double> power,
+                                       std::size_t num_ticks);
+
 }  // namespace highrpm::core

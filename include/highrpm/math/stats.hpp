@@ -23,5 +23,7 @@ double autocorrelation(std::span<const double> v, std::size_t lag);
 /// Simple moving average with a centered window of the given (odd) width.
 std::vector<double> moving_average(std::span<const double> v,
                                    std::size_t window);
+/// True iff every element is finite (no NaN/Inf). Empty spans are finite.
+bool all_finite(std::span<const double> v);
 
 }  // namespace highrpm::math

@@ -1,0 +1,150 @@
+// Deterministic sensor fault injection.
+//
+// Real deployments of the paper's measurement substrate misbehave in ways a
+// simulator's clean ticks never do: BMC polls time out (dropped readings),
+// sensors latch a stale value (stuck-at), transients corrupt a poll (spike
+// outliers), the readout clock drifts against the sampling clock (jitter),
+// and PMU reads come back zeroed or NaN after counter overflow or
+// multiplexing glitches. FaultInjector reproduces each pathology from a
+// seed so robustness is testable (tests/faults) and benchmarkable
+// (bench_fault_robustness); the wrappers below drop into any code path that
+// uses IpmiSensor / PmcSampler, and inject_faults corrupts an
+// already-collected run for offline experiments.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "highrpm/math/rng.hpp"
+#include "highrpm/measure/collector.hpp"
+#include "highrpm/measure/ipmi.hpp"
+#include "highrpm/measure/pmc_sampler.hpp"
+
+namespace highrpm::measure {
+
+/// Per-pathology fault rates. Everything defaults to 0, i.e. a clean
+/// pass-through: an injector with a default profile is an exact identity.
+struct FaultProfile {
+  // --- IM (IPMI/BMC) reading faults ---
+  /// P(a reading is lost entirely — the consumer sees a longer interval).
+  double im_dropout = 0.0;
+  /// P(a reading repeats the last delivered value instead of the real one).
+  double im_stuck = 0.0;
+  /// P(a reading is replaced by an outlier of `spike_scale` times its value).
+  double im_spike = 0.0;
+  double spike_scale = 3.0;
+  /// Readout-clock jitter: each reading's delivery is delayed by a uniform
+  /// 0..im_jitter_ticks ticks. Delays can reorder deliveries or land two
+  /// readings on the same tick (duplicate timestamps downstream).
+  std::size_t im_jitter_ticks = 0;
+  // --- PMC row faults ---
+  /// P(a sampled counter row comes back all-NaN).
+  double pmc_nan = 0.0;
+  /// P(a sampled counter row comes back all-zero).
+  double pmc_zero = 0.0;
+  std::uint64_t seed = 901;
+
+  /// True when any fault rate is non-zero.
+  bool any() const noexcept;
+};
+
+/// Cumulative tallies of what the injector actually did.
+struct FaultCounts {
+  std::size_t im_offered = 0;  // readings that reached the injector
+  std::size_t im_dropped = 0;
+  std::size_t im_stuck = 0;
+  std::size_t im_spiked = 0;
+  std::size_t im_delayed = 0;
+  std::size_t pmc_rows = 0;  // rows that reached the injector
+  std::size_t pmc_nan_rows = 0;
+  std::size_t pmc_zero_rows = 0;
+};
+
+/// Seeded, deterministic fault source. The IM and PMC paths draw from
+/// independent forked streams, so the fault sequence on one path does not
+/// depend on how often the other is exercised.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultProfile profile = {});
+
+  /// Streaming IM path: call once per tick with this tick's sensor output
+  /// (nullopt when the sensor interval didn't elapse). Ticking every step is
+  /// what lets jitter-delayed readings surface later; a delayed reading
+  /// keeps its original time/tick_index (it is stale, exactly like a slow
+  /// BMC poll).
+  std::optional<IpmiReading> offer_im(std::optional<IpmiReading> reading);
+
+  /// Batch IM path: corrupt one reading without the delivery queue; jitter
+  /// shifts tick_index/time_s forward instead. nullopt = dropped.
+  std::optional<IpmiReading> corrupt_reading(IpmiReading reading);
+
+  /// Corrupt one sampled PMC row in place.
+  void corrupt_pmc_row(std::span<double> row);
+  sim::PmcVector corrupt_pmc(sim::PmcVector v);
+
+  void reset();
+  const FaultProfile& profile() const noexcept { return profile_; }
+  const FaultCounts& counts() const noexcept { return counts_; }
+
+ private:
+  /// Dropout/stuck/spike on a reading's value; false = dropped.
+  bool apply_value_faults(IpmiReading& reading);
+
+  FaultProfile profile_;
+  math::Rng im_rng_;
+  math::Rng pmc_rng_;
+  double last_delivered_w_ = 0.0;
+  bool has_last_delivered_ = false;
+  // (remaining delay ticks, reading) for jitter-delayed deliveries.
+  std::deque<std::pair<std::size_t, IpmiReading>> pending_;
+  FaultCounts counts_;
+};
+
+/// IpmiSensor with a fault layer between the sensor and the consumer.
+class FaultyIpmiSensor {
+ public:
+  explicit FaultyIpmiSensor(IpmiConfig cfg = {}, FaultProfile profile = {});
+
+  std::optional<IpmiReading> offer(const sim::TickSample& tick);
+  std::vector<IpmiReading> sample_trace(const sim::Trace& trace);
+  void reset();
+
+  const IpmiSensor& inner() const noexcept { return inner_; }
+  const FaultCounts& counts() const noexcept { return injector_.counts(); }
+
+ private:
+  IpmiSensor inner_;
+  FaultInjector injector_;
+};
+
+/// PmcSampler with a fault layer on every sampled row.
+class FaultyPmcSampler {
+ public:
+  explicit FaultyPmcSampler(PmcSamplerConfig cfg = {},
+                            FaultProfile profile = {});
+
+  sim::PmcVector sample(const sim::TickSample& tick);
+  math::Matrix sample_trace(const sim::Trace& trace);
+  void reset();
+
+  const PmcSampler& inner() const noexcept { return inner_; }
+  const FaultCounts& counts() const noexcept { return injector_.counts(); }
+
+ private:
+  PmcSampler inner_;
+  FaultInjector injector_;
+};
+
+/// Corrupt an already-collected clean run: every PMC row and IPMI reading
+/// passes through a fresh FaultInjector seeded from the profile. `measured`
+/// is rebuilt from the surviving (possibly jitter-shifted) readings, so the
+/// result looks exactly like the collector had recorded the faulty sensors.
+/// Ground truth (`truth`, dataset targets) is left untouched — evaluation
+/// against the clean reference stays valid.
+CollectedRun inject_faults(const CollectedRun& run,
+                           const FaultProfile& profile);
+
+}  // namespace highrpm::measure

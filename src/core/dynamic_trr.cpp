@@ -1,7 +1,11 @@
 #include "highrpm/core/dynamic_trr.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "highrpm/math/stats.hpp"
 
 namespace highrpm::core {
 
@@ -12,10 +16,47 @@ DynamicTrr::DynamicTrr(DynamicTrrConfig cfg)
   }
 }
 
+void DynamicTrr::capture_label_stats(
+    std::span<const std::vector<double>> run_labels) {
+  double lo = 0.0, hi = 0.0, sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& labels : run_labels) {
+    for (const double y : labels) {
+      if (n == 0) {
+        lo = hi = y;
+      } else {
+        lo = std::min(lo, y);
+        hi = std::max(hi, y);
+      }
+      sum += y;
+      ++n;
+    }
+  }
+  if (n == 0) return;
+  label_mean_ = sum / static_cast<double>(n);
+  const double margin = cfg_.bound_margin * std::max(1.0, hi - lo);
+  p_bottom_ = lo - margin;
+  p_upper_ = hi + margin;
+}
+
 void DynamicTrr::train(std::span<const math::Matrix> run_pmcs,
                        std::span<const std::vector<double>> run_labels) {
   if (run_pmcs.size() != run_labels.size() || run_pmcs.empty()) {
     throw std::invalid_argument("DynamicTrr::train: run count mismatch");
+  }
+  for (std::size_t r = 0; r < run_pmcs.size(); ++r) {
+    if (run_pmcs[r].rows() != run_labels[r].size()) {
+      throw std::invalid_argument(
+          "DynamicTrr::train: pmcs/labels length mismatch in run " +
+          std::to_string(r));
+    }
+    if (!math::all_finite(run_pmcs[r].flat()) ||
+        !math::all_finite(run_labels[r])) {
+      throw std::invalid_argument(
+          "DynamicTrr::train: non-finite value in run " + std::to_string(r) +
+          " (training data must be clean; faults are a deployment-time "
+          "concern)");
+    }
   }
   std::vector<data::SequenceSample> samples;
   for (std::size_t r = 0; r < run_pmcs.size(); ++r) {
@@ -32,6 +73,8 @@ void DynamicTrr::train(std::span<const math::Matrix> run_pmcs,
   if (samples.empty()) {
     throw std::invalid_argument("DynamicTrr::train: no full windows");
   }
+  n_features_ = run_pmcs[0].cols();
+  capture_label_stats(run_labels);
   model_.fit(samples, /*reset=*/true);
   reset_stream();
 }
@@ -47,53 +90,140 @@ void DynamicTrr::fine_tune(std::span<const data::SequenceSample> windows,
                            std::size_t epochs) {
   if (!fitted()) throw std::logic_error("DynamicTrr::fine_tune: not trained");
   if (windows.empty()) return;
+  for (const auto& w : windows) {
+    if (!math::all_finite(w.steps.flat()) || !math::all_finite(w.labels)) {
+      throw std::invalid_argument(
+          "DynamicTrr::fine_tune: non-finite value in window");
+    }
+  }
   model_.fit(windows, /*reset=*/false, epochs);
   ++finetunes_;
 }
 
 void DynamicTrr::reset_stream() {
-  window_rows_.clear();
-  window_estimates_.clear();
+  window_.clear();
   prev_estimate_ = 0.0;
   have_prev_ = false;
+  last_good_pmcs_.clear();
+  have_last_good_ = false;
+  last_im_value_ = 0.0;
+  have_last_im_ = false;
+  im_repeats_ = 0;
+}
+
+bool DynamicTrr::plausible_reading(double value) const {
+  if (!std::isfinite(value)) return false;
+  if (p_upper_ <= p_bottom_) return true;  // no band captured (legacy model)
+  return value >= p_bottom_ && value <= p_upper_;
+}
+
+bool DynamicTrr::stuck_reading(double value, double estimate) {
+  if (have_last_im_ && value == last_im_value_) {
+    ++im_repeats_;
+  } else {
+    im_repeats_ = 1;
+    last_im_value_ = value;
+    have_last_im_ = true;
+  }
+  if (im_repeats_ <= cfg_.stuck_limit || p_upper_ <= p_bottom_) return false;
+  const double range = std::max(1e-9, p_upper_ - p_bottom_);
+  return std::fabs(value - estimate) > cfg_.stuck_disagreement * range;
 }
 
 double DynamicTrr::step(std::span<const double> pmcs,
                         std::optional<double> im_reading) {
   if (!fitted()) throw std::logic_error("DynamicTrr::step: not trained");
+  if (n_features_ > 0 && pmcs.size() != n_features_) {
+    throw std::invalid_argument(
+        "DynamicTrr::step: expected " + std::to_string(n_features_) +
+        " PMC values, got " + std::to_string(pmcs.size()));
+  }
+
+  // Unpack the optional once: GCC's flow analysis cannot track the payload
+  // through the guarded derefs below and emits -Wmaybe-uninitialized.
+  bool have_reading = im_reading.has_value();
+  const double reading_value = have_reading ? *im_reading : 0.0;
+
+  // --- input validation / graceful degradation (no-op on clean input) ---
+  std::vector<double> feat(pmcs.begin(), pmcs.end());
+  bool clean_row = true;
+  if (cfg_.validate_inputs) {
+    if (!math::all_finite(feat)) {
+      // Degraded tick: hold the last good row — node power rarely moves in
+      // one tick — and keep this window out of fine-tuning.
+      clean_row = false;
+      ++substituted_rows_;
+      if (have_last_good_) {
+        feat = last_good_pmcs_;
+      } else {
+        std::fill(feat.begin(), feat.end(), 0.0);
+      }
+    } else {
+      last_good_pmcs_ = feat;
+      have_last_good_ = true;
+    }
+    if (have_reading && !plausible_reading(reading_value)) {
+      // Spike / garbage reading: keep predicting instead of superseding.
+      ++rejected_readings_;
+      have_reading = false;
+    }
+  }
 
   // Build this tick's row: [PMC..., P'_prev]. Before the first estimate we
-  // use the IM reading if present, else fall back to 0 (cold start).
-  std::vector<double> row(pmcs.begin(), pmcs.end());
+  // use the IM reading if present, else the training-label mean (a
+  // physically plausible cold-start prior).
   double prev = prev_estimate_;
-  if (!have_prev_) prev = im_reading.value_or(0.0);
-  row.push_back(prev);
+  if (!have_prev_) prev = have_reading ? reading_value : label_mean_;
+  feat.push_back(prev);
 
-  window_rows_.push_back(std::move(row));
-  if (window_rows_.size() > cfg_.miss_interval) {
-    window_rows_.erase(window_rows_.begin());
-    window_estimates_.erase(window_estimates_.begin());
+  window_.push_back(WindowSlot{std::move(feat), 0.0, clean_row});
+  if (window_.size() > cfg_.miss_interval) {
+    window_.erase(window_.begin());
   }
 
   // Predict over the current (possibly still-filling) window; the last
   // step's output is this tick's estimate.
-  math::Matrix steps(window_rows_.size(), window_rows_[0].size());
-  for (std::size_t r = 0; r < window_rows_.size(); ++r) {
-    std::copy(window_rows_[r].begin(), window_rows_[r].end(),
+  math::Matrix steps(window_.size(), window_[0].row.size());
+  for (std::size_t r = 0; r < window_.size(); ++r) {
+    std::copy(window_[r].row.begin(), window_[r].row.end(),
               steps.row(r).begin());
   }
   const auto preds = model_.predict(steps);
   double estimate = preds.back();
 
-  if (im_reading) {
+  if (cfg_.validate_inputs) {
+    if (!std::isfinite(estimate)) {
+      estimate = have_prev_ ? prev_estimate_ : label_mean_;
+    } else if (p_upper_ > p_bottom_) {
+      estimate = std::clamp(estimate, p_bottom_, p_upper_);
+    }
+  }
+
+  if (have_reading && cfg_.validate_inputs &&
+      stuck_reading(reading_value, estimate)) {
+    // Stuck sensor: the same value keeps arriving while the model has
+    // drifted away — trust the prediction.
+    ++rejected_readings_;
+    have_reading = false;
+  }
+
+  if (have_reading) {
     // A measured value supersedes the prediction and, per §4.2.2, triggers
     // an online fine-tune on the completed window: labels are the window's
-    // estimates with the final one replaced by the measurement.
-    estimate = *im_reading;
-    if (cfg_.online_finetune && window_rows_.size() == cfg_.miss_interval) {
+    // estimates with the final one replaced by the measurement. After an IM
+    // dropout the window keeps sliding, so the next good reading fine-tunes
+    // on whatever window it completes. Windows holding substituted PMC rows
+    // are not trained on.
+    estimate = reading_value;
+    if (cfg_.online_finetune && window_.size() == cfg_.miss_interval &&
+        std::all_of(window_.begin(), window_.end(),
+                    [](const WindowSlot& s) { return s.clean; })) {
       data::SequenceSample s;
       s.steps = steps;
-      s.labels = window_estimates_;
+      s.labels.reserve(cfg_.miss_interval);
+      for (std::size_t r = 0; r + 1 < window_.size(); ++r) {
+        s.labels.push_back(window_[r].estimate);
+      }
       s.labels.push_back(estimate);
       if (s.labels.size() == cfg_.miss_interval) {
         model_.fit(std::span<const data::SequenceSample>(&s, 1),
@@ -103,10 +233,7 @@ double DynamicTrr::step(std::span<const double> pmcs,
     }
   }
 
-  window_estimates_.push_back(estimate);
-  if (window_estimates_.size() > window_rows_.size()) {
-    window_estimates_.erase(window_estimates_.begin());
-  }
+  window_.back().estimate = estimate;
   prev_estimate_ = estimate;
   have_prev_ = true;
   return estimate;

@@ -1,7 +1,10 @@
 #include "highrpm/core/highrpm.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "highrpm/math/stats.hpp"
 
 namespace highrpm::core {
 
@@ -52,10 +55,19 @@ void HighRpm::active_learning(const measure::CollectedRun& run) {
     throw std::logic_error("HighRpm::active_learning: run initial_learning first");
   }
   const auto restored = static_restore(run);
-  const auto reinforcement = sampler_.draw(run.measured);
-  if (reinforcement.size() < cfg_.miss_interval) return;
-
+  const auto drawn = sampler_.draw(run.measured);
   const auto& features = run.dataset.features();
+  // Reinforcement samples must be usable numbers: drop any tick whose
+  // restoration or feature row came back non-finite (possible when the
+  // run's sensors were faulty).
+  std::vector<std::size_t> reinforcement;
+  reinforcement.reserve(drawn.size());
+  for (const std::size_t t : drawn) {
+    if (std::isfinite(restored[t]) && math::all_finite(features.row(t))) {
+      reinforcement.push_back(t);
+    }
+  }
+  if (reinforcement.size() < cfg_.miss_interval) return;
 
   // --- fine-tune DynamicTRR on restored node power over the drawn span ---
   // Windows must be contiguous, so fine-tune on the contiguous stretch
@@ -71,11 +83,16 @@ void HighRpm::active_learning(const measure::CollectedRun& run) {
                 sub.row(i).begin());
       labels[i] = restored[lo + i];
     }
-    auto windows = data::make_windows_with_prev_label(
-        sub, labels, cfg_.miss_interval, labels[0]);
-    // Keep the fine-tune cheap: cap the window count.
-    if (windows.size() > 64) windows.resize(64);
-    dynamic_trr_.fine_tune(windows, cfg_.active_finetune_epochs);
+    // The stretch may still cover degraded ticks between the drawn indices
+    // (NaN features or non-finite restorations); skip the TRR fine-tune
+    // rather than training on garbage.
+    if (math::all_finite(sub.flat()) && math::all_finite(labels)) {
+      auto windows = data::make_windows_with_prev_label(
+          sub, labels, cfg_.miss_interval, labels[0]);
+      // Keep the fine-tune cheap: cap the window count.
+      if (windows.size() > 64) windows.resize(64);
+      dynamic_trr_.fine_tune(windows, cfg_.active_finetune_epochs);
+    }
   }
 
   // --- fine-tune SRR with consistency-calibrated pseudo-labels ---
@@ -110,25 +127,60 @@ LogRestoration HighRpm::restore_log(const measure::CollectedRun& run) const {
   const auto& features = run.dataset.features();
   out.cpu_w.resize(features.rows());
   out.mem_w.resize(features.rows());
+  // Degraded rows get the last finite row (zeros before the first one), the
+  // offline mirror of on_tick's hold — SRR would otherwise split NaN.
+  std::vector<double> last_good;
+  std::vector<double> held(features.cols(), 0.0);
   for (std::size_t r = 0; r < features.rows(); ++r) {
-    const auto est = srr_.predict_one(features.row(r), out.node_w[r]);
+    std::span<const double> row = features.row(r);
+    if (!math::all_finite(row)) {
+      row = last_good.empty() ? std::span<const double>(held)
+                              : std::span<const double>(last_good);
+    } else {
+      last_good.assign(row.begin(), row.end());
+    }
+    const auto est = srr_.predict_one(row, out.node_w[r]);
     out.cpu_w[r] = est.cpu_w;
     out.mem_w[r] = est.mem_w;
   }
   return out;
 }
 
-void HighRpm::reset_stream() { dynamic_trr_.reset_stream(); }
+void HighRpm::reset_stream() {
+  dynamic_trr_.reset_stream();
+  last_good_row_.clear();
+}
 
 PowerEstimate HighRpm::on_tick(std::span<const double> pmcs,
                                std::optional<double> im_reading) {
   if (!trained()) {
     throw std::logic_error("HighRpm::on_tick: run initial_learning first");
   }
+  // Degrade gracefully on corrupt inputs: hold the last good PMC row so TRR
+  // and SRR split the same substituted input (DynamicTrr would substitute
+  // internally anyway, but SRR has no window state of its own), and treat a
+  // non-finite IM reading as a missed one.
+  std::span<const double> row = pmcs;
+  std::vector<double> held;
+  if (!math::all_finite(pmcs)) {
+    ++held_rows_;
+    if (last_good_row_.size() == pmcs.size()) {
+      held = last_good_row_;
+    } else {
+      held.assign(pmcs.size(), 0.0);
+    }
+    row = held;
+  } else {
+    last_good_row_.assign(pmcs.begin(), pmcs.end());
+  }
+  if (im_reading && !std::isfinite(*im_reading)) im_reading.reset();
+
   PowerEstimate est;
-  est.node_w = dynamic_trr_.step(pmcs, im_reading);
-  est.measured = im_reading.has_value();
-  const auto comp = srr_.predict_one(pmcs, est.node_w);
+  est.node_w = dynamic_trr_.step(row, im_reading);
+  // DynamicTrr may reject an implausible reading; only report measured when
+  // the reading actually superseded the prediction.
+  est.measured = im_reading.has_value() && est.node_w == *im_reading;
+  const auto comp = srr_.predict_one(row, est.node_w);
   est.cpu_w = comp.cpu_w;
   est.mem_w = comp.mem_w;
   return est;

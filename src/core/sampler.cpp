@@ -8,8 +8,13 @@ namespace highrpm::core {
 
 ReinforcementSampler::ReinforcementSampler(SamplerConfig cfg)
     : cfg_(cfg), rng_(cfg.seed) {
-  if (cfg_.measured_weight <= 0.0) {
-    throw std::invalid_argument("ReinforcementSampler: weight must be > 0");
+  if (cfg_.measured_weight <= 0.0 || !std::isfinite(cfg_.measured_weight)) {
+    throw std::invalid_argument(
+        "ReinforcementSampler: weight must be finite and > 0");
+  }
+  if (cfg_.reinforcement_size == 0) {
+    throw std::invalid_argument(
+        "ReinforcementSampler: reinforcement_size must be > 0");
   }
 }
 

@@ -3,11 +3,57 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "highrpm/math/rng.hpp"
 #include "highrpm/math/stats.hpp"
 
 namespace highrpm::core {
+
+namespace {
+
+/// Copy a feature row, zeroing non-finite entries so the residual tree
+/// never trains on (or compares against) NaN — NaN comparisons would break
+/// the tree's sort invariants. Clean rows copy through unchanged.
+void copy_sanitized_row(std::span<const double> src, std::span<double> dst) {
+  for (std::size_t c = 0; c < src.size(); ++c) {
+    dst[c] = std::isfinite(src[c]) ? src[c] : 0.0;
+  }
+}
+
+}  // namespace
+
+CleanedReadings clean_labeled_readings(std::span<const std::size_t> idx,
+                                       std::span<const double> power,
+                                       std::size_t num_ticks) {
+  const std::size_t n = std::min(idx.size(), power.size());
+  std::vector<std::pair<std::size_t, double>> usable;
+  usable.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (idx[i] >= num_ticks) continue;     // out-of-range tick
+    if (!std::isfinite(power[i])) continue;  // NaN/Inf reading
+    usable.emplace_back(idx[i], power[i]);
+  }
+  std::stable_sort(usable.begin(), usable.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  CleanedReadings out;
+  out.idx.reserve(usable.size());
+  out.power.reserve(usable.size());
+  for (std::size_t i = 0; i < usable.size();) {
+    // Average duplicate-tick readings (jitter can land two polls on one
+    // tick) so the spline sees one knot per timestamp.
+    std::size_t j = i;
+    double sum = 0.0;
+    while (j < usable.size() && usable[j].first == usable[i].first) {
+      sum += usable[j].second;
+      ++j;
+    }
+    out.idx.push_back(usable[i].first);
+    out.power.push_back(sum / static_cast<double>(j - i));
+    i = j;
+  }
+  return out;
+}
 
 StaticTrr::StaticTrr(StaticTrrConfig cfg) : cfg_(cfg) {
   ml::TreeConfig tc = cfg_.res_tree;
@@ -16,14 +62,39 @@ StaticTrr::StaticTrr(StaticTrrConfig cfg) : cfg_(cfg) {
 }
 
 void StaticTrr::fit(const math::Matrix& pmcs, std::span<const double> times,
-                    std::span<const std::size_t> labeled_idx,
-                    std::span<const double> labeled_power) {
-  if (labeled_idx.size() != labeled_power.size() || labeled_idx.size() < 4) {
-    throw std::invalid_argument("StaticTrr::fit: need >= 4 labeled readings");
+                    std::span<const std::size_t> labeled_idx_in,
+                    std::span<const double> labeled_power_in) {
+  if (labeled_idx_in.size() != labeled_power_in.size()) {
+    throw std::invalid_argument(
+        "StaticTrr::fit: labeled idx/power length mismatch");
   }
   if (pmcs.rows() != times.size()) {
     throw std::invalid_argument("StaticTrr::fit: pmcs/times length mismatch");
   }
+  CleanedReadings cleaned =
+      clean_labeled_readings(labeled_idx_in, labeled_power_in, times.size());
+  if (cfg_.p_bottom > 0.0 || cfg_.p_upper > 0.0) {
+    // Explicitly configured plausibility bounds (e.g. the node's power
+    // envelope from the training rig) also veto implausible *readings* —
+    // a spiking sensor otherwise drags the spline, and with it the derived
+    // band, arbitrarily far off. Derived bounds can't do this: they come
+    // from the very readings they would have to judge.
+    CleanedReadings kept;
+    for (std::size_t i = 0; i < cleaned.idx.size(); ++i) {
+      if (cfg_.p_bottom > 0.0 && cleaned.power[i] < cfg_.p_bottom) continue;
+      if (cfg_.p_upper > 0.0 && cleaned.power[i] > cfg_.p_upper) continue;
+      kept.idx.push_back(cleaned.idx[i]);
+      kept.power.push_back(cleaned.power[i]);
+    }
+    cleaned = std::move(kept);
+  }
+  if (cleaned.idx.size() < 4) {
+    throw std::invalid_argument(
+        "StaticTrr::fit: need >= 4 usable labeled readings (after dropping "
+        "non-finite / out-of-range entries and merging duplicate ticks)");
+  }
+  const std::span<const std::size_t> labeled_idx(cleaned.idx);
+  const std::span<const double> labeled_power(cleaned.power);
 
   // Plausibility bounds from the labeled readings unless given.
   const double lo = math::min_value(labeled_power);
@@ -71,8 +142,7 @@ void StaticTrr::fit(const math::Matrix& pmcs, std::span<const double> times,
   std::vector<double> ry(held.size());
   for (std::size_t i = 0; i < held.size(); ++i) {
     const std::size_t tick = labeled_idx[held[i]];
-    const auto src = pmcs.row(tick);
-    std::copy(src.begin(), src.end(), rx.row(i).begin());
+    copy_sanitized_row(pmcs.row(tick), rx.row(i));
     ry[i] = labeled_power[held[i]] - spline_(times[tick]);
   }
   res_model_.fit(rx, ry);
@@ -99,9 +169,15 @@ StaticTrrRestoration StaticTrr::restore(const math::Matrix& pmcs,
   const std::size_t n = times.size();
   out.splined.resize(n);
   out.residual.resize(n);
+  std::vector<double> scratch(pmcs.cols());
   for (std::size_t i = 0; i < n; ++i) {
     out.splined[i] = spline_(times[i]);
-    out.residual[i] = out.splined[i] + res_model_.predict_one(pmcs.row(i));
+    std::span<const double> row = pmcs.row(i);
+    if (!math::all_finite(row)) {  // degraded tick: zero the bad entries
+      copy_sanitized_row(row, scratch);
+      row = scratch;
+    }
+    out.residual[i] = out.splined[i] + res_model_.predict_one(row);
   }
   out.merged = static_trr_post_process(out.splined, out.residual, p_upper_,
                                        p_bottom_, cfg_);
@@ -110,8 +186,6 @@ StaticTrrRestoration StaticTrr::restore(const math::Matrix& pmcs,
 
 std::vector<double> restore_node_power(const measure::CollectedRun& run,
                                        const StaticTrrConfig& cfg) {
-  if (run.ipmi_readings.size() < 4) return run.dataset.target("P_NODE");
-  StaticTrr trr(cfg);
   std::vector<std::size_t> idx;
   std::vector<double> power;
   idx.reserve(run.ipmi_readings.size());
@@ -120,8 +194,13 @@ std::vector<double> restore_node_power(const measure::CollectedRun& run,
     idx.push_back(r.tick_index);
     power.push_back(r.power_w);
   }
+  // Too few usable readings to spline (short run, or faults ate the rest):
+  // fall back to the dense target rather than failing deep inside fit.
+  const auto cleaned = clean_labeled_readings(idx, power, run.num_ticks());
+  if (cleaned.idx.size() < 4) return run.dataset.target("P_NODE");
+  StaticTrr trr(cfg);
   const auto times = run.truth.times();
-  trr.fit(run.dataset.features(), times, idx, power);
+  trr.fit(run.dataset.features(), times, cleaned.idx, cleaned.power);
   return trr.restore(run.dataset.features(), times).merged;
 }
 

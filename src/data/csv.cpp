@@ -1,5 +1,7 @@
 #include "highrpm/data/csv.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -7,6 +9,26 @@
 #include <stdexcept>
 
 namespace highrpm::data {
+
+namespace {
+
+/// Strict numeric-cell parse: the whole cell must be one finite double.
+/// stod-style prefix parsing ("12abc" -> 12) and textual "inf"/"nan" cells
+/// (which from_chars itself accepts) are both rejected — a corrupted log
+/// should fail loudly at load time, not feed NaN into the models.
+double parse_cell(const std::string& cell, const std::string& path) {
+  double value = 0.0;
+  const char* first = cell.data();
+  const char* last = cell.data() + cell.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || !std::isfinite(value)) {
+    throw std::runtime_error("read_csv: invalid numeric cell '" + cell +
+                             "' in " + path);
+  }
+  return value;
+}
+
+}  // namespace
 
 std::vector<double> CsvTable::column(const std::string& name) const {
   std::size_t idx = header.size();
@@ -56,23 +78,24 @@ CsvTable read_csv(const std::string& path) {
   if (!std::getline(f, line)) {
     throw std::runtime_error("read_csv: empty file " + path);
   }
+  // Tolerate CRLF logs: getline leaves the '\r' on the line.
+  const auto strip_cr = [](std::string& s) {
+    if (!s.empty() && s.back() == '\r') s.pop_back();
+  };
+  strip_cr(line);
   {
     std::stringstream ss(line);
     std::string cell;
     while (std::getline(ss, cell, ',')) table.header.push_back(cell);
   }
   while (std::getline(f, line)) {
+    strip_cr(line);
     if (line.empty()) continue;
     std::stringstream ss(line);
     std::string cell;
     std::vector<double> row;
     while (std::getline(ss, cell, ',')) {
-      try {
-        row.push_back(std::stod(cell));
-      } catch (const std::exception&) {
-        throw std::runtime_error("read_csv: non-numeric cell '" + cell +
-                                 "' in " + path);
-      }
+      row.push_back(parse_cell(cell, path));
     }
     if (row.size() != table.header.size()) {
       throw std::runtime_error("read_csv: ragged row in " + path);

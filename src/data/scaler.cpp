@@ -11,9 +11,19 @@ namespace {
 void require_fitted(bool fitted, const char* what) {
   if (!fitted) throw std::logic_error(std::string(what) + ": not fitted");
 }
+
+// A 0-row (or 0-column) fit would silently bake NaN/garbage statistics into
+// the scaler and poison everything transformed later.
+void require_nonempty(const math::Matrix& x, const char* what) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    throw std::invalid_argument(std::string(what) +
+                                ": cannot fit on an empty matrix");
+  }
+}
 }  // namespace
 
 void StandardScaler::fit(const math::Matrix& x) {
+  require_nonempty(x, "StandardScaler::fit");
   const std::size_t n = x.cols();
   mean_.assign(n, 0.0);
   std_.assign(n, 1.0);
@@ -58,6 +68,7 @@ math::Matrix StandardScaler::fit_transform(const math::Matrix& x) {
 }
 
 void MinMaxScaler::fit(const math::Matrix& x) {
+  require_nonempty(x, "MinMaxScaler::fit");
   const std::size_t n = x.cols();
   min_.assign(n, 0.0);
   range_.assign(n, 1.0);
@@ -87,6 +98,9 @@ math::Matrix MinMaxScaler::transform(const math::Matrix& x) const {
 std::vector<double> MinMaxScaler::transform_row(
     std::span<const double> row) const {
   require_fitted(fitted(), "MinMaxScaler");
+  if (row.size() != min_.size()) {
+    throw std::invalid_argument("MinMaxScaler: row width mismatch");
+  }
   std::vector<double> out(row.size());
   for (std::size_t c = 0; c < row.size(); ++c) {
     out[c] = (row[c] - min_[c]) / range_[c];
@@ -100,6 +114,9 @@ math::Matrix MinMaxScaler::fit_transform(const math::Matrix& x) {
 }
 
 void TargetScaler::fit(std::span<const double> y) {
+  if (y.empty()) {
+    throw std::invalid_argument("TargetScaler::fit: cannot fit on an empty span");
+  }
   mean_ = math::mean(y);
   const double s = math::stddev(y);
   std_ = s > 1e-12 ? s : 1.0;

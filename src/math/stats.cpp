@@ -78,6 +78,13 @@ double autocorrelation(std::span<const double> v, std::size_t lag) {
   return num / den;
 }
 
+bool all_finite(std::span<const double> v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
 std::vector<double> moving_average(std::span<const double> v,
                                    std::size_t window) {
   if (window == 0) throw std::invalid_argument("moving_average: window == 0");

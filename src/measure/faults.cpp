@@ -1,0 +1,179 @@
+#include "highrpm/measure/faults.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace highrpm::measure {
+
+bool FaultProfile::any() const noexcept {
+  return im_dropout > 0.0 || im_stuck > 0.0 || im_spike > 0.0 ||
+         im_jitter_ticks > 0 || pmc_nan > 0.0 || pmc_zero > 0.0;
+}
+
+FaultInjector::FaultInjector(FaultProfile profile)
+    : profile_(profile),
+      im_rng_(math::Rng::fork(profile.seed, 0)),
+      pmc_rng_(math::Rng::fork(profile.seed, 1)) {}
+
+void FaultInjector::reset() {
+  im_rng_ = math::Rng::fork(profile_.seed, 0);
+  pmc_rng_ = math::Rng::fork(profile_.seed, 1);
+  last_delivered_w_ = 0.0;
+  has_last_delivered_ = false;
+  pending_.clear();
+  counts_ = {};
+}
+
+bool FaultInjector::apply_value_faults(IpmiReading& reading) {
+  ++counts_.im_offered;
+  if (profile_.im_dropout > 0.0 && im_rng_.bernoulli(profile_.im_dropout)) {
+    ++counts_.im_dropped;
+    return false;
+  }
+  if (profile_.im_stuck > 0.0 && has_last_delivered_ &&
+      im_rng_.bernoulli(profile_.im_stuck)) {
+    ++counts_.im_stuck;
+    reading.power_w = last_delivered_w_;
+  } else if (profile_.im_spike > 0.0 && im_rng_.bernoulli(profile_.im_spike)) {
+    ++counts_.im_spiked;
+    reading.power_w *= profile_.spike_scale;
+  }
+  last_delivered_w_ = reading.power_w;
+  has_last_delivered_ = true;
+  return true;
+}
+
+std::optional<IpmiReading> FaultInjector::offer_im(
+    std::optional<IpmiReading> reading) {
+  // Age the delay queue first so a reading delayed by d ticks surfaces
+  // exactly d offers later.
+  for (auto& [delay, _] : pending_) {
+    if (delay > 0) --delay;
+  }
+  if (reading) {
+    if (apply_value_faults(*reading)) {
+      std::size_t delay = 0;
+      if (profile_.im_jitter_ticks > 0) {
+        delay = static_cast<std::size_t>(
+            im_rng_.uniform_index(profile_.im_jitter_ticks + 1));
+        if (delay > 0) ++counts_.im_delayed;
+      }
+      pending_.emplace_back(delay, *reading);
+    }
+  }
+  // Deliver at most one due reading per tick, oldest first; a backlog (two
+  // deliveries colliding on one tick) drains on subsequent ticks, exactly
+  // like a BMC flushing a stale poll late.
+  if (!pending_.empty() && pending_.front().first == 0) {
+    IpmiReading out = pending_.front().second;
+    pending_.pop_front();
+    return out;
+  }
+  return std::nullopt;
+}
+
+std::optional<IpmiReading> FaultInjector::corrupt_reading(IpmiReading reading) {
+  if (!apply_value_faults(reading)) return std::nullopt;
+  if (profile_.im_jitter_ticks > 0) {
+    const std::size_t shift = static_cast<std::size_t>(
+        im_rng_.uniform_index(profile_.im_jitter_ticks + 1));
+    if (shift > 0) {
+      ++counts_.im_delayed;
+      reading.tick_index += shift;
+      reading.time_s += static_cast<double>(shift);
+    }
+  }
+  return reading;
+}
+
+void FaultInjector::corrupt_pmc_row(std::span<double> row) {
+  ++counts_.pmc_rows;
+  if (profile_.pmc_nan > 0.0 && pmc_rng_.bernoulli(profile_.pmc_nan)) {
+    ++counts_.pmc_nan_rows;
+    std::fill(row.begin(), row.end(),
+              std::numeric_limits<double>::quiet_NaN());
+    return;
+  }
+  if (profile_.pmc_zero > 0.0 && pmc_rng_.bernoulli(profile_.pmc_zero)) {
+    ++counts_.pmc_zero_rows;
+    std::fill(row.begin(), row.end(), 0.0);
+  }
+}
+
+sim::PmcVector FaultInjector::corrupt_pmc(sim::PmcVector v) {
+  corrupt_pmc_row(v);
+  return v;
+}
+
+FaultyIpmiSensor::FaultyIpmiSensor(IpmiConfig cfg, FaultProfile profile)
+    : inner_(cfg), injector_(profile) {}
+
+std::optional<IpmiReading> FaultyIpmiSensor::offer(
+    const sim::TickSample& tick) {
+  return injector_.offer_im(inner_.offer(tick));
+}
+
+std::vector<IpmiReading> FaultyIpmiSensor::sample_trace(
+    const sim::Trace& trace) {
+  reset();
+  std::vector<IpmiReading> out;
+  for (const auto& tick : trace.samples()) {
+    if (auto r = offer(tick)) out.push_back(*r);
+  }
+  return out;
+}
+
+void FaultyIpmiSensor::reset() {
+  inner_.reset();
+  injector_.reset();
+}
+
+FaultyPmcSampler::FaultyPmcSampler(PmcSamplerConfig cfg, FaultProfile profile)
+    : inner_(cfg), injector_(profile) {}
+
+sim::PmcVector FaultyPmcSampler::sample(const sim::TickSample& tick) {
+  return injector_.corrupt_pmc(inner_.sample(tick));
+}
+
+math::Matrix FaultyPmcSampler::sample_trace(const sim::Trace& trace) {
+  reset();
+  math::Matrix m(trace.size(), sim::kNumPmcEvents);
+  for (std::size_t r = 0; r < trace.size(); ++r) {
+    const auto v = sample(trace[r]);
+    std::copy(v.begin(), v.end(), m.row(r).begin());
+  }
+  return m;
+}
+
+void FaultyPmcSampler::reset() {
+  inner_.reset();
+  injector_.reset();
+}
+
+CollectedRun inject_faults(const CollectedRun& run,
+                           const FaultProfile& profile) {
+  CollectedRun out = run;
+  FaultInjector injector(profile);
+
+  auto& features = out.dataset.features();
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    injector.corrupt_pmc_row(features.row(r));
+  }
+
+  const std::size_t n = out.num_ticks();
+  std::vector<IpmiReading> readings;
+  readings.reserve(run.ipmi_readings.size());
+  for (const auto& reading : run.ipmi_readings) {
+    if (auto r = injector.corrupt_reading(reading)) {
+      // A jitter shift past the end of the run means the reading never
+      // arrived before the trace stopped.
+      if (r->tick_index < n) readings.push_back(*r);
+    }
+  }
+  out.ipmi_readings = std::move(readings);
+  out.measured.assign(n, false);
+  for (const auto& r : out.ipmi_readings) out.measured[r.tick_index] = true;
+  return out;
+}
+
+}  // namespace highrpm::measure

@@ -152,5 +152,49 @@ TEST(DynamicTrr, FineTuneApiRejectsUntrained) {
   EXPECT_THROW(trr.fine_tune({}, 1), std::logic_error);
 }
 
+
+TEST(DynamicTrr, ColdStartFallsBackToTrainingLabelMean) {
+  const auto train = collect(workloads::fft(), 250, 15);
+  DynamicTrrConfig cfg = fast_config();
+  // Disable the validation layer so the estimate is the raw model output:
+  // this isolates the cold-start prior from the plausibility clamp.
+  cfg.validate_inputs = false;
+  DynamicTrr trr(cfg);
+  trr.train_single(train.dataset.features(), train.dataset.target("P_NODE"));
+  const double mean = trr.train_label_mean();
+  EXPECT_GT(mean, 0.0);
+
+  // First tick of a stream with no IM reading: pre-hardening the P'_prev
+  // input was 0.0 W — far outside anything the model trained on — and the
+  // first estimates started from nonsense. With the label-mean prior the
+  // cold-start estimate lands near the training distribution.
+  const auto test = collect(workloads::fft(), 10, 16);
+  const double est = trr.step(test.dataset.features().row(0), std::nullopt);
+  EXPECT_NEAR(est, mean, 0.35 * mean);
+}
+
+TEST(DynamicTrr, StreamWindowNeverExceedsMissInterval) {
+  const auto train = collect(workloads::fft(), 250, 17);
+  DynamicTrr trr(fast_config());
+  trr.train_single(train.dataset.features(), train.dataset.target("P_NODE"));
+  const std::size_t mi = trr.config().miss_interval;
+  const auto test = collect(workloads::fft(), 50, 18);
+  const auto& features = test.dataset.features();
+  EXPECT_EQ(trr.stream_window_size(), 0u);
+  for (std::size_t t = 0; t < test.num_ticks(); ++t) {
+    trr.step(features.row(t), std::nullopt);
+    EXPECT_LE(trr.stream_window_size(), mi);
+    EXPECT_EQ(trr.stream_window_size(), std::min<std::size_t>(t + 1, mi));
+  }
+}
+
+TEST(DynamicTrr, StepRejectsWrongRowWidth) {
+  const auto train = collect(workloads::fft(), 250, 19);
+  DynamicTrr trr(fast_config());
+  trr.train_single(train.dataset.features(), train.dataset.target("P_NODE"));
+  const std::vector<double> wrong(train.dataset.features().cols() + 3, 1.0);
+  EXPECT_THROW(trr.step(wrong, std::nullopt), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace highrpm::core

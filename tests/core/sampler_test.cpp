@@ -85,5 +85,15 @@ TEST(Sampler, SuccessiveDrawsDiffer) {
   EXPECT_NE(a, b);
 }
 
+
+TEST(Sampler, InvalidConfigThrows) {
+  SamplerConfig cfg;
+  cfg.reinforcement_size = 0;
+  EXPECT_THROW(ReinforcementSampler{cfg}, std::invalid_argument);
+  cfg = SamplerConfig{};
+  cfg.measured_weight = 0.0;
+  EXPECT_THROW(ReinforcementSampler{cfg}, std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace highrpm::core

@@ -70,5 +70,44 @@ TEST_F(CsvTest, EmptyRowsAreSkipped) {
   EXPECT_EQ(t.num_rows(), 2u);
 }
 
+
+TEST_F(CsvTest, PartialNumericCellThrows) {
+  {
+    std::ofstream f(path_);
+    f << "a,b\n1,12abc\n";
+  }
+  // Pre-hardening the stod-based parser silently read this as 12.
+  EXPECT_THROW(read_csv(path_.string()), std::runtime_error);
+}
+
+TEST_F(CsvTest, NonFiniteCellsThrow) {
+  for (const char* bad : {"inf", "-inf", "nan", "NaN"}) {
+    {
+      std::ofstream f(path_);
+      f << "a\n" << bad << "\n";
+    }
+    EXPECT_THROW(read_csv(path_.string()), std::runtime_error) << bad;
+  }
+}
+
+TEST_F(CsvTest, EmptyCellThrows) {
+  {
+    std::ofstream f(path_);
+    f << "a,b\n1,\n";
+  }
+  EXPECT_THROW(read_csv(path_.string()), std::runtime_error);
+}
+
+TEST_F(CsvTest, CrlfLineEndingsAreTolerated) {
+  {
+    std::ofstream f(path_);
+    f << "a,b\r\n1,2\r\n3,4\r\n";
+  }
+  const CsvTable t = read_csv(path_.string());
+  ASSERT_EQ(t.header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(t.rows[1][1], 4.0);
+}
+
 }  // namespace
 }  // namespace highrpm::data

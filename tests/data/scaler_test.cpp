@@ -88,5 +88,33 @@ TEST(TargetScaler, UnfittedThrows) {
   EXPECT_THROW(s.inverse_one(1.0), std::logic_error);
 }
 
+
+TEST(StandardScaler, EmptyFitThrows) {
+  StandardScaler s;
+  EXPECT_THROW(s.fit(math::Matrix(0, 3)), std::invalid_argument);
+  EXPECT_THROW(s.fit(math::Matrix(3, 0)), std::invalid_argument);
+}
+
+TEST(MinMaxScaler, EmptyFitThrows) {
+  MinMaxScaler s;
+  EXPECT_THROW(s.fit(math::Matrix(0, 2)), std::invalid_argument);
+}
+
+TEST(MinMaxScaler, TransformRowWidthMismatchThrows) {
+  math::Matrix x{{1.0, 10.0}, {3.0, 30.0}};
+  MinMaxScaler s;
+  s.fit(x);
+  // Pre-hardening this read past the fitted min_/range_ arrays.
+  const std::vector<double> wide{1.0, 2.0, 3.0};
+  EXPECT_THROW(s.transform_row(wide), std::invalid_argument);
+  const std::vector<double> narrow{1.0};
+  EXPECT_THROW(s.transform_row(narrow), std::invalid_argument);
+}
+
+TEST(TargetScaler, EmptyFitThrows) {
+  TargetScaler s;
+  EXPECT_THROW(s.fit(std::vector<double>{}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace highrpm::data

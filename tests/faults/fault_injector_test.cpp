@@ -1,0 +1,349 @@
+#include "highrpm/measure/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "highrpm/sim/node.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+namespace highrpm::measure {
+namespace {
+
+sim::Trace make_trace(std::size_t ticks, std::uint64_t seed = 1) {
+  sim::NodeSimulator node(sim::PlatformConfig::arm(), workloads::fft(), seed);
+  return node.run(ticks);
+}
+
+CollectedRun collect(std::size_t ticks, std::uint64_t seed = 5) {
+  Collector collector;
+  return collector.collect(sim::PlatformConfig::arm(), workloads::fft(),
+                           ticks, seed);
+}
+
+std::vector<IpmiReading> make_readings(std::size_t n, std::size_t stride) {
+  std::vector<IpmiReading> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    IpmiReading r;
+    r.tick_index = i * stride;
+    r.time_s = static_cast<double>(i * stride);
+    r.power_w = 100.0 + static_cast<double>(i);
+    out.push_back(r);
+  }
+  return out;
+}
+
+TEST(FaultProfile, DefaultIsClean) {
+  EXPECT_FALSE(FaultProfile{}.any());
+  FaultProfile p;
+  p.im_dropout = 0.1;
+  EXPECT_TRUE(p.any());
+}
+
+TEST(FaultInjector, CleanProfileIsExactIdentity) {
+  FaultInjector injector;  // default profile: all rates 0
+  const auto readings = make_readings(20, 5);
+  for (const auto& r : readings) {
+    const auto out = injector.corrupt_reading(r);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_DOUBLE_EQ(out->power_w, r.power_w);
+    EXPECT_EQ(out->tick_index, r.tick_index);
+    EXPECT_DOUBLE_EQ(out->time_s, r.time_s);
+  }
+  std::vector<double> row{1.0, 2.0, 3.0};
+  injector.corrupt_pmc_row(row);
+  EXPECT_EQ(row, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(injector.counts().im_dropped, 0u);
+  EXPECT_EQ(injector.counts().pmc_nan_rows, 0u);
+}
+
+TEST(FaultInjector, SameSeedSameFaults) {
+  FaultProfile p;
+  p.im_dropout = 0.3;
+  p.im_spike = 0.2;
+  p.pmc_nan = 0.3;
+  p.seed = 42;
+  FaultInjector a(p), b(p);
+  const auto readings = make_readings(50, 2);
+  for (const auto& r : readings) {
+    const auto ra = a.corrupt_reading(r);
+    const auto rb = b.corrupt_reading(r);
+    ASSERT_EQ(ra.has_value(), rb.has_value());
+    if (ra) EXPECT_DOUBLE_EQ(ra->power_w, rb->power_w);
+  }
+  EXPECT_EQ(a.counts().im_dropped, b.counts().im_dropped);
+  EXPECT_EQ(a.counts().im_spiked, b.counts().im_spiked);
+}
+
+TEST(FaultInjector, DifferentSeedsDifferentFaults) {
+  FaultProfile p;
+  p.im_dropout = 0.5;
+  FaultProfile q = p;
+  q.seed = p.seed + 1;
+  FaultInjector a(p), b(q);
+  const auto readings = make_readings(100, 1);
+  bool any_difference = false;
+  for (const auto& r : readings) {
+    if (a.corrupt_reading(r).has_value() != b.corrupt_reading(r).has_value()) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultInjector, ResetReplaysTheSameSequence) {
+  FaultProfile p;
+  p.im_dropout = 0.4;
+  FaultInjector injector(p);
+  const auto readings = make_readings(30, 1);
+  std::vector<bool> first;
+  for (const auto& r : readings) {
+    first.push_back(injector.corrupt_reading(r).has_value());
+  }
+  injector.reset();
+  EXPECT_EQ(injector.counts().im_offered, 0u);
+  for (std::size_t i = 0; i < readings.size(); ++i) {
+    EXPECT_EQ(injector.corrupt_reading(readings[i]).has_value(), first[i]);
+  }
+}
+
+TEST(FaultInjector, DropoutRateIsRoughlyHonored) {
+  FaultProfile p;
+  p.im_dropout = 0.3;
+  FaultInjector injector(p);
+  for (const auto& r : make_readings(1000, 1)) {
+    injector.corrupt_reading(r);
+  }
+  EXPECT_EQ(injector.counts().im_offered, 1000u);
+  EXPECT_GT(injector.counts().im_dropped, 200u);
+  EXPECT_LT(injector.counts().im_dropped, 400u);
+}
+
+TEST(FaultInjector, StuckRepeatsLastDeliveredValue) {
+  FaultProfile p;
+  p.im_stuck = 1.0;  // every reading after the first latches
+  FaultInjector injector(p);
+  const auto readings = make_readings(10, 1);
+  const auto first = injector.corrupt_reading(readings[0]);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_DOUBLE_EQ(first->power_w, readings[0].power_w);
+  for (std::size_t i = 1; i < readings.size(); ++i) {
+    const auto out = injector.corrupt_reading(readings[i]);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_DOUBLE_EQ(out->power_w, readings[0].power_w);
+  }
+  EXPECT_EQ(injector.counts().im_stuck, 9u);
+}
+
+TEST(FaultInjector, SpikeScalesTheReading) {
+  FaultProfile p;
+  p.im_spike = 1.0;
+  p.spike_scale = 3.0;
+  FaultInjector injector(p);
+  const auto out = injector.corrupt_reading(make_readings(1, 1)[0]);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ(out->power_w, 300.0);
+  EXPECT_EQ(injector.counts().im_spiked, 1u);
+}
+
+TEST(FaultInjector, PmcNanAndZeroRowFaults) {
+  FaultProfile p;
+  p.pmc_nan = 1.0;
+  FaultInjector nan_injector(p);
+  std::vector<double> row{1.0, 2.0, 3.0};
+  nan_injector.corrupt_pmc_row(row);
+  for (const double v : row) EXPECT_TRUE(std::isnan(v));
+
+  FaultProfile q;
+  q.pmc_zero = 1.0;
+  FaultInjector zero_injector(q);
+  row = {1.0, 2.0, 3.0};
+  zero_injector.corrupt_pmc_row(row);
+  for (const double v : row) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(FaultInjector, StreamingJitterDelaysDelivery) {
+  FaultProfile p;
+  p.im_jitter_ticks = 3;
+  p.seed = 7;
+  FaultInjector injector(p);
+  // Offer a reading every 5 ticks for 100 ticks; every reading must
+  // eventually surface, delayed by at most im_jitter_ticks.
+  std::size_t offered = 0, delivered = 0;
+  for (std::size_t t = 0; t < 100; ++t) {
+    std::optional<IpmiReading> in;
+    if (t % 5 == 0) {
+      IpmiReading r;
+      r.tick_index = t;
+      r.time_s = static_cast<double>(t);
+      r.power_w = 100.0;
+      in = r;
+      ++offered;
+    }
+    if (const auto out = injector.offer_im(in)) {
+      // A delayed reading keeps its original (stale) tick_index.
+      EXPECT_LE(out->tick_index, t);
+      EXPECT_GE(out->tick_index + p.im_jitter_ticks, t);
+      ++delivered;
+    }
+  }
+  EXPECT_EQ(delivered, offered);
+  EXPECT_GT(injector.counts().im_delayed, 0u);
+}
+
+TEST(FaultInjector, BatchJitterShiftsTimestampsForward) {
+  FaultProfile p;
+  p.im_jitter_ticks = 2;
+  p.seed = 11;
+  FaultInjector injector(p);
+  bool any_shift = false;
+  for (const auto& r : make_readings(50, 10)) {
+    const auto out = injector.corrupt_reading(r);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_GE(out->tick_index, r.tick_index);
+    EXPECT_LE(out->tick_index, r.tick_index + 2);
+    if (out->tick_index != r.tick_index) any_shift = true;
+  }
+  EXPECT_TRUE(any_shift);
+}
+
+TEST(FaultInjector, JitterCanCollideTimestamps) {
+  // With stride 1 and jitter 2, shifted readings must eventually land on
+  // the same tick as a neighbor — the duplicate-timestamp pathology that
+  // StaticTrr::fit has to survive.
+  FaultProfile p;
+  p.im_jitter_ticks = 2;
+  p.seed = 3;
+  FaultInjector injector(p);
+  std::multiset<std::size_t> ticks;
+  for (const auto& r : make_readings(100, 1)) {
+    if (const auto out = injector.corrupt_reading(r)) {
+      ticks.insert(out->tick_index);
+    }
+  }
+  bool any_duplicate = false;
+  for (const auto t : ticks) {
+    if (ticks.count(t) > 1) any_duplicate = true;
+  }
+  EXPECT_TRUE(any_duplicate);
+}
+
+TEST(FaultyIpmiSensor, CleanProfileMatchesInnerSensor) {
+  const auto trace = make_trace(80);
+  IpmiConfig cfg;
+  cfg.interval_s = 10.0;
+  IpmiSensor plain(cfg);
+  FaultyIpmiSensor faulty(cfg, FaultProfile{});
+  const auto a = plain.sample_trace(trace);
+  const auto b = faulty.sample_trace(trace);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].power_w, b[i].power_w);
+    EXPECT_EQ(a[i].tick_index, b[i].tick_index);
+  }
+}
+
+TEST(FaultyIpmiSensor, DropoutThinsTheReadings) {
+  const auto trace = make_trace(200);
+  IpmiConfig cfg;
+  cfg.interval_s = 5.0;
+  FaultProfile p;
+  p.im_dropout = 0.5;
+  FaultyIpmiSensor faulty(cfg, p);
+  IpmiSensor plain(cfg);
+  EXPECT_LT(faulty.sample_trace(trace).size(),
+            plain.sample_trace(trace).size());
+  EXPECT_GT(faulty.counts().im_dropped, 0u);
+}
+
+TEST(FaultyPmcSampler, CleanProfileMatchesInnerSampler) {
+  const auto trace = make_trace(40);
+  PmcSamplerConfig cfg;
+  PmcSampler plain(cfg);
+  FaultyPmcSampler faulty(cfg, FaultProfile{});
+  const auto a = plain.sample_trace(trace);
+  const auto b = faulty.sample_trace(trace);
+  ASSERT_EQ(a.rows(), b.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(a(r, c), b(r, c));
+    }
+  }
+}
+
+TEST(FaultyPmcSampler, NanFaultsAppearAtConfiguredRate) {
+  const auto trace = make_trace(300);
+  PmcSamplerConfig cfg;
+  FaultProfile p;
+  p.pmc_nan = 0.2;
+  FaultyPmcSampler faulty(cfg, p);
+  const auto m = faulty.sample_trace(trace);
+  std::size_t nan_rows = 0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (std::isnan(m(r, 0))) ++nan_rows;
+  }
+  EXPECT_EQ(nan_rows, faulty.counts().pmc_nan_rows);
+  EXPECT_GT(nan_rows, 300u / 10);
+  EXPECT_LT(nan_rows, 300u / 3);
+}
+
+TEST(InjectFaults, CleanProfileLeavesRunIdentical) {
+  const auto run = collect(100);
+  const auto out = inject_faults(run, FaultProfile{});
+  ASSERT_EQ(out.num_ticks(), run.num_ticks());
+  ASSERT_EQ(out.ipmi_readings.size(), run.ipmi_readings.size());
+  for (std::size_t i = 0; i < run.ipmi_readings.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out.ipmi_readings[i].power_w,
+                     run.ipmi_readings[i].power_w);
+  }
+  const auto& a = run.dataset.features();
+  const auto& b = out.dataset.features();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(a(r, c), b(r, c));
+    }
+  }
+  EXPECT_EQ(out.measured, run.measured);
+}
+
+TEST(InjectFaults, CorruptsReadingsAndRowsButNotTruth) {
+  const auto run = collect(200);
+  FaultProfile p;
+  p.im_dropout = 0.3;
+  p.pmc_nan = 0.3;
+  p.im_jitter_ticks = 2;
+  const auto out = inject_faults(run, p);
+
+  EXPECT_LT(out.ipmi_readings.size(), run.ipmi_readings.size());
+  std::size_t nan_rows = 0;
+  const auto& f = out.dataset.features();
+  for (std::size_t r = 0; r < f.rows(); ++r) {
+    if (std::isnan(f(r, 0))) ++nan_rows;
+  }
+  EXPECT_GT(nan_rows, 0u);
+
+  // measured must agree with the surviving readings...
+  std::vector<bool> expect_measured(out.num_ticks(), false);
+  for (const auto& r : out.ipmi_readings) {
+    ASSERT_LT(r.tick_index, out.num_ticks());
+    expect_measured[r.tick_index] = true;
+  }
+  EXPECT_EQ(out.measured, expect_measured);
+
+  // ...and ground truth stays the clean reference.
+  const auto before = run.truth.node_power();
+  const auto after = out.truth.node_power();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before[i], after[i]);
+  }
+  const auto target_a = run.dataset.target("P_NODE");
+  const auto target_b = out.dataset.target("P_NODE");
+  for (std::size_t i = 0; i < target_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(target_a[i], target_b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace highrpm::measure
