@@ -1,0 +1,51 @@
+// The one place in HighRPM where exact floating-point comparison is
+// allowed to be spelled out.
+//
+// HighRPM's determinism guarantee (same seed => bit-identical TRR/SRR
+// output for any thread count) means exact comparisons are sometimes the
+// *correct* tool: skipping a multiply when a coefficient is exactly zero,
+// detecting a stuck sensor that repeats the identical quantized value,
+// checking whether a measured reading superseded a prediction. Replacing
+// those with epsilon tests would silently change numeric behavior.
+//
+// But a raw `a == b` at a call site cannot be told apart from the classic
+// rounding bug, so the correctness gate bans it everywhere (linter rule
+// float-compare; -Wfloat-equal under HIGHRPM_WERROR=ON) and routes
+// intentional uses through these helpers instead. The names carry the
+// intent; this header carries the rationale.
+#pragma once
+
+#include <cmath>
+
+namespace highrpm::math {
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wfloat-equal"
+
+/// Intentional bit-level equality: true iff a == b exactly (so NaN never
+/// compares equal, and -0.0 == +0.0 as IEEE defines). Use for stuck-value
+/// detection, "did the measurement supersede the estimate" checks, and
+/// tie detection on values that were never rounded independently.
+[[nodiscard]] constexpr bool exact_eq(double a, double b) noexcept {
+  return a == b;
+}
+
+/// Intentional exact zero test (matches +0.0 and -0.0). Use for
+/// sparsity-skip fast paths: skipping work for an exact zero can never
+/// change the result, while an epsilon test would.
+[[nodiscard]] constexpr bool is_zero(double x) noexcept { return x == 0.0; }
+
+#pragma GCC diagnostic pop
+
+/// Tolerance comparison for everything that *was* rounded independently:
+/// |a-b| <= abs_tol + rel_tol * max(|a|,|b|). Not a replacement for
+/// exact_eq — the two answer different questions.
+[[nodiscard]] inline bool approx_eq(double a, double b, double rel_tol = 1e-12,
+                                    double abs_tol = 0.0) noexcept {
+  if (exact_eq(a, b)) return true;  // covers infinities of the same sign
+  const double diff = std::fabs(a - b);
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+}  // namespace highrpm::math

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# HighRPM correctness gate. Runs the same steps as .github/workflows/ci.yml
+# so the local gate and CI cannot drift:
+#
+#   lint      tools/lint/highrpm_lint.py (+ header self-containment compile)
+#   werror    Release build with HIGHRPM_WERROR=ON + full ctest
+#   tidy      clang-tidy over the compile database   [skipped if not installed]
+#   asan      full ctest under -fsanitize=address
+#   ubsan     full ctest under -fsanitize=undefined (no-recover: UB = failure)
+#   tsan      ctest -L sanitize under -fsanitize=thread (pool race-stress)
+#   format    clang-format --dry-run cleanliness     [only with --format;
+#                                                     skipped if not installed]
+#
+# Usage:
+#   scripts/check.sh                 # full gate
+#   scripts/check.sh lint werror     # selected steps only
+#   scripts/check.sh --format        # full gate + formatting check
+#
+# Tools that are not installed (clang-tidy, clang-format) are skipped with a
+# notice, never silently: the steps that enforce the same invariants through
+# GCC (-Werror warning set) and the project linter always run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+WANT_FORMAT=0
+STEPS=()
+for arg in "$@"; do
+  case "$arg" in
+    --format) WANT_FORMAT=1 ;;
+    lint|werror|tidy|asan|ubsan|tsan|format) STEPS+=("$arg") ;;
+    *) echo "usage: scripts/check.sh [--format] [lint|werror|tidy|asan|ubsan|tsan|format ...]" >&2
+       exit 2 ;;
+  esac
+done
+if [ "${#STEPS[@]}" -eq 0 ]; then
+  STEPS=(lint werror tidy asan ubsan tsan)
+  [ "$WANT_FORMAT" -eq 1 ] && STEPS+=(format)
+fi
+
+note()  { printf '\n==> %s\n' "$*"; }
+skip()  { printf '    SKIPPED: %s\n' "$*"; }
+
+build_and_test() {  # <preset> <ctest extra args...>
+  local preset="$1"; shift
+  cmake --preset "$preset" >/dev/null
+  cmake --build --preset "$preset" -j "$JOBS"
+  ctest --test-dir "build-$preset" --output-on-failure -j "$JOBS" "$@"
+}
+
+step_lint() {
+  note "lint: highrpm_lint.py + header self-containment"
+  python3 tools/lint/highrpm_lint.py --compile-headers
+}
+
+step_werror() {
+  note "werror: Release + strict warnings as errors + full test suite"
+  cmake --preset werror >/dev/null
+  cmake --build --preset werror -j "$JOBS"
+  ctest --test-dir build-werror --output-on-failure -j "$JOBS"
+}
+
+step_tidy() {
+  note "tidy: clang-tidy (bugprone/performance/concurrency/cert-flp)"
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    skip "clang-tidy not installed"
+    return 0
+  fi
+  cmake --preset werror -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  local sources
+  sources=$(git ls-files 'src/**/*.cpp' 'include/highrpm/**/*.hpp')
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    # shellcheck disable=SC2086
+    run-clang-tidy -p build-werror -quiet $sources
+  else
+    # shellcheck disable=SC2086
+    clang-tidy -p build-werror --quiet $sources
+  fi
+}
+
+step_asan() {
+  note "asan: full test suite under AddressSanitizer"
+  build_and_test asan
+}
+
+step_ubsan() {
+  note "ubsan: full test suite under UBSan (-fno-sanitize-recover)"
+  build_and_test ubsan
+}
+
+step_tsan() {
+  note "tsan: concurrency suite (ctest -L sanitize) under ThreadSanitizer"
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L sanitize
+}
+
+step_format() {
+  note "format: clang-format cleanliness"
+  if ! command -v clang-format >/dev/null 2>&1; then
+    skip "clang-format not installed"
+    return 0
+  fi
+  git ls-files '*.cpp' '*.hpp' | xargs clang-format --dry-run -Werror
+}
+
+for step in "${STEPS[@]}"; do
+  "step_$step"
+done
+
+note "all requested steps passed: ${STEPS[*]}"

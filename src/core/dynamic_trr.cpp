@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "highrpm/math/float_eq.hpp"
 #include "highrpm/math/stats.hpp"
 
 namespace highrpm::core {
@@ -118,7 +119,7 @@ bool DynamicTrr::plausible_reading(double value) const {
 }
 
 bool DynamicTrr::stuck_reading(double value, double estimate) {
-  if (have_last_im_ && value == last_im_value_) {
+  if (have_last_im_ && math::exact_eq(value, last_im_value_)) {
     ++im_repeats_;
   } else {
     im_repeats_ = 1;

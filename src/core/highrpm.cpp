@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "highrpm/math/float_eq.hpp"
 #include "highrpm/math/stats.hpp"
 
 namespace highrpm::core {
@@ -179,7 +180,8 @@ PowerEstimate HighRpm::on_tick(std::span<const double> pmcs,
   est.node_w = dynamic_trr_.step(row, im_reading);
   // DynamicTrr may reject an implausible reading; only report measured when
   // the reading actually superseded the prediction.
-  est.measured = im_reading.has_value() && est.node_w == *im_reading;
+  est.measured =
+      im_reading.has_value() && math::exact_eq(est.node_w, *im_reading);
   const auto comp = srr_.predict_one(row, est.node_w);
   est.cpu_w = comp.cpu_w;
   est.mem_w = comp.mem_w;

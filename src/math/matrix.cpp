@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "highrpm/math/float_eq.hpp"
 #include "highrpm/runtime/parallel_for.hpp"
 
 namespace highrpm::math {
@@ -90,7 +91,7 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
         auto crow = c.row(i);
         for (std::size_t k = k0; k < k1; ++k) {
           const double aik = a(i, k);
-          if (aik == 0.0) continue;
+          if (is_zero(aik)) continue;
           const auto brow = b.row(k);
           for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
         }
@@ -120,7 +121,7 @@ Matrix gram(const Matrix& a) {
     const auto row = a.row(r);
     for (std::size_t i = 0; i < n; ++i) {
       const double ri = row[i];
-      if (ri == 0.0) continue;
+      if (is_zero(ri)) continue;
       for (std::size_t j = i; j < n; ++j) g(i, j) += ri * row[j];
     }
   }
@@ -145,7 +146,7 @@ std::vector<double> matvec_t(const Matrix& a, std::span<const double> x) {
   std::vector<double> y(a.cols(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double xi = x[i];
-    if (xi == 0.0) continue;
+    if (is_zero(xi)) continue;
     const auto row = a.row(i);
     for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
   }

@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "highrpm/math/float_eq.hpp"
+
 namespace highrpm::math {
 
 namespace {
@@ -79,7 +81,7 @@ double Rng::normal(double mean, double stddev) {
 
 std::uint64_t Rng::poisson(double lambda) {
   if (lambda < 0.0) throw std::invalid_argument("poisson: lambda < 0");
-  if (lambda == 0.0) return 0;
+  if (is_zero(lambda)) return 0;
   if (lambda > 30.0) {
     // Normal approximation with continuity correction.
     const double v = normal(lambda, std::sqrt(lambda));

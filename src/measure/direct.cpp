@@ -1,6 +1,8 @@
 #include "highrpm/measure/direct.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
 
 namespace highrpm::measure {
 
@@ -8,6 +10,12 @@ DirectMeasurementRig::DirectMeasurementRig(DirectRigConfig cfg)
     : cfg_(cfg), rng_(cfg.seed) {}
 
 ComponentReading DirectMeasurementRig::read(const sim::TickSample& tick) {
+  // Sensor boundary: reject non-finite component powers before they reach
+  // the SRR training targets.
+  if (!std::isfinite(tick.p_cpu_w) || !std::isfinite(tick.p_mem_w)) {
+    throw std::invalid_argument(
+        "DirectMeasurementRig: non-finite component power in tick");
+  }
   ComponentReading r;
   r.time_s = tick.time_s;
   r.cpu_w = std::max(0.0, tick.p_cpu_w + rng_.normal(0.0, cfg_.reading_error_w));

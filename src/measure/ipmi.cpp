@@ -18,6 +18,12 @@ void IpmiSensor::reset() {
 }
 
 std::optional<IpmiReading> IpmiSensor::offer(const sim::TickSample& tick) {
+  // Sensor boundary: a non-finite node power can only come from a broken
+  // upstream producer; reject it here rather than let NaN enter the
+  // history window and poison later readouts.
+  if (!std::isfinite(tick.p_node_w)) {
+    throw std::invalid_argument("IpmiSensor: non-finite node power in tick");
+  }
   history_.emplace_back(ticks_seen_, tick.p_node_w);
   const std::size_t delay =
       static_cast<std::size_t>(std::llround(cfg_.readout_delay_s));

@@ -1,6 +1,8 @@
 #include "highrpm/measure/pmc_sampler.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
 
 namespace highrpm::measure {
 
@@ -16,6 +18,13 @@ void PmcSampler::reset() {
 sim::PmcVector PmcSampler::sample(const sim::TickSample& tick) {
   sim::PmcVector out{};
   const std::size_t n = sim::kNumPmcEvents;
+  // Sensor boundary: a non-finite counter would otherwise be held as the
+  // "last sampled value" under multiplexing and replayed for ticks.
+  for (std::size_t e = 0; e < n; ++e) {
+    if (!std::isfinite(tick.pmcs[e])) {
+      throw std::invalid_argument("PmcSampler: non-finite PMC value in tick");
+    }
+  }
   const bool multiplexed = cfg_.counter_slots > 0 && cfg_.counter_slots < n;
   for (std::size_t e = 0; e < n; ++e) {
     bool live = true;

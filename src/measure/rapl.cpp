@@ -12,6 +12,12 @@ RaplInterface::RaplInterface(RaplConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
 }
 
 void RaplInterface::advance(const sim::TickSample& tick) {
+  // Sensor boundary: energy counters accumulate, so one non-finite tick
+  // would corrupt every subsequent readout. Reject it up front.
+  if (!std::isfinite(tick.p_cpu_w) || !std::isfinite(tick.p_mem_w)) {
+    throw std::invalid_argument(
+        "RaplInterface: non-finite component power in tick");
+  }
   // One tick = one second; energy += power * 1 s, with RAPL model error.
   const double err = 1.0 + rng_.normal(0.0, cfg_.relative_error);
   pkg_uj_ += std::max(0.0, tick.p_cpu_w * err) * 1e6;
@@ -30,7 +36,7 @@ std::uint64_t RaplInterface::wrap(double uj) const noexcept {
 double RaplInterface::power_from_counters(std::uint64_t before,
                                           std::uint64_t after,
                                           double dt_s) const {
-  if (dt_s <= 0.0) {
+  if (!std::isfinite(dt_s) || dt_s <= 0.0) {
     throw std::invalid_argument("power_from_counters: dt must be > 0");
   }
   const double unit = cfg_.counter_resolution_uj;

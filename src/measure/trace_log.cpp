@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "highrpm/data/csv.hpp"
+#include "highrpm/math/float_eq.hpp"
 
 namespace highrpm::measure {
 
@@ -70,7 +71,7 @@ CollectedRun load_run(const std::string& path) {
   const auto ipmi = table.column(kIpmiCol);
   run.measured.resize(n);
   for (std::size_t t = 0; t < n; ++t) {
-    run.measured[t] = measured[t] != 0.0;
+    run.measured[t] = !math::is_zero(measured[t]);
     if (run.measured[t]) {
       IpmiReading r;
       r.tick_index = t;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "highrpm/math/float_eq.hpp"
 #include "highrpm/math/solve.hpp"
 #include "highrpm/math/stats.hpp"
 
@@ -121,7 +122,7 @@ void LassoRegression::fit(const math::Matrix& x, std::span<const double> y) {
         w_new = (rho + thresh) / col_sq[j];
       }
       const double delta = w_new - coef_[j];
-      if (delta != 0.0) {
+      if (!math::is_zero(delta)) {
         for (std::size_t r = 0; r < n; ++r) residual[r] -= delta * xs(r, j);
         coef_[j] = w_new;
       }

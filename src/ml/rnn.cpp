@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "highrpm/math/float_eq.hpp"
+
 namespace highrpm::ml {
 
 namespace {
@@ -275,7 +277,7 @@ void SequenceRegressor::fit(std::span<const data::SequenceSample> samples,
               }
               for (std::size_t j = 0; j < g; ++j) {
                 const double d = dz[j];
-                if (d == 0.0) continue;
+                if (math::is_zero(d)) continue;
                 gp.b[j] += d;
                 auto gw = gp.w.row(j);
                 for (std::size_t k = 0; k < dx.size(); ++k) {
@@ -305,7 +307,7 @@ void SequenceRegressor::fit(std::span<const data::SequenceSample> samples,
               // Candidate path: n pre-act depends on x and r*h_prev.
               for (std::size_t j = 0; j < H; ++j) {
                 const double d = dz[2 * H + j];
-                if (d == 0.0) continue;
+                if (math::is_zero(d)) continue;
                 gp.b[2 * H + j] += d;
                 auto gw = gp.w.row(2 * H + j);
                 for (std::size_t k = 0; k < dx.size(); ++k) {
@@ -328,7 +330,7 @@ void SequenceRegressor::fit(std::span<const data::SequenceSample> samples,
               // z and r gate paths.
               for (std::size_t j = 0; j < 2 * H; ++j) {
                 const double d = dz[j];
-                if (d == 0.0) continue;
+                if (math::is_zero(d)) continue;
                 gp.b[j] += d;
                 auto gw = gp.w.row(j);
                 for (std::size_t k = 0; k < dx.size(); ++k) {

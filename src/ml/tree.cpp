@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "highrpm/math/float_eq.hpp"
 #include "highrpm/runtime/parallel_for.hpp"
 
 namespace highrpm::ml {
@@ -79,12 +80,16 @@ std::size_t DecisionTreeRegressor::build(const math::Matrix& x,
       pairs[i] = {x(r, f), y[r]};
     }
     std::sort(pairs.begin(), pairs.end());
-    if (pairs.front().first == pairs.back().first) continue;  // constant
+    if (math::exact_eq(pairs.front().first, pairs.back().first)) {
+      continue;  // constant feature
+    }
     double left_sum = 0.0, left_sq = 0.0;
     for (std::size_t i = 0; i + 1 < n; ++i) {
       left_sum += pairs[i].second;
       left_sq += pairs[i].second * pairs[i].second;
-      if (pairs[i].first == pairs[i + 1].first) continue;  // tie: no cut here
+      if (math::exact_eq(pairs[i].first, pairs[i + 1].first)) {
+        continue;  // tie: no cut here
+      }
       const std::size_t nl = i + 1;
       const std::size_t nr = n - nl;
       if (nl < cfg_.min_samples_leaf || nr < cfg_.min_samples_leaf) continue;

@@ -87,8 +87,16 @@ void ThreadPool::run(std::size_t n_tasks,
     if (current_job_ == job) current_job_.reset();
   }
   if (job->failed.load()) {
-    std::lock_guard<std::mutex> lock(job->error_mutex);
-    std::rethrow_exception(job->error);
+    // Move the exception out of the job before rethrowing: the last
+    // shared_ptr to the Job may be dropped by a late-waking worker, and the
+    // Job's destructor must not release the exception object concurrently
+    // with the caller's rethrow/catch of it.
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> lock(job->error_mutex);
+      error = std::move(job->error);
+    }
+    std::rethrow_exception(error);
   }
 }
 

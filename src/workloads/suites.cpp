@@ -251,9 +251,10 @@ namespace {
 std::uint64_t profile_seed(const std::string& suite_name, std::size_t idx) {
   std::uint64_t h = 1469598103934665603ULL;
   for (const char ch : suite_name) {
-    h = (h ^ static_cast<std::uint64_t>(ch)) * 1099511628211ULL;
+    h = (h ^ static_cast<std::uint64_t>(ch)) * std::uint64_t{1099511628211};
   }
-  return h + 0x9E3779B97F4A7C15ULL * (idx + 1);
+  return h + std::uint64_t{0x9E3779B97F4A7C15} *
+                 static_cast<std::uint64_t>(idx + 1);
 }
 
 /// Parameter ranges characterizing a suite's benchmarks.

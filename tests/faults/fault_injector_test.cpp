@@ -70,7 +70,9 @@ TEST(FaultInjector, SameSeedSameFaults) {
     const auto ra = a.corrupt_reading(r);
     const auto rb = b.corrupt_reading(r);
     ASSERT_EQ(ra.has_value(), rb.has_value());
-    if (ra) EXPECT_DOUBLE_EQ(ra->power_w, rb->power_w);
+    if (ra) {
+      EXPECT_DOUBLE_EQ(ra->power_w, rb->power_w);
+    }
   }
   EXPECT_EQ(a.counts().im_dropped, b.counts().im_dropped);
   EXPECT_EQ(a.counts().im_spiked, b.counts().im_spiked);

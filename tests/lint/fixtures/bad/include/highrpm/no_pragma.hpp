@@ -1,0 +1,7 @@
+// Fixture: a header without #pragma once must trip pragma-once.
+#ifndef HIGHRPM_NO_PRAGMA_HPP
+#define HIGHRPM_NO_PRAGMA_HPP
+
+int fixture_value();
+
+#endif

@@ -1,0 +1,19 @@
+// Fixture: none of these may produce findings — forbidden tokens appear
+// only in comments, strings, or under an explicit exemption marker.
+//
+// Comment mentions that must not trip: std::rand, std::cout, std::thread,
+// x == 0.0, printf("%d").
+#include <string>
+
+/* Block comment mention: std::random_device and time(nullptr). */
+const char* banner() { return "std::cout == 0.0 std::rand printf("; }
+
+// snprintf formats to a buffer — not I/O — and must not match printf().
+int format_into(char* buf, unsigned long n, int v) {
+  return std::snprintf(buf, n, "%d", v);
+}
+
+// Deliberate exact comparison with the blessed escape hatch.
+bool sentinel(double x) {
+  return x == -1.0;  // HIGHRPM_LINT_ALLOW(float-compare): -1 is a sentinel
+}

@@ -1,0 +1,20 @@
+// Fixture: every line here must trip the rng-source rule.
+#include <cstdlib>
+#include <random>
+
+int bad_rand() { return std::rand(); }
+
+void bad_seed() { srand(42); }
+
+unsigned bad_device() {
+  std::random_device rd;
+  return rd();
+}
+
+double bad_engine() {
+  std::mt19937 gen(7);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(gen);
+}
+
+long bad_time_seed() { return time(nullptr); }

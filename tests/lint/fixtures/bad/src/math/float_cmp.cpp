@@ -1,0 +1,10 @@
+// Fixture: raw float-literal comparisons must trip float-compare.
+bool bad_eq_zero(double x) { return x == 0.0; }
+
+bool bad_ne_half(double x) { return x != 0.5; }
+
+bool bad_lit_first(double x) { return 1.0 == x; }
+
+bool bad_exponent(double x) { return x == 1e-9; }
+
+bool bad_float_suffix(float x) { return x == 2.5f; }

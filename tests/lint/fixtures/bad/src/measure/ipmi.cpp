@@ -1,0 +1,7 @@
+// Fixture: a sensor-boundary ingestion file with no std::isfinite guard
+// must trip sensor-isfinite.
+namespace highrpm::measure {
+
+double ingest(double raw) { return raw * 2.0; }
+
+}  // namespace highrpm::measure

@@ -1,0 +1,11 @@
+// Fixture: spawning threads outside runtime/ must trip
+// thread-outside-runtime.
+#include <future>
+#include <thread>
+
+void bad_thread() {
+  std::thread t([] {});
+  t.join();
+}
+
+void bad_async() { auto f = std::async([] { return 1; }); }

@@ -1,0 +1,8 @@
+// Fixture: a clean header.
+#pragma once
+
+namespace highrpm {
+
+int clean_value() noexcept;
+
+}  // namespace highrpm

@@ -1,0 +1,14 @@
+// Fixture: a clean sensor-ingestion file — guards with std::isfinite.
+#include <cmath>
+#include <stdexcept>
+
+namespace highrpm::measure {
+
+double ingest(double raw) {
+  if (!std::isfinite(raw)) {
+    throw std::invalid_argument("non-finite sensor reading");
+  }
+  return raw;
+}
+
+}  // namespace highrpm::measure

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "highrpm/math/float_eq.hpp"
 #include "highrpm/workloads/suites.hpp"
 
 namespace highrpm::measure {
@@ -55,7 +56,7 @@ TEST(Collector, ComponentTargetsAreRigReadingsNotTruth) {
   std::size_t exact = 0;
   for (std::size_t i = 0; i < run.num_ticks(); ++i) {
     EXPECT_NEAR(p_cpu[i], run.truth[i].p_cpu_w, 1.0);
-    if (p_cpu[i] == run.truth[i].p_cpu_w) ++exact;
+    if (math::exact_eq(p_cpu[i], run.truth[i].p_cpu_w)) ++exact;
   }
   EXPECT_LT(exact, 5u);
 }

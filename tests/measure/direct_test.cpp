@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "highrpm/math/stats.hpp"
 #include "highrpm/sim/node.hpp"
 #include "highrpm/workloads/suites.hpp"
@@ -59,6 +61,19 @@ TEST(DirectRig, DeterministicForSameSeed) {
   for (std::size_t i = 0; i < ra.size(); ++i) {
     EXPECT_DOUBLE_EQ(ra[i].cpu_w, rb[i].cpu_w);
   }
+}
+
+// Regression: before the sensor-boundary guard, a non-finite component
+// power flowed straight into the SRR training targets as NaN.
+TEST(DirectRig, RejectsNonFiniteTickPower) {
+  DirectMeasurementRig rig(DirectRigConfig{});
+  sim::TickSample tick;
+  tick.p_cpu_w = std::numeric_limits<double>::quiet_NaN();
+  tick.p_mem_w = 1.0;
+  EXPECT_THROW(rig.read(tick), std::invalid_argument);
+  tick.p_cpu_w = 1.0;
+  tick.p_mem_w = -std::numeric_limits<double>::infinity();
+  EXPECT_THROW(rig.read(tick), std::invalid_argument);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include <cmath>
 
 #include "highrpm/sim/node.hpp"
@@ -117,6 +119,17 @@ TEST_P(IpmiIntervalProperty, ReadingCountMatchesInterval) {
 
 INSTANTIATE_TEST_SUITE_P(Intervals, IpmiIntervalProperty,
                          ::testing::Values(1.0, 5.0, 10.0, 30.0, 60.0, 100.0));
+
+// Regression: before the sensor-boundary guard, a NaN node power entered
+// the readout history and surfaced ticks later as a NaN reading.
+TEST(IpmiSensor, RejectsNonFiniteTickPower) {
+  IpmiSensor sensor(IpmiConfig{});
+  sim::TickSample tick;
+  tick.p_node_w = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(sensor.offer(tick), std::invalid_argument);
+  tick.p_node_w = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(sensor.offer(tick), std::invalid_argument);
+}
 
 }  // namespace
 }  // namespace highrpm::measure

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "highrpm/math/float_eq.hpp"
 #include "highrpm/math/stats.hpp"
 #include "highrpm/sim/node.hpp"
 #include "highrpm/workloads/suites.hpp"
@@ -58,7 +61,7 @@ TEST(PmcSampler, MultiplexingHoldsStaleValues) {
   // Some events must be held from the previous tick (stale == identical).
   std::size_t held = 0;
   for (std::size_t e = 0; e < sim::kNumPmcEvents; ++e) {
-    if (second[e] == first[e]) ++held;
+    if (math::exact_eq(second[e], first[e])) ++held;
   }
   EXPECT_GE(held, sim::kNumPmcEvents - cfg.counter_slots - 1);
 }
@@ -86,6 +89,15 @@ TEST(PmcSampler, ResetIsDeterministic) {
   for (std::size_t i = 0; i < a.flat().size(); ++i) {
     EXPECT_DOUBLE_EQ(a.flat()[i], b.flat()[i]);
   }
+}
+
+// Regression: before the sensor-boundary guard, a NaN counter was held as
+// the "last sampled value" under multiplexing and replayed for many ticks.
+TEST(PmcSampler, RejectsNonFinitePmcValue) {
+  PmcSampler sampler(PmcSamplerConfig{});
+  sim::TickSample tick;
+  tick.pmcs[2] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(sampler.sample(tick), std::invalid_argument);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "highrpm/sim/node.hpp"
 #include "highrpm/workloads/suites.hpp"
 
@@ -90,6 +92,18 @@ TEST(Rapl, TracksRealWorkloadEnergy) {
   const double measured_w =
       rapl.power_from_counters(before, rapl.energy_pkg_uj(), 60.0);
   EXPECT_NEAR(measured_w, true_cpu_energy / 60.0, 0.5);
+}
+
+// Regression: the energy counters accumulate, so before the guard one
+// non-finite tick permanently corrupted every later readout; and a NaN dt
+// slipped past the `dt <= 0` check to return NaN power.
+TEST(Rapl, RejectsNonFiniteInputs) {
+  RaplInterface rapl(RaplConfig{});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  sim::TickSample tick = constant_tick(10.0, 5.0);
+  tick.p_cpu_w = nan;
+  EXPECT_THROW(rapl.advance(tick), std::invalid_argument);
+  EXPECT_THROW(rapl.power_from_counters(0, 100, nan), std::invalid_argument);
 }
 
 }  // namespace

@@ -148,9 +148,9 @@ INSTANTIATE_TEST_SUITE_P(
     SeedsByThreads, DeterminismTest,
     ::testing::Combine(::testing::Values<std::uint64_t>(1, 2023, 424242),
                        ::testing::Values<std::size_t>(1, 2, 8)),
-    [](const auto& info) {
-      return "seed" + std::to_string(std::get<0>(info.param)) + "_threads" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return "seed" + std::to_string(std::get<0>(param_info.param)) +
+             "_threads" + std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

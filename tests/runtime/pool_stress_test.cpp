@@ -1,0 +1,158 @@
+// Contention-heavy race-stress for ThreadPool / parallel_for.
+//
+// These tests are written for ThreadSanitizer (ctest -L sanitize in a
+// -DHIGHRPM_SANITIZE=thread build): the assertions are deliberately light —
+// the real check is that TSan observes no race while the pool is hammered
+// with the patterns that historically break pools: floods of tiny tasks
+// (claim-counter contention), rapid job churn (generation/wakeup handoff),
+// unbalanced task durations (workers racing on the tail of a job),
+// exceptions under contention (error-slot writes from many threads), and
+// nested submission. They also run (fast) in plain builds as functional
+// coverage.
+#include "highrpm/runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "highrpm/runtime/parallel_for.hpp"
+
+namespace highrpm::runtime {
+namespace {
+
+// Small spin to make a task's duration depend on its index, so workers
+// finish chunks at different times and race on the claim counter.
+void spin(std::size_t iters) {
+  volatile std::size_t sink = 0;
+  for (std::size_t i = 0; i < iters; ++i) sink = sink + i;
+}
+
+TEST(PoolStress, FloodOfTinyTasksAcrossThreadCounts) {
+  for (const std::size_t degree : {1u, 2u, 3u, 4u, 8u}) {
+    ThreadPool pool(degree);
+    constexpr std::size_t kTasks = 20000;
+    std::atomic<std::size_t> hits{0};
+    std::vector<unsigned char> touched(kTasks, 0);
+    pool.run(kTasks, [&](std::size_t i) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+      touched[i] = 1;  // i owns this slot: no race by construction
+    });
+    EXPECT_EQ(hits.load(), kTasks) << "degree=" << degree;
+    EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), std::size_t{0}), kTasks);
+  }
+}
+
+TEST(PoolStress, RapidJobChurn) {
+  // Many consecutive small jobs: stresses the generation counter and the
+  // job_cv_/done_cv_ handoff where a late-waking worker could touch a
+  // stale job.
+  ThreadPool pool(4);
+  constexpr std::size_t kJobs = 300;
+  constexpr std::size_t kTasks = 64;
+  std::atomic<std::size_t> total{0};
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    pool.run(kTasks, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), kJobs * kTasks);
+}
+
+TEST(PoolStress, UnbalancedTaskDurations) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 512;
+  std::vector<std::size_t> out(kTasks, 0);
+  pool.run(kTasks, [&](std::size_t i) {
+    spin((i % 37) * 50);  // skewed durations: tail of the job is contended
+    out[i] = i + 1;
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) ASSERT_EQ(out[i], i + 1);
+}
+
+TEST(PoolStress, ExceptionUnderContentionKeepsLowestIndex) {
+  // Many tasks throw concurrently; the error slot is written under
+  // contention but the surfaced exception must be the lowest index
+  // regardless of scheduling.
+  for (const std::size_t degree : {2u, 4u, 8u}) {
+    ThreadPool pool(degree);
+    constexpr std::size_t kTasks = 2048;
+    try {
+      pool.run(kTasks, [&](std::size_t i) {
+        spin(i % 17);
+        if (i % 7 == 3) {
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 3") << "degree=" << degree;
+    }
+  }
+}
+
+TEST(PoolStress, PoolRecoversAfterExceptionStorm) {
+  // Alternate failing and clean jobs: a failed job must leave no state
+  // behind that corrupts the next one.
+  ThreadPool pool(4);
+  for (std::size_t round = 0; round < 50; ++round) {
+    EXPECT_THROW(
+        pool.run(128, [](std::size_t i) {
+          if (i % 2 == 0) throw std::invalid_argument("boom");
+        }),
+        std::invalid_argument);
+    std::atomic<std::size_t> ok{0};
+    pool.run(128, [&](std::size_t) {
+      ok.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ok.load(), 128u);
+  }
+}
+
+TEST(PoolStress, NestedSubmissionDegradesToSerial) {
+  // parallel_for inside a pool task must fall back to a serial loop on the
+  // calling worker — layered parallelism (bench -> fold -> fit) relies on
+  // this. Every (outer, inner) cell is owned by exactly one index pair.
+  constexpr std::size_t kOuter = 64;
+  constexpr std::size_t kInner = 64;
+  set_thread_count(4);
+  std::vector<unsigned char> cells(kOuter * kInner, 0);
+  parallel_for(kOuter, [&](std::size_t o) {
+    parallel_for(kInner, [&](std::size_t i) { cells[o * kInner + i] = 1; });
+  });
+  EXPECT_EQ(std::accumulate(cells.begin(), cells.end(), std::size_t{0}),
+            kOuter * kInner);
+  set_thread_count(0);  // restore HIGHRPM_THREADS / hardware default
+}
+
+TEST(PoolStress, NestedRawRunThrowsInsteadOfDeadlocking) {
+  ThreadPool pool(4);
+  // The raw ThreadPool API rejects nesting outright; the thrown
+  // std::logic_error must surface through the outer run.
+  EXPECT_THROW(pool.run(8,
+                        [&](std::size_t) {
+                          pool.run(2, [](std::size_t) {});
+                        }),
+               std::logic_error);
+}
+
+TEST(PoolStress, GlobalPoolRebuildChurn) {
+  // Rebuilding the pool between jobs (tests and startup do this) must
+  // join the old workers cleanly while new jobs start immediately.
+  for (const std::size_t degree : {1u, 4u, 2u, 8u, 1u, 3u}) {
+    set_thread_count(degree);
+    ASSERT_EQ(thread_count(), degree);
+    std::atomic<std::size_t> n{0};
+    parallel_for(1000, [&](std::size_t) {
+      n.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(n.load(), 1000u);
+  }
+  set_thread_count(0);
+}
+
+}  // namespace
+}  // namespace highrpm::runtime

@@ -1,0 +1,370 @@
+#!/usr/bin/env python3
+"""HighRPM project linter.
+
+Enforces invariants that no generic tool knows about, because they encode
+HighRPM's determinism and numeric-safety contracts rather than general C++
+hygiene:
+
+  rng-source            All randomness in library code (src/, include/) must
+                        flow through math::Rng so runs are reproducible from
+                        a single seed. std::rand, std::random_device,
+                        <random> engines/distributions, and time()-seeded
+                        anything are forbidden.
+  library-io            Library code never writes to stdout/stderr
+                        (std::cout / printf and friends); only bench/,
+                        examples/, and tests/ may. snprintf-to-buffer is
+                        allowed (formatting, not I/O).
+  float-compare         No raw == / != against floating-point literals,
+                        anywhere in the tree. Exact comparisons are still
+                        expressible — through the blessed helpers in
+                        include/highrpm/math/float_eq.hpp (exact_eq /
+                        is_zero), which document the intent and carry the
+                        determinism rationale. This textual rule is the fast
+                        subset; the sound compiler-level check is
+                        -Wfloat-equal under HIGHRPM_WERROR=ON.
+  sensor-isfinite       Every sensor-boundary ingestion file (the measure/
+                        sensor front-ends and the CSV reader) must guard its
+                        inputs with std::isfinite: a NaN/Inf must be
+                        rejected at the boundary, never fed into the models.
+  thread-outside-runtime  Library code outside the runtime/ layer must not
+                        spawn threads (std::thread/std::jthread/std::async/
+                        pthread_create). All parallelism goes through
+                        runtime::parallel_for so the determinism guarantee
+                        (bit-identical results for any thread count) holds.
+  pragma-once           Every header starts (after leading comments) with
+                        #pragma once.
+
+A line can be exempted with a trailing comment containing
+HIGHRPM_LINT_ALLOW(<rule-id>); use sparingly and explain why.
+
+Exit status: 0 when clean, 1 when findings, 2 on usage errors.
+
+Usage:
+  python3 tools/lint/highrpm_lint.py [--root DIR] [--list-rules]
+                                     [--compile-headers] [FILE...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Tree layout
+
+LIBRARY_DIRS = ("src", "include")
+SCAN_DIRS = ("src", "include", "bench", "examples", "tests")
+SKIP_DIR_NAMES = {".git", "bench_out", "fixtures", "__pycache__"}
+SKIP_DIR_PREFIXES = ("build",)
+CPP_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh"}
+HEADER_SUFFIXES = {".hpp", ".h", ".hh"}
+
+# Files allowed to contain raw floating-point == / !=: the one blessed
+# comparison-helper header whose whole point is to centralize them.
+FLOAT_EQ_EXEMPT = {"include/highrpm/math/float_eq.hpp"}
+
+# The math::Rng implementation itself may (in principle) reference <random>
+# machinery; everything else in the library must go through it.
+RNG_EXEMPT = {"include/highrpm/math/rng.hpp", "src/math/rng.cpp"}
+
+# Sensor-boundary ingestion files: each must call std::isfinite at least
+# once. trace_log.cpp and collector.cpp ingest exclusively through these
+# (read_csv / the sensor front-ends), so they are covered transitively.
+ISFINITE_REQUIRED = (
+    "src/measure/ipmi.cpp",
+    "src/measure/direct.cpp",
+    "src/measure/pmc_sampler.cpp",
+    "src/measure/rapl.cpp",
+    "src/data/csv.cpp",
+)
+
+ALLOW_MARKER = re.compile(r"HIGHRPM_LINT_ALLOW\(([a-z0-9-]+)\)")
+
+# --------------------------------------------------------------------------
+# Rules
+
+RNG_PATTERNS = [
+    (re.compile(r"\bstd::rand\b"), "std::rand"),
+    (re.compile(r"(?<!\w)srand\s*\("), "srand()"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd::(mt19937(_64)?|minstd_rand0?|default_random_engine|"
+                r"ranlux\w+|knuth_b)\b"), "a <random> engine"),
+    (re.compile(r"\bstd::(uniform_(int|real)_distribution|"
+                r"normal_distribution|bernoulli_distribution|"
+                r"poisson_distribution)\b"), "a <random> distribution"),
+    (re.compile(r"#\s*include\s*<random>"), "#include <random>"),
+    (re.compile(r"(?<!\w)time\s*\(\s*(NULL|nullptr|0)\s*\)"),
+     "time()-derived seed"),
+]
+
+IO_PATTERNS = [
+    (re.compile(r"\bstd::(cout|cerr|clog)\b"), "std::cout/cerr/clog"),
+    (re.compile(r"(?<![\w:])printf\s*\("), "printf()"),
+    (re.compile(r"(?<![\w:])fprintf\s*\("), "fprintf()"),
+    (re.compile(r"(?<![\w:])puts\s*\("), "puts()"),
+]
+
+THREAD_PATTERNS = [
+    (re.compile(r"\bstd::jthread\b"), "std::jthread"),
+    (re.compile(r"\bstd::thread\b"), "std::thread"),
+    (re.compile(r"\bstd::async\b"), "std::async"),
+    (re.compile(r"\bpthread_create\b"), "pthread_create"),
+]
+
+# Raw == / != with a floating-point literal on either side. Literal forms:
+# 1.0, .5, 2., 1e-9, 1.5e3, optional f/F/l/L suffix. Integer literals are
+# fine (they compare exactly by promotion only when the other side is
+# integral; mixed cases are caught by -Wfloat-equal under the WERROR gate).
+_FLOAT_LIT = r"(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)[fFlL]?"
+FLOAT_CMP = re.compile(
+    r"(?:%s\s*[=!]=(?!=))|(?:[=!]=(?!=)\s*[-+]?%s)" % (_FLOAT_LIT, _FLOAT_LIT))
+
+RULES = {
+    "rng-source": "randomness outside math::Rng in library code",
+    "library-io": "stdout/stderr I/O in library code",
+    "float-compare": "raw == / != against a floating-point literal "
+                     "(use highrpm/math/float_eq.hpp)",
+    "sensor-isfinite": "sensor ingestion file missing a std::isfinite guard",
+    "thread-outside-runtime": "thread creation outside runtime/",
+    "pragma-once": "header missing #pragma once",
+}
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code_line(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Remove comments and string/char literal contents from one line.
+
+    Returns (code, still_in_block_comment). Keeps the line length roughly
+    intact where it matters (patterns never span lines). A deliberately
+    simple scanner: no raw strings, no line continuations — the tree does
+    not use them in ways that matter to these rules.
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end == -1:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        ch = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            break
+        if ch == "/" and nxt == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if ch in "\"'":
+            quote = ch
+            out.append(ch)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    out.append(quote)
+                    i += 1
+                    break
+                i += 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def rel(path: Path, root: Path) -> str:
+    return path.relative_to(root).as_posix()
+
+
+def top_dir(relpath: str) -> str:
+    return relpath.split("/", 1)[0]
+
+
+def lint_file(path: Path, root: Path) -> list[Finding]:
+    relpath = rel(path, root)
+    scope = top_dir(relpath)
+    in_library = scope in LIBRARY_DIRS
+    in_runtime = "/runtime/" in "/" + relpath
+    findings: list[Finding] = []
+
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        findings.append(Finding(relpath, 0, "io-error", str(e)))
+        return findings
+
+    lines = text.splitlines()
+    in_block = False
+    saw_pragma_once = False
+    saw_isfinite = False
+    allowed: dict[int, set[str]] = {}
+
+    for lineno, raw in enumerate(lines, start=1):
+        for m in ALLOW_MARKER.finditer(raw):
+            allowed.setdefault(lineno, set()).add(m.group(1))
+        code, in_block = strip_code_line(raw, in_block)
+        if re.match(r"\s*#\s*pragma\s+once\b", code):
+            saw_pragma_once = True
+        if "isfinite" in code:
+            saw_isfinite = True
+        if not code.strip():
+            continue
+
+        def hit(rule: str, message: str) -> None:
+            if rule in allowed.get(lineno, set()):
+                return
+            findings.append(Finding(relpath, lineno, rule, message))
+
+        if in_library:
+            for pat, what in RNG_PATTERNS:
+                if pat.search(code):
+                    hit("rng-source",
+                        f"{what} — all randomness must flow through math::Rng")
+            for pat, what in IO_PATTERNS:
+                if pat.search(code):
+                    hit("library-io",
+                        f"{what} — library code must not write to "
+                        "stdout/stderr")
+            if not in_runtime:
+                for pat, what in THREAD_PATTERNS:
+                    if pat.search(code):
+                        hit("thread-outside-runtime",
+                            f"{what} — use runtime::parallel_for / the "
+                            "shared pool")
+
+        if relpath not in FLOAT_EQ_EXEMPT and FLOAT_CMP.search(code):
+            hit("float-compare",
+                "raw == / != against a float literal — use exact_eq / "
+                "is_zero from highrpm/math/float_eq.hpp")
+
+    if relpath in RNG_EXEMPT:
+        findings = [f for f in findings if f.rule != "rng-source"]
+
+    if path.suffix in HEADER_SUFFIXES and not saw_pragma_once:
+        findings.append(Finding(relpath, 1, "pragma-once",
+                                "header must contain #pragma once"))
+
+    if relpath in ISFINITE_REQUIRED and not saw_isfinite:
+        findings.append(Finding(
+            relpath, 1, "sensor-isfinite",
+            "sensor-boundary ingestion file never calls std::isfinite — "
+            "non-finite inputs must be rejected at the boundary"))
+
+    return findings
+
+
+def collect_files(root: Path) -> list[Path]:
+    files: list[Path] = []
+    for scan in SCAN_DIRS:
+        base = root / scan
+        if not base.is_dir():
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in SKIP_DIR_NAMES
+                and not d.startswith(SKIP_DIR_PREFIXES))
+            for name in sorted(filenames):
+                p = Path(dirpath) / name
+                if p.suffix in CPP_SUFFIXES:
+                    files.append(p)
+    return files
+
+
+def compile_headers(root: Path) -> list[Finding]:
+    """Self-containment check: every public header must compile standalone."""
+    compiler = os.environ.get("CXX") or "c++"
+    findings: list[Finding] = []
+    include_dir = root / "include"
+    if not include_dir.is_dir():
+        return findings
+    headers = sorted(include_dir.rglob("*.hpp"))
+    for header in headers:
+        cmd = [compiler, "-std=c++20", "-fsyntax-only",
+               "-I", str(include_dir), "-x", "c++", str(header)]
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True,
+                                  timeout=120)
+        except FileNotFoundError:
+            print(f"note: '{compiler}' not found - "
+                  "skipping header self-containment check", file=sys.stderr)
+            return findings
+        except subprocess.TimeoutExpired:
+            findings.append(Finding(rel(header, root), 1, "self-contained",
+                                    "header compile timed out"))
+            continue
+        if proc.returncode != 0:
+            first = (proc.stderr.strip().splitlines() or ["compile failed"])[0]
+            findings.append(Finding(rel(header, root), 1, "self-contained",
+                                    f"header is not self-contained: {first}"))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parents[2],
+                        help="repository root to lint (default: this repo)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and exit")
+    parser.add_argument("--compile-headers", action="store_true",
+                        help="also compile every include/ header standalone "
+                             "(-fsyntax-only) to verify self-containment")
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="lint only these files (paths under --root)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule}: {desc}")
+        return 0
+
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"error: --root {root} is not a directory", file=sys.stderr)
+        return 2
+
+    if args.files:
+        files = [(root / f).resolve() if not f.is_absolute() else f
+                 for f in args.files]
+        for f in files:
+            if not f.is_file():
+                print(f"error: no such file: {f}", file=sys.stderr)
+                return 2
+    else:
+        files = collect_files(root)
+
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f, root))
+    if args.compile_headers:
+        findings.extend(compile_headers(root))
+
+    for finding in findings:
+        print(finding)
+    n = len(findings)
+    print(f"highrpm_lint: {len(files)} files scanned, "
+          f"{n} finding{'s' if n != 1 else ''}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
