@@ -14,6 +14,7 @@
 
 #include "highrpm/data/window.hpp"
 #include "highrpm/ml/rnn.hpp"
+#include "highrpm/obs/counter.hpp"
 
 namespace highrpm::core {
 
@@ -80,15 +81,29 @@ class DynamicTrr {
   bool fitted() const noexcept { return model_.fitted(); }
   const DynamicTrrConfig& config() const noexcept { return cfg_; }
   const ml::SequenceRegressor& model() const noexcept { return model_; }
-  std::size_t finetune_count() const noexcept { return finetunes_; }
+  std::size_t finetune_count() const noexcept {
+    return static_cast<std::size_t>(finetunes_.value());
+  }
 
   /// Plausibility band and label mean captured at train() time.
   double p_upper() const noexcept { return p_upper_; }
   double p_bottom() const noexcept { return p_bottom_; }
   double train_label_mean() const noexcept { return label_mean_; }
-  /// Degradation diagnostics (cumulative, like finetune_count()).
-  std::size_t rejected_readings() const noexcept { return rejected_readings_; }
-  std::size_t substituted_rows() const noexcept { return substituted_rows_; }
+  /// Degradation diagnostics (cumulative, like finetune_count()). Backed by
+  /// obs::Counter atomics so a monitor thread can poll them while another
+  /// thread is stepping the stream — the mixed read/write was a data race
+  /// when these were plain fields (ctest -L sanitize pins the fix down).
+  std::size_t rejected_readings() const noexcept {
+    return static_cast<std::size_t>(rejected_readings_.value());
+  }
+  std::size_t substituted_rows() const noexcept {
+    return static_cast<std::size_t>(substituted_rows_.value());
+  }
+  /// Ticks answered from the training-label-mean prior because the stream
+  /// had no previous estimate and the tick carried no usable reading.
+  std::size_t cold_starts() const noexcept {
+    return static_cast<std::size_t>(cold_starts_.value());
+  }
   /// Current streaming-window fill (never exceeds miss_interval).
   std::size_t stream_window_size() const noexcept { return window_.size(); }
 
@@ -114,7 +129,7 @@ class DynamicTrr {
   std::vector<WindowSlot> window_;
   double prev_estimate_ = 0.0;
   bool have_prev_ = false;
-  std::size_t finetunes_ = 0;
+  obs::Counter finetunes_;
   // Captured at train() time.
   std::size_t n_features_ = 0;
   double label_mean_ = 0.0;
@@ -126,8 +141,9 @@ class DynamicTrr {
   double last_im_value_ = 0.0;
   bool have_last_im_ = false;
   std::size_t im_repeats_ = 0;
-  std::size_t rejected_readings_ = 0;
-  std::size_t substituted_rows_ = 0;
+  obs::Counter rejected_readings_;
+  obs::Counter substituted_rows_;
+  obs::Counter cold_starts_;
 };
 
 }  // namespace highrpm::core

@@ -16,6 +16,7 @@
 #include "highrpm/core/srr.hpp"
 #include "highrpm/core/static_trr.hpp"
 #include "highrpm/measure/collector.hpp"
+#include "highrpm/obs/counter.hpp"
 
 namespace highrpm::core {
 
@@ -78,8 +79,12 @@ class HighRpm {
   Srr& srr() noexcept { return srr_; }
   std::size_t active_learning_rounds() const noexcept { return al_rounds_; }
   /// Streaming ticks whose PMC row was non-finite and had to be held
-  /// (cumulative across streams, like DynamicTrr's counters).
-  std::size_t held_rows() const noexcept { return held_rows_; }
+  /// (cumulative across streams, like DynamicTrr's counters). obs::Counter
+  /// so a monitor thread polling the diagnostic never races the stream
+  /// thread incrementing it.
+  std::size_t held_rows() const noexcept {
+    return static_cast<std::size_t>(held_rows_.value());
+  }
 
  private:
   /// Fit a fresh StaticTRR on a run's sparse IM readings and restore it.
@@ -93,7 +98,7 @@ class HighRpm {
   /// Last finite PMC row seen by on_tick — substituted on degraded ticks so
   /// TRR and SRR see the same held input.
   std::vector<double> last_good_row_;
-  std::size_t held_rows_ = 0;
+  obs::Counter held_rows_;
 };
 
 /// Control-node service managing per-compute-node HighRPM instances

@@ -16,6 +16,9 @@ class StandardScaler {
   math::Matrix transform(const math::Matrix& x) const;
   std::vector<double> transform_row(std::span<const double> row) const;
   math::Matrix fit_transform(const math::Matrix& x);
+  /// Undo transform(): inverse(transform(x)) recovers x up to rounding.
+  math::Matrix inverse(const math::Matrix& x) const;
+  std::vector<double> inverse_row(std::span<const double> row) const;
   bool fitted() const noexcept { return !mean_.empty(); }
 
   const std::vector<double>& means() const noexcept { return mean_; }
@@ -33,6 +36,9 @@ class MinMaxScaler {
   math::Matrix transform(const math::Matrix& x) const;
   std::vector<double> transform_row(std::span<const double> row) const;
   math::Matrix fit_transform(const math::Matrix& x);
+  /// Undo transform(): inverse(transform(x)) recovers x up to rounding.
+  math::Matrix inverse(const math::Matrix& x) const;
+  std::vector<double> inverse_row(std::span<const double> row) const;
   bool fitted() const noexcept { return !min_.empty(); }
 
  private:

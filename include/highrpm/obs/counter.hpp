@@ -1,0 +1,49 @@
+// obs::Counter — the always-on atomic event counter.
+//
+// Counter is deliberately NOT gated by HIGHRPM_OBS_ENABLED: components use
+// it for *functional* diagnostics (DynamicTrr::rejected_readings(),
+// HighRpm::held_rows(), ...) whose values callers assert on, so the type
+// must keep counting even in a no-op observability build. What the
+// HIGHRPM_OBS gate removes is the *telemetry* layer on top — registry
+// registration, span timing, and export (see registry.hpp / span.hpp).
+//
+// All operations use relaxed atomics: counters carry no ordering contract,
+// only totals, and at HighRPM's increment rates (a handful per monitoring
+// tick) a relaxed fetch_add is far below measurement noise. Copying loads
+// the source's value — that keeps classes with Counter members (HighRpm is
+// cloned per compute node by MonitorService) copyable, each copy continuing
+// from the source's count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace highrpm::obs {
+
+class Counter {
+ public:
+  constexpr Counter() noexcept = default;
+
+  Counter(const Counter& other) noexcept
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  Counter& operator=(const Counter& other) noexcept {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+}  // namespace highrpm::obs

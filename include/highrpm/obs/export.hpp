@@ -1,0 +1,62 @@
+// Telemetry export: serialize a Registry snapshot as JSON and CSV.
+//
+// Schema (version tag "highrpm.telemetry.v1"):
+//
+//   {
+//     "schema": "highrpm.telemetry.v1",
+//     "counters": { "<name>": <uint>, ... },          // deterministic
+//     "timing": {                                     // wall-clock section
+//       "histograms": [
+//         { "name": "<name>", "count": N, "sum_ns": S, "min_ns": m,
+//           "max_ns": M, "p50_ns": a, "p90_ns": b, "p99_ns": c }, ...
+//       ]
+//     }
+//   }
+//
+// The split is deliberate: the "counters" object is a pure function of the
+// work executed (safe to assert byte-equality on), while everything under
+// "timing" is wall-clock-derived and legitimately differs run to run —
+// exactly the convention the bench layer already uses for its result vs.
+// *_timing.csv files. The CSV mirrors the same rows in long form with a
+// leading `kind` column.
+//
+// Telemetry names are restricted to [A-Za-z0-9._-] (enforced at
+// registration), so neither format needs escaping and parse_json can be a
+// small schema-bound scanner rather than a general JSON parser. The parser
+// exists for the schema round-trip guarantee:
+//   parse_json(to_json(snap)) == snap   (a ctest pins this down).
+//
+// This file is the one place library code is allowed to write files
+// (tools/lint rule `library-file-io`); write_* create bench_out/-style
+// parent directories on demand.
+#pragma once
+
+#include <string>
+
+#include "highrpm/obs/registry.hpp"
+
+namespace highrpm::obs {
+
+/// Serialize to the JSON schema above (two-space indent, '\n' line ends,
+/// names in registry order — byte-deterministic given the snapshot).
+std::string to_json(const Snapshot& snap);
+
+/// Long-form CSV: kind,name,value,count,sum_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns
+std::string to_csv(const Snapshot& snap);
+
+/// Parse text produced by to_json back into a Snapshot. Throws
+/// std::runtime_error on anything that does not match the schema.
+Snapshot parse_json(const std::string& text);
+
+/// Write to_json / to_csv output to `path`, creating parent directories on
+/// demand. Throws std::runtime_error when the file cannot be written.
+void write_json(const std::string& path, const Snapshot& snap);
+void write_csv(const std::string& path, const Snapshot& snap);
+
+/// Convenience used by benches and examples: snapshot the process registry
+/// and write bench_out/<run_name>_telemetry.json and .csv. Returns the JSON
+/// path. No-op (returns "") when the registry snapshot is empty — e.g. in a
+/// HIGHRPM_OBS=OFF build.
+std::string export_run_telemetry(const std::string& run_name);
+
+}  // namespace highrpm::obs

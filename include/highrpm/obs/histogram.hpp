@@ -1,0 +1,147 @@
+// obs::Histogram — a lock-free latency histogram with power-of-two buckets.
+//
+// record() is wait-free apart from two bounded CAS loops (min/max): one
+// relaxed fetch_add into the value's log2 bucket plus count/sum updates.
+// That makes it safe to call from every thread-pool worker simultaneously
+// (the TSan suite exercises exactly that) at a cost of a few nanoseconds.
+//
+// Values are unsigned 64-bit and unit-agnostic; the instrumentation layer
+// records span durations in nanoseconds, the thread pool also records task
+// counts. Quantiles come from a cumulative walk over the buckets, so
+// quantile(q) is monotone non-decreasing in q by construction (a property
+// test pins this down) and accurate to bucket resolution (one power of two).
+//
+// When HIGHRPM_OBS_ENABLED is 0 the class collapses to a no-op shell with
+// the same API (distinct inline namespace, so a no-op-mode translation unit
+// can coexist with an enabled library build without ODR clashes).
+#pragma once
+
+#ifndef HIGHRPM_OBS_ENABLED
+#define HIGHRPM_OBS_ENABLED 1
+#endif
+
+#include <cstdint>
+
+#if HIGHRPM_OBS_ENABLED
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#endif
+
+namespace highrpm::obs {
+
+#if HIGHRPM_OBS_ENABLED
+
+inline namespace obs_enabled {
+
+class Histogram {
+ public:
+  /// Bucket b holds values v with bit_width(v) == b, i.e. [2^(b-1), 2^b).
+  /// Bucket 0 holds the value 0.
+  static constexpr std::size_t kBuckets = 65;
+
+  Histogram() noexcept = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !min_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !max_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// 0 when empty.
+  std::uint64_t min() const noexcept {
+    const std::uint64_t v = min_.load(std::memory_order_relaxed);
+    return v == UINT64_MAX ? 0 : v;
+  }
+  std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  /// The smallest bucket upper bound below which at least ceil(q * count)
+  /// recorded values fall, clamped into [min(), max()]. q is clamped to
+  /// [0, 1]; an empty histogram reports 0. Monotone non-decreasing in q.
+  std::uint64_t quantile(double q) const noexcept {
+    const std::uint64_t n = count();
+    if (n == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b].load(std::memory_order_relaxed);
+      if (seen >= rank && seen > 0) {
+        return std::clamp(bucket_upper(b), min(), max());
+      }
+    }
+    return max();
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t bucket_of(std::uint64_t value) noexcept {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+  /// Inclusive upper bound of bucket b (2^b - 1; bucket 64 saturates).
+  static constexpr std::uint64_t bucket_upper(std::size_t b) noexcept {
+    return b >= 64 ? UINT64_MAX : (std::uint64_t{1} << b) - 1;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace obs_enabled
+
+#else  // !HIGHRPM_OBS_ENABLED
+
+inline namespace obs_disabled {
+
+/// No-op shell: same API, no storage, nothing recorded.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+  Histogram() noexcept = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+  void record(std::uint64_t) noexcept {}
+  std::uint64_t count() const noexcept { return 0; }
+  std::uint64_t sum() const noexcept { return 0; }
+  std::uint64_t min() const noexcept { return 0; }
+  std::uint64_t max() const noexcept { return 0; }
+  std::uint64_t quantile(double) const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+}  // namespace obs_disabled
+
+#endif  // HIGHRPM_OBS_ENABLED
+
+}  // namespace highrpm::obs

@@ -1,0 +1,20 @@
+// Umbrella header for the observability layer (highrpm::obs):
+//   Counter    always-on atomic event counter         (counter.hpp)
+//   Histogram  lock-free log2-bucket latency histogram (histogram.hpp)
+//   Registry   process-wide named-telemetry registry   (registry.hpp)
+//   Span       RAII tracing span -> histogram          (span.hpp)
+//   export     JSON/CSV telemetry serialization        (export.hpp)
+//
+// Build-time gate: compile with HIGHRPM_OBS_ENABLED=0 (cmake
+// -DHIGHRPM_OBS=OFF) to turn spans/histograms/registry into no-op shells.
+// Runtime gate: the HIGHRPM_OBS environment variable ("0"/"off" disables)
+// or Registry::set_enabled() skips clock reads and histogram records while
+// keeping functional counters live. Result outputs are byte-identical in
+// every mode; see README "Observability".
+#pragma once
+
+#include "highrpm/obs/counter.hpp"     // IWYU pragma: export
+#include "highrpm/obs/export.hpp"     // IWYU pragma: export
+#include "highrpm/obs/histogram.hpp"  // IWYU pragma: export
+#include "highrpm/obs/registry.hpp"   // IWYU pragma: export
+#include "highrpm/obs/span.hpp"       // IWYU pragma: export

@@ -1,0 +1,169 @@
+// obs::Registry — the process-wide telemetry registry.
+//
+// Named counters and histograms live here; instrumented code looks each one
+// up once (function-local static reference) and then increments lock-free:
+//
+//   static obs::Counter& rejected =
+//       obs::Registry::instance().counter("core.dynamic_trr.rejected");
+//   rejected.add();
+//
+// Determinism contract: counter values are pure functions of the work
+// executed, never of the clock or of scheduling, so they may appear in
+// asserted-on output. Histogram contents are wall-clock durations and are
+// exported under a separate "timing" section (see export.hpp) that no test
+// asserts byte-equality on.
+//
+// The runtime switch (enabled()/set_enabled(), initialized from the
+// HIGHRPM_OBS environment variable: "0"/"off"/"OFF" disable) gates the
+// *costly* part — span clock reads and histogram records. Counter
+// increments are a relaxed fetch_add and stay live so functional
+// diagnostics keep working (see counter.hpp).
+//
+// With HIGHRPM_OBS_ENABLED compiled to 0 the registry collapses to a
+// header-only stub in a distinct inline namespace: lookups return shared
+// dummies, snapshot() is empty, spans compile to nothing. Library builds
+// with the layer on and translation units compiled with it off can link
+// together because the two Registry types have different mangled names.
+#pragma once
+
+#ifndef HIGHRPM_OBS_ENABLED
+#define HIGHRPM_OBS_ENABLED 1
+#endif
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "highrpm/obs/counter.hpp"
+#include "highrpm/obs/histogram.hpp"
+
+#if HIGHRPM_OBS_ENABLED
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace highrpm::obs {
+
+// Snapshot types are shared between the enabled and disabled modes (and by
+// the exporter, which is compiled unconditionally).
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const CounterSnapshot&,
+                         const CounterSnapshot&) = default;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
+};
+
+struct Snapshot {
+  std::vector<CounterSnapshot> counters;      // sorted by name
+  std::vector<HistogramSnapshot> histograms;  // sorted by name
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+/// Telemetry names must match [A-Za-z0-9._-]+ so the JSON/CSV exporters
+/// never need escaping. Registration throws on anything else.
+bool valid_name(std::string_view name) noexcept;
+
+#if HIGHRPM_OBS_ENABLED
+
+inline namespace obs_enabled {
+
+class Registry {
+ public:
+  /// The process-wide registry (created on first use, never destroyed
+  /// before other statics that might still increment counters).
+  static Registry& instance();
+
+  /// Look up (creating on first use) a named counter / histogram. The
+  /// returned reference is stable for the registry's lifetime — cache it in
+  /// a function-local static at instrumentation sites. Throws
+  /// std::invalid_argument on names that fail valid_name().
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Deterministically ordered (sorted by name) copy of all telemetry.
+  Snapshot snapshot() const;
+
+  /// Zero every counter and histogram (per-run exports, tests). Registered
+  /// names survive a reset; references stay valid.
+  void reset();
+
+  /// Runtime switch for the costly instrumentation (span clock reads and
+  /// histogram records). Initialized from HIGHRPM_OBS ("0"/"off" disable).
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace obs_enabled
+
+#else  // !HIGHRPM_OBS_ENABLED
+
+inline namespace obs_disabled {
+
+/// Header-only stub: lookups hand back shared dummies, snapshots are empty,
+/// the layer reports itself disabled.
+class Registry {
+ public:
+  static Registry& instance() noexcept {
+    static Registry r;
+    return r;
+  }
+
+  Counter& counter(std::string_view) noexcept { return dummy_counter_; }
+  Histogram& histogram(std::string_view) noexcept { return dummy_histogram_; }
+
+  Snapshot snapshot() const { return {}; }
+  void reset() noexcept {}
+
+  bool enabled() const noexcept { return false; }
+  void set_enabled(bool) noexcept {}
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry() noexcept = default;
+
+  inline static Counter dummy_counter_{};
+  inline static Histogram dummy_histogram_{};
+};
+
+}  // namespace obs_disabled
+
+#endif  // HIGHRPM_OBS_ENABLED
+
+}  // namespace highrpm::obs

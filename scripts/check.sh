@@ -4,16 +4,22 @@
 #
 #   lint      tools/lint/highrpm_lint.py (+ header self-containment compile)
 #   werror    Release build with HIGHRPM_WERROR=ON + full ctest
+#   golden    ctest -L golden in the werror build: committed reference CSVs
+#             must match the bench output byte for byte
+#   property  ctest -L property in the werror build: seeded invariant suites
 #   tidy      clang-tidy over the compile database   [skipped if not installed]
 #   asan      full ctest under -fsanitize=address
 #   ubsan     full ctest under -fsanitize=undefined (no-recover: UB = failure)
 #   tsan      ctest -L sanitize under -fsanitize=thread (pool race-stress)
+#   coverage  gcc --coverage build + full ctest + coverage_gate.py threshold
+#             (gcovr when installed, gcov fallback)  [only with explicit arg]
 #   format    clang-format --dry-run cleanliness     [only with --format;
 #                                                     skipped if not installed]
 #
 # Usage:
 #   scripts/check.sh                 # full gate
 #   scripts/check.sh lint werror     # selected steps only
+#   scripts/check.sh coverage        # coverage build + threshold gate
 #   scripts/check.sh --format        # full gate + formatting check
 #
 # Tools that are not installed (clang-tidy, clang-format) are skipped with a
@@ -29,13 +35,16 @@ STEPS=()
 for arg in "$@"; do
   case "$arg" in
     --format) WANT_FORMAT=1 ;;
-    lint|werror|tidy|asan|ubsan|tsan|format) STEPS+=("$arg") ;;
-    *) echo "usage: scripts/check.sh [--format] [lint|werror|tidy|asan|ubsan|tsan|format ...]" >&2
+    lint|werror|golden|property|tidy|asan|ubsan|tsan|coverage|format) STEPS+=("$arg") ;;
+    *) echo "usage: scripts/check.sh [--format] [lint|werror|golden|property|tidy|asan|ubsan|tsan|coverage|format ...]" >&2
        exit 2 ;;
   esac
 done
 if [ "${#STEPS[@]}" -eq 0 ]; then
-  STEPS=(lint werror tidy asan ubsan tsan)
+  # coverage is opt-in (it rebuilds the whole tree instrumented); golden and
+  # property re-run their labels explicitly even though the werror suite
+  # includes them, so a regression names the gate it broke.
+  STEPS=(lint werror golden property tidy asan ubsan tsan)
   [ "$WANT_FORMAT" -eq 1 ] && STEPS+=(format)
 fi
 
@@ -59,6 +68,33 @@ step_werror() {
   cmake --preset werror >/dev/null
   cmake --build --preset werror -j "$JOBS"
   ctest --test-dir build-werror --output-on-failure -j "$JOBS"
+}
+
+ensure_werror_build() {
+  if [ ! -d build-werror ]; then
+    cmake --preset werror >/dev/null
+    cmake --build --preset werror -j "$JOBS"
+  fi
+}
+
+step_golden() {
+  note "golden: committed reference CSVs vs bench output (ctest -L golden)"
+  ensure_werror_build
+  ctest --test-dir build-werror --output-on-failure -j "$JOBS" -L golden
+}
+
+step_property() {
+  note "property: seeded invariant suites (ctest -L property)"
+  ensure_werror_build
+  ctest --test-dir build-werror --output-on-failure -j "$JOBS" -L property
+}
+
+step_coverage() {
+  note "coverage: instrumented build + full suite + threshold gate"
+  cmake --preset coverage >/dev/null
+  cmake --build --preset coverage -j "$JOBS"
+  ctest --test-dir build-coverage --output-on-failure -j "$JOBS"
+  python3 tools/coverage/coverage_gate.py --build-dir build-coverage
 }
 
 step_tidy() {

@@ -7,6 +7,7 @@
 
 #include "highrpm/math/float_eq.hpp"
 #include "highrpm/math/stats.hpp"
+#include "highrpm/obs/obs.hpp"
 
 namespace highrpm::core {
 
@@ -98,7 +99,7 @@ void DynamicTrr::fine_tune(std::span<const data::SequenceSample> windows,
     }
   }
   model_.fit(windows, /*reset=*/false, epochs);
-  ++finetunes_;
+  finetunes_.add();
 }
 
 void DynamicTrr::reset_stream() {
@@ -133,6 +134,22 @@ bool DynamicTrr::stuck_reading(double value, double estimate) {
 
 double DynamicTrr::step(std::span<const double> pmcs,
                         std::optional<double> im_reading) {
+  // Process-wide telemetry (registry lookups resolved once): per-step
+  // latency plus aggregate degradation/cold-start totals mirroring the
+  // per-instance diagnostic counters.
+  static obs::Histogram& step_hist =
+      obs::Registry::instance().histogram("core.dynamic_trr.step_ns");
+  static obs::Counter& steps_total =
+      obs::Registry::instance().counter("core.dynamic_trr.steps");
+  static obs::Counter& rejected_total =
+      obs::Registry::instance().counter("core.dynamic_trr.rejected_readings");
+  static obs::Counter& substituted_total =
+      obs::Registry::instance().counter("core.dynamic_trr.substituted_rows");
+  static obs::Counter& cold_total =
+      obs::Registry::instance().counter("core.dynamic_trr.cold_starts");
+  const obs::Span span(step_hist);
+  steps_total.add();
+
   if (!fitted()) throw std::logic_error("DynamicTrr::step: not trained");
   if (n_features_ > 0 && pmcs.size() != n_features_) {
     throw std::invalid_argument(
@@ -153,7 +170,8 @@ double DynamicTrr::step(std::span<const double> pmcs,
       // Degraded tick: hold the last good row — node power rarely moves in
       // one tick — and keep this window out of fine-tuning.
       clean_row = false;
-      ++substituted_rows_;
+      substituted_rows_.add();
+      substituted_total.add();
       if (have_last_good_) {
         feat = last_good_pmcs_;
       } else {
@@ -165,7 +183,8 @@ double DynamicTrr::step(std::span<const double> pmcs,
     }
     if (have_reading && !plausible_reading(reading_value)) {
       // Spike / garbage reading: keep predicting instead of superseding.
-      ++rejected_readings_;
+      rejected_readings_.add();
+      rejected_total.add();
       have_reading = false;
     }
   }
@@ -174,7 +193,15 @@ double DynamicTrr::step(std::span<const double> pmcs,
   // use the IM reading if present, else the training-label mean (a
   // physically plausible cold-start prior).
   double prev = prev_estimate_;
-  if (!have_prev_) prev = have_reading ? reading_value : label_mean_;
+  if (!have_prev_) {
+    if (have_reading) {
+      prev = reading_value;
+    } else {
+      prev = label_mean_;
+      cold_starts_.add();
+      cold_total.add();
+    }
+  }
   feat.push_back(prev);
 
   window_.push_back(WindowSlot{std::move(feat), 0.0, clean_row});
@@ -204,7 +231,8 @@ double DynamicTrr::step(std::span<const double> pmcs,
       stuck_reading(reading_value, estimate)) {
     // Stuck sensor: the same value keeps arriving while the model has
     // drifted away — trust the prediction.
-    ++rejected_readings_;
+    rejected_readings_.add();
+    rejected_total.add();
     have_reading = false;
   }
 
@@ -229,7 +257,7 @@ double DynamicTrr::step(std::span<const double> pmcs,
       if (s.labels.size() == cfg_.miss_interval) {
         model_.fit(std::span<const data::SequenceSample>(&s, 1),
                    /*reset=*/false, cfg_.finetune_epochs);
-        ++finetunes_;
+        finetunes_.add();
       }
     }
   }

@@ -6,6 +6,7 @@
 
 #include "highrpm/math/float_eq.hpp"
 #include "highrpm/math/stats.hpp"
+#include "highrpm/obs/obs.hpp"
 
 namespace highrpm::core {
 
@@ -21,6 +22,7 @@ HighRpm::HighRpm(HighRpmConfig cfg)
 
 void HighRpm::initial_learning(
     std::span<const measure::CollectedRun> runs) {
+  const obs::Span span("core.highrpm.initial_learning_ns");
   if (runs.empty()) {
     throw std::invalid_argument("HighRpm::initial_learning: no runs");
   }
@@ -52,6 +54,7 @@ std::vector<double> HighRpm::static_restore(
 }
 
 void HighRpm::active_learning(const measure::CollectedRun& run) {
+  const obs::Span span("core.highrpm.active_learning_ns");
   if (!trained()) {
     throw std::logic_error("HighRpm::active_learning: run initial_learning first");
   }
@@ -120,6 +123,7 @@ void HighRpm::active_learning(const measure::CollectedRun& run) {
 }
 
 LogRestoration HighRpm::restore_log(const measure::CollectedRun& run) const {
+  const obs::Span span("core.highrpm.restore_log_ns");
   if (!srr_.fitted()) {
     throw std::logic_error("HighRpm::restore_log: run initial_learning first");
   }
@@ -154,6 +158,14 @@ void HighRpm::reset_stream() {
 
 PowerEstimate HighRpm::on_tick(std::span<const double> pmcs,
                                std::optional<double> im_reading) {
+  static obs::Histogram& tick_hist =
+      obs::Registry::instance().histogram("core.highrpm.on_tick_ns");
+  static obs::Counter& ticks_total =
+      obs::Registry::instance().counter("core.highrpm.ticks");
+  static obs::Counter& held_total =
+      obs::Registry::instance().counter("core.highrpm.held_rows");
+  const obs::Span span(tick_hist);
+  ticks_total.add();
   if (!trained()) {
     throw std::logic_error("HighRpm::on_tick: run initial_learning first");
   }
@@ -164,7 +176,8 @@ PowerEstimate HighRpm::on_tick(std::span<const double> pmcs,
   std::span<const double> row = pmcs;
   std::vector<double> held;
   if (!math::all_finite(pmcs)) {
-    ++held_rows_;
+    held_rows_.add();
+    held_total.add();
     if (last_good_row_.size() == pmcs.size()) {
       held = last_good_row_;
     } else {

@@ -5,6 +5,7 @@
 
 #include "highrpm/core/static_trr.hpp"
 #include "highrpm/math/rng.hpp"
+#include "highrpm/obs/obs.hpp"
 
 namespace highrpm::core {
 
@@ -39,6 +40,9 @@ math::Matrix Srr::assemble(const math::Matrix& pmcs,
 
 void Srr::fit(const math::Matrix& pmcs, std::span<const double> p_node,
               std::span<const double> p_cpu, std::span<const double> p_mem) {
+  static obs::Histogram& fit_hist =
+      obs::Registry::instance().histogram("core.srr.fit_ns");
+  const obs::Span span(fit_hist);
   if (p_cpu.size() != pmcs.rows() || p_mem.size() != pmcs.rows()) {
     throw std::invalid_argument("Srr::fit: label length mismatch");
   }
@@ -66,6 +70,13 @@ void Srr::fine_tune(const math::Matrix& pmcs, std::span<const double> p_node,
 
 ComponentEstimate Srr::predict_one(std::span<const double> pmcs,
                                    double p_node) const {
+  // Counter only here: predict_one is sub-microsecond and sits inside
+  // HighRpm::on_tick's span, so wrapping it in its own span would spend a
+  // measurable fraction of the thing being measured on clock reads. The
+  // batch predict() below carries the timing span.
+  static obs::Counter& predictions =
+      obs::Registry::instance().counter("core.srr.predictions");
+  predictions.add();
   std::vector<double> row;
   row.reserve(pmcs.size() + 1);
   if (cfg_.include_pnode) row.push_back(p_node);
@@ -91,6 +102,9 @@ ComponentEstimate Srr::predict_one(std::span<const double> pmcs,
 
 std::vector<ComponentEstimate> Srr::predict(
     const math::Matrix& pmcs, std::span<const double> p_node) const {
+  static obs::Histogram& predict_hist =
+      obs::Registry::instance().histogram("core.srr.predict_ns");
+  const obs::Span span(predict_hist);
   std::vector<ComponentEstimate> out;
   out.reserve(pmcs.rows());
   for (std::size_t r = 0; r < pmcs.rows(); ++r) {

@@ -7,6 +7,7 @@
 
 #include "highrpm/math/rng.hpp"
 #include "highrpm/math/stats.hpp"
+#include "highrpm/obs/obs.hpp"
 
 namespace highrpm::core {
 
@@ -26,12 +27,16 @@ void copy_sanitized_row(std::span<const double> src, std::span<double> dst) {
 CleanedReadings clean_labeled_readings(std::span<const std::size_t> idx,
                                        std::span<const double> power,
                                        std::size_t num_ticks) {
+  static obs::Counter& dropped =
+      obs::Registry::instance().counter("core.static_trr.dropped_readings");
   const std::size_t n = std::min(idx.size(), power.size());
   std::vector<std::pair<std::size_t, double>> usable;
   usable.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (idx[i] >= num_ticks) continue;     // out-of-range tick
-    if (!std::isfinite(power[i])) continue;  // NaN/Inf reading
+    if (idx[i] >= num_ticks || !std::isfinite(power[i])) {
+      dropped.add();  // out-of-range tick or NaN/Inf reading
+      continue;
+    }
     usable.emplace_back(idx[i], power[i]);
   }
   std::stable_sort(usable.begin(), usable.end(),
@@ -64,6 +69,9 @@ StaticTrr::StaticTrr(StaticTrrConfig cfg) : cfg_(cfg) {
 void StaticTrr::fit(const math::Matrix& pmcs, std::span<const double> times,
                     std::span<const std::size_t> labeled_idx_in,
                     std::span<const double> labeled_power_in) {
+  static obs::Histogram& fit_hist =
+      obs::Registry::instance().histogram("core.static_trr.fit_ns");
+  const obs::Span span(fit_hist);
   if (labeled_idx_in.size() != labeled_power_in.size()) {
     throw std::invalid_argument(
         "StaticTrr::fit: labeled idx/power length mismatch");
@@ -211,6 +219,9 @@ std::vector<double> static_trr_post_process(std::span<const double> splined,
   if (splined.size() != residual.size()) {
     throw std::invalid_argument("static_trr_post_process: length mismatch");
   }
+  static obs::Histogram& merge_hist =
+      obs::Registry::instance().histogram("core.static_trr.merge_ns");
+  const obs::Span span(merge_hist);
   const std::size_t n = splined.size();
   std::vector<double> spl(splined.begin(), splined.end());
   std::vector<double> res(residual.begin(), residual.end());
@@ -246,6 +257,14 @@ std::vector<double> static_trr_post_process(std::span<const double> splined,
       merged[i] = 0.5 * (spl[i] + res[i]);
     } else {
       merged[i] = spl[i];
+    }
+
+    // Algorithm 1's output contract: the restored trace stays inside the
+    // plausibility band. The spline can overshoot it between knots (cubic
+    // ringing past a spike), and Operations 2&3 only guard the residual
+    // branch — clamp the merged value too.
+    if (p_upper > p_bottom) {
+      merged[i] = std::clamp(merged[i], p_bottom, p_upper);
     }
   }
   return merged;

@@ -67,6 +67,33 @@ math::Matrix StandardScaler::fit_transform(const math::Matrix& x) {
   return transform(x);
 }
 
+math::Matrix StandardScaler::inverse(const math::Matrix& x) const {
+  require_fitted(fitted(), "StandardScaler");
+  if (x.cols() != mean_.size()) {
+    throw std::invalid_argument("StandardScaler: column count mismatch");
+  }
+  math::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = x(r, c) * std_[c] + mean_[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> StandardScaler::inverse_row(
+    std::span<const double> row) const {
+  require_fitted(fitted(), "StandardScaler");
+  if (row.size() != mean_.size()) {
+    throw std::invalid_argument("StandardScaler: row width mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = row[c] * std_[c] + mean_[c];
+  }
+  return out;
+}
+
 void MinMaxScaler::fit(const math::Matrix& x) {
   require_nonempty(x, "MinMaxScaler::fit");
   const std::size_t n = x.cols();
@@ -111,6 +138,33 @@ std::vector<double> MinMaxScaler::transform_row(
 math::Matrix MinMaxScaler::fit_transform(const math::Matrix& x) {
   fit(x);
   return transform(x);
+}
+
+math::Matrix MinMaxScaler::inverse(const math::Matrix& x) const {
+  require_fitted(fitted(), "MinMaxScaler");
+  if (x.cols() != min_.size()) {
+    throw std::invalid_argument("MinMaxScaler: column count mismatch");
+  }
+  math::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = x(r, c) * range_[c] + min_[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> MinMaxScaler::inverse_row(
+    std::span<const double> row) const {
+  require_fitted(fitted(), "MinMaxScaler");
+  if (row.size() != min_.size()) {
+    throw std::invalid_argument("MinMaxScaler: row width mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = row[c] * range_[c] + min_[c];
+  }
+  return out;
 }
 
 void TargetScaler::fit(std::span<const double> y) {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "highrpm/obs/obs.hpp"
+
 namespace highrpm::measure {
 
 IpmiSensor::IpmiSensor(IpmiConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
@@ -18,10 +20,18 @@ void IpmiSensor::reset() {
 }
 
 std::optional<IpmiReading> IpmiSensor::offer(const sim::TickSample& tick) {
+  static obs::Counter& offers =
+      obs::Registry::instance().counter("sensor.ipmi.offers");
+  static obs::Counter& rejects =
+      obs::Registry::instance().counter("sensor.ipmi.rejects");
+  static obs::Counter& readings =
+      obs::Registry::instance().counter("sensor.ipmi.readings");
+  offers.add();
   // Sensor boundary: a non-finite node power can only come from a broken
   // upstream producer; reject it here rather than let NaN enter the
   // history window and poison later readouts.
   if (!std::isfinite(tick.p_node_w)) {
+    rejects.add();
     throw std::invalid_argument("IpmiSensor: non-finite node power in tick");
   }
   history_.emplace_back(ticks_seen_, tick.p_node_w);
@@ -46,6 +56,7 @@ std::optional<IpmiReading> IpmiSensor::offer(const sim::TickSample& tick) {
   r.time_s = tick.time_s;
   r.power_w = std::max(0.0, v);
   r.tick_index = idx;
+  readings.add();
   return r;
 }
 

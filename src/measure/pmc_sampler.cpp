@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "highrpm/obs/obs.hpp"
+
 namespace highrpm::measure {
 
 PmcSampler::PmcSampler(PmcSamplerConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
@@ -16,12 +18,18 @@ void PmcSampler::reset() {
 }
 
 sim::PmcVector PmcSampler::sample(const sim::TickSample& tick) {
+  static obs::Counter& samples =
+      obs::Registry::instance().counter("sensor.pmc.samples");
+  static obs::Counter& rejects =
+      obs::Registry::instance().counter("sensor.pmc.rejects");
+  samples.add();
   sim::PmcVector out{};
   const std::size_t n = sim::kNumPmcEvents;
   // Sensor boundary: a non-finite counter would otherwise be held as the
   // "last sampled value" under multiplexing and replayed for ticks.
   for (std::size_t e = 0; e < n; ++e) {
     if (!std::isfinite(tick.pmcs[e])) {
+      rejects.add();
       throw std::invalid_argument("PmcSampler: non-finite PMC value in tick");
     }
   }

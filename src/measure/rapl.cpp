@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "highrpm/obs/obs.hpp"
+
 namespace highrpm::measure {
 
 RaplInterface::RaplInterface(RaplConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
@@ -12,9 +14,15 @@ RaplInterface::RaplInterface(RaplConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
 }
 
 void RaplInterface::advance(const sim::TickSample& tick) {
+  static obs::Counter& advances =
+      obs::Registry::instance().counter("sensor.rapl.advances");
+  static obs::Counter& rejects =
+      obs::Registry::instance().counter("sensor.rapl.rejects");
+  advances.add();
   // Sensor boundary: energy counters accumulate, so one non-finite tick
   // would corrupt every subsequent readout. Reject it up front.
   if (!std::isfinite(tick.p_cpu_w) || !std::isfinite(tick.p_mem_w)) {
+    rejects.add();
     throw std::invalid_argument(
         "RaplInterface: non-finite component power in tick");
   }

@@ -1,0 +1,225 @@
+#include "highrpm/obs/export.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace highrpm::obs {
+
+namespace {
+
+constexpr const char* kSchema = "highrpm.telemetry.v1";
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    throw std::runtime_error(std::string("obs::parse_json: expected ") + what);
+  }
+}
+
+/// Minimal scanner over the fixed telemetry schema. General JSON (escapes,
+/// nested objects, arbitrary key order) is out of scope on purpose — names
+/// are [A-Za-z0-9._-] by construction and to_json controls the layout.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void consume(char c) {
+    if (!try_consume(c)) {
+      throw std::runtime_error(std::string("obs::parse_json: expected '") +
+                               c + "'");
+    }
+  }
+
+  std::string string_token() {
+    consume('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      out.push_back(text_[pos_]);
+      ++pos_;
+    }
+    require(pos_ < text_.size(), "closing '\"'");
+    ++pos_;
+    return out;
+  }
+
+  std::uint64_t uint_token() {
+    skip_ws();
+    require(pos_ < text_.size() &&
+                std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0,
+            "an unsigned integer");
+    std::uint64_t v = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      v = v * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    return v;
+  }
+
+  void expect_key(const char* key) {
+    const std::string k = string_token();
+    require(k == key, key);
+    consume(':');
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void write_text_file(const std::string& path, const std::string& text) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    throw std::runtime_error("obs: cannot open " + path + " for writing");
+  }
+  f << text;
+  if (!f) throw std::runtime_error("obs: write failed for " + path);
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snap) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"" << kSchema << "\",\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << snap.counters[i].name
+        << "\": " << snap.counters[i].value;
+  }
+  out << (snap.counters.empty() ? "" : "\n  ") << "},\n"
+      << "  \"timing\": {\n    \"histograms\": [";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "      { \"name\": \"" << h.name
+        << "\", \"count\": " << h.count << ", \"sum_ns\": " << h.sum
+        << ", \"min_ns\": " << h.min << ", \"max_ns\": " << h.max
+        << ", \"p50_ns\": " << h.p50 << ", \"p90_ns\": " << h.p90
+        << ", \"p99_ns\": " << h.p99 << " }";
+  }
+  out << (snap.histograms.empty() ? "" : "\n    ") << "]\n  }\n}\n";
+  return out.str();
+}
+
+std::string to_csv(const Snapshot& snap) {
+  std::ostringstream out;
+  out << "kind,name,value,count,sum_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns\n";
+  for (const auto& c : snap.counters) {
+    out << "counter," << c.name << ',' << c.value << ",,,,,,,\n";
+  }
+  for (const auto& h : snap.histograms) {
+    out << "histogram," << h.name << ",," << h.count << ',' << h.sum << ','
+        << h.min << ',' << h.max << ',' << h.p50 << ',' << h.p90 << ','
+        << h.p99 << '\n';
+  }
+  return out.str();
+}
+
+Snapshot parse_json(const std::string& text) {
+  Scanner s(text);
+  Snapshot snap;
+  s.consume('{');
+  s.expect_key("schema");
+  require(s.string_token() == kSchema, "matching schema version");
+  s.consume(',');
+  s.expect_key("counters");
+  s.consume('{');
+  if (!s.try_consume('}')) {
+    do {
+      CounterSnapshot c;
+      c.name = s.string_token();
+      require(valid_name(c.name), "a valid counter name");
+      s.consume(':');
+      c.value = s.uint_token();
+      snap.counters.push_back(std::move(c));
+    } while (s.try_consume(','));
+    s.consume('}');
+  }
+  s.consume(',');
+  s.expect_key("timing");
+  s.consume('{');
+  s.expect_key("histograms");
+  s.consume('[');
+  if (!s.try_consume(']')) {
+    do {
+      HistogramSnapshot h;
+      s.consume('{');
+      s.expect_key("name");
+      h.name = s.string_token();
+      require(valid_name(h.name), "a valid histogram name");
+      s.consume(',');
+      s.expect_key("count");
+      h.count = s.uint_token();
+      s.consume(',');
+      s.expect_key("sum_ns");
+      h.sum = s.uint_token();
+      s.consume(',');
+      s.expect_key("min_ns");
+      h.min = s.uint_token();
+      s.consume(',');
+      s.expect_key("max_ns");
+      h.max = s.uint_token();
+      s.consume(',');
+      s.expect_key("p50_ns");
+      h.p50 = s.uint_token();
+      s.consume(',');
+      s.expect_key("p90_ns");
+      h.p90 = s.uint_token();
+      s.consume(',');
+      s.expect_key("p99_ns");
+      h.p99 = s.uint_token();
+      s.consume('}');
+      snap.histograms.push_back(std::move(h));
+    } while (s.try_consume(','));
+    s.consume(']');
+  }
+  s.consume('}');  // timing
+  s.consume('}');  // root
+  require(s.at_end(), "end of input");
+  return snap;
+}
+
+void write_json(const std::string& path, const Snapshot& snap) {
+  write_text_file(path, to_json(snap));
+}
+
+void write_csv(const std::string& path, const Snapshot& snap) {
+  write_text_file(path, to_csv(snap));
+}
+
+std::string export_run_telemetry(const std::string& run_name) {
+  const Snapshot snap = Registry::instance().snapshot();
+  if (snap.counters.empty() && snap.histograms.empty()) return "";
+  const std::string json_path = "bench_out/" + run_name + "_telemetry.json";
+  write_json(json_path, snap);
+  write_csv("bench_out/" + run_name + "_telemetry.csv", snap);
+  return json_path;
+}
+
+}  // namespace highrpm::obs

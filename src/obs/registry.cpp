@@ -1,0 +1,113 @@
+#include "highrpm/obs/registry.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace highrpm::obs {
+
+bool valid_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+#if HIGHRPM_OBS_ENABLED
+
+inline namespace obs_enabled {
+
+namespace {
+
+/// HIGHRPM_OBS env switch: "0", "off", "OFF", "false" disable the runtime
+/// instrumentation (clock reads / histogram records); anything else — and
+/// unset — leaves it on.
+bool env_enabled() {
+  const char* env = std::getenv("HIGHRPM_OBS");
+  if (env == nullptr) return true;
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0 &&
+         std::strcmp(env, "OFF") != 0 && std::strcmp(env, "false") != 0;
+}
+
+HistogramSnapshot snapshot_histogram(const std::string& name,
+                                     const Histogram& h) {
+  HistogramSnapshot s;
+  s.name = name;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.min = h.min();
+  s.max = h.max();
+  s.p50 = h.quantile(0.50);
+  s.p90 = h.quantile(0.90);
+  s.p99 = h.quantile(0.99);
+  return s;
+}
+
+}  // namespace
+
+Registry::Registry() : enabled_(env_enabled()) {}
+
+Registry& Registry::instance() {
+  // Leaked on purpose: instrumentation sites hold references obtained via
+  // function-local statics, and static destruction order must never leave
+  // them dangling (a late worker or atexit handler may still record).
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  if (!valid_name(name)) {
+    throw std::invalid_argument("obs::Registry: invalid counter name '" +
+                                std::string(name) + "'");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  if (!valid_name(name)) {
+    throw std::invalid_argument("obs::Registry: invalid histogram name '" +
+                                std::string(name) + "'");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back(CounterSnapshot{name, counter->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.push_back(snapshot_histogram(name, *hist));
+  }
+  return snap;  // std::map iteration order == sorted by name
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, hist] : histograms_) hist->reset();
+}
+
+}  // namespace obs_enabled
+
+#endif  // HIGHRPM_OBS_ENABLED
+
+}  // namespace highrpm::obs

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "highrpm/obs/obs.hpp"
+
 namespace highrpm::runtime {
 
 namespace {
@@ -55,13 +57,30 @@ void ThreadPool::serial_run(std::size_t n_tasks,
 
 void ThreadPool::run(std::size_t n_tasks,
                      const std::function<void(std::size_t)>& fn) {
+  // Pool telemetry: jobs submitted, tasks executed (the pool has no queue —
+  // one job at a time, workers pull task indices from an atomic — so "tasks"
+  // is the depth analogue), end-to-end job latency, and worker idle time
+  // (measured in worker_loop around the condition-variable wait).
+  static obs::Counter& jobs =
+      obs::Registry::instance().counter("runtime.pool.jobs");
+  static obs::Counter& serial_jobs =
+      obs::Registry::instance().counter("runtime.pool.serial_jobs");
+  static obs::Counter& tasks =
+      obs::Registry::instance().counter("runtime.pool.tasks");
+  static obs::Histogram& job_hist =
+      obs::Registry::instance().histogram("runtime.pool.job_ns");
+
   if (t_in_worker) {
     throw std::logic_error(
         "ThreadPool::run: nested call from inside a pool worker; use "
         "parallel_for, which degrades to a serial loop");
   }
   if (n_tasks == 0) return;
+  jobs.add();
+  tasks.add(n_tasks);
+  const obs::Span span(job_hist);
   if (workers_.empty() || n_tasks == 1) {
+    serial_jobs.add();
     InWorkerScope scope;  // mark serial execution so nesting is still caught
     serial_run(n_tasks, fn);
     return;
@@ -126,15 +145,23 @@ void ThreadPool::work_on(Job& job) {
 }
 
 void ThreadPool::worker_loop() {
+  static obs::Histogram& wait_hist =
+      obs::Registry::instance().histogram("runtime.pool.worker_wait_ns");
   std::uint64_t seen_generation = 0;
   for (;;) {
     std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      job_cv_.wait(lock, [&] {
-        return stopping_ ||
-               (generation_ != seen_generation && current_job_ != nullptr);
-      });
+      {
+        // Idle time between jobs; recorded per wake-up so a starving pool
+        // shows up as a fat tail (no clock reads while the registry's
+        // runtime switch is off).
+        const obs::Span wait_span(wait_hist);
+        job_cv_.wait(lock, [&] {
+          return stopping_ ||
+                 (generation_ != seen_generation && current_job_ != nullptr);
+        });
+      }
       if (stopping_) return;
       seen_generation = generation_;
       job = current_job_;

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Golden-file regression runner (ctest -L golden).
+
+Runs a bench binary in a scratch working directory and byte-compares the
+result CSV it produces against a reference committed under tests/golden/.
+The benches guarantee byte-identical result CSVs for any seed-fixed
+configuration (see bench/common.hpp), so any diff here is a real behaviour
+change: either fix the regression or — for an *intentional* change —
+re-generate the reference (`<binary> --quick` and copy the CSV) and explain
+the delta in the commit message.
+
+Only result CSVs are compared; *_timing.csv files are wall-clock and
+legitimately differ run to run.
+"""
+
+import argparse
+import difflib
+import pathlib
+import shutil
+import subprocess
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", required=True, help="bench executable to run")
+    ap.add_argument("--workdir", required=True,
+                    help="scratch cwd for the run (created/cleaned)")
+    ap.add_argument("--produced", required=True, action="append",
+                    help="result file the run writes, relative to workdir "
+                         "(repeatable; pairs with --golden in order)")
+    ap.add_argument("--golden", required=True, action="append",
+                    help="committed reference file (repeatable)")
+    ap.add_argument("bench_args", nargs="*",
+                    help="arguments passed through to the binary "
+                         "(after a `--` separator)")
+    args = ap.parse_args()
+
+    if len(args.produced) != len(args.golden):
+        ap.error("--produced and --golden must be given the same number of "
+                 "times")
+
+    workdir = pathlib.Path(args.workdir)
+    # Fresh scratch dir: a stale CSV from an earlier run must not be able to
+    # satisfy the comparison if today's binary fails to write one.
+    shutil.rmtree(workdir, ignore_errors=True)
+    workdir.mkdir(parents=True)
+
+    cmd = [args.binary] + args.bench_args
+    proc = subprocess.run(cmd, cwd=workdir)
+    if proc.returncode != 0:
+        print(f"FAIL: {' '.join(cmd)} exited {proc.returncode}",
+              file=sys.stderr)
+        return 1
+
+    failures = 0
+    for produced_rel, golden in zip(args.produced, args.golden):
+        produced = workdir / produced_rel
+        golden_path = pathlib.Path(golden)
+        if not produced.is_file():
+            print(f"FAIL: run produced no {produced_rel}", file=sys.stderr)
+            failures += 1
+            continue
+        got = produced.read_bytes()
+        want = golden_path.read_bytes()
+        if got == want:
+            print(f"ok: {produced_rel} matches {golden_path.name} "
+                  f"({len(got)} bytes)")
+            continue
+        failures += 1
+        print(f"FAIL: {produced_rel} differs from {golden_path}",
+              file=sys.stderr)
+        diff = difflib.unified_diff(
+            want.decode(errors="replace").splitlines(),
+            got.decode(errors="replace").splitlines(),
+            fromfile=str(golden_path), tofile=produced_rel, lineterm="")
+        for i, line in enumerate(diff):
+            if i >= 40:
+                print("  ... (diff truncated)", file=sys.stderr)
+                break
+            print(f"  {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,8 @@
 // only in comments, strings, or under an explicit exemption marker.
 //
 // Comment mentions that must not trip: std::rand, std::cout, std::thread,
-// x == 0.0, printf("%d").
+// x == 0.0, printf("%d"), std::ofstream, fopen(...).
+#include <fstream>
 #include <string>
 
 /* Block comment mention: std::random_device and time(nullptr). */
@@ -16,4 +17,13 @@ int format_into(char* buf, unsigned long n, int v) {
 // Deliberate exact comparison with the blessed escape hatch.
 bool sentinel(double x) {
   return x == -1.0;  // HIGHRPM_LINT_ALLOW(float-compare): -1 is a sentinel
+}
+
+// Reading is legal library-wide; only output streams are restricted.
+bool file_exists(const char* path) { return std::ifstream(path).good(); }
+
+// User-invoked write API with the escape hatch (mirrors data::write_csv).
+void save(const char* path) {
+  std::ofstream f(path);  // HIGHRPM_LINT_ALLOW(library-file-io): user API
+  f << 1;
 }

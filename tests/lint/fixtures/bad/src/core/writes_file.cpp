@@ -1,0 +1,15 @@
+// Fixture: library code (src/, outside src/obs/) opening files for output —
+// every line here must trip the library-file-io rule.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+void dump_state() {
+  std::ofstream out("state.txt");
+  std::fstream rw("state.txt");
+  std::FILE* f = std::fopen("state.bin", "wb");
+  char byte = 0;
+  std::fwrite(&byte, 1, 1, f);
+  std::filesystem::create_directories("state_dir");
+  std::filesystem::remove("state.txt");
+}

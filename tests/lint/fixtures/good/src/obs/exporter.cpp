@@ -1,0 +1,12 @@
+// Fixture: src/obs/ is the sanctioned home of library-side file output, so
+// the same constructs that trip library-file-io elsewhere stay clean here.
+// Reading (std::ifstream) is legal everywhere; it appears in the good tree's
+// measure fixture too.
+#include <filesystem>
+#include <fstream>
+
+void export_telemetry() {
+  std::filesystem::create_directories("bench_out");
+  std::ofstream out("bench_out/telemetry.json", std::ios::binary);
+  out << "{}";
+}

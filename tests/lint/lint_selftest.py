@@ -53,6 +53,16 @@ class BadFixtureTree(unittest.TestCase):
     def test_library_io_fires(self):
         self.assert_finding("src/core/uses_cout.cpp", "library-io")
 
+    def test_library_file_io_fires(self):
+        self.assert_finding("src/core/writes_file.cpp", "library-file-io")
+
+    def test_library_file_io_catches_every_output_form(self):
+        # ofstream, fstream, fopen, fwrite, create_directories, remove.
+        hits = [ln for ln in self.out.splitlines()
+                if ln.startswith("src/core/writes_file.cpp:")
+                and "[library-file-io]" in ln]
+        self.assertEqual(len(hits), 6, self.out)
+
     def test_float_compare_fires(self):
         self.assert_finding("src/math/float_cmp.cpp", "float-compare")
 
@@ -80,6 +90,8 @@ class BadFixtureTree(unittest.TestCase):
 
 class GoodFixtureTree(unittest.TestCase):
     def test_clean_tree_exits_zero(self):
+        # Includes src/obs/exporter.cpp: file output inside the sanctioned
+        # obs directory must NOT trip library-file-io.
         proc = run_lint("--root", str(FIXTURES / "good"))
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
         self.assertIn("0 findings", proc.stdout)
@@ -89,9 +101,9 @@ class CliContract(unittest.TestCase):
     def test_list_rules(self):
         proc = run_lint("--list-rules")
         self.assertEqual(proc.returncode, 0)
-        for rule in ("rng-source", "library-io", "float-compare",
-                     "sensor-isfinite", "thread-outside-runtime",
-                     "pragma-once"):
+        for rule in ("rng-source", "library-io", "library-file-io",
+                     "float-compare", "sensor-isfinite",
+                     "thread-outside-runtime", "pragma-once"):
             self.assertIn(rule, proc.stdout)
 
     def test_bad_root_is_usage_error(self):

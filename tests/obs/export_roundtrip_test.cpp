@@ -1,0 +1,147 @@
+// Telemetry exporter tests: the JSON schema round-trips exactly
+// (parse_json(to_json(s)) == s), the CSV carries the same rows, and the
+// file writers create parent directories. These pin the schema down so a
+// consumer parsing bench_out/*_telemetry.json can rely on it.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "highrpm/obs/export.hpp"
+#include "highrpm/obs/registry.hpp"
+
+namespace highrpm::obs {
+namespace {
+
+Snapshot sample_snapshot() {
+  Snapshot s;
+  s.counters.push_back({"core.dynamic_trr.rejected_readings", 3});
+  s.counters.push_back({"sensor.ipmi.offers", 1200});
+  HistogramSnapshot h;
+  h.name = "core.dynamic_trr.step_ns";
+  h.count = 1200;
+  h.sum = 48000000;
+  h.min = 21000;
+  h.max = 3000000;
+  h.p50 = 32767;
+  h.p90 = 65535;
+  h.p99 = 2097151;
+  s.histograms.push_back(h);
+  return s;
+}
+
+TEST(ExportRoundTrip, JsonParsesBackToIdenticalSnapshot) {
+  const Snapshot s = sample_snapshot();
+  EXPECT_EQ(parse_json(to_json(s)), s);
+}
+
+TEST(ExportRoundTrip, EmptySnapshotRoundTrips) {
+  const Snapshot empty;
+  EXPECT_EQ(parse_json(to_json(empty)), empty);
+}
+
+TEST(ExportRoundTrip, CountersOnlyAndHistogramsOnlyRoundTrip) {
+  Snapshot counters_only;
+  counters_only.counters.push_back({"a", 1});
+  EXPECT_EQ(parse_json(to_json(counters_only)), counters_only);
+
+  Snapshot hists_only;
+  HistogramSnapshot h;
+  h.name = "b";
+  h.count = 1;
+  hists_only.histograms.push_back(h);
+  EXPECT_EQ(parse_json(to_json(hists_only)), hists_only);
+}
+
+TEST(ExportRoundTrip, JsonCarriesSchemaTag) {
+  EXPECT_NE(to_json(Snapshot{}).find("highrpm.telemetry.v1"),
+            std::string::npos);
+}
+
+TEST(ExportRoundTrip, ParserRejectsNonSchemaInput) {
+  EXPECT_THROW(parse_json(""), std::runtime_error);
+  EXPECT_THROW(parse_json("{}"), std::runtime_error);
+  EXPECT_THROW(parse_json("not json at all"), std::runtime_error);
+  // Right shape, wrong schema tag.
+  std::string wrong = to_json(Snapshot{});
+  const auto pos = wrong.find("highrpm.telemetry.v1");
+  ASSERT_NE(pos, std::string::npos);
+  wrong.replace(pos, 20, "highrpm.telemetry.v9");
+  EXPECT_THROW(parse_json(wrong), std::runtime_error);
+}
+
+TEST(ExportRoundTrip, CsvHasHeaderAndOneRowPerEntry) {
+  const Snapshot s = sample_snapshot();
+  const std::string csv = to_csv(s);
+  std::istringstream in(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "kind,name,value,count,sum_ns,min_ns,max_ns,p50_ns,p90_ns,"
+            "p99_ns");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, s.counters.size() + s.histograms.size());
+}
+
+TEST(ExportRoundTrip, WritersCreateParentDirectories) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "highrpm_export_test" / "nested";
+  fs::remove_all(dir.parent_path());
+  const Snapshot s = sample_snapshot();
+  const std::string json_path = (dir / "telemetry.json").string();
+  const std::string csv_path = (dir / "telemetry.csv").string();
+  write_json(json_path, s);
+  write_csv(csv_path, s);
+  std::ifstream jf(json_path);
+  ASSERT_TRUE(jf.good());
+  std::stringstream buf;
+  buf << jf.rdbuf();
+  EXPECT_EQ(parse_json(buf.str()), s);
+  EXPECT_TRUE(fs::file_size(csv_path) > 0);
+  fs::remove_all(dir.parent_path());
+}
+
+#if HIGHRPM_OBS_ENABLED
+
+TEST(ExportRoundTrip, RunTelemetryExportLandsInBenchOut) {
+  namespace fs = std::filesystem;
+  // export_run_telemetry writes relative to the cwd; run it from a scratch
+  // dir so the test never litters the build tree's real bench_out.
+  const fs::path scratch =
+      fs::temp_directory_path() / "highrpm_export_run_test";
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+  const fs::path old_cwd = fs::current_path();
+  fs::current_path(scratch);
+
+  Registry::instance().counter("test.export.run").add(9);
+  const std::string path = export_run_telemetry("unit");
+  fs::current_path(old_cwd);
+
+  ASSERT_FALSE(path.empty());
+  EXPECT_TRUE(fs::exists(scratch / "bench_out" / "unit_telemetry.json"));
+  EXPECT_TRUE(fs::exists(scratch / "bench_out" / "unit_telemetry.csv"));
+  std::ifstream jf(scratch / "bench_out" / "unit_telemetry.json");
+  std::stringstream buf;
+  buf << jf.rdbuf();
+  const Snapshot parsed = parse_json(buf.str());
+  bool found = false;
+  for (const auto& c : parsed.counters) {
+    if (c.name == "test.export.run" && c.value >= 9) found = true;
+  }
+  EXPECT_TRUE(found);
+  fs::remove_all(scratch);
+}
+
+#endif  // HIGHRPM_OBS_ENABLED
+
+}  // namespace
+}  // namespace highrpm::obs

@@ -1,0 +1,79 @@
+// Compile-gate test: this TU is compiled with HIGHRPM_OBS_ENABLED=0 (see
+// tests/CMakeLists.txt) against a library built with the layer ON — the
+// disabled mode is header-only and lives in a distinct inline namespace, so
+// the two link cleanly. Asserts the no-op contract: spans and histograms
+// compile to nothing, the registry hands back shared dummies and empty
+// snapshots, and obs::Counter — the functional-diagnostics type — still
+// counts.
+//
+// Only obs headers may be included here: subsystem headers (DynamicTrr,
+// HighRpm) embed Counter members and would otherwise be compiled against
+// the disabled layer while the library was built with it enabled.
+#define HIGHRPM_OBS_ENABLED 0
+
+#include <gtest/gtest.h>
+
+#include "highrpm/obs/obs.hpp"
+
+namespace highrpm::obs {
+namespace {
+
+static_assert(HIGHRPM_OBS_ENABLED == 0,
+              "this TU must compile the disabled observability mode");
+
+TEST(NoopMode, CounterStillCounts) {
+  Counter c;
+  c.add(3);
+  c.add();
+  EXPECT_EQ(c.value(), 4u);
+}
+
+TEST(NoopMode, HistogramIsInert) {
+  Histogram h;
+  h.record(123);
+  h.record(456);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(NoopMode, RegistryReportsDisabledAndSnapshotsEmpty) {
+  auto& reg = Registry::instance();
+  EXPECT_FALSE(reg.enabled());
+  reg.set_enabled(true);  // no-op by contract
+  EXPECT_FALSE(reg.enabled());
+  reg.counter("core.anything").add(7);
+  reg.histogram("core.anything_ns").record(1);
+  const Snapshot snap = reg.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(NoopMode, SpansAreInertAndDepthStaysZero) {
+  Histogram h;
+  {
+    const Span outer(h);
+    EXPECT_FALSE(outer.active());
+    EXPECT_EQ(outer.elapsed_ns(), 0u);
+    {
+      const Span inner("core.some_ns");
+      EXPECT_EQ(Span::depth(), 0u);
+    }
+  }
+  EXPECT_EQ(Span::depth(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(NoopMode, SharedExportTypesStillWork) {
+  // valid_name and the serializers are compiled unconditionally in the
+  // library; a disabled TU can still format and parse snapshots it builds
+  // by hand (e.g. loading telemetry written by an enabled binary).
+  EXPECT_TRUE(valid_name("a.b-c_d"));
+  EXPECT_FALSE(valid_name("a b"));
+  Snapshot s;
+  s.counters.push_back({"loaded.from.file", 11});
+  EXPECT_EQ(parse_json(to_json(s)), s);
+}
+
+}  // namespace
+}  // namespace highrpm::obs

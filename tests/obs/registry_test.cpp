@@ -1,0 +1,132 @@
+// obs::Registry tests: name validation, reference stability, deterministic
+// snapshots, and — under ctest -L sanitize — concurrent lookup/increment/
+// snapshot safety.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "highrpm/obs/registry.hpp"
+
+namespace highrpm::obs {
+namespace {
+
+TEST(ValidName, AcceptsTelemetryAlphabetOnly) {
+  EXPECT_TRUE(valid_name("core.dynamic_trr.step_ns"));
+  EXPECT_TRUE(valid_name("a-b_c.d9"));
+  EXPECT_FALSE(valid_name(""));
+  EXPECT_FALSE(valid_name("has space"));
+  EXPECT_FALSE(valid_name("quote\"name"));
+  EXPECT_FALSE(valid_name("comma,name"));
+  EXPECT_FALSE(valid_name("newline\nname"));
+}
+
+#if HIGHRPM_OBS_ENABLED
+
+TEST(Registry, RejectsInvalidNames) {
+  auto& reg = Registry::instance();
+  EXPECT_THROW(reg.counter("bad name"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram(""), std::invalid_argument);
+}
+
+TEST(Registry, ReturnsStableReferences) {
+  auto& reg = Registry::instance();
+  Counter& a = reg.counter("test.registry.stable");
+  Counter& b = reg.counter("test.registry.stable");
+  EXPECT_EQ(&a, &b);
+  Histogram& ha = reg.histogram("test.registry.stable_hist");
+  Histogram& hb = reg.histogram("test.registry.stable_hist");
+  EXPECT_EQ(&ha, &hb);
+}
+
+TEST(Registry, SnapshotIsSortedAndReflectsValues) {
+  auto& reg = Registry::instance();
+  reg.counter("test.registry.snap.b").add(2);
+  reg.counter("test.registry.snap.a").add(1);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_GE(snap.counters.size(), 2u);
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+  for (std::size_t i = 1; i < snap.histograms.size(); ++i) {
+    EXPECT_LT(snap.histograms[i - 1].name, snap.histograms[i].name);
+  }
+  std::uint64_t a = 0, b = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "test.registry.snap.a") a = c.value;
+    if (c.name == "test.registry.snap.b") b = c.value;
+  }
+  EXPECT_GE(a, 1u);
+  EXPECT_GE(b, 2u);
+}
+
+TEST(Registry, ResetZeroesButKeepsRegistrations) {
+  auto& reg = Registry::instance();
+  Counter& c = reg.counter("test.registry.reset");
+  c.add(5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // same reference, zeroed
+  bool found = false;
+  for (const auto& snap_c : reg.snapshot().counters) {
+    if (snap_c.name == "test.registry.reset") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Registry, EnabledSwitchToggles) {
+  auto& reg = Registry::instance();
+  const bool before = reg.enabled();
+  reg.set_enabled(false);
+  EXPECT_FALSE(reg.enabled());
+  reg.set_enabled(true);
+  EXPECT_TRUE(reg.enabled());
+  reg.set_enabled(before);
+}
+
+TEST(Registry, ConcurrentLookupsIncrementsAndSnapshots) {
+  // Threads hammer the same and distinct names while another thread keeps
+  // snapshotting — registration (mutex) and increments (relaxed atomics)
+  // must compose race-free. TSan (ctest -L sanitize) is the real assertion
+  // here; the count check catches lost updates in any build.
+  auto& reg = Registry::instance();
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      const std::string own =
+          "test.registry.concurrent.t" + std::to_string(t);
+      for (std::size_t i = 0; i < kIters; ++i) {
+        reg.counter("test.registry.concurrent.shared").add();
+        reg.counter(own).add();
+        reg.histogram("test.registry.concurrent.hist").record(i);
+      }
+    });
+  }
+  threads.emplace_back([&reg] {
+    for (std::size_t i = 0; i < 200; ++i) {
+      const Snapshot snap = reg.snapshot();
+      for (std::size_t k = 1; k < snap.counters.size(); ++k) {
+        EXPECT_LT(snap.counters[k - 1].name, snap.counters[k].name);
+      }
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("test.registry.concurrent.shared").value(),
+            kThreads * kIters);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(
+        reg.counter("test.registry.concurrent.t" + std::to_string(t)).value(),
+        kIters);
+  }
+  EXPECT_EQ(reg.histogram("test.registry.concurrent.hist").count(),
+            kThreads * kIters);
+}
+
+#endif  // HIGHRPM_OBS_ENABLED
+
+}  // namespace
+}  // namespace highrpm::obs

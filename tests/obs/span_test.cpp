@@ -1,0 +1,103 @@
+// obs::Span tests: RAII recording, nesting depth, the runtime disable
+// switch, and thread-pool awareness (each pool worker keeps its own span
+// stack).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "highrpm/obs/registry.hpp"
+#include "highrpm/obs/span.hpp"
+#include "highrpm/runtime/parallel_for.hpp"
+
+namespace highrpm::obs {
+namespace {
+
+#if HIGHRPM_OBS_ENABLED
+
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = Registry::instance().enabled();
+    Registry::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    Registry::instance().set_enabled(was_enabled_);
+  }
+  bool was_enabled_ = true;
+};
+
+TEST_F(SpanTest, RecordsIntoHistogramOnDestruction) {
+  Histogram& h = Registry::instance().histogram("test.span.record");
+  const std::uint64_t before = h.count();
+  {
+    const Span span(h);
+    EXPECT_TRUE(span.active());
+  }
+  EXPECT_EQ(h.count(), before + 1);
+}
+
+TEST_F(SpanTest, NestingTracksDepthPerScope) {
+  Histogram& h = Registry::instance().histogram("test.span.nest");
+  EXPECT_EQ(Span::depth(), 0u);
+  {
+    const Span outer(h);
+    EXPECT_EQ(Span::depth(), 1u);
+    {
+      const Span inner(h);
+      EXPECT_EQ(Span::depth(), 2u);
+    }
+    EXPECT_EQ(Span::depth(), 1u);
+  }
+  EXPECT_EQ(Span::depth(), 0u);
+}
+
+TEST_F(SpanTest, DisabledRegistryMakesSpansFree) {
+  Registry::instance().set_enabled(false);
+  Histogram& h = Registry::instance().histogram("test.span.disabled");
+  const std::uint64_t before = h.count();
+  {
+    const Span span(h);
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.elapsed_ns(), 0u);
+    EXPECT_EQ(Span::depth(), 0u);  // inactive spans don't nest
+  }
+  EXPECT_EQ(h.count(), before);  // nothing recorded
+}
+
+TEST_F(SpanTest, NameLookupFormRecordsToo) {
+  {
+    const Span span("test.span.by_name");
+    EXPECT_TRUE(span.active());
+  }
+  EXPECT_EQ(
+      Registry::instance().histogram("test.span.by_name").count(), 1u);
+}
+
+TEST_F(SpanTest, PoolWorkersKeepTheirOwnSpanStacks) {
+  // A span is open on the caller thread while parallel_for tasks open their
+  // own. Fresh pool workers must start at depth 0 (their stack, not the
+  // caller's); tasks executed by the participating caller thread nest under
+  // its open span and see depth 1. Either way a task never observes the
+  // depth another thread's spans produced.
+  Histogram& h = Registry::instance().histogram("test.span.pool");
+  std::atomic<std::size_t> bad_depths{0};
+  {
+    const Span outer(h);
+    runtime::parallel_for(64, [&](std::size_t) {
+      const std::size_t entry_depth = Span::depth();
+      if (entry_depth != 0 && entry_depth != 1) bad_depths.fetch_add(1);
+      const Span task_span(h);
+      if (Span::depth() != entry_depth + 1) bad_depths.fetch_add(1);
+    });
+    EXPECT_EQ(Span::depth(), 1u);  // caller's own span still open
+  }
+  EXPECT_EQ(bad_depths.load(), 0u);
+  EXPECT_EQ(Span::depth(), 0u);
+}
+
+#endif  // HIGHRPM_OBS_ENABLED
+
+}  // namespace
+}  // namespace highrpm::obs

@@ -1,0 +1,72 @@
+// Property-based tests for obs::Histogram (ctest -L property): for any
+// seeded random sample set, quantiles are monotone in the quantile argument
+// and clamped into [min, max]. The histogram is log2-bucketed, so quantile
+// values are bucket upper bounds — ordering and bounds are the invariants,
+// not exact ranks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "highrpm/math/rng.hpp"
+#include "highrpm/obs/histogram.hpp"
+
+namespace highrpm::obs {
+namespace {
+
+// In a HIGHRPM_OBS=OFF build the histogram is a no-op shell and these
+// invariants are vacuous (tests/obs/noop_mode_test.cpp covers that mode).
+#if HIGHRPM_OBS_ENABLED
+
+TEST(HistogramProperty, QuantilesMonotoneInQ) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    math::Rng rng(seed);
+    Histogram h;
+    const std::size_t n =
+        1 + static_cast<std::size_t>(rng.uniform(0.0, 500.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      // Log-uniform over ~9 decades: span latencies range from tens of ns
+      // to seconds.
+      const double v = std::pow(10.0, rng.uniform(0.0, 9.0));
+      h.record(static_cast<std::uint64_t>(v));
+    }
+    std::uint64_t prev = 0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+      const std::uint64_t v = h.quantile(q);
+      EXPECT_GE(v, prev) << "seed " << seed << " q " << q;
+      EXPECT_GE(v, h.min()) << "seed " << seed << " q " << q;
+      EXPECT_LE(v, h.max()) << "seed " << seed << " q " << q;
+      prev = v;
+    }
+  }
+}
+
+TEST(HistogramProperty, CountAndSumMatchRecordedValues) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    math::Rng rng(seed);
+    Histogram h;
+    const std::size_t n =
+        static_cast<std::size_t>(rng.uniform(0.0, 200.0));
+    std::uint64_t sum = 0, lo = 0, hi = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t v =
+          static_cast<std::uint64_t>(rng.uniform(0.0, 1e6));
+      h.record(v);
+      sum += v;
+      lo = i == 0 ? v : std::min(lo, v);
+      hi = i == 0 ? v : std::max(hi, v);
+    }
+    EXPECT_EQ(h.count(), n);
+    EXPECT_EQ(h.sum(), sum);
+    if (n > 0) {
+      EXPECT_EQ(h.min(), lo);
+      EXPECT_EQ(h.max(), hi);
+    }
+  }
+}
+
+#endif  // HIGHRPM_OBS_ENABLED
+
+}  // namespace
+}  // namespace highrpm::obs

@@ -1,0 +1,46 @@
+// Property-based test for Algorithm 1's merge (ctest -L property): for any
+// seeded random spline/residual traces and any plausibility band, the
+// post-processed output stays inside [p_bottom, p_upper]. The spline input
+// is deliberately allowed to overshoot the band (cubic ringing past a
+// spike does exactly that) — the merge's output contract must hold anyway.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "highrpm/core/static_trr.hpp"
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::core {
+namespace {
+
+TEST(StaticTrrMergeProperty, OutputAlwaysInsidePlausibilityBand) {
+  for (std::uint64_t seed = 1; seed <= 80; ++seed) {
+    math::Rng rng(seed);
+    const std::size_t n =
+        1 + static_cast<std::size_t>(rng.uniform(0.0, 200.0));
+    const double p_bottom = rng.uniform(10.0, 150.0);
+    const double p_upper = p_bottom + rng.uniform(1.0, 400.0);
+    // Inputs range a full band width past both bounds.
+    const double lo = p_bottom - (p_upper - p_bottom);
+    const double hi = p_upper + (p_upper - p_bottom);
+    std::vector<double> splined(n), residual(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      splined[i] = rng.uniform(lo, hi);
+      residual[i] = rng.uniform(lo, hi);
+    }
+    StaticTrrConfig cfg;
+    cfg.miss_interval =
+        2 + static_cast<std::size_t>(rng.uniform(0.0, 18.0));
+
+    const auto merged =
+        static_trr_post_process(splined, residual, p_upper, p_bottom, cfg);
+    ASSERT_EQ(merged.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(merged[i], p_bottom) << "seed " << seed << " tick " << i;
+      EXPECT_LE(merged[i], p_upper) << "seed " << seed << " tick " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace highrpm::core

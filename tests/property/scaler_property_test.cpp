@@ -1,0 +1,83 @@
+// Property-based tests for the feature scalers (ctest -L property): for
+// every seeded random matrix, inverse(transform(x)) recovers x up to
+// floating-point rounding — including degenerate constant columns, where
+// the scalers pin the divisor to 1 instead of dividing by ~0.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "highrpm/data/scaler.hpp"
+#include "highrpm/math/matrix.hpp"
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::data {
+namespace {
+
+/// Random matrix spanning the ~9 orders of magnitude real PMC columns do,
+/// with an occasional constant column (a counter that never fired).
+math::Matrix random_features(math::Rng& rng) {
+  const std::size_t rows =
+      1 + static_cast<std::size_t>(rng.uniform(0.0, 40.0));
+  const std::size_t cols =
+      1 + static_cast<std::size_t>(rng.uniform(0.0, 8.0));
+  math::Matrix x(rows, cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const bool constant = rng.uniform() < 0.15;
+    const double scale = std::pow(10.0, rng.uniform(-3.0, 6.0));
+    const double base = rng.uniform(-1.0, 1.0) * scale;
+    for (std::size_t r = 0; r < rows; ++r) {
+      x(r, c) = constant ? base : base + rng.uniform(-1.0, 1.0) * scale;
+    }
+  }
+  return x;
+}
+
+void expect_roundtrip(const math::Matrix& x, const math::Matrix& back,
+                      std::uint64_t seed) {
+  ASSERT_EQ(back.rows(), x.rows());
+  ASSERT_EQ(back.cols(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      EXPECT_NEAR(back(r, c), x(r, c), 1e-9 * (1.0 + std::fabs(x(r, c))))
+          << "seed " << seed << " at (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(StandardScalerProperty, InverseTransformRoundTrips) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    math::Rng rng(seed);
+    const math::Matrix x = random_features(rng);
+    StandardScaler sc;
+    expect_roundtrip(x, sc.inverse(sc.fit_transform(x)), seed);
+  }
+}
+
+TEST(MinMaxScalerProperty, InverseTransformRoundTrips) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    math::Rng rng(seed);
+    const math::Matrix x = random_features(rng);
+    MinMaxScaler sc;
+    expect_roundtrip(x, sc.inverse(sc.fit_transform(x)), seed);
+  }
+}
+
+TEST(ScalerProperty, RowAndMatrixInversesAgree) {
+  math::Rng rng(7);
+  const math::Matrix x = random_features(rng);
+  StandardScaler std_sc;
+  MinMaxScaler mm_sc;
+  const math::Matrix xs = std_sc.fit_transform(x);
+  const math::Matrix xm = mm_sc.fit_transform(x);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto srow = std_sc.inverse_row(xs.row(r));
+    const auto mrow = mm_sc.inverse_row(xm.row(r));
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(srow[c], std_sc.inverse(xs)(r, c));
+      EXPECT_DOUBLE_EQ(mrow[c], mm_sc.inverse(xm)(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace highrpm::data

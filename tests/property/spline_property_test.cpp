@@ -1,0 +1,88 @@
+// Property-based tests for CubicSpline (ctest -L property): seeded random
+// knot sets, invariants that must hold for *every* generated instance.
+//
+//  * Interpolation: the spline passes through each knot exactly (natural
+//    cubic splines interpolate by construction; a violation means the
+//    tridiagonal solve regressed).
+//  * C1 continuity: the first derivative approaches the same value from
+//    both sides of every interior knot.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "highrpm/math/rng.hpp"
+#include "highrpm/math/spline.hpp"
+
+namespace highrpm::math {
+namespace {
+
+struct Knots {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Random strictly-increasing knots with wide y excursions (power traces
+/// spike, so the invariants must survive ugly data, not just smooth data).
+Knots random_knots(Rng& rng) {
+  const std::size_t n =
+      4 + static_cast<std::size_t>(rng.uniform(0.0, 16.0));
+  Knots k;
+  double x = rng.uniform(-100.0, 100.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    x += rng.uniform(0.1, 5.0);  // strictly increasing, uneven spacing
+    k.x.push_back(x);
+    k.y.push_back(rng.uniform(-500.0, 500.0));
+  }
+  return k;
+}
+
+TEST(CubicSplineProperty, InterpolatesEveryKnotExactly) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    const Knots k = random_knots(rng);
+    const CubicSpline s(k.x, k.y);
+    for (std::size_t i = 0; i < k.x.size(); ++i) {
+      EXPECT_NEAR(s(k.x[i]), k.y[i], 1e-9 * (1.0 + std::fabs(k.y[i])))
+          << "seed " << seed << " knot " << i;
+    }
+  }
+}
+
+TEST(CubicSplineProperty, C1ContinuousAtInteriorKnots) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    const Knots k = random_knots(rng);
+    const CubicSpline s(k.x, k.y);
+    // One-sided derivatives a hair off each interior knot: with the segment
+    // polynomials C1-matched at the knot, the two values differ only by
+    // O(h * max|y''|); the tolerance scales with the derivative magnitude
+    // so wild knot sets don't need a looser test than tame ones.
+    const double h = 1e-7;
+    for (std::size_t i = 1; i + 1 < k.x.size(); ++i) {
+      const double left = s.derivative(k.x[i] - h);
+      const double right = s.derivative(k.x[i] + h);
+      const double scale =
+          1.0 + std::fmax(std::fabs(left), std::fabs(right));
+      EXPECT_NEAR(left, right, 1e-3 * scale)
+          << "seed " << seed << " interior knot " << i;
+    }
+  }
+}
+
+TEST(CubicSplineProperty, ValueContinuousAtInteriorKnots) {
+  for (std::uint64_t seed = 51; seed <= 80; ++seed) {
+    Rng rng(seed);
+    const Knots k = random_knots(rng);
+    const CubicSpline s(k.x, k.y);
+    const double h = 1e-9;
+    for (std::size_t i = 1; i + 1 < k.x.size(); ++i) {
+      const double scale = 1.0 + std::fabs(k.y[i]);
+      EXPECT_NEAR(s(k.x[i] - h), s(k.x[i] + h), 1e-5 * scale)
+          << "seed " << seed << " interior knot " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace highrpm::math

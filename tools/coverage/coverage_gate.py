@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Line-coverage gate for HighRPM library code.
+
+Measures line coverage of src/ and include/highrpm/ from a build tree
+configured with -DHIGHRPM_COVERAGE=ON (gcc --coverage) after the test suite
+has run, and fails (exit 1) when it drops below the threshold.
+
+Backend selection:
+  gcovr   preferred when installed — one invocation, battle-tested exclusion
+          handling.
+  gcov    always-available fallback (ships with gcc): every .gcda in the
+          build tree is fed to `gcov --json-format` and the per-line
+          execution counts are merged across translation units, so a header
+          line counts as covered when ANY including TU executed it.
+
+Only library code counts: tests/, bench/, examples/, and third-party
+_deps/ sources are excluded from both numerator and denominator — the gate
+guards the code users link, not the code that exercises it.
+
+Usage:
+  python3 tools/coverage/coverage_gate.py --build-dir build-coverage \
+      [--threshold 60.0] [--root DIR] [--backend auto|gcovr|gcov]
+
+Exit status: 0 pass, 1 below threshold, 2 usage/tooling errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+LIBRARY_PREFIXES = ("src/", "include/highrpm/")
+EXCLUDE_PARTS = {"_deps", "tests", "bench", "examples", "build"}
+
+
+def is_library_source(path: str, root: Path) -> str | None:
+    """Map an absolute/relative source path to its repo-relative form when it
+    is library code, else None."""
+    p = Path(path)
+    if not p.is_absolute():
+        p = (root / p).resolve()
+    try:
+        relpath = p.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return None  # system header or _deps checkout outside the repo
+    if any(part in EXCLUDE_PARTS for part in Path(relpath).parts):
+        return None
+    if not relpath.startswith(LIBRARY_PREFIXES):
+        return None
+    return relpath
+
+
+# --------------------------------------------------------------------------
+# gcov fallback backend
+
+def run_gcov(build_dir: Path, root: Path) -> dict[str, dict[int, int]]:
+    """Merged per-file { line -> max execution count } from every .gcda."""
+    gcov = shutil.which("gcov")
+    if gcov is None:
+        print("error: neither gcovr nor gcov found", file=sys.stderr)
+        sys.exit(2)
+    gcdas = sorted(build_dir.rglob("*.gcda"))
+    if not gcdas:
+        print(f"error: no .gcda files under {build_dir} — configure with "
+              "-DHIGHRPM_COVERAGE=ON and run the test suite first",
+              file=sys.stderr)
+        sys.exit(2)
+
+    coverage: dict[str, dict[int, int]] = {}
+    with tempfile.TemporaryDirectory(prefix="highrpm-cov-") as tmp:
+        tmpdir = Path(tmp)
+        for gcda in gcdas:
+            proc = subprocess.run(
+                [gcov, "--json-format", str(gcda)],
+                cwd=tmpdir, capture_output=True, text=True, timeout=300)
+            if proc.returncode != 0:
+                # A stale .gcda (e.g. from a deleted TU) is a warning, not a
+                # gate failure.
+                print(f"note: gcov failed on {gcda.name}: "
+                      f"{proc.stderr.strip().splitlines()[:1]}",
+                      file=sys.stderr)
+                continue
+            for out in tmpdir.glob("*.gcov.json.gz"):
+                with gzip.open(out, "rt", encoding="utf-8") as fh:
+                    data = json.load(fh)
+                for f in data.get("files", []):
+                    relpath = is_library_source(f.get("file", ""), root)
+                    if relpath is None:
+                        continue
+                    lines = coverage.setdefault(relpath, {})
+                    for ln in f.get("lines", []):
+                        num = ln.get("line_number")
+                        cnt = ln.get("count", 0)
+                        if num is None:
+                            continue
+                        lines[num] = max(lines.get(num, 0), cnt)
+                out.unlink()
+    return coverage
+
+
+def summarize_gcov(coverage: dict[str, dict[int, int]]):
+    per_file = []
+    total_lines = covered_lines = 0
+    for relpath in sorted(coverage):
+        lines = coverage[relpath]
+        n = len(lines)
+        c = sum(1 for cnt in lines.values() if cnt > 0)
+        total_lines += n
+        covered_lines += c
+        per_file.append((relpath, n, c))
+    pct = 100.0 * covered_lines / total_lines if total_lines else 0.0
+    return pct, total_lines, covered_lines, per_file
+
+
+# --------------------------------------------------------------------------
+# gcovr backend
+
+def run_gcovr(build_dir: Path, root: Path):
+    proc = subprocess.run(
+        ["gcovr", "--root", str(root), str(build_dir),
+         "--filter", r"src/", "--filter", r"include/highrpm/",
+         "--exclude", r".*_deps.*", "--json-summary-pretty"],
+        capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        print("error: gcovr failed:\n" + proc.stderr, file=sys.stderr)
+        sys.exit(2)
+    data = json.loads(proc.stdout)
+    per_file = [(f["filename"], f["line_total"], f["line_covered"])
+                for f in data.get("files", [])]
+    total = sum(n for _, n, _ in per_file)
+    covered = sum(c for _, _, c in per_file)
+    pct = 100.0 * covered / total if total else 0.0
+    return pct, total, covered, sorted(per_file)
+
+
+# --------------------------------------------------------------------------
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=Path,
+                        default=Path("build-coverage"))
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parents[2])
+    parser.add_argument("--threshold", type=float, default=90.0,
+                        help="minimum library line coverage %% (default 90; "
+                             "the full suite measures ~97)")
+    parser.add_argument("--backend", choices=("auto", "gcovr", "gcov"),
+                        default="auto")
+    parser.add_argument("--list-files", action="store_true",
+                        help="print the per-file table even on success")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    build_dir = args.build_dir if args.build_dir.is_absolute() \
+        else root / args.build_dir
+    if not build_dir.is_dir():
+        print(f"error: build dir {build_dir} does not exist", file=sys.stderr)
+        return 2
+
+    backend = args.backend
+    if backend == "auto":
+        backend = "gcovr" if shutil.which("gcovr") else "gcov"
+    if backend == "gcovr" and shutil.which("gcovr") is None:
+        print("error: --backend gcovr requested but gcovr is not installed",
+              file=sys.stderr)
+        return 2
+
+    if backend == "gcovr":
+        pct, total, covered, per_file = run_gcovr(build_dir, root)
+    else:
+        pct, total, covered, per_file = summarize_gcov(
+            run_gcov(build_dir, root))
+
+    ok = pct >= args.threshold
+    if args.list_files or not ok:
+        width = max((len(p) for p, _, _ in per_file), default=10)
+        for relpath, n, c in per_file:
+            fpct = 100.0 * c / n if n else 0.0
+            print(f"  {relpath:<{width}}  {c:>5}/{n:<5}  {fpct:6.1f}%")
+    print(f"coverage_gate [{backend}]: {covered}/{total} library lines "
+          f"covered = {pct:.1f}% (threshold {args.threshold:.1f}%)"
+          f" -> {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

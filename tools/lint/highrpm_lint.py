@@ -14,6 +14,14 @@ hygiene:
                         (std::cout / printf and friends); only bench/,
                         examples/, and tests/ may. snprintf-to-buffer is
                         allowed (formatting, not I/O).
+  library-file-io       Library code never opens files for writing
+                        (std::ofstream / std::fstream / fopen / fwrite /
+                        std::filesystem mutation) — the observability
+                        exporter (src/obs/, include/highrpm/obs/) is the one
+                        sanctioned place a library call may touch the
+                        filesystem, so telemetry side effects stay auditable
+                        in a single directory. Explicitly-user-invoked write
+                        APIs (data::write_csv) carry an ALLOW marker.
   float-compare         No raw == / != against floating-point literals,
                         anywhere in the tree. Exact comparisons are still
                         expressible — through the blessed helpers in
@@ -108,6 +116,24 @@ IO_PATTERNS = [
     (re.compile(r"(?<![\w:])puts\s*\("), "puts()"),
 ]
 
+# File *output* from library code. Read-side streams (std::ifstream) stay
+# legal everywhere — models must load data — and std::fstream counts as
+# output because it can write. std::filesystem mutations are listed
+# individually: pure queries (exists, path algebra) are harmless.
+FILE_IO_PATTERNS = [
+    (re.compile(r"\bstd::ofstream\b"), "std::ofstream"),
+    (re.compile(r"\bstd::fstream\b"), "std::fstream"),
+    (re.compile(r"(?<![\w:])(?:std::)?fopen\s*\("), "fopen()"),
+    (re.compile(r"(?<![\w:])(?:std::)?fwrite\s*\("), "fwrite()"),
+    (re.compile(r"\bstd::filesystem::"
+                r"(create_director(y|ies)|remove(_all)?|rename|resize_file|"
+                r"copy(_file)?)\b"),
+     "a std::filesystem mutation"),
+]
+
+# The sanctioned home of library-side file output: the telemetry exporter.
+FILE_IO_ALLOWED_PREFIXES = ("src/obs/", "include/highrpm/obs/")
+
 THREAD_PATTERNS = [
     (re.compile(r"\bstd::jthread\b"), "std::jthread"),
     (re.compile(r"\bstd::thread\b"), "std::thread"),
@@ -126,6 +152,8 @@ FLOAT_CMP = re.compile(
 RULES = {
     "rng-source": "randomness outside math::Rng in library code",
     "library-io": "stdout/stderr I/O in library code",
+    "library-file-io": "file output in library code outside the obs "
+                       "exporter (src/obs/, include/highrpm/obs/)",
     "float-compare": "raw == / != against a floating-point literal "
                      "(use highrpm/math/float_eq.hpp)",
     "sensor-isfinite": "sensor ingestion file missing a std::isfinite guard",
@@ -243,6 +271,12 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
                     hit("library-io",
                         f"{what} — library code must not write to "
                         "stdout/stderr")
+            if not relpath.startswith(FILE_IO_ALLOWED_PREFIXES):
+                for pat, what in FILE_IO_PATTERNS:
+                    if pat.search(code):
+                        hit("library-file-io",
+                            f"{what} — library-side file output belongs in "
+                            "the obs exporter (src/obs/)")
             if not in_runtime:
                 for pat, what in THREAD_PATTERNS:
                     if pat.search(code):
