@@ -1,0 +1,268 @@
+// Fleet-scale streaming throughput bench.
+//
+// Models the paper's control-node deployment (§4.1): one golden HighRpm
+// instance is trained once, then cloned per compute node (the
+// MonitorService pattern) and each clone streams its own node's PMC trace
+// through the full DynamicTRR + SRR per-tick pipeline. Fleets of
+// N ∈ {1, 8, 64, 256} nodes are sharded across the runtime::ThreadPool and
+// the bench reports, per fleet size:
+//
+//   ticks/sec        aggregate streaming throughput (all nodes)
+//   p50/p99 ns       per-tick on_tick latency (obs::Histogram quantiles)
+//   allocs/tick      heap allocations per steady-state predict tick,
+//                    counted by the HIGHRPM_ALLOC_TRACE operator-new hook
+//                    (this binary's enforcement of the zero-allocation
+//                    steady-state contract; -1 when the hook is absent)
+//
+// Results go to BENCH_fleet.json (schema in EXPERIMENTS.md) so later PRs
+// inherit a recorded perf baseline. Timing numbers legitimately vary run to
+// run; the *numeric* outputs do not: node i's estimate stream depends only
+// on its own workload/seed (derived from i), never on fleet size or thread
+// count, and the bench writes node 0's estimates to
+// bench_out/fleet_node0_N{1,64}.csv — a ctest golden check asserts the two
+// files are byte-identical.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc_trace.hpp"
+#include "highrpm/core/highrpm.hpp"
+#include "highrpm/measure/collector.hpp"
+#include "highrpm/obs/histogram.hpp"
+#include "highrpm/runtime/parallel_for.hpp"
+#include "highrpm/runtime/thread_pool.hpp"
+#include "highrpm/sim/platform.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct FleetOptions {
+  bool quick = false;
+  std::size_t train_ticks = 400;
+  std::size_t stream_ticks = 1200;
+  std::size_t rnn_epochs = 25;
+  std::size_t srr_epochs = 60;
+  std::uint64_t seed = 2023;
+};
+
+FleetOptions parse_args(int argc, char** argv) {
+  FleetOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opt.quick = true;
+      opt.train_ticks = 160;
+      opt.stream_ticks = 240;
+      opt.rnn_epochs = 8;
+      opt.srr_epochs = 25;
+    } else if (arg == "--full") {
+      opt = FleetOptions{};
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick|--full]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+/// Per-node workload assignment — a fixed rotation so the fleet mixes
+/// suites. Depends only on the node index, never on the fleet size, so
+/// node 0 streams the same trace in every fleet.
+highrpm::sim::Workload workload_for_node(std::size_t node) {
+  switch (node % 4) {
+    case 0: return highrpm::workloads::fft();
+    case 1: return highrpm::workloads::stream();
+    case 2: return highrpm::workloads::hpcg();
+    default: return highrpm::workloads::graph500_bfs();
+  }
+}
+
+struct FleetResult {
+  std::size_t nodes = 0;
+  double wall_s = 0.0;
+  double ticks_per_sec = 0.0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t total_ticks = 0;
+  std::uint64_t steady_ticks = 0;
+  double allocs_per_tick = -1.0;
+};
+
+/// Stream `n_nodes` clones of the golden instance over their own collected
+/// traces, sharded one node per pool task. When csv_path is non-empty,
+/// node 0's estimates are written there (full precision, for the N=1 vs
+/// N=64 byte-identity check).
+FleetResult run_fleet(const highrpm::core::HighRpm& golden,
+                      const highrpm::measure::Collector& collector,
+                      std::size_t n_nodes, const FleetOptions& opt,
+                      const std::string& csv_path) {
+  namespace alloctrace = highrpm::alloctrace;
+  using highrpm::core::PowerEstimate;
+
+  // Setup (excluded from timing): per-node traces and per-node clones.
+  const auto platform = highrpm::sim::PlatformConfig::arm();
+  const auto runs = highrpm::runtime::parallel_map(
+      n_nodes, [&](std::size_t i) {
+        return collector.collect(platform, workload_for_node(i),
+                                 opt.stream_ticks, opt.seed + 1000 + i);
+      });
+  std::vector<highrpm::core::HighRpm> fleet;
+  fleet.reserve(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    fleet.push_back(golden);
+    fleet.back().reset_stream();
+  }
+
+  // Warm-up boundary: two miss intervals gives every clone a full window
+  // plus one fine-tune before the zero-allocation contract is metered.
+  const std::size_t warmup = 2 * golden.config().miss_interval;
+  highrpm::obs::Histogram tick_hist;
+  std::atomic<std::uint64_t> steady_ticks{0};
+  std::vector<PowerEstimate> node0(opt.stream_ticks);
+
+  const std::uint64_t allocs_before = alloctrace::count();
+  const auto fleet_start = Clock::now();
+  highrpm::runtime::parallel_for(n_nodes, [&](std::size_t i) {
+    auto& monitor = fleet[i];
+    const auto& run = runs[i];
+    const auto& features = run.dataset.features();
+    const auto& labels = run.dataset.target("P_NODE");
+    std::uint64_t my_steady = 0;
+    for (std::size_t t = 0; t < run.num_ticks(); ++t) {
+      std::optional<double> reading;
+      if (run.measured[t]) reading = labels[t];
+      // Steady-state predict tick: warm, no IM reading (reading ticks may
+      // fine-tune, which legitimately allocates).
+      const bool steady = !reading.has_value() && t >= warmup;
+      if (steady) {
+        alloctrace::arm();
+        ++my_steady;
+      }
+      const auto t0 = Clock::now();
+      const PowerEstimate est = monitor.on_tick(features.row(t), reading);
+      const auto t1 = Clock::now();
+      if (steady) alloctrace::disarm();
+      tick_hist.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+      if (i == 0) node0[t] = est;
+    }
+    steady_ticks.fetch_add(my_steady, std::memory_order_relaxed);
+  });
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - fleet_start).count();
+  const std::uint64_t allocs_after = alloctrace::count();
+
+  FleetResult r;
+  r.nodes = n_nodes;
+  r.wall_s = wall_s;
+  r.total_ticks = static_cast<std::uint64_t>(n_nodes) * opt.stream_ticks;
+  r.ticks_per_sec = static_cast<double>(r.total_ticks) / wall_s;
+  r.p50_ns = tick_hist.quantile(0.50);
+  r.p99_ns = tick_hist.quantile(0.99);
+  r.steady_ticks = steady_ticks.load();
+  if (alloctrace::available() && r.steady_ticks > 0) {
+    r.allocs_per_tick = static_cast<double>(allocs_after - allocs_before) /
+                        static_cast<double>(r.steady_ticks);
+  }
+
+  if (!csv_path.empty()) {
+    std::filesystem::create_directories(
+        std::filesystem::path(csv_path).parent_path());
+    std::ofstream out(csv_path);
+    out << "tick,node_w,cpu_w,mem_w,measured\n";
+    char buf[128];
+    for (std::size_t t = 0; t < node0.size(); ++t) {
+      std::snprintf(buf, sizeof(buf), "%zu,%.17g,%.17g,%.17g,%d\n", t,
+                    node0[t].node_w, node0[t].cpu_w, node0[t].mem_w,
+                    node0[t].measured ? 1 : 0);
+      out << buf;
+    }
+  }
+  return r;
+}
+
+void write_json(const std::string& path, const FleetOptions& opt,
+                const std::vector<FleetResult>& results) {
+  std::ofstream out(path);
+  char buf[256];
+  out << "{\n";
+  out << "  \"bench\": \"fleet_scaling\",\n";
+  out << "  \"mode\": \"" << (opt.quick ? "quick" : "full") << "\",\n";
+  out << "  \"threads\": " << highrpm::runtime::thread_count() << ",\n";
+  out << "  \"alloc_trace\": "
+      << (highrpm::alloctrace::available() ? "true" : "false") << ",\n";
+  out << "  \"ticks_per_node\": " << opt.stream_ticks << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const FleetResult& r = results[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"nodes\": %zu, \"ticks_per_sec\": %.1f, "
+                  "\"p50_ns\": %llu, \"p99_ns\": %llu, "
+                  "\"steady_ticks\": %llu, \"allocs_per_tick\": %.3f, "
+                  "\"wall_s\": %.4f}%s\n",
+                  r.nodes, r.ticks_per_sec,
+                  static_cast<unsigned long long>(r.p50_ns),
+                  static_cast<unsigned long long>(r.p99_ns),
+                  static_cast<unsigned long long>(r.steady_ticks),
+                  r.allocs_per_tick, r.wall_s,
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FleetOptions opt = parse_args(argc, argv);
+
+  // Train the golden instance once (MonitorService clones it per node).
+  highrpm::core::HighRpmConfig cfg;
+  cfg.dynamic_trr.rnn.epochs = opt.rnn_epochs;
+  cfg.srr.epochs = opt.srr_epochs;
+  const highrpm::measure::Collector collector;
+  const auto platform = highrpm::sim::PlatformConfig::arm();
+  std::vector<highrpm::measure::CollectedRun> training;
+  const char* train_workloads[] = {"fft", "stream", "hpcg"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    training.push_back(collector.collect(
+        platform, highrpm::workloads::by_name(train_workloads[i]),
+        opt.train_ticks, opt.seed + i));
+  }
+  std::printf("fleet bench: training golden instance (%zu runs x %zu "
+              "ticks, rnn_epochs=%zu, srr_epochs=%zu)...\n",
+              training.size(), opt.train_ticks, opt.rnn_epochs,
+              opt.srr_epochs);
+  highrpm::core::HighRpm golden(cfg);
+  golden.initial_learning(training);
+
+  const std::size_t fleet_sizes[] = {1, 8, 64, 256};
+  std::vector<FleetResult> results;
+  for (const std::size_t n : fleet_sizes) {
+    std::string csv;
+    if (n == 1) csv = "bench_out/fleet_node0_N1.csv";
+    if (n == 64) csv = "bench_out/fleet_node0_N64.csv";
+    const FleetResult r = run_fleet(golden, collector, n, opt, csv);
+    std::printf(
+        "  N=%3zu  %10.0f ticks/s  p50=%6llu ns  p99=%7llu ns  "
+        "allocs/tick=%.3f  wall=%.3fs\n",
+        r.nodes, r.ticks_per_sec, static_cast<unsigned long long>(r.p50_ns),
+        static_cast<unsigned long long>(r.p99_ns), r.allocs_per_tick,
+        r.wall_s);
+    results.push_back(r);
+  }
+
+  write_json("BENCH_fleet.json", opt, results);
+  std::printf("wrote BENCH_fleet.json (threads=%zu, mode=%s)\n",
+              highrpm::runtime::thread_count(), opt.quick ? "quick" : "full");
+  return 0;
+}

@@ -105,7 +105,7 @@ class DynamicTrr {
     return static_cast<std::size_t>(cold_starts_.value());
   }
   /// Current streaming-window fill (never exceeds miss_interval).
-  std::size_t stream_window_size() const noexcept { return window_.size(); }
+  std::size_t stream_window_size() const noexcept { return win_count_; }
 
  private:
   /// One streaming-window step. Keeping the row, its estimate, and its
@@ -117,6 +117,13 @@ class DynamicTrr {
     bool clean = true;  // row arrived finite (eligible for fine-tuning)
   };
 
+  /// Logical window slot i (0 = oldest) in the fixed-capacity ring. The
+  /// ring replaces push_back + erase-front so the steady-state tick reuses
+  /// slot buffers instead of allocating a fresh row every tick.
+  WindowSlot& slot(std::size_t i) noexcept {
+    return window_[(win_start_ + i) % window_.size()];
+  }
+
   /// False when the reading is non-finite or outside [p_bottom, p_upper].
   bool plausible_reading(double value) const;
   /// Stuck-sensor tracking; true when the reading should be rejected.
@@ -126,7 +133,15 @@ class DynamicTrr {
 
   DynamicTrrConfig cfg_;
   ml::SequenceRegressor model_;
+  /// Ring storage (capacity miss_interval once streaming) + cursor/fill.
   std::vector<WindowSlot> window_;
+  std::size_t win_start_ = 0;
+  std::size_t win_count_ = 0;
+  /// Per-tick scratch, reused across steps so the steady-state predict path
+  /// performs zero heap allocations once warm.
+  math::Matrix steps_scratch_;
+  std::vector<double> preds_scratch_;
+  ml::SequenceRegressor::Workspace ws_;
   double prev_estimate_ = 0.0;
   bool have_prev_ = false;
   obs::Counter finetunes_;

@@ -98,6 +98,9 @@ class HighRpm {
   /// Last finite PMC row seen by on_tick — substituted on degraded ticks so
   /// TRR and SRR see the same held input.
   std::vector<double> last_good_row_;
+  /// Reused across ticks so the steady-state SRR predict performs zero heap
+  /// allocations once warm.
+  Srr::Scratch srr_scratch_;
   obs::Counter held_rows_;
 };
 

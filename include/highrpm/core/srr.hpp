@@ -61,8 +61,21 @@ class Srr {
                  std::span<const double> p_cpu, std::span<const double> p_mem,
                  std::size_t epochs);
 
+  /// Caller-owned reusable buffers for the allocation-free predict path:
+  /// the assembled [P_Node, PMC...] input row plus the MLP's scratch.
+  struct Scratch {
+    std::vector<double> row;
+    std::vector<double> out;
+    ml::Mlp::Scratch net;
+  };
+
   ComponentEstimate predict_one(std::span<const double> pmcs,
                                 double p_node) const;
+  /// predict_one with caller-owned scratch: bit-identical results, no heap
+  /// allocation once the buffers are warm (the steady-state per-tick
+  /// variant). Thread-safe on a const model with per-caller scratch.
+  ComponentEstimate predict_one(std::span<const double> pmcs, double p_node,
+                                Scratch& scratch) const;
   /// Batch prediction, one estimate per row.
   std::vector<ComponentEstimate> predict(const math::Matrix& pmcs,
                                          std::span<const double> p_node) const;

@@ -15,6 +15,11 @@ class StandardScaler {
   void fit(const math::Matrix& x);
   math::Matrix transform(const math::Matrix& x) const;
   std::vector<double> transform_row(std::span<const double> row) const;
+  /// transform_row into a caller-owned buffer (out.size() == row.size());
+  /// no allocation — the steady-state per-tick variant. `out` may alias
+  /// `row` (pure elementwise map).
+  void transform_row_into(std::span<const double> row,
+                          std::span<double> out) const;
   math::Matrix fit_transform(const math::Matrix& x);
   /// Undo transform(): inverse(transform(x)) recovers x up to rounding.
   math::Matrix inverse(const math::Matrix& x) const;
@@ -35,6 +40,10 @@ class MinMaxScaler {
   void fit(const math::Matrix& x);
   math::Matrix transform(const math::Matrix& x) const;
   std::vector<double> transform_row(std::span<const double> row) const;
+  /// transform_row into a caller-owned buffer; no allocation. `out` may
+  /// alias `row`.
+  void transform_row_into(std::span<const double> row,
+                          std::span<double> out) const;
   math::Matrix fit_transform(const math::Matrix& x);
   /// Undo transform(): inverse(transform(x)) recovers x up to rounding.
   math::Matrix inverse(const math::Matrix& x) const;

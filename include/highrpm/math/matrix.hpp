@@ -50,6 +50,12 @@ class Matrix {
   }
   std::vector<double> col(std::size_t c) const;
 
+  /// Reshape to rows x cols, reusing the existing allocation when capacity
+  /// allows (the steady-state monitoring tick resizes its window matrix in
+  /// place every tick). Element values are unspecified after a shape
+  /// change — callers overwrite every cell.
+  void resize(std::size_t rows, std::size_t cols);
+
   std::span<double> flat() noexcept { return data_; }
   std::span<const double> flat() const noexcept { return data_; }
 
@@ -86,8 +92,19 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b);
 Matrix gram(const Matrix& a);
 /// y = A * x.
 std::vector<double> matvec(const Matrix& a, std::span<const double> x);
+/// y = A * x into a caller-owned buffer (y.size() == A.rows()); no
+/// allocation, serial. The per-row summation order matches matvec exactly,
+/// so results are bit-identical to the allocating overload. This is the
+/// hot-path variant for the per-tick inference path, where vectors are tiny
+/// and pool dispatch would cost more than the product.
+void matvec_into(const Matrix& a, std::span<const double> x,
+                 std::span<double> y);
 /// y = A^T * x.
 std::vector<double> matvec_t(const Matrix& a, std::span<const double> x);
+/// C = A * B^T into a caller-owned matrix (resized in place, reusing its
+/// allocation); no allocation once C's capacity suffices, serial, same
+/// per-cell dot order as matmul_nt.
+void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& c);
 
 // --- small vector helpers (free functions over std::span/std::vector) ---
 

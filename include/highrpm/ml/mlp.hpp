@@ -41,7 +41,21 @@ class Mlp {
   void fit(const math::Matrix& x, const math::Matrix& y, bool reset = true,
            std::size_t epochs_override = 0);
 
+  /// Caller-owned reusable buffers for the allocation-free predict path:
+  /// the standardized input plus two ping-pong activation buffers.
+  struct Scratch {
+    std::vector<double> xs;
+    std::vector<double> a;
+    std::vector<double> b;
+  };
+
   std::vector<double> predict_one(std::span<const double> row) const;
+  /// predict_one into caller-owned output + scratch buffers: bit-identical
+  /// results, no heap allocation once the buffers are warm. Thread-safe for
+  /// concurrent calls on the same const model as long as each caller brings
+  /// its own scratch.
+  void predict_one_into(std::span<const double> row, std::vector<double>& out,
+                        Scratch& scratch) const;
   math::Matrix predict(const math::Matrix& x) const;
 
   bool fitted() const noexcept { return fitted_; }

@@ -42,8 +42,31 @@ class SequenceRegressor {
   void fit(std::span<const data::SequenceSample> samples, bool reset = true,
            std::size_t epochs_override = 0);
 
+  /// Caller-owned reusable buffers for the allocation-free predict path.
+  /// A workspace belongs to one caller at a time (confine it to a single
+  /// thread); reuse it across calls so that after the first predict_into at
+  /// a given model shape, subsequent calls perform zero heap allocations.
+  struct Workspace {
+    /// Per-layer cell-step scratch.
+    struct StepScratch {
+      std::vector<double> z;      // gate pre-activations
+      std::vector<double> gates;  // gate post-activations
+      std::vector<double> rh;     // GRU reset-gated hidden state
+    };
+    std::vector<StepScratch> layers;
+    math::Matrix h;         // layers x units hidden state
+    math::Matrix c;         // layers x units LSTM cell state
+    std::vector<double> x;  // current step input
+  };
+
   /// Per-step predictions for a T x F window (any T >= 1).
   std::vector<double> predict(const math::Matrix& steps) const;
+  /// predict() into caller-owned output + workspace buffers: bit-identical
+  /// results, no heap allocation once the buffers are warm. `out` is
+  /// resized to T. Thread-safe for concurrent calls on the same const model
+  /// as long as each caller brings its own workspace.
+  void predict_into(const math::Matrix& steps, std::vector<double>& out,
+                    Workspace& ws) const;
 
   bool fitted() const noexcept { return fitted_; }
   const RnnConfig& config() const noexcept { return cfg_; }
@@ -83,14 +106,20 @@ class SequenceRegressor {
   std::size_t gate_count() const {
     return (cfg_.cell == CellType::kLstm ? 4 : 3) * cfg_.units;
   }
-  /// One cell step; fills cache (if given) and returns h.
-  std::vector<double> cell_step(const CellParams& p,
-                                std::span<const double> x,
-                                std::span<const double> h_prev,
-                                std::span<double> c_inout,
-                                StepCache* cache) const;
+  /// Size the workspace buffers for this model's shape and zero the
+  /// recurrent state. No allocation when the workspace is already warm.
+  void prepare(Workspace& ws) const;
+  /// One cell step, in place: h_inout holds h_{t-1} on entry and h_t on
+  /// return (safe because every gate pre-activation is fully computed from
+  /// h_{t-1} before any element of h is overwritten, and the GRU update
+  /// reads h_prev[j] in the same expression that writes h[j]); c_inout is
+  /// the LSTM cell state, updated likewise. Uses only the scratch buffers —
+  /// no allocation once they are warm.
+  void cell_step_into(const CellParams& p, std::span<const double> x,
+                      std::span<double> h_inout, std::span<double> c_inout,
+                      Workspace::StepScratch& scratch) const;
   /// Forward a whole window, returning per-step head outputs (scaled space);
-  /// caches are per layer per step when requested.
+  /// caches are per layer per step when requested (training path).
   std::vector<double> forward(const math::Matrix& steps_scaled,
                               std::vector<std::vector<StepCache>>* caches) const;
   void adam_step(double lr);

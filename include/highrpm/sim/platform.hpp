@@ -54,7 +54,9 @@ struct PlatformConfig {
   static PlatformConfig x86();
 
   double frequency_ghz(std::size_t level) const;
-  double max_frequency_ghz() const { return freq_levels_ghz.back(); }
+  /// Highest DVFS operating point. Throws on an empty ladder instead of
+  /// calling .back() on it (undefined behaviour).
+  double max_frequency_ghz() const;
 };
 
 }  // namespace highrpm::sim

@@ -7,6 +7,8 @@
 #   golden    ctest -L golden in the werror build: committed reference CSVs
 #             must match the bench output byte for byte
 #   property  ctest -L property in the werror build: seeded invariant suites
+#   perf      ctest -L perf-smoke in a release build: zero-allocation
+#             steady-state contract + fleet sharding determinism
 #   tidy      clang-tidy over the compile database   [skipped if not installed]
 #   asan      full ctest under -fsanitize=address
 #   ubsan     full ctest under -fsanitize=undefined (no-recover: UB = failure)
@@ -35,8 +37,8 @@ STEPS=()
 for arg in "$@"; do
   case "$arg" in
     --format) WANT_FORMAT=1 ;;
-    lint|werror|golden|property|tidy|asan|ubsan|tsan|coverage|format) STEPS+=("$arg") ;;
-    *) echo "usage: scripts/check.sh [--format] [lint|werror|golden|property|tidy|asan|ubsan|tsan|coverage|format ...]" >&2
+    lint|werror|golden|property|perf|tidy|asan|ubsan|tsan|coverage|format) STEPS+=("$arg") ;;
+    *) echo "usage: scripts/check.sh [--format] [lint|werror|golden|property|perf|tidy|asan|ubsan|tsan|coverage|format ...]" >&2
        exit 2 ;;
   esac
 done
@@ -44,7 +46,7 @@ if [ "${#STEPS[@]}" -eq 0 ]; then
   # coverage is opt-in (it rebuilds the whole tree instrumented); golden and
   # property re-run their labels explicitly even though the werror suite
   # includes them, so a regression names the gate it broke.
-  STEPS=(lint werror golden property tidy asan ubsan tsan)
+  STEPS=(lint werror golden property perf tidy asan ubsan tsan)
   [ "$WANT_FORMAT" -eq 1 ] && STEPS+=(format)
 fi
 
@@ -87,6 +89,13 @@ step_property() {
   note "property: seeded invariant suites (ctest -L property)"
   ensure_werror_build
   ctest --test-dir build-werror --output-on-failure -j "$JOBS" -L property
+}
+
+step_perf() {
+  note "perf: zero-allocation + sharding determinism (ctest -L perf-smoke)"
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS" -L perf-smoke
 }
 
 step_coverage() {

@@ -19,8 +19,14 @@ CappingResult PowerCapController::run(sim::NodeSimulator& node,
       static_cast<std::size_t>(std::llround(cfg_.reading_interval_s));
   const std::size_t ai =
       static_cast<std::size_t>(std::llround(cfg_.action_interval_s));
-  const std::size_t max_level =
-      node.platform().freq_levels_ghz.size() - 1;
+  // NodeSimulator guarantees a non-empty ladder, but guard anyway: on an
+  // empty one size() - 1 would wrap to SIZE_MAX and the controller would
+  // happily "raise" the frequency forever.
+  const std::size_t n_levels = node.platform().freq_levels_ghz.size();
+  if (n_levels == 0) {
+    throw std::invalid_argument("PowerCapController: node has no DVFS levels");
+  }
+  const std::size_t max_level = n_levels - 1;
 
   double last_reading = 0.0;
   bool have_reading = false;

@@ -103,10 +103,22 @@ void DynamicTrr::fine_tune(std::span<const data::SequenceSample> windows,
 }
 
 void DynamicTrr::reset_stream() {
-  window_.clear();
+  // Size the ring once; steady-state ticks then recycle slot buffers
+  // instead of allocating. Row capacity is reserved up front when the
+  // feature width is known (post-train).
+  window_.resize(cfg_.miss_interval);
+  for (auto& s : window_) {
+    s.row.clear();
+    if (n_features_ > 0) s.row.reserve(n_features_ + 1);
+    s.estimate = 0.0;
+    s.clean = true;
+  }
+  win_start_ = 0;
+  win_count_ = 0;
   prev_estimate_ = 0.0;
   have_prev_ = false;
   last_good_pmcs_.clear();
+  if (n_features_ > 0) last_good_pmcs_.reserve(n_features_);
   have_last_good_ = false;
   last_im_value_ = 0.0;
   have_last_im_ = false;
@@ -162,8 +174,24 @@ double DynamicTrr::step(std::span<const double> pmcs,
   bool have_reading = im_reading.has_value();
   const double reading_value = have_reading ? *im_reading : 0.0;
 
+  // Claim this tick's ring slot (oldest slot recycles once the window is
+  // full) and build the row in its reusable buffer.
+  if (window_.empty()) reset_stream();
+  WindowSlot* cur;
+  if (win_count_ < window_.size()) {
+    cur = &window_[(win_start_ + win_count_) % window_.size()];
+    ++win_count_;
+  } else {
+    cur = &window_[win_start_];
+    win_start_ = (win_start_ + 1) % window_.size();
+  }
+  auto& feat = cur->row;
+  feat.clear();
+  feat.reserve(pmcs.size() + 1);
+  feat.insert(feat.end(), pmcs.begin(), pmcs.end());
+  cur->estimate = 0.0;
+
   // --- input validation / graceful degradation (no-op on clean input) ---
-  std::vector<double> feat(pmcs.begin(), pmcs.end());
   bool clean_row = true;
   if (cfg_.validate_inputs) {
     if (!math::all_finite(feat)) {
@@ -188,6 +216,7 @@ double DynamicTrr::step(std::span<const double> pmcs,
       have_reading = false;
     }
   }
+  cur->clean = clean_row;
 
   // Build this tick's row: [PMC..., P'_prev]. Before the first estimate we
   // use the IM reading if present, else the training-label mean (a
@@ -204,20 +233,16 @@ double DynamicTrr::step(std::span<const double> pmcs,
   }
   feat.push_back(prev);
 
-  window_.push_back(WindowSlot{std::move(feat), 0.0, clean_row});
-  if (window_.size() > cfg_.miss_interval) {
-    window_.erase(window_.begin());
-  }
-
   // Predict over the current (possibly still-filling) window; the last
-  // step's output is this tick's estimate.
-  math::Matrix steps(window_.size(), window_[0].row.size());
-  for (std::size_t r = 0; r < window_.size(); ++r) {
-    std::copy(window_[r].row.begin(), window_[r].row.end(),
-              steps.row(r).begin());
+  // step's output is this tick's estimate. All buffers are member scratch —
+  // after warm-up this path performs zero heap allocations.
+  steps_scratch_.resize(win_count_, feat.size());
+  for (std::size_t r = 0; r < win_count_; ++r) {
+    const auto& row = slot(r).row;
+    std::copy(row.begin(), row.end(), steps_scratch_.row(r).begin());
   }
-  const auto preds = model_.predict(steps);
-  double estimate = preds.back();
+  model_.predict_into(steps_scratch_, preds_scratch_, ws_);
+  double estimate = preds_scratch_.back();
 
   if (cfg_.validate_inputs) {
     if (!std::isfinite(estimate)) {
@@ -244,14 +269,14 @@ double DynamicTrr::step(std::span<const double> pmcs,
     // on whatever window it completes. Windows holding substituted PMC rows
     // are not trained on.
     estimate = reading_value;
-    if (cfg_.online_finetune && window_.size() == cfg_.miss_interval &&
+    if (cfg_.online_finetune && win_count_ == cfg_.miss_interval &&
         std::all_of(window_.begin(), window_.end(),
                     [](const WindowSlot& s) { return s.clean; })) {
       data::SequenceSample s;
-      s.steps = steps;
+      s.steps = steps_scratch_;
       s.labels.reserve(cfg_.miss_interval);
-      for (std::size_t r = 0; r + 1 < window_.size(); ++r) {
-        s.labels.push_back(window_[r].estimate);
+      for (std::size_t r = 0; r + 1 < win_count_; ++r) {
+        s.labels.push_back(slot(r).estimate);
       }
       s.labels.push_back(estimate);
       if (s.labels.size() == cfg_.miss_interval) {
@@ -262,7 +287,7 @@ double DynamicTrr::step(std::span<const double> pmcs,
     }
   }
 
-  window_.back().estimate = estimate;
+  cur->estimate = estimate;
   prev_estimate_ = estimate;
   have_prev_ = true;
   return estimate;

@@ -195,7 +195,7 @@ PowerEstimate HighRpm::on_tick(std::span<const double> pmcs,
   // the reading actually superseded the prediction.
   est.measured =
       im_reading.has_value() && math::exact_eq(est.node_w, *im_reading);
-  const auto comp = srr_.predict_one(row, est.node_w);
+  const auto comp = srr_.predict_one(row, est.node_w, srr_scratch_);
   est.cpu_w = comp.cpu_w;
   est.mem_w = comp.mem_w;
   return est;

@@ -70,6 +70,12 @@ void Srr::fine_tune(const math::Matrix& pmcs, std::span<const double> p_node,
 
 ComponentEstimate Srr::predict_one(std::span<const double> pmcs,
                                    double p_node) const {
+  Scratch scratch;
+  return predict_one(pmcs, p_node, scratch);
+}
+
+ComponentEstimate Srr::predict_one(std::span<const double> pmcs,
+                                   double p_node, Scratch& scratch) const {
   // Counter only here: predict_one is sub-microsecond and sits inside
   // HighRpm::on_tick's span, so wrapping it in its own span would spend a
   // measurable fraction of the thing being measured on clock reads. The
@@ -77,12 +83,13 @@ ComponentEstimate Srr::predict_one(std::span<const double> pmcs,
   static obs::Counter& predictions =
       obs::Registry::instance().counter("core.srr.predictions");
   predictions.add();
-  std::vector<double> row;
+  auto& row = scratch.row;
+  row.clear();
   row.reserve(pmcs.size() + 1);
   if (cfg_.include_pnode) row.push_back(p_node);
   row.insert(row.end(), pmcs.begin(), pmcs.end());
-  const auto out = net_.predict_one(row);
-  ComponentEstimate est{out[0], out[1]};
+  net_.predict_one_into(row, scratch.out, scratch.net);
+  ComponentEstimate est{scratch.out[0], scratch.out[1]};
   if (cfg_.include_pnode && cfg_.consistency_projection) {
     // The component split must add up to the node budget: rescale toward
     // p_node - P_Other, bounded so a bad node input cannot blow it up.
@@ -107,9 +114,10 @@ std::vector<ComponentEstimate> Srr::predict(
   const obs::Span span(predict_hist);
   std::vector<ComponentEstimate> out;
   out.reserve(pmcs.rows());
+  Scratch scratch;  // shared across rows; per-row results are independent
   for (std::size_t r = 0; r < pmcs.rows(); ++r) {
     out.push_back(predict_one(pmcs.row(r),
-                              cfg_.include_pnode ? p_node[r] : 0.0));
+                              cfg_.include_pnode ? p_node[r] : 0.0, scratch));
   }
   return out;
 }

@@ -56,10 +56,19 @@ std::vector<double> StandardScaler::transform_row(
     throw std::invalid_argument("StandardScaler: row width mismatch");
   }
   std::vector<double> out(row.size());
+  transform_row_into(row, out);
+  return out;
+}
+
+void StandardScaler::transform_row_into(std::span<const double> row,
+                                        std::span<double> out) const {
+  require_fitted(fitted(), "StandardScaler");
+  if (row.size() != mean_.size() || out.size() != mean_.size()) {
+    throw std::invalid_argument("StandardScaler: row width mismatch");
+  }
   for (std::size_t c = 0; c < row.size(); ++c) {
     out[c] = (row[c] - mean_[c]) / std_[c];
   }
-  return out;
 }
 
 math::Matrix StandardScaler::fit_transform(const math::Matrix& x) {
@@ -129,10 +138,19 @@ std::vector<double> MinMaxScaler::transform_row(
     throw std::invalid_argument("MinMaxScaler: row width mismatch");
   }
   std::vector<double> out(row.size());
+  transform_row_into(row, out);
+  return out;
+}
+
+void MinMaxScaler::transform_row_into(std::span<const double> row,
+                                      std::span<double> out) const {
+  require_fitted(fitted(), "MinMaxScaler");
+  if (row.size() != min_.size() || out.size() != min_.size()) {
+    throw std::invalid_argument("MinMaxScaler: row width mismatch");
+  }
   for (std::size_t c = 0; c < row.size(); ++c) {
     out[c] = (row[c] - min_[c]) / range_[c];
   }
-  return out;
 }
 
 math::Matrix MinMaxScaler::fit_transform(const math::Matrix& x) {

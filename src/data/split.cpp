@@ -10,10 +10,17 @@ SplitIndices train_test_split(std::size_t n, double test_fraction,
   if (test_fraction <= 0.0 || test_fraction >= 1.0) {
     throw std::invalid_argument("train_test_split: fraction out of (0,1)");
   }
+  // Both sides must end up non-empty: n_test is clamped to >= 1 below, so
+  // n = 0 would read past the permutation's end and n = 1 would leave an
+  // empty training set.
+  if (n < 2) {
+    throw std::invalid_argument("train_test_split: need n >= 2 samples");
+  }
   auto perm = rng.permutation(n);
-  const std::size_t n_test =
+  const std::size_t n_test = std::min<std::size_t>(
+      n - 1,
       std::max<std::size_t>(1, static_cast<std::size_t>(
-                                   static_cast<double>(n) * test_fraction));
+                                   static_cast<double>(n) * test_fraction)));
   SplitIndices out;
   out.test.assign(perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(n_test));
   out.train.assign(perm.begin() + static_cast<std::ptrdiff_t>(n_test), perm.end());
@@ -24,9 +31,15 @@ SplitIndices chronological_split(std::size_t n, double test_fraction) {
   if (test_fraction <= 0.0 || test_fraction >= 1.0) {
     throw std::invalid_argument("chronological_split: fraction out of (0,1)");
   }
-  const std::size_t n_test =
+  // n = 0 would make n - n_test wrap (size_t underflow) and loop almost
+  // forever; n = 1 would leave an empty training set.
+  if (n < 2) {
+    throw std::invalid_argument("chronological_split: need n >= 2 samples");
+  }
+  const std::size_t n_test = std::min<std::size_t>(
+      n - 1,
       std::max<std::size_t>(1, static_cast<std::size_t>(
-                                   static_cast<double>(n) * test_fraction));
+                                   static_cast<double>(n) * test_fraction)));
   SplitIndices out;
   for (std::size_t i = 0; i < n - n_test; ++i) out.train.push_back(i);
   for (std::size_t i = n - n_test; i < n; ++i) out.test.push_back(i);

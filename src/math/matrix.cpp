@@ -46,6 +46,12 @@ std::vector<double> Matrix::col(std::size_t c) const {
   return out;
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
@@ -137,6 +143,26 @@ std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
   runtime::parallel_for(
       a.rows(), [&](std::size_t i) { y[i] = dot(a.row(i), x); });
   return y;
+}
+
+void matvec_into(const Matrix& a, std::span<const double> x,
+                 std::span<double> y) {
+  if (x.size() != a.cols() || y.size() != a.rows()) {
+    throw std::invalid_argument("matvec_into: size mismatch");
+  }
+  for (std::size_t i = 0; i < a.rows(); ++i) y[i] = dot(a.row(i), x);
+}
+
+void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_nt_into: inner dimension mismatch");
+  }
+  c.resize(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    auto crow = c.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) crow[j] = dot(arow, b.row(j));
+  }
 }
 
 std::vector<double> matvec_t(const Matrix& a, std::span<const double> x) {

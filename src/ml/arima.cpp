@@ -39,8 +39,22 @@ void ArModel::fit(std::span<const double> series) {
   for (const double c : coef_) l1 += std::abs(c);
   if (l1 > 0.95) {
     const double shrink = 0.95 / l1;
-    for (double& c : coef_) c *= shrink;
-    intercept_ *= shrink;
+    double coef_sum = 0.0;
+    for (double& c : coef_) {
+      c *= shrink;
+      coef_sum += c;
+    }
+    // Rebuild the intercept so the shrunk model keeps the series'
+    // unconditional mean mu = intercept / (1 - sum(coef)). Scaling the
+    // intercept by the same shrink factor does not: it drags the model
+    // mean toward zero, biasing every interpolated gap on high-persistence
+    // (near-unit-root) traces. The sample mean stands in for mu — the
+    // pre-shrink ratio itself is ill-conditioned exactly when this guard
+    // fires (1 - sum(coef) near 0).
+    double mean = 0.0;
+    for (const double v : series) mean += v;
+    mean /= static_cast<double>(n);
+    intercept_ = mean * (1.0 - coef_sum);
   }
 }
 

@@ -200,16 +200,41 @@ void Mlp::fit(const math::Matrix& x, const math::Matrix& y, bool reset,
 }
 
 std::vector<double> Mlp::predict_one(std::span<const double> row) const {
+  std::vector<double> out;
+  Scratch scratch;
+  predict_one_into(row, out, scratch);
+  return out;
+}
+
+void Mlp::predict_one_into(std::span<const double> row,
+                           std::vector<double>& out, Scratch& scratch) const {
   if (!fitted_) throw std::logic_error("Mlp::predict: not fitted");
   if (row.size() != in_dim_) {
     throw std::invalid_argument("Mlp::predict: feature width mismatch");
   }
-  const auto xs = x_scaler_.transform_row(row);
-  auto out = forward(xs, nullptr);
-  for (std::size_t o = 0; o < out.size(); ++o) {
-    out[o] = y_scalers_[o].inverse_one(out[o]);
+  scratch.xs.resize(in_dim_);
+  x_scaler_.transform_row_into(row, scratch.xs);
+  // Ping-pong between the two activation buffers: the layer input is always
+  // a different buffer than the layer output, and per-output arithmetic
+  // (b + dot, then activation) matches forward() exactly.
+  std::span<const double> cur = scratch.xs;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double>& next = (l % 2 == 0) ? scratch.a : scratch.b;
+    next.resize(layer.w.rows());
+    for (std::size_t o = 0; o < layer.w.rows(); ++o) {
+      next[o] = layer.b[o] + math::dot(layer.w.row(o), cur);
+    }
+    const bool is_output = l + 1 == layers_.size();
+    if (!is_output) {
+      for (double& v : next) v = activate(v);
+    }
+    cur = next;
   }
-  return out;
+  out.resize(out_dim_);
+  for (std::size_t o = 0; o < out_dim_; ++o) {
+    out[o] = y_scalers_[o].inverse_one(cur[o]);
+  }
 }
 
 math::Matrix Mlp::predict(const math::Matrix& x) const {

@@ -72,86 +72,100 @@ void SequenceRegressor::initialize(std::size_t in_dim, math::Rng& rng) {
   adam_t_ = 0;
 }
 
-std::vector<double> SequenceRegressor::cell_step(const CellParams& p,
-                                                 std::span<const double> x,
-                                                 std::span<const double> h_prev,
-                                                 std::span<double> c_inout,
-                                                 StepCache* cache) const {
+void SequenceRegressor::prepare(Workspace& ws) const {
   const std::size_t H = cfg_.units;
   const std::size_t g = gate_count();
-  std::vector<double> z(g);
+  ws.layers.resize(cfg_.layers);
+  for (auto& s : ws.layers) {
+    s.z.resize(g);
+    s.gates.resize(g);
+    s.rh.resize(H);
+  }
+  ws.h.resize(cfg_.layers, H);
+  ws.c.resize(cfg_.layers, H);
+  std::fill(ws.h.flat().begin(), ws.h.flat().end(), 0.0);
+  std::fill(ws.c.flat().begin(), ws.c.flat().end(), 0.0);
+  ws.x.resize(in_dim_);
+}
+
+void SequenceRegressor::cell_step_into(const CellParams& p,
+                                       std::span<const double> x,
+                                       std::span<double> h_inout,
+                                       std::span<double> c_inout,
+                                       Workspace::StepScratch& scratch) const {
+  const std::size_t H = cfg_.units;
+  const std::size_t g = gate_count();
+  auto& z = scratch.z;
+  auto& gates = scratch.gates;
   if (cfg_.cell == CellType::kLstm) {
+    // All pre-activations read h_{t-1}; h is not written until below.
     for (std::size_t j = 0; j < g; ++j) {
-      z[j] = p.b[j] + math::dot(p.w.row(j), x) + math::dot(p.u.row(j), h_prev);
+      z[j] =
+          p.b[j] + math::dot(p.w.row(j), x) + math::dot(p.u.row(j), h_inout);
     }
-    std::vector<double> gates(g);
-    for (std::size_t j = 0; j < H; ++j) gates[j] = sigmoid(z[j]);              // i
-    for (std::size_t j = H; j < 2 * H; ++j) gates[j] = sigmoid(z[j]);          // f
-    for (std::size_t j = 2 * H; j < 3 * H; ++j) gates[j] = std::tanh(z[j]);    // g
-    for (std::size_t j = 3 * H; j < 4 * H; ++j) gates[j] = sigmoid(z[j]);      // o
-    std::vector<double> h(H);
-    std::vector<double> c(H);
+    for (std::size_t j = 0; j < H; ++j) gates[j] = sigmoid(z[j]);            // i
+    for (std::size_t j = H; j < 2 * H; ++j) gates[j] = sigmoid(z[j]);        // f
+    for (std::size_t j = 2 * H; j < 3 * H; ++j) gates[j] = std::tanh(z[j]);  // g
+    for (std::size_t j = 3 * H; j < 4 * H; ++j) gates[j] = sigmoid(z[j]);    // o
     for (std::size_t j = 0; j < H; ++j) {
-      c[j] = gates[H + j] * c_inout[j] + gates[j] * gates[2 * H + j];
-      h[j] = gates[3 * H + j] * std::tanh(c[j]);
+      c_inout[j] = gates[H + j] * c_inout[j] + gates[j] * gates[2 * H + j];
+      h_inout[j] = gates[3 * H + j] * std::tanh(c_inout[j]);
     }
-    if (cache) {
-      cache->x.assign(x.begin(), x.end());
-      cache->h_prev.assign(h_prev.begin(), h_prev.end());
-      cache->c_prev.assign(c_inout.begin(), c_inout.end());
-      cache->gates = gates;
-      cache->c = c;
-      cache->h = h;
-    }
-    std::copy(c.begin(), c.end(), c_inout.begin());
-    return h;
+    return;
   }
   // GRU: z (update), r (reset), n (candidate).
   for (std::size_t j = 0; j < 2 * H; ++j) {
-    z[j] = p.b[j] + math::dot(p.w.row(j), x) + math::dot(p.u.row(j), h_prev);
+    z[j] = p.b[j] + math::dot(p.w.row(j), x) + math::dot(p.u.row(j), h_inout);
   }
-  std::vector<double> gates(g);
-  for (std::size_t j = 0; j < H; ++j) gates[j] = sigmoid(z[j]);          // z
-  for (std::size_t j = H; j < 2 * H; ++j) gates[j] = sigmoid(z[j]);      // r
-  std::vector<double> rh(H);
-  for (std::size_t j = 0; j < H; ++j) rh[j] = gates[H + j] * h_prev[j];
+  for (std::size_t j = 0; j < H; ++j) gates[j] = sigmoid(z[j]);      // z
+  for (std::size_t j = H; j < 2 * H; ++j) gates[j] = sigmoid(z[j]);  // r
+  auto& rh = scratch.rh;
+  for (std::size_t j = 0; j < H; ++j) rh[j] = gates[H + j] * h_inout[j];
   for (std::size_t j = 2 * H; j < 3 * H; ++j) {
     gates[j] = std::tanh(p.b[j] + math::dot(p.w.row(j), x) +
                          math::dot(p.u.row(j), rh));
   }
-  std::vector<double> h(H);
+  // h_prev[j] is read in the same expression that overwrites h[j].
   for (std::size_t j = 0; j < H; ++j) {
-    h[j] = (1.0 - gates[j]) * gates[2 * H + j] + gates[j] * h_prev[j];
+    h_inout[j] = (1.0 - gates[j]) * gates[2 * H + j] + gates[j] * h_inout[j];
   }
-  if (cache) {
-    cache->x.assign(x.begin(), x.end());
-    cache->h_prev.assign(h_prev.begin(), h_prev.end());
-    cache->gates = gates;
-    cache->h = h;
-  }
-  return h;
 }
 
 std::vector<double> SequenceRegressor::forward(
     const math::Matrix& steps_scaled,
     std::vector<std::vector<StepCache>>* caches) const {
   const std::size_t T = steps_scaled.rows();
-  const std::size_t H = cfg_.units;
-  std::vector<std::vector<double>> h(cfg_.layers, std::vector<double>(H, 0.0));
-  std::vector<std::vector<double>> c(cfg_.layers, std::vector<double>(H, 0.0));
+  Workspace ws;
+  prepare(ws);
   if (caches) {
     caches->assign(cfg_.layers, std::vector<StepCache>(T));
   }
   std::vector<double> out(T);
+  const bool lstm = cfg_.cell == CellType::kLstm;
   for (std::size_t t = 0; t < T; ++t) {
-    std::vector<double> x(steps_scaled.row(t).begin(),
-                          steps_scaled.row(t).end());
+    ws.x.assign(steps_scaled.row(t).begin(), steps_scaled.row(t).end());
+    std::span<const double> x = ws.x;
     for (std::size_t l = 0; l < cfg_.layers; ++l) {
-      StepCache* cache = caches ? &(*caches)[l][t] : nullptr;
-      x = cell_step(cells_[l], x, h[l], c[l], cache);
-      h[l] = x;
+      const auto h = ws.h.row(l);
+      const auto c = ws.c.row(l);
+      if (caches) {
+        // Capture the step inputs before the in-place update overwrites
+        // h/c; outputs are copied out after.
+        StepCache& cache = (*caches)[l][t];
+        cache.x.assign(x.begin(), x.end());
+        cache.h_prev.assign(h.begin(), h.end());
+        if (lstm) cache.c_prev.assign(c.begin(), c.end());
+      }
+      cell_step_into(cells_[l], x, h, c, ws.layers[l]);
+      if (caches) {
+        StepCache& cache = (*caches)[l][t];
+        cache.gates = ws.layers[l].gates;
+        if (lstm) cache.c.assign(c.begin(), c.end());
+        cache.h.assign(h.begin(), h.end());
+      }
+      x = h;
     }
-    out[t] = head_.b + math::dot(head_.w, h.back());
+    out[t] = head_.b + math::dot(head_.w, ws.h.row(cfg_.layers - 1));
   }
   return out;
 }
@@ -395,18 +409,32 @@ void SequenceRegressor::adam_step(double lr) {
 }
 
 std::vector<double> SequenceRegressor::predict(const math::Matrix& steps) const {
+  std::vector<double> out;
+  Workspace ws;
+  predict_into(steps, out, ws);
+  return out;
+}
+
+void SequenceRegressor::predict_into(const math::Matrix& steps,
+                                     std::vector<double>& out,
+                                     Workspace& ws) const {
   if (!fitted_) throw std::logic_error("SequenceRegressor: not fitted");
   if (steps.cols() != in_dim_) {
     throw std::invalid_argument("SequenceRegressor::predict: width mismatch");
   }
-  math::Matrix xs(steps.rows(), steps.cols());
-  for (std::size_t t = 0; t < steps.rows(); ++t) {
-    const auto sr = x_scaler_.transform_row(steps.row(t));
-    std::copy(sr.begin(), sr.end(), xs.row(t).begin());
+  const std::size_t T = steps.rows();
+  prepare(ws);
+  out.resize(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    x_scaler_.transform_row_into(steps.row(t), ws.x);
+    std::span<const double> x = ws.x;
+    for (std::size_t l = 0; l < cfg_.layers; ++l) {
+      cell_step_into(cells_[l], x, ws.h.row(l), ws.c.row(l), ws.layers[l]);
+      x = ws.h.row(l);
+    }
+    out[t] = y_scaler_.inverse_one(head_.b +
+                                   math::dot(head_.w, ws.h.row(cfg_.layers - 1)));
   }
-  auto out = forward(xs, nullptr);
-  for (double& v : out) v = y_scaler_.inverse_one(v);
-  return out;
 }
 
 std::size_t SequenceRegressor::parameter_count() const {

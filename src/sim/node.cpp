@@ -18,6 +18,16 @@ NodeSimulator::NodeSimulator(PlatformConfig platform, Workload workload,
   if (workload_.phases.empty()) {
     throw std::invalid_argument("NodeSimulator: workload has no phases");
   }
+  // Reject malformed platforms here rather than letting step() hit
+  // .back()/operator[] on an empty or too-short DVFS ladder deep inside the
+  // power model (or PowerCapController underflow size()-1).
+  if (platform_.freq_levels_ghz.empty()) {
+    throw std::invalid_argument("NodeSimulator: platform has no DVFS levels");
+  }
+  if (platform_.default_freq_level >= platform_.freq_levels_ghz.size()) {
+    throw std::invalid_argument(
+        "NodeSimulator: default_freq_level out of range");
+  }
 }
 
 const PhaseSpec& NodeSimulator::current_phase() const {

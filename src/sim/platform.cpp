@@ -51,4 +51,11 @@ double PlatformConfig::frequency_ghz(std::size_t level) const {
   return freq_levels_ghz[level];
 }
 
+double PlatformConfig::max_frequency_ghz() const {
+  if (freq_levels_ghz.empty()) {
+    throw std::logic_error("PlatformConfig: empty DVFS ladder");
+  }
+  return freq_levels_ghz.back();
+}
+
 }  // namespace highrpm::sim

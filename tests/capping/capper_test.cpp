@@ -101,5 +101,23 @@ TEST(Capper, TightCapForcesThrottling) {
   EXPECT_GT(throttled, 50u);
 }
 
+TEST(Capper, SingleLevelPlatformTakesNoActions) {
+  // Boundary of the max_level = size() - 1 computation: with exactly one
+  // DVFS level the controller has nowhere to go in either direction, even
+  // under cap pressure.
+  sim::PlatformConfig p = sim::PlatformConfig::arm();
+  p.freq_levels_ghz = {1.4};
+  p.default_freq_level = 0;
+  sim::NodeSimulator node(p, workloads::graph500_bfs(), 3);
+  CappingConfig cfg;
+  cfg.node_cap_w = 60.0;  // below typical BFS draw: pressure to step down
+  PowerCapController capper(cfg);
+  const auto result = capper.run(node, 100);
+  EXPECT_EQ(result.dvfs_actions, 0u);
+  for (const auto level : result.freq_level_per_tick) {
+    EXPECT_EQ(level, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace highrpm::capping

@@ -34,6 +34,34 @@ TEST(ChronologicalSplit, TestIsSuffix) {
   EXPECT_EQ(s.test.back(), 9u);
 }
 
+TEST(TrainTestSplit, TinyInputsThrow) {
+  math::Rng rng(2);
+  // n = 0 used to read past the permutation's end (n_test is clamped to
+  // >= 1); n = 1 used to return an empty training set.
+  EXPECT_THROW(train_test_split(0, 0.2, rng), std::invalid_argument);
+  EXPECT_THROW(train_test_split(1, 0.2, rng), std::invalid_argument);
+}
+
+TEST(TrainTestSplit, TwoSamplesGiveOneEach) {
+  math::Rng rng(3);
+  const auto s = train_test_split(2, 0.2, rng);
+  EXPECT_EQ(s.train.size(), 1u);
+  EXPECT_EQ(s.test.size(), 1u);
+}
+
+TEST(ChronologicalSplit, TinyInputsThrow) {
+  // n = 0 used to make the train loop bound n - n_test wrap around
+  // (size_t underflow); n = 1 used to return an empty training set.
+  EXPECT_THROW(chronological_split(0, 0.3), std::invalid_argument);
+  EXPECT_THROW(chronological_split(1, 0.3), std::invalid_argument);
+}
+
+TEST(ChronologicalSplit, HighFractionKeepsTrainNonEmpty) {
+  const auto s = chronological_split(3, 0.99);
+  EXPECT_EQ(s.train.size(), 1u);
+  EXPECT_EQ(s.test.size(), 2u);
+}
+
 TEST(KFold, RequiresAtLeastTwoSplits) {
   EXPECT_THROW(KFold(1), std::invalid_argument);
 }

@@ -1,0 +1,26 @@
+// alloc-in-step fixture: every construction form the rule must catch, each
+// inside a tracked steady-state function name.
+#include <vector>
+
+namespace fake {
+
+void transform_into(const std::vector<double>& in, std::vector<double>& out) {
+  std::vector<double> tmp(in.size());  // local with parens
+  out = tmp;
+}
+
+double step(double x) {
+  std::vector<double> scratch{x};  // local with braces
+  return scratch.back();
+}
+
+void cell_step(std::vector<double>& h) {
+  h = std::vector<double>(h.size());  // temporary
+}
+
+double untracked_helper(double x) {
+  std::vector<double> fine{x};  // not a tracked name: must stay clean
+  return fine.back();
+}
+
+}  // namespace fake

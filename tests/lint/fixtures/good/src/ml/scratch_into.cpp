@@ -1,0 +1,26 @@
+// alloc-in-step negative fixture: reference/pointer/parameter uses of
+// std::vector inside tracked functions are allocation-free and must not
+// fire, and the ALLOW marker exempts a deliberate construction.
+#include <vector>
+
+namespace fake {
+
+struct Scratch {
+  std::vector<double> buf;
+};
+
+void transform_into(const std::vector<double>& in, std::vector<double>& out,
+                    Scratch& scratch) {
+  scratch.buf.assign(in.begin(), in.end());
+  const std::vector<double>* view = &scratch.buf;
+  out = *view;
+  std::vector<double> dbg;  // HIGHRPM_LINT_ALLOW(alloc-in-step) fixture escape
+  (void)dbg;
+}
+
+double helper(double x) {
+  std::vector<double> fine{x};  // untracked function: allowed
+  return fine.back();
+}
+
+}  // namespace fake

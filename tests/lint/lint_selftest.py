@@ -79,6 +79,17 @@ class BadFixtureTree(unittest.TestCase):
     def test_sensor_isfinite_fires(self):
         self.assert_finding("src/measure/ipmi.cpp", "sensor-isfinite")
 
+    def test_alloc_in_step_fires(self):
+        self.assert_finding("src/ml/alloc_in_step.cpp", "alloc-in-step")
+
+    def test_alloc_in_step_catches_every_construction_form(self):
+        # local-with-parens, local-with-braces, temporary — and nothing in
+        # the untracked helper function.
+        hits = [ln for ln in self.out.splitlines()
+                if ln.startswith("src/ml/alloc_in_step.cpp:")
+                and "[alloc-in-step]" in ln]
+        self.assertEqual(len(hits), 3, self.out)
+
     def test_pragma_once_fires(self):
         self.assert_finding("include/highrpm/no_pragma.hpp", "pragma-once")
 
@@ -91,7 +102,10 @@ class BadFixtureTree(unittest.TestCase):
 class GoodFixtureTree(unittest.TestCase):
     def test_clean_tree_exits_zero(self):
         # Includes src/obs/exporter.cpp: file output inside the sanctioned
-        # obs directory must NOT trip library-file-io.
+        # obs directory must NOT trip library-file-io — and
+        # src/ml/scratch_into.cpp: reference/pointer vector uses inside
+        # tracked functions plus an ALLOW(alloc-in-step) escape must NOT
+        # trip alloc-in-step.
         proc = run_lint("--root", str(FIXTURES / "good"))
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
         self.assertIn("0 findings", proc.stdout)
@@ -103,7 +117,8 @@ class CliContract(unittest.TestCase):
         self.assertEqual(proc.returncode, 0)
         for rule in ("rng-source", "library-io", "library-file-io",
                      "float-compare", "sensor-isfinite",
-                     "thread-outside-runtime", "pragma-once"):
+                     "thread-outside-runtime", "alloc-in-step",
+                     "pragma-once"):
             self.assertIn(rule, proc.stdout)
 
     def test_bad_root_is_usage_error(self):

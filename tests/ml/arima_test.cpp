@@ -180,5 +180,29 @@ TEST_P(ArimaOrderProperty, InterpolationStaysWithinEnvelope) {
 INSTANTIATE_TEST_SUITE_P(Orders, ArimaOrderProperty,
                          ::testing::Values(1u, 2u, 3u, 4u));
 
+TEST(ArModel, StationarityGuardPreservesMeanOnNearUnitRoot) {
+  // y_t = 1 + 0.99 y_{t-1} + eps: unconditional mean 100. Fitting estimates
+  // a coefficient above the 0.95 l1 bound, so the stationarity guard fires.
+  // It used to scale the intercept by the same shrink factor, which drags
+  // the model's mean toward zero: predict_next at the series level returned
+  // ~96 W instead of ~100 W, biasing every interpolated gap downward on
+  // high-persistence power traces.
+  math::Rng rng(7);
+  std::vector<double> s{100.0};
+  for (int i = 0; i < 600; ++i) {
+    s.push_back(1.0 + 0.99 * s.back() + rng.normal(0, 0.05));
+  }
+  ArModel ar(1);
+  ar.fit(s);
+  // The guard fired (coefficient clamped to the stationary region)...
+  ASSERT_LE(std::abs(ar.coefficients()[0]), 0.95 + 1e-12);
+  // ...and the one-step prediction from the series level stays at the level.
+  const std::vector<double> recent{100.0};
+  EXPECT_NEAR(ar.predict_next(recent), 100.0, 1.0);
+  // Iterated forecasts settle at the level instead of decaying toward zero.
+  const auto fc = ar.forecast(recent, 50);
+  EXPECT_NEAR(fc.back(), 100.0, 2.0);
+}
+
 }  // namespace
 }  // namespace highrpm::ml

@@ -1,0 +1,135 @@
+// Allocation-count regression suite (ctest -L perf-smoke): the steady-state
+// monitoring tick must stay heap-allocation-free. These tests meter the
+// DynamicTRR and SRR predict paths with the counting operator new hook from
+// bench/alloc_trace.hpp and fail if a single allocation sneaks back in —
+// catching regressions deterministically, without timing a benchmark.
+//
+// alloc_trace.hpp replaces global operator new/delete and must live in
+// exactly one TU per binary: this file is that TU for test_perf.
+#include "alloc_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "highrpm/core/dynamic_trr.hpp"
+#include "highrpm/core/srr.hpp"
+#include "highrpm/math/matrix.hpp"
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::core {
+namespace {
+
+namespace at = highrpm::alloctrace;
+
+constexpr std::size_t kFeatures = 4;
+
+// Synthetic PMC-like features with a linear power response — enough for the
+// models to fit something sensible, cheap enough for a smoke test.
+math::Matrix make_features(std::size_t rows, math::Rng& rng) {
+  math::Matrix x(rows, kFeatures);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < kFeatures; ++c) {
+      x(r, c) = rng.uniform(0.0, 1.0);
+    }
+  }
+  return x;
+}
+
+std::vector<double> make_node_power(const math::Matrix& x) {
+  std::vector<double> y(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    y[r] = 60.0 + 20.0 * x(r, 0) + 10.0 * x(r, 1) + 5.0 * x(r, 2);
+  }
+  return y;
+}
+
+TEST(AllocTrace, HookIsCompiledIn) {
+  ASSERT_TRUE(at::available())
+      << "test_perf must be built with HIGHRPM_ALLOC_TRACE";
+  const auto before = at::count();
+  {
+    const at::Armed armed;
+    std::vector<double>* v = new std::vector<double>(1024);
+    delete v;
+  }
+  EXPECT_GT(at::count(), before) << "metered allocation was not counted";
+}
+
+TEST(AllocRegression, DynamicTrrSteadyStateTickIsAllocationFree) {
+  math::Rng rng(11);
+  const std::size_t train_ticks = 60;
+  const auto x = make_features(train_ticks, rng);
+  const auto y = make_node_power(x);
+
+  DynamicTrrConfig cfg;
+  cfg.miss_interval = 10;
+  cfg.rnn.epochs = 4;
+  DynamicTrr trr(cfg);
+  trr.train_single(x, y);
+  trr.reset_stream();
+
+  const auto stream = make_features(80, rng);
+  std::vector<double> row(kFeatures);
+  // Warm-up: first reading seeds P'_prev, then enough predict-only ticks to
+  // fill the ring window and size every scratch buffer.
+  const std::size_t warmup = 2 * cfg.miss_interval + 1;
+  for (std::size_t t = 0; t < warmup; ++t) {
+    for (std::size_t c = 0; c < kFeatures; ++c) row[c] = stream(t, c);
+    const std::optional<double> reading =
+        t == 0 ? std::optional<double>(y[0]) : std::nullopt;
+    trr.step(row, reading);
+  }
+
+  const auto before = at::count();
+  std::size_t metered = 0;
+  for (std::size_t t = warmup; t < stream.rows(); ++t) {
+    for (std::size_t c = 0; c < kFeatures; ++c) row[c] = stream(t, c);
+    const at::Armed armed;
+    const double est = trr.step(row, std::nullopt);
+    ASSERT_TRUE(std::isfinite(est));
+    ++metered;
+  }
+  ASSERT_GT(metered, 0u);
+  EXPECT_EQ(at::count() - before, 0u)
+      << "DynamicTrr::step allocated on a steady-state tick";
+}
+
+TEST(AllocRegression, SrrPredictOneIsAllocationFree) {
+  math::Rng rng(12);
+  const std::size_t samples = 120;
+  const auto x = make_features(samples, rng);
+  const auto node = make_node_power(x);
+  std::vector<double> cpu(samples), mem(samples);
+  for (std::size_t r = 0; r < samples; ++r) {
+    cpu[r] = 0.6 * (node[r] - 25.0);
+    mem[r] = 0.4 * (node[r] - 25.0);
+  }
+
+  SrrConfig cfg;
+  cfg.epochs = 10;
+  Srr srr(cfg);
+  srr.fit(x, node, cpu, mem);
+
+  Srr::Scratch scratch;
+  std::vector<double> row(kFeatures);
+  // One warm call sizes the scratch buffers.
+  for (std::size_t c = 0; c < kFeatures; ++c) row[c] = x(0, c);
+  (void)srr.predict_one(row, node[0], scratch);
+
+  const auto before = at::count();
+  for (std::size_t r = 1; r < samples; ++r) {
+    for (std::size_t c = 0; c < kFeatures; ++c) row[c] = x(r, c);
+    const at::Armed armed;
+    const auto est = srr.predict_one(row, node[r], scratch);
+    ASSERT_TRUE(std::isfinite(est.cpu_w));
+    ASSERT_TRUE(std::isfinite(est.mem_w));
+  }
+  EXPECT_EQ(at::count() - before, 0u)
+      << "Srr::predict_one allocated with a warm scratch";
+}
+
+}  // namespace
+}  // namespace highrpm::core

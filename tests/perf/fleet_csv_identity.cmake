@@ -1,0 +1,34 @@
+# Golden check for fleet-sharding determinism: node 0's per-tick CSV must be
+# byte-identical whether it runs alone (N=1) or sharded across the pool with
+# 63 neighbours (N=64). Invoked by ctest (label perf-smoke) as
+#   cmake -DBENCH=<bench_fleet_scaling> -DWORKDIR=<dir> -P fleet_csv_identity.cmake
+if(NOT BENCH OR NOT WORKDIR)
+  message(FATAL_ERROR "fleet_csv_identity: BENCH and WORKDIR must be set")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+execute_process(
+  COMMAND "${BENCH}" --quick
+  WORKING_DIRECTORY "${WORKDIR}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_fleet_scaling --quick failed (rc=${rc})")
+endif()
+
+set(csv1 "${WORKDIR}/bench_out/fleet_node0_N1.csv")
+set(csv64 "${WORKDIR}/bench_out/fleet_node0_N64.csv")
+foreach(f IN LISTS csv1 csv64)
+  if(NOT EXISTS "${f}")
+    message(FATAL_ERROR "missing expected CSV: ${f}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${csv1}" "${csv64}"
+  RESULT_VARIABLE cmp)
+if(NOT cmp EQUAL 0)
+  message(FATAL_ERROR
+      "node-0 trace diverges between N=1 and N=64: fleet sharding is not "
+      "deterministic (${csv1} vs ${csv64})")
+endif()
+message(STATUS "fleet node-0 CSVs byte-identical for N=1 and N=64")

@@ -155,5 +155,20 @@ INSTANTIATE_TEST_SUITE_P(Workloads, MultiWorkloadProperty,
                                            "hpl-ai", "smg2000", "hpcg",
                                            "mcf", "canneal"));
 
+TEST(NodeSimulator, RejectsEmptyFreqLadder) {
+  // Used to be accepted and then crash inside step() when the power model
+  // indexed the empty DVFS ladder.
+  PlatformConfig p = PlatformConfig::arm();
+  p.freq_levels_ghz.clear();
+  p.default_freq_level = 0;
+  EXPECT_THROW(NodeSimulator(p, workloads::fft(), 1), std::invalid_argument);
+}
+
+TEST(NodeSimulator, RejectsOutOfRangeDefaultLevel) {
+  PlatformConfig p = PlatformConfig::arm();
+  p.default_freq_level = p.freq_levels_ghz.size();
+  EXPECT_THROW(NodeSimulator(p, workloads::fft(), 1), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace highrpm::sim

@@ -29,6 +29,14 @@ TEST(Platform, InvalidFrequencyLevelThrows) {
   EXPECT_THROW(p.frequency_ghz(99), std::out_of_range);
 }
 
+TEST(Platform, EmptyLadderMaxFrequencyThrows) {
+  // .back() on an empty vector is undefined behaviour; the accessor now
+  // reports the malformed config instead.
+  PlatformConfig p = PlatformConfig::arm();
+  p.freq_levels_ghz.clear();
+  EXPECT_THROW(p.max_frequency_ghz(), std::logic_error);
+}
+
 TEST(Platform, VoltageScalesWithFrequency) {
   const auto p = PlatformConfig::arm();
   // Higher frequency -> higher supply voltage (the V^2 f superlinearity the

@@ -39,6 +39,13 @@ hygiene:
                         pthread_create). All parallelism goes through
                         runtime::parallel_for so the determinism guarantee
                         (bit-identical results for any thread count) holds.
+  alloc-in-step         Steady-state hot-path functions in library code —
+                        those named step, cell_step, or *_into — must not
+                        construct a std::vector: the zero-allocation tick
+                        contract (tests/perf/, ctest -L perf-smoke) requires
+                        caller-owned scratch buffers there. References,
+                        pointers, and parameter types are fine; only
+                        constructions (locals / temporaries) are flagged.
   pragma-once           Every header starts (after leading comments) with
                         #pragma once.
 
@@ -149,6 +156,57 @@ _FLOAT_LIT = r"(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\
 FLOAT_CMP = re.compile(
     r"(?:%s\s*[=!]=(?!=))|(?:[=!]=(?!=)\s*[-+]?%s)" % (_FLOAT_LIT, _FLOAT_LIT))
 
+# Function names bound by the zero-allocation steady-state contract. The
+# lookbehind rejects member/call syntax (obj.step(, this->step(, (step() so
+# only definition-position names are considered; the `;`-before-`{` check in
+# lint_file then discards declarations and expression statements.
+ALLOC_FUNC_NAME = re.compile(
+    r"(?<![\w.>(])(?:\w+::)*(?:step|cell_step|\w*_into)\s*\(")
+
+
+def vector_constructions(code: str) -> list[int]:
+    """Column offsets of std::vector *constructions* in one code line.
+
+    A construction is `std::vector<T>` followed by an identifier (local
+    declaration) or by `(` / `{` (temporary). Followed by `&`, `*`, `>`,
+    `,`, `)`, `:` or `;` it is a reference, pointer, nested template
+    argument, parameter, or type alias — all allocation-free uses. A
+    template argument list that spans lines is skipped (conservative: the
+    tree is clang-formatted and does not split them).
+    """
+    out: list[int] = []
+    i = 0
+    while True:
+        j = code.find("std::vector", i)
+        if j == -1:
+            return out
+        k = j + len("std::vector")
+        while k < len(code) and code[k].isspace():
+            k += 1
+        if k >= len(code) or code[k] != "<":
+            i = j + 1
+            continue
+        depth = 0
+        while k < len(code):
+            if code[k] == "<":
+                depth += 1
+            elif code[k] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        if k >= len(code):
+            i = j + 1
+            continue
+        k += 1
+        while k < len(code) and code[k].isspace():
+            k += 1
+        nxt = code[k] if k < len(code) else ""
+        if nxt and nxt not in "&*>,):;":
+            out.append(j)
+        i = max(k, j + 1)
+
+
 RULES = {
     "rng-source": "randomness outside math::Rng in library code",
     "library-io": "stdout/stderr I/O in library code",
@@ -158,6 +216,8 @@ RULES = {
                      "(use highrpm/math/float_eq.hpp)",
     "sensor-isfinite": "sensor ingestion file missing a std::isfinite guard",
     "thread-outside-runtime": "thread creation outside runtime/",
+    "alloc-in-step": "std::vector construction inside a steady-state "
+                     "function (step / cell_step / *_into) in library code",
     "pragma-once": "header missing #pragma once",
 }
 
@@ -244,6 +304,14 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
     saw_pragma_once = False
     saw_isfinite = False
     allowed: dict[int, set[str]] = {}
+    # alloc-in-step tracking: brace depth, a signature awaiting its body
+    # brace, and the depth at which a tracked function's body opened.
+    brace_depth = 0
+    alloc_pending = False
+    alloc_body_depth: int | None = None
+    alloc_msg = ("std::vector constructed inside a steady-state function "
+                 "(step / cell_step / *_into) — use caller-owned scratch "
+                 "buffers so the zero-allocation tick contract holds")
 
     for lineno, raw in enumerate(lines, start=1):
         for m in ALLOW_MARKER.finditer(raw):
@@ -262,6 +330,34 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
             findings.append(Finding(relpath, lineno, rule, message))
 
         if in_library:
+            if alloc_body_depth is not None:
+                if vector_constructions(code):
+                    hit("alloc-in-step", alloc_msg)
+            elif alloc_pending:
+                for idx, ch in enumerate(code):
+                    if ch == ";":
+                        alloc_pending = False
+                        break
+                    if ch == "{":
+                        alloc_pending = False
+                        alloc_body_depth = brace_depth
+                        if vector_constructions(code[idx + 1:]):
+                            hit("alloc-in-step", alloc_msg)
+                        break
+            else:
+                m = ALLOC_FUNC_NAME.search(code)
+                if m:
+                    rest = code[m.end():]
+                    semi, brace = rest.find(";"), rest.find("{")
+                    if brace != -1 and (semi == -1 or brace < semi):
+                        alloc_body_depth = brace_depth
+                        if vector_constructions(rest[brace + 1:]):
+                            hit("alloc-in-step", alloc_msg)
+                    elif semi == -1:
+                        alloc_pending = True
+            brace_depth += code.count("{") - code.count("}")
+            if alloc_body_depth is not None and brace_depth <= alloc_body_depth:
+                alloc_body_depth = None
             for pat, what in RNG_PATTERNS:
                 if pat.search(code):
                     hit("rng-source",
