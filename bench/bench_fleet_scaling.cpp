@@ -1,27 +1,34 @@
-// Fleet-scale streaming throughput bench.
+// Fleet-scale streaming throughput bench, driven by the batched
+// structure-of-arrays stepper (highrpm::core::FleetStepper).
 //
 // Models the paper's control-node deployment (§4.1): one golden HighRpm
-// instance is trained once, then cloned per compute node (the
-// MonitorService pattern) and each clone streams its own node's PMC trace
-// through the full DynamicTRR + SRR per-tick pipeline. Fleets of
-// N ∈ {1, 8, 64, 256} nodes are sharded across the runtime::ThreadPool and
-// the bench reports, per fleet size:
+// instance is trained once, then a FleetStepper steps N nodes per tick —
+// ring windows packed per shard, one GEMM per RNN/MLP layer per shard,
+// shards executed on the runtime::ThreadPool. The bench sweeps thread
+// counts (powers of two up to the hardware concurrency, or a --threads
+// pin) crossed with fleet sizes N ∈ {1, 8, 64, 256, 1024, 4096} (full
+// mode) and reports, per (threads, nodes) cell:
 //
-//   ticks/sec        aggregate streaming throughput (all nodes)
-//   p50/p99 ns       per-tick on_tick latency (obs::Histogram quantiles)
-//   allocs/tick      heap allocations per steady-state predict tick,
-//                    counted by the HIGHRPM_ALLOC_TRACE operator-new hook
-//                    (this binary's enforcement of the zero-allocation
-//                    steady-state contract; -1 when the hook is absent)
+//   ticks/sec        aggregate node-tick throughput (nodes * ticks / wall)
+//   p50/p99 ns       whole-fleet step_tick latency (obs::Histogram,
+//                    within-bucket interpolated quantiles)
+//   allocs/tick      heap allocations per steady-state node-tick, counted
+//                    by the HIGHRPM_ALLOC_TRACE operator-new hook armed
+//                    per shard via FleetStepper::ShardHooks (so only shard
+//                    work is metered, on whichever thread runs it; -1 when
+//                    the hook is absent)
 //
-// Results go to BENCH_fleet.json (schema in EXPERIMENTS.md) so later PRs
-// inherit a recorded perf baseline. Timing numbers legitimately vary run to
-// run; the *numeric* outputs do not: node i's estimate stream depends only
-// on its own workload/seed (derived from i), never on fleet size or thread
-// count, and the bench writes node 0's estimates to
-// bench_out/fleet_node0_N{1,64}.csv — a ctest golden check asserts the two
-// files are byte-identical.
-#include <atomic>
+// Results go to BENCH_fleet.json (schema in EXPERIMENTS.md; `threads` is
+// recorded per result row, once per sweep cell). Timing numbers
+// legitimately vary run to run; the *numeric* outputs do not: node i's
+// estimate stream depends only on its trace (node i replays trace i mod
+// 256), never on fleet size, shard grouping, or thread count. The bench
+// writes node 0's estimates three ways —
+//   bench_out/fleet_node0_serial.csv  HighRpm facade, one on_tick at a time
+//   bench_out/fleet_node0_N1.csv      FleetStepper, N=1, 1 thread
+//   bench_out/fleet_node0_N64.csv     FleetStepper, N=64, max swept threads
+// — and a ctest golden check asserts all three are byte-identical: the
+// batched stepper's determinism contract, checked end to end.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -32,6 +39,7 @@
 #include <vector>
 
 #include "alloc_trace.hpp"
+#include "highrpm/core/fleet.hpp"
 #include "highrpm/core/highrpm.hpp"
 #include "highrpm/measure/collector.hpp"
 #include "highrpm/obs/histogram.hpp"
@@ -44,6 +52,10 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Nodes beyond this replay an earlier node's trace (node i -> trace
+/// i % kDistinctTraces); node 0's trace is the same in every fleet.
+constexpr std::size_t kDistinctTraces = 256;
+
 struct FleetOptions {
   bool quick = false;
   std::size_t train_ticks = 400;
@@ -51,6 +63,8 @@ struct FleetOptions {
   std::size_t rnn_epochs = 25;
   std::size_t srr_epochs = 60;
   std::uint64_t seed = 2023;
+  /// 0 = sweep powers of two up to the hardware concurrency.
+  std::size_t threads_pin = 0;
 };
 
 FleetOptions parse_args(int argc, char** argv) {
@@ -64,9 +78,14 @@ FleetOptions parse_args(int argc, char** argv) {
       opt.rnn_epochs = 8;
       opt.srr_epochs = 25;
     } else if (arg == "--full") {
+      const std::size_t pin = opt.threads_pin;
       opt = FleetOptions{};
+      opt.threads_pin = pin;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opt.threads_pin = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else {
-      std::fprintf(stderr, "usage: %s [--quick|--full]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick|--full] [--threads N]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
@@ -74,8 +93,7 @@ FleetOptions parse_args(int argc, char** argv) {
 }
 
 /// Per-node workload assignment — a fixed rotation so the fleet mixes
-/// suites. Depends only on the node index, never on the fleet size, so
-/// node 0 streams the same trace in every fleet.
+/// suites. Depends only on the trace index, never on the fleet size.
 highrpm::sim::Workload workload_for_node(std::size_t node) {
   switch (node % 4) {
     case 0: return highrpm::workloads::fft();
@@ -87,6 +105,7 @@ highrpm::sim::Workload workload_for_node(std::size_t node) {
 
 struct FleetResult {
   std::size_t nodes = 0;
+  std::size_t threads = 0;
   double wall_s = 0.0;
   double ticks_per_sec = 0.0;
   std::uint64_t p50_ns = 0;
@@ -96,120 +115,149 @@ struct FleetResult {
   double allocs_per_tick = -1.0;
 };
 
-/// Stream `n_nodes` clones of the golden instance over their own collected
-/// traces, sharded one node per pool task. When csv_path is non-empty,
-/// node 0's estimates are written there (full precision, for the N=1 vs
-/// N=64 byte-identity check).
+void write_node0_csv(const std::string& csv_path,
+                     const std::vector<highrpm::core::PowerEstimate>& node0) {
+  std::filesystem::create_directories(
+      std::filesystem::path(csv_path).parent_path());
+  std::ofstream out(csv_path);
+  out << "tick,node_w,cpu_w,mem_w,measured\n";
+  char buf[128];
+  for (std::size_t t = 0; t < node0.size(); ++t) {
+    std::snprintf(buf, sizeof(buf), "%zu,%.17g,%.17g,%.17g,%d\n", t,
+                  node0[t].node_w, node0[t].cpu_w, node0[t].mem_w,
+                  node0[t].measured ? 1 : 0);
+    out << buf;
+  }
+}
+
+/// Serial per-node reference: node 0's trace through the HighRpm facade,
+/// one on_tick at a time — the path every FleetStepper lane must reproduce
+/// byte for byte.
+void run_serial_reference(const highrpm::core::HighRpm& golden,
+                          const highrpm::measure::CollectedRun& trace0,
+                          const std::string& csv_path) {
+  highrpm::core::HighRpm node = golden;
+  node.reset_stream();
+  const auto& features = trace0.dataset.features();
+  const auto& labels = trace0.dataset.target("P_NODE");
+  std::vector<highrpm::core::PowerEstimate> node0;
+  node0.reserve(trace0.num_ticks());
+  for (std::size_t t = 0; t < trace0.num_ticks(); ++t) {
+    std::optional<double> reading;
+    if (trace0.measured[t]) reading = labels[t];
+    node0.push_back(node.on_tick(features.row(t), reading));
+  }
+  write_node0_csv(csv_path, node0);
+}
+
+/// Step an N-node FleetStepper over the shared traces at the current pool
+/// size. When csv_path is non-empty, node 0's estimates are written there
+/// for the byte-identity check.
 FleetResult run_fleet(const highrpm::core::HighRpm& golden,
-                      const highrpm::measure::Collector& collector,
+                      const std::vector<highrpm::measure::CollectedRun>& traces,
                       std::size_t n_nodes, const FleetOptions& opt,
                       const std::string& csv_path) {
   namespace alloctrace = highrpm::alloctrace;
   using highrpm::core::PowerEstimate;
 
-  // Setup (excluded from timing): per-node traces and per-node clones.
-  const auto platform = highrpm::sim::PlatformConfig::arm();
-  const auto runs = highrpm::runtime::parallel_map(
-      n_nodes, [&](std::size_t i) {
-        return collector.collect(platform, workload_for_node(i),
-                                 opt.stream_ticks, opt.seed + 1000 + i);
-      });
-  std::vector<highrpm::core::HighRpm> fleet;
-  fleet.reserve(n_nodes);
-  for (std::size_t i = 0; i < n_nodes; ++i) {
-    fleet.push_back(golden);
-    fleet.back().reset_stream();
-  }
+  // Setup (excluded from timing): the stepper and the per-tick staging.
+  highrpm::core::FleetStepper fleet(golden, n_nodes);
+  const std::size_t n_features = traces[0].dataset.features().cols();
+  highrpm::math::Matrix pmcs(n_nodes, n_features);
+  std::vector<std::optional<double>> readings(n_nodes);
+  std::vector<PowerEstimate> out(n_nodes);
+  std::vector<PowerEstimate> node0;
+  node0.reserve(opt.stream_ticks);
 
-  // Warm-up boundary: two miss intervals gives every clone a full window
-  // plus one fine-tune before the zero-allocation contract is metered.
+  // Warm-up boundary: two miss intervals gives every lane a full window
+  // before the zero-allocation contract is metered. A steady tick is a
+  // warm, all-predict tick (reading ticks update window state under a
+  // reading, which may legitimately allocate).
   const std::size_t warmup = 2 * golden.config().miss_interval;
-  highrpm::obs::Histogram tick_hist;
-  std::atomic<std::uint64_t> steady_ticks{0};
-  std::vector<PowerEstimate> node0(opt.stream_ticks);
+  bool steady = false;
+  // Hooks run on whichever pool thread executes the shard, so arming is
+  // per-thread and meters exactly the shard work — never pool dispatch.
+  highrpm::core::FleetStepper::ShardHooks hooks;
+  hooks.before = [&steady](std::size_t) {
+    if (steady) alloctrace::arm();
+  };
+  hooks.after = [&steady](std::size_t) {
+    if (steady) alloctrace::disarm();
+  };
 
+  highrpm::obs::Histogram tick_hist;
+  std::uint64_t steady_ticks = 0;
   const std::uint64_t allocs_before = alloctrace::count();
   const auto fleet_start = Clock::now();
-  highrpm::runtime::parallel_for(n_nodes, [&](std::size_t i) {
-    auto& monitor = fleet[i];
-    const auto& run = runs[i];
-    const auto& features = run.dataset.features();
-    const auto& labels = run.dataset.target("P_NODE");
-    std::uint64_t my_steady = 0;
-    for (std::size_t t = 0; t < run.num_ticks(); ++t) {
-      std::optional<double> reading;
-      if (run.measured[t]) reading = labels[t];
-      // Steady-state predict tick: warm, no IM reading (reading ticks may
-      // fine-tune, which legitimately allocates).
-      const bool steady = !reading.has_value() && t >= warmup;
-      if (steady) {
-        alloctrace::arm();
-        ++my_steady;
+  for (std::size_t t = 0; t < opt.stream_ticks; ++t) {
+    bool any_reading = false;
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      const auto& trace = traces[i % traces.size()];
+      const auto src = trace.dataset.features().row(t);
+      auto dst = pmcs.row(i);
+      std::copy(src.begin(), src.end(), dst.begin());
+      if (trace.measured[t]) {
+        readings[i] = trace.dataset.target("P_NODE")[t];
+        any_reading = true;
+      } else {
+        readings[i].reset();
       }
-      const auto t0 = Clock::now();
-      const PowerEstimate est = monitor.on_tick(features.row(t), reading);
-      const auto t1 = Clock::now();
-      if (steady) alloctrace::disarm();
-      tick_hist.record(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-              .count()));
-      if (i == 0) node0[t] = est;
     }
-    steady_ticks.fetch_add(my_steady, std::memory_order_relaxed);
-  });
+    steady = !any_reading && t >= warmup;
+    if (steady) steady_ticks += n_nodes;
+    const auto t0 = Clock::now();
+    fleet.step_tick(pmcs, readings, out, hooks);
+    const auto t1 = Clock::now();
+    tick_hist.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+    if (!csv_path.empty()) node0.push_back(out[0]);
+  }
   const double wall_s =
       std::chrono::duration<double>(Clock::now() - fleet_start).count();
   const std::uint64_t allocs_after = alloctrace::count();
 
   FleetResult r;
   r.nodes = n_nodes;
+  r.threads = highrpm::runtime::thread_count();
   r.wall_s = wall_s;
   r.total_ticks = static_cast<std::uint64_t>(n_nodes) * opt.stream_ticks;
   r.ticks_per_sec = static_cast<double>(r.total_ticks) / wall_s;
   r.p50_ns = tick_hist.quantile(0.50);
   r.p99_ns = tick_hist.quantile(0.99);
-  r.steady_ticks = steady_ticks.load();
+  r.steady_ticks = steady_ticks;
   if (alloctrace::available() && r.steady_ticks > 0) {
     r.allocs_per_tick = static_cast<double>(allocs_after - allocs_before) /
                         static_cast<double>(r.steady_ticks);
   }
 
-  if (!csv_path.empty()) {
-    std::filesystem::create_directories(
-        std::filesystem::path(csv_path).parent_path());
-    std::ofstream out(csv_path);
-    out << "tick,node_w,cpu_w,mem_w,measured\n";
-    char buf[128];
-    for (std::size_t t = 0; t < node0.size(); ++t) {
-      std::snprintf(buf, sizeof(buf), "%zu,%.17g,%.17g,%.17g,%d\n", t,
-                    node0[t].node_w, node0[t].cpu_w, node0[t].mem_w,
-                    node0[t].measured ? 1 : 0);
-      out << buf;
-    }
-  }
+  if (!csv_path.empty()) write_node0_csv(csv_path, node0);
   return r;
 }
 
 void write_json(const std::string& path, const FleetOptions& opt,
+                std::size_t hw_threads, std::size_t n_traces,
                 const std::vector<FleetResult>& results) {
   std::ofstream out(path);
   char buf[256];
   out << "{\n";
   out << "  \"bench\": \"fleet_scaling\",\n";
   out << "  \"mode\": \"" << (opt.quick ? "quick" : "full") << "\",\n";
-  out << "  \"threads\": " << highrpm::runtime::thread_count() << ",\n";
+  out << "  \"hw_threads\": " << hw_threads << ",\n";
   out << "  \"alloc_trace\": "
       << (highrpm::alloctrace::available() ? "true" : "false") << ",\n";
   out << "  \"ticks_per_node\": " << opt.stream_ticks << ",\n";
+  out << "  \"distinct_traces\": " << n_traces << ",\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const FleetResult& r = results[i];
     std::snprintf(buf, sizeof(buf),
-                  "    {\"nodes\": %zu, \"ticks_per_sec\": %.1f, "
+                  "    {\"nodes\": %zu, \"threads\": %zu, "
+                  "\"ticks_per_sec\": %.1f, "
                   "\"p50_ns\": %llu, \"p99_ns\": %llu, "
                   "\"steady_ticks\": %llu, \"allocs_per_tick\": %.3f, "
                   "\"wall_s\": %.4f}%s\n",
-                  r.nodes, r.ticks_per_sec,
+                  r.nodes, r.threads, r.ticks_per_sec,
                   static_cast<unsigned long long>(r.p50_ns),
                   static_cast<unsigned long long>(r.p99_ns),
                   static_cast<unsigned long long>(r.steady_ticks),
@@ -225,9 +273,13 @@ void write_json(const std::string& path, const FleetOptions& opt,
 int main(int argc, char** argv) {
   const FleetOptions opt = parse_args(argc, argv);
 
-  // Train the golden instance once (MonitorService clones it per node).
+  // Train the golden instance once. Online fine-tuning is off so every lane
+  // shares one set of RNN weights — the one-GEMM-per-layer cross-node fast
+  // path this bench exists to measure (the per-lane fallback is covered by
+  // the fleet determinism tests).
   highrpm::core::HighRpmConfig cfg;
   cfg.dynamic_trr.rnn.epochs = opt.rnn_epochs;
+  cfg.dynamic_trr.online_finetune = false;
   cfg.srr.epochs = opt.srr_epochs;
   const highrpm::measure::Collector collector;
   const auto platform = highrpm::sim::PlatformConfig::arm();
@@ -245,24 +297,61 @@ int main(int argc, char** argv) {
   highrpm::core::HighRpm golden(cfg);
   golden.initial_learning(training);
 
-  const std::size_t fleet_sizes[] = {1, 8, 64, 256};
-  std::vector<FleetResult> results;
-  for (const std::size_t n : fleet_sizes) {
-    std::string csv;
-    if (n == 1) csv = "bench_out/fleet_node0_N1.csv";
-    if (n == 64) csv = "bench_out/fleet_node0_N64.csv";
-    const FleetResult r = run_fleet(golden, collector, n, opt, csv);
-    std::printf(
-        "  N=%3zu  %10.0f ticks/s  p50=%6llu ns  p99=%7llu ns  "
-        "allocs/tick=%.3f  wall=%.3fs\n",
-        r.nodes, r.ticks_per_sec, static_cast<unsigned long long>(r.p50_ns),
-        static_cast<unsigned long long>(r.p99_ns), r.allocs_per_tick,
-        r.wall_s);
-    results.push_back(r);
+  const std::vector<std::size_t> fleet_sizes =
+      opt.quick ? std::vector<std::size_t>{1, 8, 64}
+                : std::vector<std::size_t>{1, 8, 64, 256, 1024, 4096};
+  const std::size_t hw_threads = highrpm::runtime::thread_count();
+  std::vector<std::size_t> thread_sweep;
+  if (opt.threads_pin > 0) {
+    thread_sweep.push_back(opt.threads_pin);
+  } else {
+    for (std::size_t th = 1; th <= hw_threads; th *= 2) {
+      thread_sweep.push_back(th);
+    }
+    if (thread_sweep.back() != hw_threads) thread_sweep.push_back(hw_threads);
   }
 
-  write_json("BENCH_fleet.json", opt, results);
-  std::printf("wrote BENCH_fleet.json (threads=%zu, mode=%s)\n",
-              highrpm::runtime::thread_count(), opt.quick ? "quick" : "full");
+  // Traces are shared across the sweep: min(maxN, 256) distinct traces,
+  // collected once (node i replays trace i % 256). Node 0's trace has the
+  // same seed derivation as every earlier version of this bench.
+  const std::size_t n_traces = std::min(fleet_sizes.back(), kDistinctTraces);
+  std::printf("fleet bench: collecting %zu traces x %zu ticks...\n",
+              n_traces, opt.stream_ticks);
+  const auto traces = highrpm::runtime::parallel_map(
+      n_traces, [&](std::size_t i) {
+        return collector.collect(platform, workload_for_node(i),
+                                 opt.stream_ticks, opt.seed + 1000 + i);
+      });
+
+  // Serial facade reference for the byte-identity golden check.
+  run_serial_reference(golden, traces[0], "bench_out/fleet_node0_serial.csv");
+
+  std::vector<FleetResult> results;
+  for (const std::size_t threads : thread_sweep) {
+    highrpm::runtime::set_thread_count(threads);
+    for (const std::size_t n : fleet_sizes) {
+      std::string csv;
+      if (n == 1 && threads == thread_sweep.front()) {
+        csv = "bench_out/fleet_node0_N1.csv";
+      }
+      if (n == 64 && threads == thread_sweep.back()) {
+        csv = "bench_out/fleet_node0_N64.csv";
+      }
+      const FleetResult r = run_fleet(golden, traces, n, opt, csv);
+      std::printf(
+          "  threads=%2zu N=%4zu  %10.0f ticks/s  p50=%8llu ns  "
+          "p99=%9llu ns  allocs/tick=%.3f  wall=%.3fs\n",
+          r.threads, r.nodes, r.ticks_per_sec,
+          static_cast<unsigned long long>(r.p50_ns),
+          static_cast<unsigned long long>(r.p99_ns), r.allocs_per_tick,
+          r.wall_s);
+      results.push_back(r);
+    }
+  }
+  highrpm::runtime::set_thread_count(0);
+
+  write_json("BENCH_fleet.json", opt, hw_threads, n_traces, results);
+  std::printf("wrote BENCH_fleet.json (%zu sweep cells, mode=%s)\n",
+              results.size(), opt.quick ? "quick" : "full");
   return 0;
 }

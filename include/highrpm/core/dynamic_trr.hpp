@@ -78,6 +78,40 @@ class DynamicTrr {
   double step(std::span<const double> pmcs,
               std::optional<double> im_reading);
 
+  /// Everything step() decides before the model runs, carried from
+  /// step_prepare to step_commit. `rows` is the window fill this tick's
+  /// prediction covers (== stream_window_size() after prepare).
+  struct StepPrep {
+    bool have_reading = false;
+    double reading_value = 0.0;
+    std::size_t rows = 0;
+    std::size_t slot = 0;  // physical ring slot claimed for this tick
+  };
+
+  /// Phase 1 of step(): claim this tick's ring slot, build its
+  /// [PMC..., P'_prev] row in the SoA window, and run input validation /
+  /// degradation. After it returns, pack_window_into() yields the
+  /// rows x (F+1) window to predict over. Exactly one prepare must be
+  /// followed by exactly one step_commit before the next prepare on the
+  /// same instance (the fleet stepper interleaves prepares across *nodes*,
+  /// never within one).
+  StepPrep step_prepare(std::span<const double> pmcs,
+                        std::optional<double> im_reading);
+  /// Copy the current ring window (oldest row first) into consecutive rows
+  /// of `out` starting at `row_offset`. `out` must already be sized with
+  /// out.cols() == F+1 and row_offset + stream_window_size() rows. This is
+  /// how the fleet stepper packs many nodes' windows into one batch matrix.
+  void pack_window_into(math::Matrix& out, std::size_t row_offset) const;
+  /// Phase 2 of step() for callers that predicted the window themselves
+  /// (batched): apply validation clamps, stuck-sensor logic, measurement
+  /// supersede + online fine-tune to the model's raw estimate for the
+  /// newest row, record bookkeeping, and return the final estimate.
+  double step_commit(const StepPrep& prep, double raw_estimate);
+  /// The predict leg of step() on this instance's own model — for
+  /// unbatched callers between step_prepare and step_commit. Zero heap
+  /// allocations once the member scratch is warm.
+  double predict_prepared();
+
   bool fitted() const noexcept { return model_.fitted(); }
   const DynamicTrrConfig& config() const noexcept { return cfg_; }
   const ml::SequenceRegressor& model() const noexcept { return model_; }
@@ -108,20 +142,11 @@ class DynamicTrr {
   std::size_t stream_window_size() const noexcept { return win_count_; }
 
  private:
-  /// One streaming-window step. Keeping the row, its estimate, and its
-  /// validity in a single slot makes the trim keep them in lockstep by
-  /// construction.
-  struct WindowSlot {
-    std::vector<double> row;  // [PMC..., P'_prev]
-    double estimate = 0.0;
-    bool clean = true;  // row arrived finite (eligible for fine-tuning)
-  };
-
-  /// Logical window slot i (0 = oldest) in the fixed-capacity ring. The
-  /// ring replaces push_back + erase-front so the steady-state tick reuses
-  /// slot buffers instead of allocating a fresh row every tick.
-  WindowSlot& slot(std::size_t i) noexcept {
-    return window_[(win_start_ + i) % window_.size()];
+  /// Physical ring index of logical window slot i (0 = oldest). The ring
+  /// replaces push_back + erase-front so the steady-state tick reuses slot
+  /// storage instead of allocating a fresh row every tick.
+  std::size_t ring_index(std::size_t i) const noexcept {
+    return (win_start_ + i) % cfg_.miss_interval;
   }
 
   /// False when the reading is non-finite or outside [p_bottom, p_upper].
@@ -133,8 +158,14 @@ class DynamicTrr {
 
   DynamicTrrConfig cfg_;
   ml::SequenceRegressor model_;
-  /// Ring storage (capacity miss_interval once streaming) + cursor/fill.
-  std::vector<WindowSlot> window_;
+  /// SoA ring storage (capacity miss_interval once streaming): one matrix
+  /// row per window step = [PMC..., P'_prev], parallel per-slot estimate
+  /// and cleanliness arrays, plus cursor/fill. Structure-of-arrays keeps
+  /// the rows contiguous so pack_window_into is a pair of row-range copies
+  /// instead of per-slot pointer chasing.
+  math::Matrix win_rows_;
+  std::vector<double> win_est_;
+  std::vector<unsigned char> win_clean_;
   std::size_t win_start_ = 0;
   std::size_t win_count_ = 0;
   /// Per-tick scratch, reused across steps so the steady-state predict path

@@ -1,0 +1,111 @@
+// highrpm::core::FleetStepper — batched structure-of-arrays stepping of N
+// monitored nodes.
+//
+// The per-node streaming path (HighRpm::on_tick) steps one node at a time:
+// held-row substitution, DynamicTrr::step, Srr::predict_one — a dot product
+// per output unit per node per tick. FleetStepper re-expresses the same
+// tick for a whole fleet: nodes are grouped into fixed shards, each shard
+// packs its lanes' ring windows into one contiguous batch matrix, the RNN
+// runs one GEMM per layer per shard (shared-weights fleets), the SRR MLP
+// runs one GEMM per layer per shard, and shards execute in parallel on the
+// runtime thread pool.
+//
+// Determinism contract: every lane's outputs are byte-identical to the
+// serial per-node path (a HighRpm clone stepped alone) at every fleet
+// size, shard size, and thread count. The batched kernels evaluate the
+// scalar path's expressions in the scalar path's operand order, lanes
+// never read each other's state, and the shard partition is a pure
+// function of (nodes, shard_lanes) — never of the thread count.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "highrpm/core/highrpm.hpp"
+
+namespace highrpm::core {
+
+struct FleetConfig {
+  /// Max lanes per shard; one shard is one parallel_for index. The batch
+  /// grouping cannot change results (batched kernels are bit-identical to
+  /// scalar), only the GEMM shapes and the parallel grain.
+  std::size_t shard_lanes = 64;
+};
+
+class FleetStepper {
+ public:
+  /// Build a fleet of `nodes` lanes from a trained golden instance: each
+  /// lane clones the golden DynamicTrr (per-node window/stream state, and
+  /// per-node weights when online fine-tuning is on); the SRR is shared —
+  /// streaming never mutates its weights.
+  FleetStepper(const HighRpm& golden, std::size_t nodes, FleetConfig cfg = {});
+
+  /// Per-shard callbacks invoked on the thread executing the shard,
+  /// immediately before and after its work — the hook the fleet bench uses
+  /// for per-thread alloc-trace arming.
+  struct ShardHooks {
+    std::function<void(std::size_t)> before;
+    std::function<void(std::size_t)> after;
+  };
+
+  /// Step every lane one tick. pmcs is nodes x F (row i = node i's sampled
+  /// PMC rates); readings[i] is node i's IM reading when this tick carried
+  /// one; out[i] receives node i's estimate. Zero heap allocations per
+  /// shard once the shard scratch is warm (steady state).
+  void step_tick(const math::Matrix& pmcs,
+                 std::span<const std::optional<double>> readings,
+                 std::span<PowerEstimate> out, const ShardHooks& hooks = {});
+
+  /// Reset every lane's stream state (new program / new deployment).
+  void reset_streams();
+
+  std::size_t nodes() const noexcept { return lanes_.size(); }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// True when every lane shares one set of RNN weights (online fine-tune
+  /// disabled), enabling the one-GEMM-per-layer cross-node fast path.
+  bool shared_rnn() const noexcept { return shared_rnn_; }
+  const DynamicTrr& node_trr(std::size_t i) const { return lanes_[i].trr; }
+
+ private:
+  struct Lane {
+    DynamicTrr trr;
+    /// Last finite PMC row — substituted on degraded ticks so TRR and SRR
+    /// see the same held input (mirrors HighRpm::on_tick).
+    std::vector<double> last_good;
+    bool have_last_good = false;
+  };
+
+  /// Per-shard state, owned by exactly one parallel_for index per tick.
+  /// All matrices reuse their allocations tick over tick.
+  struct Shard {
+    std::size_t begin = 0;  // lane range [begin, end)
+    std::size_t end = 0;
+    math::Matrix rows;       // L x F substituted PMC rows
+    math::Matrix win_batch;  // (L*T) x (F+1) packed ring windows
+    math::Matrix rnn_out;    // L x T batched RNN predictions
+    ml::SequenceRegressor::BatchWorkspace rnn_ws;
+    std::vector<DynamicTrr::StepPrep> preps;
+    std::vector<double> raw;     // raw RNN estimate per lane
+    std::vector<double> node_w;  // committed node power per lane
+    std::vector<ComponentEstimate> comp;
+    Srr::BatchScratch srr;
+  };
+
+  void step_shard(Shard& ss, const math::Matrix& pmcs,
+                  std::span<const std::optional<double>> readings,
+                  std::span<PowerEstimate> out);
+
+  FleetConfig cfg_;
+  /// Shared SRR (streaming never fine-tunes it) and, for shared-weights
+  /// fleets, the one RNN every lane's window batches through. Kept as
+  /// copies so concurrent shard reads never alias a lane's scratch.
+  Srr srr_;
+  ml::SequenceRegressor shared_model_;
+  bool shared_rnn_ = false;
+  std::vector<Lane> lanes_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace highrpm::core

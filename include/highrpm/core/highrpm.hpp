@@ -77,6 +77,10 @@ class HighRpm {
   const HighRpmConfig& config() const noexcept { return cfg_; }
   DynamicTrr& dynamic_trr() noexcept { return dynamic_trr_; }
   Srr& srr() noexcept { return srr_; }
+  /// Const access for read-only consumers (FleetStepper clones per-lane
+  /// TRR state and shares the SRR from a trained golden instance).
+  const DynamicTrr& dynamic_trr() const noexcept { return dynamic_trr_; }
+  const Srr& srr() const noexcept { return srr_; }
   std::size_t active_learning_rounds() const noexcept { return al_rounds_; }
   /// Streaming ticks whose PMC row was non-finite and had to be held
   /// (cumulative across streams, like DynamicTrr's counters). obs::Counter

@@ -69,6 +69,13 @@ class Srr {
     ml::Mlp::Scratch net;
   };
 
+  /// Caller-owned buffers for the batched allocation-free predict path.
+  struct BatchScratch {
+    math::Matrix x;    // assembled [P_Node, PMC...] input rows
+    math::Matrix out;  // raw network outputs (n x 2)
+    ml::Mlp::BatchScratch net;
+  };
+
   ComponentEstimate predict_one(std::span<const double> pmcs,
                                 double p_node) const;
   /// predict_one with caller-owned scratch: bit-identical results, no heap
@@ -79,6 +86,18 @@ class Srr {
   /// Batch prediction, one estimate per row.
   std::vector<ComponentEstimate> predict(const math::Matrix& pmcs,
                                          std::span<const double> p_node) const;
+  /// Batched predict_one over the rows of `pmcs` into caller-owned output
+  /// (out.size() == pmcs.rows()): one GEMM per MLP layer for all rows. Row
+  /// assembly and the consistency projection are the same helpers the
+  /// scalar path uses, and the network's batch forward matches its scalar
+  /// forward bit for bit, so out[r] == predict_one(pmcs.row(r), p_node[r]).
+  /// No allocation once the scratch is warm; thread-safe on a const model
+  /// with per-caller scratch. p_node is ignored when include_pnode is off
+  /// (pass anything of matching size or empty).
+  void predict_batch_into(const math::Matrix& pmcs,
+                          std::span<const double> p_node,
+                          std::span<ComponentEstimate> out,
+                          BatchScratch& scratch) const;
 
   bool fitted() const noexcept { return net_.fitted(); }
   const SrrConfig& config() const noexcept { return cfg_; }
@@ -87,6 +106,9 @@ class Srr {
  private:
   math::Matrix assemble(const math::Matrix& pmcs,
                         std::span<const double> p_node) const;
+  /// Bounded rescale of (cpu, mem) toward the node budget — the single
+  /// implementation both the scalar and batch predict paths share.
+  void apply_projection(double p_node, ComponentEstimate& est) const;
 
   SrrConfig cfg_;
   ml::Mlp net_;

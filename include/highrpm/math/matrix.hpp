@@ -105,6 +105,14 @@ std::vector<double> matvec_t(const Matrix& a, std::span<const double> x);
 /// allocation); no allocation once C's capacity suffices, serial, same
 /// per-cell dot order as matmul_nt.
 void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& c);
+/// C(i, j) = bias[j] + A.row(i) · B.row(j), into a caller-owned matrix —
+/// the batched form of the scalar affine step `b[j] + dot(w.row(j), x)`
+/// used by every layer forward pass in ml. The bias is the *left* addend
+/// and the dot runs in matmul_nt's element order, so each output cell is
+/// bit-identical to the per-row scalar expression it replaces. Serial, no
+/// allocation once C's capacity suffices. bias.size() must equal b.rows().
+void matmul_nt_bias_into(const Matrix& a, const Matrix& b,
+                         std::span<const double> bias, Matrix& c);
 
 // --- small vector helpers (free functions over std::span/std::vector) ---
 

@@ -58,6 +58,24 @@ class Mlp {
                         Scratch& scratch) const;
   math::Matrix predict(const math::Matrix& x) const;
 
+  /// Caller-owned buffers for the batched allocation-free predict path:
+  /// standardized inputs plus two ping-pong activation matrices.
+  struct BatchScratch {
+    math::Matrix xs;
+    math::Matrix a;
+    math::Matrix b;
+  };
+
+  /// Batched predict_one over the rows of `x` into a caller-owned
+  /// `out` (x.rows() x out_dim): one matmul_nt_bias_into per layer instead
+  /// of a dot product per output unit per row. Row r of `out` is
+  /// bit-identical to predict_one_into(x.row(r), ...) — the GEMM kernel
+  /// evaluates the same `b[o] + dot(w.row(o), cur)` expression in the same
+  /// order. No allocation once the buffers are warm; thread-safe on a const
+  /// model when each caller brings its own scratch.
+  void predict_batch_into(const math::Matrix& x, math::Matrix& out,
+                          BatchScratch& scratch) const;
+
   bool fitted() const noexcept { return fitted_; }
   std::size_t input_dim() const noexcept { return in_dim_; }
   std::size_t output_dim() const noexcept { return out_dim_; }

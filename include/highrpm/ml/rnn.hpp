@@ -57,6 +57,27 @@ class SequenceRegressor {
     math::Matrix h;         // layers x units hidden state
     math::Matrix c;         // layers x units LSTM cell state
     std::vector<double> x;  // current step input
+    // Layer-outer predict buffers: the standardized window, the bias-folded
+    // input projection of the current layer, and ping-pong per-step output
+    // sequences (layer l writes one, layer l+1 reads it).
+    math::Matrix xs;      // T x F
+    math::Matrix zx;      // T x gates
+    math::Matrix hseq_a;  // T x units
+    math::Matrix hseq_b;  // T x units
+  };
+
+  /// Caller-owned buffers for the cross-lane batched predict path. One
+  /// workspace per caller (confine to a single thread); zero heap
+  /// allocations once warm at a given (lanes, T) shape.
+  struct BatchWorkspace {
+    math::Matrix xs;      // (lanes*T) x F standardized windows
+    math::Matrix zx;      // (lanes*T) x gates input projection
+    math::Matrix h;       // lanes x units, current layer's hidden state
+    math::Matrix c;       // lanes x units, current layer's LSTM cell state
+    math::Matrix zu;      // lanes x gates recurrent projection at step t
+    math::Matrix hseq_a;  // (lanes*T) x units ping-pong layer outputs
+    math::Matrix hseq_b;  // (lanes*T) x units
+    Workspace::StepScratch scratch;
   };
 
   /// Per-step predictions for a T x F window (any T >= 1).
@@ -67,6 +88,17 @@ class SequenceRegressor {
   /// as long as each caller brings its own workspace.
   void predict_into(const math::Matrix& steps, std::vector<double>& out,
                     Workspace& ws) const;
+  /// Batched predict_into over `lanes` independent windows of equal length,
+  /// packed lane-major into `windows` ((lanes*T) x F, lane i's window in
+  /// rows [i*T, (i+1)*T)). `out` becomes lanes x T, row i bit-identical to
+  /// predict_into on lane i's window alone: each layer runs one bias-folded
+  /// input-projection GEMM over all lanes*T rows and one recurrent GEMM per
+  /// time step over all lanes, and every per-cell expression keeps the
+  /// scalar path's operand order and association. No allocation once the
+  /// workspace is warm; thread-safe on a const model with per-caller
+  /// workspaces.
+  void predict_batch_into(const math::Matrix& windows, std::size_t lanes,
+                          math::Matrix& out, BatchWorkspace& ws) const;
 
   bool fitted() const noexcept { return fitted_; }
   const RnnConfig& config() const noexcept { return cfg_; }
@@ -118,6 +150,16 @@ class SequenceRegressor {
   void cell_step_into(const CellParams& p, std::span<const double> x,
                       std::span<double> h_inout, std::span<double> c_inout,
                       Workspace::StepScratch& scratch) const;
+  /// cell_step_into with the input projection `b + w·x` already folded into
+  /// `zx` (one GEMM row per step) and, optionally, the recurrent projection
+  /// `u·h_{t-1}` precomputed in `zu` (pass empty to compute the per-gate
+  /// dots here). Gate arithmetic keeps cell_step_into's operand order and
+  /// association, so the updated h/c are bit-identical to it.
+  void cell_step_preproj_into(const CellParams& p, std::span<const double> zx,
+                              std::span<const double> zu,
+                              std::span<double> h_inout,
+                              std::span<double> c_inout,
+                              Workspace::StepScratch& scratch) const;
   /// Forward a whole window, returning per-step head outputs (scaled space);
   /// caches are per layer per step when requested (training path).
   std::vector<double> forward(const math::Matrix& steps_scaled,

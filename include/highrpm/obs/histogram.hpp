@@ -7,9 +7,12 @@
 //
 // Values are unsigned 64-bit and unit-agnostic; the instrumentation layer
 // records span durations in nanoseconds, the thread pool also records task
-// counts. Quantiles come from a cumulative walk over the buckets, so
-// quantile(q) is monotone non-decreasing in q by construction (a property
-// test pins this down) and accurate to bucket resolution (one power of two).
+// counts. Quantiles come from a cumulative walk over the buckets with
+// linear interpolation inside the landing bucket, so quantile(q) is
+// monotone non-decreasing in q by construction (a property test pins this
+// down) and no longer quantizes to bucket upper bounds (2^k - 1) — two
+// latency distributions landing in the same power-of-two bucket still
+// report distinguishable p50/p99.
 //
 // When HIGHRPM_OBS_ENABLED is 0 the class collapses to a no-op shell with
 // the same API (distinct inline namespace, so a no-op-mode translation unit
@@ -76,9 +79,13 @@ class Histogram {
     return max_.load(std::memory_order_relaxed);
   }
 
-  /// The smallest bucket upper bound below which at least ceil(q * count)
-  /// recorded values fall, clamped into [min(), max()]. q is clamped to
-  /// [0, 1]; an empty histogram reports 0. Monotone non-decreasing in q.
+  /// The value at rank floor(q * count) in the cumulative bucket walk,
+  /// linearly interpolated across the landing bucket's value range by the
+  /// rank's position among that bucket's samples, clamped into
+  /// [min(), max()]. q is clamped to [0, 1]; an empty histogram reports 0.
+  /// Monotone non-decreasing in q: the landing bucket is non-decreasing in
+  /// rank, the within-bucket fraction is non-decreasing in rank, and
+  /// bucket b's interpolation range ends below bucket b+1's start.
   std::uint64_t quantile(double q) const noexcept {
     const std::uint64_t n = count();
     if (n == 0) return 0;
@@ -86,10 +93,22 @@ class Histogram {
     const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
     std::uint64_t seen = 0;
     for (std::size_t b = 0; b < kBuckets; ++b) {
-      seen += buckets_[b].load(std::memory_order_relaxed);
-      if (seen >= rank && seen > 0) {
-        return std::clamp(bucket_upper(b), min(), max());
+      const std::uint64_t cnt = buckets_[b].load(std::memory_order_relaxed);
+      if (cnt == 0) continue;
+      if (seen + cnt >= rank) {
+        // Rank lands in bucket b, which spans [lower, upper]. pos/cnt is
+        // the rank's position among this bucket's cnt samples: pos 0 maps
+        // to the bucket's lower edge, pos == cnt to its upper.
+        const std::uint64_t lower = b == 0 ? 0 : bucket_upper(b - 1) + 1;
+        const std::uint64_t upper = bucket_upper(b);
+        const std::uint64_t pos = rank > seen ? rank - seen : 0;
+        const double frac =
+            static_cast<double>(pos) / static_cast<double>(cnt);
+        const auto v = lower + static_cast<std::uint64_t>(
+                                   frac * static_cast<double>(upper - lower));
+        return std::clamp(v, min(), max());
       }
+      seen += cnt;
     }
     return max();
   }

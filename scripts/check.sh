@@ -8,7 +8,8 @@
 #             must match the bench output byte for byte
 #   property  ctest -L property in the werror build: seeded invariant suites
 #   perf      ctest -L perf-smoke in a release build: zero-allocation
-#             steady-state contract + fleet sharding determinism
+#             steady-state contract (per-node + batched fleet paths) and
+#             fleet-stepper determinism (serial == N=1 == N=64 CSVs)
 #   tidy      clang-tidy over the compile database   [skipped if not installed]
 #   asan      full ctest under -fsanitize=address
 #   ubsan     full ctest under -fsanitize=undefined (no-recover: UB = failure)

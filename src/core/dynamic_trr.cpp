@@ -103,16 +103,13 @@ void DynamicTrr::fine_tune(std::span<const data::SequenceSample> windows,
 }
 
 void DynamicTrr::reset_stream() {
-  // Size the ring once; steady-state ticks then recycle slot buffers
-  // instead of allocating. Row capacity is reserved up front when the
-  // feature width is known (post-train).
-  window_.resize(cfg_.miss_interval);
-  for (auto& s : window_) {
-    s.row.clear();
-    if (n_features_ > 0) s.row.reserve(n_features_ + 1);
-    s.estimate = 0.0;
-    s.clean = true;
-  }
+  // Size the SoA ring once; steady-state ticks then recycle slot storage
+  // instead of allocating. Row width is fixed at F+1 when the feature
+  // width is known (post-train); otherwise the first step sizes it.
+  win_rows_.resize(cfg_.miss_interval, n_features_ > 0 ? n_features_ + 1 : 0);
+  std::fill(win_rows_.flat().begin(), win_rows_.flat().end(), 0.0);
+  win_est_.assign(cfg_.miss_interval, 0.0);
+  win_clean_.assign(cfg_.miss_interval, 1);
   win_start_ = 0;
   win_count_ = 0;
   prev_estimate_ = 0.0;
@@ -144,13 +141,11 @@ bool DynamicTrr::stuck_reading(double value, double estimate) {
   return std::fabs(value - estimate) > cfg_.stuck_disagreement * range;
 }
 
-double DynamicTrr::step(std::span<const double> pmcs,
-                        std::optional<double> im_reading) {
-  // Process-wide telemetry (registry lookups resolved once): per-step
-  // latency plus aggregate degradation/cold-start totals mirroring the
-  // per-instance diagnostic counters.
-  static obs::Histogram& step_hist =
-      obs::Registry::instance().histogram("core.dynamic_trr.step_ns");
+DynamicTrr::StepPrep DynamicTrr::step_prepare(std::span<const double> pmcs,
+                                              std::optional<double> im_reading) {
+  // Process-wide telemetry (registry lookups resolved once): aggregate
+  // degradation/cold-start totals mirroring the per-instance diagnostic
+  // counters.
   static obs::Counter& steps_total =
       obs::Registry::instance().counter("core.dynamic_trr.steps");
   static obs::Counter& rejected_total =
@@ -159,7 +154,6 @@ double DynamicTrr::step(std::span<const double> pmcs,
       obs::Registry::instance().counter("core.dynamic_trr.substituted_rows");
   static obs::Counter& cold_total =
       obs::Registry::instance().counter("core.dynamic_trr.cold_starts");
-  const obs::Span span(step_hist);
   steps_total.add();
 
   if (!fitted()) throw std::logic_error("DynamicTrr::step: not trained");
@@ -169,81 +163,102 @@ double DynamicTrr::step(std::span<const double> pmcs,
         " PMC values, got " + std::to_string(pmcs.size()));
   }
 
+  StepPrep prep;
   // Unpack the optional once: GCC's flow analysis cannot track the payload
   // through the guarded derefs below and emits -Wmaybe-uninitialized.
-  bool have_reading = im_reading.has_value();
-  const double reading_value = have_reading ? *im_reading : 0.0;
+  prep.have_reading = im_reading.has_value();
+  prep.reading_value = prep.have_reading ? *im_reading : 0.0;
 
   // Claim this tick's ring slot (oldest slot recycles once the window is
-  // full) and build the row in its reusable buffer.
-  if (window_.empty()) reset_stream();
-  WindowSlot* cur;
-  if (win_count_ < window_.size()) {
-    cur = &window_[(win_start_ + win_count_) % window_.size()];
+  // full) and build the row in its reusable storage.
+  if (win_rows_.rows() == 0) reset_stream();
+  if (win_rows_.cols() != pmcs.size() + 1) {
+    // Legacy model with no captured feature width: size the ring lazily.
+    win_rows_.resize(cfg_.miss_interval, pmcs.size() + 1);
+    std::fill(win_rows_.flat().begin(), win_rows_.flat().end(), 0.0);
+  }
+  if (win_count_ < cfg_.miss_interval) {
+    prep.slot = ring_index(win_count_);
     ++win_count_;
   } else {
-    cur = &window_[win_start_];
-    win_start_ = (win_start_ + 1) % window_.size();
+    prep.slot = win_start_;
+    win_start_ = (win_start_ + 1) % cfg_.miss_interval;
   }
-  auto& feat = cur->row;
-  feat.clear();
-  feat.reserve(pmcs.size() + 1);
-  feat.insert(feat.end(), pmcs.begin(), pmcs.end());
-  cur->estimate = 0.0;
+  const std::size_t f = pmcs.size();
+  const auto feat = win_rows_.row(prep.slot);
+  std::copy(pmcs.begin(), pmcs.end(), feat.begin());
+  win_est_[prep.slot] = 0.0;
 
   // --- input validation / graceful degradation (no-op on clean input) ---
   bool clean_row = true;
   if (cfg_.validate_inputs) {
-    if (!math::all_finite(feat)) {
+    if (!math::all_finite(feat.subspan(0, f))) {
       // Degraded tick: hold the last good row — node power rarely moves in
       // one tick — and keep this window out of fine-tuning.
       clean_row = false;
       substituted_rows_.add();
       substituted_total.add();
       if (have_last_good_) {
-        feat = last_good_pmcs_;
+        std::copy(last_good_pmcs_.begin(), last_good_pmcs_.end(),
+                  feat.begin());
       } else {
-        std::fill(feat.begin(), feat.end(), 0.0);
+        std::fill(feat.begin(), feat.begin() + f, 0.0);
       }
     } else {
-      last_good_pmcs_ = feat;
+      last_good_pmcs_.assign(feat.begin(), feat.begin() + f);
       have_last_good_ = true;
     }
-    if (have_reading && !plausible_reading(reading_value)) {
+    if (prep.have_reading && !plausible_reading(prep.reading_value)) {
       // Spike / garbage reading: keep predicting instead of superseding.
       rejected_readings_.add();
       rejected_total.add();
-      have_reading = false;
+      prep.have_reading = false;
     }
   }
-  cur->clean = clean_row;
+  win_clean_[prep.slot] = clean_row ? 1 : 0;
 
-  // Build this tick's row: [PMC..., P'_prev]. Before the first estimate we
-  // use the IM reading if present, else the training-label mean (a
+  // Finish this tick's row: [PMC..., P'_prev]. Before the first estimate
+  // we use the IM reading if present, else the training-label mean (a
   // physically plausible cold-start prior).
   double prev = prev_estimate_;
   if (!have_prev_) {
-    if (have_reading) {
-      prev = reading_value;
+    if (prep.have_reading) {
+      prev = prep.reading_value;
     } else {
       prev = label_mean_;
       cold_starts_.add();
       cold_total.add();
     }
   }
-  feat.push_back(prev);
+  feat[f] = prev;
+  prep.rows = win_count_;
+  return prep;
+}
 
+void DynamicTrr::pack_window_into(math::Matrix& out,
+                                  std::size_t row_offset) const {
+  for (std::size_t r = 0; r < win_count_; ++r) {
+    const auto src = win_rows_.row(ring_index(r));
+    std::copy(src.begin(), src.end(), out.row(row_offset + r).begin());
+  }
+}
+
+double DynamicTrr::predict_prepared() {
   // Predict over the current (possibly still-filling) window; the last
   // step's output is this tick's estimate. All buffers are member scratch —
   // after warm-up this path performs zero heap allocations.
-  steps_scratch_.resize(win_count_, feat.size());
-  for (std::size_t r = 0; r < win_count_; ++r) {
-    const auto& row = slot(r).row;
-    std::copy(row.begin(), row.end(), steps_scratch_.row(r).begin());
-  }
+  steps_scratch_.resize(win_count_, win_rows_.cols());
+  pack_window_into(steps_scratch_, 0);
   model_.predict_into(steps_scratch_, preds_scratch_, ws_);
-  double estimate = preds_scratch_.back();
+  return preds_scratch_.back();
+}
 
+double DynamicTrr::step_commit(const StepPrep& prep, double raw_estimate) {
+  static obs::Counter& rejected_total =
+      obs::Registry::instance().counter("core.dynamic_trr.rejected_readings");
+
+  bool have_reading = prep.have_reading;
+  double estimate = raw_estimate;
   if (cfg_.validate_inputs) {
     if (!std::isfinite(estimate)) {
       estimate = have_prev_ ? prev_estimate_ : label_mean_;
@@ -253,7 +268,7 @@ double DynamicTrr::step(std::span<const double> pmcs,
   }
 
   if (have_reading && cfg_.validate_inputs &&
-      stuck_reading(reading_value, estimate)) {
+      stuck_reading(prep.reading_value, estimate)) {
     // Stuck sensor: the same value keeps arriving while the model has
     // drifted away — trust the prediction.
     rejected_readings_.add();
@@ -267,16 +282,19 @@ double DynamicTrr::step(std::span<const double> pmcs,
     // estimates with the final one replaced by the measurement. After an IM
     // dropout the window keeps sliding, so the next good reading fine-tunes
     // on whatever window it completes. Windows holding substituted PMC rows
-    // are not trained on.
-    estimate = reading_value;
+    // are not trained on. The sample is packed straight from the ring so
+    // batched callers (which never fill steps_scratch_) fine-tune on the
+    // same bytes the unbatched path would.
+    estimate = prep.reading_value;
     if (cfg_.online_finetune && win_count_ == cfg_.miss_interval &&
-        std::all_of(window_.begin(), window_.end(),
-                    [](const WindowSlot& s) { return s.clean; })) {
+        std::all_of(win_clean_.begin(), win_clean_.end(),
+                    [](unsigned char c) { return c != 0; })) {
       data::SequenceSample s;
-      s.steps = steps_scratch_;
+      s.steps.resize(cfg_.miss_interval, win_rows_.cols());
+      pack_window_into(s.steps, 0);
       s.labels.reserve(cfg_.miss_interval);
       for (std::size_t r = 0; r + 1 < win_count_; ++r) {
-        s.labels.push_back(slot(r).estimate);
+        s.labels.push_back(win_est_[ring_index(r)]);
       }
       s.labels.push_back(estimate);
       if (s.labels.size() == cfg_.miss_interval) {
@@ -287,10 +305,19 @@ double DynamicTrr::step(std::span<const double> pmcs,
     }
   }
 
-  cur->estimate = estimate;
+  win_est_[prep.slot] = estimate;
   prev_estimate_ = estimate;
   have_prev_ = true;
   return estimate;
+}
+
+double DynamicTrr::step(std::span<const double> pmcs,
+                        std::optional<double> im_reading) {
+  static obs::Histogram& step_hist =
+      obs::Registry::instance().histogram("core.dynamic_trr.step_ns");
+  const obs::Span span(step_hist);
+  const StepPrep prep = step_prepare(pmcs, im_reading);
+  return step_commit(prep, predict_prepared());
 }
 
 }  // namespace highrpm::core

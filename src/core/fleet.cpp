@@ -1,0 +1,170 @@
+#include "highrpm/core/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "highrpm/math/float_eq.hpp"
+#include "highrpm/math/stats.hpp"
+#include "highrpm/obs/obs.hpp"
+#include "highrpm/runtime/parallel_for.hpp"
+
+namespace highrpm::core {
+
+FleetStepper::FleetStepper(const HighRpm& golden, std::size_t nodes,
+                           FleetConfig cfg)
+    : cfg_(cfg),
+      srr_(golden.srr()),
+      shared_model_(golden.dynamic_trr().model()) {
+  if (!golden.trained()) {
+    throw std::invalid_argument("FleetStepper: golden instance untrained");
+  }
+  if (nodes == 0) {
+    throw std::invalid_argument("FleetStepper: fleet must have >= 1 node");
+  }
+  if (cfg_.shard_lanes == 0) cfg_.shard_lanes = 1;
+  // With online fine-tuning off, no lane ever mutates its RNN weights, so
+  // every lane's model stays byte-identical to the golden copy and windows
+  // can batch through shared_model_. With it on, weights diverge per lane
+  // after the first accepted reading — each lane must predict with its own
+  // model.
+  shared_rnn_ = !golden.config().dynamic_trr.online_finetune;
+  lanes_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    Lane lane;
+    lane.trr = golden.dynamic_trr();
+    lane.trr.reset_stream();
+    lanes_.push_back(std::move(lane));
+  }
+  const std::size_t n_shards = (nodes + cfg_.shard_lanes - 1) / cfg_.shard_lanes;
+  shards_.resize(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    Shard& ss = shards_[s];
+    ss.begin = s * cfg_.shard_lanes;
+    ss.end = std::min(nodes, ss.begin + cfg_.shard_lanes);
+    const std::size_t lanes = ss.end - ss.begin;
+    ss.preps.resize(lanes);
+    ss.raw.resize(lanes);
+    ss.node_w.resize(lanes);
+    ss.comp.resize(lanes);
+  }
+}
+
+void FleetStepper::reset_streams() {
+  for (auto& lane : lanes_) {
+    lane.trr.reset_stream();
+    lane.last_good.clear();
+    lane.have_last_good = false;
+  }
+}
+
+void FleetStepper::step_tick(const math::Matrix& pmcs,
+                             std::span<const std::optional<double>> readings,
+                             std::span<PowerEstimate> out,
+                             const ShardHooks& hooks) {
+  static obs::Histogram& shard_hist =
+      obs::Registry::instance().histogram("core.fleet.shard_tick_ns");
+  static obs::Counter& lane_ticks =
+      obs::Registry::instance().counter("core.fleet.lane_ticks");
+  if (pmcs.rows() != lanes_.size() || readings.size() != lanes_.size() ||
+      out.size() != lanes_.size()) {
+    throw std::invalid_argument("FleetStepper::step_tick: size mismatch");
+  }
+  lane_ticks.add(lanes_.size());
+  // One parallel_for index per shard; each shard owns its lane range and
+  // scratch, so scheduling only changes when a shard runs, never what it
+  // computes. The hooks run on the executing thread so alloc-trace arming
+  // meters exactly the shard work, not the pool dispatch.
+  runtime::parallel_for(shards_.size(), [&](std::size_t s) {
+    if (hooks.before) hooks.before(s);
+    {
+      const obs::Span span(shard_hist);
+      step_shard(shards_[s], pmcs, readings, out);
+    }
+    if (hooks.after) hooks.after(s);
+  });
+}
+
+void FleetStepper::step_shard(Shard& ss, const math::Matrix& pmcs,
+                              std::span<const std::optional<double>> readings,
+                              std::span<PowerEstimate> out) {
+  static obs::Counter& held_total =
+      obs::Registry::instance().counter("core.fleet.held_rows");
+  const std::size_t lanes = ss.end - ss.begin;
+  const std::size_t f = pmcs.cols();
+  ss.rows.resize(lanes, f);
+
+  // Phase 1 per lane: held-row substitution (the HighRpm::on_tick
+  // degradation mirror) + TRR window prepare.
+  for (std::size_t li = 0; li < lanes; ++li) {
+    const std::size_t i = ss.begin + li;
+    Lane& lane = lanes_[i];
+    const auto dst = ss.rows.row(li);
+    const auto src = pmcs.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+    if (!math::all_finite(dst)) {
+      held_total.add();
+      if (lane.have_last_good && lane.last_good.size() == f) {
+        std::copy(lane.last_good.begin(), lane.last_good.end(), dst.begin());
+      } else {
+        std::fill(dst.begin(), dst.end(), 0.0);
+      }
+    } else {
+      lane.last_good.assign(dst.begin(), dst.end());
+      lane.have_last_good = true;
+    }
+    std::optional<double> reading = readings[i];
+    if (reading && !std::isfinite(*reading)) reading.reset();
+    ss.preps[li] = lane.trr.step_prepare(dst, reading);
+  }
+
+  // Phase 2: predict. Shared-weights fleets with lockstep windows batch
+  // the whole shard through one GEMM per RNN layer; otherwise each lane
+  // predicts with its own model (weights may have diverged, or fills may
+  // differ after a mid-stream reset).
+  const std::size_t window = ss.preps[0].rows;
+  bool lockstep = true;
+  for (std::size_t li = 1; li < lanes; ++li) {
+    if (ss.preps[li].rows != window) {
+      lockstep = false;
+      break;
+    }
+  }
+  if (shared_rnn_ && lockstep && window > 0) {
+    ss.win_batch.resize(lanes * window, f + 1);
+    for (std::size_t li = 0; li < lanes; ++li) {
+      lanes_[ss.begin + li].trr.pack_window_into(ss.win_batch, li * window);
+    }
+    shared_model_.predict_batch_into(ss.win_batch, lanes, ss.rnn_out,
+                                     ss.rnn_ws);
+    for (std::size_t li = 0; li < lanes; ++li) {
+      ss.raw[li] = ss.rnn_out(li, window - 1);
+    }
+  } else {
+    for (std::size_t li = 0; li < lanes; ++li) {
+      ss.raw[li] = lanes_[ss.begin + li].trr.predict_prepared();
+    }
+  }
+
+  // Phase 3 per lane: commit (clamps, stuck-sensor logic, measurement
+  // supersede + fine-tune) and the measured flag.
+  for (std::size_t li = 0; li < lanes; ++li) {
+    const std::size_t i = ss.begin + li;
+    const double node_w =
+        lanes_[i].trr.step_commit(ss.preps[li], ss.raw[li]);
+    ss.node_w[li] = node_w;
+    out[i].node_w = node_w;
+    const std::optional<double>& r = readings[i];
+    out[i].measured = r.has_value() && std::isfinite(*r) &&
+                      math::exact_eq(node_w, *r);
+  }
+
+  // Phase 4: one SRR GEMM per MLP layer for the whole shard.
+  srr_.predict_batch_into(ss.rows, ss.node_w, ss.comp, ss.srr);
+  for (std::size_t li = 0; li < lanes; ++li) {
+    out[ss.begin + li].cpu_w = ss.comp[li].cpu_w;
+    out[ss.begin + li].mem_w = ss.comp[li].mem_w;
+  }
+}
+
+}  // namespace highrpm::core

@@ -74,6 +74,22 @@ ComponentEstimate Srr::predict_one(std::span<const double> pmcs,
   return predict_one(pmcs, p_node, scratch);
 }
 
+void Srr::apply_projection(double p_node, ComponentEstimate& est) const {
+  if (!cfg_.include_pnode || !cfg_.consistency_projection) return;
+  // The component split must add up to the node budget: rescale toward
+  // p_node - P_Other, bounded so a bad node input cannot blow it up.
+  const double budget = p_node - cfg_.p_other_w;
+  const double total = est.cpu_w + est.mem_w;
+  if (budget > 1.0 && total > 1.0) {
+    double scale = std::clamp(budget / total,
+                              1.0 - cfg_.projection_limit,
+                              1.0 + cfg_.projection_limit);
+    scale = 1.0 + cfg_.projection_weight * (scale - 1.0);
+    est.cpu_w *= scale;
+    est.mem_w *= scale;
+  }
+}
+
 ComponentEstimate Srr::predict_one(std::span<const double> pmcs,
                                    double p_node, Scratch& scratch) const {
   // Counter only here: predict_one is sub-microsecond and sits inside
@@ -90,21 +106,37 @@ ComponentEstimate Srr::predict_one(std::span<const double> pmcs,
   row.insert(row.end(), pmcs.begin(), pmcs.end());
   net_.predict_one_into(row, scratch.out, scratch.net);
   ComponentEstimate est{scratch.out[0], scratch.out[1]};
-  if (cfg_.include_pnode && cfg_.consistency_projection) {
-    // The component split must add up to the node budget: rescale toward
-    // p_node - P_Other, bounded so a bad node input cannot blow it up.
-    const double budget = p_node - cfg_.p_other_w;
-    const double total = est.cpu_w + est.mem_w;
-    if (budget > 1.0 && total > 1.0) {
-      double scale = std::clamp(budget / total,
-                                1.0 - cfg_.projection_limit,
-                                1.0 + cfg_.projection_limit);
-      scale = 1.0 + cfg_.projection_weight * (scale - 1.0);
-      est.cpu_w *= scale;
-      est.mem_w *= scale;
-    }
-  }
+  apply_projection(p_node, est);
   return est;
+}
+
+void Srr::predict_batch_into(const math::Matrix& pmcs,
+                             std::span<const double> p_node,
+                             std::span<ComponentEstimate> out,
+                             BatchScratch& scratch) const {
+  static obs::Counter& predictions =
+      obs::Registry::instance().counter("core.srr.predictions");
+  predictions.add(pmcs.rows());
+  if (out.size() != pmcs.rows()) {
+    throw std::invalid_argument("Srr::predict_batch: output length mismatch");
+  }
+  if (cfg_.include_pnode && p_node.size() != pmcs.rows()) {
+    throw std::invalid_argument("Srr: p_node length mismatch");
+  }
+  const std::size_t extra = cfg_.include_pnode ? 1 : 0;
+  scratch.x.resize(pmcs.rows(), pmcs.cols() + extra);
+  for (std::size_t r = 0; r < pmcs.rows(); ++r) {
+    auto dst = scratch.x.row(r);
+    if (cfg_.include_pnode) dst[0] = p_node[r];
+    const auto src = pmcs.row(r);
+    std::copy(src.begin(), src.end(), dst.begin() + extra);
+  }
+  net_.predict_batch_into(scratch.x, scratch.out, scratch.net);
+  for (std::size_t r = 0; r < pmcs.rows(); ++r) {
+    ComponentEstimate est{scratch.out(r, 0), scratch.out(r, 1)};
+    apply_projection(cfg_.include_pnode ? p_node[r] : 0.0, est);
+    out[r] = est;
+  }
 }
 
 std::vector<ComponentEstimate> Srr::predict(
@@ -112,13 +144,11 @@ std::vector<ComponentEstimate> Srr::predict(
   static obs::Histogram& predict_hist =
       obs::Registry::instance().histogram("core.srr.predict_ns");
   const obs::Span span(predict_hist);
-  std::vector<ComponentEstimate> out;
-  out.reserve(pmcs.rows());
-  Scratch scratch;  // shared across rows; per-row results are independent
-  for (std::size_t r = 0; r < pmcs.rows(); ++r) {
-    out.push_back(predict_one(pmcs.row(r),
-                              cfg_.include_pnode ? p_node[r] : 0.0, scratch));
-  }
+  // Route through the batched path so there is exactly one predict
+  // implementation to keep bit-identical with the scalar one.
+  std::vector<ComponentEstimate> out(pmcs.rows());
+  BatchScratch scratch;
+  predict_batch_into(pmcs, p_node, out, scratch);
   return out;
 }
 

@@ -165,6 +165,26 @@ void matmul_nt_into(const Matrix& a, const Matrix& b, Matrix& c) {
   }
 }
 
+void matmul_nt_bias_into(const Matrix& a, const Matrix& b,
+                         std::span<const double> bias, Matrix& c) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_nt_bias_into: inner dimension mismatch");
+  }
+  if (bias.size() != b.rows()) {
+    throw std::invalid_argument("matmul_nt_bias_into: bias size mismatch");
+  }
+  c.resize(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    auto crow = c.row(i);
+    // bias[j] first, dot second: the exact association of the scalar form
+    // `b[j] + dot(w.row(j), x)` this kernel batches.
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      crow[j] = bias[j] + dot(arow, b.row(j));
+    }
+  }
+}
+
 std::vector<double> matvec_t(const Matrix& a, std::span<const double> x) {
   if (x.size() != a.rows()) {
     throw std::invalid_argument("matvec_t: size mismatch");

@@ -237,6 +237,39 @@ void Mlp::predict_one_into(std::span<const double> row,
   }
 }
 
+void Mlp::predict_batch_into(const math::Matrix& x, math::Matrix& out,
+                             BatchScratch& scratch) const {
+  if (!fitted_) throw std::logic_error("Mlp::predict: not fitted");
+  if (x.cols() != in_dim_) {
+    throw std::invalid_argument("Mlp::predict: feature width mismatch");
+  }
+  scratch.xs.resize(x.rows(), in_dim_);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    x_scaler_.transform_row_into(x.row(r), scratch.xs.row(r));
+  }
+  // Same ping-pong structure as predict_one_into, lifted to matrices: each
+  // layer is one bias-folded GEMM over every row at once.
+  const math::Matrix* cur = &scratch.xs;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    math::Matrix& next = (l % 2 == 0) ? scratch.a : scratch.b;
+    math::matmul_nt_bias_into(*cur, layer.w, layer.b, next);
+    const bool is_output = l + 1 == layers_.size();
+    if (!is_output) {
+      for (double& v : next.flat()) v = activate(v);
+    }
+    cur = &next;
+  }
+  out.resize(x.rows(), out_dim_);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto crow = cur->row(r);
+    auto orow = out.row(r);
+    for (std::size_t o = 0; o < out_dim_; ++o) {
+      orow[o] = y_scalers_[o].inverse_one(crow[o]);
+    }
+  }
+}
+
 math::Matrix Mlp::predict(const math::Matrix& x) const {
   if (!fitted_) throw std::logic_error("Mlp::predict: not fitted");
   if (x.cols() != in_dim_) {

@@ -131,6 +131,50 @@ void SequenceRegressor::cell_step_into(const CellParams& p,
   }
 }
 
+void SequenceRegressor::cell_step_preproj_into(
+    const CellParams& p, std::span<const double> zx, std::span<const double> zu,
+    std::span<double> h_inout, std::span<double> c_inout,
+    Workspace::StepScratch& scratch) const {
+  const std::size_t H = cfg_.units;
+  const std::size_t g = gate_count();
+  const bool have_zu = !zu.empty();
+  auto& z = scratch.z;
+  auto& gates = scratch.gates;
+  if (cfg_.cell == CellType::kLstm) {
+    // zx already holds `b + w·x`; adding the recurrent term second keeps
+    // cell_step_into's `(b + w·x) + u·h` association. zu(i) = h·u.row(i)
+    // is the commuted dot — bit-equal to u.row(i)·h.
+    for (std::size_t j = 0; j < g; ++j) {
+      z[j] = zx[j] + (have_zu ? zu[j] : math::dot(p.u.row(j), h_inout));
+    }
+    for (std::size_t j = 0; j < H; ++j) gates[j] = sigmoid(z[j]);            // i
+    for (std::size_t j = H; j < 2 * H; ++j) gates[j] = sigmoid(z[j]);        // f
+    for (std::size_t j = 2 * H; j < 3 * H; ++j) gates[j] = std::tanh(z[j]);  // g
+    for (std::size_t j = 3 * H; j < 4 * H; ++j) gates[j] = sigmoid(z[j]);    // o
+    for (std::size_t j = 0; j < H; ++j) {
+      c_inout[j] = gates[H + j] * c_inout[j] + gates[j] * gates[2 * H + j];
+      h_inout[j] = gates[3 * H + j] * std::tanh(c_inout[j]);
+    }
+    return;
+  }
+  // GRU: z (update), r (reset), n (candidate). The candidate's recurrent
+  // term reads the reset-gated state, so it always runs per-gate dots.
+  for (std::size_t j = 0; j < 2 * H; ++j) {
+    z[j] = zx[j] + (have_zu ? zu[j] : math::dot(p.u.row(j), h_inout));
+  }
+  for (std::size_t j = 0; j < H; ++j) gates[j] = sigmoid(z[j]);      // z
+  for (std::size_t j = H; j < 2 * H; ++j) gates[j] = sigmoid(z[j]);  // r
+  auto& rh = scratch.rh;
+  for (std::size_t j = 0; j < H; ++j) rh[j] = gates[H + j] * h_inout[j];
+  for (std::size_t j = 2 * H; j < 3 * H; ++j) {
+    gates[j] = std::tanh(zx[j] + math::dot(p.u.row(j), rh));
+  }
+  // h_prev[j] is read in the same expression that overwrites h[j].
+  for (std::size_t j = 0; j < H; ++j) {
+    h_inout[j] = (1.0 - gates[j]) * gates[2 * H + j] + gates[j] * h_inout[j];
+  }
+}
+
 std::vector<double> SequenceRegressor::forward(
     const math::Matrix& steps_scaled,
     std::vector<std::vector<StepCache>>* caches) const {
@@ -424,16 +468,87 @@ void SequenceRegressor::predict_into(const math::Matrix& steps,
   }
   const std::size_t T = steps.rows();
   prepare(ws);
+  ws.xs.resize(T, in_dim_);
+  for (std::size_t t = 0; t < T; ++t) {
+    x_scaler_.transform_row_into(steps.row(t), ws.xs.row(t));
+  }
+  // Layer-outer, time-inner: each layer's input projection over the whole
+  // window is one bias-folded GEMM; only the recurrent term runs
+  // sequentially in t. Per-cell arithmetic keeps cell_step_into's operand
+  // order, so outputs match the time-outer formulation bit for bit.
+  const math::Matrix* xin = &ws.xs;
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    const CellParams& p = cells_[l];
+    math::matmul_nt_bias_into(*xin, p.w, p.b, ws.zx);
+    math::Matrix& hout = (l % 2 == 0) ? ws.hseq_a : ws.hseq_b;
+    hout.resize(T, cfg_.units);
+    const auto h = ws.h.row(l);
+    const auto c = ws.c.row(l);
+    for (std::size_t t = 0; t < T; ++t) {
+      cell_step_preproj_into(p, ws.zx.row(t), {}, h, c, ws.layers[l]);
+      std::copy(h.begin(), h.end(), hout.row(t).begin());
+    }
+    xin = &hout;
+  }
   out.resize(T);
   for (std::size_t t = 0; t < T; ++t) {
-    x_scaler_.transform_row_into(steps.row(t), ws.x);
-    std::span<const double> x = ws.x;
-    for (std::size_t l = 0; l < cfg_.layers; ++l) {
-      cell_step_into(cells_[l], x, ws.h.row(l), ws.c.row(l), ws.layers[l]);
-      x = ws.h.row(l);
+    out[t] = y_scaler_.inverse_one(head_.b + math::dot(head_.w, xin->row(t)));
+  }
+}
+
+void SequenceRegressor::predict_batch_into(const math::Matrix& windows,
+                                           std::size_t lanes, math::Matrix& out,
+                                           BatchWorkspace& ws) const {
+  if (!fitted_) throw std::logic_error("SequenceRegressor: not fitted");
+  if (windows.cols() != in_dim_) {
+    throw std::invalid_argument("SequenceRegressor::predict: width mismatch");
+  }
+  if (lanes == 0 || windows.rows() % lanes != 0) {
+    throw std::invalid_argument(
+        "SequenceRegressor::predict_batch: rows must be lanes * T");
+  }
+  const std::size_t T = windows.rows() / lanes;
+  const std::size_t H = cfg_.units;
+  const std::size_t g = gate_count();
+  ws.scratch.z.resize(g);
+  ws.scratch.gates.resize(g);
+  ws.scratch.rh.resize(H);
+  ws.xs.resize(windows.rows(), in_dim_);
+  for (std::size_t r = 0; r < windows.rows(); ++r) {
+    x_scaler_.transform_row_into(windows.row(r), ws.xs.row(r));
+  }
+  // Same layer-outer structure as predict_into, with the lane dimension
+  // folded in: one input-projection GEMM per layer over all lanes*T rows,
+  // one recurrent GEMM per (layer, step) over all lanes.
+  const math::Matrix* xin = &ws.xs;
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    const CellParams& p = cells_[l];
+    math::matmul_nt_bias_into(*xin, p.w, p.b, ws.zx);
+    math::Matrix& hout = (l % 2 == 0) ? ws.hseq_a : ws.hseq_b;
+    hout.resize(windows.rows(), H);
+    ws.h.resize(lanes, H);
+    ws.c.resize(lanes, H);
+    std::fill(ws.h.flat().begin(), ws.h.flat().end(), 0.0);
+    std::fill(ws.c.flat().begin(), ws.c.flat().end(), 0.0);
+    for (std::size_t t = 0; t < T; ++t) {
+      math::matmul_nt_into(ws.h, p.u, ws.zu);
+      for (std::size_t i = 0; i < lanes; ++i) {
+        const std::size_t row = i * T + t;
+        cell_step_preproj_into(p, ws.zx.row(row), ws.zu.row(i), ws.h.row(i),
+                               ws.c.row(i), ws.scratch);
+        const auto h = ws.h.row(i);
+        std::copy(h.begin(), h.end(), hout.row(row).begin());
+      }
     }
-    out[t] = y_scaler_.inverse_one(head_.b +
-                                   math::dot(head_.w, ws.h.row(cfg_.layers - 1)));
+    xin = &hout;
+  }
+  out.resize(lanes, T);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    auto orow = out.row(i);
+    for (std::size_t t = 0; t < T; ++t) {
+      orow[t] = y_scaler_.inverse_one(head_.b +
+                                      math::dot(head_.w, xin->row(i * T + t)));
+    }
   }
 }
 

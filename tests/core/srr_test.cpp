@@ -197,5 +197,42 @@ TEST(Srr, ConfigExposesAblationSwitch) {
   EXPECT_FALSE(Srr(fast_config(false)).config().include_pnode);
 }
 
+TEST(Srr, PredictBatchMatchesPredictOneBitForBit) {
+  // Both ablations: with P_NODE (consistency projection active) and
+  // without (raw MLP split) must batch identically.
+  for (const bool include_pnode : {true, false}) {
+    const auto trained = train_mixed(include_pnode, 77);
+    const auto& features = trained.test.dataset.features();
+    const auto& p_node = trained.test.dataset.target("P_NODE");
+    const std::size_t n = 60;
+    math::Matrix x(n, features.cols());
+    for (std::size_t r = 0; r < n; ++r) {
+      std::copy(features.row(r).begin(), features.row(r).end(),
+                x.row(r).begin());
+    }
+    Srr::BatchScratch scratch;
+    std::vector<ComponentEstimate> batch(n);
+    trained.srr.predict_batch_into(
+        x, std::span<const double>(p_node).subspan(0, n), batch, scratch);
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto one = trained.srr.predict_one(features.row(r), p_node[r]);
+      // Exact equality: the batch path is the scalar path re-expressed.
+      ASSERT_EQ(batch[r].cpu_w, one.cpu_w) << "row " << r;
+      ASSERT_EQ(batch[r].mem_w, one.mem_w) << "row " << r;
+    }
+  }
+}
+
+TEST(Srr, PredictBatchValidatesSizes) {
+  const auto trained = train_mixed(true, 78);
+  const std::size_t f = trained.test.dataset.features().cols();
+  const math::Matrix x(4, f, 0.5);
+  const std::vector<double> p_node(4, 100.0);
+  Srr::BatchScratch scratch;
+  std::vector<ComponentEstimate> wrong(3);
+  EXPECT_THROW(trained.srr.predict_batch_into(x, p_node, wrong, scratch),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace highrpm::core

@@ -18,6 +18,16 @@ void cell_step(std::vector<double>& h) {
   h = std::vector<double>(h.size());  // temporary
 }
 
+void step_tick(std::vector<double>& out) {
+  std::vector<double> staged(out.size());  // fleet-stepper entry point
+  out = staged;
+}
+
+double predict_batch(const std::vector<double>& in) {
+  std::vector<double> lanes(in.size());  // batched predict entry point
+  return lanes.empty() ? 0.0 : lanes.front();
+}
+
 double untracked_helper(double x) {
   std::vector<double> fine{x};  // not a tracked name: must stay clean
   return fine.back();

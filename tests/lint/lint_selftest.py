@@ -83,12 +83,13 @@ class BadFixtureTree(unittest.TestCase):
         self.assert_finding("src/ml/alloc_in_step.cpp", "alloc-in-step")
 
     def test_alloc_in_step_catches_every_construction_form(self):
-        # local-with-parens, local-with-braces, temporary — and nothing in
-        # the untracked helper function.
+        # local-with-parens, local-with-braces, temporary, plus the step_*
+        # and *_batch fleet-stepper entry points — and nothing in the
+        # untracked helper function.
         hits = [ln for ln in self.out.splitlines()
                 if ln.startswith("src/ml/alloc_in_step.cpp:")
                 and "[alloc-in-step]" in ln]
-        self.assertEqual(len(hits), 3, self.out)
+        self.assertEqual(len(hits), 5, self.out)
 
     def test_pragma_once_fires(self):
         self.assert_finding("include/highrpm/no_pragma.hpp", "pragma-once")

@@ -201,5 +201,35 @@ INSTANTIATE_TEST_SUITE_P(Activations, MlpActivationProperty,
                          ::testing::Values(Activation::kReLU, Activation::kTanh,
                                            Activation::kSigmoid));
 
+TEST(Mlp, PredictBatchMatchesPredictOneBitForBit) {
+  math::Rng rng(9);
+  const std::size_t n = 150;
+  math::Matrix x(n, 3);
+  math::Matrix y(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) x(i, c) = rng.uniform(-1, 1);
+    y(i, 0) = 2.0 * x(i, 0) - x(i, 1);
+    y(i, 1) = x(i, 1) + 0.5 * x(i, 2);
+  }
+  MlpConfig cfg;
+  cfg.hidden = {10, 6};  // two hidden layers exercise the ping-pong buffers
+  cfg.epochs = 40;
+  Mlp net(cfg);
+  net.fit(x, y);
+
+  Mlp::BatchScratch scratch;
+  math::Matrix batch_out;
+  net.predict_batch_into(x, batch_out, scratch);
+  ASSERT_EQ(batch_out.rows(), n);
+  ASSERT_EQ(batch_out.cols(), 2u);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto one = net.predict_one(x.row(i));
+    // Exact equality: the batched GEMM evaluates the scalar path's
+    // expressions in the scalar path's operand order.
+    ASSERT_EQ(batch_out(i, 0), one[0]) << "row " << i;
+    ASSERT_EQ(batch_out(i, 1), one[1]) << "row " << i;
+  }
+}
+
 }  // namespace
 }  // namespace highrpm::ml

@@ -15,9 +15,14 @@
 #include <vector>
 
 #include "highrpm/core/dynamic_trr.hpp"
+#include "highrpm/core/fleet.hpp"
+#include "highrpm/core/highrpm.hpp"
 #include "highrpm/core/srr.hpp"
 #include "highrpm/math/matrix.hpp"
 #include "highrpm/math/rng.hpp"
+#include "highrpm/runtime/thread_pool.hpp"
+#include "highrpm/sim/platform.hpp"
+#include "highrpm/workloads/suites.hpp"
 
 namespace highrpm::core {
 namespace {
@@ -129,6 +134,66 @@ TEST(AllocRegression, SrrPredictOneIsAllocationFree) {
   }
   EXPECT_EQ(at::count() - before, 0u)
       << "Srr::predict_one allocated with a warm scratch";
+}
+
+TEST(AllocRegression, FleetSteadyStateTickIsAllocationFree) {
+  // The batched fleet path inherits the steady-state contract: once every
+  // shard's scratch is warm, a predict-only step_tick performs zero heap
+  // allocations. Run at 1 thread so parallel_for takes its serial fallback
+  // (no task-object allocation) and the whole tick is metered on this
+  // thread; the per-shard hook arming used by the bench covers the
+  // multi-thread case.
+  runtime::set_thread_count(1);
+  measure::Collector collector;
+  std::vector<measure::CollectedRun> training;
+  training.push_back(collector.collect(sim::PlatformConfig::arm(),
+                                       workloads::fft(), 120, 7));
+  HighRpmConfig cfg;
+  cfg.dynamic_trr.rnn.epochs = 4;
+  cfg.dynamic_trr.online_finetune = false;  // shared-weights fast path
+  cfg.srr.epochs = 10;
+  HighRpm golden(cfg);
+  golden.initial_learning(training);
+
+  const std::size_t nodes = 6;
+  FleetConfig fcfg;
+  fcfg.shard_lanes = 4;  // two shards: one full, one ragged
+  FleetStepper fleet(golden, nodes, fcfg);
+
+  const auto stream = collector.collect(sim::PlatformConfig::arm(),
+                                        workloads::stream(), 80, 8);
+  const auto& features = stream.dataset.features();
+  const auto& labels = stream.dataset.target("P_NODE");
+  math::Matrix pmcs(nodes, features.cols());
+  std::vector<std::optional<double>> readings(nodes);
+  std::vector<PowerEstimate> out(nodes);
+  const std::size_t warmup = 2 * golden.config().miss_interval + 1;
+  const auto play_tick = [&](std::size_t t, bool with_reading) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const auto src = features.row((t + i) % features.rows());
+      auto dst = pmcs.row(i);
+      std::copy(src.begin(), src.end(), dst.begin());
+      readings[i] = with_reading ? std::optional<double>(labels[t])
+                                 : std::nullopt;
+    }
+    fleet.step_tick(pmcs, readings, out);
+  };
+  for (std::size_t t = 0; t < warmup; ++t) play_tick(t, t == 0);
+
+  const auto before = at::count();
+  std::size_t metered = 0;
+  for (std::size_t t = warmup; t < 60; ++t) {
+    const at::Armed armed;
+    play_tick(t, false);
+    ++metered;
+  }
+  ASSERT_GT(metered, 0u);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    ASSERT_TRUE(std::isfinite(out[i].node_w));
+  }
+  EXPECT_EQ(at::count() - before, 0u)
+      << "FleetStepper::step_tick allocated on a steady-state tick";
+  runtime::set_thread_count(0);
 }
 
 }  // namespace

@@ -1,6 +1,10 @@
-# Golden check for fleet-sharding determinism: node 0's per-tick CSV must be
-# byte-identical whether it runs alone (N=1) or sharded across the pool with
-# 63 neighbours (N=64). Invoked by ctest (label perf-smoke) as
+# Golden check for the batched fleet stepper's determinism contract: node
+# 0's per-tick CSV must be byte-identical across
+#   fleet_node0_serial.csv  the serial HighRpm facade (one on_tick at a time)
+#   fleet_node0_N1.csv      FleetStepper, batch of 1, 1 thread
+#   fleet_node0_N64.csv     FleetStepper, 64 lanes sharded across the pool
+# i.e. identical whatever the batch size, shard grouping, or thread count.
+# Invoked by ctest (label perf-smoke) as
 #   cmake -DBENCH=<bench_fleet_scaling> -DWORKDIR=<dir> -P fleet_csv_identity.cmake
 if(NOT BENCH OR NOT WORKDIR)
   message(FATAL_ERROR "fleet_csv_identity: BENCH and WORKDIR must be set")
@@ -15,20 +19,24 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "bench_fleet_scaling --quick failed (rc=${rc})")
 endif()
 
+set(serial "${WORKDIR}/bench_out/fleet_node0_serial.csv")
 set(csv1 "${WORKDIR}/bench_out/fleet_node0_N1.csv")
 set(csv64 "${WORKDIR}/bench_out/fleet_node0_N64.csv")
-foreach(f IN LISTS csv1 csv64)
+foreach(f IN LISTS serial csv1 csv64)
   if(NOT EXISTS "${f}")
     message(FATAL_ERROR "missing expected CSV: ${f}")
   endif()
 endforeach()
 
-execute_process(
-  COMMAND ${CMAKE_COMMAND} -E compare_files "${csv1}" "${csv64}"
-  RESULT_VARIABLE cmp)
-if(NOT cmp EQUAL 0)
-  message(FATAL_ERROR
-      "node-0 trace diverges between N=1 and N=64: fleet sharding is not "
-      "deterministic (${csv1} vs ${csv64})")
-endif()
-message(STATUS "fleet node-0 CSVs byte-identical for N=1 and N=64")
+foreach(other IN LISTS csv1 csv64)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${serial}" "${other}"
+    RESULT_VARIABLE cmp)
+  if(NOT cmp EQUAL 0)
+    message(FATAL_ERROR
+        "node-0 trace diverges from the serial per-node path: the batched "
+        "fleet stepper is not deterministic (${serial} vs ${other})")
+  endif()
+endforeach()
+message(STATUS
+    "fleet node-0 CSVs byte-identical: serial facade == N=1 == N=64")

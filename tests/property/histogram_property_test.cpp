@@ -1,8 +1,10 @@
 // Property-based tests for obs::Histogram (ctest -L property): for any
 // seeded random sample set, quantiles are monotone in the quantile argument
-// and clamped into [min, max]. The histogram is log2-bucketed, so quantile
-// values are bucket upper bounds — ordering and bounds are the invariants,
-// not exact ranks.
+// and clamped into [min, max]. The histogram is log2-bucketed with linear
+// interpolation inside the landing bucket, so quantiles track rank position
+// instead of quantizing to bucket upper bounds (2^k - 1) — ordering,
+// bounds, and within-bucket resolution are the invariants, not exact
+// ranks.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -38,6 +40,48 @@ TEST(HistogramProperty, QuantilesMonotoneInQ) {
       EXPECT_GE(v, h.min()) << "seed " << seed << " q " << q;
       EXPECT_LE(v, h.max()) << "seed " << seed << " q " << q;
       prev = v;
+    }
+  }
+}
+
+TEST(HistogramProperty, QuantilesInterpolateWithinABucket) {
+  // All mass in one power-of-two bucket: the pre-interpolation walk
+  // reported the bucket upper bound (4095) for every q, collapsing p50 and
+  // p99. With within-bucket interpolation, quantiles must spread across
+  // the bucket by rank and stay ordered.
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    math::Rng rng(seed);
+    Histogram h;
+    const std::size_t n =
+        64 + static_cast<std::size_t>(rng.uniform(0.0, 400.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      // Bucket 12 spans [2048, 4095].
+      h.record(static_cast<std::uint64_t>(rng.uniform(2048.0, 4096.0)));
+    }
+    const std::uint64_t p10 = h.quantile(0.10);
+    const std::uint64_t p50 = h.quantile(0.50);
+    const std::uint64_t p99 = h.quantile(0.99);
+    EXPECT_LT(p10, p50) << "seed " << seed;
+    EXPECT_LT(p50, p99) << "seed " << seed;
+    // p50 must land mid-bucket, not pin to the 4095 upper bound. The exact
+    // value depends only on rank position, so half the bucket width is a
+    // safe band.
+    EXPECT_GT(p50, 2048u) << "seed " << seed;
+    EXPECT_LT(p50, 4095u) << "seed " << seed;
+    EXPECT_GE(p10, h.min()) << "seed " << seed;
+    EXPECT_LE(p99, h.max()) << "seed " << seed;
+  }
+}
+
+TEST(HistogramProperty, SingleValueHistogramReportsThatValueEverywhere) {
+  // Degenerate distribution: every quantile of {v, v, ..., v} is v (the
+  // min/max clamp pins the interpolated value).
+  for (const std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1},
+                                std::uint64_t{4095}, std::uint64_t{70000}}) {
+    Histogram h;
+    for (int i = 0; i < 50; ++i) h.record(v);
+    for (double q = 0.0; q <= 1.0; q += 0.25) {
+      EXPECT_EQ(h.quantile(q), v) << "value " << v << " q " << q;
     }
   }
 }

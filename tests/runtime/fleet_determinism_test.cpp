@@ -1,0 +1,247 @@
+// FleetStepper's determinism contract: every lane of a batched fleet tick
+// is byte-identical to the serial per-node path (a HighRpm clone stepped
+// alone through on_tick), at every fleet size, shard size, and thread
+// count, with the RNN fast path (shared weights, one GEMM per layer) and
+// the per-lane fallback (online fine-tuning) alike. These tests join the
+// seed x threads identity suite: exact floating-point equality, no
+// tolerances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "highrpm/core/fleet.hpp"
+#include "highrpm/core/highrpm.hpp"
+#include "highrpm/math/matrix.hpp"
+#include "highrpm/runtime/thread_pool.hpp"
+#include "highrpm/sim/platform.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+namespace highrpm::core {
+namespace {
+
+constexpr std::size_t kStreamTicks = 64;
+constexpr std::uint64_t kSeed = 2023;
+
+HighRpmConfig fleet_config(bool online_finetune) {
+  HighRpmConfig cfg;
+  cfg.dynamic_trr.rnn.epochs = 8;
+  cfg.dynamic_trr.online_finetune = online_finetune;
+  cfg.srr.epochs = 20;
+  return cfg;
+}
+
+HighRpm train_golden(bool online_finetune) {
+  measure::Collector collector;
+  std::vector<measure::CollectedRun> runs;
+  runs.push_back(collector.collect(sim::PlatformConfig::arm(),
+                                   workloads::fft(), 160, kSeed));
+  runs.push_back(collector.collect(sim::PlatformConfig::arm(),
+                                   workloads::stream(), 160, kSeed + 1));
+  HighRpm golden(fleet_config(online_finetune));
+  golden.initial_learning(runs);
+  return golden;
+}
+
+/// Per-node deployment streams, fixed once per suite. Node i's trace
+/// depends only on i (same derivation as the fleet bench), so the serial
+/// reference and every fleet shape replay identical inputs.
+std::vector<measure::CollectedRun> collect_streams(std::size_t nodes) {
+  measure::Collector collector;
+  std::vector<measure::CollectedRun> runs;
+  runs.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto workload = (i % 2 == 0) ? workloads::hpcg() : workloads::fft();
+    runs.push_back(collector.collect(sim::PlatformConfig::arm(), workload,
+                                     kStreamTicks, kSeed + 1000 + i));
+  }
+  return runs;
+}
+
+/// One tick's inputs for node i, with fault injection on node 1: a NaN PMC
+/// cell at tick 17 (held-row substitution) and a NaN reading at tick 30
+/// (treated as missed) exercise the degradation mirror in both paths.
+struct TickInput {
+  std::vector<double> pmcs;
+  std::optional<double> reading;
+};
+
+TickInput tick_input(const measure::CollectedRun& run, std::size_t node,
+                     std::size_t t) {
+  TickInput in;
+  const auto row = run.dataset.features().row(t);
+  in.pmcs.assign(row.begin(), row.end());
+  if (run.measured[t]) in.reading = run.dataset.target("P_NODE")[t];
+  if (node == 1 && t == 17) {
+    in.pmcs[0] = std::numeric_limits<double>::quiet_NaN();
+  }
+  if (node == 1 && t == 30) {
+    in.reading = std::numeric_limits<double>::quiet_NaN();
+  }
+  return in;
+}
+
+/// Serial reference: each node is a HighRpm clone stepped alone.
+std::vector<std::vector<PowerEstimate>> serial_reference(
+    const HighRpm& golden, const std::vector<measure::CollectedRun>& runs) {
+  std::vector<std::vector<PowerEstimate>> out(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    HighRpm node = golden;
+    node.reset_stream();
+    out[i].reserve(kStreamTicks);
+    for (std::size_t t = 0; t < kStreamTicks; ++t) {
+      const TickInput in = tick_input(runs[i], i, t);
+      out[i].push_back(node.on_tick(in.pmcs, in.reading));
+    }
+  }
+  return out;
+}
+
+class FleetDeterminismTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+ protected:
+  static void SetUpTestSuite() {
+    shared_golden_ = new HighRpm(train_golden(/*online_finetune=*/false));
+    finetune_golden_ = new HighRpm(train_golden(/*online_finetune=*/true));
+  }
+  static void TearDownTestSuite() {
+    delete shared_golden_;
+    delete finetune_golden_;
+    shared_golden_ = nullptr;
+    finetune_golden_ = nullptr;
+  }
+  void TearDown() override { runtime::set_thread_count(0); }
+
+  std::size_t threads() const { return std::get<0>(GetParam()); }
+  std::size_t shard_lanes() const { return std::get<1>(GetParam()); }
+
+  /// Step a FleetStepper over the streams and assert byte identity with
+  /// the serial reference for every lane at every tick.
+  void expect_fleet_matches_serial(const HighRpm& golden,
+                                   std::size_t nodes) {
+    const auto runs = collect_streams(nodes);
+    // Serial reference at 1 thread; the fleet at the swept thread count.
+    runtime::set_thread_count(1);
+    const auto reference = serial_reference(golden, runs);
+    runtime::set_thread_count(threads());
+
+    FleetConfig cfg;
+    cfg.shard_lanes = shard_lanes();
+    FleetStepper fleet(golden, nodes, cfg);
+    ASSERT_EQ(fleet.nodes(), nodes);
+    ASSERT_EQ(fleet.shard_count(),
+              (nodes + shard_lanes() - 1) / shard_lanes());
+    ASSERT_EQ(fleet.shared_rnn(),
+              !golden.config().dynamic_trr.online_finetune);
+
+    math::Matrix pmcs(nodes, runs[0].dataset.features().cols());
+    std::vector<std::optional<double>> readings(nodes);
+    std::vector<PowerEstimate> out(nodes);
+    for (std::size_t t = 0; t < kStreamTicks; ++t) {
+      for (std::size_t i = 0; i < nodes; ++i) {
+        const TickInput in = tick_input(runs[i], i, t);
+        auto dst = pmcs.row(i);
+        std::copy(in.pmcs.begin(), in.pmcs.end(), dst.begin());
+        readings[i] = in.reading;
+      }
+      fleet.step_tick(pmcs, readings, out);
+      for (std::size_t i = 0; i < nodes; ++i) {
+        // Exact equality on purpose: the contract is byte identity, not
+        // tolerance-level agreement.
+        ASSERT_EQ(out[i].node_w, reference[i][t].node_w)
+            << "node " << i << " tick " << t << " node_w diverged at "
+            << threads() << " threads, shard_lanes " << shard_lanes();
+        ASSERT_EQ(out[i].cpu_w, reference[i][t].cpu_w)
+            << "node " << i << " tick " << t;
+        ASSERT_EQ(out[i].mem_w, reference[i][t].mem_w)
+            << "node " << i << " tick " << t;
+        ASSERT_EQ(out[i].measured, reference[i][t].measured)
+            << "node " << i << " tick " << t;
+      }
+    }
+  }
+
+  static HighRpm* shared_golden_;
+  static HighRpm* finetune_golden_;
+};
+
+HighRpm* FleetDeterminismTest::shared_golden_ = nullptr;
+HighRpm* FleetDeterminismTest::finetune_golden_ = nullptr;
+
+TEST_P(FleetDeterminismTest, SharedRnnFleetMatchesSerialBitForBit) {
+  // Shared weights: the one-GEMM-per-layer cross-node fast path.
+  EXPECT_THROW(FleetStepper(*shared_golden_, 0), std::invalid_argument);
+  for (const std::size_t nodes : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{5}}) {
+    expect_fleet_matches_serial(*shared_golden_, nodes);
+  }
+}
+
+TEST_P(FleetDeterminismTest, FinetuneFleetMatchesSerialBitForBit) {
+  // Online fine-tuning on: weights diverge per lane, so the fleet falls
+  // back to per-lane prediction — identity must still hold.
+  for (const std::size_t nodes : {std::size_t{1}, std::size_t{4}}) {
+    expect_fleet_matches_serial(*finetune_golden_, nodes);
+  }
+}
+
+TEST_P(FleetDeterminismTest, ResetStreamsReplaysIdentically) {
+  const std::size_t nodes = 3;
+  const auto runs = collect_streams(nodes);
+  runtime::set_thread_count(threads());
+  FleetConfig cfg;
+  cfg.shard_lanes = shard_lanes();
+  FleetStepper fleet(*shared_golden_, nodes, cfg);
+
+  math::Matrix pmcs(nodes, runs[0].dataset.features().cols());
+  std::vector<std::optional<double>> readings(nodes);
+  std::vector<PowerEstimate> out(nodes);
+  const auto play = [&] {
+    std::vector<std::vector<PowerEstimate>> all(nodes);
+    for (std::size_t t = 0; t < kStreamTicks; ++t) {
+      for (std::size_t i = 0; i < nodes; ++i) {
+        const TickInput in = tick_input(runs[i], i, t);
+        auto dst = pmcs.row(i);
+        std::copy(in.pmcs.begin(), in.pmcs.end(), dst.begin());
+        readings[i] = in.reading;
+      }
+      fleet.step_tick(pmcs, readings, out);
+      for (std::size_t i = 0; i < nodes; ++i) all[i].push_back(out[i]);
+    }
+    return all;
+  };
+  const auto first = play();
+  fleet.reset_streams();
+  const auto second = play();
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (std::size_t t = 0; t < kStreamTicks; ++t) {
+      ASSERT_EQ(first[i][t].node_w, second[i][t].node_w)
+          << "node " << i << " tick " << t;
+      ASSERT_EQ(first[i][t].cpu_w, second[i][t].cpu_w);
+      ASSERT_EQ(first[i][t].mem_w, second[i][t].mem_w);
+      ASSERT_EQ(first[i][t].measured, second[i][t].measured);
+    }
+  }
+}
+
+TEST(FleetStepper, RejectsUntrainedGoldenAndZeroNodes) {
+  HighRpm untrained(fleet_config(false));
+  EXPECT_THROW(FleetStepper(untrained, 4), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsByShardLanes, FleetDeterminismTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 8),
+                       ::testing::Values<std::size_t>(2, 64)),
+    [](const auto& param_info) {
+      return "threads" + std::to_string(std::get<0>(param_info.param)) +
+             "_lanes" + std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace highrpm::core

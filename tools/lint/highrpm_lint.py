@@ -40,7 +40,9 @@ hygiene:
                         runtime::parallel_for so the determinism guarantee
                         (bit-identical results for any thread count) holds.
   alloc-in-step         Steady-state hot-path functions in library code —
-                        those named step, cell_step, or *_into — must not
+                        those named step, step_*, cell_step, *_into, or
+                        *_batch (the per-node tick path and the batched
+                        fleet-stepper entry points alike) — must not
                         construct a std::vector: the zero-allocation tick
                         contract (tests/perf/, ctest -L perf-smoke) requires
                         caller-owned scratch buffers there. References,
@@ -161,7 +163,8 @@ FLOAT_CMP = re.compile(
 # only definition-position names are considered; the `;`-before-`{` check in
 # lint_file then discards declarations and expression statements.
 ALLOC_FUNC_NAME = re.compile(
-    r"(?<![\w.>(])(?:\w+::)*(?:step|cell_step|\w*_into)\s*\(")
+    r"(?<![\w.>(])(?:\w+::)*(?:cell_step|step_\w+|step|\w*_into|\w*_batch)"
+    r"\s*\(")
 
 
 def vector_constructions(code: str) -> list[int]:
@@ -217,7 +220,8 @@ RULES = {
     "sensor-isfinite": "sensor ingestion file missing a std::isfinite guard",
     "thread-outside-runtime": "thread creation outside runtime/",
     "alloc-in-step": "std::vector construction inside a steady-state "
-                     "function (step / cell_step / *_into) in library code",
+                     "function (step / step_* / cell_step / *_into / "
+                     "*_batch) in library code",
     "pragma-once": "header missing #pragma once",
 }
 
@@ -310,8 +314,9 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
     alloc_pending = False
     alloc_body_depth: int | None = None
     alloc_msg = ("std::vector constructed inside a steady-state function "
-                 "(step / cell_step / *_into) — use caller-owned scratch "
-                 "buffers so the zero-allocation tick contract holds")
+                 "(step / step_* / cell_step / *_into / *_batch) — use "
+                 "caller-owned scratch buffers so the zero-allocation tick "
+                 "contract holds")
 
     for lineno, raw in enumerate(lines, start=1):
         for m in ALLOW_MARKER.finditer(raw):
