@@ -29,6 +29,7 @@
 //   bench_out/fleet_node0_N64.csv     FleetStepper, N=64, max swept threads
 // — and a ctest golden check asserts all three are byte-identical: the
 // batched stepper's determinism contract, checked end to end.
+#include <charconv>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -36,6 +37,7 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "alloc_trace.hpp"
@@ -67,11 +69,24 @@ struct FleetOptions {
   std::size_t threads_pin = 0;
 };
 
+void print_usage(std::FILE* to, const char* prog) {
+  std::fprintf(to,
+               "usage: %s [--quick|--full] [--threads N] [--help]\n"
+               "  --quick      small sweep (short traces, few epochs)\n"
+               "  --full       full sweep (default)\n"
+               "  --threads N  pin the runtime pool to N threads;\n"
+               "               1 <= N <= hardware concurrency\n",
+               prog);
+}
+
 FleetOptions parse_args(int argc, char** argv) {
   FleetOptions opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--quick") {
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      std::exit(0);
+    } else if (arg == "--quick") {
       opt.quick = true;
       opt.train_ticks = 160;
       opt.stream_ticks = 240;
@@ -82,10 +97,32 @@ FleetOptions parse_args(int argc, char** argv) {
       opt = FleetOptions{};
       opt.threads_pin = pin;
     } else if (arg == "--threads" && i + 1 < argc) {
-      opt.threads_pin = static_cast<std::size_t>(std::stoul(argv[++i]));
+      // Strict full-token parse, then range-check: 0 and values above the
+      // hardware concurrency used to be accepted silently (0 quietly meant
+      // "sweep", huge values oversubscribed the pool).
+      const std::string value = argv[++i];
+      unsigned long long parsed = 0;
+      const auto* last = value.data() + value.size();
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), last, parsed);
+      if (ec != std::errc{} || ptr != last || parsed == 0) {
+        std::fprintf(stderr, "bench_fleet_scaling: --threads needs a "
+                             "positive integer, got '%s'\n", value.c_str());
+        print_usage(stderr, argv[0]);
+        std::exit(2);
+      }
+      const std::size_t hw = std::thread::hardware_concurrency();
+      if (hw > 0 && parsed > hw) {
+        std::fprintf(stderr, "bench_fleet_scaling: --threads %llu exceeds "
+                             "the hardware concurrency (%zu)\n", parsed, hw);
+        print_usage(stderr, argv[0]);
+        std::exit(2);
+      }
+      opt.threads_pin = static_cast<std::size_t>(parsed);
     } else {
-      std::fprintf(stderr, "usage: %s [--quick|--full] [--threads N]\n",
-                   argv[0]);
+      std::fprintf(stderr, "bench_fleet_scaling: unknown argument '%s'\n",
+                   arg.c_str());
+      print_usage(stderr, argv[0]);
       std::exit(2);
     }
   }

@@ -1,0 +1,453 @@
+// Resident-daemon throughput and degradation bench (highrpm::serve).
+//
+// Models the control node as a long-lived service: seeded producer threads
+// emit per-node tick streams into the daemon's bounded SPSC rings, a
+// sharded consumer pool drains them through FleetStepper::step_cohort, and
+// the main thread plays the operator — polling live snapshots while
+// ingestion runs. The sweep crosses fleet sizes x producer counts x burst
+// patterns:
+//
+//   steady    roomy rings, one tick per node per round, paced — the
+//             provisioned regime; nothing may shed
+//   bursty    bursts of 32 into medium rings with pauses — rings absorb
+//             each burst, sheds stay rare
+//   overload  flood into tiny rings — the daemon must degrade gracefully:
+//             predict-only ticks shed, reading ticks ride the bounded
+//             retry, gaps are bridged with held-row catch-up steps
+//
+// Per cell the bench reports ingestion accounting (offered / accepted /
+// shed / dropped_readings / held / backpressure), throughput over the
+// stepped ticks, worst-suite restoration error quantiles, and a NaN scan
+// over every live + final snapshot (any non-finite published estimate is
+// a bug, overloaded or not). A separate scenario meters the steady-state
+// zero-allocation contract via DaemonConfig::CycleHooks and the
+// HIGHRPM_ALLOC_TRACE operator-new hook. Results go to BENCH_serve.json
+// (schema in EXPERIMENTS.md).
+//
+// Single-core honesty: on one hardware thread producers, consumers, and
+// the polling operator time-slice on one CPU, so ticks/sec here measures
+// the whole contended system, not isolated consumer throughput, and the
+// overload cell's shed counts depend on scheduler interleaving (only the
+// *invariants* — accounting identities, no NaNs, bounded held work — are
+// stable run to run).
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alloc_trace.hpp"
+#include "highrpm/core/highrpm.hpp"
+#include "highrpm/measure/collector.hpp"
+#include "highrpm/measure/stream.hpp"
+#include "highrpm/serve/daemon.hpp"
+#include "highrpm/sim/platform.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ServeOptions {
+  bool quick = false;
+  std::size_t train_ticks = 400;
+  std::uint64_t ticks_per_node = 1000;
+  std::size_t rnn_epochs = 25;
+  std::size_t srr_epochs = 60;
+  std::size_t consumers = 2;
+  std::uint64_t seed = 2023;
+};
+
+void print_usage(std::FILE* to, const char* prog) {
+  std::fprintf(to,
+               "usage: %s [--quick|--full] [--consumers N] [--help]\n"
+               "  --quick        small sweep (short schedules, few epochs)\n"
+               "  --full         full sweep (default)\n"
+               "  --consumers N  consumer threads, N >= 1 (the daemon\n"
+               "                 clamps N to the node count per scenario)\n",
+               prog);
+}
+
+ServeOptions parse_args(int argc, char** argv) {
+  ServeOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      std::exit(0);
+    } else if (arg == "--quick") {
+      opt.quick = true;
+      opt.train_ticks = 160;
+      opt.ticks_per_node = 240;
+      opt.rnn_epochs = 8;
+      opt.srr_epochs = 25;
+    } else if (arg == "--full") {
+      const std::size_t consumers = opt.consumers;
+      opt = ServeOptions{};
+      opt.consumers = consumers;
+    } else if (arg == "--consumers" && i + 1 < argc) {
+      // Same strict parse hygiene as bench_fleet_scaling --threads: full
+      // token, no trailing junk, zero rejected with a usage message.
+      const std::string value = argv[++i];
+      unsigned long long parsed = 0;
+      const auto* last = value.data() + value.size();
+      const auto [ptr, ec] = std::from_chars(value.data(), last, parsed);
+      if (ec != std::errc{} || ptr != last || parsed == 0) {
+        std::fprintf(stderr, "bench_serve: --consumers needs a positive "
+                             "integer, got '%s'\n", value.c_str());
+        print_usage(stderr, argv[0]);
+        std::exit(2);
+      }
+      opt.consumers = static_cast<std::size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "bench_serve: unknown argument '%s'\n",
+                   arg.c_str());
+      print_usage(stderr, argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+/// Fixed per-node workload rotation — the same one the fleet bench and the
+/// serve tests use, so node i's stream depends only on i.
+highrpm::sim::Workload workload_for_node(std::size_t node) {
+  switch (node % 4) {
+    case 0: return highrpm::workloads::fft();
+    case 1: return highrpm::workloads::stream();
+    case 2: return highrpm::workloads::hpcg();
+    default: return highrpm::workloads::graph500_bfs();
+  }
+}
+
+struct Pattern {
+  const char* name;
+  std::size_t ring_capacity;
+  std::size_t burst_len;
+  std::uint64_t pause_us;
+};
+
+// steady: rings sized for the whole pacing window; bursty: rings absorb one
+// burst with headroom; overload: rings of 8 against a flood.
+constexpr Pattern kPatterns[] = {
+    {"steady", 1024, 1, 200},
+    {"bursty", 64, 32, 500},
+    {"overload", 8, 64, 0},
+};
+
+struct ServeResult {
+  std::string pattern;
+  std::size_t nodes = 0;
+  std::size_t producers = 0;
+  std::size_t consumers = 0;
+  std::size_t ring_capacity = 0;
+  std::uint64_t ticks_per_node = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t dropped_readings = 0;
+  std::uint64_t held = 0;
+  std::uint64_t backpressure = 0;
+  std::uint64_t ticks_stepped = 0;
+  double ticks_per_sec = 0.0;
+  std::uint64_t err_p50_mw = 0;  // worst suite
+  std::uint64_t err_p99_mw = 0;  // worst suite
+  std::uint64_t nan_estimates = 0;
+  std::uint64_t live_snapshots = 0;
+  double wall_s = 0.0;
+};
+
+/// Count non-finite published estimates in a snapshot (nodes that have
+/// stepped at least once). Any hit is a correctness bug.
+std::uint64_t count_nans(const highrpm::serve::DaemonSnapshot& snap) {
+  std::uint64_t nans = 0;
+  for (const auto& n : snap.nodes) {
+    if (n.ticks == 0) continue;
+    if (!std::isfinite(n.node_w) || !std::isfinite(n.cpu_w) ||
+        !std::isfinite(n.mem_w)) {
+      ++nans;
+    }
+  }
+  return nans;
+}
+
+ServeResult run_scenario(const highrpm::core::HighRpm& golden,
+                         const Pattern& pattern, std::size_t n_nodes,
+                         std::size_t n_producers, const ServeOptions& opt) {
+  namespace serve = highrpm::serve;
+  namespace measure = highrpm::measure;
+
+  const auto platform = highrpm::sim::PlatformConfig::arm();
+  serve::DaemonConfig cfg;
+  cfg.consumers = opt.consumers;
+  cfg.ring_capacity = pattern.ring_capacity;
+  std::vector<std::string> suites;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    suites.push_back(workload_for_node(i).suite);
+  }
+  serve::Daemon daemon(golden, n_nodes, std::move(suites), cfg);
+
+  // Producers own disjoint contiguous node ranges; node i's stream is
+  // seeded seed + 1000 + i regardless of how many producers feed it.
+  serve::Producer::Config pcfg;
+  pcfg.ticks_per_node = opt.ticks_per_node;
+  pcfg.burst_len = pattern.burst_len;
+  pcfg.pause_us = pattern.pause_us;
+  std::vector<std::unique_ptr<serve::Producer>> producers;
+  const std::size_t per = (n_nodes + n_producers - 1) / n_producers;
+  for (std::size_t p = 0; p < n_producers; ++p) {
+    const std::size_t begin = p * per;
+    if (begin >= n_nodes) break;
+    const std::size_t end = std::min(n_nodes, begin + per);
+    std::vector<std::size_t> ids;
+    std::vector<measure::NodeTickStream> streams;
+    for (std::size_t i = begin; i < end; ++i) {
+      ids.push_back(i);
+      streams.emplace_back(platform, workload_for_node(i),
+                           opt.seed + 1000 + i);
+    }
+    producers.push_back(std::make_unique<serve::Producer>(
+        daemon, std::move(ids), std::move(streams), pcfg));
+  }
+
+  const std::uint64_t expected = opt.ticks_per_node * n_nodes;
+  const auto start = Clock::now();
+  daemon.start();
+  for (auto& p : producers) p->start();
+
+  // The operator: poll live snapshots while ingestion runs, scanning each
+  // for NaNs and checking the accounting identity stays an inequality.
+  ServeResult r;
+  while (true) {
+    const serve::DaemonSnapshot snap = daemon.snapshot();
+    ++r.live_snapshots;
+    r.nan_estimates += count_nans(snap);
+    if (snap.total_accepted + snap.total_shed + snap.total_dropped_readings >
+        snap.total_offered) {
+      std::fprintf(stderr, "bench_serve: snapshot accounting violated\n");
+      std::exit(1);
+    }
+    if (snap.total_offered >= expected) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& p : producers) p->join();
+  daemon.quiesce();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  const serve::DaemonSnapshot snap = daemon.snapshot();
+  daemon.stop();
+  r.nan_estimates += count_nans(snap);
+
+  r.pattern = pattern.name;
+  r.nodes = n_nodes;
+  r.producers = producers.size();
+  r.consumers = daemon.consumers();
+  r.ring_capacity = pattern.ring_capacity;
+  r.ticks_per_node = opt.ticks_per_node;
+  r.offered = snap.total_offered;
+  r.accepted = snap.total_accepted;
+  r.shed = snap.total_shed;
+  r.dropped_readings = snap.total_dropped_readings;
+  r.held = snap.total_held;
+  for (const auto& n : snap.nodes) r.backpressure += n.backpressure;
+  r.ticks_stepped = snap.total_ticks;
+  r.wall_s = wall_s;
+  r.ticks_per_sec = static_cast<double>(r.ticks_stepped) / wall_s;
+  for (const auto& s : snap.suites) {
+    if (s.err_p50_mw > r.err_p50_mw) r.err_p50_mw = s.err_p50_mw;
+    if (s.err_p99_mw > r.err_p99_mw) r.err_p99_mw = s.err_p99_mw;
+  }
+  return r;
+}
+
+struct AllocResult {
+  double allocs_per_tick = -1.0;
+  std::uint64_t metered_ticks = 0;
+  std::uint64_t metered_cycles = 0;
+};
+
+/// Steady-state zero-allocation metering: warm the consumer's staging
+/// buffers by pre-filling the rings before start() (every drain cycle then
+/// runs a full-size cohort), then arm the per-thread counting hook around
+/// each drain cycle while a paced offer schedule runs.
+AllocResult run_alloc_scenario(const highrpm::core::HighRpm& golden,
+                               const ServeOptions& opt) {
+  namespace serve = highrpm::serve;
+  namespace at = highrpm::alloctrace;
+  AllocResult r;
+  if (!at::available()) return r;
+
+  const auto platform = highrpm::sim::PlatformConfig::arm();
+  const std::size_t n_nodes = 4;
+  const std::uint64_t warmup = 3 * golden.config().miss_interval;
+  const std::uint64_t metered = opt.quick ? 40 : 200;
+
+  std::atomic<bool> armed{false};
+  std::atomic<std::uint64_t> cycles{0};
+  serve::DaemonConfig cfg;
+  cfg.consumers = 1;
+  cfg.ring_capacity = 256;
+  cfg.hooks.before = [&](std::size_t) {
+    if (armed.load(std::memory_order_acquire)) at::arm();
+  };
+  cfg.hooks.after = [&](std::size_t) {
+    at::disarm();
+    if (armed.load(std::memory_order_acquire)) {
+      cycles.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::string> suites;
+  std::vector<highrpm::measure::NodeTickStream> streams;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    suites.push_back(workload_for_node(i).suite);
+    streams.emplace_back(platform, workload_for_node(i),
+                         opt.seed + 1000 + i);
+  }
+  serve::Daemon daemon(golden, n_nodes, std::move(suites), cfg);
+  for (std::uint64_t t = 0; t < warmup; ++t) {
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      daemon.offer(i, streams[i].next());
+    }
+  }
+  daemon.start();
+  daemon.quiesce();
+
+  const std::uint64_t before = at::count();
+  armed.store(true, std::memory_order_release);
+  for (std::uint64_t t = 0; t < metered; ++t) {
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      daemon.offer(i, streams[i].next());
+    }
+  }
+  daemon.quiesce();
+  armed.store(false, std::memory_order_release);
+  r.metered_ticks = metered * n_nodes;
+  r.metered_cycles = cycles.load();
+  r.allocs_per_tick = static_cast<double>(at::count() - before) /
+                      static_cast<double>(r.metered_ticks);
+  daemon.stop();
+  return r;
+}
+
+void write_json(const std::string& path, const ServeOptions& opt,
+                const AllocResult& alloc,
+                const std::vector<ServeResult>& results) {
+  std::ofstream out(path);
+  char buf[512];
+  out << "{\n";
+  out << "  \"bench\": \"serve\",\n";
+  out << "  \"mode\": \"" << (opt.quick ? "quick" : "full") << "\",\n";
+  out << "  \"hw_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"alloc_trace\": "
+      << (highrpm::alloctrace::available() ? "true" : "false") << ",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"steady_allocs_per_tick\": %.3f,\n"
+                "  \"steady_metered_ticks\": %llu,\n"
+                "  \"steady_metered_cycles\": %llu,\n",
+                alloc.allocs_per_tick,
+                static_cast<unsigned long long>(alloc.metered_ticks),
+                static_cast<unsigned long long>(alloc.metered_cycles));
+  out << buf;
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ServeResult& r = results[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"pattern\": \"%s\", \"nodes\": %zu, \"producers\": %zu, "
+        "\"consumers\": %zu, \"ring_capacity\": %zu, "
+        "\"ticks_per_node\": %llu, \"offered\": %llu, \"accepted\": %llu, "
+        "\"shed\": %llu, \"dropped_readings\": %llu, \"held\": %llu, "
+        "\"backpressure\": %llu, \"ticks_stepped\": %llu, "
+        "\"ticks_per_sec\": %.1f, \"err_p50_mw\": %llu, "
+        "\"err_p99_mw\": %llu, \"nan_estimates\": %llu, "
+        "\"live_snapshots\": %llu, \"wall_s\": %.4f}%s\n",
+        r.pattern.c_str(), r.nodes, r.producers, r.consumers,
+        r.ring_capacity, static_cast<unsigned long long>(r.ticks_per_node),
+        static_cast<unsigned long long>(r.offered),
+        static_cast<unsigned long long>(r.accepted),
+        static_cast<unsigned long long>(r.shed),
+        static_cast<unsigned long long>(r.dropped_readings),
+        static_cast<unsigned long long>(r.held),
+        static_cast<unsigned long long>(r.backpressure),
+        static_cast<unsigned long long>(r.ticks_stepped), r.ticks_per_sec,
+        static_cast<unsigned long long>(r.err_p50_mw),
+        static_cast<unsigned long long>(r.err_p99_mw),
+        static_cast<unsigned long long>(r.nan_estimates),
+        static_cast<unsigned long long>(r.live_snapshots), r.wall_s,
+        i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServeOptions opt = parse_args(argc, argv);
+
+  // Train the golden instance once, exactly like the fleet bench: online
+  // fine-tuning off, so every daemon lane shares one set of RNN weights.
+  highrpm::core::HighRpmConfig cfg;
+  cfg.dynamic_trr.rnn.epochs = opt.rnn_epochs;
+  cfg.dynamic_trr.online_finetune = false;
+  cfg.srr.epochs = opt.srr_epochs;
+  const highrpm::measure::Collector collector;
+  const auto platform = highrpm::sim::PlatformConfig::arm();
+  std::vector<highrpm::measure::CollectedRun> training;
+  const char* train_workloads[] = {"fft", "stream", "hpcg"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    training.push_back(collector.collect(
+        platform, highrpm::workloads::by_name(train_workloads[i]),
+        opt.train_ticks, opt.seed + i));
+  }
+  std::printf("serve bench: training golden instance (%zu runs x %zu "
+              "ticks, rnn_epochs=%zu, srr_epochs=%zu)...\n",
+              training.size(), opt.train_ticks, opt.rnn_epochs,
+              opt.srr_epochs);
+  highrpm::core::HighRpm golden(cfg);
+  golden.initial_learning(training);
+
+  const std::vector<std::size_t> fleet_sizes =
+      opt.quick ? std::vector<std::size_t>{4, 16}
+                : std::vector<std::size_t>{4, 16, 64};
+  const std::vector<std::size_t> producer_counts{1, 2};
+
+  std::vector<ServeResult> results;
+  for (const Pattern& pattern : kPatterns) {
+    for (const std::size_t n : fleet_sizes) {
+      for (const std::size_t p : producer_counts) {
+        const ServeResult r = run_scenario(golden, pattern, n, p, opt);
+        std::printf(
+            "  %-8s N=%3zu P=%zu C=%zu  offered=%6llu accepted=%6llu "
+            "shed=%5llu dropped_r=%3llu held=%5llu  %8.0f ticks/s  "
+            "errp99=%llumW  nans=%llu  wall=%.2fs\n",
+            r.pattern.c_str(), r.nodes, r.producers, r.consumers,
+            static_cast<unsigned long long>(r.offered),
+            static_cast<unsigned long long>(r.accepted),
+            static_cast<unsigned long long>(r.shed),
+            static_cast<unsigned long long>(r.dropped_readings),
+            static_cast<unsigned long long>(r.held), r.ticks_per_sec,
+            static_cast<unsigned long long>(r.err_p99_mw),
+            static_cast<unsigned long long>(r.nan_estimates), r.wall_s);
+        results.push_back(r);
+      }
+    }
+  }
+
+  const AllocResult alloc = run_alloc_scenario(golden, opt);
+  std::printf("  steady-state alloc metering: %.3f allocs/tick over %llu "
+              "ticks (%llu cycles)\n",
+              alloc.allocs_per_tick,
+              static_cast<unsigned long long>(alloc.metered_ticks),
+              static_cast<unsigned long long>(alloc.metered_cycles));
+
+  write_json("BENCH_serve.json", opt, alloc, results);
+  std::printf("wrote BENCH_serve.json (%zu sweep cells, mode=%s)\n",
+              results.size(), opt.quick ? "quick" : "full");
+  return 0;
+}

@@ -31,6 +31,13 @@ struct FleetConfig {
   /// Max lanes per shard; one shard is one parallel_for index. The batch
   /// grouping cannot change results (batched kernels are bit-identical to
   /// scalar), only the GEMM shapes and the parallel grain.
+  ///
+  /// Boundary contract (validated by the FleetStepper constructor):
+  /// shard_lanes == 0 is rejected with std::invalid_argument — it used to
+  /// be silently rewritten to 1, turning a config typo into a degenerate
+  /// one-lane-per-shard fleet. Values above the fleet size are clamped to
+  /// the fleet size (one full shard), which is well-defined and what a
+  /// "don't shard" request means.
   std::size_t shard_lanes = 64;
 };
 
@@ -58,6 +65,38 @@ class FleetStepper {
                  std::span<const std::optional<double>> readings,
                  std::span<PowerEstimate> out, const ShardHooks& hooks = {});
 
+  /// Caller-owned scratch for step_cohort. All buffers reuse their
+  /// allocations call over call: once a Cohort has seen its largest cohort
+  /// size, further steps through it perform zero heap allocations.
+  struct Cohort {
+    math::Matrix rows;       // L x F substituted PMC rows
+    math::Matrix win_batch;  // (L*T) x (F+1) packed ring windows
+    math::Matrix rnn_out;    // L x T batched RNN predictions
+    ml::SequenceRegressor::BatchWorkspace rnn_ws;
+    std::vector<DynamicTrr::StepPrep> preps;
+    std::vector<double> raw;     // raw RNN estimate per lane
+    std::vector<double> node_w;  // committed node power per lane
+    std::vector<ComponentEstimate> comp;
+    Srr::BatchScratch srr;
+  };
+
+  /// Step an arbitrary cohort of lanes one tick — the primitive both
+  /// step_tick (one cohort per shard) and the serve daemon's consumer pool
+  /// (one cohort per drain cycle) run on. lane_ids[li] names the lane for
+  /// cohort position li; pmcs.row(pmc_row0 + li), readings[li], and out[li]
+  /// are that position's input row, optional IM reading, and output slot.
+  ///
+  /// Thread-safety contract: concurrent calls are safe iff their lane-id
+  /// sets are disjoint and each call uses its own Cohort — lanes never
+  /// share mutable state, the SRR/shared-RNN models are only read, and all
+  /// per-call staging lives in the caller's scratch. lane_ids must not
+  /// contain duplicates. Outputs are bit-identical to stepping each lane
+  /// through the serial per-node path, for any cohort grouping.
+  void step_cohort(std::span<const std::size_t> lane_ids,
+                   const math::Matrix& pmcs, std::size_t pmc_row0,
+                   std::span<const std::optional<double>> readings,
+                   std::span<PowerEstimate> out, Cohort& scratch);
+
   /// Reset every lane's stream state (new program / new deployment).
   void reset_streams();
 
@@ -77,25 +116,17 @@ class FleetStepper {
     bool have_last_good = false;
   };
 
-  /// Per-shard state, owned by exactly one parallel_for index per tick.
-  /// All matrices reuse their allocations tick over tick.
+  /// Per-shard state, owned by exactly one parallel_for index per tick:
+  /// the shard's contiguous lane range as a prebuilt cohort id list plus
+  /// its own Cohort scratch (reused tick over tick). A shard tick is just
+  /// step_cohort over [begin, end) — one code path for the whole-fleet and
+  /// cohort-at-a-time callers, so they cannot drift.
   struct Shard {
     std::size_t begin = 0;  // lane range [begin, end)
     std::size_t end = 0;
-    math::Matrix rows;       // L x F substituted PMC rows
-    math::Matrix win_batch;  // (L*T) x (F+1) packed ring windows
-    math::Matrix rnn_out;    // L x T batched RNN predictions
-    ml::SequenceRegressor::BatchWorkspace rnn_ws;
-    std::vector<DynamicTrr::StepPrep> preps;
-    std::vector<double> raw;     // raw RNN estimate per lane
-    std::vector<double> node_w;  // committed node power per lane
-    std::vector<ComponentEstimate> comp;
-    Srr::BatchScratch srr;
+    std::vector<std::size_t> ids;
+    Cohort scratch;
   };
-
-  void step_shard(Shard& ss, const math::Matrix& pmcs,
-                  std::span<const std::optional<double>> readings,
-                  std::span<PowerEstimate> out);
 
   FleetConfig cfg_;
   /// Shared SRR (streaming never fine-tunes it) and, for shared-weights

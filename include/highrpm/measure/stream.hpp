@@ -1,0 +1,61 @@
+// measure::NodeTickStream — the Collector's tick loop as an incremental
+// stream.
+//
+// Collector::collect materializes a whole run before anything downstream
+// sees a sample; a resident monitoring daemon instead needs one tick at a
+// time, produced as simulated wall time advances. NodeTickStream wraps the
+// same instrument stack (NodeSimulator -> PmcSampler -> IpmiSensor) behind
+// a next() call and derives instrument seeds exactly the way Collector
+// does, so a stream and a collect() over the same (platform, workload,
+// seed) observe identical PMC rows and identical IM reading schedules —
+// serve's determinism tests compare the daemon's output against the serial
+// facade replaying this equivalence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "highrpm/measure/collector.hpp"
+#include "highrpm/measure/ipmi.hpp"
+#include "highrpm/measure/pmc_sampler.hpp"
+#include "highrpm/sim/node.hpp"
+
+namespace highrpm::measure {
+
+/// One streamed node tick: the online observables (sampled PMC rates plus
+/// the sparse IM reading) and the simulator truth kept for evaluation only
+/// — consumers estimating power must not read the truth_* fields.
+struct StreamTick {
+  std::uint64_t tick = 0;  // 0-based tick index within the stream
+  sim::PmcVector pmcs{};   // sampled PMC rates (the model input row)
+  bool has_reading = false;
+  double reading_w = 0.0;  // IM node power, valid iff has_reading
+  double truth_node_w = 0.0;
+  double truth_cpu_w = 0.0;
+  double truth_mem_w = 0.0;
+};
+
+/// Infinite per-node tick stream. Deterministic: the sequence of StreamTicks
+/// is a pure function of (platform, workload, seed, cfg) — identical to the
+/// rows Collector::collect(platform, workload, ., seed) would record, tick
+/// for tick, including which ticks carry an IM reading.
+class NodeTickStream {
+ public:
+  NodeTickStream(const sim::PlatformConfig& platform,
+                 const sim::Workload& workload, std::uint64_t seed,
+                 CollectorConfig cfg = {});
+
+  /// Produce the next tick. Never fails; the simulated node runs forever.
+  StreamTick next();
+
+  std::uint64_t ticks_produced() const noexcept { return produced_; }
+  const IpmiConfig& ipmi_config() const noexcept { return ipmi_.config(); }
+
+ private:
+  sim::NodeSimulator node_;
+  IpmiSensor ipmi_;
+  PmcSampler sampler_;
+  std::uint64_t produced_ = 0;
+};
+
+}  // namespace highrpm::measure

@@ -34,6 +34,21 @@
 
 namespace highrpm::obs {
 
+/// One coherent histogram read-out (shared between the enabled and disabled
+/// modes, like the registry snapshot types). Produced by Histogram::stats():
+/// count and every quantile derive from a single frozen copy of the bucket
+/// array, so count == the bucket mass the quantiles were walked over and
+/// min <= p50 <= p90 <= p99 <= max even while other threads keep recording.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+};
+
 #if HIGHRPM_OBS_ENABLED
 
 inline namespace obs_enabled {
@@ -79,38 +94,64 @@ class Histogram {
     return max_.load(std::memory_order_relaxed);
   }
 
-  /// The value at rank floor(q * count) in the cumulative bucket walk,
-  /// linearly interpolated across the landing bucket's value range by the
-  /// rank's position among that bucket's samples, clamped into
-  /// [min(), max()]. q is clamped to [0, 1]; an empty histogram reports 0.
-  /// Monotone non-decreasing in q: the landing bucket is non-decreasing in
-  /// rank, the within-bucket fraction is non-decreasing in rank, and
-  /// bucket b's interpolation range ends below bucket b+1's start.
+  /// The value at 0-based rank min(floor(q * count), count - 1) in the
+  /// cumulative bucket walk, linearly interpolated across the landing
+  /// bucket's value range by the rank's midpoint position among that
+  /// bucket's samples, clamped into [min(), max()]. q is clamped to [0, 1].
+  /// Contract on an empty histogram: quantile(q) == 0 for every q (like
+  /// min()/max()/sum() — the disabled-mode shell reports the same).
+  /// Monotone non-decreasing in q: the rank is non-decreasing in q, the
+  /// landing bucket is non-decreasing in rank, the within-bucket fraction
+  /// is non-decreasing in rank, and bucket b's interpolation range ends
+  /// below bucket b+1's start.
+  ///
+  /// The rank is 0-based and the landing test is strict (rank < seen + cnt):
+  /// the earlier walk used a 1-based landing test against a 0-based rank,
+  /// which off-by-one'd tail quantiles into the previous bucket — p99 of
+  /// {1, 1, 1, 1000} reported 1 (a property test pins the fix).
   std::uint64_t quantile(double q) const noexcept {
-    const std::uint64_t n = count();
-    if (n == 0) return 0;
-    q = std::clamp(q, 0.0, 1.0);
-    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
-    std::uint64_t seen = 0;
+    std::array<std::uint64_t, kBuckets> frozen;
+    std::uint64_t n = 0;
     for (std::size_t b = 0; b < kBuckets; ++b) {
-      const std::uint64_t cnt = buckets_[b].load(std::memory_order_relaxed);
-      if (cnt == 0) continue;
-      if (seen + cnt >= rank) {
-        // Rank lands in bucket b, which spans [lower, upper]. pos/cnt is
-        // the rank's position among this bucket's cnt samples: pos 0 maps
-        // to the bucket's lower edge, pos == cnt to its upper.
-        const std::uint64_t lower = b == 0 ? 0 : bucket_upper(b - 1) + 1;
-        const std::uint64_t upper = bucket_upper(b);
-        const std::uint64_t pos = rank > seen ? rank - seen : 0;
-        const double frac =
-            static_cast<double>(pos) / static_cast<double>(cnt);
-        const auto v = lower + static_cast<std::uint64_t>(
-                                   frac * static_cast<double>(upper - lower));
-        return std::clamp(v, min(), max());
-      }
-      seen += cnt;
+      frozen[b] = buckets_[b].load(std::memory_order_relaxed);
+      n += frozen[b];
     }
-    return max();
+    return quantile_from(frozen, n, q, min(), max());
+  }
+
+  /// Coherent multi-field read-out: count and every quantile derive from
+  /// one frozen copy of the bucket array, so a concurrent exporter can
+  /// never observe p50 > p99 or a count that disagrees with the mass its
+  /// quantiles were computed from (the torn-read repair the TSan-labeled
+  /// concurrent-export test pins down). min/max are read after the freeze;
+  /// min only ever decreases and max only ever increases, so clamping the
+  /// frozen-mass quantiles into [min, max] preserves the ordering
+  /// invariants. sum is a best-effort concurrent read.
+  HistogramStats stats() const noexcept {
+    std::array<std::uint64_t, kBuckets> frozen;
+    std::uint64_t n = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      frozen[b] = buckets_[b].load(std::memory_order_relaxed);
+      n += frozen[b];
+    }
+    HistogramStats s;
+    s.count = n;
+    s.sum = sum_.load(std::memory_order_relaxed);
+    std::uint64_t mn = min();
+    std::uint64_t mx = max();
+    // record() publishes min before max, so a racing reader can see a fresh
+    // min with a stale max; collapsing to [mn, mn] keeps min <= max.
+    if (mx < mn) mx = mn;
+    if (n == 0) {
+      mn = 0;
+      mx = 0;
+    }
+    s.min = mn;
+    s.max = mx;
+    s.p50 = quantile_from(frozen, n, 0.50, mn, mx);
+    s.p90 = quantile_from(frozen, n, 0.90, mn, mx);
+    s.p99 = quantile_from(frozen, n, 0.99, mn, mx);
+    return s;
   }
 
   void reset() noexcept {
@@ -130,6 +171,37 @@ class Histogram {
   }
 
  private:
+  /// Cumulative walk over a frozen bucket array for the sample at 0-based
+  /// rank min(floor(q * n), n - 1); 0 when n == 0 (documented contract).
+  static std::uint64_t quantile_from(
+      const std::array<std::uint64_t, kBuckets>& buckets, std::uint64_t n,
+      double q, std::uint64_t mn, std::uint64_t mx) noexcept {
+    if (n == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
+    if (rank >= n) rank = n - 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const std::uint64_t cnt = buckets[b];
+      if (cnt == 0) continue;
+      if (rank < seen + cnt) {
+        // Rank lands in bucket b, which spans [lower, upper]. The rank is
+        // sample pos (0-based) of this bucket's cnt samples; its midpoint
+        // position (pos + 0.5) / cnt interpolates across the bucket.
+        const std::uint64_t lower = b == 0 ? 0 : bucket_upper(b - 1) + 1;
+        const std::uint64_t upper = bucket_upper(b);
+        const std::uint64_t pos = rank - seen;
+        const double frac =
+            (static_cast<double>(pos) + 0.5) / static_cast<double>(cnt);
+        const auto v = lower + static_cast<std::uint64_t>(
+                                   frac * static_cast<double>(upper - lower));
+        return std::clamp(v, mn, mx);
+      }
+      seen += cnt;
+    }
+    return mx;
+  }
+
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
@@ -156,6 +228,7 @@ class Histogram {
   std::uint64_t min() const noexcept { return 0; }
   std::uint64_t max() const noexcept { return 0; }
   std::uint64_t quantile(double) const noexcept { return 0; }
+  HistogramStats stats() const noexcept { return {}; }
   void reset() noexcept {}
 };
 

@@ -1,0 +1,54 @@
+// runtime::Worker — a joinable long-lived thread for resident services.
+//
+// The ThreadPool covers fork-join parallel_for work; resident components
+// (the serve daemon's producers and consumers) instead need threads that
+// live for the component's lifetime and are joined deterministically on
+// shutdown. Worker wraps std::thread with RAII join semantics and optional
+// best-effort CPU pinning, and is the only sanctioned way for library code
+// outside highrpm::runtime to own a thread (the lint rule
+// thread-outside-runtime enforces this — other modules hold a Worker).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <thread>
+
+namespace highrpm::runtime {
+
+/// Pin the calling thread to one CPU. Best-effort: returns false (and
+/// changes nothing) when the platform has no affinity API, the CPU index is
+/// out of range, or the kernel refuses — callers must treat pinning as a
+/// performance hint, never a correctness dependency.
+bool pin_current_thread(unsigned cpu) noexcept;
+
+/// std::thread::hardware_concurrency() with the zero-means-unknown case
+/// folded to 1, so callers can use the result directly as a divisor or
+/// modulus. Lives here so non-runtime modules need no <thread> dependency.
+unsigned hardware_threads() noexcept;
+
+/// One joinable thread. start() launches `fn`; the destructor (and stop-side
+/// code) joins via join(), which is idempotent. Not copyable or movable —
+/// embed by value where the owning object outlives the thread, or hold via
+/// unique_ptr arrays for per-node fleets.
+class Worker {
+ public:
+  Worker() = default;
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+  ~Worker() { join(); }
+
+  /// Launch the worker body. When `pin_cpu` is set the body is preceded by a
+  /// best-effort pin_current_thread(*pin_cpu). Throws std::logic_error if
+  /// this Worker already runs.
+  void start(std::function<void()> fn, std::optional<unsigned> pin_cpu = {});
+
+  /// Join if joinable; harmless to call repeatedly or without start().
+  void join();
+
+  bool joinable() const noexcept { return thread_.joinable(); }
+
+ private:
+  std::thread thread_;
+};
+
+}  // namespace highrpm::runtime

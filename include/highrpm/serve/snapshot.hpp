@@ -1,0 +1,134 @@
+// serve snapshot types — the query side of the resident monitoring daemon.
+//
+// Consumers publish each node's latest estimate into a NodeStatusCell, a
+// seqlock: one writer (the consumer that owns the node), any number of
+// readers, readers never block the writer. The daemon's snapshot() walks
+// the cells plus the per-node counters into a DaemonSnapshot — a plain
+// value the caller owns, safe to format or diff while ingestion continues.
+//
+// Coherence contract: a successful NodeStatusCell::read returns one
+// writer-published state in full (all fields from the same publish).
+// DaemonSnapshot totals are computed from the per-node values actually
+// captured in that snapshot, so totals always equal the sum of the rows —
+// no torn aggregate can escape (counter totals never exceed what the rows
+// account for).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace highrpm::serve {
+
+/// One node's latest published state, as captured by a coherent read.
+struct NodeStatus {
+  std::uint64_t ticks = 0;  // ticks stepped through the model (incl. held)
+  double node_w = 0.0;
+  double cpu_w = 0.0;
+  double mem_w = 0.0;
+  bool measured = false;  // last tick carried an accepted IM reading
+  // Ingestion accounting (from the node's counters, read at snapshot time).
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;             // sheddable ticks dropped at a full ring
+  std::uint64_t dropped_readings = 0; // reading ticks lost despite retries
+  std::uint64_t backpressure = 0;     // bounded retry rounds spent on readings
+  std::uint64_t held = 0;             // held-row catch-up steps executed
+};
+
+/// Restoration-error summary over one workload suite (milliwatts, from the
+/// daemon's per-suite histograms; populated only for unmeasured ticks —
+/// measured ticks restore the reading exactly by construction).
+struct SuiteStats {
+  std::string suite;
+  std::uint64_t samples = 0;
+  std::uint64_t err_p50_mw = 0;
+  std::uint64_t err_p99_mw = 0;
+  std::uint64_t err_max_mw = 0;
+};
+
+/// One coherent daemon read-out. Totals are sums of the per-node rows
+/// captured in this same snapshot.
+struct DaemonSnapshot {
+  std::vector<NodeStatus> nodes;
+  std::vector<SuiteStats> suites;
+  std::uint64_t total_ticks = 0;
+  std::uint64_t total_offered = 0;
+  std::uint64_t total_accepted = 0;
+  std::uint64_t total_shed = 0;
+  std::uint64_t total_dropped_readings = 0;
+  std::uint64_t total_held = 0;
+  double total_node_w = 0.0;
+  double total_cpu_w = 0.0;
+  double total_mem_w = 0.0;
+};
+
+/// Canonical text form (%.17g doubles, one line per node/suite) — the byte
+/// stream the serve determinism tests compare across consumer counts.
+std::string to_string(const DaemonSnapshot& snap);
+
+/// Seqlock cell: single writer, concurrent readers. The sequence counter is
+/// even when the payload is stable and odd while a publish is in flight;
+/// payload fields are individually atomic (relaxed) so concurrent access is
+/// data-race-free by construction (TSan-clean), and the seq protocol makes
+/// the *set* of fields coherent: read() only returns a payload bracketed by
+/// two equal even sequence reads.
+class NodeStatusCell {
+ public:
+  struct Value {
+    std::uint64_t ticks = 0;
+    double node_w = 0.0;
+    double cpu_w = 0.0;
+    double mem_w = 0.0;
+    bool measured = false;
+  };
+
+  /// Writer side (one thread at a time).
+  void publish(const Value& v) noexcept {
+    const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_relaxed);  // odd: publish in flight
+    // The fence keeps the payload stores below from reordering before the
+    // odd store above — a reader that observes any new payload value and
+    // then re-checks seq_ must see it odd (or already advanced) and retry.
+    std::atomic_thread_fence(std::memory_order_release);
+    ticks_.store(v.ticks, std::memory_order_relaxed);
+    node_w_.store(v.node_w, std::memory_order_relaxed);
+    cpu_w_.store(v.cpu_w, std::memory_order_relaxed);
+    mem_w_.store(v.mem_w, std::memory_order_relaxed);
+    measured_.store(v.measured, std::memory_order_relaxed);
+    seq_.store(s + 2, std::memory_order_release);  // even: stable again
+  }
+
+  /// Reader side: spins until it brackets a stable payload. Wait-free in
+  /// practice — publishes are a handful of stores, so retries are rare.
+  Value read() const noexcept {
+    Value v;
+    for (;;) {
+      const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+      if (s1 & 1) {  // publish in flight; yield so a preempted writer
+        std::this_thread::yield();  // (single-core box) can finish it
+        continue;
+      }
+      v.ticks = ticks_.load(std::memory_order_relaxed);
+      v.node_w = node_w_.load(std::memory_order_relaxed);
+      v.cpu_w = cpu_w_.load(std::memory_order_relaxed);
+      v.mem_w = mem_w_.load(std::memory_order_relaxed);
+      v.measured = measured_.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (seq_.load(std::memory_order_relaxed) == s1) return v;
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<double> node_w_{0.0};
+  std::atomic<double> cpu_w_{0.0};
+  std::atomic<double> mem_w_{0.0};
+  std::atomic<bool> measured_{false};
+};
+
+}  // namespace highrpm::serve

@@ -1,0 +1,79 @@
+// serve::SpscRing — a bounded wait-free single-producer single-consumer
+// queue, the ingestion boundary between each node's producer thread and
+// the daemon's consumer pool.
+//
+// Classic two-index ring: the producer owns tail_, the consumer owns
+// head_, each publishes its index with a release store after touching the
+// slot and reads the other side's index with an acquire load. Capacity is
+// rounded up to a power of two so the occupancy test and slot index are a
+// subtraction and a mask — no modulo, no wrapping hazards (indices are
+// free-running 64-bit). try_push/try_pop never block and never allocate;
+// T is copied in and out by value, so trivially copyable items (serve's
+// Enqueued ticks) make the steady-state path allocation-free.
+//
+// Exactly one producer thread and one consumer thread per ring — the class
+// does not detect violations; serve's daemon enforces the pairing
+// structurally (one ring per node, one producer per node, each node owned
+// by exactly one consumer).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace highrpm::serve {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is a minimum; the ring rounds it up to a power of two.
+  /// Throws std::invalid_argument on 0.
+  explicit SpscRing(std::size_t capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("serve::SpscRing: capacity must be >= 1");
+    }
+    capacity_ = std::bit_ceil(capacity);
+    slots_.resize(capacity_);
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. False when the ring is full (item not enqueued).
+  bool try_push(const T& item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == capacity_) return false;
+    slots_[tail & (capacity_ - 1)] = item;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty (out untouched).
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    out = slots_[head & (capacity_ - 1)];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot occupancy — exact only when the queried side is quiescent.
+  std::size_t size() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+  bool empty() const noexcept { return size() == 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_ = 0;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace highrpm::serve

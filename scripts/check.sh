@@ -8,8 +8,12 @@
 #             must match the bench output byte for byte
 #   property  ctest -L property in the werror build: seeded invariant suites
 #   perf      ctest -L perf-smoke in a release build: zero-allocation
-#             steady-state contract (per-node + batched fleet paths) and
-#             fleet-stepper determinism (serial == N=1 == N=64 CSVs)
+#             steady-state contract (per-node + batched fleet + serve
+#             consume paths) and fleet-stepper determinism
+#             (serial == N=1 == N=64 CSVs)
+#   soak      HIGHRPM_SOAK=1 ctest -L soak in the werror build: long-run
+#             daemon determinism (byte-identical final snapshots across
+#             consumer thread counts under real producer threads)
 #   tidy      clang-tidy over the compile database   [skipped if not installed]
 #   asan      full ctest under -fsanitize=address
 #   ubsan     full ctest under -fsanitize=undefined (no-recover: UB = failure)
@@ -38,8 +42,8 @@ STEPS=()
 for arg in "$@"; do
   case "$arg" in
     --format) WANT_FORMAT=1 ;;
-    lint|werror|golden|property|perf|tidy|asan|ubsan|tsan|coverage|format) STEPS+=("$arg") ;;
-    *) echo "usage: scripts/check.sh [--format] [lint|werror|golden|property|perf|tidy|asan|ubsan|tsan|coverage|format ...]" >&2
+    lint|werror|golden|property|perf|soak|tidy|asan|ubsan|tsan|coverage|format) STEPS+=("$arg") ;;
+    *) echo "usage: scripts/check.sh [--format] [lint|werror|golden|property|perf|soak|tidy|asan|ubsan|tsan|coverage|format ...]" >&2
        exit 2 ;;
   esac
 done
@@ -47,7 +51,7 @@ if [ "${#STEPS[@]}" -eq 0 ]; then
   # coverage is opt-in (it rebuilds the whole tree instrumented); golden and
   # property re-run their labels explicitly even though the werror suite
   # includes them, so a regression names the gate it broke.
-  STEPS=(lint werror golden property perf tidy asan ubsan tsan)
+  STEPS=(lint werror golden property perf soak tidy asan ubsan tsan)
   [ "$WANT_FORMAT" -eq 1 ] && STEPS+=(format)
 fi
 
@@ -97,6 +101,13 @@ step_perf() {
   cmake --preset release >/dev/null
   cmake --build --preset release -j "$JOBS"
   ctest --test-dir build --output-on-failure -j "$JOBS" -L perf-smoke
+}
+
+step_soak() {
+  note "soak: long-run daemon determinism (HIGHRPM_SOAK=1 ctest -L soak)"
+  ensure_werror_build
+  HIGHRPM_SOAK=1 ctest --test-dir build-werror --output-on-failure \
+    -j "$JOBS" -L soak
 }
 
 step_coverage() {

@@ -22,7 +22,14 @@ FleetStepper::FleetStepper(const HighRpm& golden, std::size_t nodes,
   if (nodes == 0) {
     throw std::invalid_argument("FleetStepper: fleet must have >= 1 node");
   }
-  if (cfg_.shard_lanes == 0) cfg_.shard_lanes = 1;
+  // Boundary contract (see FleetConfig::shard_lanes): zero is a config
+  // error, not a request for one-lane shards; above-fleet values mean "one
+  // full shard".
+  if (cfg_.shard_lanes == 0) {
+    throw std::invalid_argument(
+        "FleetStepper: FleetConfig::shard_lanes must be >= 1");
+  }
+  if (cfg_.shard_lanes > nodes) cfg_.shard_lanes = nodes;
   // With online fine-tuning off, no lane ever mutates its RNN weights, so
   // every lane's model stays byte-identical to the golden copy and windows
   // can batch through shared_model_. With it on, weights diverge per lane
@@ -42,11 +49,10 @@ FleetStepper::FleetStepper(const HighRpm& golden, std::size_t nodes,
     Shard& ss = shards_[s];
     ss.begin = s * cfg_.shard_lanes;
     ss.end = std::min(nodes, ss.begin + cfg_.shard_lanes);
-    const std::size_t lanes = ss.end - ss.begin;
-    ss.preps.resize(lanes);
-    ss.raw.resize(lanes);
-    ss.node_w.resize(lanes);
-    ss.comp.resize(lanes);
+    ss.ids.resize(ss.end - ss.begin);
+    for (std::size_t li = 0; li < ss.ids.size(); ++li) {
+      ss.ids[li] = ss.begin + li;
+    }
   }
 }
 
@@ -64,43 +70,58 @@ void FleetStepper::step_tick(const math::Matrix& pmcs,
                              const ShardHooks& hooks) {
   static obs::Histogram& shard_hist =
       obs::Registry::instance().histogram("core.fleet.shard_tick_ns");
-  static obs::Counter& lane_ticks =
-      obs::Registry::instance().counter("core.fleet.lane_ticks");
   if (pmcs.rows() != lanes_.size() || readings.size() != lanes_.size() ||
       out.size() != lanes_.size()) {
     throw std::invalid_argument("FleetStepper::step_tick: size mismatch");
   }
-  lane_ticks.add(lanes_.size());
   // One parallel_for index per shard; each shard owns its lane range and
   // scratch, so scheduling only changes when a shard runs, never what it
   // computes. The hooks run on the executing thread so alloc-trace arming
-  // meters exactly the shard work, not the pool dispatch.
+  // meters exactly the shard work, not the pool dispatch. A shard's lanes
+  // are consecutive rows of the fleet matrix, so the shard tick is a
+  // step_cohort over positional subspans — no staging copies.
   runtime::parallel_for(shards_.size(), [&](std::size_t s) {
+    Shard& ss = shards_[s];
+    const std::size_t lanes = ss.end - ss.begin;
     if (hooks.before) hooks.before(s);
     {
       const obs::Span span(shard_hist);
-      step_shard(shards_[s], pmcs, readings, out);
+      step_cohort(ss.ids, pmcs, ss.begin, readings.subspan(ss.begin, lanes),
+                  out.subspan(ss.begin, lanes), ss.scratch);
     }
     if (hooks.after) hooks.after(s);
   });
 }
 
-void FleetStepper::step_shard(Shard& ss, const math::Matrix& pmcs,
-                              std::span<const std::optional<double>> readings,
-                              std::span<PowerEstimate> out) {
+void FleetStepper::step_cohort(std::span<const std::size_t> lane_ids,
+                               const math::Matrix& pmcs, std::size_t pmc_row0,
+                               std::span<const std::optional<double>> readings,
+                               std::span<PowerEstimate> out, Cohort& scratch) {
+  static obs::Counter& lane_ticks =
+      obs::Registry::instance().counter("core.fleet.lane_ticks");
   static obs::Counter& held_total =
       obs::Registry::instance().counter("core.fleet.held_rows");
-  const std::size_t lanes = ss.end - ss.begin;
+  const std::size_t lanes = lane_ids.size();
+  if (lanes == 0) return;
+  if (pmcs.rows() < pmc_row0 + lanes || readings.size() != lanes ||
+      out.size() != lanes) {
+    throw std::invalid_argument("FleetStepper::step_cohort: size mismatch");
+  }
+  lane_ticks.add(lanes);
   const std::size_t f = pmcs.cols();
+  Cohort& ss = scratch;
   ss.rows.resize(lanes, f);
+  ss.preps.resize(lanes);
+  ss.raw.resize(lanes);
+  ss.node_w.resize(lanes);
+  ss.comp.resize(lanes);
 
   // Phase 1 per lane: held-row substitution (the HighRpm::on_tick
   // degradation mirror) + TRR window prepare.
   for (std::size_t li = 0; li < lanes; ++li) {
-    const std::size_t i = ss.begin + li;
-    Lane& lane = lanes_[i];
+    Lane& lane = lanes_[lane_ids[li]];
     const auto dst = ss.rows.row(li);
-    const auto src = pmcs.row(i);
+    const auto src = pmcs.row(pmc_row0 + li);
     std::copy(src.begin(), src.end(), dst.begin());
     if (!math::all_finite(dst)) {
       held_total.add();
@@ -113,13 +134,13 @@ void FleetStepper::step_shard(Shard& ss, const math::Matrix& pmcs,
       lane.last_good.assign(dst.begin(), dst.end());
       lane.have_last_good = true;
     }
-    std::optional<double> reading = readings[i];
+    std::optional<double> reading = readings[li];
     if (reading && !std::isfinite(*reading)) reading.reset();
     ss.preps[li] = lane.trr.step_prepare(dst, reading);
   }
 
   // Phase 2: predict. Shared-weights fleets with lockstep windows batch
-  // the whole shard through one GEMM per RNN layer; otherwise each lane
+  // the whole cohort through one GEMM per RNN layer; otherwise each lane
   // predicts with its own model (weights may have diverged, or fills may
   // differ after a mid-stream reset).
   const std::size_t window = ss.preps[0].rows;
@@ -133,7 +154,7 @@ void FleetStepper::step_shard(Shard& ss, const math::Matrix& pmcs,
   if (shared_rnn_ && lockstep && window > 0) {
     ss.win_batch.resize(lanes * window, f + 1);
     for (std::size_t li = 0; li < lanes; ++li) {
-      lanes_[ss.begin + li].trr.pack_window_into(ss.win_batch, li * window);
+      lanes_[lane_ids[li]].trr.pack_window_into(ss.win_batch, li * window);
     }
     shared_model_.predict_batch_into(ss.win_batch, lanes, ss.rnn_out,
                                      ss.rnn_ws);
@@ -142,28 +163,27 @@ void FleetStepper::step_shard(Shard& ss, const math::Matrix& pmcs,
     }
   } else {
     for (std::size_t li = 0; li < lanes; ++li) {
-      ss.raw[li] = lanes_[ss.begin + li].trr.predict_prepared();
+      ss.raw[li] = lanes_[lane_ids[li]].trr.predict_prepared();
     }
   }
 
   // Phase 3 per lane: commit (clamps, stuck-sensor logic, measurement
   // supersede + fine-tune) and the measured flag.
   for (std::size_t li = 0; li < lanes; ++li) {
-    const std::size_t i = ss.begin + li;
     const double node_w =
-        lanes_[i].trr.step_commit(ss.preps[li], ss.raw[li]);
+        lanes_[lane_ids[li]].trr.step_commit(ss.preps[li], ss.raw[li]);
     ss.node_w[li] = node_w;
-    out[i].node_w = node_w;
-    const std::optional<double>& r = readings[i];
-    out[i].measured = r.has_value() && std::isfinite(*r) &&
-                      math::exact_eq(node_w, *r);
+    out[li].node_w = node_w;
+    const std::optional<double>& r = readings[li];
+    out[li].measured = r.has_value() && std::isfinite(*r) &&
+                       math::exact_eq(node_w, *r);
   }
 
-  // Phase 4: one SRR GEMM per MLP layer for the whole shard.
+  // Phase 4: one SRR GEMM per MLP layer for the whole cohort.
   srr_.predict_batch_into(ss.rows, ss.node_w, ss.comp, ss.srr);
   for (std::size_t li = 0; li < lanes; ++li) {
-    out[ss.begin + li].cpu_w = ss.comp[li].cpu_w;
-    out[ss.begin + li].mem_w = ss.comp[li].mem_w;
+    out[li].cpu_w = ss.comp[li].cpu_w;
+    out[li].mem_w = ss.comp[li].mem_w;
   }
 }
 

@@ -1,0 +1,45 @@
+#include "highrpm/measure/stream.hpp"
+
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::measure {
+
+namespace {
+
+/// Mirror Collector::collect's instrument-seed derivation exactly: same
+/// seeder constant, same draw order (IPMI, rig, PMC) — the rig draw is
+/// consumed even though a stream carries no rig, so the IPMI and PMC
+/// instruments see the very seeds the batch path gives them.
+CollectorConfig seeded(CollectorConfig cfg, std::uint64_t seed) {
+  math::Rng seeder(seed ^ 0xC0FFEE0DULL);
+  cfg.ipmi.seed = seeder.next_u64();
+  cfg.rig.seed = seeder.next_u64();
+  cfg.pmc.seed = seeder.next_u64();
+  return cfg;
+}
+
+}  // namespace
+
+NodeTickStream::NodeTickStream(const sim::PlatformConfig& platform,
+                               const sim::Workload& workload,
+                               std::uint64_t seed, CollectorConfig cfg)
+    : node_(platform, workload, seed),
+      ipmi_(seeded(cfg, seed).ipmi),
+      sampler_(seeded(cfg, seed).pmc) {}
+
+StreamTick NodeTickStream::next() {
+  const sim::TickSample tick = node_.step();
+  StreamTick out;
+  out.tick = produced_++;
+  out.pmcs = sampler_.sample(tick);
+  if (const auto reading = ipmi_.offer(tick)) {
+    out.has_reading = true;
+    out.reading_w = reading->power_w;
+  }
+  out.truth_node_w = tick.p_node_w;
+  out.truth_cpu_w = tick.p_cpu_w;
+  out.truth_mem_w = tick.p_mem_w;
+  return out;
+}
+
+}  // namespace highrpm::measure

@@ -34,15 +34,21 @@ bool env_enabled() {
 
 HistogramSnapshot snapshot_histogram(const std::string& name,
                                      const Histogram& h) {
+  // One coherent read-out instead of eight independent atomic reads: the
+  // old field-at-a-time reads could export p50 > p99 or a count that
+  // disagreed with the mass the quantiles were walked over when a writer
+  // recorded mid-snapshot (the torn-telemetry bug the TSan-labeled
+  // concurrent-export test pins down).
+  const HistogramStats st = h.stats();
   HistogramSnapshot s;
   s.name = name;
-  s.count = h.count();
-  s.sum = h.sum();
-  s.min = h.min();
-  s.max = h.max();
-  s.p50 = h.quantile(0.50);
-  s.p90 = h.quantile(0.90);
-  s.p99 = h.quantile(0.99);
+  s.count = st.count;
+  s.sum = st.sum;
+  s.min = st.min;
+  s.max = st.max;
+  s.p50 = st.p50;
+  s.p90 = st.p90;
+  s.p99 = st.p99;
   return s;
 }
 

@@ -1,0 +1,58 @@
+#include "highrpm/serve/snapshot.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace highrpm::serve {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+std::string to_string(const DaemonSnapshot& snap) {
+  std::string out;
+  out.reserve(128 + snap.nodes.size() * 192 + snap.suites.size() * 96);
+  appendf(out, "nodes %zu suites %zu\n", snap.nodes.size(),
+          snap.suites.size());
+  for (std::size_t i = 0; i < snap.nodes.size(); ++i) {
+    const NodeStatus& n = snap.nodes[i];
+    appendf(out,
+            "node %zu ticks=%" PRIu64 " node_w=%.17g cpu_w=%.17g "
+            "mem_w=%.17g measured=%d offered=%" PRIu64 " accepted=%" PRIu64
+            " shed=%" PRIu64 " dropped_readings=%" PRIu64
+            " backpressure=%" PRIu64 " held=%" PRIu64 "\n",
+            i, n.ticks, n.node_w, n.cpu_w, n.mem_w, n.measured ? 1 : 0,
+            n.offered, n.accepted, n.shed, n.dropped_readings,
+            n.backpressure, n.held);
+  }
+  for (const SuiteStats& s : snap.suites) {
+    appendf(out,
+            "suite %s samples=%" PRIu64 " err_p50_mw=%" PRIu64
+            " err_p99_mw=%" PRIu64 " err_max_mw=%" PRIu64 "\n",
+            s.suite.c_str(), s.samples, s.err_p50_mw, s.err_p99_mw,
+            s.err_max_mw);
+  }
+  appendf(out,
+          "totals ticks=%" PRIu64 " offered=%" PRIu64 " accepted=%" PRIu64
+          " shed=%" PRIu64 " dropped_readings=%" PRIu64 " held=%" PRIu64
+          " node_w=%.17g cpu_w=%.17g mem_w=%.17g\n",
+          snap.total_ticks, snap.total_offered, snap.total_accepted,
+          snap.total_shed, snap.total_dropped_readings, snap.total_held,
+          snap.total_node_w, snap.total_cpu_w, snap.total_mem_w);
+  return out;
+}
+
+}  // namespace highrpm::serve

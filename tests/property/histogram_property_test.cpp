@@ -7,6 +7,7 @@
 // ranks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -107,6 +108,104 @@ TEST(HistogramProperty, CountAndSumMatchRecordedValues) {
       EXPECT_EQ(h.min(), lo);
       EXPECT_EQ(h.max(), hi);
     }
+  }
+}
+
+TEST(HistogramProperty, EmptyHistogramContract) {
+  // Documented contract (histogram.hpp): an empty histogram reports 0 for
+  // every quantile, like min()/max()/sum(). stats() agrees field for field.
+  const Histogram h;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    EXPECT_EQ(h.quantile(q), 0u) << "q " << q;
+  }
+  EXPECT_EQ(h.quantile(-0.5), 0u);  // q clamps, contract still holds
+  EXPECT_EQ(h.quantile(1.5), 0u);
+  const HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.p50, 0u);
+  EXPECT_EQ(s.p90, 0u);
+  EXPECT_EQ(s.p99, 0u);
+}
+
+TEST(HistogramProperty, TailQuantileCrossesBucketBoundary) {
+  // Failing before the rank fix: the walk used a 1-based landing test
+  // against a 0-based rank, so p99 of {1, 1, 1, 1000} landed in the 1s
+  // bucket and reported 1. The 0-based strict test lands rank 3 in 1000's
+  // bucket [512, 1023] — p99 must sit at or above that bucket's lower
+  // bound (and within [min, max]).
+  Histogram h;
+  h.record(1);
+  h.record(1);
+  h.record(1);
+  h.record(1000);
+  EXPECT_GE(h.quantile(0.99), 512u);
+  EXPECT_LE(h.quantile(0.99), 1000u);
+  EXPECT_EQ(h.quantile(0.0), 1u);
+  EXPECT_LE(h.quantile(0.5), 1u + (1000u - 1u) / 2u);
+}
+
+TEST(HistogramProperty, QuantileLandsInSortedRankBucket) {
+  // Rank-consistency: quantile(q) must fall inside (or at the clamped
+  // edge of) the log2 bucket of the sample at 0-based rank
+  // min(floor(q * n), n - 1) in the sorted sample list — the histogram
+  // loses within-bucket order, never rank-to-bucket mapping.
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    math::Rng rng(seed);
+    Histogram h;
+    std::vector<std::uint64_t> values;
+    const std::size_t n =
+        1 + static_cast<std::size_t>(rng.uniform(0.0, 300.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto v = static_cast<std::uint64_t>(
+          std::pow(10.0, rng.uniform(0.0, 6.0)));
+      values.push_back(v);
+      h.record(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      auto rank = static_cast<std::size_t>(q * static_cast<double>(n));
+      if (rank >= n) rank = n - 1;
+      const std::uint64_t expect = values[rank];
+      const std::size_t b = Histogram::bucket_of(expect);
+      const std::uint64_t lower =
+          b == 0 ? 0 : Histogram::bucket_upper(b - 1) + 1;
+      const std::uint64_t upper = Histogram::bucket_upper(b);
+      const std::uint64_t got = h.quantile(q);
+      // The bucket's interpolation range, clamped like the implementation.
+      EXPECT_GE(got, std::max(lower, values.front()))
+          << "seed " << seed << " q " << q;
+      EXPECT_LE(got, std::min(upper, values.back()))
+          << "seed " << seed << " q " << q;
+    }
+  }
+}
+
+TEST(HistogramProperty, StatsAgreesWithGettersWhenQuiescent) {
+  // Single-threaded, stats() is just a bundled read: every field must
+  // equal its getter / quantile counterpart exactly.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    math::Rng rng(seed);
+    Histogram h;
+    const std::size_t n =
+        1 + static_cast<std::size_t>(rng.uniform(0.0, 200.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      h.record(static_cast<std::uint64_t>(rng.uniform(0.0, 1e7)));
+    }
+    const HistogramStats s = h.stats();
+    EXPECT_EQ(s.count, h.count()) << "seed " << seed;
+    EXPECT_EQ(s.sum, h.sum());
+    EXPECT_EQ(s.min, h.min());
+    EXPECT_EQ(s.max, h.max());
+    EXPECT_EQ(s.p50, h.quantile(0.50));
+    EXPECT_EQ(s.p90, h.quantile(0.90));
+    EXPECT_EQ(s.p99, h.quantile(0.99));
+    EXPECT_LE(s.min, s.p50);
+    EXPECT_LE(s.p50, s.p90);
+    EXPECT_LE(s.p90, s.p99);
+    EXPECT_LE(s.p99, s.max);
   }
 }
 

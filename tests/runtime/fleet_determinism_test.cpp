@@ -20,6 +20,7 @@
 #include "highrpm/math/matrix.hpp"
 #include "highrpm/runtime/thread_pool.hpp"
 #include "highrpm/sim/platform.hpp"
+#include "highrpm/sim/pmc.hpp"
 #include "highrpm/workloads/suites.hpp"
 
 namespace highrpm::core {
@@ -232,6 +233,139 @@ TEST_P(FleetDeterminismTest, ResetStreamsReplaysIdentically) {
 TEST(FleetStepper, RejectsUntrainedGoldenAndZeroNodes) {
   HighRpm untrained(fleet_config(false));
   EXPECT_THROW(FleetStepper(untrained, 4), std::invalid_argument);
+}
+
+/// Boundary contract of FleetConfig::shard_lanes (documented on the field):
+/// 0 rejected, above-fleet clamped. One shared golden, trained once.
+class FleetBoundaryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    golden_ = new HighRpm(train_golden(/*online_finetune=*/false));
+  }
+  static void TearDownTestSuite() {
+    delete golden_;
+    golden_ = nullptr;
+  }
+  static HighRpm* golden_;
+};
+
+HighRpm* FleetBoundaryTest::golden_ = nullptr;
+
+TEST_F(FleetBoundaryTest, ShardLanesZeroThrows) {
+  // Failing before: shard_lanes == 0 was silently rewritten to 1, turning
+  // a config typo into a degenerate one-lane-per-shard fleet.
+  FleetConfig cfg;
+  cfg.shard_lanes = 0;
+  EXPECT_THROW(FleetStepper(*golden_, 4, cfg), std::invalid_argument);
+}
+
+TEST_F(FleetBoundaryTest, ShardLanesAboveFleetClampsToOneShard) {
+  const std::size_t nodes = 5;
+  FleetConfig wide;
+  wide.shard_lanes = 100 * nodes;
+  FleetStepper clamped(*golden_, nodes, wide);
+  EXPECT_EQ(clamped.shard_count(), 1u);
+
+  // Clamping is a grouping choice, never a numeric one: the one-shard
+  // fleet must match a two-lane-sharded fleet bit for bit.
+  FleetConfig narrow;
+  narrow.shard_lanes = 2;
+  FleetStepper sharded(*golden_, nodes, narrow);
+  const auto runs = collect_streams(nodes);
+  math::Matrix pmcs(nodes, runs[0].dataset.features().cols());
+  std::vector<std::optional<double>> readings(nodes);
+  std::vector<PowerEstimate> a(nodes), b(nodes);
+  for (std::size_t t = 0; t < kStreamTicks; ++t) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const TickInput in = tick_input(runs[i], i, t);
+      auto dst = pmcs.row(i);
+      std::copy(in.pmcs.begin(), in.pmcs.end(), dst.begin());
+      readings[i] = in.reading;
+    }
+    clamped.step_tick(pmcs, readings, a);
+    sharded.step_tick(pmcs, readings, b);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      ASSERT_EQ(a[i].node_w, b[i].node_w) << "node " << i << " tick " << t;
+      ASSERT_EQ(a[i].cpu_w, b[i].cpu_w);
+      ASSERT_EQ(a[i].mem_w, b[i].mem_w);
+      ASSERT_EQ(a[i].measured, b[i].measured);
+    }
+  }
+}
+
+TEST_F(FleetBoundaryTest, CohortSplitMatchesStepTick) {
+  // step_cohort with arbitrary disjoint lane-id sets (here interleaved odd
+  // and even lanes, stepped through caller-owned scratch) must agree with
+  // the whole-fleet step_tick bit for bit — the contract serve's consumer
+  // pool depends on.
+  const std::size_t nodes = 5;
+  const auto runs = collect_streams(nodes);
+  FleetStepper whole(*golden_, nodes);
+  FleetStepper split(*golden_, nodes);
+  FleetStepper::Cohort even_scratch, odd_scratch;
+  const std::vector<std::size_t> even_ids{0, 2, 4};
+  const std::vector<std::size_t> odd_ids{1, 3};
+
+  const std::size_t f = runs[0].dataset.features().cols();
+  math::Matrix pmcs(nodes, f);
+  std::vector<std::optional<double>> readings(nodes);
+  std::vector<PowerEstimate> ref(nodes);
+  math::Matrix even_rows(even_ids.size(), f), odd_rows(odd_ids.size(), f);
+  std::vector<std::optional<double>> even_readings(even_ids.size());
+  std::vector<std::optional<double>> odd_readings(odd_ids.size());
+  std::vector<PowerEstimate> even_out(even_ids.size());
+  std::vector<PowerEstimate> odd_out(odd_ids.size());
+
+  for (std::size_t t = 0; t < kStreamTicks; ++t) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const TickInput in = tick_input(runs[i], i, t);
+      auto dst = pmcs.row(i);
+      std::copy(in.pmcs.begin(), in.pmcs.end(), dst.begin());
+      readings[i] = in.reading;
+    }
+    whole.step_tick(pmcs, readings, ref);
+
+    const auto stage = [&](const std::vector<std::size_t>& ids,
+                           math::Matrix& rows,
+                           std::vector<std::optional<double>>& rds) {
+      for (std::size_t li = 0; li < ids.size(); ++li) {
+        const auto src = pmcs.row(ids[li]);
+        auto dst = rows.row(li);
+        std::copy(src.begin(), src.end(), dst.begin());
+        rds[li] = readings[ids[li]];
+      }
+    };
+    stage(even_ids, even_rows, even_readings);
+    stage(odd_ids, odd_rows, odd_readings);
+    split.step_cohort(even_ids, even_rows, 0, even_readings, even_out,
+                      even_scratch);
+    split.step_cohort(odd_ids, odd_rows, 0, odd_readings, odd_out,
+                      odd_scratch);
+
+    const auto check = [&](const std::vector<std::size_t>& ids,
+                           const std::vector<PowerEstimate>& out) {
+      for (std::size_t li = 0; li < ids.size(); ++li) {
+        ASSERT_EQ(out[li].node_w, ref[ids[li]].node_w)
+            << "lane " << ids[li] << " tick " << t;
+        ASSERT_EQ(out[li].cpu_w, ref[ids[li]].cpu_w);
+        ASSERT_EQ(out[li].mem_w, ref[ids[li]].mem_w);
+        ASSERT_EQ(out[li].measured, ref[ids[li]].measured);
+      }
+    };
+    check(even_ids, even_out);
+    check(odd_ids, odd_out);
+  }
+}
+
+TEST_F(FleetBoundaryTest, CohortRejectsSizeMismatch) {
+  FleetStepper fleet(*golden_, 3);
+  FleetStepper::Cohort scratch;
+  const std::vector<std::size_t> ids{0, 1};
+  math::Matrix rows(1, sim::kNumPmcEvents);  // too few rows for two lanes
+  std::vector<std::optional<double>> readings(2);
+  std::vector<PowerEstimate> out(2);
+  EXPECT_THROW(fleet.step_cohort(ids, rows, 0, readings, out, scratch),
+               std::invalid_argument);
 }
 
 INSTANTIATE_TEST_SUITE_P(

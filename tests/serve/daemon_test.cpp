@@ -1,0 +1,234 @@
+// serve::Daemon functional contract: config validation, ingestion
+// accounting (offered == accepted + shed + dropped_readings), graceful
+// overload degradation (shed ticks bridged by bounded held-row catch-up),
+// and live querying while producers and consumers run (the binary carries
+// the serve-sanitize label — TSan checks the whole concurrent path).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "highrpm/serve/daemon.hpp"
+#include "serve_test_util.hpp"
+
+namespace highrpm::serve {
+namespace {
+
+namespace tu = testutil;
+
+class ServeDaemonTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    golden_ = new core::HighRpm(tu::train_golden());
+  }
+  static void TearDownTestSuite() {
+    delete golden_;
+    golden_ = nullptr;
+  }
+  static core::HighRpm* golden_;
+};
+
+core::HighRpm* ServeDaemonTest::golden_ = nullptr;
+
+TEST_F(ServeDaemonTest, ValidatesConfigurationBoundaries) {
+  DaemonConfig zero_consumers;
+  zero_consumers.consumers = 0;
+  EXPECT_THROW(Daemon(*golden_, 2, tu::node_suites(2), zero_consumers),
+               std::invalid_argument);
+
+  DaemonConfig zero_ring;
+  zero_ring.ring_capacity = 0;
+  EXPECT_THROW(Daemon(*golden_, 2, tu::node_suites(2), zero_ring),
+               std::invalid_argument);
+
+  // Suite list must align with the fleet.
+  EXPECT_THROW(Daemon(*golden_, 2, tu::node_suites(3)),
+               std::invalid_argument);
+  // Zero nodes rejected (by the fleet it wraps).
+  EXPECT_THROW(Daemon(*golden_, 0, {}), std::invalid_argument);
+
+  // Consumers clamp to the node count.
+  DaemonConfig many;
+  many.consumers = 64;
+  Daemon d(*golden_, 3, tu::node_suites(3), many);
+  EXPECT_EQ(d.consumers(), 3u);
+  EXPECT_EQ(d.nodes(), 3u);
+  EXPECT_FALSE(d.running());
+  EXPECT_THROW(d.quiesce(), std::logic_error);
+}
+
+TEST_F(ServeDaemonTest, DrainsEveryOfferedTickAndAccountsExactly) {
+  const std::size_t nodes = 3;
+  const std::uint64_t ticks = 48;
+  DaemonConfig cfg;
+  cfg.consumers = 2;
+  cfg.ring_capacity = 256;  // roomy: nothing sheds
+  Daemon daemon(*golden_, nodes, tu::node_suites(nodes), cfg);
+  daemon.start();
+  EXPECT_TRUE(daemon.running());
+  EXPECT_THROW(daemon.start(), std::logic_error);
+
+  std::vector<measure::NodeTickStream> streams;
+  for (std::size_t i = 0; i < nodes; ++i) streams.push_back(tu::make_stream(i));
+  for (std::uint64_t t = 0; t < ticks; ++t) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      EXPECT_EQ(daemon.offer(i, streams[i].next()), OfferResult::kAccepted);
+    }
+  }
+  daemon.quiesce();
+  const DaemonSnapshot snap = daemon.snapshot();
+  daemon.stop();
+  EXPECT_FALSE(daemon.running());
+  daemon.stop();  // idempotent
+
+  ASSERT_EQ(snap.nodes.size(), nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const NodeStatus& n = snap.nodes[i];
+    EXPECT_EQ(n.offered, ticks) << "node " << i;
+    EXPECT_EQ(n.accepted, ticks);
+    EXPECT_EQ(n.shed, 0u);
+    EXPECT_EQ(n.dropped_readings, 0u);
+    EXPECT_EQ(n.held, 0u);
+    EXPECT_EQ(n.ticks, ticks);  // every accepted tick was stepped
+    EXPECT_TRUE(std::isfinite(n.node_w));
+    EXPECT_TRUE(std::isfinite(n.cpu_w));
+    EXPECT_TRUE(std::isfinite(n.mem_w));
+    EXPECT_GT(n.node_w, 0.0);
+  }
+  EXPECT_EQ(snap.total_offered, nodes * ticks);
+  EXPECT_EQ(snap.total_accepted, nodes * ticks);
+  EXPECT_EQ(snap.total_ticks, nodes * ticks);
+
+  // Error histograms grouped by the suites actually deployed, with mass
+  // only from unmeasured (restored) ticks, and internally ordered.
+  ASSERT_FALSE(snap.suites.empty());
+  std::uint64_t samples = 0;
+  for (const SuiteStats& s : snap.suites) {
+    samples += s.samples;
+    EXPECT_LE(s.err_p50_mw, s.err_p99_mw) << s.suite;
+    EXPECT_LE(s.err_p99_mw, s.err_max_mw) << s.suite;
+  }
+  EXPECT_GT(samples, 0u);
+  EXPECT_LE(samples, nodes * ticks);
+
+  // The canonical text form mentions every node and ends with the totals.
+  const std::string text = to_string(snap);
+  EXPECT_NE(text.find("node 2 "), std::string::npos);
+  EXPECT_NE(text.find("totals ticks="), std::string::npos);
+}
+
+TEST_F(ServeDaemonTest, OverloadShedsGracefullyWithHeldFallback) {
+  // One node, capacity-1 ring, daemon NOT yet started: the first offer is
+  // accepted, further predict-only ticks shed, a reading tick exhausts its
+  // bounded retry and is dropped. Starting the daemon then drains the one
+  // queued tick; the next accepted tick reports the gap and the consumer
+  // bridges it with at most held_fallback_cap held steps.
+  DaemonConfig cfg;
+  cfg.consumers = 1;
+  cfg.ring_capacity = 1;
+  cfg.held_fallback_cap = 3;
+  cfg.offer_retries = 4;  // keep the doomed retry cheap
+  Daemon daemon(*golden_, 1, tu::node_suites(1), cfg);
+
+  auto stream = tu::make_stream(0);
+  EXPECT_EQ(daemon.offer(0, stream.next()), OfferResult::kAccepted);
+  std::uint64_t shed = 0;
+  std::uint64_t dropped_readings = 0;
+  // Push until we have seen both overload outcomes.
+  while (shed < 9 || dropped_readings < 1) {
+    measure::StreamTick t = stream.next();
+    if (dropped_readings == 0 && shed >= 9) t.has_reading = true;
+    const OfferResult r = daemon.offer(0, t);
+    ASSERT_NE(r, OfferResult::kAccepted) << "ring should stay full";
+    if (r == OfferResult::kShed) ++shed;
+    if (r == OfferResult::kDroppedReading) ++dropped_readings;
+  }
+
+  daemon.start();
+  daemon.quiesce();  // drains the single queued tick (gap = 0)
+  // The next accepted tick carries the accumulated gap.
+  EXPECT_EQ(daemon.offer(0, stream.next()), OfferResult::kAccepted);
+  daemon.quiesce();
+  const DaemonSnapshot snap = daemon.snapshot();
+  daemon.stop();
+
+  const NodeStatus& n = snap.nodes.at(0);
+  EXPECT_EQ(n.shed, shed);
+  EXPECT_EQ(n.dropped_readings, dropped_readings);
+  EXPECT_GE(n.backpressure, 1u);
+  EXPECT_EQ(n.accepted, 2u);
+  EXPECT_EQ(n.held, 3u);  // gap >= 10 clamped to held_fallback_cap
+  EXPECT_EQ(n.ticks, 2u + 3u);  // two real ticks + three held steps
+  EXPECT_TRUE(std::isfinite(n.node_w));
+  EXPECT_GT(snap.total_shed, 0u);
+}
+
+TEST_F(ServeDaemonTest, LiveQueriesWhileIngesting) {
+  // Producer thread floods; the test thread queries concurrently. Every
+  // snapshot observed mid-flight must be internally coherent: totals equal
+  // the row sums, accounting identity holds per node, estimates are never
+  // NaN once a node has stepped.
+  const std::size_t nodes = 4;
+  DaemonConfig cfg;
+  cfg.consumers = 2;
+  cfg.ring_capacity = 8;  // small: force real shedding under flood
+  cfg.offer_retries = 16;
+  Daemon daemon(*golden_, nodes, tu::node_suites(nodes), cfg);
+  daemon.start();
+
+  std::vector<measure::NodeTickStream> streams;
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    streams.push_back(tu::make_stream(i));
+    ids.push_back(i);
+  }
+  Producer::Config pcfg;
+  pcfg.ticks_per_node = 400;
+  pcfg.burst_len = 32;
+  pcfg.pause_us = 0;  // flood
+  Producer producer(daemon, ids, std::move(streams), pcfg);
+  producer.start();
+
+  for (int iter = 0; iter < 50; ++iter) {
+    const DaemonSnapshot snap = daemon.snapshot();
+    std::uint64_t offered = 0, accepted = 0, shed = 0, dropped = 0;
+    for (const NodeStatus& n : snap.nodes) {
+      // Reads race the producer, but each node's counters are bumped
+      // offered-first, outcome-second, so outcomes never exceed offers.
+      EXPECT_LE(n.accepted + n.shed + n.dropped_readings, n.offered);
+      if (n.ticks > 0) {
+        EXPECT_TRUE(std::isfinite(n.node_w));
+        EXPECT_TRUE(std::isfinite(n.cpu_w));
+        EXPECT_TRUE(std::isfinite(n.mem_w));
+      }
+      offered += n.offered;
+      accepted += n.accepted;
+      shed += n.shed;
+      dropped += n.dropped_readings;
+    }
+    EXPECT_EQ(snap.total_offered, offered);
+    EXPECT_EQ(snap.total_accepted, accepted);
+    EXPECT_EQ(snap.total_shed, shed);
+    EXPECT_EQ(snap.total_dropped_readings, dropped);
+    (void)to_string(snap);  // formatting a live snapshot is safe too
+  }
+
+  producer.join();
+  producer.join();  // idempotent
+  daemon.quiesce();
+  const DaemonSnapshot last = daemon.snapshot();
+  daemon.stop();
+  EXPECT_EQ(last.total_offered, nodes * 400u);
+  EXPECT_EQ(last.total_accepted + last.total_shed +
+                last.total_dropped_readings,
+            last.total_offered);
+  for (const NodeStatus& n : last.nodes) {
+    EXPECT_TRUE(std::isfinite(n.node_w));
+  }
+}
+
+}  // namespace
+}  // namespace highrpm::serve

@@ -1,0 +1,107 @@
+// serve's determinism contract: with a fixed per-node offer schedule and
+// no overload (roomy rings, chunked offer -> quiesce), the sequence of
+// snapshot texts is BYTE-identical at every consumer thread count, and
+// every node's published estimate equals the serial facade (a HighRpm
+// clone fed the same NodeTickStream) bit for bit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "highrpm/core/highrpm.hpp"
+#include "highrpm/serve/daemon.hpp"
+#include "serve_test_util.hpp"
+
+namespace highrpm::serve {
+namespace {
+
+namespace tu = testutil;
+
+constexpr std::size_t kNodes = 4;
+constexpr std::uint64_t kChunks = 6;
+constexpr std::uint64_t kChunkTicks = 16;
+
+/// Offer kChunks * kChunkTicks ticks per node in chunks, quiescing and
+/// snapshotting after each chunk; return the concatenated snapshot texts.
+std::string run_daemon(const core::HighRpm& golden, std::size_t consumers) {
+  DaemonConfig cfg;
+  cfg.consumers = consumers;
+  cfg.ring_capacity = kChunkTicks * 2;  // no sheds: schedule fits
+  Daemon daemon(golden, kNodes, tu::node_suites(kNodes), cfg);
+  std::vector<measure::NodeTickStream> streams;
+  for (std::size_t i = 0; i < kNodes; ++i) streams.push_back(tu::make_stream(i));
+  daemon.start();
+  std::string transcript;
+  for (std::uint64_t chunk = 0; chunk < kChunks; ++chunk) {
+    for (std::uint64_t t = 0; t < kChunkTicks; ++t) {
+      for (std::size_t i = 0; i < kNodes; ++i) {
+        EXPECT_EQ(daemon.offer(i, streams[i].next()), OfferResult::kAccepted);
+      }
+    }
+    daemon.quiesce();
+    transcript += to_string(daemon.snapshot());
+  }
+  daemon.stop();
+  return transcript;
+}
+
+TEST(ServeDeterminism, SnapshotSequenceIsByteIdenticalAcrossConsumerCounts) {
+  const core::HighRpm golden = tu::train_golden();
+  const std::string one = run_daemon(golden, 1);
+  const std::string two = run_daemon(golden, 2);
+  const std::string three = run_daemon(golden, 3);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, two) << "1-consumer vs 2-consumer transcripts diverged";
+  EXPECT_EQ(one, three) << "1-consumer vs 3-consumer transcripts diverged";
+}
+
+TEST(ServeDeterminism, DaemonEstimatesMatchSerialFacadeBitForBit) {
+  const core::HighRpm golden = tu::train_golden();
+  constexpr std::uint64_t kTicks = kChunks * kChunkTicks;
+
+  // Serial reference: one HighRpm clone per node, fed the same stream.
+  std::vector<std::vector<core::PowerEstimate>> ref(kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    core::HighRpm node = golden;
+    node.reset_stream();
+    auto stream = tu::make_stream(i);
+    for (std::uint64_t t = 0; t < kTicks; ++t) {
+      const measure::StreamTick tick = stream.next();
+      const std::optional<double> reading =
+          tick.has_reading ? std::optional<double>(tick.reading_w)
+                           : std::nullopt;
+      ref[i].push_back(node.on_tick(tick.pmcs, reading));
+    }
+  }
+
+  // Daemon with two consumers; snapshot after every tick wave.
+  DaemonConfig cfg;
+  cfg.consumers = 2;
+  cfg.ring_capacity = 64;
+  Daemon daemon(golden, kNodes, tu::node_suites(kNodes), cfg);
+  std::vector<measure::NodeTickStream> streams;
+  for (std::size_t i = 0; i < kNodes; ++i) streams.push_back(tu::make_stream(i));
+  daemon.start();
+  for (std::uint64_t t = 0; t < kTicks; ++t) {
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      ASSERT_EQ(daemon.offer(i, streams[i].next()), OfferResult::kAccepted);
+    }
+    daemon.quiesce();
+    const DaemonSnapshot snap = daemon.snapshot();
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      const NodeStatus& n = snap.nodes[i];
+      ASSERT_EQ(n.ticks, t + 1) << "node " << i;
+      // Exact equality on purpose: bit identity with the serial path.
+      ASSERT_EQ(n.node_w, ref[i][t].node_w) << "node " << i << " tick " << t;
+      ASSERT_EQ(n.cpu_w, ref[i][t].cpu_w) << "node " << i << " tick " << t;
+      ASSERT_EQ(n.mem_w, ref[i][t].mem_w) << "node " << i << " tick " << t;
+      ASSERT_EQ(n.measured, ref[i][t].measured)
+          << "node " << i << " tick " << t;
+    }
+  }
+  daemon.stop();
+}
+
+}  // namespace
+}  // namespace highrpm::serve

@@ -1,0 +1,130 @@
+// serve's two lock-free primitives, exercised single-threaded for exact
+// semantics and two-threaded for coherence (the binary carries the
+// serve-sanitize label, so TSan also checks data-race freedom here).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "highrpm/math/float_eq.hpp"
+#include "highrpm/serve/snapshot.hpp"
+#include "highrpm/serve/spsc_ring.hpp"
+
+namespace highrpm::serve {
+namespace {
+
+TEST(SpscRing, RejectsZeroCapacity) {
+  EXPECT_THROW(SpscRing<int>(0), std::invalid_argument);
+}
+
+TEST(SpscRing, RoundsCapacityUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1024).capacity(), 1024u);
+  EXPECT_EQ(SpscRing<int>(1025).capacity(), 2048u);
+}
+
+TEST(SpscRing, FifoOrderAndFullEmptyBoundaries) {
+  SpscRing<int> ring(4);
+  int out = 0;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.try_pop(out));  // pop on empty fails, out untouched
+  EXPECT_EQ(out, 0);
+
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  EXPECT_EQ(ring.size(), 4u);
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);  // FIFO
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_TRUE(ring.empty());
+
+  // Wraparound: interleaved push/pop far past the capacity.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(ring.try_push(i));
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(SpscRing, TwoThreadStressDeliversEverythingInOrder) {
+  SpscRing<std::uint64_t> ring(8);
+  constexpr std::uint64_t kItems = 50000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems;) {
+      if (ring.try_push(i)) {
+        ++i;
+      } else {
+        std::this_thread::yield();  // single-core boxes: let the consumer run
+      }
+    }
+  });
+  std::uint64_t expect = 0;
+  while (expect < kItems) {
+    std::uint64_t v = 0;
+    if (!ring.try_pop(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(v, expect);  // order preserved, nothing lost or duplicated
+    ++expect;
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(NodeStatusCell, ReadReturnsLastPublish) {
+  NodeStatusCell cell;
+  const NodeStatusCell::Value zero = cell.read();
+  EXPECT_EQ(zero.ticks, 0u);
+  EXPECT_FALSE(zero.measured);
+
+  cell.publish({7, 80.5, 40.25, 12.125, true});
+  const NodeStatusCell::Value v = cell.read();
+  EXPECT_EQ(v.ticks, 7u);
+  EXPECT_EQ(v.node_w, 80.5);
+  EXPECT_EQ(v.cpu_w, 40.25);
+  EXPECT_EQ(v.mem_w, 12.125);
+  EXPECT_TRUE(v.measured);
+}
+
+TEST(NodeStatusCell, ConcurrentReadersNeverSeeTornPayload) {
+  // The writer publishes correlated payloads {t, t, 2t, 3t}; any coherent
+  // read must satisfy the correlation exactly. Readers hammering the cell
+  // while the writer publishes must never observe a mix of two publishes.
+  NodeStatusCell cell;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const NodeStatusCell::Value v = cell.read();
+        const double t = static_cast<double>(v.ticks);
+        const bool coherent = math::exact_eq(v.node_w, t) &&
+                              math::exact_eq(v.cpu_w, 2.0 * t) &&
+                              math::exact_eq(v.mem_w, 3.0 * t);
+        EXPECT_TRUE(coherent) << "torn read at ticks " << v.ticks;
+        if (!coherent) return;
+      }
+    });
+  }
+  constexpr std::uint64_t kPublishes = 100000;
+  for (std::uint64_t t = 1; t <= kPublishes; ++t) {
+    const double d = static_cast<double>(t);
+    cell.publish({t, d, 2.0 * d, 3.0 * d, (t & 1) != 0});
+    if (t % 1024 == 0) std::this_thread::yield();  // let the readers observe
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  const NodeStatusCell::Value last = cell.read();
+  EXPECT_EQ(last.ticks, kPublishes);
+}
+
+}  // namespace
+}  // namespace highrpm::serve

@@ -1,0 +1,63 @@
+// Shared fixtures for the serve test binaries: one cheap golden training
+// recipe and the node -> (workload, stream seed) derivation every serve
+// test and the bench use, so the daemon's inputs are reproducible across
+// suites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "highrpm/core/highrpm.hpp"
+#include "highrpm/measure/collector.hpp"
+#include "highrpm/measure/stream.hpp"
+#include "highrpm/sim/platform.hpp"
+#include "highrpm/workloads/suites.hpp"
+
+namespace highrpm::serve::testutil {
+
+constexpr std::uint64_t kSeed = 2023;
+
+inline sim::Workload workload_for_node(std::size_t node) {
+  switch (node % 4) {
+    case 0: return workloads::fft();
+    case 1: return workloads::stream();
+    case 2: return workloads::hpcg();
+    default: return workloads::graph500_bfs();
+  }
+}
+
+inline core::HighRpm train_golden() {
+  measure::Collector collector;
+  std::vector<measure::CollectedRun> runs;
+  runs.push_back(collector.collect(sim::PlatformConfig::arm(),
+                                   workloads::fft(), 160, kSeed));
+  runs.push_back(collector.collect(sim::PlatformConfig::arm(),
+                                   workloads::stream(), 160, kSeed + 1));
+  core::HighRpmConfig cfg;
+  cfg.dynamic_trr.rnn.epochs = 8;
+  cfg.dynamic_trr.online_finetune = false;  // shared-weights fast path
+  cfg.srr.epochs = 20;
+  core::HighRpm golden(cfg);
+  golden.initial_learning(runs);
+  return golden;
+}
+
+/// Node i's deployment stream — same derivation at every consumer count
+/// and in the serial reference.
+inline measure::NodeTickStream make_stream(std::size_t node) {
+  return measure::NodeTickStream(sim::PlatformConfig::arm(),
+                                 workload_for_node(node),
+                                 kSeed + 1000 + node);
+}
+
+inline std::vector<std::string> node_suites(std::size_t nodes) {
+  std::vector<std::string> suites;
+  suites.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    suites.push_back(workload_for_node(i).suite);
+  }
+  return suites;
+}
+
+}  // namespace highrpm::serve::testutil
