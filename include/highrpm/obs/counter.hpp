@@ -13,37 +13,49 @@
 // the source's value — that keeps classes with Counter members (HighRpm is
 // cloned per compute node by MonitorService) copyable, each copy continuing
 // from the source's count.
+//
+// Templated over an atomics backend (verify/backend.hpp) so the model
+// checker can prove fetch_add loses no updates and the value is monotone
+// under add(); production uses the Counter alias (plain std::atomic).
+// obs/ is the sanctioned home for relaxed atomics in the memory-order-audit
+// lint — no per-line justification needed here.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "highrpm/verify/backend.hpp"
+
 namespace highrpm::obs {
 
-class Counter {
+template <typename Backend = highrpm::verify::StdBackend>
+class BasicCounter {
  public:
-  constexpr Counter() noexcept = default;
+  constexpr BasicCounter() noexcept = default;
 
-  Counter(const Counter& other) noexcept
+  BasicCounter(const BasicCounter& other)
       : value_(other.value_.load(std::memory_order_relaxed)) {}
-  Counter& operator=(const Counter& other) noexcept {
+  BasicCounter& operator=(const BasicCounter& other) {
     value_.store(other.value_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
     return *this;
   }
 
-  void add(std::uint64_t n = 1) noexcept {
+  void add(std::uint64_t n = 1) {
     value_.fetch_add(n, std::memory_order_relaxed);
   }
 
-  std::uint64_t value() const noexcept {
+  std::uint64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }
 
-  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  typename Backend::template Atomic<std::uint64_t> value_{0};
 };
+
+/// Production instantiation — plain std::atomic, zero template overhead.
+using Counter = BasicCounter<>;
 
 }  // namespace highrpm::obs

@@ -14,6 +14,12 @@
 // latency distributions landing in the same power-of-two bucket still
 // report distinguishable p50/p99.
 //
+// Templated over an atomics backend (verify/backend.hpp): production uses
+// the Histogram alias (plain std::atomic, as before); the model-checker
+// suites instantiate BasicHistogram<verify::ModelBackend> to explore the
+// record()/stats() interleavings deterministically. obs/ is the sanctioned
+// home for relaxed atomics in the memory-order-audit lint.
+//
 // When HIGHRPM_OBS_ENABLED is 0 the class collapses to a no-op shell with
 // the same API (distinct inline namespace, so a no-op-mode translation unit
 // can coexist with an enabled library build without ODR clashes).
@@ -24,6 +30,8 @@
 #endif
 
 #include <cstdint>
+
+#include "highrpm/verify/backend.hpp"
 
 #if HIGHRPM_OBS_ENABLED
 #include <algorithm>
@@ -53,17 +61,18 @@ struct HistogramStats {
 
 inline namespace obs_enabled {
 
-class Histogram {
+template <typename Backend = highrpm::verify::StdBackend>
+class BasicHistogram {
  public:
   /// Bucket b holds values v with bit_width(v) == b, i.e. [2^(b-1), 2^b).
   /// Bucket 0 holds the value 0.
   static constexpr std::size_t kBuckets = 65;
 
-  Histogram() noexcept = default;
-  Histogram(const Histogram&) = delete;
-  Histogram& operator=(const Histogram&) = delete;
+  BasicHistogram() noexcept = default;
+  BasicHistogram(const BasicHistogram&) = delete;
+  BasicHistogram& operator=(const BasicHistogram&) = delete;
 
-  void record(std::uint64_t value) noexcept {
+  void record(std::uint64_t value) {
     buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
@@ -79,18 +88,18 @@ class Histogram {
     }
   }
 
-  std::uint64_t count() const noexcept {
+  std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
   }
-  std::uint64_t sum() const noexcept {
+  std::uint64_t sum() const {
     return sum_.load(std::memory_order_relaxed);
   }
   /// 0 when empty.
-  std::uint64_t min() const noexcept {
+  std::uint64_t min() const {
     const std::uint64_t v = min_.load(std::memory_order_relaxed);
     return v == UINT64_MAX ? 0 : v;
   }
-  std::uint64_t max() const noexcept {
+  std::uint64_t max() const {
     return max_.load(std::memory_order_relaxed);
   }
 
@@ -109,7 +118,7 @@ class Histogram {
   /// the earlier walk used a 1-based landing test against a 0-based rank,
   /// which off-by-one'd tail quantiles into the previous bucket — p99 of
   /// {1, 1, 1, 1000} reported 1 (a property test pins the fix).
-  std::uint64_t quantile(double q) const noexcept {
+  std::uint64_t quantile(double q) const {
     std::array<std::uint64_t, kBuckets> frozen;
     std::uint64_t n = 0;
     for (std::size_t b = 0; b < kBuckets; ++b) {
@@ -127,7 +136,7 @@ class Histogram {
   /// min only ever decreases and max only ever increases, so clamping the
   /// frozen-mass quantiles into [min, max] preserves the ordering
   /// invariants. sum is a best-effort concurrent read.
-  HistogramStats stats() const noexcept {
+  HistogramStats stats() const {
     std::array<std::uint64_t, kBuckets> frozen;
     std::uint64_t n = 0;
     for (std::size_t b = 0; b < kBuckets; ++b) {
@@ -154,7 +163,7 @@ class Histogram {
     return s;
   }
 
-  void reset() noexcept {
+  void reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
@@ -202,12 +211,18 @@ class Histogram {
     return mx;
   }
 
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_{0};
-  std::atomic<std::uint64_t> min_{UINT64_MAX};
-  std::atomic<std::uint64_t> max_{0};
+  template <typename T>
+  using Atomic = typename Backend::template Atomic<T>;
+
+  std::array<Atomic<std::uint64_t>, kBuckets> buckets_{};
+  Atomic<std::uint64_t> count_{0};
+  Atomic<std::uint64_t> sum_{0};
+  Atomic<std::uint64_t> min_{UINT64_MAX};
+  Atomic<std::uint64_t> max_{0};
 };
+
+/// Production instantiation — plain std::atomic, zero template overhead.
+using Histogram = BasicHistogram<>;
 
 }  // namespace obs_enabled
 
@@ -215,13 +230,16 @@ class Histogram {
 
 inline namespace obs_disabled {
 
-/// No-op shell: same API, no storage, nothing recorded.
-class Histogram {
+/// No-op shell: same API, no storage, nothing recorded. Templated like the
+/// enabled mode so BasicHistogram<verify::ModelBackend> still names a type
+/// (the model suites gate their assertions on HIGHRPM_OBS_ENABLED).
+template <typename Backend = highrpm::verify::StdBackend>
+class BasicHistogram {
  public:
   static constexpr std::size_t kBuckets = 65;
-  Histogram() noexcept = default;
-  Histogram(const Histogram&) = delete;
-  Histogram& operator=(const Histogram&) = delete;
+  BasicHistogram() noexcept = default;
+  BasicHistogram(const BasicHistogram&) = delete;
+  BasicHistogram& operator=(const BasicHistogram&) = delete;
   void record(std::uint64_t) noexcept {}
   std::uint64_t count() const noexcept { return 0; }
   std::uint64_t sum() const noexcept { return 0; }
@@ -231,6 +249,8 @@ class Histogram {
   HistogramStats stats() const noexcept { return {}; }
   void reset() noexcept {}
 };
+
+using Histogram = BasicHistogram<>;
 
 }  // namespace obs_disabled
 

@@ -17,8 +17,9 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
-#include <thread>
 #include <vector>
+
+#include "highrpm/verify/backend.hpp"
 
 namespace highrpm::serve {
 
@@ -75,7 +76,15 @@ std::string to_string(const DaemonSnapshot& snap);
 /// data-race-free by construction (TSan-clean), and the seq protocol makes
 /// the *set* of fields coherent: read() only returns a payload bracketed by
 /// two equal even sequence reads.
-class NodeStatusCell {
+///
+/// Templated over an atomics backend (verify/backend.hpp): production uses
+/// the default StdBackend alias below (plain std::atomic, identical codegen
+/// to the untemplated original); the model-checker suites instantiate
+/// BasicNodeStatusCell<verify::ModelBackend> to verify the fence protocol
+/// under simulated weak memory and to prove the mutation fixtures
+/// (stripped fence, weakened final store) torn-readable.
+template <typename Backend = verify::StdBackend>
+class BasicNodeStatusCell {
  public:
   struct Value {
     std::uint64_t ticks = 0;
@@ -85,50 +94,64 @@ class NodeStatusCell {
     bool measured = false;
   };
 
+  BasicNodeStatusCell() = default;
+  /// Start the sequence counter at `initial_seq` (must be even — an odd
+  /// start would read as a publish forever in flight). Exists so the
+  /// wraparound suite can model-check the counter crossing 2^64.
+  explicit BasicNodeStatusCell(std::uint64_t initial_seq)
+      : seq_(initial_seq) {}
+
   /// Writer side (one thread at a time).
-  void publish(const Value& v) noexcept {
-    const std::uint64_t s = seq_.load(std::memory_order_relaxed);
-    seq_.store(s + 1, std::memory_order_relaxed);  // odd: publish in flight
+  void publish(const Value& v) {
+    const std::uint64_t s =  // HIGHRPM_LINT_ALLOW(memory-order-audit): writer-owned counter, no other writer
+        seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): odd marker ordered by the fence below
     // The fence keeps the payload stores below from reordering before the
     // odd store above — a reader that observes any new payload value and
     // then re-checks seq_ must see it odd (or already advanced) and retry.
-    std::atomic_thread_fence(std::memory_order_release);
-    ticks_.store(v.ticks, std::memory_order_relaxed);
-    node_w_.store(v.node_w, std::memory_order_relaxed);
-    cpu_w_.store(v.cpu_w, std::memory_order_relaxed);
-    mem_w_.store(v.mem_w, std::memory_order_relaxed);
-    measured_.store(v.measured, std::memory_order_relaxed);
+    Backend::fence(std::memory_order_release);
+    ticks_.store(v.ticks, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
+    node_w_.store(v.node_w, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
+    cpu_w_.store(v.cpu_w, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
+    mem_w_.store(v.mem_w, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
+    measured_.store(v.measured, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
     seq_.store(s + 2, std::memory_order_release);  // even: stable again
   }
 
   /// Reader side: spins until it brackets a stable payload. Wait-free in
   /// practice — publishes are a handful of stores, so retries are rare.
-  Value read() const noexcept {
+  Value read() const {
     Value v;
     for (;;) {
       const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
       if (s1 & 1) {  // publish in flight; yield so a preempted writer
-        std::this_thread::yield();  // (single-core box) can finish it
+        Backend::yield();  // (single-core box) can finish it
         continue;
       }
-      v.ticks = ticks_.load(std::memory_order_relaxed);
-      v.node_w = node_w_.load(std::memory_order_relaxed);
-      v.cpu_w = cpu_w_.load(std::memory_order_relaxed);
-      v.mem_w = mem_w_.load(std::memory_order_relaxed);
-      v.measured = measured_.load(std::memory_order_relaxed);
-      std::atomic_thread_fence(std::memory_order_acquire);
-      if (seq_.load(std::memory_order_relaxed) == s1) return v;
-      std::this_thread::yield();
+      v.ticks = ticks_.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
+      v.node_w = node_w_.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
+      v.cpu_w = cpu_w_.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
+      v.mem_w = mem_w_.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
+      v.measured = measured_.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
+      Backend::fence(std::memory_order_acquire);
+      if (seq_.load(std::memory_order_relaxed) == s1) return v;  // HIGHRPM_LINT_ALLOW(memory-order-audit): recheck ordered by the fence above
+      Backend::yield();
     }
   }
 
  private:
-  std::atomic<std::uint64_t> seq_{0};
-  std::atomic<std::uint64_t> ticks_{0};
-  std::atomic<double> node_w_{0.0};
-  std::atomic<double> cpu_w_{0.0};
-  std::atomic<double> mem_w_{0.0};
-  std::atomic<bool> measured_{false};
+  template <typename T>
+  using Atomic = typename Backend::template Atomic<T>;
+
+  Atomic<std::uint64_t> seq_{0};
+  Atomic<std::uint64_t> ticks_{0};
+  Atomic<double> node_w_{0.0};
+  Atomic<double> cpu_w_{0.0};
+  Atomic<double> mem_w_{0.0};
+  Atomic<bool> measured_{false};
 };
+
+/// Production instantiation — plain std::atomic, zero template overhead.
+using NodeStatusCell = BasicNodeStatusCell<>;
 
 }  // namespace highrpm::serve

@@ -15,6 +15,13 @@
 // does not detect violations; serve's daemon enforces the pairing
 // structurally (one ring per node, one producer per node, each node owned
 // by exactly one consumer).
+//
+// The class is templated over an atomics backend (verify/backend.hpp) so
+// the SAME source is shipped and model-checked: the default
+// verify::StdBackend compiles to plain std::atomic / bare slots (zero
+// overhead — pinned by the perf-smoke gates), while the model-checker
+// suites in tests/verify/ instantiate it with verify::ModelBackend to
+// exhaustively explore interleavings and weak-memory read choices.
 #pragma once
 
 #include <atomic>
@@ -23,9 +30,11 @@
 #include <stdexcept>
 #include <vector>
 
+#include "highrpm/verify/backend.hpp"
+
 namespace highrpm::serve {
 
-template <typename T>
+template <typename T, typename Backend = verify::StdBackend>
 class SpscRing {
  public:
   /// `capacity` is a minimum; the ring rounds it up to a power of two.
@@ -42,38 +51,52 @@ class SpscRing {
 
   /// Producer side. False when the ring is full (item not enqueued).
   bool try_push(const T& item) {
-    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    // Producer owns tail_ (no one else stores it), so relaxed is enough.
+    const std::size_t tail =  // HIGHRPM_LINT_ALLOW(memory-order-audit): producer-owned index, no other writer
+        tail_.load(std::memory_order_relaxed);
     const std::size_t head = head_.load(std::memory_order_acquire);
     if (tail - head == capacity_) return false;
-    slots_[tail & (capacity_ - 1)] = item;
+    slots_[tail & (capacity_ - 1)].write(item);
     tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
 
   /// Consumer side. False when the ring is empty (out untouched).
   bool try_pop(T& out) {
-    const std::size_t head = head_.load(std::memory_order_relaxed);
+    // Consumer owns head_ (no one else stores it), so relaxed is enough.
+    const std::size_t head =  // HIGHRPM_LINT_ALLOW(memory-order-audit): consumer-owned index, no other writer
+        head_.load(std::memory_order_relaxed);
     const std::size_t tail = tail_.load(std::memory_order_acquire);
     if (tail == head) return false;
-    out = slots_[head & (capacity_ - 1)];
+    out = slots_[head & (capacity_ - 1)].read();
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
 
   /// Snapshot occupancy — exact only when the queried side is quiescent.
-  std::size_t size() const noexcept {
-    const std::size_t tail = tail_.load(std::memory_order_acquire);
+  ///
+  /// head_ is loaded BEFORE tail_: a consumer can only advance head_ past
+  /// entries whose tail_ publication it already observed, so any tail_
+  /// value read after head_ is >= the head_ we hold and the subtraction
+  /// cannot underflow. (The reverse order could read a stale tail_ against
+  /// a fresher head_ and wrap to ~2^64 — caught by the model checker in
+  /// tests/verify/ring_verify_test.cpp and pinned by a mutation fixture.)
+  /// The result may still transiently EXCEED the true occupancy by way of
+  /// a stale head_, so callers treat it as an estimate, never an invariant.
+  /// (Not noexcept: the model backend unwinds aborted executions.)
+  std::size_t size() const {
     const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
     return tail - head;
   }
-  bool empty() const noexcept { return size() == 0; }
+  bool empty() const { return size() == 0; }
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:
   std::size_t capacity_ = 0;
-  std::vector<T> slots_;
-  alignas(64) std::atomic<std::size_t> head_{0};
-  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::vector<typename Backend::template Raw<T>> slots_;
+  alignas(64) typename Backend::template Atomic<std::size_t> head_{0};
+  alignas(64) typename Backend::template Atomic<std::size_t> tail_{0};
 };
 
 }  // namespace highrpm::serve

@@ -1,0 +1,60 @@
+// verify::StdBackend — the production atomics backend.
+//
+// The lock-free primitives in serve/ and obs/ are templated over an atomics
+// backend so the SAME SOURCE is both shipped and model-checked: production
+// instantiations use StdBackend (below), whose Atomic<T> IS std::atomic<T>
+// and whose Raw<T> is a transparent value wrapper — every call inlines to
+// the plain operation, so the template layer costs nothing (the perf-smoke
+// alloc/throughput gates and the serve determinism transcripts pin this).
+// The model-checking instantiations use verify::ModelBackend (model.hpp),
+// which routes every access through the deterministic scheduler instead.
+//
+// A backend provides:
+//   template <typename T> Atomic  — std::atomic-shaped: load/store/
+//                                   fetch_add/compare_exchange_weak, each
+//                                   taking an explicit std::memory_order
+//   template <typename T> Raw     — a NON-atomic cell accessed via
+//                                   read()/write(); the model backend race-
+//                                   checks these with vector clocks, the
+//                                   production backend is a bare T
+//   fence(order)                  — std::atomic_thread_fence
+//   yield()                       — spin-loop backoff hint; the model
+//                                   backend uses it to mark the thread as
+//                                   blocked until another thread progresses
+#pragma once
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+namespace highrpm::verify {
+
+/// Plain storage for non-atomic shared data (ring slots). In production
+/// this is a bare T; the read()/write() spelling exists so the model
+/// backend can interpose happens-before race checks on the same source.
+template <typename T>
+class StdRaw {
+ public:
+  StdRaw() = default;
+  T read() const { return value_; }
+  void write(const T& v) { value_ = v; }
+
+ private:
+  T value_{};
+};
+
+struct StdBackend {
+  template <typename T>
+  using Atomic = std::atomic<T>;
+
+  template <typename T>
+  using Raw = StdRaw<T>;
+
+  static void fence(std::memory_order order) noexcept {
+    std::atomic_thread_fence(order);
+  }
+
+  static void yield() noexcept { std::this_thread::yield(); }
+};
+
+}  // namespace highrpm::verify

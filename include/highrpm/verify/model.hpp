@@ -1,0 +1,155 @@
+// verify::ModelBackend — the checked atomics backend.
+//
+// Drop-in for verify::StdBackend (backend.hpp): same Atomic/Raw/fence/yield
+// surface, but every access is routed through the deterministic
+// verify::Scheduler, which records it (with its memory order) into the
+// execution's event log, tracks happens-before with vector clocks, explores
+// which store each load reads under the simulated weak-memory rules, and
+// flags data races on Raw cells. Instantiate the templated primitives with
+// this backend inside a verify::explore() body:
+//
+//   serve::SpscRing<int, verify::ModelBackend> ring(2);
+//
+// Supported value types: integral (including bool), float, double — 64 bits
+// at most, round-tripped through a fixed-width bit encoding so the
+// scheduler's history is type-erased.
+//
+// Accesses are only legal while a verify::explore() execution is active on
+// the calling thread (the scheduler pointer is thread-local); construction
+// is allowed anywhere, and setup/finally-phase accesses bypass scheduling
+// (they run single-threaded by construction).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+#include "highrpm/verify/sched.hpp"
+
+namespace highrpm::verify {
+
+template <typename T>
+constexpr std::uint64_t to_bits(T v) noexcept {
+  if constexpr (std::is_same_v<T, bool>) {
+    return v ? 1u : 0u;
+  } else if constexpr (std::is_integral_v<T>) {
+    return static_cast<std::uint64_t>(static_cast<std::make_unsigned_t<T>>(v));
+  } else if constexpr (std::is_same_v<T, double>) {
+    return std::bit_cast<std::uint64_t>(v);
+  } else if constexpr (std::is_same_v<T, float>) {
+    return std::bit_cast<std::uint32_t>(v);
+  } else {
+    static_assert(std::is_integral_v<T>, "unsupported model atomic type");
+  }
+}
+
+template <typename T>
+constexpr T from_bits(std::uint64_t bits) noexcept {
+  if constexpr (std::is_same_v<T, bool>) {
+    return bits != 0;
+  } else if constexpr (std::is_integral_v<T>) {
+    return static_cast<T>(
+        static_cast<std::make_unsigned_t<T>>(bits));
+  } else if constexpr (std::is_same_v<T, double>) {
+    return std::bit_cast<double>(bits);
+  } else if constexpr (std::is_same_v<T, float>) {
+    return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
+  }
+}
+
+/// std::atomic-shaped wrapper whose every operation is a scheduler event.
+template <typename T>
+class ModelAtomic {
+ public:
+  ModelAtomic() noexcept { init(T{}); }
+  explicit ModelAtomic(T v) noexcept { init(v); }
+  ~ModelAtomic() {
+    // Keep the scheduler's eventual-visibility list free of dangling
+    // pointers when a model atomic dies mid-execution.
+    if (Scheduler* s = Scheduler::current()) s->unregister_atomic(state_);
+  }
+  ModelAtomic(const ModelAtomic&) = delete;
+  ModelAtomic& operator=(const ModelAtomic&) = delete;
+
+  T load(std::memory_order mo) const {
+    return from_bits<T>(Scheduler::current()->atomic_load(state_, mo));
+  }
+
+  void store(T v, std::memory_order mo) {
+    Scheduler::current()->atomic_store(state_, to_bits(v), mo);
+  }
+
+  T fetch_add(T delta, std::memory_order mo) {
+    static_assert(std::is_integral_v<T>,
+                  "fetch_add is modeled for integral types only");
+    return from_bits<T>(
+        Scheduler::current()->rmw_fetch_add(state_, to_bits(delta), mo));
+  }
+
+  /// Modeled as strong (no spurious failure); failure order is the success
+  /// order with any release component stripped, per the single-order API.
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order mo) {
+    std::uint64_t exp = to_bits(expected);
+    const bool ok =
+        Scheduler::current()->rmw_cas(state_, exp, to_bits(desired), mo);
+    expected = from_bits<T>(exp);
+    return ok;
+  }
+
+ private:
+  void init(T v) noexcept {
+    if (Scheduler* s = Scheduler::current()) {
+      state_.id = s->register_atomic(state_, to_bits(v));
+    } else {
+      state_.history.push_back(StoreRec{to_bits(v), {}, {}, -1});
+    }
+  }
+
+  mutable AtomicState state_;
+};
+
+/// Non-atomic cell with vector-clock race detection: any two accesses not
+/// ordered by happens-before, at least one of them a write, fail the
+/// execution as a data race. This is what catches a publish store weakened
+/// to relaxed — the consumer's read of the slot becomes unordered with the
+/// producer's write.
+template <typename T>
+class ModelRaw {
+ public:
+  ModelRaw() {
+    if (Scheduler* s = Scheduler::current()) {
+      state_.id = s->register_raw(state_);
+    }
+  }
+
+  T read() const {
+    Scheduler::current()->raw_access(state_, /*is_write=*/false);
+    return value_;  // safe: no other model thread runs between switch points
+  }
+
+  void write(const T& v) {
+    Scheduler::current()->raw_access(state_, /*is_write=*/true);
+    value_ = v;
+  }
+
+ private:
+  mutable RawState state_;
+  T value_{};
+};
+
+struct ModelBackend {
+  template <typename T>
+  using Atomic = ModelAtomic<T>;
+
+  template <typename T>
+  using Raw = ModelRaw<T>;
+
+  static void fence(std::memory_order order) {
+    Scheduler::current()->fence(order);
+  }
+
+  static void yield() { Scheduler::current()->yield(); }
+};
+
+}  // namespace highrpm::verify

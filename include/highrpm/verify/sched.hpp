@@ -1,0 +1,322 @@
+// verify::Scheduler — a loom/relacy-style deterministic concurrency model
+// checker for the lock-free serve/obs primitives.
+//
+// One explore() call runs the supplied test body many times. Each execution
+// spawns the registered model threads as real OS threads but permits exactly
+// one to run at a time: every instrumented operation (atomic load/store/RMW,
+// fence, raw read/write, yield) is a context-switch point where the
+// scheduler decides which thread proceeds. Decisions come from either
+//   - an exhaustive DFS over the decision tree (with preemption bounding to
+//     keep small state spaces tractable and fully explored), or
+//   - a seeded-random sweep (for shapes too large to exhaust), where every
+//     failure prints the per-iteration seed and Options::replay_seed reruns
+//     exactly that schedule.
+//
+// Weak memory is simulated, not assumed sequentially consistent — that is
+// what lets the checker catch a release store weakened to relaxed, which
+// behaves identically under any SC interleaving:
+//   - every atomic store is appended to the variable's history with two
+//     vector clocks: `hb` (the storing thread's clock, for coherence) and
+//     `msg` (the clock an acquire reader synchronizes with: the thread's
+//     clock for release stores, the clock at the thread's last release
+//     FENCE for relaxed stores — which is exactly the seqlock protocol);
+//   - a load may read ANY history entry that coherence permits: nothing
+//     older than what the thread already read or wrote, and nothing
+//     overwritten by a store the thread's clock has already ordered after
+//     (which store it reads is itself an explored decision);
+//   - RMWs read the latest entry and extend the release sequence;
+//   - acquire fences join the message clocks of all prior relaxed loads;
+//   - non-atomic Raw cells carry read/write vector clocks and any pair of
+//     unordered accesses (at least one a write) is reported as a data race.
+//
+// Simplifications (documented, deliberate): seq_cst is modeled as acq_rel
+// (no total SC order — the checked primitives use none), weak CAS never
+// fails spuriously, and modification order equals execution order (exact
+// for the single-writer variables these primitives use).
+//
+// Livelock handling: Backend::yield() marks the thread blocked until some
+// OTHER thread executes an operation. When every unfinished thread is
+// blocked, eventual visibility kicks in first: any parked thread whose
+// coherence floor trails some atomic's newest store is unparked with its
+// floors raised to the latest entries (hardware guarantees stores become
+// visible eventually, so a spinner that merely read a stale value is not
+// livelocked — it must re-read fresh). A parked thread that raised some
+// floor during its last spin pass likewise gets one more pass: its next
+// iteration reads different values and may exit the loop. Only when no
+// parked thread can observe anything new does the execution fail as a
+// livelock; a per-execution operation budget backstops non-yielding spins.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::verify {
+
+/// Model-thread capacity of one execution (vector clock width).
+inline constexpr std::size_t kMaxThreads = 8;
+
+struct VectorClock {
+  std::array<std::uint64_t, kMaxThreads> v{};
+
+  void join(const VectorClock& o) noexcept {
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      if (o.v[i] > v[i]) v[i] = o.v[i];
+    }
+  }
+  /// Componentwise `*this <= o`: every event this clock knows, o knows.
+  bool leq(const VectorClock& o) const noexcept {
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      if (v[i] > o.v[i]) return false;
+    }
+    return true;
+  }
+};
+
+/// One entry of an atomic variable's store history.
+struct StoreRec {
+  std::uint64_t bits = 0;  // value, encoded by the typed wrapper
+  VectorClock msg;         // what an acquire reader synchronizes with
+  VectorClock hb;          // storing thread's clock (coherence/hiding)
+  int thread = -1;         // -1: initial value from the setup phase
+};
+
+/// Shared state of one model atomic (embedded in ModelAtomic<T>).
+struct AtomicState {
+  std::vector<StoreRec> history;
+  /// Per-thread coherence floor: the smallest history index the thread may
+  /// still read (raised by its own reads and writes).
+  std::array<std::size_t, kMaxThreads> floor{};
+  /// Spin-progress tracking: history size and yield epoch at the thread's
+  /// last load. A load in a LATER spin iteration (separated by a yield)
+  /// with an unchanged history must read strictly fresher than the
+  /// previous one — eventual visibility, which both prunes the explosion
+  /// of identical stale re-read branches and models that a real spin loop
+  /// cannot re-read the same stale value forever.
+  std::array<std::size_t, kMaxThreads> last_load_size{};
+  std::array<std::uint64_t, kMaxThreads> last_load_epoch{};
+  int id = -1;  // event-log label ("a<id>"), creation order
+};
+
+/// Shared state of one model Raw (non-atomic) cell.
+struct RawState {
+  VectorClock write_hb;  // clock of the last write
+  std::array<std::uint64_t, kMaxThreads> read_epoch{};
+  int id = -1;
+  int last_writer = -1;
+};
+
+struct Options {
+  enum class Mode { kExhaustive, kRandom };
+  Mode mode = Mode::kExhaustive;
+  /// Max context switches away from a runnable thread per execution;
+  /// < 0 = unbounded. Voluntary switches (yield, finish) are free.
+  int preemption_bound = -1;
+  /// Max number of (coherence-viable) newest stores a load may choose
+  /// among; 0 = unbounded. The weak-memory analogue of preemption_bound:
+  /// it caps the read-choice branching factor so retry-heavy shapes stay
+  /// exhaustible. 2 already admits the one-store-stale reads that expose
+  /// every seeded publish/fence mutant in the test suite.
+  int stale_window = 0;
+  /// Per-execution operation budget — the livelock/runaway backstop.
+  std::uint64_t max_ops = 50000;
+  /// Exhaustive mode: safety valve on the number of executions. If the DFS
+  /// is not finished by then, Result::complete stays false.
+  std::uint64_t max_executions = 2000000;
+  /// Random mode: number of seeded iterations.
+  std::uint64_t iterations = 256;
+  /// Random mode: base seed; iteration i runs with seed `seed + i`.
+  std::uint64_t seed = 1;
+  /// Random mode: when nonzero, run exactly one iteration with this seed —
+  /// the replay handle printed by a failing sweep.
+  std::uint64_t replay_seed = 0;
+  /// Events from the failing execution kept in Result::trace.
+  std::size_t trace_tail = 64;
+};
+
+struct Result {
+  bool failed = false;
+  /// Exhaustive mode: the decision space was fully explored.
+  bool complete = false;
+  std::uint64_t executions = 0;
+  std::string reason;  // first failure
+  std::string trace;   // event-log tail of the failing execution
+  /// Random mode: the per-iteration seed to pass as Options::replay_seed.
+  std::uint64_t failing_seed = 0;
+  /// Exhaustive mode: the failing decision path (informational; DFS is
+  /// deterministic, so rerunning explore() reproduces the failure).
+  std::vector<std::uint32_t> failing_path;
+  /// Max instrumented ops any single execution charged to each thread —
+  /// the livelock-bound suites assert on this.
+  std::array<std::uint64_t, kMaxThreads> max_ops_per_thread{};
+
+  /// Human-readable summary with the replay handle.
+  std::string report() const;
+};
+
+class Scheduler;
+
+/// Registration surface handed to the test body once per execution.
+class Env {
+ public:
+  explicit Env(Scheduler& s) : sched_(s) {}
+  /// Register one model thread (at most kMaxThreads).
+  void thread(std::function<void()> body);
+  /// Register a check to run on the main thread after all threads joined.
+  void finally(std::function<void()> f);
+
+ private:
+  Scheduler& sched_;
+};
+
+/// Explore the interleavings (and weak-memory read choices) of the test
+/// body. `setup` runs once per execution on the main thread: it constructs
+/// fresh shared state, registers thread bodies via Env::thread, and may
+/// register a post-join invariant via Env::finally.
+Result explore(const Options& opts,
+               const std::function<void(Env&)>& setup);
+
+/// Invariant assertion for model threads (and finally blocks): on failure
+/// the current execution is aborted and reported with its replay handle.
+/// Outside an explore() call a failure throws std::logic_error.
+void check(bool cond, const char* msg);
+
+class Scheduler {
+ public:
+  /// The scheduler driving the calling thread's execution (nullptr outside
+  /// explore()). Set for the main thread during setup/finally and for every
+  /// model thread for the duration of its body.
+  static Scheduler* current() noexcept;
+
+  explicit Scheduler(const Options& opts);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  Result run(const std::function<void(Env&)>& setup);
+
+  // ----- backend entry points (called by ModelBackend wrappers) -----
+  int register_atomic(AtomicState& a, std::uint64_t init_bits);
+  /// Drop a model atomic destroyed mid-execution from the visibility list.
+  void unregister_atomic(AtomicState& a);
+  int register_raw(RawState& r);
+  std::uint64_t atomic_load(AtomicState& a, std::memory_order mo);
+  void atomic_store(AtomicState& a, std::uint64_t bits, std::memory_order mo);
+  std::uint64_t rmw_fetch_add(AtomicState& a, std::uint64_t delta,
+                              std::memory_order mo);
+  bool rmw_cas(AtomicState& a, std::uint64_t& expected, std::uint64_t desired,
+               std::memory_order mo);
+  /// Race-check one raw access; the caller touches the value right after —
+  /// safe because only one model thread runs between switch points.
+  void raw_access(RawState& r, bool is_write);
+  void fence(std::memory_order mo);
+  void yield();
+  /// Invariant failure from model code: aborts this execution.
+  [[noreturn]] void check_failed(const char* msg);
+
+ private:
+  friend class Env;
+  struct Abort {};  // unwinds a model thread when the execution ends early
+
+  struct ThreadState {
+    VectorClock clock;
+    VectorClock rel_fence;    // clock at the last release fence
+    VectorClock pending_acq;  // msg clocks of loads, joined by acquire fences
+    bool finished = false;
+    bool yielded = false;
+    /// Last spin pass raised some coherence floor — a re-run can observe
+    /// different values, so a futile yield may grant one more pass.
+    bool advanced = false;
+    std::uint64_t ops = 0;
+    /// Bumped whenever one of this thread's coherence floors rises;
+    /// yield() compares against the previous yield's snapshot.
+    std::uint64_t floor_gen = 0;
+    std::uint64_t floor_gen_at_yield = 0;
+    /// Spin-iteration counter, bumped at every yield (see
+    /// AtomicState::last_load_epoch).
+    std::uint64_t spin_epoch = 0;
+  };
+
+  struct Decision {
+    std::uint32_t chosen = 0;
+    std::uint32_t num = 0;
+  };
+
+  enum class EvKind : std::uint8_t {
+    kLoad, kStore, kRmw, kCasFail, kFence, kRawRead, kRawWrite, kYield
+  };
+  struct Event {
+    std::int8_t thread;
+    EvKind kind;
+    std::int16_t var;
+    std::uint8_t order;
+    std::uint64_t value;
+  };
+
+  void run_one_execution(const std::function<void(Env&)>& setup);
+  bool advance_dfs();
+  void worker_body(int tid, const std::function<void()>& body);
+  /// Persistent pool thread: runs worker_body once per execution epoch.
+  /// Reusing OS threads across executions is what makes exhaustive sweeps
+  /// affordable — thread creation dominates small shapes otherwise.
+  void pool_main(int tid);
+
+  // All private helpers below run with mu_ held.
+  void pre_op(std::unique_lock<std::mutex>& lk);
+  void schedule(std::unique_lock<std::mutex>& lk, bool current_runnable);
+  /// Eventual visibility: raise thread u's coherence floors to every
+  /// atomic's newest entry. Returns whether any floor actually moved —
+  /// false means a re-read cannot observe anything new (true livelock).
+  bool refresh_visibility(std::size_t u);
+  std::uint32_t choose(std::uint32_t n);
+  /// Record the first failure and wake all waiters (does not unwind —
+  /// callable from a worker's finish path where there is nothing to abort).
+  void fail_record(std::string reason);
+  [[noreturn]] void fail_locked(std::string reason);
+  void log_event(EvKind kind, int var, std::memory_order mo,
+                 std::uint64_t value);
+  std::string format_trace() const;
+  bool model_phase() const noexcept { return model_phase_; }
+
+  Options opts_;
+
+  // Per-explore decision engine.
+  std::vector<Decision> dstack_;  // exhaustive DFS stack
+  std::size_t cursor_ = 0;
+  math::Rng rng_{1};  // random mode, reseeded per iteration
+  std::uint64_t iter_seed_ = 0;
+
+  // Per-execution state.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  static constexpr int kMain = -1;
+  int active_ = kMain;
+  bool model_phase_ = false;
+  bool failed_ = false;
+  std::size_t finished_count_ = 0;
+  std::array<ThreadState, kMaxThreads> ts_{};
+  std::vector<std::function<void()>> bodies_;
+  std::vector<std::function<void()>> finals_;
+  /// Live model atomics of the current execution (for refresh_visibility).
+  std::vector<AtomicState*> atomics_;
+  std::vector<Event> log_;
+  int next_var_id_ = 0;
+  int preemptions_ = 0;
+  std::uint64_t total_ops_ = 0;
+
+  // Persistent worker pool (lives for the whole explore() call).
+  std::vector<std::thread> pool_;
+  std::uint64_t epoch_ = 0;
+  bool pool_stop_ = false;
+
+  Result result_;
+};
+
+}  // namespace highrpm::verify

@@ -1,0 +1,10 @@
+// Umbrella header for the highrpm::verify model-checking harness.
+//
+// Production code includes backend.hpp only (StdBackend, zero overhead);
+// model-checker suites include this to get the scheduler, the checked
+// backend, and the explore()/check() entry points. See DESIGN.md §10.
+#pragma once
+
+#include "highrpm/verify/backend.hpp"
+#include "highrpm/verify/model.hpp"
+#include "highrpm/verify/sched.hpp"

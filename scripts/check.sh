@@ -7,6 +7,10 @@
 #   golden    ctest -L golden in the werror build: committed reference CSVs
 #             must match the bench output byte for byte
 #   property  ctest -L property in the werror build: seeded invariant suites
+#   verify    ctest -L verify in the verify-preset build: deterministic
+#             model checking of the lock-free serve/obs templates
+#             (exhaustive + seeded-random interleaving/read-choice sweeps,
+#             mutant-catching gate)
 #   perf      ctest -L perf-smoke in a release build: zero-allocation
 #             steady-state contract (per-node + batched fleet + serve
 #             consume paths) and fleet-stepper determinism
@@ -42,8 +46,8 @@ STEPS=()
 for arg in "$@"; do
   case "$arg" in
     --format) WANT_FORMAT=1 ;;
-    lint|werror|golden|property|perf|soak|tidy|asan|ubsan|tsan|coverage|format) STEPS+=("$arg") ;;
-    *) echo "usage: scripts/check.sh [--format] [lint|werror|golden|property|perf|soak|tidy|asan|ubsan|tsan|coverage|format ...]" >&2
+    lint|werror|golden|property|verify|perf|soak|tidy|asan|ubsan|tsan|coverage|format) STEPS+=("$arg") ;;
+    *) echo "usage: scripts/check.sh [--format] [lint|werror|golden|property|verify|perf|soak|tidy|asan|ubsan|tsan|coverage|format ...]" >&2
        exit 2 ;;
   esac
 done
@@ -51,7 +55,7 @@ if [ "${#STEPS[@]}" -eq 0 ]; then
   # coverage is opt-in (it rebuilds the whole tree instrumented); golden and
   # property re-run their labels explicitly even though the werror suite
   # includes them, so a regression names the gate it broke.
-  STEPS=(lint werror golden property perf soak tidy asan ubsan tsan)
+  STEPS=(lint werror golden property verify perf soak tidy asan ubsan tsan)
   [ "$WANT_FORMAT" -eq 1 ] && STEPS+=(format)
 fi
 
@@ -94,6 +98,11 @@ step_property() {
   note "property: seeded invariant suites (ctest -L property)"
   ensure_werror_build
   ctest --test-dir build-werror --output-on-failure -j "$JOBS" -L property
+}
+
+step_verify() {
+  note "verify: model checking the lock-free templates (ctest -L verify)"
+  build_and_test verify -L verify
 }
 
 step_perf() {

@@ -121,9 +121,9 @@ void ThreadPool::run(std::size_t n_tasks,
 
 void ThreadPool::work_on(Job& job) {
   for (;;) {
-    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): work-stealing ticket, no payload ordering
     if (i >= job.n) break;
-    if (!job.failed.load(std::memory_order_relaxed)) {
+    if (!job.failed.load(std::memory_order_relaxed)) {  // HIGHRPM_LINT_ALLOW(memory-order-audit): best-effort early-exit hint only
       try {
         (*job.fn)(i);
       } catch (...) {

@@ -1,0 +1,722 @@
+// verify::Scheduler implementation. See sched.hpp for the model and the
+// documented simplifications.
+//
+// Concurrency structure: model threads are real OS threads, but the
+// scheduler permits exactly one to run at a time — active_ is a single
+// token handed off under mu_ at every instrumented operation. All model
+// semantics (history, clocks, decisions, event log) execute with mu_ held,
+// so the checker itself is trivially data-race-free; the explored races are
+// in the *model*, found by vector clocks, never by real unsynchronized
+// memory access.
+
+#include "highrpm/verify/sched.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace highrpm::verify {
+
+namespace {
+
+thread_local Scheduler* tls_sched = nullptr;
+thread_local int tls_tid = -1;
+
+bool is_acquire(std::memory_order mo) noexcept {
+  return mo == std::memory_order_acquire || mo == std::memory_order_consume ||
+         mo == std::memory_order_acq_rel || mo == std::memory_order_seq_cst;
+}
+
+bool is_release(std::memory_order mo) noexcept {
+  return mo == std::memory_order_release ||
+         mo == std::memory_order_acq_rel || mo == std::memory_order_seq_cst;
+}
+
+const char* order_name(std::uint8_t mo) noexcept {
+  switch (static_cast<std::memory_order>(mo)) {
+    case std::memory_order_relaxed: return "rlx";
+    case std::memory_order_consume: return "csm";
+    case std::memory_order_acquire: return "acq";
+    case std::memory_order_release: return "rel";
+    case std::memory_order_acq_rel: return "acq_rel";
+    case std::memory_order_seq_cst: return "sc";
+  }
+  return "?";
+}
+
+const char* kind_name(int kind) noexcept {
+  switch (kind) {
+    case 0: return "load";
+    case 1: return "store";
+    case 2: return "rmw";
+    case 3: return "cas-fail";
+    case 4: return "fence";
+    case 5: return "raw-read";
+    case 6: return "raw-write";
+    case 7: return "yield";
+  }
+  return "?";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Env
+
+void Env::thread(std::function<void()> body) {
+  if (sched_.bodies_.size() >= kMaxThreads) {
+    throw std::logic_error("verify: more than kMaxThreads model threads");
+  }
+  // Locked: parked pool threads read bodies_.size() in wait predicates.
+  std::unique_lock<std::mutex> lk(sched_.mu_);
+  sched_.bodies_.push_back(std::move(body));
+}
+
+void Env::finally(std::function<void()> f) {
+  sched_.finals_.push_back(std::move(f));
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+
+Scheduler* Scheduler::current() noexcept { return tls_sched; }
+
+Scheduler::Scheduler(const Options& opts) : opts_(opts) {}
+
+Scheduler::~Scheduler() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    pool_stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& th : pool_) th.join();
+}
+
+Result explore(const Options& opts, const std::function<void(Env&)>& setup) {
+  Scheduler sched(opts);
+  return sched.run(setup);
+}
+
+void check(bool cond, const char* msg) {
+  if (cond) return;
+  if (Scheduler* s = Scheduler::current()) s->check_failed(msg);
+  throw std::logic_error(std::string("verify::check outside explore(): ") +
+                         msg);
+}
+
+std::string Result::report() const {
+  std::ostringstream os;
+  if (!failed) {
+    os << "verify: PASS after " << executions << " execution(s)"
+       << (complete ? " (exhaustive, complete)" : "");
+    return os.str();
+  }
+  os << "verify: FAIL after " << executions << " execution(s): " << reason
+     << "\n";
+  if (failing_seed != 0) {
+    os << "  replay: Options::replay_seed = " << failing_seed << "\n";
+  } else {
+    os << "  replay: rerun explore() — the DFS is deterministic (path:";
+    for (std::uint32_t c : failing_path) os << ' ' << c;
+    os << ")\n";
+  }
+  os << trace;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+
+Result Scheduler::run(const std::function<void(Env&)>& setup) {
+  Scheduler* prev_sched = tls_sched;
+  const int prev_tid = tls_tid;
+  tls_sched = this;
+  tls_tid = kMain;
+  try {
+    if (opts_.mode == Options::Mode::kExhaustive) {
+      iter_seed_ = 0;  // replay handle is the decision path, not a seed
+      for (std::uint64_t e = 0; e < opts_.max_executions; ++e) {
+        run_one_execution(setup);
+        ++result_.executions;
+        if (result_.failed) break;
+        if (!advance_dfs()) {
+          result_.complete = true;
+          break;
+        }
+      }
+    } else {
+      const std::uint64_t n =
+          opts_.replay_seed != 0 ? 1 : std::max<std::uint64_t>(1,
+                                                  opts_.iterations);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        iter_seed_ =
+            opts_.replay_seed != 0 ? opts_.replay_seed : opts_.seed + i;
+        rng_ = math::Rng(iter_seed_);
+        run_one_execution(setup);
+        ++result_.executions;
+        if (result_.failed) break;
+      }
+    }
+  } catch (...) {
+    tls_sched = prev_sched;
+    tls_tid = prev_tid;
+    throw;
+  }
+  tls_sched = prev_sched;
+  tls_tid = prev_tid;
+  return result_;
+}
+
+void Scheduler::run_one_execution(const std::function<void(Env&)>& setup) {
+  // The dying lambdas may hold the last reference to model atomics, whose
+  // destructors re-lock mu_ (unregister_atomic) — so they must be swapped
+  // out under the lock but destroyed outside it.
+  std::vector<std::function<void()>> dead_bodies;
+  std::vector<std::function<void()>> dead_finals;
+  {
+    // Reset per-execution state (locked: parked pool threads read it in
+    // wait predicates). The DFS stack and result_ persist.
+    std::unique_lock<std::mutex> lk(mu_);
+    failed_ = false;
+    for (auto& t : ts_) t = ThreadState{};
+    dead_bodies.swap(bodies_);
+    dead_finals.swap(finals_);
+    atomics_.clear();
+    log_.clear();
+    next_var_id_ = 0;
+    preemptions_ = 0;
+    total_ops_ = 0;
+    finished_count_ = 0;
+    active_ = kMain;
+    cursor_ = 0;
+    model_phase_ = false;
+  }
+  dead_bodies.clear();
+  dead_finals.clear();
+
+  Env env(*this);
+  setup(env);  // single-threaded; instrumented ops take the simple path
+
+  const std::size_t n = bodies_.size();
+  if (n > 0) {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (pool_.size() < n) {
+      const int tid = static_cast<int>(pool_.size());
+      pool_.emplace_back([this, tid] { pool_main(tid); });
+    }
+    ++epoch_;
+    model_phase_ = true;
+    try {
+      const std::uint32_t k =
+          n > 1 ? choose(static_cast<std::uint32_t>(n)) : 0;
+      active_ = static_cast<int>(k);
+    } catch (Abort&) {
+      // choose() failed loudly (nondeterministic body); failed_ is set and
+      // the workers will drain without running.
+    }
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return finished_count_ == n; });
+    model_phase_ = false;
+    active_ = kMain;
+  }
+
+  for (std::size_t t = 0; t < kMaxThreads; ++t) {
+    result_.max_ops_per_thread[t] =
+        std::max(result_.max_ops_per_thread[t], ts_[t].ops);
+  }
+
+  if (!failed_) {
+    for (const auto& f : finals_) {
+      try {
+        f();
+      } catch (Abort&) {
+        break;  // check() recorded the failure
+      }
+    }
+  }
+}
+
+void Scheduler::pool_main(int tid) {
+  tls_sched = this;
+  tls_tid = tid;
+  std::unique_lock<std::mutex> lk(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    cv_.wait(lk, [&] {
+      return pool_stop_ ||
+             (epoch_ != seen &&
+              static_cast<std::size_t>(tid) < bodies_.size());
+    });
+    if (pool_stop_) return;
+    seen = epoch_;
+    const std::function<void()>& body =
+        bodies_[static_cast<std::size_t>(tid)];
+    lk.unlock();
+    worker_body(tid, body);
+    lk.lock();
+  }
+}
+
+void Scheduler::worker_body(int tid, const std::function<void()>& body) {
+  bool skip;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return active_ == tid || failed_; });
+    skip = failed_;
+  }
+  if (!skip) {
+    try {
+      body();
+    } catch (Abort&) {
+      // Execution aborted (failure recorded elsewhere); just drain.
+    } catch (const std::exception& e) {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!failed_) {
+        fail_record(std::string("uncaught exception in model thread: ") +
+                    e.what());
+      }
+    }
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  ts_[static_cast<std::size_t>(tid)].finished = true;
+  ++finished_count_;
+  if (finished_count_ == bodies_.size() || failed_) {
+    cv_.notify_all();
+    return;
+  }
+  // Hand the token to some runnable thread; if every unfinished thread is
+  // yielded, nothing can ever wake them — livelock.
+  std::array<int, kMaxThreads> cand{};
+  std::uint32_t nc = 0;
+  for (std::size_t u = 0; u < bodies_.size(); ++u) {
+    if (!ts_[u].finished && !ts_[u].yielded) {
+      cand[nc++] = static_cast<int>(u);
+    }
+  }
+  if (nc == 0) {
+    // Eventual visibility before declaring livelock: a parked spinner that
+    // read a stale value (or whose last pass raised a floor) must get a
+    // chance to re-read the newest stores.
+    for (std::size_t u = 0; u < bodies_.size(); ++u) {
+      if (ts_[u].finished) continue;
+      const bool refreshed = refresh_visibility(u);
+      if (refreshed || ts_[u].advanced) {
+        ts_[u].advanced = false;
+        ts_[u].yielded = false;
+        cand[nc++] = static_cast<int>(u);
+      }
+    }
+  }
+  if (nc == 0) {
+    fail_record("livelock: every unfinished thread is yielded");
+    cv_.notify_all();
+    return;
+  }
+  try {
+    active_ = cand[nc > 1 ? choose(nc) : 0];
+  } catch (Abort&) {
+    // nondeterminism failure recorded; waiters wake on failed_.
+  }
+  cv_.notify_all();
+}
+
+bool Scheduler::advance_dfs() {
+  while (!dstack_.empty() &&
+         dstack_.back().chosen + 1 >= dstack_.back().num) {
+    dstack_.pop_back();
+  }
+  if (dstack_.empty()) return false;
+  ++dstack_.back().chosen;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Decision engine + scheduling (mu_ held)
+
+std::uint32_t Scheduler::choose(std::uint32_t n) {
+  if (n <= 1) return 0;
+  if (opts_.mode == Options::Mode::kRandom) {
+    return static_cast<std::uint32_t>(rng_.uniform_index(n));
+  }
+  if (cursor_ < dstack_.size()) {
+    Decision& d = dstack_[cursor_];
+    if (d.num != n) {
+      fail_locked(
+          "nondeterministic test body: decision arity changed on replay");
+    }
+    return dstack_[cursor_++].chosen;
+  }
+  dstack_.push_back(Decision{0, n});
+  ++cursor_;
+  return 0;
+}
+
+void Scheduler::pre_op(std::unique_lock<std::mutex>& lk) {
+  if (failed_) throw Abort{};
+  const auto t = static_cast<std::size_t>(tls_tid);
+  ++ts_[t].ops;
+  ++total_ops_;
+  if (total_ops_ > opts_.max_ops) {
+    fail_locked("operation budget exceeded — livelock or runaway spin");
+  }
+  ++ts_[t].clock.v[t];
+  // Progress by this thread re-enables spinners parked by yield().
+  for (std::size_t u = 0; u < kMaxThreads; ++u) {
+    if (u != t) ts_[u].yielded = false;
+  }
+  schedule(lk, /*current_runnable=*/true);
+}
+
+void Scheduler::schedule(std::unique_lock<std::mutex>& lk,
+                         bool current_runnable) {
+  const int t = tls_tid;
+  const auto runnable = [&](std::size_t u) {
+    return !ts_[u].finished && !ts_[u].yielded &&
+           (static_cast<int>(u) != t || current_runnable);
+  };
+  // Candidate order: current thread first (choice 0 = continue, so the DFS
+  // explores the no-preemption schedule before any preempting variant).
+  std::array<int, kMaxThreads> cand{};
+  std::uint32_t nc = 0;
+  if (current_runnable) cand[nc++] = t;
+  for (std::size_t u = 0; u < bodies_.size(); ++u) {
+    if (static_cast<int>(u) != t && runnable(u)) {
+      cand[nc++] = static_cast<int>(u);
+    }
+  }
+  if (nc == 0) {
+    // Eventual visibility: before declaring livelock, unpark every yielded
+    // thread whose coherence floor trails some atomic's newest store, with
+    // its floors raised to the latest entries. Hardware guarantees stores
+    // become visible eventually, so a spinner that merely chose a stale
+    // value is not livelocked — it must re-read fresh. A spinner that has
+    // already seen the newest stores stays parked; if that is everyone,
+    // the livelock is real.
+    for (std::size_t u = 0; u < bodies_.size(); ++u) {
+      if (ts_[u].finished || !ts_[u].yielded) continue;
+      const bool refreshed = refresh_visibility(u);
+      if (refreshed || ts_[u].advanced) {
+        ts_[u].advanced = false;
+        ts_[u].yielded = false;
+        cand[nc++] = static_cast<int>(u);
+      }
+    }
+  }
+  if (nc == 0) {
+    fail_locked("livelock: every unfinished thread is yielded");
+  }
+  if (nc == 1 && cand[0] == t) return;
+  const bool bounded = opts_.preemption_bound >= 0 &&
+                       preemptions_ >= opts_.preemption_bound;
+  if (current_runnable && bounded) return;
+  const int next = cand[choose(nc)];
+  if (next == t) return;
+  if (current_runnable) ++preemptions_;
+  active_ = next;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return active_ == t || failed_; });
+  if (failed_) throw Abort{};
+}
+
+void Scheduler::fail_record(std::string reason) {
+  if (!failed_) {
+    failed_ = true;
+    if (!result_.failed) {
+      result_.failed = true;
+      result_.reason = std::move(reason);
+      result_.trace = format_trace();
+      result_.failing_seed = iter_seed_;
+      result_.failing_path.clear();
+      for (std::size_t i = 0; i < cursor_ && i < dstack_.size(); ++i) {
+        result_.failing_path.push_back(dstack_[i].chosen);
+      }
+    }
+  }
+  cv_.notify_all();
+}
+
+void Scheduler::fail_locked(std::string reason) {
+  fail_record(std::move(reason));
+  throw Abort{};
+}
+
+void Scheduler::check_failed(const char* msg) {
+  std::unique_lock<std::mutex> lk(mu_);
+  fail_locked(std::string("invariant failed: ") + msg);
+}
+
+void Scheduler::log_event(EvKind kind, int var, std::memory_order mo,
+                          std::uint64_t value) {
+  if (log_.size() >= opts_.max_ops) return;
+  log_.push_back(Event{static_cast<std::int8_t>(tls_tid), kind,
+                       static_cast<std::int16_t>(var),
+                       static_cast<std::uint8_t>(mo), value});
+}
+
+std::string Scheduler::format_trace() const {
+  std::ostringstream os;
+  const std::size_t n = log_.size();
+  const std::size_t tail = std::min(n, opts_.trace_tail);
+  os << "  event log (last " << tail << " of " << n << "):\n";
+  for (std::size_t i = n - tail; i < n; ++i) {
+    const Event& e = log_[i];
+    os << "    T" << static_cast<int>(e.thread) << " v" << e.var << ' '
+       << kind_name(static_cast<int>(e.kind)) << '('
+       << order_name(e.order) << ')';
+    if (e.kind != EvKind::kFence && e.kind != EvKind::kYield) {
+      os << " = " << e.value;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Model semantics (backend entry points)
+
+int Scheduler::register_atomic(AtomicState& a, std::uint64_t init_bits) {
+  std::unique_lock<std::mutex> lk(mu_);
+  a.history.assign(1, StoreRec{init_bits, {}, {}, -1});
+  a.floor.fill(0);
+  a.last_load_size.fill(0);
+  a.last_load_epoch.fill(0);
+  atomics_.push_back(&a);
+  return next_var_id_++;
+}
+
+void Scheduler::unregister_atomic(AtomicState& a) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (std::size_t i = 0; i < atomics_.size(); ++i) {
+    if (atomics_[i] == &a) {
+      atomics_.erase(atomics_.begin() +
+                     static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+bool Scheduler::refresh_visibility(std::size_t u) {
+  bool moved = false;
+  for (AtomicState* a : atomics_) {
+    const std::size_t latest = a->history.size() - 1;
+    if (a->floor[u] < latest) {
+      a->floor[u] = latest;
+      moved = true;
+    }
+  }
+  return moved;
+}
+
+int Scheduler::register_raw(RawState& r) {
+  std::unique_lock<std::mutex> lk(mu_);
+  r = RawState{};
+  return next_var_id_++;
+}
+
+std::uint64_t Scheduler::atomic_load(AtomicState& a, std::memory_order mo) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!model_phase_) return a.history.back().bits;
+  pre_op(lk);
+  const auto t = static_cast<std::size_t>(tls_tid);
+  const std::size_t latest = a.history.size() - 1;
+  // Coherence floor: nothing below the thread's last read/write of this
+  // variable, and nothing overwritten by a store the thread's clock already
+  // ordered after (scan newest-first for the newest such store).
+  std::size_t lo = a.floor[t];
+  for (std::size_t j = latest; j > lo; --j) {
+    if (a.history[j].hb.leq(ts_[t].clock)) {
+      lo = j;
+      break;
+    }
+  }
+  // Eventual visibility across spin iterations: a re-load in a later
+  // yield-separated pass over an unchanged history must observe strictly
+  // more than the previous pass did, so identical stale re-read branches
+  // cannot recur (and two spinners cannot stale-ping-pong until the op
+  // budget trips). Within one pass, re-reads are unconstrained — a seqlock
+  // recheck may legitimately confirm a stale-but-consistent generation.
+  if (a.last_load_epoch[t] != ts_[t].spin_epoch &&
+      a.last_load_size[t] == a.history.size() && lo < latest &&
+      lo == a.floor[t]) {
+    ++lo;
+  }
+  // Bounded staleness: cap the branching factor of the read choice (the
+  // weak-memory analogue of the preemption bound).
+  if (opts_.stale_window > 0) {
+    const auto w = static_cast<std::size_t>(opts_.stale_window);
+    if (latest - lo + 1 > w) lo = latest - (w - 1);
+  }
+  // Which viable store the load reads is an explored decision; choice 0 is
+  // the freshest (the SC-like schedule comes first in the DFS).
+  std::size_t idx = latest;
+  if (latest > lo) {
+    idx = latest - choose(static_cast<std::uint32_t>(latest - lo + 1));
+  }
+  const StoreRec& rec = a.history[idx];
+  if (idx > a.floor[t]) ++ts_[t].floor_gen;
+  a.floor[t] = idx;
+  a.last_load_size[t] = a.history.size();
+  a.last_load_epoch[t] = ts_[t].spin_epoch;
+  ts_[t].pending_acq.join(rec.msg);
+  if (is_acquire(mo)) ts_[t].clock.join(rec.msg);
+  log_event(EvKind::kLoad, a.id, mo, rec.bits);
+  return rec.bits;
+}
+
+void Scheduler::atomic_store(AtomicState& a, std::uint64_t bits,
+                             std::memory_order mo) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!model_phase_) {
+    a.history.assign(1, StoreRec{bits, {}, {}, -1});
+    a.floor.fill(0);
+    a.last_load_size.fill(0);
+    a.last_load_epoch.fill(0);
+    return;
+  }
+  pre_op(lk);
+  const auto t = static_cast<std::size_t>(tls_tid);
+  StoreRec r;
+  r.bits = bits;
+  r.thread = tls_tid;
+  r.hb = ts_[t].clock;
+  // A release store publishes the thread's whole clock; a relaxed store
+  // publishes only what the last release FENCE covered (the seqlock's
+  // fence-then-relaxed-stores protocol depends on exactly this).
+  r.msg = is_release(mo) ? ts_[t].clock : ts_[t].rel_fence;
+  a.history.push_back(r);
+  a.floor[t] = a.history.size() - 1;
+  ++ts_[t].floor_gen;
+  log_event(EvKind::kStore, a.id, mo, bits);
+}
+
+std::uint64_t Scheduler::rmw_fetch_add(AtomicState& a, std::uint64_t delta,
+                                       std::memory_order mo) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!model_phase_) {
+    const std::uint64_t old = a.history.back().bits;
+    a.history.back().bits = old + delta;
+    return old;
+  }
+  pre_op(lk);
+  const auto t = static_cast<std::size_t>(tls_tid);
+  const StoreRec prev = a.history.back();  // copy: push_back may reallocate
+  ts_[t].pending_acq.join(prev.msg);
+  if (is_acquire(mo)) ts_[t].clock.join(prev.msg);
+  StoreRec r;
+  r.bits = prev.bits + delta;
+  r.thread = tls_tid;
+  r.hb = ts_[t].clock;
+  // RMWs extend the release sequence: the new message carries the previous
+  // store's message plus whatever this thread releases.
+  r.msg = prev.msg;
+  r.msg.join(is_release(mo) ? ts_[t].clock : ts_[t].rel_fence);
+  a.history.push_back(r);
+  a.floor[t] = a.history.size() - 1;
+  ++ts_[t].floor_gen;
+  log_event(EvKind::kRmw, a.id, mo, r.bits);
+  return prev.bits;
+}
+
+bool Scheduler::rmw_cas(AtomicState& a, std::uint64_t& expected,
+                        std::uint64_t desired, std::memory_order mo) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!model_phase_) {
+    StoreRec& back = a.history.back();
+    if (back.bits == expected) {
+      back.bits = desired;
+      return true;
+    }
+    expected = back.bits;
+    return false;
+  }
+  pre_op(lk);
+  const auto t = static_cast<std::size_t>(tls_tid);
+  const StoreRec prev = a.history.back();
+  ts_[t].pending_acq.join(prev.msg);
+  if (is_acquire(mo)) ts_[t].clock.join(prev.msg);
+  if (prev.bits == expected) {
+    StoreRec r;
+    r.bits = desired;
+    r.thread = tls_tid;
+    r.hb = ts_[t].clock;
+    r.msg = prev.msg;
+    r.msg.join(is_release(mo) ? ts_[t].clock : ts_[t].rel_fence);
+    a.history.push_back(r);
+    a.floor[t] = a.history.size() - 1;
+    ++ts_[t].floor_gen;
+    log_event(EvKind::kRmw, a.id, mo, desired);
+    return true;
+  }
+  expected = prev.bits;
+  if (a.history.size() - 1 > a.floor[t]) ++ts_[t].floor_gen;
+  a.floor[t] = a.history.size() - 1;
+  log_event(EvKind::kCasFail, a.id, mo, prev.bits);
+  return false;
+}
+
+void Scheduler::raw_access(RawState& r, bool is_write) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!model_phase_) return;
+  pre_op(lk);
+  const auto t = static_cast<std::size_t>(tls_tid);
+  if (!r.write_hb.leq(ts_[t].clock)) {
+    std::ostringstream os;
+    os << "data race on v" << r.id << ": " << (is_write ? "write" : "read")
+       << " by T" << tls_tid << " is unordered with the write by T"
+       << r.last_writer;
+    fail_locked(os.str());
+  }
+  if (is_write) {
+    for (std::size_t u = 0; u < kMaxThreads; ++u) {
+      if (r.read_epoch[u] > ts_[t].clock.v[u]) {
+        std::ostringstream os;
+        os << "data race on v" << r.id << ": write by T" << tls_tid
+           << " is unordered with a read by T" << u;
+        fail_locked(os.str());
+      }
+    }
+    r.write_hb = ts_[t].clock;
+    r.last_writer = tls_tid;
+    log_event(EvKind::kRawWrite, r.id, std::memory_order_relaxed, 0);
+  } else {
+    r.read_epoch[t] = std::max(r.read_epoch[t], ts_[t].clock.v[t]);
+    log_event(EvKind::kRawRead, r.id, std::memory_order_relaxed, 0);
+  }
+}
+
+void Scheduler::fence(std::memory_order mo) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!model_phase_) return;
+  pre_op(lk);
+  const auto t = static_cast<std::size_t>(tls_tid);
+  if (is_release(mo)) ts_[t].rel_fence = ts_[t].clock;
+  if (is_acquire(mo)) ts_[t].clock.join(ts_[t].pending_acq);
+  log_event(EvKind::kFence, -1, mo, 0);
+}
+
+void Scheduler::yield() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!model_phase_) return;
+  if (failed_) throw Abort{};
+  const auto t = static_cast<std::size_t>(tls_tid);
+  ++ts_[t].ops;
+  ++total_ops_;
+  if (total_ops_ > opts_.max_ops) {
+    fail_locked("operation budget exceeded — livelock or runaway spin");
+  }
+  log_event(EvKind::kYield, -1, std::memory_order_relaxed, 0);
+  // Parked until some other thread executes an operation (its pre_op clears
+  // the flag). A yield is not progress, so it clears nobody's flag itself.
+  // Remember whether THIS spin pass raised any coherence floor: if so, a
+  // re-run observes different values, and the livelock resolution below may
+  // grant the thread one more pass when nothing else is runnable.
+  ts_[t].advanced = ts_[t].floor_gen != ts_[t].floor_gen_at_yield;
+  ts_[t].floor_gen_at_yield = ts_[t].floor_gen;
+  ++ts_[t].spin_epoch;
+  ts_[t].yielded = true;
+  schedule(lk, /*current_runnable=*/false);
+}
+
+}  // namespace highrpm::verify

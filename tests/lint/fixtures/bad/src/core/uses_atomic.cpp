@@ -1,0 +1,13 @@
+// Fixture: raw atomics outside the audited homes (verify/, serve/, obs/,
+// runtime/) must trip memory-order-audit — core/ code coordinates through
+// runtime::parallel_for and plain values, not hand-rolled atomics.
+#include <atomic>
+
+std::atomic<int> g_flag{0};
+
+int bad_spin() {
+  while (g_flag.load(std::memory_order_acquire) == 0) {
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  return 1;
+}

@@ -1,0 +1,19 @@
+// Fixture: serve/ is an audited atomic home, but memory_order_relaxed
+// there needs a JUSTIFIED HIGHRPM_LINT_ALLOW(memory-order-audit): <why>
+// marker. Two violations below: a bare relaxed line, and a bare marker
+// with no justification text (a naked escape must not count).
+#include <atomic>
+
+std::atomic<unsigned> g_seq{0};
+
+unsigned bad_relaxed() {
+  return g_seq.load(std::memory_order_relaxed);
+}
+
+unsigned bad_bare_marker() {
+  return g_seq.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit)
+}
+
+unsigned fine_acquire() {
+  return g_seq.load(std::memory_order_acquire);
+}

@@ -1,0 +1,7 @@
+// Fixture: obs/ is the sanctioned relaxed-counter home — bare
+// memory_order_relaxed needs no marker here.
+#include <atomic>
+
+std::atomic<unsigned long> g_count{0};
+
+void bump() { g_count.fetch_add(1, std::memory_order_relaxed); }

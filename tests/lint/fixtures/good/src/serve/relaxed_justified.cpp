@@ -1,0 +1,20 @@
+// Fixture: serve/ relaxed atomics with justified markers must stay clean —
+// both the same-line form and the preceding-line form (statements split by
+// the 80-column style put the marker a line above the relaxed token).
+#include <atomic>
+
+std::atomic<unsigned long> g_tail{0};
+
+unsigned long same_line() {
+  return g_tail.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): producer-owned index
+}
+
+unsigned long preceding_line() {
+  const unsigned long t =  // HIGHRPM_LINT_ALLOW(memory-order-audit): producer-owned index
+      g_tail.load(std::memory_order_relaxed);
+  return t;
+}
+
+unsigned long no_marker_needed() {
+  return g_tail.load(std::memory_order_acquire);
+}

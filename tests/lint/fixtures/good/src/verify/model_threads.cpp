@@ -1,0 +1,12 @@
+// Fixture: verify/ is sanctioned for BOTH std::thread (the model checker
+// runs real threads one-at-a-time) and bare memory_order_relaxed (it
+// models memory orders rather than relying on them).
+#include <atomic>
+#include <thread>
+
+std::atomic<int> g_state{0};
+
+void spawn_model_worker() {
+  std::thread t([] { g_state.store(1, std::memory_order_relaxed); });
+  t.join();
+}

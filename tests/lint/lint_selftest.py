@@ -76,6 +76,26 @@ class BadFixtureTree(unittest.TestCase):
         self.assert_finding("src/sim/uses_thread.cpp",
                             "thread-outside-runtime")
 
+    def test_memory_order_audit_fires_outside_homes(self):
+        self.assert_finding("src/core/uses_atomic.cpp", "memory-order-audit")
+
+    def test_memory_order_audit_catches_atomic_and_fence(self):
+        # The declaration, the acquire load/loop line, and the fence — one
+        # finding per offending line.
+        hits = [ln for ln in self.out.splitlines()
+                if ln.startswith("src/core/uses_atomic.cpp:")
+                and "[memory-order-audit]" in ln]
+        self.assertEqual(len(hits), 3, self.out)
+
+    def test_memory_order_audit_requires_justified_relaxed(self):
+        # Inside an audited home (serve/): one bare relaxed line plus one
+        # carrying a marker with NO justification text — both must fire; the
+        # acquire load must not.
+        hits = [ln for ln in self.out.splitlines()
+                if ln.startswith("src/serve/relaxed_unjustified.cpp:")
+                and "[memory-order-audit]" in ln]
+        self.assertEqual(len(hits), 2, self.out)
+
     def test_sensor_isfinite_fires(self):
         self.assert_finding("src/measure/ipmi.cpp", "sensor-isfinite")
 
@@ -106,7 +126,11 @@ class GoodFixtureTree(unittest.TestCase):
         # obs directory must NOT trip library-file-io — and
         # src/ml/scratch_into.cpp: reference/pointer vector uses inside
         # tracked functions plus an ALLOW(alloc-in-step) escape must NOT
-        # trip alloc-in-step.
+        # trip alloc-in-step. For memory-order-audit:
+        # src/serve/relaxed_justified.cpp (same-line and preceding-line
+        # justified markers), src/obs/relaxed_counter.cpp (obs needs no
+        # marker), and src/verify/model_threads.cpp (verify/ may spawn
+        # std::thread and use bare relaxed) must all stay clean.
         proc = run_lint("--root", str(FIXTURES / "good"))
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
         self.assertIn("0 findings", proc.stdout)
@@ -118,8 +142,8 @@ class CliContract(unittest.TestCase):
         self.assertEqual(proc.returncode, 0)
         for rule in ("rng-source", "library-io", "library-file-io",
                      "float-compare", "sensor-isfinite",
-                     "thread-outside-runtime", "alloc-in-step",
-                     "pragma-once"):
+                     "thread-outside-runtime", "memory-order-audit",
+                     "alloc-in-step", "pragma-once"):
             self.assertIn(rule, proc.stdout)
 
     def test_bad_root_is_usage_error(self):

@@ -1,0 +1,246 @@
+// Self-tests for the verify:: model checker itself: the scheduler must
+// catch known-bad protocols, stay quiet on known-good ones, exhaust small
+// decision spaces, reproduce random-mode failures from the printed seed,
+// and bound livelocks. Everything the primitive suites rely on is pinned
+// here first, so a regression in the checker fails loudly rather than
+// silently passing broken primitives.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "highrpm/verify/verify.hpp"
+
+namespace hv = highrpm::verify;
+
+namespace {
+
+TEST(CheckerSelftest, RawWriteWriteRaceIsCaught) {
+  hv::Options opts;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto cell = std::make_shared<hv::ModelRaw<int>>();
+    env.thread([cell] { cell->write(1); });
+    env.thread([cell] { cell->write(2); });
+  });
+  ASSERT_TRUE(r.failed) << r.report();
+  EXPECT_NE(r.reason.find("data race"), std::string::npos) << r.report();
+}
+
+TEST(CheckerSelftest, RawReadWriteRaceIsCaught) {
+  hv::Options opts;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto cell = std::make_shared<hv::ModelRaw<int>>();
+    env.thread([cell] { cell->write(1); });
+    env.thread([cell] { (void)cell->read(); });
+  });
+  ASSERT_TRUE(r.failed) << r.report();
+  EXPECT_NE(r.reason.find("data race"), std::string::npos) << r.report();
+}
+
+TEST(CheckerSelftest, ReleaseAcquirePublishIsCleanAndExhausted) {
+  struct Shared {
+    hv::ModelRaw<int> data;
+    hv::ModelAtomic<int> flag{0};
+  };
+  hv::Options opts;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto s = std::make_shared<Shared>();
+    env.thread([s] {
+      s->data.write(42);
+      s->flag.store(1, std::memory_order_release);
+    });
+    env.thread([s] {
+      if (s->flag.load(std::memory_order_acquire) == 1) {
+        hv::check(s->data.read() == 42, "stale data after acquire");
+      }
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.report();
+  EXPECT_TRUE(r.complete) << "small shape must be fully explored";
+}
+
+TEST(CheckerSelftest, RelaxedPublishIsCaughtDespiteScInterleavings) {
+  // Under any sequentially consistent interleaving this protocol looks
+  // fine — only the simulated weak-memory rules (a relaxed store carries
+  // no message) expose the unordered data read. This is the capability
+  // that separates the checker from TSan-on-an-SC-execution.
+  struct Shared {
+    hv::ModelRaw<int> data;
+    hv::ModelAtomic<int> flag{0};
+  };
+  hv::Options opts;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto s = std::make_shared<Shared>();
+    env.thread([s] {
+      s->data.write(42);
+      s->flag.store(1, std::memory_order_relaxed);  // BUG: no release
+    });
+    env.thread([s] {
+      if (s->flag.load(std::memory_order_acquire) == 1) {
+        (void)s->data.read();
+      }
+    });
+  });
+  ASSERT_TRUE(r.failed) << r.report();
+  EXPECT_NE(r.reason.find("data race"), std::string::npos) << r.report();
+}
+
+TEST(CheckerSelftest, FenceBasedPublishIsClean) {
+  // The seqlock idiom: relaxed stores ordered by standalone fences.
+  struct Shared {
+    hv::ModelRaw<int> data;
+    hv::ModelAtomic<int> flag{0};
+  };
+  hv::Options opts;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto s = std::make_shared<Shared>();
+    env.thread([s] {
+      s->data.write(7);
+      hv::ModelBackend::fence(std::memory_order_release);
+      s->flag.store(1, std::memory_order_relaxed);
+    });
+    env.thread([s] {
+      if (s->flag.load(std::memory_order_relaxed) == 1) {
+        hv::ModelBackend::fence(std::memory_order_acquire);
+        hv::check(s->data.read() == 7, "fence publish failed");
+      }
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.report();
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(CheckerSelftest, LoadStoreLostUpdateFoundExhaustively) {
+  hv::Options opts;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto c = std::make_shared<hv::ModelAtomic<int>>(0);
+    const auto inc = [c] {
+      const int v = c->load(std::memory_order_relaxed);
+      c->store(v + 1, std::memory_order_relaxed);  // BUG: not atomic
+    };
+    env.thread(inc);
+    env.thread(inc);
+    env.finally([c] {
+      hv::check(c->load(std::memory_order_relaxed) == 2, "lost update");
+    });
+  });
+  ASSERT_TRUE(r.failed) << r.report();
+  EXPECT_NE(r.reason.find("lost update"), std::string::npos) << r.report();
+}
+
+TEST(CheckerSelftest, FetchAddNeverLosesUpdates) {
+  hv::Options opts;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto c = std::make_shared<hv::ModelAtomic<int>>(0);
+    const auto inc = [c] { c->fetch_add(1, std::memory_order_relaxed); };
+    env.thread(inc);
+    env.thread(inc);
+    env.finally([c] {
+      hv::check(c->load(std::memory_order_relaxed) == 2, "fetch_add lost");
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.report();
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(CheckerSelftest, RandomModeFailurePrintsSeedAndReplayReproduces) {
+  const auto setup = [](hv::Env& env) {
+    auto c = std::make_shared<hv::ModelAtomic<int>>(0);
+    const auto inc = [c] {
+      const int v = c->load(std::memory_order_relaxed);
+      c->store(v + 1, std::memory_order_relaxed);
+    };
+    env.thread(inc);
+    env.thread(inc);
+    env.finally([c] {
+      hv::check(c->load(std::memory_order_relaxed) == 2, "lost update");
+    });
+  };
+  hv::Options opts;
+  opts.mode = hv::Options::Mode::kRandom;
+  opts.iterations = 128;
+  opts.seed = 7;
+  const auto r = hv::explore(opts, setup);
+  ASSERT_TRUE(r.failed) << r.report();
+  ASSERT_NE(r.failing_seed, 0u) << "random failure must carry a seed";
+
+  hv::Options replay = opts;
+  replay.replay_seed = r.failing_seed;
+  const auto r2 = hv::explore(replay, setup);
+  EXPECT_TRUE(r2.failed) << "replay from the printed seed must reproduce";
+  EXPECT_EQ(r2.executions, 1u) << "replay runs exactly one iteration";
+  EXPECT_EQ(r2.reason, r.reason);
+}
+
+TEST(CheckerSelftest, LivelockDetectedWhenOnlyYieldersRemain) {
+  // One thread spins (load + yield) on a flag nobody will ever set; the
+  // other exits immediately. Once the second thread is done, every
+  // unfinished thread is parked in yield() — a livelock, on every
+  // schedule, so exhaustive mode fails on the first execution.
+  struct Shared {
+    hv::ModelAtomic<int> never_set{0};
+  };
+  hv::Options opts;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto s = std::make_shared<Shared>();
+    env.thread([s] {
+      while (s->never_set.load(std::memory_order_relaxed) == 0) {
+        hv::ModelBackend::yield();
+      }
+    });
+    env.thread([] {});  // never sets the flag
+  });
+  ASSERT_TRUE(r.failed) << r.report();
+  EXPECT_NE(r.reason.find("livelock"), std::string::npos) << r.report();
+}
+
+TEST(CheckerSelftest, OpBudgetBackstopsNonYieldingSpin) {
+  struct Shared {
+    hv::ModelAtomic<int> never_set{0};
+  };
+  hv::Options opts;
+  opts.mode = hv::Options::Mode::kRandom;
+  opts.iterations = 1;
+  opts.max_ops = 200;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto s = std::make_shared<Shared>();
+    env.thread([s] {
+      while (s->never_set.load(std::memory_order_relaxed) == 0) {
+        // no yield: a hard spin the budget must cut off
+      }
+    });
+  });
+  ASSERT_TRUE(r.failed) << r.report();
+  EXPECT_NE(r.reason.find("budget"), std::string::npos) << r.report();
+}
+
+TEST(CheckerSelftest, PreemptionBoundZeroStillRunsAllThreads) {
+  // With no preemptions allowed, each thread still runs to completion in
+  // registration order — the bound limits forced switches, not coverage.
+  hv::Options opts;
+  opts.preemption_bound = 0;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto c = std::make_shared<hv::ModelAtomic<int>>(0);
+    env.thread([c] { c->fetch_add(1, std::memory_order_relaxed); });
+    env.thread([c] { c->fetch_add(1, std::memory_order_relaxed); });
+    env.finally([c] {
+      hv::check(c->load(std::memory_order_relaxed) == 2, "thread skipped");
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.report();
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(CheckerSelftest, FailureReportCarriesEventTrace) {
+  hv::Options opts;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto cell = std::make_shared<hv::ModelRaw<int>>();
+    env.thread([cell] { cell->write(1); });
+    env.thread([cell] { cell->write(2); });
+  });
+  ASSERT_TRUE(r.failed);
+  const std::string report = r.report();
+  EXPECT_NE(report.find("event log"), std::string::npos) << report;
+  EXPECT_NE(report.find("raw-write"), std::string::npos) << report;
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Model-checked obs primitives — the SAME templates production ships
+// (BasicCounter / BasicHistogram), instantiated with verify::ModelBackend.
+// Counters must never lose updates and must read monotonically; histogram
+// stats() must stay internally coherent while recorders run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "highrpm/obs/counter.hpp"
+#include "highrpm/obs/histogram.hpp"
+#include "highrpm/verify/verify.hpp"
+
+namespace hv = highrpm::verify;
+
+namespace {
+
+using ModelCounter = highrpm::obs::BasicCounter<hv::ModelBackend>;
+
+TEST(ObsVerify, CounterNeverLosesUpdatesExhaustively) {
+  hv::Options opts;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto c = std::make_shared<ModelCounter>();
+    env.thread([c] {
+      c->add(1);
+      c->add(2);
+    });
+    env.thread([c] { c->add(4); });
+    env.finally([c] { hv::check(c->value() == 7, "counter lost an add"); });
+  });
+  EXPECT_FALSE(r.failed) << r.report();
+  EXPECT_TRUE(r.complete) << "3-add counter shape must be exhausted";
+}
+
+TEST(ObsVerify, CounterReadsAreMonotoneExhaustively) {
+  // A concurrent reader polling value() must observe a non-decreasing
+  // sequence: fetch_add history entries only grow, and the per-thread
+  // coherence floor forbids re-reading an older entry.
+  hv::Options opts;
+  opts.preemption_bound = 3;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto c = std::make_shared<ModelCounter>();
+    env.thread([c] {
+      c->add(1);
+      c->add(1);
+      c->add(1);
+    });
+    env.thread([c] {
+      std::uint64_t prev = 0;
+      for (int i = 0; i < 3; ++i) {
+        const std::uint64_t v = c->value();
+        hv::check(v >= prev, "counter value went backwards");
+        hv::check(v <= 3, "counter overshot the adds");
+        prev = v;
+      }
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.report();
+  EXPECT_TRUE(r.complete) << "monotone-reader shape must be exhausted";
+}
+
+#if HIGHRPM_OBS_ENABLED
+
+using ModelHistogram = highrpm::obs::BasicHistogram<hv::ModelBackend>;
+
+TEST(ObsVerify, HistogramCountMatchesRecordsExhaustively) {
+  hv::Options opts;
+  opts.preemption_bound = 2;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto h = std::make_shared<ModelHistogram>();
+    env.thread([h] { h->record(3); });
+    env.thread([h] { h->record(100); });
+    env.finally([h] {
+      hv::check(h->count() == 2, "histogram lost a record");
+      hv::check(h->sum() == 103, "histogram sum mismatch");
+      hv::check(h->min() == 3, "histogram min wrong");
+      hv::check(h->max() == 100, "histogram max wrong");
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.report();
+  EXPECT_TRUE(r.complete) << "2-record histogram shape must be exhausted";
+}
+
+TEST(ObsVerify, HistogramStatsStayCoherentUnderConcurrentRecords) {
+  // stats() freezes the bucket array and derives count + quantiles from
+  // the same frozen mass: even mid-record, the read-out must satisfy
+  // count <= records-so-far, p50 <= p99 <= max, min <= p50. Random sweep:
+  // the 65-bucket freeze loop makes the shape too big to exhaust.
+  hv::Options opts;
+  opts.mode = hv::Options::Mode::kRandom;
+  opts.iterations = 120;
+  opts.seed = 17;
+  opts.max_ops = 200000;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto h = std::make_shared<ModelHistogram>();
+    env.thread([h] {
+      h->record(4);
+      h->record(1000);
+    });
+    env.thread([h] {
+      const auto s = h->stats();
+      hv::check(s.count <= 2, "stats count overshot");
+      hv::check(s.p50 <= s.p90, "p50 > p90");
+      hv::check(s.p90 <= s.p99, "p90 > p99");
+      hv::check(s.p99 <= s.max, "p99 > max");
+      hv::check(s.min <= s.max, "min > max");
+      if (s.count == 0) {
+        hv::check(s.p99 == 0, "empty histogram with nonzero quantile");
+      }
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.report();
+}
+
+#endif  // HIGHRPM_OBS_ENABLED
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Model-checked serve::SpscRing — the SAME template the daemon ships,
+// instantiated with verify::ModelBackend so every interleaving and
+// weak-memory read choice of the producer/consumer protocol is explored
+// deterministically. Exhaustive at small shapes (capacity 1-2, a few ops),
+// seeded-random sweeps above.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "highrpm/serve/spsc_ring.hpp"
+#include "highrpm/verify/verify.hpp"
+
+namespace hv = highrpm::verify;
+
+namespace {
+
+using ModelRing = highrpm::serve::SpscRing<int, hv::ModelBackend>;
+
+/// Producer pushes 1..total (retrying on full via yield), consumer pops
+/// until it has seen `total` items; finally checks FIFO order, no loss, no
+/// duplication. Wrapping is exercised whenever total > capacity.
+void fifo_setup(hv::Env& env, std::size_t capacity, int total) {
+  struct Shared {
+    explicit Shared(std::size_t cap) : ring(cap) {}
+    ModelRing ring;
+    std::vector<int> got;
+  };
+  auto s = std::make_shared<Shared>(capacity);
+  env.thread([s, total] {
+    for (int i = 1; i <= total; ++i) {
+      while (!s->ring.try_push(i)) hv::ModelBackend::yield();
+    }
+  });
+  env.thread([s, total] {
+    int item = 0;
+    int seen = 0;
+    while (seen < total) {
+      if (s->ring.try_pop(item)) {
+        s->got.push_back(item);  // consumer-local: no model access needed
+        ++seen;
+      } else {
+        hv::ModelBackend::yield();
+      }
+    }
+  });
+  env.finally([s, total] {
+    hv::check(s->got.size() == static_cast<std::size_t>(total),
+              "item count mismatch");
+    for (int i = 0; i < total; ++i) {
+      hv::check(s->got[static_cast<std::size_t>(i)] == i + 1,
+                "FIFO order violated / item lost or duplicated");
+    }
+    hv::check(s->ring.empty(), "ring not drained");
+  });
+}
+
+TEST(RingVerify, ExhaustiveFifoCapacityOneTwoItems) {
+  // Capacity 1 with 2 items forces a full wrap of both indices through
+  // every interleaving; the strictest shape that stays exhaustible.
+  hv::Options opts;
+  opts.preemption_bound = 4;
+  opts.stale_window = 2;
+  const auto r = hv::explore(
+      opts, [](hv::Env& env) { fifo_setup(env, 1, 2); });
+  EXPECT_FALSE(r.failed) << r.report();
+  EXPECT_TRUE(r.complete) << "capacity-1 shape must be fully explored";
+  EXPECT_GT(r.executions, 1u);
+}
+
+TEST(RingVerify, ExhaustiveFifoCapacityTwoFourItems) {
+  hv::Options opts;
+  opts.preemption_bound = 2;  // keeps the 4-item shape exhaustible
+  opts.stale_window = 2;
+  const auto r = hv::explore(
+      opts, [](hv::Env& env) { fifo_setup(env, 2, 4); });
+  EXPECT_FALSE(r.failed) << r.report();
+  EXPECT_TRUE(r.complete) << "bounded 4-item shape must be fully explored";
+}
+
+TEST(RingVerify, RandomSweepLargerShape) {
+  hv::Options opts;
+  opts.mode = hv::Options::Mode::kRandom;
+  opts.iterations = 300;
+  opts.seed = 11;
+  const auto r = hv::explore(
+      opts, [](hv::Env& env) { fifo_setup(env, 2, 8); });
+  EXPECT_FALSE(r.failed) << r.report();
+  EXPECT_EQ(r.executions, 300u);
+}
+
+TEST(RingVerify, SizeObserverNeverUnderflows) {
+  // Three model threads: producer, consumer, and a size() observer. The
+  // head-before-tail load order pins tail >= head, so size() can never
+  // wrap to ~2^64 — the bug this suite was built to catch (see the
+  // tail-first mutant in mutant_test.cpp). A stale head CAN transiently
+  // report more than the true occupancy, so the upper bound asserted here
+  // is the total number of items ever pushed, NOT the capacity.
+  struct Shared {
+    Shared() : ring(1) {}
+    ModelRing ring;
+  };
+  constexpr int kTotal = 2;
+  hv::Options opts;
+  opts.preemption_bound = 2;  // 3 threads: bound 2 keeps it exhaustible
+  opts.stale_window = 2;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto s = std::make_shared<Shared>();
+    env.thread([s] {
+      for (int i = 1; i <= kTotal; ++i) {
+        while (!s->ring.try_push(i)) hv::ModelBackend::yield();
+      }
+    });
+    env.thread([s] {
+      int item = 0;
+      int seen = 0;
+      while (seen < kTotal) {
+        if (s->ring.try_pop(item)) {
+          ++seen;
+        } else {
+          hv::ModelBackend::yield();
+        }
+      }
+    });
+    env.thread([s] {
+      // One observation keeps the 3-thread shape exhaustible; the random
+      // sweep below covers repeated observations.
+      const std::size_t n = s->ring.size();
+      hv::check(n <= kTotal, "size() underflowed (or counted phantoms)");
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.report();
+  EXPECT_TRUE(r.complete) << "bounded observer shape must be exhausted";
+}
+
+TEST(RingVerify, SizeObserverRandomSweep) {
+  struct Shared {
+    Shared() : ring(2) {}
+    ModelRing ring;
+  };
+  constexpr int kTotal = 6;
+  hv::Options opts;
+  opts.mode = hv::Options::Mode::kRandom;
+  opts.iterations = 200;
+  opts.seed = 23;
+  const auto r = hv::explore(opts, [](hv::Env& env) {
+    auto s = std::make_shared<Shared>();
+    env.thread([s] {
+      for (int i = 1; i <= kTotal; ++i) {
+        while (!s->ring.try_push(i)) hv::ModelBackend::yield();
+      }
+    });
+    env.thread([s] {
+      int item = 0;
+      int seen = 0;
+      while (seen < kTotal) {
+        if (s->ring.try_pop(item)) {
+          ++seen;
+        } else {
+          hv::ModelBackend::yield();
+        }
+      }
+    });
+    env.thread([s] {
+      for (int i = 0; i < 4; ++i) {
+        hv::check(s->ring.size() <= kTotal, "size() underflowed");
+      }
+    });
+  });
+  EXPECT_FALSE(r.failed) << r.report();
+}
+
+TEST(RingVerify, ProductionBackendStillWorksSingleThreaded) {
+  // The default-backend instantiation in the same TU: templatization must
+  // not have changed the plain std::atomic ring's semantics.
+  highrpm::serve::SpscRing<int> ring(2);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_FALSE(ring.try_push(3));
+  EXPECT_EQ(ring.size(), 2u);
+  int out = 0;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace

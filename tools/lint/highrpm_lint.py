@@ -34,11 +34,26 @@ hygiene:
                         sensor front-ends and the CSV reader) must guard its
                         inputs with std::isfinite: a NaN/Inf must be
                         rejected at the boundary, never fed into the models.
-  thread-outside-runtime  Library code outside the runtime/ layer must not
-                        spawn threads (std::thread/std::jthread/std::async/
-                        pthread_create). All parallelism goes through
-                        runtime::parallel_for so the determinism guarantee
-                        (bit-identical results for any thread count) holds.
+  thread-outside-runtime  Library code outside the runtime/ and verify/
+                        layers must not spawn threads (std::thread/
+                        std::jthread/std::async/pthread_create). All
+                        parallelism goes through runtime::parallel_for so
+                        the determinism guarantee (bit-identical results for
+                        any thread count) holds; verify/ is sanctioned
+                        because its model checker runs threads one-at-a-time
+                        by construction.
+  memory-order-audit    Raw atomics (std::atomic, std::atomic_thread_fence,
+                        std::memory_order_*) in library code are audited:
+                        they may appear only under the four concurrency
+                        homes — verify/, serve/, obs/, runtime/. Within
+                        those, every memory_order_relaxed outside obs/ (the
+                        sanctioned relaxed-counter home) and verify/ (which
+                        models orders rather than relying on them) must
+                        carry HIGHRPM_LINT_ALLOW(memory-order-audit): <why>
+                        on the same or immediately preceding line — a
+                        justified escape, not a bare one. The model-checker
+                        suites (ctest -L verify) are the semantic
+                        counterpart of this textual audit.
   alloc-in-step         Steady-state hot-path functions in library code —
                         those named step, step_*, cell_step, *_into, or
                         *_batch (the per-node tick path and the batched
@@ -150,6 +165,46 @@ THREAD_PATTERNS = [
     (re.compile(r"\bpthread_create\b"), "pthread_create"),
 ]
 
+# Thread spawning is sanctioned in runtime/ (the shared pool) and verify/
+# (the model checker's one-runs-at-a-time workers).
+THREAD_ALLOWED_DIR_PARTS = ("/runtime/", "/verify/")
+
+# Raw atomics concentrate in four audited homes; everywhere else in library
+# code the concurrency toolbox is runtime::parallel_for plus plain values.
+ATOMIC_ALLOWED_PREFIXES = (
+    "include/highrpm/verify/", "src/verify/",
+    "include/highrpm/serve/", "src/serve/",
+    "include/highrpm/obs/", "src/obs/",
+    "include/highrpm/runtime/", "src/runtime/",
+)
+# Within the audited homes, memory_order_relaxed additionally needs a
+# justified ALLOW marker — except obs/ (the sanctioned relaxed-counter home:
+# counters carry totals, no ordering contract) and verify/ (which models
+# memory orders rather than relying on them).
+RELAXED_EXEMPT_PREFIXES = (
+    "include/highrpm/obs/", "src/obs/",
+    "include/highrpm/verify/", "src/verify/",
+)
+ATOMIC_PATTERNS = [
+    (re.compile(r"\bstd::atomic(?:_\w+)?\b"), "std::atomic"),
+    (re.compile(r"\bstd::memory_order\w*"), "std::memory_order"),
+]
+RELAXED_USE = re.compile(r"\bmemory_order_relaxed\b")
+# The relaxed escape must be justified: marker followed by actual words.
+RELAXED_JUSTIFIED = re.compile(
+    r"HIGHRPM_LINT_ALLOW\(memory-order-audit\)[:\s]+\S")
+
+
+def relaxed_justified(lines: list[str], lineno: int) -> bool:
+    """True when a justified memory-order-audit marker covers `lineno`.
+
+    The marker may sit on the flagged line or the immediately preceding one
+    (relaxed loads are often split across lines by the 80-column style)."""
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(lines) and RELAXED_JUSTIFIED.search(lines[ln - 1]):
+            return True
+    return False
+
 # Raw == / != with a floating-point literal on either side. Literal forms:
 # 1.0, .5, 2., 1e-9, 1.5e3, optional f/F/l/L suffix. Integer literals are
 # fine (they compare exactly by promotion only when the other side is
@@ -218,7 +273,11 @@ RULES = {
     "float-compare": "raw == / != against a floating-point literal "
                      "(use highrpm/math/float_eq.hpp)",
     "sensor-isfinite": "sensor ingestion file missing a std::isfinite guard",
-    "thread-outside-runtime": "thread creation outside runtime/",
+    "thread-outside-runtime": "thread creation outside runtime/ and the "
+                              "verify/ model checker",
+    "memory-order-audit": "raw atomics outside the audited homes (verify/, "
+                          "serve/, obs/, runtime/), or an unjustified "
+                          "memory_order_relaxed inside them",
     "alloc-in-step": "std::vector construction inside a steady-state "
                      "function (step / step_* / cell_step / *_into / "
                      "*_batch) in library code",
@@ -294,7 +353,10 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
     relpath = rel(path, root)
     scope = top_dir(relpath)
     in_library = scope in LIBRARY_DIRS
-    in_runtime = "/runtime/" in "/" + relpath
+    thread_sanctioned = any(
+        part in "/" + relpath for part in THREAD_ALLOWED_DIR_PARTS)
+    in_atomic_home = relpath.startswith(ATOMIC_ALLOWED_PREFIXES)
+    relaxed_exempt = relpath.startswith(RELAXED_EXEMPT_PREFIXES)
     findings: list[Finding] = []
 
     try:
@@ -378,12 +440,26 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
                         hit("library-file-io",
                             f"{what} — library-side file output belongs in "
                             "the obs exporter (src/obs/)")
-            if not in_runtime:
+            if not thread_sanctioned:
                 for pat, what in THREAD_PATTERNS:
                     if pat.search(code):
                         hit("thread-outside-runtime",
                             f"{what} — use runtime::parallel_for / the "
                             "shared pool")
+            if not in_atomic_home:
+                for pat, what in ATOMIC_PATTERNS:
+                    if pat.search(code):
+                        hit("memory-order-audit",
+                            f"{what} — raw atomics are audited and live "
+                            "only under verify/, serve/, obs/, or runtime/")
+                        break
+            elif not relaxed_exempt and RELAXED_USE.search(code):
+                if not relaxed_justified(lines, lineno):
+                    findings.append(Finding(
+                        relpath, lineno, "memory-order-audit",
+                        "memory_order_relaxed outside obs counters needs "
+                        "HIGHRPM_LINT_ALLOW(memory-order-audit): <reason> "
+                        "on this or the preceding line"))
 
         if relpath not in FLOAT_EQ_EXEMPT and FLOAT_CMP.search(code):
             hit("float-compare",
