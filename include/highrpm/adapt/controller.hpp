@@ -1,0 +1,156 @@
+#pragma once
+
+// highrpm::adapt -- deterministic per-node adaptive-sampling controller.
+//
+// HighRPM's restoration quality and its monitoring overhead both hang off two
+// fixed knobs: the IM miss interval and the PMC sampling cadence. This module
+// turns those knobs into a closed loop with a *first-class overhead budget*:
+// the controller watches signal volatility online (windowed variance and
+// tick-over-tick jump detection over restored node power, plus relative PMC
+// deltas) and widens or narrows the effective sampling density --
+//
+//   Sparse mode  : cheap decision-tree ResModel, strided PMC sampling, and a
+//                  widened IM interval for quiet phases;
+//   Dense mode   : the full LSTM path at base cadence for volatile phases.
+//
+// Two invariants are enforced by construction, not by tuning:
+//
+//   Budget   : dense ticks never exceed `budget_permille` of observed ticks.
+//              An integer token bucket accrues `budget_permille` tokens per
+//              observed tick and each dense tick spends exactly 1000; a
+//              switch to Dense must pre-pay the full minimum dwell
+//              (1000 * window * hold_windows tokens), so the budget can never
+//              force a mid-dwell demotion -- `1000 * dense_ticks() <=
+//              budget_permille * ticks_observed()` holds at every tick.
+//   No flap  : a mode persists for at least `hold_windows` decision windows,
+//              and the up/down thresholds form a hysteresis band, so
+//              `hold_windows * mode_changes() <= windows_observed()`.
+//
+// The controller is a pure function of its config and the observed
+// (node_w, pmcs) trace: no clock, no RNG, no atomics, no allocation in the
+// steady state (the previous-PMC mirror is sized on the first observation).
+// One controller instance belongs to exactly one node stepper thread.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace highrpm::adapt {
+
+// Sampling mode. Values are stable -- they are packed into the daemon's
+// seqlock snapshot word (0 is reserved for "controller disabled").
+enum class Mode : std::uint8_t {
+  kSparse = 1,  // cheap DT ResModel, strided PMCs, widened IM interval
+  kDense = 2,   // full LSTM path at base cadence
+};
+
+// A standing decision, applied from the next tick until superseded at a
+// later window boundary.
+struct Decision {
+  Mode mode = Mode::kSparse;
+  bool use_cheap = true;           // route TRR predicts through the DT path
+  std::size_t pmc_stride = 1;      // PmcSampler stride to apply
+  double im_interval_factor = 1.0; // multiply the base IM interval by this
+};
+
+struct ControllerConfig {
+  // Decision-window length in ticks. Callers embedding the controller in the
+  // restoration stack pin this to the TRR miss interval so decisions land on
+  // ring-window boundaries. Must be >= 1.
+  std::size_t window = 10;
+
+  // Hard overhead budget: at most this many dense ticks per 1000 observed
+  // ticks. 0 pins the controller to Sparse forever; >= 1000 removes the
+  // budget constraint (always-dense when the signal warrants it).
+  std::uint32_t budget_permille = 400;
+
+  // Minimum dwell, in windows, after any mode change. Must be >= 1.
+  std::size_t hold_windows = 3;
+
+  // Hysteresis band on the volatility score (watt-denominated, see
+  // `last_score()`): Sparse->Dense requires score > up_threshold_w; Dense
+  // drops back only when score <= down_threshold_w. Require
+  // 0 <= down <= up, both finite.
+  double up_threshold_w = 3.0;
+  double down_threshold_w = 1.5;
+
+  // Weight of the mean relative PMC delta in the volatility score
+  // (watts per unit relative delta). Finite, >= 0.
+  double pmc_weight = 5.0;
+
+  // Sparse-mode cadence: PMC sampler stride (>= 1) and the IM interval
+  // widening factor (finite, >= 1).
+  std::size_t sparse_pmc_stride = 4;
+  double sparse_im_factor = 3.0;
+
+  // Token-bucket headroom above the Dense entry cost, in spare dense-window
+  // equivalents. Caps how much quiet-phase credit can be banked for later
+  // bursts; keeps long-quiet runs from buying unbounded dense time.
+  std::size_t spare_windows = 8;
+};
+
+class Controller {
+ public:
+  explicit Controller(const ControllerConfig& cfg);
+
+  // Feed one tick's restored node power and its (substituted) PMC row.
+  // Returns the new standing decision when this tick closes a decision
+  // window AND the mode changed; std::nullopt otherwise. Non-finite inputs
+  // are counted but excluded from the volatility statistics.
+  std::optional<Decision> observe(double node_w, std::span<const double> pmcs);
+
+  // The current standing decision (valid from construction: Sparse).
+  [[nodiscard]] Decision decision() const;
+
+  // Forget all observed state (mode, tokens, counters, window statistics);
+  // the config is retained. Equivalent to a freshly constructed controller.
+  void reset();
+
+  [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
+  [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] std::uint64_t ticks_observed() const { return ticks_; }
+  [[nodiscard]] std::uint64_t dense_ticks() const { return dense_ticks_; }
+  [[nodiscard]] std::uint64_t sparse_ticks() const {
+    return ticks_ - dense_ticks_;
+  }
+  [[nodiscard]] std::uint64_t windows_observed() const { return windows_; }
+  [[nodiscard]] std::uint64_t mode_changes() const { return mode_changes_; }
+  [[nodiscard]] std::uint64_t tokens() const { return tokens_; }
+  // Volatility score of the most recently completed window (0 before the
+  // first boundary): stddev(node_w) + max |delta node_w| + pmc_weight *
+  // mean relative PMC delta, all over the window's finite ticks.
+  [[nodiscard]] double last_score() const { return last_score_; }
+
+ private:
+  void close_window();
+
+  ControllerConfig cfg_;
+  std::uint64_t entry_cost_ = 0;  // tokens to pre-pay a minimum Dense dwell
+  std::uint64_t token_cap_ = 0;   // entry cost + spare_windows of headroom
+
+  Mode mode_ = Mode::kSparse;
+  std::uint64_t tokens_ = 0;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t dense_ticks_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t windows_in_mode_ = 0;
+  std::uint64_t mode_changes_ = 0;
+  double last_score_ = 0.0;
+
+  // Current-window statistics (reset at each boundary).
+  std::size_t win_ticks_ = 0;     // ticks in the open window (incl. skipped)
+  std::size_t win_finite_ = 0;    // finite samples contributing to stats
+  double win_mean_ = 0.0;         // Welford running mean of node_w
+  double win_m2_ = 0.0;           // Welford running sum of squared deviations
+  double win_max_jump_ = 0.0;     // max |node_w - prev_node_w| in the window
+  double win_pmc_delta_ = 0.0;    // summed mean relative PMC delta
+  std::size_t win_pmc_count_ = 0; // ticks contributing a PMC delta
+  bool have_prev_w_ = false;
+  double prev_w_ = 0.0;
+  bool have_prev_pmcs_ = false;
+  std::vector<double> prev_pmcs_; // sized on first observation, then reused
+};
+
+}  // namespace highrpm::adapt

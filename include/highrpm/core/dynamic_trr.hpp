@@ -14,6 +14,7 @@
 
 #include "highrpm/data/window.hpp"
 #include "highrpm/ml/rnn.hpp"
+#include "highrpm/ml/tree.hpp"
 #include "highrpm/obs/counter.hpp"
 
 namespace highrpm::core {
@@ -50,6 +51,13 @@ struct DynamicTrrConfig {
   /// steady workloads from being rejected.
   std::size_t stuck_limit = 3;
   double stuck_disagreement = 0.25;
+  /// Also fit a cheap decision-tree ResModel on the same [PMC..., P'_prev]
+  /// rows at train() time (pointwise, not windowed). The adaptive sampling
+  /// controller (highrpm::adapt) routes quiet-phase predicts through it via
+  /// set_use_cheap(); the LSTM and the SoA ring stay warm throughout so a
+  /// switch back to the dense path is seamless.
+  bool train_cheap_model = false;
+  ml::TreeConfig cheap_tree{};
 };
 
 class DynamicTrr {
@@ -111,6 +119,18 @@ class DynamicTrr {
   /// unbatched callers between step_prepare and step_commit. Zero heap
   /// allocations once the member scratch is warm.
   double predict_prepared();
+  /// Cheap-path predict leg: the decision-tree ResModel on this tick's
+  /// [PMC..., P'_prev] row (an allocation-free node walk). Requires
+  /// cheap_fitted(); the ring row built by step_prepare is read in place.
+  double predict_prepared_cheap(const StepPrep& prep) const;
+
+  /// Route step()/fleet predicts through the cheap decision-tree path
+  /// (adaptive sparse mode). While active, online fine-tune is suspended —
+  /// the LSTM is not being consulted, so there is nothing to correct — but
+  /// the ring keeps filling every tick. Enabling requires cheap_fitted().
+  void set_use_cheap(bool on);
+  bool use_cheap() const noexcept { return use_cheap_; }
+  bool cheap_fitted() const noexcept { return cheap_.fitted(); }
 
   bool fitted() const noexcept { return model_.fitted(); }
   const DynamicTrrConfig& config() const noexcept { return cfg_; }
@@ -158,6 +178,10 @@ class DynamicTrr {
 
   DynamicTrrConfig cfg_;
   ml::SequenceRegressor model_;
+  /// Cheap pointwise ResModel (cfg_.train_cheap_model) and the routing
+  /// flag the adaptive controller toggles at window boundaries.
+  ml::DecisionTreeRegressor cheap_;
+  bool use_cheap_ = false;
   /// SoA ring storage (capacity miss_interval once streaming): one matrix
   /// row per window step = [PMC..., P'_prev], parallel per-slot estimate
   /// and cleanliness arrays, plus cursor/fill. Structure-of-arrays keeps

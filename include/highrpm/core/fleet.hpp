@@ -106,6 +106,13 @@ class FleetStepper {
   /// disabled), enabling the one-GEMM-per-layer cross-node fast path.
   bool shared_rnn() const noexcept { return shared_rnn_; }
   const DynamicTrr& node_trr(std::size_t i) const { return lanes_[i].trr; }
+  /// Lane i's adaptive-sampling controller, or nullptr when the golden
+  /// instance was not adaptive. Each lane observes its own committed
+  /// estimates, so heterogeneous fleets diverge in mode lane by lane while
+  /// every lane's decision stream stays byte-identical to the serial facade.
+  const adapt::Controller* lane_controller(std::size_t i) const {
+    return lanes_[i].ctl ? &*lanes_[i].ctl : nullptr;
+  }
 
  private:
   struct Lane {
@@ -114,6 +121,9 @@ class FleetStepper {
     /// see the same held input (mirrors HighRpm::on_tick).
     std::vector<double> last_good;
     bool have_last_good = false;
+    /// Present iff the golden instance was adaptive; observed after every
+    /// commit, mirroring HighRpm::on_tick.
+    std::optional<adapt::Controller> ctl;
   };
 
   /// Per-shard state, owned by exactly one parallel_for index per tick:

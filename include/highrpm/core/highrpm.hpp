@@ -11,6 +11,7 @@
 #include <optional>
 #include <span>
 
+#include "highrpm/adapt/controller.hpp"
 #include "highrpm/core/dynamic_trr.hpp"
 #include "highrpm/core/sampler.hpp"
 #include "highrpm/core/srr.hpp"
@@ -30,6 +31,15 @@ struct HighRpmConfig {
   /// (paper §5.2: P_Other is a constant ~25 W).
   double p_other_w = 25.0;
   std::size_t active_finetune_epochs = 2;
+  /// Adaptive sampling (highrpm::adapt): attach a per-stream controller that
+  /// watches restored-power volatility and routes quiet phases through the
+  /// cheap decision-tree ResModel under a hard overhead budget. The
+  /// controller's window is pinned to miss_interval so decisions land on
+  /// ring-window boundaries, and train_cheap_model is forced on. Off by
+  /// default — when off, every code path is identical to the fixed-rate
+  /// pipeline.
+  bool adaptive = false;
+  adapt::ControllerConfig adapt{};
 };
 
 /// One tick's power picture as HighRPM reports it.
@@ -89,6 +99,14 @@ class HighRpm {
   std::size_t held_rows() const noexcept {
     return static_cast<std::size_t>(held_rows_.value());
   }
+  /// The adaptive-sampling controller, or nullptr when cfg.adaptive is off.
+  /// Exposes mode / budget / flap counters for monitors and benches; the
+  /// standing Decision also carries the sensor cadence (PMC stride, IM
+  /// interval factor) the *caller* is expected to apply to its sensors —
+  /// HighRpm itself only consumes the cheap-vs-LSTM routing.
+  const adapt::Controller* controller() const noexcept {
+    return controller_ ? &*controller_ : nullptr;
+  }
 
  private:
   /// Fit a fresh StaticTRR on a run's sparse IM readings and restore it.
@@ -106,6 +124,9 @@ class HighRpm {
   /// allocations once warm.
   Srr::Scratch srr_scratch_;
   obs::Counter held_rows_;
+  /// Present iff cfg_.adaptive. Observed after every committed tick;
+  /// decisions apply from the next tick (window-boundary granularity).
+  std::optional<adapt::Controller> controller_;
 };
 
 /// Control-node service managing per-compute-node HighRPM instances

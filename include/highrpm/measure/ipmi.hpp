@@ -41,6 +41,14 @@ class IpmiSensor {
   /// Convenience: sample a whole trace at once.
   std::vector<IpmiReading> sample_trace(const sim::Trace& trace);
 
+  /// Rate-change API (adaptive sampling): change the readout interval
+  /// mid-stream. The new cadence takes effect after the next scheduled
+  /// reading — already-scheduled readings are never moved, so the call is
+  /// idempotent and the reading schedule stays a pure function of the
+  /// interval history. Rejects non-finite or sub-second intervals at the
+  /// boundary (same contract as the constructor).
+  void set_interval(double interval_s);
+
   const IpmiConfig& config() const noexcept { return cfg_; }
   void reset();
 
@@ -48,6 +56,10 @@ class IpmiSensor {
   IpmiConfig cfg_;
   math::Rng rng_;
   std::size_t ticks_seen_ = 0;
+  /// Tick index of the next reading. Accumulated (rather than derived from
+  /// `idx % interval`) so mid-stream interval changes keep a well-defined
+  /// schedule; for a constant interval the two formulations are identical.
+  std::size_t next_reading_tick_ = 0;
   std::deque<std::pair<std::size_t, double>> history_;  // (tick, node power)
 };
 

@@ -21,6 +21,10 @@ struct PmcSamplerConfig {
   /// multiplexes, rotating which events are live each tick. 0 = no
   /// multiplexing (all events live every tick).
   std::size_t counter_slots = 0;
+  /// Fresh counter read every `sample_stride` ticks; in between, the whole
+  /// previous sample is held (the adaptive controller's sparse-mode PMC
+  /// cadence). 1 = read every tick. Must be >= 1.
+  std::size_t sample_stride = 1;
   std::uint64_t seed = 601;
 };
 
@@ -34,6 +38,13 @@ class PmcSampler {
   /// Sample a full trace into an (n x kNumPmcEvents) matrix.
   math::Matrix sample_trace(const sim::Trace& trace);
 
+  /// Rate-change API (adaptive sampling): change the read stride
+  /// mid-stream. Takes effect when the next scheduled fresh read completes,
+  /// so the read schedule stays a pure function of the stride history.
+  /// Rejects a zero stride at the boundary (same contract as the
+  /// constructor).
+  void set_sample_stride(std::size_t stride);
+
   const PmcSamplerConfig& config() const noexcept { return cfg_; }
   void reset();
 
@@ -43,6 +54,10 @@ class PmcSampler {
   sim::PmcVector last_{};
   std::size_t rotation_ = 0;
   bool has_last_ = false;
+  std::size_t ticks_seen_ = 0;
+  /// Tick index of the next fresh read (accumulated so mid-stream stride
+  /// changes keep a well-defined schedule; for stride 1 every tick reads).
+  std::size_t next_sample_tick_ = 0;
 };
 
 }  // namespace highrpm::measure

@@ -50,6 +50,20 @@ class NodeTickStream {
 
   std::uint64_t ticks_produced() const noexcept { return produced_; }
   const IpmiConfig& ipmi_config() const noexcept { return ipmi_.config(); }
+  const PmcSamplerConfig& pmc_config() const noexcept {
+    return sampler_.config();
+  }
+
+  /// Rate-change passthroughs (adaptive sampling): retune the underlying
+  /// instruments mid-stream. Validation and effect timing are the
+  /// instruments' own (IpmiSensor::set_interval / PmcSampler::
+  /// set_sample_stride); determinism is preserved — the tick sequence stays
+  /// a pure function of (platform, workload, seed, cfg, rate-change
+  /// history).
+  void set_im_interval(double interval_s) { ipmi_.set_interval(interval_s); }
+  void set_pmc_stride(std::size_t stride) {
+    sampler_.set_sample_stride(stride);
+  }
 
  private:
   sim::NodeSimulator node_;

@@ -37,7 +37,37 @@ struct NodeStatus {
   std::uint64_t dropped_readings = 0; // reading ticks lost despite retries
   std::uint64_t backpressure = 0;     // bounded retry rounds spent on readings
   std::uint64_t held = 0;             // held-row catch-up steps executed
+  // Adaptive-sampling controller state (decoded from the cell's packed
+  // `adapt` word; all zero when the fleet runs without a controller).
+  std::uint64_t adapt_mode = 0;          // 0 = off, 1 = sparse, 2 = dense
+  std::uint64_t adapt_mode_changes = 0;  // saturating 31-bit counter
+  std::uint64_t adapt_cheap_ticks = 0;   // saturating 31-bit counter
 };
+
+/// The per-node controller state travels through the seqlock as ONE packed
+/// word rather than three more atomic fields: the payload stays small (the
+/// model-checker suites sweep every payload store/load interleaving, and
+/// each extra field multiplies that state space) and the three values are
+/// coherent with each other by construction. Layout: bits 0-1 mode
+/// (0 = controller off), bits 2-32 mode_changes, bits 33-63 cheap_ticks
+/// (both saturating at 2^31 - 1).
+constexpr std::uint64_t pack_adapt_state(std::uint64_t mode,
+                                         std::uint64_t mode_changes,
+                                         std::uint64_t cheap_ticks) noexcept {
+  constexpr std::uint64_t kMax31 = (std::uint64_t{1} << 31) - 1;
+  const std::uint64_t changes = mode_changes > kMax31 ? kMax31 : mode_changes;
+  const std::uint64_t cheap = cheap_ticks > kMax31 ? kMax31 : cheap_ticks;
+  return (mode & std::uint64_t{3}) | (changes << 2) | (cheap << 33);
+}
+constexpr std::uint64_t adapt_mode_of(std::uint64_t word) noexcept {
+  return word & std::uint64_t{3};
+}
+constexpr std::uint64_t adapt_changes_of(std::uint64_t word) noexcept {
+  return (word >> 2) & ((std::uint64_t{1} << 31) - 1);
+}
+constexpr std::uint64_t adapt_cheap_of(std::uint64_t word) noexcept {
+  return (word >> 33) & ((std::uint64_t{1} << 31) - 1);
+}
 
 /// Restoration-error summary over one workload suite (milliwatts, from the
 /// daemon's per-suite histograms; populated only for unmeasured ticks —
@@ -92,6 +122,9 @@ class BasicNodeStatusCell {
     double cpu_w = 0.0;
     double mem_w = 0.0;
     bool measured = false;
+    /// Packed adaptive-controller state (pack_adapt_state; 0 = no
+    /// controller).
+    std::uint64_t adapt = 0;
   };
 
   BasicNodeStatusCell() = default;
@@ -115,6 +148,7 @@ class BasicNodeStatusCell {
     cpu_w_.store(v.cpu_w, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
     mem_w_.store(v.mem_w, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
     measured_.store(v.measured, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
+    adapt_.store(v.adapt, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
     seq_.store(s + 2, std::memory_order_release);  // even: stable again
   }
 
@@ -133,6 +167,7 @@ class BasicNodeStatusCell {
       v.cpu_w = cpu_w_.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
       v.mem_w = mem_w_.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
       v.measured = measured_.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
+      v.adapt = adapt_.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
       Backend::fence(std::memory_order_acquire);
       if (seq_.load(std::memory_order_relaxed) == s1) return v;  // HIGHRPM_LINT_ALLOW(memory-order-audit): recheck ordered by the fence above
       Backend::yield();
@@ -149,6 +184,7 @@ class BasicNodeStatusCell {
   Atomic<double> cpu_w_{0.0};
   Atomic<double> mem_w_{0.0};
   Atomic<bool> measured_{false};
+  Atomic<std::uint64_t> adapt_{0};
 };
 
 /// Production instantiation — plain std::atomic, zero template overhead.

@@ -1,0 +1,186 @@
+#include "highrpm/adapt/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace highrpm::adapt {
+
+namespace {
+
+// Every dense tick costs 1000 tokens; every observed tick accrues
+// `budget_permille` tokens. The ratio IS the budget -- integer arithmetic
+// makes the invariant exact, with no drift for any trace length.
+constexpr std::uint64_t kTokensPerDenseTick = 1000;
+
+}  // namespace
+
+Controller::Controller(const ControllerConfig& cfg) : cfg_(cfg) {
+  if (cfg_.window == 0) {
+    throw std::invalid_argument("adapt::Controller: window must be >= 1");
+  }
+  if (cfg_.hold_windows == 0) {
+    throw std::invalid_argument("adapt::Controller: hold_windows must be >= 1");
+  }
+  if (!std::isfinite(cfg_.up_threshold_w) ||
+      !std::isfinite(cfg_.down_threshold_w) || cfg_.down_threshold_w < 0.0 ||
+      cfg_.down_threshold_w > cfg_.up_threshold_w) {
+    throw std::invalid_argument(
+        "adapt::Controller: thresholds must be finite with 0 <= down <= up");
+  }
+  if (!std::isfinite(cfg_.pmc_weight) || cfg_.pmc_weight < 0.0) {
+    throw std::invalid_argument(
+        "adapt::Controller: pmc_weight must be finite and >= 0");
+  }
+  if (cfg_.sparse_pmc_stride == 0) {
+    throw std::invalid_argument(
+        "adapt::Controller: sparse_pmc_stride must be >= 1");
+  }
+  if (!std::isfinite(cfg_.sparse_im_factor) || cfg_.sparse_im_factor < 1.0) {
+    throw std::invalid_argument(
+        "adapt::Controller: sparse_im_factor must be finite and >= 1");
+  }
+  entry_cost_ = kTokensPerDenseTick * static_cast<std::uint64_t>(cfg_.window) *
+                static_cast<std::uint64_t>(cfg_.hold_windows);
+  token_cap_ = entry_cost_ + kTokensPerDenseTick *
+                                 static_cast<std::uint64_t>(cfg_.window) *
+                                 static_cast<std::uint64_t>(cfg_.spare_windows);
+}
+
+std::optional<Decision> Controller::observe(double node_w,
+                                            std::span<const double> pmcs) {
+  ++ticks_;
+  // Accrue this tick's budget, saturating at the cap. Saturation only ever
+  // discards credit, so total spend <= total accrual <= permille * ticks.
+  tokens_ = std::min<std::uint64_t>(token_cap_, tokens_ + cfg_.budget_permille);
+  if (mode_ == Mode::kDense) {
+    // Affordability is structural: entering Dense pre-paid the whole minimum
+    // dwell, and every stay past the dwell required one more full window of
+    // tokens up front -- this subtraction cannot underflow.
+    tokens_ -= kTokensPerDenseTick;
+    ++dense_ticks_;
+  }
+
+  if (std::isfinite(node_w)) {
+    if (have_prev_w_) {
+      win_max_jump_ = std::max(win_max_jump_, std::abs(node_w - prev_w_));
+    }
+    prev_w_ = node_w;
+    have_prev_w_ = true;
+    ++win_finite_;
+    const double delta = node_w - win_mean_;
+    win_mean_ += delta / static_cast<double>(win_finite_);
+    win_m2_ += delta * (node_w - win_mean_);
+  }
+  if (!pmcs.empty()) {
+    if (have_prev_pmcs_ && prev_pmcs_.size() == pmcs.size()) {
+      double rel = 0.0;
+      std::size_t live = 0;
+      for (std::size_t e = 0; e < pmcs.size(); ++e) {
+        const double cur = pmcs[e];
+        const double prev = prev_pmcs_[e];
+        if (!std::isfinite(cur) || !std::isfinite(prev)) continue;
+        rel += std::abs(cur - prev) / std::max(1.0, std::abs(prev));
+        ++live;
+      }
+      if (live > 0) {
+        win_pmc_delta_ += rel / static_cast<double>(live);
+        ++win_pmc_count_;
+      }
+    }
+    if (prev_pmcs_.size() == pmcs.size()) {
+      std::copy(pmcs.begin(), pmcs.end(), prev_pmcs_.begin());
+    } else {
+      prev_pmcs_.assign(pmcs.begin(), pmcs.end());
+    }
+    have_prev_pmcs_ = true;
+  }
+
+  ++win_ticks_;
+  if (win_ticks_ < cfg_.window) return std::nullopt;
+
+  const Mode before = mode_;
+  close_window();
+  if (mode_ == before) return std::nullopt;
+  return decision();
+}
+
+void Controller::close_window() {
+  ++windows_;
+  ++windows_in_mode_;
+
+  const double stddev =
+      win_finite_ > 1
+          ? std::sqrt(std::max(0.0, win_m2_ / static_cast<double>(win_finite_)))
+          : 0.0;
+  const double pmc_term =
+      win_pmc_count_ > 0
+          ? cfg_.pmc_weight *
+                (win_pmc_delta_ / static_cast<double>(win_pmc_count_))
+          : 0.0;
+  last_score_ = stddev + win_max_jump_ + pmc_term;
+
+  win_ticks_ = 0;
+  win_finite_ = 0;
+  win_mean_ = 0.0;
+  win_m2_ = 0.0;
+  win_max_jump_ = 0.0;
+  win_pmc_delta_ = 0.0;
+  win_pmc_count_ = 0;
+
+  // Hysteresis dwell: no mode may change until it has held for
+  // `hold_windows` full windows. Dense dwell is always affordable because
+  // entry pre-paid it, so the budget never forces a mid-dwell demotion.
+  if (windows_in_mode_ < static_cast<std::uint64_t>(cfg_.hold_windows)) return;
+
+  if (mode_ == Mode::kSparse) {
+    if (last_score_ > cfg_.up_threshold_w && tokens_ >= entry_cost_) {
+      mode_ = Mode::kDense;
+      ++mode_changes_;
+      windows_in_mode_ = 0;
+    }
+  } else {
+    const std::uint64_t window_cost =
+        kTokensPerDenseTick * static_cast<std::uint64_t>(cfg_.window);
+    // Drop back when the signal is quiet (below the lower hysteresis bound)
+    // or when one more dense window is no longer affordable up front.
+    if (last_score_ <= cfg_.down_threshold_w || tokens_ < window_cost) {
+      mode_ = Mode::kSparse;
+      ++mode_changes_;
+      windows_in_mode_ = 0;
+    }
+  }
+}
+
+Decision Controller::decision() const {
+  if (mode_ == Mode::kDense) {
+    return Decision{Mode::kDense, false, 1, 1.0};
+  }
+  return Decision{Mode::kSparse, true, cfg_.sparse_pmc_stride,
+                  cfg_.sparse_im_factor};
+}
+
+void Controller::reset() {
+  mode_ = Mode::kSparse;
+  tokens_ = 0;
+  ticks_ = 0;
+  dense_ticks_ = 0;
+  windows_ = 0;
+  windows_in_mode_ = 0;
+  mode_changes_ = 0;
+  last_score_ = 0.0;
+  win_ticks_ = 0;
+  win_finite_ = 0;
+  win_mean_ = 0.0;
+  win_m2_ = 0.0;
+  win_max_jump_ = 0.0;
+  win_pmc_delta_ = 0.0;
+  win_pmc_count_ = 0;
+  have_prev_w_ = false;
+  prev_w_ = 0.0;
+  have_prev_pmcs_ = false;
+  // Capacity is retained so a reset stream stays allocation-free.
+  prev_pmcs_.clear();
+}
+
+}  // namespace highrpm::adapt

@@ -12,7 +12,7 @@
 namespace highrpm::core {
 
 DynamicTrr::DynamicTrr(DynamicTrrConfig cfg)
-    : cfg_(cfg), model_(cfg.rnn) {
+    : cfg_(cfg), model_(cfg.rnn), cheap_(cfg.cheap_tree) {
   if (cfg_.miss_interval < 2) {
     throw std::invalid_argument("DynamicTrr: miss_interval must be >= 2");
   }
@@ -78,6 +78,31 @@ void DynamicTrr::train(std::span<const math::Matrix> run_pmcs,
   n_features_ = run_pmcs[0].cols();
   capture_label_stats(run_labels);
   model_.fit(samples, /*reset=*/true);
+  if (cfg_.train_cheap_model) {
+    // Pointwise training rows mirror the streaming layout exactly:
+    // [PMC..., P'_prev] with P'_prev = previous tick's label (first tick
+    // uses the run's first label, make_windows_with_prev_label's
+    // convention), so the tree can be evaluated on the very ring rows
+    // step_prepare builds. Short runs skipped by the windowed LSTM
+    // construction still contribute here.
+    std::size_t total = 0;
+    for (const auto& labels : run_labels) total += labels.size();
+    math::Matrix x(total, n_features_ + 1);
+    std::vector<double> y(total);
+    std::size_t out = 0;
+    for (std::size_t r = 0; r < run_pmcs.size(); ++r) {
+      const auto& labels = run_labels[r];
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        const auto dst = x.row(out);
+        const auto src = run_pmcs[r].row(i);
+        std::copy(src.begin(), src.end(), dst.begin());
+        dst[n_features_] = i == 0 ? labels[0] : labels[i - 1];
+        y[out] = labels[i];
+        ++out;
+      }
+    }
+    cheap_.fit(x, y);
+  }
   reset_stream();
 }
 
@@ -253,6 +278,26 @@ double DynamicTrr::predict_prepared() {
   return preds_scratch_.back();
 }
 
+double DynamicTrr::predict_prepared_cheap(const StepPrep& prep) const {
+  if (!cheap_.fitted()) {
+    throw std::logic_error(
+        "DynamicTrr::predict_prepared_cheap: cheap model not trained "
+        "(enable train_cheap_model)");
+  }
+  // The ring row step_prepare just built is already [PMC..., P'_prev];
+  // the tree walk reads it in place — zero allocations, no scratch.
+  return cheap_.predict_one(win_rows_.row(prep.slot));
+}
+
+void DynamicTrr::set_use_cheap(bool on) {
+  if (on && !cheap_.fitted()) {
+    throw std::logic_error(
+        "DynamicTrr::set_use_cheap: cheap model not trained "
+        "(enable train_cheap_model)");
+  }
+  use_cheap_ = on;
+}
+
 double DynamicTrr::step_commit(const StepPrep& prep, double raw_estimate) {
   static obs::Counter& rejected_total =
       obs::Registry::instance().counter("core.dynamic_trr.rejected_readings");
@@ -286,7 +331,10 @@ double DynamicTrr::step_commit(const StepPrep& prep, double raw_estimate) {
     // batched callers (which never fill steps_scratch_) fine-tune on the
     // same bytes the unbatched path would.
     estimate = prep.reading_value;
-    if (cfg_.online_finetune && win_count_ == cfg_.miss_interval &&
+    // Cheap-path ticks skip fine-tune: the LSTM was not consulted, and the
+    // whole point of sparse mode is not to pay its training cost either.
+    if (cfg_.online_finetune && !use_cheap_ &&
+        win_count_ == cfg_.miss_interval &&
         std::all_of(win_clean_.begin(), win_clean_.end(),
                     [](unsigned char c) { return c != 0; })) {
       data::SequenceSample s;
@@ -317,7 +365,9 @@ double DynamicTrr::step(std::span<const double> pmcs,
       obs::Registry::instance().histogram("core.dynamic_trr.step_ns");
   const obs::Span span(step_hist);
   const StepPrep prep = step_prepare(pmcs, im_reading);
-  return step_commit(prep, predict_prepared());
+  const double raw =
+      use_cheap_ ? predict_prepared_cheap(prep) : predict_prepared();
+  return step_commit(prep, raw);
 }
 
 }  // namespace highrpm::core

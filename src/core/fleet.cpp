@@ -41,6 +41,12 @@ FleetStepper::FleetStepper(const HighRpm& golden, std::size_t nodes,
     Lane lane;
     lane.trr = golden.dynamic_trr();
     lane.trr.reset_stream();
+    if (const auto* gc = golden.controller()) {
+      // Fresh controller per lane (golden's config already has its window
+      // pinned to the miss interval) and the matching standing routing.
+      lane.ctl.emplace(gc->config());
+      lane.trr.set_use_cheap(lane.ctl->decision().use_cheap);
+    }
     lanes_.push_back(std::move(lane));
   }
   const std::size_t n_shards = (nodes + cfg_.shard_lanes - 1) / cfg_.shard_lanes;
@@ -61,6 +67,10 @@ void FleetStepper::reset_streams() {
     lane.trr.reset_stream();
     lane.last_good.clear();
     lane.have_last_good = false;
+    if (lane.ctl) {
+      lane.ctl->reset();
+      lane.trr.set_use_cheap(lane.ctl->decision().use_cheap);
+    }
   }
 }
 
@@ -151,7 +161,19 @@ void FleetStepper::step_cohort(std::span<const std::size_t> lane_ids,
       break;
     }
   }
-  if (shared_rnn_ && lockstep && window > 0) {
+  // Adaptive fleets route sparse-mode lanes through the cheap DT path;
+  // any such lane keeps the cohort off the batched GEMM this tick (the
+  // remaining dense lanes still produce bit-identical estimates through
+  // the per-lane path — the batch is a throughput choice, never a result
+  // choice).
+  bool any_cheap = false;
+  for (std::size_t li = 0; li < lanes; ++li) {
+    if (lanes_[lane_ids[li]].trr.use_cheap()) {
+      any_cheap = true;
+      break;
+    }
+  }
+  if (shared_rnn_ && lockstep && window > 0 && !any_cheap) {
     ss.win_batch.resize(lanes * window, f + 1);
     for (std::size_t li = 0; li < lanes; ++li) {
       lanes_[lane_ids[li]].trr.pack_window_into(ss.win_batch, li * window);
@@ -163,20 +185,32 @@ void FleetStepper::step_cohort(std::span<const std::size_t> lane_ids,
     }
   } else {
     for (std::size_t li = 0; li < lanes; ++li) {
-      ss.raw[li] = lanes_[lane_ids[li]].trr.predict_prepared();
+      DynamicTrr& trr = lanes_[lane_ids[li]].trr;
+      ss.raw[li] = trr.use_cheap() ? trr.predict_prepared_cheap(ss.preps[li])
+                                   : trr.predict_prepared();
     }
   }
 
   // Phase 3 per lane: commit (clamps, stuck-sensor logic, measurement
   // supersede + fine-tune) and the measured flag.
   for (std::size_t li = 0; li < lanes; ++li) {
-    const double node_w =
-        lanes_[lane_ids[li]].trr.step_commit(ss.preps[li], ss.raw[li]);
+    Lane& lane = lanes_[lane_ids[li]];
+    const double node_w = lane.trr.step_commit(ss.preps[li], ss.raw[li]);
     ss.node_w[li] = node_w;
     out[li].node_w = node_w;
     const std::optional<double>& r = readings[li];
     out[li].measured = r.has_value() && std::isfinite(*r) &&
                        math::exact_eq(node_w, *r);
+    // Adaptive sampling: same observation the serial facade makes — the
+    // committed estimate plus the substituted row, measured ticks excluded
+    // (a reading superseding the prediction would score the model-vs-meter
+    // bias as volatility) — so decision streams are identical at every
+    // fleet shape.
+    if (lane.ctl && !out[li].measured) {
+      if (const auto d = lane.ctl->observe(node_w, ss.rows.row(li))) {
+        lane.trr.set_use_cheap(d->use_cheap);
+      }
+    }
   }
 
   // Phase 4: one SRR GEMM per MLP layer for the whole cohort.

@@ -15,10 +15,20 @@ HighRpm::HighRpm(HighRpmConfig cfg)
       dynamic_trr_([&] {
         DynamicTrrConfig d = cfg_.dynamic_trr;
         d.miss_interval = cfg_.miss_interval;
+        // Sparse mode routes predicts through the DT ResModel, so an
+        // adaptive facade must always train it.
+        if (cfg_.adaptive) d.train_cheap_model = true;
         return d;
       }()),
       srr_(cfg_.srr),
-      sampler_(cfg_.sampler) {}
+      sampler_(cfg_.sampler) {
+  if (cfg_.adaptive) {
+    adapt::ControllerConfig acfg = cfg_.adapt;
+    // Decisions must land on ring-window boundaries.
+    acfg.window = cfg_.miss_interval;
+    controller_.emplace(acfg);
+  }
+}
 
 void HighRpm::initial_learning(
     std::span<const measure::CollectedRun> runs) {
@@ -154,6 +164,15 @@ LogRestoration HighRpm::restore_log(const measure::CollectedRun& run) const {
 void HighRpm::reset_stream() {
   dynamic_trr_.reset_stream();
   last_good_row_.clear();
+  if (controller_) {
+    controller_->reset();
+    // Re-apply the standing decision (a fresh controller starts Sparse).
+    // Before initial_learning the cheap model does not exist yet; routing
+    // is then applied by the first post-training reset.
+    if (dynamic_trr_.cheap_fitted()) {
+      dynamic_trr_.set_use_cheap(controller_->decision().use_cheap);
+    }
+  }
 }
 
 PowerEstimate HighRpm::on_tick(std::span<const double> pmcs,
@@ -198,6 +217,18 @@ PowerEstimate HighRpm::on_tick(std::span<const double> pmcs,
   const auto comp = srr_.predict_one(row, est.node_w, srr_scratch_);
   est.cpu_w = comp.cpu_w;
   est.mem_w = comp.mem_w;
+  // Adaptive sampling: feed the controller the committed estimate and the
+  // substituted row (exactly what the fleet stepper feeds per lane, keeping
+  // serial-vs-batched decision streams identical). Measured ticks are NOT
+  // observed: they return the IM reading verbatim, so the model-vs-meter
+  // bias would register as a volatility jump on every reading tick and the
+  // score could never separate calm from volatile regimes. A returned
+  // decision is a mode change taking effect from the next tick.
+  if (controller_ && !est.measured) {
+    if (const auto d = controller_->observe(est.node_w, row)) {
+      dynamic_trr_.set_use_cheap(d->use_cheap);
+    }
+  }
   return est;
 }
 

@@ -8,13 +8,26 @@
 namespace highrpm::measure {
 
 IpmiSensor::IpmiSensor(IpmiConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
-  if (cfg_.interval_s < 1.0) {
-    throw std::invalid_argument("IpmiSensor: interval must be >= 1 s");
+  // The isfinite guard must come first: NaN compares false against any
+  // bound, so `interval_s < 1.0` alone silently accepted NaN and handed
+  // llround undefined behaviour downstream.
+  if (!std::isfinite(cfg_.interval_s) || cfg_.interval_s < 1.0) {
+    throw std::invalid_argument(
+        "IpmiSensor: interval must be finite and >= 1 s");
   }
+}
+
+void IpmiSensor::set_interval(double interval_s) {
+  if (!std::isfinite(interval_s) || interval_s < 1.0) {
+    throw std::invalid_argument(
+        "IpmiSensor::set_interval: interval must be finite and >= 1 s");
+  }
+  cfg_.interval_s = interval_s;
 }
 
 void IpmiSensor::reset() {
   ticks_seen_ = 0;
+  next_reading_tick_ = 0;
   history_.clear();
   rng_ = math::Rng(cfg_.seed);
 }
@@ -39,11 +52,14 @@ std::optional<IpmiReading> IpmiSensor::offer(const sim::TickSample& tick) {
       static_cast<std::size_t>(std::llround(cfg_.readout_delay_s));
   while (history_.size() > delay + 1) history_.pop_front();
 
-  const std::size_t interval =
-      static_cast<std::size_t>(std::llround(cfg_.interval_s));
   const std::size_t idx = ticks_seen_;
   ++ticks_seen_;
-  if (idx % interval != 0) return std::nullopt;
+  if (idx != next_reading_tick_) return std::nullopt;
+  // Schedule the next reading under the interval in force *now* — this is
+  // where a set_interval() rate change takes effect. For a constant
+  // interval the schedule is identical to the old `idx % interval == 0`.
+  next_reading_tick_ =
+      idx + static_cast<std::size_t>(std::llround(cfg_.interval_s));
 
   // The value the BMC hands back is the power from `readout_delay_s` ago
   // (or the oldest we have, early in the run), noised then quantized.

@@ -8,13 +8,34 @@
 
 namespace highrpm::measure {
 
-PmcSampler::PmcSampler(PmcSamplerConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+PmcSampler::PmcSampler(PmcSamplerConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  // Boundary contract: NaN compares false against any bound, so an
+  // isfinite-less range check would silently accept a NaN noise level and
+  // spread it over every sampled counter.
+  if (!std::isfinite(cfg_.relative_noise) || cfg_.relative_noise < 0.0) {
+    throw std::invalid_argument(
+        "PmcSampler: relative_noise must be finite and >= 0");
+  }
+  if (cfg_.sample_stride == 0) {
+    throw std::invalid_argument("PmcSampler: sample_stride must be >= 1");
+  }
+}
+
+void PmcSampler::set_sample_stride(std::size_t stride) {
+  if (stride == 0) {
+    throw std::invalid_argument(
+        "PmcSampler::set_sample_stride: stride must be >= 1");
+  }
+  cfg_.sample_stride = stride;
+}
 
 void PmcSampler::reset() {
   rng_ = math::Rng(cfg_.seed);
   last_ = {};
   rotation_ = 0;
   has_last_ = false;
+  ticks_seen_ = 0;
+  next_sample_tick_ = 0;
 }
 
 sim::PmcVector PmcSampler::sample(const sim::TickSample& tick) {
@@ -33,6 +54,17 @@ sim::PmcVector PmcSampler::sample(const sim::TickSample& tick) {
       throw std::invalid_argument("PmcSampler: non-finite PMC value in tick");
     }
   }
+  // Strided (sparse-cadence) ticks hold the whole previous sample and
+  // consume no randomness, so the fresh-read schedule — not the tick
+  // count — drives the RNG stream. With stride 1 (the default) every tick
+  // is a fresh read and this path is byte-identical to the pre-stride
+  // sampler. Input validation above still runs on every tick: a broken
+  // producer is rejected even while its ticks are being held.
+  const std::size_t idx = ticks_seen_;
+  ++ticks_seen_;
+  if (idx != next_sample_tick_ && has_last_) return last_;
+  next_sample_tick_ = idx + cfg_.sample_stride;
+
   const bool multiplexed = cfg_.counter_slots > 0 && cfg_.counter_slots < n;
   for (std::size_t e = 0; e < n; ++e) {
     bool live = true;

@@ -222,7 +222,17 @@ bool Daemon::consume_cycle(ConsumerState& cs) {
     ++ns.stepped;
     consumed_c.add();
     const core::PowerEstimate& pe = cs.out[li];
-    ns.cell.publish({ns.stepped, pe.node_w, pe.cpu_w, pe.mem_w, pe.measured});
+    // Pack the lane's adaptive-controller state into the seqlock word.
+    // Safe without extra synchronization: this consumer is the only thread
+    // that steps (and therefore mutates) this lane's controller.
+    std::uint64_t adapt_word = 0;
+    if (const auto* ctl = fleet_.lane_controller(cs.ids[li])) {
+      adapt_word = pack_adapt_state(
+          static_cast<std::uint64_t>(ctl->mode()), ctl->mode_changes(),
+          ctl->sparse_ticks());
+    }
+    ns.cell.publish({ns.stepped, pe.node_w, pe.cpu_w, pe.mem_w, pe.measured,
+                     adapt_word});
     // Restoration error vs. simulator truth, milliwatt resolution —
     // unmeasured (restored) ticks only; measured ticks reproduce the
     // reading by construction.
@@ -281,6 +291,9 @@ DaemonSnapshot Daemon::snapshot() const {
     st.cpu_w = v.cpu_w;
     st.mem_w = v.mem_w;
     st.measured = v.measured;
+    st.adapt_mode = adapt_mode_of(v.adapt);
+    st.adapt_mode_changes = adapt_changes_of(v.adapt);
+    st.adapt_cheap_ticks = adapt_cheap_of(v.adapt);
     // Outcome counters before offered: offer() bumps offered first and the
     // outcome second, so reading the outcomes first (and the only-growing
     // offered last) keeps accepted + shed + dropped_readings <= offered in

@@ -33,10 +33,12 @@ std::string to_string(const DaemonSnapshot& snap) {
             "node %zu ticks=%" PRIu64 " node_w=%.17g cpu_w=%.17g "
             "mem_w=%.17g measured=%d offered=%" PRIu64 " accepted=%" PRIu64
             " shed=%" PRIu64 " dropped_readings=%" PRIu64
-            " backpressure=%" PRIu64 " held=%" PRIu64 "\n",
+            " backpressure=%" PRIu64 " held=%" PRIu64 " adapt_mode=%" PRIu64
+            " adapt_changes=%" PRIu64 " adapt_cheap=%" PRIu64 "\n",
             i, n.ticks, n.node_w, n.cpu_w, n.mem_w, n.measured ? 1 : 0,
             n.offered, n.accepted, n.shed, n.dropped_readings,
-            n.backpressure, n.held);
+            n.backpressure, n.held, n.adapt_mode, n.adapt_mode_changes,
+            n.adapt_cheap_ticks);
   }
   for (const SuiteStats& s : snap.suites) {
     appendf(out,

@@ -1,0 +1,301 @@
+// highrpm::adapt::Controller property suite (ctest -L adapt).
+//
+// The two design invariants are checked as properties over seeded random
+// volatility traces, not as examples: for EVERY prefix of EVERY trace the
+// hard budget holds (1000 * dense_ticks <= budget_permille * ticks), and
+// the hysteresis dwell bounds the mode-change frequency. Decisions must be
+// a pure function of (config, trace): two controllers fed the same bytes
+// agree tick for tick.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "highrpm/adapt/controller.hpp"
+#include "highrpm/math/rng.hpp"
+
+namespace highrpm::adapt {
+namespace {
+
+constexpr std::size_t kFeatures = 4;
+
+struct TraceTick {
+  double node_w = 0.0;
+  std::array<double, kFeatures> pmcs{};
+};
+
+/// Seeded volatility trace: alternating regimes of random length. Quiet
+/// regimes hold power near 60 W with tiny jitter; volatile regimes take
+/// large random jumps — scores land far on either side of any reasonable
+/// hysteresis band, and regime boundaries land at arbitrary window phases.
+std::vector<TraceTick> make_trace(std::uint64_t seed, std::size_t ticks) {
+  math::Rng rng(seed);
+  std::vector<TraceTick> out;
+  out.reserve(ticks);
+  bool volatile_regime = false;
+  std::size_t regime_left = 0;
+  double w = 60.0;
+  while (out.size() < ticks) {
+    if (regime_left == 0) {
+      volatile_regime = rng.uniform() < 0.5;
+      regime_left = 10 + static_cast<std::size_t>(rng.uniform() * 70.0);
+    }
+    --regime_left;
+    if (volatile_regime) {
+      w = 60.0 + rng.uniform() * 80.0;  // independent draws: huge jumps
+    } else {
+      w = 60.0 + rng.normal(0.0, 0.05);
+    }
+    TraceTick t;
+    t.node_w = w;
+    for (std::size_t e = 0; e < kFeatures; ++e) {
+      const double base = 100.0 * static_cast<double>(e + 1);
+      t.pmcs[e] = volatile_regime ? base * (0.2 + rng.uniform()) : base;
+    }
+    out.push_back(t);
+  }
+  return out;
+}
+
+ControllerConfig test_config() {
+  ControllerConfig cfg;
+  cfg.window = 10;
+  cfg.hold_windows = 3;
+  cfg.budget_permille = 400;
+  cfg.up_threshold_w = 3.0;
+  cfg.down_threshold_w = 1.5;
+  return cfg;
+}
+
+TEST(ControllerConfigValidation, RejectsDegenerateConfigs) {
+  const auto with = [](auto mutate) {
+    ControllerConfig cfg;
+    mutate(cfg);
+    return cfg;
+  };
+  // "Empty window" edge: a zero-length decision window can never close.
+  EXPECT_THROW(Controller(with([](auto& c) { c.window = 0; })),
+               std::invalid_argument);
+  EXPECT_THROW(Controller(with([](auto& c) { c.hold_windows = 0; })),
+               std::invalid_argument);
+  EXPECT_THROW(Controller(with([](auto& c) {
+                 c.up_threshold_w = std::numeric_limits<double>::quiet_NaN();
+               })),
+               std::invalid_argument);
+  EXPECT_THROW(Controller(with([](auto& c) { c.down_threshold_w = -1.0; })),
+               std::invalid_argument);
+  // Hysteresis band must be a band: down above up flaps by construction.
+  EXPECT_THROW(Controller(with([](auto& c) {
+                 c.up_threshold_w = 1.0;
+                 c.down_threshold_w = 2.0;
+               })),
+               std::invalid_argument);
+  EXPECT_THROW(Controller(with([](auto& c) { c.pmc_weight = -0.5; })),
+               std::invalid_argument);
+  EXPECT_THROW(Controller(with([](auto& c) { c.sparse_pmc_stride = 0; })),
+               std::invalid_argument);
+  EXPECT_THROW(Controller(with([](auto& c) { c.sparse_im_factor = 0.5; })),
+               std::invalid_argument);
+  EXPECT_THROW(Controller(with([](auto& c) {
+                 c.sparse_im_factor = std::numeric_limits<double>::infinity();
+               })),
+               std::invalid_argument);
+  EXPECT_NO_THROW(Controller(ControllerConfig{}));
+}
+
+TEST(ControllerProperty, BudgetNeverExceededOnAnySeededTrace) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    for (const std::uint32_t permille : {0u, 100u, 250u, 400u, 900u}) {
+      ControllerConfig cfg = test_config();
+      cfg.budget_permille = permille;
+      Controller ctl(cfg);
+      const auto trace = make_trace(seed, 600);
+      for (const auto& t : trace) {
+        ctl.observe(t.node_w, t.pmcs);
+        // The hard invariant at EVERY prefix, not just the end.
+        ASSERT_LE(1000u * ctl.dense_ticks(),
+                  std::uint64_t{permille} * ctl.ticks_observed())
+            << "seed " << seed << " permille " << permille << " tick "
+            << ctl.ticks_observed();
+      }
+      ASSERT_EQ(ctl.ticks_observed(), trace.size());
+      ASSERT_EQ(ctl.sparse_ticks() + ctl.dense_ticks(), trace.size());
+    }
+  }
+}
+
+TEST(ControllerProperty, HysteresisBoundsModeChangeFrequency) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    for (const std::size_t hold : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+      ControllerConfig cfg = test_config();
+      cfg.hold_windows = hold;
+      cfg.budget_permille = 700;
+      Controller ctl(cfg);
+      for (const auto& t : make_trace(seed, 800)) ctl.observe(t.node_w, t.pmcs);
+      // Every mode episode spans at least `hold` full windows, so the
+      // change count is bounded by windows/hold — flapping cannot happen
+      // no matter how adversarial the volatility trace is.
+      EXPECT_LE(ctl.mode_changes() * hold, ctl.windows_observed())
+          << "seed " << seed << " hold " << hold;
+    }
+  }
+}
+
+TEST(ControllerProperty, DecisionsArePureFunctionOfTrace) {
+  for (std::uint64_t seed = 21; seed <= 26; ++seed) {
+    Controller a(test_config());
+    Controller b(test_config());
+    const auto trace = make_trace(seed, 500);
+    for (const auto& t : trace) {
+      const auto da = a.observe(t.node_w, t.pmcs);
+      const auto db = b.observe(t.node_w, t.pmcs);
+      ASSERT_EQ(da.has_value(), db.has_value());
+      if (da) {
+        ASSERT_EQ(da->mode, db->mode);
+        ASSERT_EQ(da->use_cheap, db->use_cheap);
+        ASSERT_EQ(da->pmc_stride, db->pmc_stride);
+        ASSERT_EQ(da->im_interval_factor, db->im_interval_factor);
+      }
+      ASSERT_EQ(a.mode(), b.mode());
+      ASSERT_EQ(a.tokens(), b.tokens());
+      ASSERT_EQ(a.last_score(), b.last_score());
+    }
+    ASSERT_EQ(a.mode_changes(), b.mode_changes());
+  }
+}
+
+TEST(ControllerProperty, ResetIsEquivalentToFreshConstruction) {
+  const auto trace = make_trace(7, 300);
+  Controller fresh(test_config());
+  Controller reused(test_config());
+  for (const auto& t : make_trace(99, 137)) reused.observe(t.node_w, t.pmcs);
+  reused.reset();
+  EXPECT_EQ(reused.ticks_observed(), 0u);
+  EXPECT_EQ(reused.mode(), Mode::kSparse);
+  EXPECT_EQ(reused.tokens(), 0u);
+  for (const auto& t : trace) {
+    fresh.observe(t.node_w, t.pmcs);
+    reused.observe(t.node_w, t.pmcs);
+  }
+  EXPECT_EQ(fresh.mode(), reused.mode());
+  EXPECT_EQ(fresh.dense_ticks(), reused.dense_ticks());
+  EXPECT_EQ(fresh.mode_changes(), reused.mode_changes());
+  EXPECT_EQ(fresh.tokens(), reused.tokens());
+  EXPECT_EQ(fresh.last_score(), reused.last_score());
+}
+
+TEST(ControllerEdge, ZeroBudgetIsAlwaysSparse) {
+  ControllerConfig cfg = test_config();
+  cfg.budget_permille = 0;
+  Controller ctl(cfg);
+  for (const auto& t : make_trace(3, 500)) ctl.observe(t.node_w, t.pmcs);
+  EXPECT_EQ(ctl.dense_ticks(), 0u);
+  EXPECT_EQ(ctl.mode_changes(), 0u);
+  EXPECT_EQ(ctl.mode(), Mode::kSparse);
+  const Decision d = ctl.decision();
+  EXPECT_TRUE(d.use_cheap);
+  EXPECT_EQ(d.pmc_stride, cfg.sparse_pmc_stride);
+  EXPECT_EQ(d.im_interval_factor, cfg.sparse_im_factor);
+}
+
+TEST(ControllerEdge, UnlimitedBudgetIsAlwaysDenseOnVolatileTrace) {
+  ControllerConfig cfg = test_config();
+  cfg.budget_permille = 1000;  // accrual covers every tick: no constraint
+  cfg.hold_windows = 1;
+  Controller ctl(cfg);
+  // Purely volatile trace (no quiet regime): alternate extreme powers.
+  std::uint64_t dense_since_entry = 0;
+  for (std::size_t t = 0; t < 400; ++t) {
+    const double w = (t % 2 == 0) ? 40.0 : 140.0;
+    const std::array<double, kFeatures> pmcs{10.0, 500.0 * (t % 2 ? 1. : 0.1),
+                                             30.0, 40.0};
+    ctl.observe(w, pmcs);
+    if (ctl.mode() == Mode::kDense) ++dense_since_entry;
+  }
+  // Entry needs one banked window of tokens, so the first window is sparse;
+  // after that the controller must pin Dense and never leave.
+  EXPECT_EQ(ctl.mode(), Mode::kDense);
+  EXPECT_EQ(ctl.mode_changes(), 1u);
+  EXPECT_GE(ctl.dense_ticks(), 400u - 2 * cfg.window);
+  const Decision d = ctl.decision();
+  EXPECT_FALSE(d.use_cheap);
+  EXPECT_EQ(d.pmc_stride, 1u);
+  EXPECT_EQ(d.im_interval_factor, 1.0);
+  EXPECT_GT(dense_since_entry, 0u);
+}
+
+TEST(ControllerEdge, QuietTraceStaysSparseAndBanksTokens) {
+  Controller ctl(test_config());
+  for (std::size_t t = 0; t < 300; ++t) {
+    const std::array<double, kFeatures> pmcs{1.0, 2.0, 3.0, 4.0};
+    ctl.observe(60.0, pmcs);
+  }
+  EXPECT_EQ(ctl.mode(), Mode::kSparse);
+  EXPECT_EQ(ctl.mode_changes(), 0u);
+  EXPECT_EQ(ctl.dense_ticks(), 0u);
+  EXPECT_GT(ctl.tokens(), 0u);  // quiet phases bank credit (up to the cap)
+  EXPECT_LT(ctl.last_score(), 0.5);
+}
+
+TEST(ControllerEdge, NonFiniteObservationsAreCountedButExcludedFromScore) {
+  Controller ctl(test_config());
+  const std::array<double, kFeatures> pmcs{1.0, 2.0, 3.0, 4.0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t t = 0; t < 40; ++t) {
+    ctl.observe(t % 3 == 0 ? nan : 60.0, pmcs);
+  }
+  EXPECT_EQ(ctl.ticks_observed(), 40u);
+  EXPECT_EQ(ctl.windows_observed(), 4u);
+  EXPECT_TRUE(std::isfinite(ctl.last_score()));
+  EXPECT_EQ(ctl.mode(), Mode::kSparse);
+}
+
+TEST(ControllerEdge, EmptyPmcSpanScoresOnPowerAlone) {
+  ControllerConfig cfg = test_config();
+  cfg.hold_windows = 1;
+  cfg.budget_permille = 1000;
+  Controller ctl(cfg);
+  for (std::size_t t = 0; t < 60; ++t) {
+    ctl.observe((t % 2 == 0) ? 40.0 : 140.0, {});
+  }
+  // No PMC stream at all still detects power volatility and goes dense.
+  EXPECT_EQ(ctl.mode(), Mode::kDense);
+}
+
+TEST(ControllerEdge, BudgetExhaustionDemotesOnlyAtWindowBoundaries) {
+  // up == down == 0: the score always wants Dense, so mode transitions are
+  // driven purely by the token bucket — the controller must alternate
+  // dense/sparse stretches (never mid-window) and still respect the budget.
+  ControllerConfig cfg = test_config();
+  cfg.up_threshold_w = 0.0;
+  cfg.down_threshold_w = 0.0;
+  cfg.hold_windows = 1;
+  cfg.budget_permille = 300;
+  Controller ctl(cfg);
+  Mode prev = ctl.mode();
+  std::size_t boundary_phase = 0;
+  for (std::size_t t = 0; t < 1000; ++t) {
+    const std::array<double, kFeatures> pmcs{5.0, 6.0, 7.0, 8.0};
+    ctl.observe((t % 2 == 0) ? 40.0 : 140.0, pmcs);
+    if (ctl.mode() != prev) {
+      // Mode may only move when a window just closed.
+      EXPECT_EQ((t + 1) % cfg.window, boundary_phase) << "tick " << t;
+      prev = ctl.mode();
+    }
+    ASSERT_LE(1000u * ctl.dense_ticks(), 300u * ctl.ticks_observed());
+  }
+  // The budget forces it back out of Dense and the score pulls it back in:
+  // several changes, but each episode still >= hold_windows long.
+  EXPECT_GE(ctl.mode_changes(), 4u);
+  EXPECT_LE(ctl.mode_changes() * cfg.hold_windows, ctl.windows_observed());
+  EXPECT_GT(ctl.dense_ticks(), 0u);
+}
+
+}  // namespace
+}  // namespace highrpm::adapt

@@ -131,5 +131,62 @@ TEST(IpmiSensor, RejectsNonFiniteTickPower) {
   EXPECT_THROW(sensor.offer(tick), std::invalid_argument);
 }
 
+// Regression (failing before): `interval_s < 1.0` compares false for NaN,
+// so a NaN interval sailed through construction and reached llround in the
+// scheduler — undefined behavior. The guard must be isfinite-first.
+TEST(IpmiSensor, RejectsNonFiniteInterval) {
+  IpmiConfig cfg;
+  cfg.interval_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(IpmiSensor{cfg}, std::invalid_argument);
+  cfg.interval_s = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(IpmiSensor{cfg}, std::invalid_argument);
+}
+
+TEST(IpmiSensor, SetIntervalRejectsInvalidCadence) {
+  IpmiSensor sensor(IpmiConfig{});
+  EXPECT_THROW(sensor.set_interval(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(sensor.set_interval(0.0), std::invalid_argument);
+  EXPECT_THROW(sensor.set_interval(-10.0), std::invalid_argument);
+  EXPECT_THROW(sensor.set_interval(0.5), std::invalid_argument);
+  EXPECT_NO_THROW(sensor.set_interval(1.0));
+}
+
+TEST(IpmiSensor, SetIntervalTakesEffectAfterNextScheduledReading) {
+  const auto trace = make_trace(40);
+  IpmiConfig cfg;
+  cfg.interval_s = 10.0;
+  IpmiSensor sensor(cfg);
+  sensor.reset();
+  std::vector<std::size_t> ticks;
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    if (auto r = sensor.offer(trace[t])) ticks.push_back(r->tick_index);
+    // Widen the cadence after the second reading lands: the already
+    // scheduled tick-20 reading still happens, the one after moves to +5.
+    if (t == 10) sensor.set_interval(5.0);
+  }
+  const std::vector<std::size_t> expected{0, 10, 20, 25, 30, 35};
+  EXPECT_EQ(ticks, expected);
+}
+
+TEST(IpmiSensor, SetIntervalWithSameValueKeepsScheduleByteIdentical) {
+  const auto trace = make_trace(60);
+  IpmiConfig cfg;
+  cfg.interval_s = 10.0;
+  IpmiSensor batch(cfg), redundant(cfg);
+  const auto batch_readings = batch.sample_trace(trace);
+  redundant.reset();
+  std::vector<IpmiReading> got;
+  for (const auto& tick : trace.samples()) {
+    redundant.set_interval(10.0);  // idempotent: no schedule perturbation
+    if (auto r = redundant.offer(tick)) got.push_back(*r);
+  }
+  ASSERT_EQ(batch_readings.size(), got.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(batch_readings[i].tick_index, got[i].tick_index);
+    EXPECT_DOUBLE_EQ(batch_readings[i].power_w, got[i].power_w);
+  }
+}
+
 }  // namespace
 }  // namespace highrpm::measure

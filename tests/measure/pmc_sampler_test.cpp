@@ -100,5 +100,94 @@ TEST(PmcSampler, RejectsNonFinitePmcValue) {
   EXPECT_THROW(sampler.sample(tick), std::invalid_argument);
 }
 
+// Regression (failing before): the constructor validated nothing, so a NaN
+// relative_noise poisoned every sampled counter (NaN < 0.0 is false — the
+// same isfinite-ordering bug as the IPMI interval guard).
+TEST(PmcSampler, RejectsNonFiniteOrNegativeRelativeNoise) {
+  PmcSamplerConfig cfg;
+  cfg.relative_noise = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(PmcSampler{cfg}, std::invalid_argument);
+  cfg.relative_noise = -0.1;
+  EXPECT_THROW(PmcSampler{cfg}, std::invalid_argument);
+}
+
+TEST(PmcSampler, RejectsZeroSampleStride) {
+  PmcSamplerConfig cfg;
+  cfg.sample_stride = 0;
+  EXPECT_THROW(PmcSampler{cfg}, std::invalid_argument);
+  PmcSampler sampler(PmcSamplerConfig{});
+  EXPECT_THROW(sampler.set_sample_stride(0), std::invalid_argument);
+}
+
+TEST(PmcSampler, StrideHoldsValuesBetweenSampleTicks) {
+  const auto trace = make_trace(10);
+  PmcSamplerConfig cfg;
+  cfg.sample_stride = 3;
+  cfg.relative_noise = 0.0;
+  cfg.counter_slots = 0;
+  PmcSampler sampler(cfg);
+  sampler.reset();
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const auto v = sampler.sample(trace[t]);
+    // Fresh at ticks 0, 3, 6, 9; held (== the last sampled tick) between.
+    const std::size_t src = (t / 3) * 3;
+    for (std::size_t e = 0; e < sim::kNumPmcEvents; ++e) {
+      EXPECT_DOUBLE_EQ(v[e], trace[src].pmcs[e]) << "tick " << t;
+    }
+  }
+}
+
+TEST(PmcSampler, StrideOneIsByteIdenticalToDefault) {
+  // Held ticks must not consume RNG draws, so stride 1 (nothing held) has
+  // to reproduce the pre-stride sampler exactly, noise included.
+  const auto trace = make_trace(50);
+  PmcSamplerConfig strided;
+  strided.sample_stride = 1;
+  PmcSampler a{PmcSamplerConfig{}}, b(strided);
+  const auto ma = a.sample_trace(trace);
+  const auto mb = b.sample_trace(trace);
+  ASSERT_EQ(ma.flat().size(), mb.flat().size());
+  for (std::size_t i = 0; i < ma.flat().size(); ++i) {
+    EXPECT_EQ(ma.flat()[i], mb.flat()[i]);
+  }
+}
+
+TEST(PmcSampler, SetStrideTakesEffectAtNextScheduledSample) {
+  const auto trace = make_trace(12);
+  PmcSamplerConfig cfg;
+  cfg.relative_noise = 0.0;
+  cfg.counter_slots = 0;
+  PmcSampler sampler(cfg);
+  sampler.reset();
+  std::vector<std::size_t> fresh;
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    if (t == 5) sampler.set_sample_stride(3);
+    const auto v = sampler.sample(trace[t]);
+    bool is_fresh = true;
+    for (std::size_t e = 0; e < sim::kNumPmcEvents; ++e) {
+      if (!math::exact_eq(v[e], trace[t].pmcs[e])) is_fresh = false;
+    }
+    if (is_fresh) fresh.push_back(t);
+  }
+  // Stride 1 through tick 4; the tick-5 sample (already scheduled) lands,
+  // then the new stride schedules 8 and 11.
+  const std::vector<std::size_t> expected{0, 1, 2, 3, 4, 5, 8, 11};
+  EXPECT_EQ(fresh, expected);
+}
+
+TEST(PmcSampler, HeldTicksStillValidateInputs) {
+  // The stride gate must not bypass the sensor-boundary isfinite guard:
+  // a NaN arriving on a held tick is still rejected.
+  const auto trace = make_trace(3);
+  PmcSamplerConfig cfg;
+  cfg.sample_stride = 4;
+  PmcSampler sampler(cfg);
+  sampler.reset();
+  (void)sampler.sample(trace[0]);
+  sim::TickSample bad = trace[1];
+  bad.pmcs[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(sampler.sample(bad), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace highrpm::measure

@@ -196,5 +196,153 @@ TEST(AllocRegression, FleetSteadyStateTickIsAllocationFree) {
   runtime::set_thread_count(0);
 }
 
+TEST(AllocRegression, AdaptiveControllerObserveIsAllocationFree) {
+  // The controller's window statistics are fixed-size; the only buffer is
+  // the previous-PMC copy, sized on the first observe. Everything after
+  // that — including window closes and mode transitions — is alloc-free.
+  adapt::ControllerConfig cfg;
+  cfg.hold_windows = 1;
+  cfg.budget_permille = 300;
+  cfg.up_threshold_w = 0.0;
+  cfg.down_threshold_w = 0.0;
+  adapt::Controller ctl(cfg);
+  std::array<double, kFeatures> pmcs{1.0, 2.0, 3.0, 4.0};
+  ctl.observe(60.0, pmcs);  // warm tick sizes the prev-PMC buffer
+
+  const auto before = at::count();
+  for (std::size_t t = 1; t < 400; ++t) {
+    pmcs[0] = (t % 2 == 0) ? 1.0 : 900.0;
+    const at::Armed armed;
+    (void)ctl.observe((t % 2 == 0) ? 40.0 : 140.0, pmcs);
+  }
+  // The budget-limited config oscillates, so both modes and several
+  // transitions were metered above, not just quiet sparse ticks.
+  EXPECT_GT(ctl.mode_changes(), 0u);
+  EXPECT_GT(ctl.dense_ticks(), 0u);
+  EXPECT_EQ(at::count() - before, 0u)
+      << "Controller::observe allocated on a steady-state tick";
+}
+
+TEST(AllocRegression, AdaptiveHighRpmOnTickIsAllocationFree) {
+  measure::Collector collector;
+  std::vector<measure::CollectedRun> training;
+  training.push_back(collector.collect(sim::PlatformConfig::arm(),
+                                       workloads::fft(), 120, 7));
+  HighRpmConfig cfg;
+  cfg.dynamic_trr.rnn.epochs = 4;
+  cfg.srr.epochs = 10;
+  cfg.adaptive = true;
+  cfg.adapt.budget_permille = 300;  // oscillates: both paths get metered
+  cfg.adapt.hold_windows = 1;
+  cfg.adapt.up_threshold_w = 0.0;
+  cfg.adapt.down_threshold_w = 0.0;
+  HighRpm model(cfg);
+  model.initial_learning(training);
+  model.reset_stream();
+
+  const auto stream = collector.collect(sim::PlatformConfig::arm(),
+                                        workloads::stream(), 200, 8);
+  const auto& features = stream.dataset.features();
+  const auto& labels = stream.dataset.target("P_NODE");
+  std::vector<double> row(features.cols());
+  // Warm through the FIRST dense window (budget 300 provably enters Dense
+  // during window 5): the LSTM scratch is sized lazily on the first dense
+  // tick, which is warm-up, not steady state. Every later dense phase
+  // reuses it — that is what gets metered.
+  const std::size_t warmup = 6 * cfg.miss_interval + 1;
+  for (std::size_t t = 0; t < warmup; ++t) {
+    const auto src = features.row(t);
+    std::copy(src.begin(), src.end(), row.begin());
+    model.on_tick(row, t == 0 ? std::optional<double>(labels[0])
+                              : std::nullopt);
+  }
+
+  const auto before = at::count();
+  std::size_t metered = 0;
+  for (std::size_t t = warmup; t < features.rows(); ++t) {
+    const auto src = features.row(t);
+    std::copy(src.begin(), src.end(), row.begin());
+    const at::Armed armed;
+    const PowerEstimate est = model.on_tick(row, std::nullopt);
+    ASSERT_TRUE(std::isfinite(est.node_w));
+    ++metered;
+  }
+  ASSERT_GT(metered, 0u);
+  const adapt::Controller* ctl = model.controller();
+  ASSERT_NE(ctl, nullptr);
+  EXPECT_GT(ctl->mode_changes(), 0u)
+      << "metered run never switched modes — cheap/dense not both covered";
+  EXPECT_EQ(at::count() - before, 0u)
+      << "adaptive HighRpm::on_tick allocated on a steady-state tick";
+}
+
+TEST(AllocRegression, AdaptiveFleetSteadyStateTickIsAllocationFree) {
+  // Adaptive fleet: lanes hop between the batched GEMM path and per-lane
+  // cheap routing as their controllers switch; the steady-state tick must
+  // stay alloc-free across those transitions too.
+  runtime::set_thread_count(1);
+  measure::Collector collector;
+  std::vector<measure::CollectedRun> training;
+  training.push_back(collector.collect(sim::PlatformConfig::arm(),
+                                       workloads::fft(), 120, 7));
+  HighRpmConfig cfg;
+  cfg.dynamic_trr.rnn.epochs = 4;
+  cfg.dynamic_trr.online_finetune = false;
+  cfg.srr.epochs = 10;
+  cfg.adaptive = true;
+  cfg.adapt.budget_permille = 300;
+  cfg.adapt.hold_windows = 1;
+  cfg.adapt.up_threshold_w = 0.0;
+  cfg.adapt.down_threshold_w = 0.0;
+  HighRpm golden(cfg);
+  golden.initial_learning(training);
+
+  const std::size_t nodes = 6;
+  FleetConfig fcfg;
+  fcfg.shard_lanes = 4;
+  FleetStepper fleet(golden, nodes, fcfg);
+
+  const auto stream = collector.collect(sim::PlatformConfig::arm(),
+                                        workloads::stream(), 100, 8);
+  const auto& features = stream.dataset.features();
+  const auto& labels = stream.dataset.target("P_NODE");
+  math::Matrix pmcs(nodes, features.cols());
+  std::vector<std::optional<double>> readings(nodes);
+  std::vector<PowerEstimate> out(nodes);
+  // Same warm-up contract as the facade test above: the batched-GEMM
+  // scratch is sized on the fleet's first dense window (window 5 under
+  // budget 300), so warm past it and meter the later oscillations.
+  const std::size_t warmup = 6 * golden.config().miss_interval + 1;
+  const auto play_tick = [&](std::size_t t, bool with_reading) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const auto src = features.row((t + i) % features.rows());
+      auto dst = pmcs.row(i);
+      std::copy(src.begin(), src.end(), dst.begin());
+      readings[i] = with_reading ? std::optional<double>(labels[t])
+                                 : std::nullopt;
+    }
+    fleet.step_tick(pmcs, readings, out);
+  };
+  for (std::size_t t = 0; t < warmup; ++t) play_tick(t, t == 0);
+
+  const auto before = at::count();
+  std::size_t metered = 0;
+  for (std::size_t t = warmup; t < 160; ++t) {
+    const at::Armed armed;
+    play_tick(t, false);
+    ++metered;
+  }
+  ASSERT_GT(metered, 0u);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    ASSERT_TRUE(std::isfinite(out[i].node_w));
+    const adapt::Controller* ctl = fleet.lane_controller(i);
+    ASSERT_NE(ctl, nullptr);
+    EXPECT_GT(ctl->mode_changes(), 0u) << "node " << i;
+  }
+  EXPECT_EQ(at::count() - before, 0u)
+      << "adaptive FleetStepper::step_tick allocated on a steady-state tick";
+  runtime::set_thread_count(0);
+}
+
 }  // namespace
 }  // namespace highrpm::core

@@ -30,6 +30,7 @@ Value gen_value(std::uint64_t g) {
   v.cpu_w = static_cast<double>(3 * g);
   v.mem_w = static_cast<double>(5 * g);
   v.measured = (g % 2) == 1;
+  v.adapt = 7 * g;
   return v;
 }
 
@@ -39,6 +40,7 @@ void check_coherent(const Value& v) {
   hv::check(v.cpu_w == static_cast<double>(3 * g), "torn cpu_w");
   hv::check(v.mem_w == static_cast<double>(5 * g), "torn mem_w");
   hv::check(v.measured == ((g % 2) == 1), "torn measured");
+  hv::check(v.adapt == 7 * g, "torn adapt");
 }
 
 void seqlock_setup(hv::Env& env, std::uint64_t gens, int readers,
@@ -95,8 +97,8 @@ TEST(SeqlockVerify, ReaderRetriesAreBoundedByWriterProgress) {
   // Livelock bound: with a writer that publishes a bounded number of
   // generations, a reader can be forced to retry at most once per publish
   // plus one final clean pass. The scheduler's per-thread op ceiling over
-  // ALL explored executions quantifies that: reads are 8 instrumented ops
-  // per clean pass (seq, 5 payload loads, fence, recheck), so even the
+  // ALL explored executions quantifies that: reads are 9 instrumented ops
+  // per clean pass (seq, 6 payload loads, fence, recheck), so even the
   // worst schedule must stay within a small multiple of the publish count
   // — no unbounded spinning exists in the explored space. (A true reader
   // livelock — writer forever in flight — is impossible here because the
@@ -110,12 +112,12 @@ TEST(SeqlockVerify, ReaderRetriesAreBoundedByWriterProgress) {
   });
   ASSERT_FALSE(r.failed) << r.report();
   ASSERT_TRUE(r.complete);
-  // Thread 1 is the reader (thread 0 the writer). Clean pass = 8 ops;
-  // each of the 2 publishes can force at most one retry (8 ops) plus a
-  // yield. Ceiling: 8 * (1 + 2) + 2 yields + slack.
+  // Thread 1 is the reader (thread 0 the writer). Clean pass = 9 ops;
+  // each of the 2 publishes can force at most one retry (9 ops) plus a
+  // yield. Ceiling: 9 * (1 + 2) + 2 yields + slack.
   const std::uint64_t reader_ops = r.max_ops_per_thread[1];
   EXPECT_GT(reader_ops, 0u);
-  EXPECT_LE(reader_ops, 40u)
+  EXPECT_LE(reader_ops, 44u)
       << "reader retried more than writer progress can explain";
 }
 
@@ -127,6 +129,7 @@ TEST(SeqlockVerify, ProductionBackendStillWorksSingleThreaded) {
   v.cpu_w = 7.25;
   v.mem_w = 3.25;
   v.measured = true;
+  v.adapt = highrpm::serve::pack_adapt_state(2, 5, 123);
   cell.publish(v);
   const auto got = cell.read();
   EXPECT_EQ(got.ticks, 41u);
@@ -134,6 +137,9 @@ TEST(SeqlockVerify, ProductionBackendStillWorksSingleThreaded) {
   EXPECT_EQ(got.cpu_w, 7.25);
   EXPECT_EQ(got.mem_w, 3.25);
   EXPECT_TRUE(got.measured);
+  EXPECT_EQ(highrpm::serve::adapt_mode_of(got.adapt), 2u);
+  EXPECT_EQ(highrpm::serve::adapt_changes_of(got.adapt), 5u);
+  EXPECT_EQ(highrpm::serve::adapt_cheap_of(got.adapt), 123u);
 }
 
 }  // namespace
