@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -422,7 +423,13 @@ void print_table(const std::string& title,
   for (const auto& row : rows) {
     std::printf("%-10s %-12s", row.type.c_str(), row.model.c_str());
     for (const auto& c : row.cells) {
-      std::printf(" | %8.2f %8.2f %8.2f", c.mape, c.rmse, c.mae);
+      // Undefined metrics (e.g. MAPE over an all-near-zero truth vector)
+      // come back NaN; render them as n/a rather than a numeric score.
+      if (std::isfinite(c.mape)) {
+        std::printf(" | %8.2f %8.2f %8.2f", c.mape, c.rmse, c.mae);
+      } else {
+        std::printf(" | %8s %8.2f %8.2f", "n/a", c.rmse, c.mae);
+      }
     }
     std::printf("\n");
   }
@@ -443,10 +450,23 @@ void write_csv(const std::string& name,
     f << ',' << h << "_mape," << h << "_rmse," << h << "_mae," << h << "_r2";
   }
   f << '\n';
+  // Non-finite metric values (undefined MAPE per the math::mape contract)
+  // serialize as "n/a" — a CSV cell downstream tooling can detect, instead
+  // of a platform-dependent "nan" spelling that parses as a score of NaN.
+  const auto put = [&f](double v) {
+    if (std::isfinite(v)) {
+      f << ',' << v;
+    } else {
+      f << ",n/a";
+    }
+  };
   for (const auto& row : rows) {
     f << row.type << ',' << row.model;
     for (const auto& c : row.cells) {
-      f << ',' << c.mape << ',' << c.rmse << ',' << c.mae << ',' << c.r2;
+      put(c.mape);
+      put(c.rmse);
+      put(c.mae);
+      put(c.r2);
     }
     f << '\n';
   }

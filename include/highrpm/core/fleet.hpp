@@ -61,9 +61,17 @@ class FleetStepper {
   /// PMC rates); readings[i] is node i's IM reading when this tick carried
   /// one; out[i] receives node i's estimate. Zero heap allocations per
   /// shard once the shard scratch is warm (steady state).
+  ///
+  /// K-way attribution: when the golden instance carried a trained
+  /// attribution head, pass tenant_pmcs (nodes x K*kNumPmcEvents, row i =
+  /// node i's concatenated per-cgroup rows) and out[i] additionally gets
+  /// its tenant split — bit-identical to the serial facade's 3-arg
+  /// on_tick, batched as one extra GEMM per MLP layer per shard. Leaving
+  /// tenant_pmcs null skips attribution (out[i].tenants stays 0).
   void step_tick(const math::Matrix& pmcs,
                  std::span<const std::optional<double>> readings,
-                 std::span<PowerEstimate> out, const ShardHooks& hooks = {});
+                 std::span<PowerEstimate> out, const ShardHooks& hooks = {},
+                 const math::Matrix* tenant_pmcs = nullptr);
 
   /// Caller-owned scratch for step_cohort. All buffers reuse their
   /// allocations call over call: once a Cohort has seen its largest cohort
@@ -78,6 +86,10 @@ class FleetStepper {
     std::vector<double> node_w;  // committed node power per lane
     std::vector<ComponentEstimate> comp;
     Srr::BatchScratch srr;
+    // K-way attribution staging (untouched when tenant_pmcs is null).
+    math::Matrix trows;       // L x K*F substituted tenant rows
+    math::Matrix tenant_out;  // L x K attribution estimates
+    Srr::BatchScratch tsrr;
   };
 
   /// Step an arbitrary cohort of lanes one tick — the primitive both
@@ -92,16 +104,24 @@ class FleetStepper {
   /// per-call staging lives in the caller's scratch. lane_ids must not
   /// contain duplicates. Outputs are bit-identical to stepping each lane
   /// through the serial per-node path, for any cohort grouping.
+  /// tenant_pmcs / tenant_row0 mirror pmcs / pmc_row0 for the attribution
+  /// input (row tenant_row0 + li = cohort position li's tenant row); null
+  /// skips attribution for this cohort.
   void step_cohort(std::span<const std::size_t> lane_ids,
                    const math::Matrix& pmcs, std::size_t pmc_row0,
                    std::span<const std::optional<double>> readings,
-                   std::span<PowerEstimate> out, Cohort& scratch);
+                   std::span<PowerEstimate> out, Cohort& scratch,
+                   const math::Matrix* tenant_pmcs = nullptr,
+                   std::size_t tenant_row0 = 0);
 
   /// Reset every lane's stream state (new program / new deployment).
   void reset_streams();
 
   std::size_t nodes() const noexcept { return lanes_.size(); }
   std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Tenant count of the attribution head carried from the golden instance
+  /// (0 when the golden had none).
+  std::size_t tenants() const noexcept { return tenants_; }
   /// True when every lane shares one set of RNN weights (online fine-tune
   /// disabled), enabling the one-GEMM-per-layer cross-node fast path.
   bool shared_rnn() const noexcept { return shared_rnn_; }
@@ -121,6 +141,9 @@ class FleetStepper {
     /// see the same held input (mirrors HighRpm::on_tick).
     std::vector<double> last_good;
     bool have_last_good = false;
+    /// Same hold policy for the concatenated tenant row.
+    std::vector<double> last_good_tenant;
+    bool have_last_good_tenant = false;
     /// Present iff the golden instance was adaptive; observed after every
     /// commit, mirroring HighRpm::on_tick.
     std::optional<adapt::Controller> ctl;
@@ -143,6 +166,11 @@ class FleetStepper {
   /// fleets, the one RNN every lane's window batches through. Kept as
   /// copies so concurrent shard reads never alias a lane's scratch.
   Srr srr_;
+  /// Shared K-way attribution head (copied from the golden; const at
+  /// streaming time — the fleet path never self-calibrates, which is why
+  /// the constructor rejects a golden with self_cal enabled).
+  Srr tenant_srr_;
+  std::size_t tenants_ = 0;
   ml::SequenceRegressor shared_model_;
   bool shared_rnn_ = false;
   std::vector<Lane> lanes_;

@@ -14,6 +14,12 @@
 namespace highrpm::core {
 
 struct SrrConfig {
+  /// Output head width. 2 is the paper's [P_CPU, P_MEM] component split;
+  /// K > 2 generalizes the head to K-way attribution (per-tenant watts, the
+  /// SmartWatts direction) — same input assembly, same bounded consistency
+  /// projection toward p_node - p_other_w, just K outputs instead of two.
+  /// The legacy fit/predict API (ComponentEstimate) requires outputs == 2.
+  std::size_t outputs = 2;
   /// Hidden layout; the paper's SRR is a single hidden layer ("input layer,
   /// a hidden layer, and an output layer") — deeper stacks dilute the
   /// P_Node signal (§6.4.3), which bench_hyperparam demonstrates.
@@ -30,8 +36,17 @@ struct SrrConfig {
   /// Inference-time consistency projection: rescale the predicted (cpu,
   /// mem) pair so it sums to p_node - p_other_w (the peripheral draw is a
   /// known constant, paper §5.2). Bounded by projection_limit to avoid
-  /// amplifying bad node inputs. Only applies when include_pnode is true.
+  /// amplifying bad node inputs. Only applies when include_pnode is true,
+  /// unless project_without_pnode overrides that coupling (below).
   bool consistency_projection = true;
+  /// Keep the projection active when include_pnode is false. The Table-8
+  /// ablation drops BOTH the feature and the projection (so it isolates
+  /// what P_Node contributes end to end) — hence the default coupling. The
+  /// SmartWatts-style attribution head wants the opposite split: a PMC-only
+  /// network (its raw output sum is then a genuine power prediction whose
+  /// residual against the meter budget is the self-calibration drift
+  /// signal) with the post-hoc budget rescale still applied.
+  bool project_without_pnode = false;
   double p_other_w = 25.0;
   double projection_limit = 0.35;  // max relative rescale
   double projection_weight = 0.6;  // blend between raw (0) and projected (1)
@@ -52,7 +67,8 @@ class Srr {
   explicit Srr(SrrConfig cfg = {});
 
   /// Train from per-tick PMC features, node power (measured or TRR output)
-  /// and component ground-truth labels.
+  /// and component ground-truth labels. Requires cfg.outputs == 2 (the
+  /// [P_CPU, P_MEM] head); K-way heads train through fit_multi.
   void fit(const math::Matrix& pmcs, std::span<const double> p_node,
            std::span<const double> p_cpu, std::span<const double> p_mem);
 
@@ -60,6 +76,17 @@ class Srr {
   void fine_tune(const math::Matrix& pmcs, std::span<const double> p_node,
                  std::span<const double> p_cpu, std::span<const double> p_mem,
                  std::size_t epochs);
+
+  /// K-way train: targets is n x cfg.outputs (column k = output k's watt
+  /// labels — per-tenant attributed power for the attribution head). The
+  /// 2-output fit() routes through this, so there is exactly one training
+  /// path whatever the head width.
+  void fit_multi(const math::Matrix& pmcs, std::span<const double> p_node,
+                 const math::Matrix& targets);
+  /// Warm-start K-way fine-tune (active learning / self-calibration).
+  void fine_tune_multi(const math::Matrix& pmcs,
+                       std::span<const double> p_node,
+                       const math::Matrix& targets, std::size_t epochs);
 
   /// Caller-owned reusable buffers for the allocation-free predict path:
   /// the assembled [P_Node, PMC...] input row plus the MLP's scratch.
@@ -99,6 +126,27 @@ class Srr {
                           std::span<ComponentEstimate> out,
                           BatchScratch& scratch) const;
 
+  /// K-way scalar predict: out.size() must equal cfg.outputs. Raw network
+  /// outputs are clamped to >= 0 (watts cannot be negative — a near-idle
+  /// output can otherwise train slightly negative and even dodge the
+  /// consistency projection), then jointly projected toward the
+  /// p_node - p_other_w budget. When raw_total is non-null it receives the
+  /// clamped PRE-projection output sum — the self-calibration drift signal
+  /// (how far the head has drifted from the node budget before the
+  /// projection papers over it). Allocation-free once scratch is warm;
+  /// thread-safe on a const model with per-caller scratch.
+  void predict_one_into(std::span<const double> pmcs, double p_node,
+                        std::span<double> out, Scratch& scratch,
+                        double* raw_total = nullptr) const;
+  /// Batched K-way predict over rows of `pmcs` into out (resized to
+  /// pmcs.rows() x cfg.outputs). Row r is bit-identical to
+  /// predict_one_into(pmcs.row(r), p_node[r], ...). Zero allocations once
+  /// out and scratch are warm.
+  void predict_batch_multi_into(const math::Matrix& pmcs,
+                                std::span<const double> p_node,
+                                math::Matrix& out,
+                                BatchScratch& scratch) const;
+
   bool fitted() const noexcept { return net_.fitted(); }
   const SrrConfig& config() const noexcept { return cfg_; }
   const ml::Mlp& network() const noexcept { return net_; }
@@ -106,9 +154,10 @@ class Srr {
  private:
   math::Matrix assemble(const math::Matrix& pmcs,
                         std::span<const double> p_node) const;
-  /// Bounded rescale of (cpu, mem) toward the node budget — the single
-  /// implementation both the scalar and batch predict paths share.
-  void apply_projection(double p_node, ComponentEstimate& est) const;
+  /// Bounded joint rescale of the K estimates toward the node budget — the
+  /// single implementation every predict path (scalar, batch, 2-way, K-way)
+  /// shares. Operates in place; est.size() == cfg.outputs.
+  void apply_projection(double p_node, std::span<double> est) const;
 
   SrrConfig cfg_;
   ml::Mlp net_;
@@ -135,6 +184,25 @@ struct SrrTrainingSet {
 /// information instead of memorizing a PMC-only mapping. This is what makes
 /// the bi-directional design pay off (Table 8).
 SrrTrainingSet build_srr_training_set(
+    std::span<const measure::CollectedRun> runs, const SrrConfig& srr_cfg,
+    const struct StaticTrrConfig& trr_cfg);
+
+/// Assembled K-way attribution training set across multi-tenant runs.
+struct AttributionTrainingSet {
+  math::Matrix x;  // per-tenant PMC features, K*F per row
+  std::vector<double> p_node;
+  math::Matrix targets;  // n x K ground-truth tenant watts
+};
+
+/// Build the K-way attribution training set from tenant-bearing collected
+/// runs (Collector::collect_tenants). Mirrors build_srr_training_set: the
+/// node feature is each run's TRR restoration, and augment_copies replays
+/// each run as virtual co-location mixes whose per-tenant powers are
+/// rescaled by independent per-copy factors r_k drawn from
+/// [augment_cpu_lo, augment_cpu_hi], with the node feature shifted
+/// consistently (node' = node + sum_k (r_k - 1) * p_k). Every run must
+/// carry the same tenant count; throws otherwise.
+AttributionTrainingSet build_attribution_training_set(
     std::span<const measure::CollectedRun> runs, const SrrConfig& srr_cfg,
     const struct StaticTrrConfig& trr_cfg);
 

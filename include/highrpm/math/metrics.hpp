@@ -7,8 +7,12 @@
 namespace highrpm::math {
 
 /// Mean absolute percentage error, in percent. Observations with
-/// |y_true| < eps are skipped (matching common MAPE implementations);
-/// returns 0 if every observation is skipped.
+/// |y_true| < eps are skipped (matching common MAPE implementations).
+/// Contract: when EVERY observation is skipped (all-near-zero truth, e.g.
+/// an idle tenant) the metric is undefined and returns quiet NaN — never
+/// 0.0, which would read as a perfect score. Callers that print or
+/// aggregate MAPE must handle non-finite values (bench reporters render
+/// them as "n/a").
 double mape(std::span<const double> y_true, std::span<const double> y_pred,
             double eps = 1e-9);
 double rmse(std::span<const double> y_true, std::span<const double> y_pred);

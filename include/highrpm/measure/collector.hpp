@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,18 @@ struct CollectedRun {
   /// Full simulator ground truth — evaluation only.
   sim::Trace truth;
 
+  /// Multi-tenant record (collect_tenants only; 0 / empty otherwise).
+  /// tenant_pmcs row t is the K tenants' per-cgroup PMC rates concatenated
+  /// in tenant order (K * kNumPmcEvents columns) — per-cgroup counters are
+  /// kernel-side aggregation, so they are recorded exactly (no sampling
+  /// noise; only the node-level PMU view in `dataset` is noisy).
+  /// tenant_power row t holds the K ground-truth attributed tenant watts —
+  /// the attribution training labels (the stand-in for SmartWatts' per-
+  /// container rig).
+  std::size_t num_tenants = 0;
+  math::Matrix tenant_pmcs;
+  math::Matrix tenant_power;
+
   std::size_t num_ticks() const noexcept { return dataset.num_samples(); }
   /// Indices of measured (labeled) ticks.
   std::vector<std::size_t> measured_indices() const;
@@ -63,6 +76,16 @@ class Collector {
                        const sim::Workload& workload, std::size_t ticks,
                        std::uint64_t seed,
                        std::size_t freq_level = SIZE_MAX) const;
+
+  /// Multi-tenant collect: run K co-located workloads on one simulated
+  /// node and additionally record each tenant's per-cgroup PMC rates and
+  /// ground-truth attributed power (CollectedRun::tenant_*). The node-level
+  /// record (dataset / measured / ipmi_readings) is built by the exact same
+  /// instrument stack as collect(), over the aggregate tick.
+  CollectedRun collect_tenants(const sim::PlatformConfig& platform,
+                               std::span<const sim::Workload> workloads,
+                               std::size_t ticks, std::uint64_t seed,
+                               std::size_t freq_level = SIZE_MAX) const;
 
   const CollectorConfig& config() const noexcept { return cfg_; }
 

@@ -12,6 +12,7 @@
 // facade replaying this equivalence.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 
@@ -21,6 +22,13 @@
 #include "highrpm/sim/node.hpp"
 
 namespace highrpm::measure {
+
+/// Tenant capacity of a StreamTick. Fixed (not dynamic) so Enqueued ring
+/// slots stay trivially copyable and preallocated; kept modest because the
+/// array rides in EVERY ring slot — a daemon wanting more co-located
+/// tenants per node pays ring memory, not a redesign. The facade/fleet
+/// paths have no such cap (they take caller-sized tenant rows).
+inline constexpr std::size_t kStreamMaxTenants = 4;
 
 /// One streamed node tick: the online observables (sampled PMC rates plus
 /// the sparse IM reading) and the simulator truth kept for evaluation only
@@ -33,6 +41,12 @@ struct StreamTick {
   double truth_node_w = 0.0;
   double truth_cpu_w = 0.0;
   double truth_mem_w = 0.0;
+  /// Multi-tenant observables: the first num_tenants * kNumPmcEvents
+  /// entries of tenant_pmcs are the per-cgroup PMC rates concatenated in
+  /// tenant order (exact, like Collector::collect_tenants records them).
+  /// num_tenants == 0 for single-workload streams.
+  std::uint32_t num_tenants = 0;
+  std::array<double, kStreamMaxTenants * sim::kNumPmcEvents> tenant_pmcs{};
 };
 
 /// Infinite per-node tick stream. Deterministic: the sequence of StreamTicks
@@ -43,6 +57,15 @@ class NodeTickStream {
  public:
   NodeTickStream(const sim::PlatformConfig& platform,
                  const sim::Workload& workload, std::uint64_t seed,
+                 CollectorConfig cfg = {});
+
+  /// Multi-tenant stream: K co-located workloads on one node, mirroring
+  /// Collector::collect_tenants tick for tick (same simulator, same
+  /// instrument seeds, same IM schedule); every StreamTick carries the K
+  /// tenants' exact per-cgroup PMC rows. Throws std::invalid_argument when
+  /// workloads.size() exceeds kStreamMaxTenants (the ring-slot capacity).
+  NodeTickStream(const sim::PlatformConfig& platform,
+                 std::span<const sim::Workload> workloads, std::uint64_t seed,
                  CollectorConfig cfg = {});
 
   /// Produce the next tick. Never fails; the simulated node runs forever.

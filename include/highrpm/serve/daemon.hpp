@@ -92,7 +92,12 @@ class Daemon {
   /// instance. node_suites[i] names node i's workload suite (groups the
   /// restoration-error histograms); must have exactly `nodes` entries.
   /// Throws std::invalid_argument on consumers == 0, ring_capacity == 0,
-  /// nodes == 0, or a suite-list size mismatch.
+  /// nodes == 0, or a suite-list size mismatch. A golden with a trained
+  /// attribution head turns on K-way attribution end to end: offered
+  /// StreamTicks' tenant rows feed the fleet's attribution GEMM and each
+  /// cell publishes packed per-tenant watts — which requires the tenant
+  /// count to fit a ring slot (<= measure::kStreamMaxTenants; throws
+  /// otherwise).
   Daemon(const core::HighRpm& golden, std::size_t nodes,
          std::vector<std::string> node_suites, DaemonConfig cfg = {});
   ~Daemon();
@@ -158,6 +163,11 @@ class Daemon {
     math::Matrix held_row;  // 1 x F, all-NaN: forces held-row substitution
     std::vector<std::optional<double>> held_reading;  // {nullopt}
     std::vector<core::PowerEstimate> held_out;
+    // K-way attribution staging (sized only when the fleet carries an
+    // attribution head). held_trow mirrors held_row: all-NaN so held
+    // catch-up steps substitute the lane's last good tenant row too.
+    math::Matrix trows;
+    math::Matrix held_trow;
     std::atomic<bool> busy{false};
     runtime::Worker worker;
   };

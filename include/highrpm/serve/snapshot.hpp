@@ -14,6 +14,7 @@
 // account for).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -23,6 +24,10 @@
 
 namespace highrpm::serve {
 
+/// Tenant capacity of a snapshot row — matches core::kMaxTenants without
+/// pulling the core headers into the seqlock's include set.
+inline constexpr std::size_t kSnapshotMaxTenants = 8;
+
 /// One node's latest published state, as captured by a coherent read.
 struct NodeStatus {
   std::uint64_t ticks = 0;  // ticks stepped through the model (incl. held)
@@ -30,6 +35,11 @@ struct NodeStatus {
   double cpu_w = 0.0;
   double mem_w = 0.0;
   bool measured = false;  // last tick carried an accepted IM reading
+  /// K-way attribution, decoded from the cell's two packed tenant words at
+  /// deciwatt (0.1 W) resolution. First `tenants` entries valid; 0 when the
+  /// fleet runs without an attribution head.
+  std::uint64_t tenants = 0;
+  std::array<double, kSnapshotMaxTenants> tenant_w{};
   // Ingestion accounting (from the node's counters, read at snapshot time).
   std::uint64_t offered = 0;
   std::uint64_t accepted = 0;
@@ -67,6 +77,37 @@ constexpr std::uint64_t adapt_changes_of(std::uint64_t word) noexcept {
 }
 constexpr std::uint64_t adapt_cheap_of(std::uint64_t word) noexcept {
   return (word >> 33) & ((std::uint64_t{1} << 31) - 1);
+}
+
+/// Per-tenant watts travel through the seqlock as TWO packed words (4
+/// tenants x 16 bits each), the same small-payload tradeoff as the adapt
+/// word: the model-checker sweeps every payload store/load interleaving,
+/// and 8 more atomic doubles would explode that state space. Encoding is
+/// deciwatts saturating at 6553.5 W per tenant (far above any node budget);
+/// non-finite or negative inputs encode as 0. Snapshot-side tenant
+/// resolution is therefore 0.1 W — diagnostics, not the estimation path
+/// (the exact doubles stay in PowerEstimate).
+constexpr std::uint64_t tenant_deciwatts(double w) noexcept {
+  if (!(w > 0.0)) return 0;  // also catches NaN
+  const double dw = w * 10.0 + 0.5;
+  return dw >= 65535.0 ? std::uint64_t{65535} : static_cast<std::uint64_t>(dw);
+}
+/// Pack tenants [4*word_idx, 4*word_idx+4) of `watts` into one word.
+constexpr std::uint64_t pack_tenant_word(const double* watts, std::size_t count,
+                                         std::size_t word_idx) noexcept {
+  std::uint64_t word = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    const std::size_t k = 4 * word_idx + s;
+    if (k < count) word |= tenant_deciwatts(watts[k]) << (16 * s);
+  }
+  return word;
+}
+/// Decode tenant k's watts from the (lo, hi) word pair.
+constexpr double tenant_watts_of(std::uint64_t lo, std::uint64_t hi,
+                                 std::size_t k) noexcept {
+  const std::uint64_t word = k < 4 ? lo : hi;
+  return static_cast<double>((word >> (16 * (k % 4))) & std::uint64_t{0xFFFF}) /
+         10.0;
 }
 
 /// Restoration-error summary over one workload suite (milliwatts, from the
@@ -125,6 +166,10 @@ class BasicNodeStatusCell {
     /// Packed adaptive-controller state (pack_adapt_state; 0 = no
     /// controller).
     std::uint64_t adapt = 0;
+    /// Packed per-tenant watts (pack_tenant_word; both 0 when the fleet
+    /// has no attribution head). lo = tenants 0-3, hi = tenants 4-7.
+    std::uint64_t tenant_lo = 0;
+    std::uint64_t tenant_hi = 0;
   };
 
   BasicNodeStatusCell() = default;
@@ -149,6 +194,8 @@ class BasicNodeStatusCell {
     mem_w_.store(v.mem_w, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
     measured_.store(v.measured, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
     adapt_.store(v.adapt, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
+    tenant_lo_.store(v.tenant_lo, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
+    tenant_hi_.store(v.tenant_hi, std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
     seq_.store(s + 2, std::memory_order_release);  // even: stable again
   }
 
@@ -168,6 +215,8 @@ class BasicNodeStatusCell {
       v.mem_w = mem_w_.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
       v.measured = measured_.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
       v.adapt = adapt_.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
+      v.tenant_lo = tenant_lo_.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
+      v.tenant_hi = tenant_hi_.load(std::memory_order_relaxed);  // HIGHRPM_LINT_ALLOW(memory-order-audit): payload ordered by seqlock fences
       Backend::fence(std::memory_order_acquire);
       if (seq_.load(std::memory_order_relaxed) == s1) return v;  // HIGHRPM_LINT_ALLOW(memory-order-audit): recheck ordered by the fence above
       Backend::yield();
@@ -185,6 +234,8 @@ class BasicNodeStatusCell {
   Atomic<double> mem_w_{0.0};
   Atomic<bool> measured_{false};
   Atomic<std::uint64_t> adapt_{0};
+  Atomic<std::uint64_t> tenant_lo_{0};
+  Atomic<std::uint64_t> tenant_hi_{0};
 };
 
 /// Production instantiation — plain std::atomic, zero template overhead.

@@ -9,9 +9,12 @@
 
 #include <cstdint>
 
+#include <vector>
+
 #include "highrpm/math/rng.hpp"
 #include "highrpm/sim/phase.hpp"
 #include "highrpm/sim/platform.hpp"
+#include "highrpm/sim/power_model.hpp"
 #include "highrpm/sim/trace.hpp"
 
 namespace highrpm::sim {
@@ -19,6 +22,19 @@ namespace highrpm::sim {
 class NodeSimulator {
  public:
   NodeSimulator(PlatformConfig platform, Workload workload,
+                std::uint64_t seed);
+
+  /// Multi-tenant node: K co-located workloads share the node's cores
+  /// (each tenant drives an equal 1/K core share with its own phase
+  /// schedule, AR(1) noise, spike process, and latent energy weights —
+  /// independent per-tenant RNG streams forked from `seed`). Every tick's
+  /// TickSample then carries K TenantSamples: the tenant's private PMC
+  /// rates (the per-cgroup counter view) and its attributed ground-truth
+  /// power (dynamic share + idle/K; tenant powers sum to the node's
+  /// component power). Node-aggregated PMCs are the elementwise tenant
+  /// sum, and node power is computed from the aggregate exactly like the
+  /// single-workload path. Requires at least one workload.
+  NodeSimulator(PlatformConfig platform, std::vector<Workload> tenants,
                 std::uint64_t seed);
 
   /// Advance one second of simulated time and return the tick's sample.
@@ -31,11 +47,40 @@ class NodeSimulator {
   double time() const noexcept { return time_s_; }
   const PlatformConfig& platform() const noexcept { return platform_; }
   const Workload& workload() const noexcept { return workload_; }
+  /// Co-located workload count (0 for the single-workload constructor).
+  std::size_t num_tenants() const noexcept { return tenants_.size(); }
+  const Workload& tenant_workload(std::size_t k) const {
+    return tenants_.at(k).workload;
+  }
 
  private:
+  /// Per-tenant stochastic state: each tenant is its own little simulator
+  /// over a shared clock and DVFS point.
+  struct TenantState {
+    Workload workload;
+    math::Rng rng;
+    double ar1_state = 0.0;
+    double energy_latent = 0.0;
+    double spike_remaining = 0.0;
+    double spike_magnitude = 0.0;
+  };
+
+  /// Phase active at time t within a looping workload.
+  static const PhaseSpec& phase_of(const Workload& w, double t);
   /// Phase active at the current time (phases loop).
   const PhaseSpec& current_phase() const;
   double modulation(const PhaseSpec& p, double t) const;
+  /// One activity draw: AR(1) + spikes + modulation -> PMC rates for a
+  /// core_share slice of the node, plus the latent energy weights. Shared
+  /// verbatim by the single-workload path (core_share = 1, member state)
+  /// and the per-tenant path (core_share = 1/K, tenant state) — the draw
+  /// order is part of the simulator's determinism contract.
+  PmcVector tick_activity(const PhaseSpec& phase, math::Rng& rng,
+                          double& ar1_state, double& spike_remaining,
+                          double& spike_magnitude, double& energy_latent,
+                          double core_share, EnergyScale& scale_out);
+  TickSample step_single();
+  TickSample step_tenants();
 
   PlatformConfig platform_;
   Workload workload_;
@@ -48,6 +93,11 @@ class NodeSimulator {
   // Active spike: remaining ticks and magnitude (0 when inactive).
   double spike_remaining_ = 0.0;
   double spike_magnitude_ = 0.0;
+  /// Non-empty iff constructed with the multi-tenant constructor.
+  std::vector<TenantState> tenants_;
+  /// Scratch for step_tenants (noise-free tenant dynamic watts), sized at
+  /// construction so the step path never allocates it per tick.
+  std::vector<double> tenant_dyn_;
 };
 
 }  // namespace highrpm::sim

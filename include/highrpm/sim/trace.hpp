@@ -11,6 +11,17 @@
 
 namespace highrpm::sim {
 
+/// One co-located tenant's share of a tick: its private PMC rates (the
+/// per-cgroup counter view a real kernel exposes per container/VM) and its
+/// ground-truth attributed power. Tenant powers partition the node's
+/// component power: sum over tenants of p_w == p_cpu_w + p_mem_w (each
+/// tenant carries its dynamic power plus an equal share of the component
+/// idle power — the standard attribution convention for static draw).
+struct TenantSample {
+  PmcVector pmcs{};  // per-tenant event rates (events/s)
+  double p_w = 0.0;  // attributed tenant power (W)
+};
+
 struct TickSample {
   double time_s = 0.0;
   PmcVector pmcs{};  // node-aggregated event rates (events/s)
@@ -19,6 +30,10 @@ struct TickSample {
   double p_other_w = 0.0;
   double p_node_w = 0.0;
   std::size_t freq_level = 0;
+  /// Per-tenant breakdown; empty for single-workload simulations (the
+  /// legacy node-level view), size K when the simulator runs K co-located
+  /// workloads.
+  std::vector<TenantSample> tenants;
 };
 
 class Trace {
@@ -30,6 +45,13 @@ class Trace {
   bool empty() const noexcept { return samples_.empty(); }
   const TickSample& operator[](std::size_t i) const { return samples_[i]; }
   const std::vector<TickSample>& samples() const noexcept { return samples_; }
+
+  /// Tenant count carried by the samples (0 for single-workload traces).
+  std::size_t num_tenants() const noexcept {
+    return samples_.empty() ? 0 : samples_.front().tenants.size();
+  }
+  /// Ground-truth power series of tenant k.
+  std::vector<double> tenant_power(std::size_t k) const;
 
   std::vector<double> times() const;
   std::vector<double> node_power() const;

@@ -5,7 +5,9 @@
 #   lint      tools/lint/highrpm_lint.py (+ header self-containment compile)
 #   werror    Release build with HIGHRPM_WERROR=ON + full ctest
 #   golden    ctest -L golden in the werror build: committed reference CSVs
-#             must match the bench output byte for byte
+#             (table5/table7/adaptive/attribution) must match the bench
+#             output byte for byte; also runs the bench-args arg-hygiene
+#             label (usage/exit-code regressions for every bench CLI)
 #   property  ctest -L property in the werror build: seeded invariant suites
 #   verify    ctest -L verify in the verify-preset build: deterministic
 #             model checking of the lock-free serve/obs templates
@@ -92,6 +94,8 @@ step_golden() {
   note "golden: committed reference CSVs vs bench output (ctest -L golden)"
   ensure_werror_build
   ctest --test-dir build-werror --output-on-failure -j "$JOBS" -L golden
+  note "bench-args: bench argument hygiene (ctest -L bench-args)"
+  ctest --test-dir build-werror --output-on-failure -j "$JOBS" -L bench-args
 }
 
 step_property() {

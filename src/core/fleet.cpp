@@ -15,9 +15,21 @@ FleetStepper::FleetStepper(const HighRpm& golden, std::size_t nodes,
                            FleetConfig cfg)
     : cfg_(cfg),
       srr_(golden.srr()),
+      tenant_srr_(golden.attribution_srr()),
       shared_model_(golden.dynamic_trr().model()) {
   if (!golden.trained()) {
     throw std::invalid_argument("FleetStepper: golden instance untrained");
+  }
+  if (golden.config().tenants > 0 && golden.attribution_trained()) {
+    // Self-calibration mutates the attribution head online; the fleet
+    // shares one const head across all shards, so a self-calibrating
+    // golden cannot be batched — run it through the serial facade.
+    if (golden.config().self_cal.enabled) {
+      throw std::invalid_argument(
+          "FleetStepper: self-calibrating attribution requires the serial "
+          "facade (the fleet shares a const attribution head)");
+    }
+    tenants_ = golden.config().tenants;
   }
   if (nodes == 0) {
     throw std::invalid_argument("FleetStepper: fleet must have >= 1 node");
@@ -67,6 +79,8 @@ void FleetStepper::reset_streams() {
     lane.trr.reset_stream();
     lane.last_good.clear();
     lane.have_last_good = false;
+    lane.last_good_tenant.clear();
+    lane.have_last_good_tenant = false;
     if (lane.ctl) {
       lane.ctl->reset();
       lane.trr.set_use_cheap(lane.ctl->decision().use_cheap);
@@ -77,12 +91,17 @@ void FleetStepper::reset_streams() {
 void FleetStepper::step_tick(const math::Matrix& pmcs,
                              std::span<const std::optional<double>> readings,
                              std::span<PowerEstimate> out,
-                             const ShardHooks& hooks) {
+                             const ShardHooks& hooks,
+                             const math::Matrix* tenant_pmcs) {
   static obs::Histogram& shard_hist =
       obs::Registry::instance().histogram("core.fleet.shard_tick_ns");
   if (pmcs.rows() != lanes_.size() || readings.size() != lanes_.size() ||
       out.size() != lanes_.size()) {
     throw std::invalid_argument("FleetStepper::step_tick: size mismatch");
+  }
+  if (tenant_pmcs && tenant_pmcs->rows() != lanes_.size()) {
+    throw std::invalid_argument(
+        "FleetStepper::step_tick: tenant matrix row count != fleet size");
   }
   // One parallel_for index per shard; each shard owns its lane range and
   // scratch, so scheduling only changes when a shard runs, never what it
@@ -97,7 +116,8 @@ void FleetStepper::step_tick(const math::Matrix& pmcs,
     {
       const obs::Span span(shard_hist);
       step_cohort(ss.ids, pmcs, ss.begin, readings.subspan(ss.begin, lanes),
-                  out.subspan(ss.begin, lanes), ss.scratch);
+                  out.subspan(ss.begin, lanes), ss.scratch, tenant_pmcs,
+                  ss.begin);
     }
     if (hooks.after) hooks.after(s);
   });
@@ -106,7 +126,9 @@ void FleetStepper::step_tick(const math::Matrix& pmcs,
 void FleetStepper::step_cohort(std::span<const std::size_t> lane_ids,
                                const math::Matrix& pmcs, std::size_t pmc_row0,
                                std::span<const std::optional<double>> readings,
-                               std::span<PowerEstimate> out, Cohort& scratch) {
+                               std::span<PowerEstimate> out, Cohort& scratch,
+                               const math::Matrix* tenant_pmcs,
+                               std::size_t tenant_row0) {
   static obs::Counter& lane_ticks =
       obs::Registry::instance().counter("core.fleet.lane_ticks");
   static obs::Counter& held_total =
@@ -116,6 +138,18 @@ void FleetStepper::step_cohort(std::span<const std::size_t> lane_ids,
   if (pmcs.rows() < pmc_row0 + lanes || readings.size() != lanes ||
       out.size() != lanes) {
     throw std::invalid_argument("FleetStepper::step_cohort: size mismatch");
+  }
+  if (tenant_pmcs) {
+    if (tenants_ == 0) {
+      throw std::logic_error(
+          "FleetStepper::step_cohort: tenant rows given but the golden "
+          "instance carried no trained attribution head");
+    }
+    if (tenant_pmcs->cols() != tenants_ * sim::kNumPmcEvents ||
+        tenant_pmcs->rows() < tenant_row0 + lanes) {
+      throw std::invalid_argument(
+          "FleetStepper::step_cohort: tenant matrix shape mismatch");
+    }
   }
   lane_ticks.add(lanes);
   const std::size_t f = pmcs.cols();
@@ -218,6 +252,38 @@ void FleetStepper::step_cohort(std::span<const std::size_t> lane_ids,
   for (std::size_t li = 0; li < lanes; ++li) {
     out[li].cpu_w = ss.comp[li].cpu_w;
     out[li].mem_w = ss.comp[li].mem_w;
+    out[li].tenants = 0;
+  }
+  if (!tenant_pmcs) return;
+
+  // Phase 5: K-way attribution — held-tenant-row substitution per lane
+  // (mirroring the serial facade's 3-arg on_tick), then one attribution
+  // GEMM per MLP layer for the whole cohort on the committed node powers.
+  const std::size_t tf = tenant_pmcs->cols();
+  ss.trows.resize(lanes, tf);
+  for (std::size_t li = 0; li < lanes; ++li) {
+    Lane& lane = lanes_[lane_ids[li]];
+    const auto dst = ss.trows.row(li);
+    const auto src = tenant_pmcs->row(tenant_row0 + li);
+    std::copy(src.begin(), src.end(), dst.begin());
+    if (!math::all_finite(dst)) {
+      if (lane.have_last_good_tenant && lane.last_good_tenant.size() == tf) {
+        std::copy(lane.last_good_tenant.begin(), lane.last_good_tenant.end(),
+                  dst.begin());
+      } else {
+        std::fill(dst.begin(), dst.end(), 0.0);
+      }
+    } else {
+      lane.last_good_tenant.assign(dst.begin(), dst.end());
+      lane.have_last_good_tenant = true;
+    }
+  }
+  tenant_srr_.predict_batch_multi_into(ss.trows, ss.node_w, ss.tenant_out,
+                                       ss.tsrr);
+  for (std::size_t li = 0; li < lanes; ++li) {
+    out[li].tenants = tenants_;
+    const auto row = ss.tenant_out.row(li);
+    std::copy(row.begin(), row.end(), out[li].tenant_w.begin());
   }
 }
 

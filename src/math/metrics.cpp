@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 #include "highrpm/math/stats.hpp"
@@ -26,7 +27,12 @@ double mape(std::span<const double> y_true, std::span<const double> y_pred,
     s += std::fabs((y_true[i] - y_pred[i]) / y_true[i]);
     ++n;
   }
-  return n == 0 ? 0.0 : 100.0 * s / static_cast<double>(n);
+  // All observations skipped means the truth vector is all-(near-)zero — an
+  // idle tenant, say. 0.0 here would report a *perfect* score for a regime
+  // the metric cannot judge at all; NaN is the honest "undefined" answer
+  // (reporters render it as n/a).
+  return n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                : 100.0 * s / static_cast<double>(n);
 }
 
 double rmse(std::span<const double> y_true, std::span<const double> y_pred) {
@@ -62,8 +68,15 @@ double r2(std::span<const double> y_true, std::span<const double> y_pred) {
 
 std::string MetricReport::to_string() const {
   char buf[128];
-  std::snprintf(buf, sizeof(buf), "MAPE=%.2f%% RMSE=%.2f MAE=%.2f R2=%.3f",
-                mape, rmse, mae, r2);
+  if (!std::isfinite(mape)) {
+    // Undefined MAPE (all observations skipped) renders as n/a, per the
+    // mape() contract.
+    std::snprintf(buf, sizeof(buf), "MAPE=n/a RMSE=%.2f MAE=%.2f R2=%.3f",
+                  rmse, mae, r2);
+  } else {
+    std::snprintf(buf, sizeof(buf), "MAPE=%.2f%% RMSE=%.2f MAE=%.2f R2=%.3f",
+                  mape, rmse, mae, r2);
+  }
   return buf;
 }
 

@@ -1,5 +1,8 @@
 #include "highrpm/measure/stream.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "highrpm/math/rng.hpp"
 
 namespace highrpm::measure {
@@ -27,6 +30,20 @@ NodeTickStream::NodeTickStream(const sim::PlatformConfig& platform,
       ipmi_(seeded(cfg, seed).ipmi),
       sampler_(seeded(cfg, seed).pmc) {}
 
+NodeTickStream::NodeTickStream(const sim::PlatformConfig& platform,
+                               std::span<const sim::Workload> workloads,
+                               std::uint64_t seed, CollectorConfig cfg)
+    : node_(platform,
+            std::vector<sim::Workload>(workloads.begin(), workloads.end()),
+            seed),
+      ipmi_(seeded(cfg, seed).ipmi),
+      sampler_(seeded(cfg, seed).pmc) {
+  if (workloads.size() > kStreamMaxTenants) {
+    throw std::invalid_argument(
+        "NodeTickStream: tenant count exceeds kStreamMaxTenants");
+  }
+}
+
 StreamTick NodeTickStream::next() {
   const sim::TickSample tick = node_.step();
   StreamTick out;
@@ -39,6 +56,11 @@ StreamTick NodeTickStream::next() {
   out.truth_node_w = tick.p_node_w;
   out.truth_cpu_w = tick.p_cpu_w;
   out.truth_mem_w = tick.p_mem_w;
+  out.num_tenants = static_cast<std::uint32_t>(tick.tenants.size());
+  for (std::size_t k = 0; k < tick.tenants.size(); ++k) {
+    std::copy(tick.tenants[k].pmcs.begin(), tick.tenants[k].pmcs.end(),
+              out.tenant_pmcs.begin() + k * sim::kNumPmcEvents);
+  }
   return out;
 }
 

@@ -27,6 +27,11 @@ Daemon::Daemon(const core::HighRpm& golden, std::size_t nodes,
     throw std::invalid_argument(
         "serve::Daemon: node_suites must have one entry per node");
   }
+  if (fleet_.tenants() > measure::kStreamMaxTenants) {
+    throw std::invalid_argument(
+        "serve::Daemon: attribution tenant count exceeds the ring slot "
+        "capacity (measure::kStreamMaxTenants)");
+  }
   if (cfg_.consumers > nodes) cfg_.consumers = nodes;
 
   nodes_.reserve(nodes);
@@ -81,6 +86,14 @@ void Daemon::start() {
     }
     cs.held_reading.assign(1, std::nullopt);
     cs.held_out.assign(1, core::PowerEstimate{});
+    if (fleet_.tenants() > 0) {
+      const std::size_t tf = fleet_.tenants() * f;
+      cs.trows.resize(owned, tf);
+      cs.held_trow.resize(1, tf);
+      for (double& v : cs.held_trow.row(0)) {
+        v = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
   }
   running_.store(true, std::memory_order_release);
   for (std::size_t c = 0; c < consumers_.size(); ++c) {
@@ -193,7 +206,8 @@ bool Daemon::consume_cycle(ConsumerState& cs) {
       fleet_.step_cohort(std::span<const std::size_t>(&id, 1), cs.held_row,
                          0, cs.held_reading,
                          std::span<core::PowerEstimate>(cs.held_out.data(), 1),
-                         cs.cohort);
+                         cs.cohort,
+                         fleet_.tenants() > 0 ? &cs.held_trow : nullptr, 0);
       ns.held.add();
       held_c.add();
       ++ns.stepped;
@@ -205,17 +219,29 @@ bool Daemon::consume_cycle(ConsumerState& cs) {
   if (n == 0) return false;
 
   cs.rows.resize(n, cs.held_row.cols());
+  const std::size_t tenants = fleet_.tenants();
+  if (tenants > 0) cs.trows.resize(n, cs.held_trow.cols());
   for (std::size_t li = 0; li < n; ++li) {
     const measure::StreamTick& t = cs.staged[li].tick;
     const auto dst = cs.rows.row(li);
     std::copy(t.pmcs.begin(), t.pmcs.end(), dst.begin());
+    if (tenants > 0) {
+      // StreamTick's fixed tenant array zero-fills unused slots, so a
+      // shorter (or single-tenant) producer yields all-zero tenant rows
+      // rather than garbage.
+      const auto tdst = cs.trows.row(li);
+      std::copy(t.tenant_pmcs.begin(),
+                t.tenant_pmcs.begin() + static_cast<std::ptrdiff_t>(tdst.size()),
+                tdst.begin());
+    }
     cs.readings[li] =
         t.has_reading ? std::optional<double>(t.reading_w) : std::nullopt;
   }
   fleet_.step_cohort(
       cs.ids, cs.rows, 0,
       std::span<const std::optional<double>>(cs.readings.data(), n),
-      std::span<core::PowerEstimate>(cs.out.data(), n), cs.cohort);
+      std::span<core::PowerEstimate>(cs.out.data(), n), cs.cohort,
+      tenants > 0 ? &cs.trows : nullptr, 0);
 
   for (std::size_t li = 0; li < n; ++li) {
     NodeState& ns = *nodes_[cs.ids[li]];
@@ -232,7 +258,9 @@ bool Daemon::consume_cycle(ConsumerState& cs) {
           ctl->sparse_ticks());
     }
     ns.cell.publish({ns.stepped, pe.node_w, pe.cpu_w, pe.mem_w, pe.measured,
-                     adapt_word});
+                     adapt_word,
+                     pack_tenant_word(pe.tenant_w.data(), pe.tenants, 0),
+                     pack_tenant_word(pe.tenant_w.data(), pe.tenants, 1)});
     // Restoration error vs. simulator truth, milliwatt resolution —
     // unmeasured (restored) ticks only; measured ticks reproduce the
     // reading by construction.
@@ -294,6 +322,10 @@ DaemonSnapshot Daemon::snapshot() const {
     st.adapt_mode = adapt_mode_of(v.adapt);
     st.adapt_mode_changes = adapt_changes_of(v.adapt);
     st.adapt_cheap_ticks = adapt_cheap_of(v.adapt);
+    st.tenants = fleet_.tenants();
+    for (std::size_t k = 0; k < st.tenants; ++k) {
+      st.tenant_w[k] = tenant_watts_of(v.tenant_lo, v.tenant_hi, k);
+    }
     // Outcome counters before offered: offer() bumps offered first and the
     // outcome second, so reading the outcomes first (and the only-growing
     // offered last) keeps accepted + shed + dropped_readings <= offered in

@@ -34,11 +34,20 @@ std::string to_string(const DaemonSnapshot& snap) {
             "mem_w=%.17g measured=%d offered=%" PRIu64 " accepted=%" PRIu64
             " shed=%" PRIu64 " dropped_readings=%" PRIu64
             " backpressure=%" PRIu64 " held=%" PRIu64 " adapt_mode=%" PRIu64
-            " adapt_changes=%" PRIu64 " adapt_cheap=%" PRIu64 "\n",
+            " adapt_changes=%" PRIu64 " adapt_cheap=%" PRIu64,
             i, n.ticks, n.node_w, n.cpu_w, n.mem_w, n.measured ? 1 : 0,
             n.offered, n.accepted, n.shed, n.dropped_readings,
             n.backpressure, n.held, n.adapt_mode, n.adapt_mode_changes,
             n.adapt_cheap_ticks);
+    // Attribution-enabled fleets only — attribution-free snapshots keep the
+    // exact historical line format.
+    if (n.tenants > 0) {
+      appendf(out, " tenants=%" PRIu64, n.tenants);
+      for (std::size_t k = 0; k < n.tenants && k < n.tenant_w.size(); ++k) {
+        appendf(out, " t%zu_w=%.1f", k, n.tenant_w[k]);
+      }
+    }
+    out.push_back('\n');
   }
   for (const SuiteStats& s : snap.suites) {
     appendf(out,

@@ -30,14 +30,44 @@ NodeSimulator::NodeSimulator(PlatformConfig platform, Workload workload,
   }
 }
 
-const PhaseSpec& NodeSimulator::current_phase() const {
-  const double total = workload_.total_phase_duration();
-  double t = std::fmod(time_s_, total);
-  for (const auto& p : workload_.phases) {
+NodeSimulator::NodeSimulator(PlatformConfig platform,
+                             std::vector<Workload> tenants, std::uint64_t seed)
+    : NodeSimulator(std::move(platform),
+                    [&]() -> Workload {
+                      if (tenants.empty()) {
+                        throw std::invalid_argument(
+                            "NodeSimulator: tenant list is empty");
+                      }
+                      return tenants.front();
+                    }(),
+                    seed) {
+  tenants_.reserve(tenants.size());
+  for (std::size_t k = 0; k < tenants.size(); ++k) {
+    if (tenants[k].phases.empty()) {
+      throw std::invalid_argument("NodeSimulator: tenant workload '" +
+                                  tenants[k].name + "' has no phases");
+    }
+    TenantState ts{std::move(tenants[k]),
+                   // Independent per-tenant streams: splitmix-style odd
+                   // multiplier keeps forked seeds decorrelated.
+                   math::Rng(seed ^ (0x9E3779B97F4A7C15ULL * (k + 1)))};
+    tenants_.push_back(std::move(ts));
+  }
+  tenant_dyn_.resize(tenants_.size());
+}
+
+const PhaseSpec& NodeSimulator::phase_of(const Workload& w, double t_now) {
+  const double total = w.total_phase_duration();
+  double t = std::fmod(t_now, total);
+  for (const auto& p : w.phases) {
     if (t < p.duration_s) return p;
     t -= p.duration_s;
   }
-  return workload_.phases.back();
+  return w.phases.back();
+}
+
+const PhaseSpec& NodeSimulator::current_phase() const {
+  return phase_of(workload_, time_s_);
 }
 
 double NodeSimulator::modulation(const PhaseSpec& p, double t) const {
@@ -65,33 +95,37 @@ void NodeSimulator::set_frequency_level(std::size_t level) {
   freq_level_ = level;
 }
 
-TickSample NodeSimulator::step() {
-  const PhaseSpec& phase = current_phase();
+PmcVector NodeSimulator::tick_activity(const PhaseSpec& phase, math::Rng& rng,
+                                       double& ar1_state,
+                                       double& spike_remaining,
+                                       double& spike_magnitude,
+                                       double& energy_latent,
+                                       double core_share,
+                                       EnergyScale& scale_out) {
   const double f_ghz = platform_.frequency_ghz(freq_level_);
   const double f_hz = f_ghz * 1e9;
-  const double n_cores = static_cast<double>(platform_.num_cores);
+  const double n_cores = static_cast<double>(platform_.num_cores) * core_share;
 
   // --- activity level for this tick ---
   // AR(1) short-term noise.
-  ar1_state_ = phase.ar1_rho * ar1_state_ +
-               rng_.normal(0.0, phase.ar1_sigma);
+  ar1_state = phase.ar1_rho * ar1_state + rng.normal(0.0, phase.ar1_sigma);
   // Poisson spike arrivals; an active spike decays over spike_len_s.
-  if (spike_remaining_ <= 0.0 && phase.spike_rate_hz > 0.0 &&
-      rng_.bernoulli(std::min(1.0, phase.spike_rate_hz))) {
-    spike_remaining_ =
-        std::max(1.0, rng_.exponential(1.0 / std::max(0.5, phase.spike_len_s)));
-    spike_magnitude_ =
-        phase.spike_magnitude * rng_.uniform(0.5, 1.5) *
-        (rng_.bernoulli(0.8) ? 1.0 : -0.6);  // mostly up-spikes, some dips
+  if (spike_remaining <= 0.0 && phase.spike_rate_hz > 0.0 &&
+      rng.bernoulli(std::min(1.0, phase.spike_rate_hz))) {
+    spike_remaining =
+        std::max(1.0, rng.exponential(1.0 / std::max(0.5, phase.spike_len_s)));
+    spike_magnitude =
+        phase.spike_magnitude * rng.uniform(0.5, 1.5) *
+        (rng.bernoulli(0.8) ? 1.0 : -0.6);  // mostly up-spikes, some dips
   }
   double spike = 0.0;
-  if (spike_remaining_ > 0.0) {
-    spike = spike_magnitude_;
-    spike_remaining_ -= 1.0;
+  if (spike_remaining > 0.0) {
+    spike = spike_magnitude;
+    spike_remaining -= 1.0;
   }
 
   double util = phase.utilization *
-                (1.0 + modulation(phase, time_s_) + ar1_state_ + spike);
+                (1.0 + modulation(phase, time_s_) + ar1_state + spike);
   util = std::clamp(util, 0.02, 1.0);
 
   // --- instruction stream ---
@@ -111,7 +145,7 @@ TickSample NodeSimulator::step() {
   PmcVector pmcs{};
   const auto set = [&](PmcEvent e, double v) {
     // Counter jitter: PMU aggregation is not exact (paper notes PMC noise).
-    const double jitter = 1.0 + rng_.normal(0.0, 0.01);
+    const double jitter = 1.0 + rng.normal(0.0, 0.01);
     pmcs[static_cast<std::size_t>(e)] = std::max(0.0, v * jitter);
   };
   set(PmcEvent::kCpuCycles, cycles);
@@ -136,14 +170,28 @@ TickSample NodeSimulator::step() {
   set(PmcEvent::kMemAccess, mem);
   set(PmcEvent::kBusAccess, mem * phase.bus_per_mem);
 
-  // --- ground-truth power ---
-  // Latent energy-weight wobble: slow AR(1) drift of the effective
-  // per-instruction / per-access energy around the phase's application-
-  // specific scale. Neither the scale nor the wobble is visible in any PMC.
-  energy_latent_ = 0.95 * energy_latent_ + rng_.normal(0.0, 0.05);
+  // --- latent energy weights ---
+  // Slow AR(1) wobble of the effective per-instruction / per-access energy
+  // around the phase's application-specific scale. Neither the scale nor
+  // the wobble is visible in any PMC.
+  energy_latent = 0.95 * energy_latent + rng.normal(0.0, 0.05);
+  scale_out.inst = phase.inst_energy_scale * (1.0 + 0.25 * energy_latent);
+  scale_out.mem = phase.mem_energy_scale * (1.0 + 0.25 * energy_latent);
+  return pmcs;
+}
+
+TickSample NodeSimulator::step() {
+  return tenants_.empty() ? step_single() : step_tenants();
+}
+
+TickSample NodeSimulator::step_single() {
+  const PhaseSpec& phase = current_phase();
+
   EnergyScale scale;
-  scale.inst = phase.inst_energy_scale * (1.0 + 0.25 * energy_latent_);
-  scale.mem = phase.mem_energy_scale * (1.0 + 0.25 * energy_latent_);
+  const PmcVector pmcs =
+      tick_activity(phase, rng_, ar1_state_, spike_remaining_,
+                    spike_magnitude_, energy_latent_, /*core_share=*/1.0,
+                    scale);
   const ComponentPower p =
       compute_component_power(platform_, pmcs, freq_level_, scale);
   const PowerCoefficients& c = platform_.power;
@@ -159,6 +207,90 @@ TickSample NodeSimulator::step() {
   s.p_other_w = c.other_idle_w + other_wander_;
   s.p_node_w = s.p_cpu_w + s.p_mem_w + s.p_other_w;
   s.freq_level = freq_level_;
+
+  time_s_ += 1.0;
+  return s;
+}
+
+TickSample NodeSimulator::step_tenants() {
+  const PowerCoefficients& c = platform_.power;
+  const std::size_t k_tenants = tenants_.size();
+  const double core_share = 1.0 / static_cast<double>(k_tenants);
+
+  // Per-tenant activity: each tenant drives its core share with its own
+  // stochastic state and RNG stream. Node-aggregated PMCs are the
+  // elementwise sum — what a node-level PMU would count.
+  TickSample s;
+  s.time_s = time_s_;
+  s.freq_level = freq_level_;
+  s.tenants.resize(k_tenants);
+  PmcVector agg{};
+  std::vector<double>& dyn = tenant_dyn_;  // noise-free tenant dynamic watts
+  double dyn_sum = 0.0;
+  double inst_rate_sum = 0.0, mem_rate_sum = 0.0;
+  double inst_scale_acc = 0.0, mem_scale_acc = 0.0;
+  double inst_scale_mean = 0.0, mem_scale_mean = 0.0;
+  for (std::size_t k = 0; k < k_tenants; ++k) {
+    TenantState& ts = tenants_[k];
+    const PhaseSpec& phase = phase_of(ts.workload, time_s_);
+    EnergyScale scale;
+    const PmcVector pmcs = tick_activity(
+        phase, ts.rng, ts.ar1_state, ts.spike_remaining, ts.spike_magnitude,
+        ts.energy_latent, core_share, scale);
+    s.tenants[k].pmcs = pmcs;
+    for (std::size_t e = 0; e < kNumPmcEvents; ++e) agg[e] += pmcs[e];
+    const ComponentPower p =
+        compute_component_power(platform_, pmcs, freq_level_, scale);
+    dyn[k] = (p.cpu_w - c.cpu_idle_w) + (p.mem_w - c.mem_idle_w);
+    dyn_sum += dyn[k];
+    // Activity-weighted aggregate energy scale: the node-level dynamic
+    // power responds to the blended instruction mix, weighted by how much
+    // each tenant actually contributes to the blended event streams.
+    const double inst_rate =
+        pmcs[static_cast<std::size_t>(PmcEvent::kInstRetired)];
+    const double mem_rate =
+        pmcs[static_cast<std::size_t>(PmcEvent::kMemAccess)];
+    inst_rate_sum += inst_rate;
+    mem_rate_sum += mem_rate;
+    inst_scale_acc += inst_rate * scale.inst;
+    mem_scale_acc += mem_rate * scale.mem;
+    inst_scale_mean += scale.inst;
+    mem_scale_mean += scale.mem;
+  }
+  EnergyScale agg_scale;
+  agg_scale.inst = inst_rate_sum > 0.0
+                       ? inst_scale_acc / inst_rate_sum
+                       : inst_scale_mean / static_cast<double>(k_tenants);
+  agg_scale.mem = mem_rate_sum > 0.0
+                      ? mem_scale_acc / mem_rate_sum
+                      : mem_scale_mean / static_cast<double>(k_tenants);
+
+  // Node power from the aggregate, exactly like the single-workload path
+  // (saturation and roll-off act at node level, where the silicon is).
+  const ComponentPower p =
+      compute_component_power(platform_, agg, freq_level_, agg_scale);
+  other_wander_ = std::clamp(other_wander_ + rng_.normal(0.0, 0.02),
+                             -c.other_wander_w, c.other_wander_w);
+  s.pmcs = agg;
+  s.p_cpu_w = std::max(0.0, p.cpu_w + rng_.normal(0.0, c.cpu_noise_w));
+  s.p_mem_w = std::max(0.0, p.mem_w + rng_.normal(0.0, c.mem_noise_w));
+  s.p_other_w = c.other_idle_w + other_wander_;
+  s.p_node_w = s.p_cpu_w + s.p_mem_w + s.p_other_w;
+
+  // Attribute the (noisy) component power to tenants: each tenant gets its
+  // dynamic-power share plus an equal slice of the component idle draw —
+  // SmartWatts' static/dynamic attribution convention. Shares are computed
+  // on the noise-free dynamic powers, so sensor noise never flips a
+  // near-idle tenant negative; by construction sum_k p_w == p_cpu + p_mem.
+  const double idle_total = c.cpu_idle_w + c.mem_idle_w;
+  const double dyn_total = (s.p_cpu_w + s.p_mem_w) - idle_total;
+  for (std::size_t k = 0; k < k_tenants; ++k) {
+    const double share = dyn_sum > 0.0
+                             ? dyn[k] / dyn_sum
+                             : 1.0 / static_cast<double>(k_tenants);
+    s.tenants[k].p_w =
+        share * dyn_total + idle_total / static_cast<double>(k_tenants);
+  }
 
   time_s_ += 1.0;
   return s;

@@ -1,8 +1,19 @@
 #include "highrpm/sim/trace.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace highrpm::sim {
+
+std::vector<double> Trace::tenant_power(std::size_t k) const {
+  if (k >= num_tenants()) {
+    throw std::out_of_range("Trace::tenant_power: tenant index out of range");
+  }
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.tenants[k].p_w);
+  return out;
+}
 
 std::vector<double> Trace::times() const {
   std::vector<double> out;

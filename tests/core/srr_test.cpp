@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "highrpm/math/float_eq.hpp"
 #include "highrpm/math/metrics.hpp"
+#include "highrpm/math/rng.hpp"
 #include "highrpm/core/static_trr.hpp"
 #include "highrpm/measure/collector.hpp"
 #include "highrpm/workloads/suites.hpp"
@@ -221,6 +225,172 @@ TEST(Srr, PredictBatchMatchesPredictOneBitForBit) {
       ASSERT_EQ(batch[r].mem_w, one.mem_w) << "row " << r;
     }
   }
+}
+
+TEST(Srr, NegativeOutputsClampToZeroBeforeProjection) {
+  // Regression: a head trained toward a tiny (near-idle) component could
+  // emit slightly negative watts, and with include_pnode off (or a budget
+  // below the projection gate) nothing corrected it — predict_one happily
+  // returned negative power. Fixture: train mem toward a negative target so
+  // the raw network output is reliably < 0.
+  SrrConfig cfg = fast_config(false);
+  cfg.consistency_projection = false;
+  cfg.epochs = 200;
+  Srr srr(cfg);
+  math::Rng rng(99);
+  const std::size_t n = 200;
+  math::Matrix x(n, 4);
+  std::vector<double> p_node(n), p_cpu(n), p_mem(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (double& v : x.row(r)) v = rng.uniform(0.5, 1.5);
+    p_cpu[r] = 50.0;
+    p_mem[r] = -8.0;  // adversarial label: the net learns a negative output
+    p_node[r] = 100.0;
+  }
+  srr.fit(x, p_node, p_cpu, p_mem);
+  bool saw_mem_at_floor = false;
+  for (std::size_t r = 0; r < 20; ++r) {
+    const auto est = srr.predict_one(x.row(r), p_node[r]);
+    EXPECT_GE(est.cpu_w, 0.0);
+    EXPECT_GE(est.mem_w, 0.0);  // would be ~-8 W before the clamp
+    saw_mem_at_floor = saw_mem_at_floor || math::is_zero(est.mem_w);
+  }
+  EXPECT_TRUE(saw_mem_at_floor)
+      << "fixture no longer drives the raw output negative";
+}
+
+TEST(Srr, KWayHeadRejectsLegacyTwoComponentApi) {
+  SrrConfig cfg = fast_config();
+  cfg.outputs = 4;
+  Srr srr(cfg);
+  const math::Matrix x(10, 3, 1.0);
+  const std::vector<double> ten(10, 1.0);
+  EXPECT_THROW(srr.fit(x, ten, ten, ten), std::logic_error);
+  math::Matrix targets(10, 4, 1.0);
+  srr.fit_multi(x, ten, targets);
+  EXPECT_THROW(srr.predict_one(x.row(0), 90.0), std::logic_error);
+  Srr::Scratch scratch;
+  std::vector<double> wrong(2);
+  EXPECT_THROW(srr.predict_one_into(x.row(0), 90.0, wrong, scratch),
+               std::invalid_argument);
+}
+
+struct TrainedKWay {
+  Srr srr;
+  math::Matrix x;
+  std::vector<double> p_node;
+};
+
+TrainedKWay train_kway(std::size_t k, std::uint64_t seed) {
+  SrrConfig cfg;
+  cfg.outputs = k;
+  cfg.epochs = 60;
+  TrainedKWay out{Srr(cfg), math::Matrix(240, 2 * k), {}};
+  math::Rng rng(seed);
+  math::Matrix targets(out.x.rows(), k);
+  out.p_node.resize(out.x.rows());
+  for (std::size_t r = 0; r < out.x.rows(); ++r) {
+    double node = 25.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double act = rng.uniform(0.1, 1.0);
+      out.x(r, 2 * j) = act;
+      out.x(r, 2 * j + 1) = rng.uniform(0.0, 0.2);
+      targets(r, j) = 8.0 + 60.0 * act;
+      node += targets(r, j);
+    }
+    out.p_node[r] = node;
+  }
+  out.srr.fit_multi(out.x, out.p_node, targets);
+  return out;
+}
+
+TEST(Srr, KWayPredictRecoversTenantShares) {
+  const auto t = train_kway(4, 101);
+  Srr::Scratch scratch;
+  std::vector<double> est(4);
+  double err = 0.0, total = 0.0;
+  for (std::size_t r = 0; r < t.x.rows(); ++r) {
+    double raw = 0.0;
+    t.srr.predict_one_into(t.x.row(r), t.p_node[r], est, scratch, &raw);
+    EXPECT_GT(raw, 0.0);
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_GE(est[j], 0.0);
+      const double truth = 8.0 + 60.0 * t.x(r, 2 * j);
+      err += std::abs(est[j] - truth);
+      total += truth;
+    }
+  }
+  EXPECT_LT(err / total, 0.10);  // within 10% aggregate on training support
+}
+
+TEST(Srr, KWayBatchMatchesScalarBitForBit) {
+  for (const std::size_t k : {std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    const auto t = train_kway(k, 200 + k);
+    Srr::Scratch scratch;
+    Srr::BatchScratch bscratch;
+    math::Matrix batch;
+    t.srr.predict_batch_multi_into(t.x, t.p_node, batch, bscratch);
+    ASSERT_EQ(batch.rows(), t.x.rows());
+    ASSERT_EQ(batch.cols(), k);
+    std::vector<double> one(k);
+    for (std::size_t r = 0; r < t.x.rows(); r += 7) {
+      t.srr.predict_one_into(t.x.row(r), t.p_node[r], one, scratch);
+      for (std::size_t j = 0; j < k; ++j) {
+        ASSERT_EQ(batch(r, j), one[j]) << "row " << r << " tenant " << j;
+      }
+    }
+  }
+}
+
+TEST(Srr, TwoOutputHeadKeepsLegacyPathBitIdentical) {
+  // outputs == 2 must be the SAME model as the historical component head:
+  // the K-way entry points and the ComponentEstimate API agree exactly.
+  auto t = train_mixed(true, 301);
+  const auto& features = t.test.dataset.features();
+  const auto& p_node = t.test.dataset.target("P_NODE");
+  Srr::Scratch scratch;
+  std::vector<double> est(2);
+  for (std::size_t r = 0; r < features.rows(); r += 13) {
+    const auto legacy = t.srr.predict_one(features.row(r), p_node[r]);
+    t.srr.predict_one_into(features.row(r), p_node[r], est, scratch);
+    ASSERT_EQ(est[0], legacy.cpu_w) << "row " << r;
+    ASSERT_EQ(est[1], legacy.mem_w) << "row " << r;
+  }
+}
+
+TEST(Srr, AttributionTrainingSetShapesAndLabels) {
+  measure::Collector collector;
+  const std::vector<sim::Workload> tenants{workloads::fft(),
+                                           workloads::stream()};
+  std::vector<measure::CollectedRun> runs;
+  runs.push_back(collector.collect_tenants(sim::PlatformConfig::arm(), tenants,
+                                           60, 41));
+  runs.push_back(collector.collect_tenants(sim::PlatformConfig::arm(), tenants,
+                                           40, 42));
+  SrrConfig cfg;
+  cfg.outputs = 2;
+  cfg.augment_copies = 2;
+  StaticTrrConfig trr_cfg;
+  const auto set = build_attribution_training_set(runs, cfg, trr_cfg);
+  EXPECT_EQ(set.x.rows(), (60u + 40u) * 3u);  // original + 2 virtual mixes
+  EXPECT_EQ(set.x.cols(), 2u * sim::kNumPmcEvents);
+  EXPECT_EQ(set.targets.rows(), set.x.rows());
+  EXPECT_EQ(set.targets.cols(), 2u);
+  EXPECT_EQ(set.p_node.size(), set.x.rows());
+  // Copy 0 carries the unscaled ground-truth tenant watts.
+  EXPECT_DOUBLE_EQ(set.targets(0, 0), runs[0].tenant_power(0, 0));
+  EXPECT_DOUBLE_EQ(set.targets(0, 1), runs[0].tenant_power(0, 1));
+  for (std::size_t i = 0; i < set.x.rows(); ++i) {
+    EXPECT_GT(set.targets(i, 0), 0.0);
+    EXPECT_GT(set.p_node[i], 0.0);
+  }
+  // Mixed tenant counts must be rejected.
+  runs.push_back(collector.collect_tenants(
+      sim::PlatformConfig::arm(),
+      std::vector<sim::Workload>{workloads::fft()}, 20, 43));
+  EXPECT_THROW(build_attribution_training_set(runs, cfg, trr_cfg),
+               std::invalid_argument);
 }
 
 TEST(Srr, PredictBatchValidatesSizes) {

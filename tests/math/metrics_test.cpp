@@ -28,10 +28,25 @@ TEST(Metrics, MapeSkipsNearZeroTruth) {
   EXPECT_NEAR(mape(y, p), 10.0, 1e-12);  // only the second point counts
 }
 
-TEST(Metrics, MapeAllSkippedReturnsZero) {
+TEST(Metrics, MapeAllSkippedIsUndefinedNotPerfect) {
+  // Regression: an all-near-zero truth vector (e.g. an idle tenant) used to
+  // return 0.0 — a PERFECT score for predictions that were plainly wrong.
+  // The metric is undefined there; the contract is quiet NaN.
   const std::vector<double> y{0.0, 0.0};
   const std::vector<double> p{1.0, 2.0};
-  EXPECT_DOUBLE_EQ(mape(y, p), 0.0);
+  EXPECT_TRUE(std::isnan(mape(y, p)));
+}
+
+TEST(Metrics, ReportRendersUndefinedMapeAsNa) {
+  // Reporters must not print an undefined MAPE as a number: the n/a cell is
+  // part of the contract (bench tables and CSVs render it the same way).
+  const std::vector<double> y{0.0, 0.0};
+  const std::vector<double> p{1.0, 2.0};
+  const MetricReport r = evaluate_metrics(y, p);
+  EXPECT_TRUE(std::isnan(r.mape));
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("MAPE=n/a"), std::string::npos) << s;
+  EXPECT_EQ(s.find("MAPE=nan"), std::string::npos) << s;
 }
 
 TEST(Metrics, RmseKnownValue) {

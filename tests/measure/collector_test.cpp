@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
 #include "highrpm/math/float_eq.hpp"
+#include "highrpm/measure/stream.hpp"
 #include "highrpm/workloads/suites.hpp"
 
 namespace highrpm::measure {
@@ -81,6 +86,75 @@ TEST(Collector, SameSeedReproduces) {
                      b.dataset.target("P_NODE")[i]);
     EXPECT_DOUBLE_EQ(a.dataset.features()(i, 0), b.dataset.features()(i, 0));
   }
+}
+
+TEST(Collector, CollectTenantsRecordsAlignedPerTenantData) {
+  Collector collector;
+  const std::vector<sim::Workload> mix{workloads::fft(), workloads::stream(),
+                                       workloads::hpcg()};
+  const auto run =
+      collector.collect_tenants(sim::PlatformConfig::arm(), mix, 80, 11);
+  EXPECT_EQ(run.num_ticks(), 80u);
+  ASSERT_EQ(run.num_tenants, 3u);
+  ASSERT_EQ(run.tenant_pmcs.rows(), 80u);
+  ASSERT_EQ(run.tenant_pmcs.cols(), 3u * sim::kNumPmcEvents);
+  ASSERT_EQ(run.tenant_power.rows(), 80u);
+  ASSERT_EQ(run.tenant_power.cols(), 3u);
+  // Per-tenant rates partition the simulator's TRUE node rates exactly
+  // (the node-level feature row additionally carries PmcSampler noise, so
+  // it is NOT the comparison target), and attributed watts are positive.
+  for (std::size_t t = 0; t < 80; t += 13) {
+    for (std::size_t e = 0; e < sim::kNumPmcEvents; ++e) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) {
+        sum += run.tenant_pmcs(t, k * sim::kNumPmcEvents + e);
+      }
+      EXPECT_NEAR(run.truth[t].pmcs[e], sum, 1e-9 * (1.0 + std::abs(sum)))
+          << "tick " << t << " event " << e;
+    }
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_GT(run.tenant_power(t, k), 0.0);
+    }
+  }
+  // Single-workload collect keeps the legacy record shape.
+  const auto plain =
+      collector.collect(sim::PlatformConfig::arm(), workloads::fft(), 20, 11);
+  EXPECT_EQ(plain.num_tenants, 0u);
+  EXPECT_TRUE(plain.tenant_pmcs.empty());
+}
+
+TEST(Collector, TenantStreamMatchesCollectTenantsTickForTick) {
+  // NodeTickStream's multi-tenant ctor must replay Collector::collect_tenants
+  // exactly: same node rows, same reading schedule, same per-cgroup rows.
+  const std::vector<sim::Workload> mix{workloads::fft(), workloads::stream()};
+  Collector collector;
+  const auto run =
+      collector.collect_tenants(sim::PlatformConfig::arm(), mix, 60, 12);
+  NodeTickStream stream(sim::PlatformConfig::arm(), mix, 12);
+  const auto& features = run.dataset.features();
+  for (std::size_t t = 0; t < 60; ++t) {
+    const StreamTick tick = stream.next();
+    ASSERT_EQ(tick.num_tenants, 2u);
+    for (std::size_t e = 0; e < sim::kNumPmcEvents; ++e) {
+      ASSERT_EQ(tick.pmcs[e], features(t, e)) << "tick " << t;
+    }
+    ASSERT_EQ(tick.has_reading, run.measured[t]) << "tick " << t;
+    for (std::size_t j = 0; j < 2 * sim::kNumPmcEvents; ++j) {
+      ASSERT_EQ(tick.tenant_pmcs[j], run.tenant_pmcs(t, j))
+          << "tick " << t << " slot " << j;
+    }
+    // Unused ring slots stay zero — daemon staging relies on it.
+    for (std::size_t j = 2 * sim::kNumPmcEvents; j < tick.tenant_pmcs.size();
+         ++j) {
+      ASSERT_EQ(tick.tenant_pmcs[j], 0.0);
+    }
+  }
+}
+
+TEST(Collector, CollectTenantsValidatesArguments) {
+  Collector collector;
+  EXPECT_THROW(collector.collect_tenants(sim::PlatformConfig::arm(), {}, 10, 1),
+               std::invalid_argument);
 }
 
 TEST(Collector, FrequencyLevelOverrideHonored) {

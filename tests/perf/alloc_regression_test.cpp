@@ -196,6 +196,125 @@ TEST(AllocRegression, FleetSteadyStateTickIsAllocationFree) {
   runtime::set_thread_count(0);
 }
 
+TEST(AllocRegression, TenantAttributionOnTickIsAllocationFree) {
+  // The K-way streaming tick inherits the facade's steady-state contract:
+  // attribution predict uses caller-owned scratch, the hold path reuses
+  // last_good_tenant_row_'s capacity, and self-calibration's measured-tick
+  // buffering writes into the ring preallocated at construction. Only an
+  // actual drift TRIGGER (fine-tune) may allocate — pinned out here with an
+  // unreachable threshold.
+  measure::Collector collector;
+  const std::vector<sim::Workload> mix{workloads::fft(), workloads::stream()};
+  std::vector<measure::CollectedRun> runs;
+  runs.push_back(
+      collector.collect_tenants(sim::PlatformConfig::arm(), mix, 120, 9));
+  HighRpmConfig cfg;
+  cfg.dynamic_trr.rnn.epochs = 4;
+  cfg.dynamic_trr.online_finetune = false;  // its reading-tick fine-tune
+                                            // allocates by design
+  cfg.srr.epochs = 10;
+  cfg.tenants = 2;
+  cfg.tenant_srr.epochs = 10;
+  cfg.self_cal.enabled = true;
+  cfg.self_cal.drift_threshold_pct = 1e9;  // buffer/score, never fine-tune
+  HighRpm model(cfg);
+  model.initial_learning(runs);
+  model.fit_attribution(runs);
+
+  const auto stream =
+      collector.collect_tenants(sim::PlatformConfig::arm(), mix, 80, 10);
+  const auto& features = stream.dataset.features();
+  const auto& node = stream.dataset.target("P_NODE");
+  const std::size_t warmup = 2 * model.config().miss_interval + 1;
+  const auto play_tick = [&](std::size_t t) {
+    std::optional<double> reading;
+    if (stream.measured[t]) reading = node[t];
+    return model.on_tick(features.row(t), stream.tenant_pmcs.row(t), reading);
+  };
+  for (std::size_t t = 0; t < warmup; ++t) (void)play_tick(t);
+
+  const auto before = at::count();
+  std::size_t metered = 0, measured = 0;
+  for (std::size_t t = warmup; t < 80; ++t) {
+    const at::Armed armed;
+    const auto est = play_tick(t);
+    ASSERT_EQ(est.tenants, 2u);
+    ASSERT_TRUE(std::isfinite(est.tenant_w[0]));
+    ++metered;
+    measured += est.measured;
+  }
+  ASSERT_GT(metered, 0u);
+  ASSERT_GT(measured, 0u) << "no measured tick metered: the self-cal "
+                             "buffering path was never exercised";
+  EXPECT_EQ(at::count() - before, 0u)
+      << "tenant HighRpm::on_tick allocated on a steady-state tick";
+  EXPECT_EQ(model.self_cal_triggers(), 0u);
+}
+
+TEST(AllocRegression, TenantFleetStepTickIsAllocationFree) {
+  // K-way attribution in the batched path: one extra GEMM per layer per
+  // shard through Cohort::trows/tenant_out/tsrr — all warm after the first
+  // tick, so the steady state stays allocation-free.
+  runtime::set_thread_count(1);
+  measure::Collector collector;
+  const std::vector<sim::Workload> mix{workloads::fft(), workloads::stream()};
+  std::vector<measure::CollectedRun> training;
+  training.push_back(
+      collector.collect_tenants(sim::PlatformConfig::arm(), mix, 120, 7));
+  HighRpmConfig cfg;
+  cfg.dynamic_trr.rnn.epochs = 4;
+  cfg.dynamic_trr.online_finetune = false;
+  cfg.srr.epochs = 10;
+  cfg.tenants = 2;
+  cfg.tenant_srr.epochs = 10;
+  HighRpm golden(cfg);
+  golden.initial_learning(training);
+  golden.fit_attribution(training);
+
+  const std::size_t nodes = 6;
+  FleetConfig fcfg;
+  fcfg.shard_lanes = 4;  // two shards: one full, one ragged
+  FleetStepper fleet(golden, nodes, fcfg);
+  ASSERT_EQ(fleet.tenants(), 2u);
+
+  const auto stream =
+      collector.collect_tenants(sim::PlatformConfig::arm(), mix, 80, 8);
+  const auto& features = stream.dataset.features();
+  math::Matrix pmcs(nodes, features.cols());
+  math::Matrix trows(nodes, stream.tenant_pmcs.cols());
+  std::vector<std::optional<double>> readings(nodes);
+  std::vector<PowerEstimate> out(nodes);
+  const std::size_t warmup = 2 * golden.config().miss_interval + 1;
+  const auto play_tick = [&](std::size_t t) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const std::size_t r = (t + i) % features.rows();
+      std::copy(features.row(r).begin(), features.row(r).end(),
+                pmcs.row(i).begin());
+      std::copy(stream.tenant_pmcs.row(r).begin(),
+                stream.tenant_pmcs.row(r).end(), trows.row(i).begin());
+      readings[i] = std::nullopt;
+    }
+    fleet.step_tick(pmcs, readings, out, {}, &trows);
+  };
+  for (std::size_t t = 0; t < warmup; ++t) play_tick(t);
+
+  const auto before = at::count();
+  std::size_t metered = 0;
+  for (std::size_t t = warmup; t < 60; ++t) {
+    const at::Armed armed;
+    play_tick(t);
+    ++metered;
+  }
+  ASSERT_GT(metered, 0u);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    ASSERT_EQ(out[i].tenants, 2u);
+    ASSERT_TRUE(std::isfinite(out[i].tenant_w[0]));
+  }
+  EXPECT_EQ(at::count() - before, 0u)
+      << "tenant FleetStepper::step_tick allocated on a steady-state tick";
+  runtime::set_thread_count(0);
+}
+
 TEST(AllocRegression, AdaptiveControllerObserveIsAllocationFree) {
   // The controller's window statistics are fixed-size; the only buffer is
   // the previous-PMC copy, sized on the first observe. Everything after

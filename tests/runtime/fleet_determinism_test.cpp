@@ -377,5 +377,161 @@ INSTANTIATE_TEST_SUITE_P(
              "_lanes" + std::to_string(std::get<1>(param_info.param));
     });
 
+// ---------------------------------------------------------------------------
+// K-way attribution rides the same identity contract: per-tenant estimates
+// from the batched fleet path are byte-identical to the serial facade's
+// 3-arg on_tick at every thread count and shard shape, including the
+// held-tenant-row fault path.
+
+constexpr std::size_t kTenants = 2;
+
+HighRpm train_tenant_golden(bool self_cal) {
+  measure::Collector collector;
+  const std::vector<sim::Workload> mix{workloads::fft(), workloads::stream()};
+  std::vector<measure::CollectedRun> runs;
+  runs.push_back(collector.collect_tenants(sim::PlatformConfig::arm(), mix,
+                                           160, kSeed + 50));
+  runs.push_back(collector.collect_tenants(sim::PlatformConfig::arm(), mix,
+                                           160, kSeed + 51));
+  HighRpmConfig cfg = fleet_config(/*online_finetune=*/false);
+  cfg.tenants = kTenants;
+  cfg.tenant_srr.epochs = 30;
+  cfg.self_cal.enabled = self_cal;
+  HighRpm golden(cfg);
+  golden.initial_learning(runs);
+  golden.fit_attribution(runs);
+  return golden;
+}
+
+std::vector<measure::CollectedRun> collect_tenant_streams(std::size_t nodes) {
+  measure::Collector collector;
+  std::vector<measure::CollectedRun> runs;
+  runs.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const std::vector<sim::Workload> mix =
+        (i % 2 == 0)
+            ? std::vector<sim::Workload>{workloads::hpcg(), workloads::fft()}
+            : std::vector<sim::Workload>{workloads::fft(),
+                                         workloads::stream()};
+    runs.push_back(collector.collect_tenants(sim::PlatformConfig::arm(), mix,
+                                             kStreamTicks, kSeed + 2000 + i));
+  }
+  return runs;
+}
+
+/// Node-row NaN on node 1 tick 17 (node hold), tenant-row NaN on node 1
+/// tick 21 (tenant hold) and on node 0 tick 0 (hold before any good row).
+std::vector<double> tenant_row_input(const measure::CollectedRun& run,
+                                     std::size_t node, std::size_t t) {
+  const auto src = run.tenant_pmcs.row(t);
+  std::vector<double> row(src.begin(), src.end());
+  if ((node == 1 && t == 21) || (node == 0 && t == 0)) {
+    row[2] = std::numeric_limits<double>::quiet_NaN();
+  }
+  return row;
+}
+
+class FleetAttributionTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+ protected:
+  static void SetUpTestSuite() {
+    golden_ = new HighRpm(train_tenant_golden(/*self_cal=*/false));
+  }
+  static void TearDownTestSuite() {
+    delete golden_;
+    golden_ = nullptr;
+  }
+  void TearDown() override { runtime::set_thread_count(0); }
+  static HighRpm* golden_;
+};
+
+HighRpm* FleetAttributionTest::golden_ = nullptr;
+
+TEST_P(FleetAttributionTest, TenantEstimatesMatchSerialBitForBit) {
+  const std::size_t nodes = 5;
+  const auto runs = collect_tenant_streams(nodes);
+
+  runtime::set_thread_count(1);
+  std::vector<std::vector<PowerEstimate>> reference(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    HighRpm node = *golden_;
+    node.reset_stream();
+    for (std::size_t t = 0; t < kStreamTicks; ++t) {
+      const TickInput in = tick_input(runs[i], i, t);
+      const auto trow = tenant_row_input(runs[i], i, t);
+      reference[i].push_back(node.on_tick(in.pmcs, trow, in.reading));
+    }
+  }
+
+  runtime::set_thread_count(std::get<0>(GetParam()));
+  FleetConfig cfg;
+  cfg.shard_lanes = std::get<1>(GetParam());
+  FleetStepper fleet(*golden_, nodes, cfg);
+  ASSERT_EQ(fleet.tenants(), kTenants);
+
+  const std::size_t f = runs[0].dataset.features().cols();
+  math::Matrix pmcs(nodes, f);
+  math::Matrix trows(nodes, kTenants * sim::kNumPmcEvents);
+  std::vector<std::optional<double>> readings(nodes);
+  std::vector<PowerEstimate> out(nodes);
+  for (std::size_t t = 0; t < kStreamTicks; ++t) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const TickInput in = tick_input(runs[i], i, t);
+      std::copy(in.pmcs.begin(), in.pmcs.end(), pmcs.row(i).begin());
+      const auto trow = tenant_row_input(runs[i], i, t);
+      std::copy(trow.begin(), trow.end(), trows.row(i).begin());
+      readings[i] = in.reading;
+    }
+    fleet.step_tick(pmcs, readings, out, {}, &trows);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      ASSERT_EQ(out[i].node_w, reference[i][t].node_w)
+          << "node " << i << " tick " << t;
+      ASSERT_EQ(out[i].tenants, kTenants) << "node " << i << " tick " << t;
+      for (std::size_t k = 0; k < kTenants; ++k) {
+        ASSERT_EQ(out[i].tenant_w[k], reference[i][t].tenant_w[k])
+            << "node " << i << " tick " << t << " tenant " << k << " at "
+            << std::get<0>(GetParam()) << " threads, shard_lanes "
+            << std::get<1>(GetParam());
+      }
+    }
+  }
+
+  // Without the tenant matrix the same fleet skips attribution cleanly.
+  fleet.reset_streams();
+  fleet.step_tick(pmcs, readings, out);
+  for (std::size_t i = 0; i < nodes; ++i) EXPECT_EQ(out[i].tenants, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsByShardLanes, FleetAttributionTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 8),
+                       ::testing::Values<std::size_t>(2, 64)),
+    [](const auto& param_info) {
+      return "threads" + std::to_string(std::get<0>(param_info.param)) +
+             "_lanes" + std::to_string(std::get<1>(param_info.param));
+    });
+
+TEST(FleetAttribution, RejectsSelfCalibratingGolden) {
+  // The fleet shares ONE const attribution head across lanes; a
+  // self-calibrating head mutates under drift, so the ctor must refuse it
+  // rather than silently dropping per-lane recalibration.
+  const HighRpm golden = train_tenant_golden(/*self_cal=*/true);
+  EXPECT_THROW(FleetStepper(golden, 2), std::invalid_argument);
+}
+
+TEST(FleetAttribution, StepTickValidatesTenantMatrixShape) {
+  const HighRpm golden = train_tenant_golden(/*self_cal=*/false);
+  FleetStepper fleet(golden, 3);
+  math::Matrix pmcs(3, sim::kNumPmcEvents);
+  std::vector<std::optional<double>> readings(3);
+  std::vector<PowerEstimate> out(3);
+  math::Matrix bad_rows(2, kTenants * sim::kNumPmcEvents);
+  EXPECT_THROW(fleet.step_tick(pmcs, readings, out, {}, &bad_rows),
+               std::invalid_argument);
+  math::Matrix bad_cols(3, kTenants * sim::kNumPmcEvents + 1);
+  EXPECT_THROW(fleet.step_tick(pmcs, readings, out, {}, &bad_cols),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace highrpm::core

@@ -120,6 +120,97 @@ TEST_F(ServeDaemonTest, DrainsEveryOfferedTickAndAccountsExactly) {
   EXPECT_NE(text.find("totals ticks="), std::string::npos);
 }
 
+TEST(ServeDaemonAttribution, TenantSplitsFlowEndToEnd) {
+  // A tenant-trained golden: the daemon stages per-cgroup rows from the
+  // stream ring, the fleet's attribution GEMM splits each lane, and the
+  // seqlock cells publish the split at deciwatt resolution.
+  measure::Collector collector;
+  const std::vector<sim::Workload> mix{workloads::fft(), workloads::stream()};
+  std::vector<measure::CollectedRun> runs;
+  runs.push_back(collector.collect_tenants(sim::PlatformConfig::arm(), mix,
+                                           160, tu::kSeed + 70));
+  runs.push_back(collector.collect_tenants(sim::PlatformConfig::arm(), mix,
+                                           160, tu::kSeed + 71));
+  core::HighRpmConfig gcfg;
+  gcfg.dynamic_trr.rnn.epochs = 8;
+  gcfg.dynamic_trr.online_finetune = false;
+  gcfg.srr.epochs = 20;
+  gcfg.tenants = 2;
+  gcfg.tenant_srr.epochs = 30;
+  core::HighRpm golden(gcfg);
+  golden.initial_learning(runs);
+  golden.fit_attribution(runs);
+
+  const std::size_t nodes = 2;
+  const std::uint64_t ticks = 40;
+  DaemonConfig cfg;
+  cfg.consumers = 2;
+  cfg.ring_capacity = 256;
+  Daemon daemon(golden, nodes, tu::node_suites(nodes), cfg);
+  daemon.start();
+  std::vector<measure::NodeTickStream> streams;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    streams.emplace_back(sim::PlatformConfig::arm(), mix,
+                         tu::kSeed + 3000 + i);
+  }
+  for (std::uint64_t t = 0; t < ticks; ++t) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      EXPECT_EQ(daemon.offer(i, streams[i].next()), OfferResult::kAccepted);
+    }
+  }
+  daemon.quiesce();
+  const DaemonSnapshot snap = daemon.snapshot();
+  daemon.stop();
+
+  ASSERT_EQ(snap.nodes.size(), nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const NodeStatus& n = snap.nodes[i];
+    EXPECT_EQ(n.ticks, ticks);
+    ASSERT_EQ(n.tenants, 2u) << "node " << i;
+    double sum = 0.0;
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_TRUE(std::isfinite(n.tenant_w[k]));
+      EXPECT_GE(n.tenant_w[k], 0.0);
+      sum += n.tenant_w[k];
+    }
+    // Both tenants run real work: the split is non-degenerate and lands in
+    // the node's dynamic-power ballpark (deciwatt-quantized).
+    EXPECT_GT(n.tenant_w[0], 0.0);
+    EXPECT_GT(n.tenant_w[1], 0.0);
+    EXPECT_NEAR(sum, n.node_w - golden.config().p_other_w, 0.5 * n.node_w);
+    for (std::size_t k = 2; k < kSnapshotMaxTenants; ++k) {
+      EXPECT_EQ(n.tenant_w[k], 0.0);
+    }
+  }
+  const std::string text = to_string(snap);
+  EXPECT_NE(text.find("tenants=2"), std::string::npos) << text;
+  EXPECT_NE(text.find("t0_w="), std::string::npos) << text;
+  EXPECT_NE(text.find("t1_w="), std::string::npos) << text;
+}
+
+TEST(ServeDaemonAttribution, RejectsHeadWiderThanStreamSlots) {
+  // StreamTick's fixed ring slot carries at most kStreamMaxTenants rows;
+  // a wider attribution head could never be fed, so the ctor refuses it.
+  constexpr std::size_t k = measure::kStreamMaxTenants + 1;
+  static_assert(k <= core::kMaxTenants, "widen StreamTick or this test");
+  measure::Collector collector;
+  std::vector<sim::Workload> mix;
+  for (std::size_t i = 0; i < k; ++i) mix.push_back(tu::workload_for_node(i));
+  std::vector<measure::CollectedRun> runs;
+  runs.push_back(collector.collect_tenants(sim::PlatformConfig::arm(), mix,
+                                           120, tu::kSeed + 80));
+  core::HighRpmConfig gcfg;
+  gcfg.dynamic_trr.rnn.epochs = 8;
+  gcfg.dynamic_trr.online_finetune = false;
+  gcfg.srr.epochs = 20;
+  gcfg.tenants = k;
+  gcfg.tenant_srr.epochs = 20;
+  core::HighRpm golden(gcfg);
+  golden.initial_learning(runs);
+  golden.fit_attribution(runs);
+  EXPECT_THROW(Daemon(golden, 2, tu::node_suites(2)), std::invalid_argument);
+}
+
 TEST_F(ServeDaemonTest, OverloadShedsGracefullyWithHeldFallback) {
   // One node, capacity-1 ring, daemon NOT yet started: the first offer is
   // accepted, further predict-only ticks shed, a reading tick exhausts its

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "highrpm/math/stats.hpp"
 #include "highrpm/workloads/suites.hpp"
 
@@ -154,6 +157,99 @@ INSTANTIATE_TEST_SUITE_P(Workloads, MultiWorkloadProperty,
                          ::testing::Values("fft", "stream", "graph500-bfs",
                                            "hpl-ai", "smg2000", "hpcg",
                                            "mcf", "canneal"));
+
+TEST(NodeSimulatorTenants, RejectsEmptyTenantList) {
+  EXPECT_THROW(NodeSimulator(PlatformConfig::arm(), std::vector<Workload>{}, 1),
+               std::invalid_argument);
+}
+
+TEST(NodeSimulatorTenants, SingleWorkloadCtorProducesNoTenantRecord) {
+  NodeSimulator node(PlatformConfig::arm(), workloads::fft(), 21);
+  const auto s = node.step();
+  EXPECT_TRUE(s.tenants.empty());
+  EXPECT_EQ(node.num_tenants(), 0u);
+}
+
+TEST(NodeSimulatorTenants, TenantPowersSumToComponentPower) {
+  // The attribution ground truth must be conserved: the K tenant watts are
+  // a partition of the node's component power (idle + dynamic), nothing
+  // invented, nothing lost.
+  const std::vector<Workload> tenants{workloads::fft(), workloads::stream(),
+                                      workloads::graph500_bfs()};
+  NodeSimulator node(PlatformConfig::arm(), tenants, 22);
+  EXPECT_EQ(node.num_tenants(), 3u);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = node.step();
+    ASSERT_EQ(s.tenants.size(), 3u);
+    double sum = 0.0;
+    for (const auto& t : s.tenants) {
+      EXPECT_GT(t.p_w, 0.0);  // idle share alone keeps every tenant positive
+      sum += t.p_w;
+    }
+    EXPECT_NEAR(sum, s.p_cpu_w + s.p_mem_w, 1e-9);
+  }
+}
+
+TEST(NodeSimulatorTenants, TenantPmcsSumToNodePmcs) {
+  // The node-level counters are the per-cgroup counters aggregated — the
+  // same invariant a kernel's cgroup accounting provides.
+  const std::vector<Workload> tenants{workloads::fft(), workloads::stream()};
+  NodeSimulator node(PlatformConfig::arm(), tenants, 23);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = node.step();
+    for (std::size_t e = 0; e < kNumPmcEvents; ++e) {
+      double sum = 0.0;
+      for (const auto& t : s.tenants) sum += t.pmcs[e];
+      EXPECT_NEAR(s.pmcs[e], sum, 1e-9 * (1.0 + std::fabs(sum)));
+    }
+  }
+}
+
+TEST(NodeSimulatorTenants, DeterministicForSameSeed) {
+  const std::vector<Workload> tenants{workloads::fft(), workloads::stream()};
+  NodeSimulator a(PlatformConfig::arm(), tenants, 42);
+  NodeSimulator b(PlatformConfig::arm(), tenants, 42);
+  for (int i = 0; i < 30; ++i) {
+    const auto sa = a.step();
+    const auto sb = b.step();
+    EXPECT_DOUBLE_EQ(sa.p_node_w, sb.p_node_w);
+    for (std::size_t k = 0; k < sa.tenants.size(); ++k) {
+      EXPECT_DOUBLE_EQ(sa.tenants[k].p_w, sb.tenants[k].p_w);
+      EXPECT_DOUBLE_EQ(sa.tenants[k].pmcs[0], sb.tenants[k].pmcs[0]);
+    }
+  }
+}
+
+TEST(NodeSimulatorTenants, DominantTenantDrawsMorePower) {
+  // A compute-bound tenant co-located with two near-idle copies must get
+  // the lion's share of the dynamic power.
+  Workload idle = workloads::fft();
+  idle.name = "idle-ish";
+  for (auto& ph : idle.phases) {
+    ph.utilization *= 0.1;
+    ph.spike_rate_hz = 0.0;
+  }
+  const std::vector<Workload> tenants{workloads::fft(), idle, idle};
+  NodeSimulator node(PlatformConfig::arm(), tenants, 24);
+  double w0 = 0.0, w1 = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const auto s = node.step();
+    w0 += s.tenants[0].p_w;
+    w1 += s.tenants[1].p_w;
+  }
+  EXPECT_GT(w0, 1.5 * w1);
+}
+
+TEST(NodeSimulatorTenants, TracePowerAccessor) {
+  const std::vector<Workload> tenants{workloads::fft(), workloads::stream()};
+  NodeSimulator node(PlatformConfig::arm(), tenants, 25);
+  const auto trace = node.run(50);
+  EXPECT_EQ(trace.num_tenants(), 2u);
+  const auto p0 = trace.tenant_power(0);
+  ASSERT_EQ(p0.size(), 50u);
+  EXPECT_DOUBLE_EQ(p0[7], trace.samples()[7].tenants[0].p_w);
+  EXPECT_THROW(trace.tenant_power(2), std::out_of_range);
+}
 
 TEST(NodeSimulator, RejectsEmptyFreqLadder) {
   // Used to be accepted and then crash inside step() when the power model
